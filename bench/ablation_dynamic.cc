@@ -1,0 +1,71 @@
+// Ablation: incremental index repair vs. full rebuild under influence
+// model updates.
+//
+// Not a paper figure — the paper builds its index once offline (Table 3)
+// and Sec. 2 notes reliability indexes assume fixed graphs. This
+// harness measures what DynamicRrIndex buys when p(e|z) drifts: repair
+// cost grows with the number of affected RR-Graphs (theta(head) per
+// updated edge, small on average by the power-law argument of Lemma 9),
+// while a rebuild always pays the full Table-3 construction time.
+// Expected shape: repair is orders of magnitude cheaper for small update
+// batches and approaches rebuild cost as the batch saturates the index.
+
+#include "bench/bench_common.h"
+#include "src/index/dynamic_index.h"
+#include "src/util/random.h"
+
+int main() {
+  using namespace pitex;
+  using namespace pitex::bench;
+
+  std::printf("=== Ablation: incremental repair vs full rebuild ===\n\n");
+  std::printf("%-10s %8s | %12s %12s %10s | %12s %8s\n", "dataset", "updates",
+              "repair(s)", "rebuild(s)", "speedup", "examined", "frac");
+
+  for (const auto& d : MakeBenchDatasets()) {
+    RrIndexOptions options;
+    options.theta_per_vertex = 4.0;
+    options.seed = 7;
+
+    for (const size_t batch : {1, 10, 100, 1000}) {
+      DynamicRrIndex dynamic_index(d.network, options);
+      dynamic_index.Build();
+
+      // Random re-learned entries for `batch` distinct edges.
+      Rng rng(19);
+      std::vector<EdgeInfluenceUpdate> updates;
+      updates.reserve(batch);
+      for (size_t i = 0; i < batch; ++i) {
+        EdgeInfluenceUpdate update;
+        update.edge =
+            static_cast<EdgeId>(rng.NextBounded(d.network.num_edges()));
+        update.entries = {
+            {static_cast<TopicId>(
+                 rng.NextBounded(d.network.topics.num_topics())),
+             0.05 + 0.4 * rng.NextDouble()}};
+        updates.push_back(std::move(update));
+      }
+
+      Timer repair_timer;
+      dynamic_index.ApplyUpdates(updates);
+      const double repair = repair_timer.Seconds();
+
+      Timer rebuild_timer;
+      RrIndex rebuilt(dynamic_index.network(), options);
+      rebuilt.Build();
+      const double rebuild = rebuild_timer.Seconds();
+
+      const auto& stats = dynamic_index.stats();
+      std::printf("%-10s %8zu | %12.4f %12.4f %9.1fx | %12llu %7.1f%%\n",
+                  d.name.c_str(), batch, repair, rebuild,
+                  rebuild / std::max(repair, 1e-9),
+                  static_cast<unsigned long long>(stats.graphs_examined),
+                  100.0 * static_cast<double>(stats.graphs_examined) /
+                      static_cast<double>(dynamic_index.num_graphs()));
+    }
+  }
+  std::printf(
+      "\nshape check: repair speedup should be largest for single-edge "
+      "updates and\nshrink as the batch touches most RR-Graphs.\n");
+  return 0;
+}

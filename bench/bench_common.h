@@ -1,0 +1,143 @@
+// Shared helpers for the paper-reproduction benchmark harnesses.
+//
+// Every bench binary runs argument-free at laptop scale: the four Table-2
+// dataset analogs are generated at reduced |V| and |Omega| so each binary
+// finishes in seconds-to-minutes on two cores, while preserving the
+// *relative* shapes the paper's plots depend on (lastfm smallest/densest
+// degree, twitter largest/sparsest, per-dataset tag-topic densities).
+// Environment knobs:
+//   PITEX_BENCH_SCALE    multiplies |V| of every dataset (default 1.0)
+//   PITEX_BENCH_QUERIES  queries per user group            (default 3)
+
+#ifndef PITEX_BENCH_BENCH_COMMON_H_
+#define PITEX_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "src/core/engine.h"
+#include "src/datasets/synthetic.h"
+#include "src/util/stats.h"
+#include "src/util/timer.h"
+
+namespace pitex::bench {
+
+inline double BenchScale() {
+  const char* env = std::getenv("PITEX_BENCH_SCALE");
+  return env != nullptr ? std::atof(env) : 1.0;
+}
+
+inline size_t BenchQueries() {
+  const char* env = std::getenv("PITEX_BENCH_QUERIES");
+  return env != nullptr ? static_cast<size_t>(std::atoi(env)) : 3;
+}
+
+struct BenchDataset {
+  std::string name;
+  DatasetSpec spec;
+  SocialNetwork network;
+};
+
+/// Bench-scale specs: Table-2 relative shapes, reduced sizes. The paper's
+/// tag-topic densities (0.16 / 0.08 / 0.32 / 0.17) are preserved because
+/// they drive best-effort pruning (Sec. 7.3).
+inline std::vector<DatasetSpec> BenchSpecs() {
+  const double s = BenchScale();
+  DatasetSpec lastfm = LastfmSpec(0.5 * s);   // ~650 vertices
+  lastfm.num_tags = 20;
+  lastfm.num_topics = 10;
+
+  DatasetSpec diggs = DiggsSpec(0.1 * s);     // ~1500 vertices
+  diggs.num_tags = 20;
+  diggs.num_topics = 10;
+
+  DatasetSpec dblp = DblpSpec(0.006 * s);     // ~3000 vertices
+  dblp.num_tags = 36;
+  dblp.num_topics = 9;
+
+  DatasetSpec twitter = TwitterSpec(0.0005 * s);  // ~5000 vertices
+  twitter.num_tags = 30;
+  twitter.num_topics = 15;
+  return {lastfm, diggs, dblp, twitter};
+}
+
+inline std::vector<BenchDataset> MakeBenchDatasets() {
+  std::vector<BenchDataset> datasets;
+  for (const DatasetSpec& spec : BenchSpecs()) {
+    BenchDataset d;
+    d.name = spec.name;
+    d.spec = spec;
+    d.network = GenerateDataset(spec);
+    datasets.push_back(std::move(d));
+  }
+  return datasets;
+}
+
+/// Engine options tuned for bench latency (the accuracy knobs match the
+/// paper defaults eps = 0.7, delta = 1000 unless a sweep overrides them).
+inline EngineOptions BenchOptions(Method method) {
+  EngineOptions options;
+  options.method = method;
+  options.eps = 0.7;
+  options.delta = 1000.0;
+  options.min_samples = 32;
+  options.max_samples = 512;
+  options.index_theta_per_vertex = 4.0;
+  options.seed = 7;
+  return options;
+}
+
+struct QuerySetResult {
+  double avg_seconds = 0.0;
+  double avg_influence = 0.0;
+  double avg_edges_visited = 0.0;
+};
+
+/// Runs one PITEX query per user and averages time/influence/edge-visits.
+inline QuerySetResult RunQuerySet(PitexEngine* engine,
+                                  const std::vector<VertexId>& users,
+                                  size_t k) {
+  QuerySetResult out;
+  if (users.empty()) return out;
+  RunningStats seconds, influence, edges;
+  for (VertexId u : users) {
+    Timer timer;
+    const PitexResult r = engine->Explore({.user = u, .k = k});
+    seconds.Add(timer.Seconds());
+    influence.Add(r.influence);
+    edges.Add(static_cast<double>(r.edges_visited));
+  }
+  out.avg_seconds = seconds.mean();
+  out.avg_influence = influence.mean();
+  out.avg_edges_visited = edges.mean();
+  return out;
+}
+
+inline const std::vector<Method>& AllMethods() {
+  static const std::vector<Method> methods = {
+      Method::kRr,       Method::kMc,           Method::kLazy,
+      Method::kTim,      Method::kIndexEst,     Method::kIndexEstPlus,
+      Method::kDelayMat};
+  return methods;
+}
+
+/// The subset the paper plots after Fig. 8 ("we only compare Lazy with
+/// other offline solutions in the remaining part").
+inline const std::vector<Method>& OfflineComparisonMethods() {
+  static const std::vector<Method> methods = {
+      Method::kLazy, Method::kIndexEst, Method::kIndexEstPlus,
+      Method::kDelayMat};
+  return methods;
+}
+
+inline const std::vector<UserGroup>& AllGroups() {
+  static const std::vector<UserGroup> groups = {
+      UserGroup::kHigh, UserGroup::kMid, UserGroup::kLow};
+  return groups;
+}
+
+}  // namespace pitex::bench
+
+#endif  // PITEX_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,58 @@
+// Extension: Linear Threshold propagation (paper footnote 1).
+//
+// Compares the IC and LT spreads of each user group's best tags and the
+// query cost of LT-based exploration, demonstrating that the PITEX
+// framework is propagation-model-agnostic: the LT sampler implements the
+// same InfluenceOracle interface and plugs into the same solvers.
+
+#include "bench/bench_common.h"
+#include "src/core/best_effort_solver.h"
+#include "src/sampling/lazy_sampler.h"
+#include "src/sampling/lt_sampler.h"
+
+int main() {
+  using namespace pitex;
+  using namespace pitex::bench;
+
+  const size_t k = 2;
+  const size_t queries = BenchQueries();
+  std::printf("=== Extension: PITEX under the Linear Threshold model ===\n");
+  std::printf("%-10s %-6s | %10s %12s | %10s %12s\n", "dataset", "group",
+              "IC time", "IC spread", "LT time", "LT spread");
+
+  for (const auto& d : MakeBenchDatasets()) {
+    const UpperBoundContext context(d.network.topics);
+    SampleSizePolicy policy;
+    policy.num_tags = static_cast<int64_t>(d.network.topics.num_tags());
+    policy.k = static_cast<int64_t>(k);
+    policy.use_phi = true;
+    policy.min_samples = 32;
+    policy.max_samples = 512;
+
+    for (UserGroup group : {UserGroup::kHigh, UserGroup::kMid}) {
+      const auto users = SampleUserGroup(d.network.graph, group, queries, 17);
+      LazySampler ic(d.network.graph, policy, 7);
+      LtSampler lt(d.network.graph, policy, 7);
+      RunningStats ic_time, ic_spread, lt_time, lt_spread;
+      for (VertexId u : users) {
+        Timer t1;
+        const PitexResult r1 =
+            SolveByBestEffort(d.network, {.user = u, .k = k}, context, &ic);
+        ic_time.Add(t1.Seconds());
+        ic_spread.Add(r1.influence);
+        Timer t2;
+        const PitexResult r2 =
+            SolveByBestEffort(d.network, {.user = u, .k = k}, context, &lt);
+        lt_time.Add(t2.Seconds());
+        lt_spread.Add(r2.influence);
+      }
+      std::printf("%-10s %-6s | %10.4f %12.3f | %10.4f %12.3f\n",
+                  d.name.c_str(), UserGroupName(group), ic_time.mean(),
+                  ic_spread.mean(), lt_time.mean(), lt_spread.mean());
+    }
+  }
+  std::printf(
+      "\nshape check: LT runs at IC-like cost; spreads differ (LT is "
+      "linear in incoming weight, IC is noisy-or).\n");
+  return 0;
+}

@@ -1,0 +1,139 @@
+// Extension bench: topic-aware influence maximization (the Sec. 2
+// related-work problem) on the Table-2 analogs.
+//
+// Not a paper figure — PITEX searches tag sets for a user; this harness
+// exercises the dual problem the library also ships: fixed tag set,
+// best k seed users. Two classic IM shapes are checked:
+//   1. diminishing returns — greedy marginal spread per seed decays;
+//   2. seed quality — greedy RIS beats top-out-degree beats random, by
+//      forward-simulated spread.
+
+#include <algorithm>
+
+#include "bench/bench_common.h"
+#include "src/core/im_solver.h"
+#include "src/sampling/influence_estimator.h"
+#include "src/util/random.h"
+
+namespace {
+
+using namespace pitex;
+
+double SimulateSpread(const Graph& graph, const EdgeProbFn& probs,
+                      std::span<const VertexId> seeds, int trials,
+                      uint64_t seed) {
+  Rng rng(seed);
+  double total = 0.0;
+  std::vector<uint8_t> active(graph.num_vertices());
+  std::vector<VertexId> frontier;
+  for (int t = 0; t < trials; ++t) {
+    std::fill(active.begin(), active.end(), 0);
+    frontier.assign(seeds.begin(), seeds.end());
+    for (const VertexId s : seeds) active[s] = 1;
+    size_t spread = 0;
+    while (!frontier.empty()) {
+      const VertexId v = frontier.back();
+      frontier.pop_back();
+      ++spread;
+      for (const auto& [w, e] : graph.OutEdges(v)) {
+        if (!active[w] && rng.NextBernoulli(probs.Prob(e))) {
+          active[w] = 1;
+          frontier.push_back(w);
+        }
+      }
+    }
+    total += static_cast<double>(spread);
+  }
+  return total / trials;
+}
+
+}  // namespace
+
+int main() {
+  using namespace pitex::bench;
+
+  std::printf("=== Extension: topic-aware influence maximization ===\n");
+  std::printf("(per-dataset tag set = top-3 tags of the best-supported "
+              "topic; greedy RIS vs degree vs random seeds; k = 10)\n\n");
+  std::printf("%-10s | %10s %10s %10s | %14s\n", "dataset", "greedy",
+              "degree", "random", "marginals k=1,5,10");
+
+  for (const auto& d : MakeBenchDatasets()) {
+    // Pick a *live* tag set: the topic with the most supporting tags,
+    // then its three strongest tags (a random triple is posterior-dead
+    // at the sparse densities of Table 2).
+    const TopicModel& topics = d.network.topics;
+    TopicId best_topic = 0;
+    size_t best_support = 0;
+    for (TopicId z = 0; z < topics.num_topics(); ++z) {
+      size_t support = 0;
+      for (TagId w = 0; w < topics.num_tags(); ++w) {
+        support += (topics.TagTopic(w, z) > 0.0);
+      }
+      if (support > best_support) {
+        best_support = support;
+        best_topic = z;
+      }
+    }
+    std::vector<TagId> ranked(topics.num_tags());
+    for (TagId w = 0; w < topics.num_tags(); ++w) ranked[w] = w;
+    const size_t take = std::min<size_t>(3, std::max<size_t>(1, best_support));
+    std::partial_sort(ranked.begin(),
+                      ranked.begin() + static_cast<ptrdiff_t>(take),
+                      ranked.end(), [&](TagId a, TagId b) {
+                        return topics.TagTopic(a, best_topic) >
+                               topics.TagTopic(b, best_topic);
+                      });
+    ranked.resize(take);
+    const std::span<const TagId> tags(ranked);
+    ImOptions options;
+    options.num_seeds = 10;
+    options.theta_per_vertex = 8.0;
+    const ImResult greedy = SolveTopicAwareIm(d.network, tags, options);
+
+    const auto post = d.network.topics.Posterior(tags);
+    const PosteriorProbs probs(d.network.influence, post);
+
+    // Degree baseline: top-k by out-degree.
+    std::vector<VertexId> by_degree(d.network.num_vertices());
+    for (VertexId v = 0; v < d.network.num_vertices(); ++v) by_degree[v] = v;
+    std::partial_sort(by_degree.begin(), by_degree.begin() + 10,
+                      by_degree.end(), [&](VertexId a, VertexId b) {
+                        return d.network.graph.OutDegree(a) >
+                               d.network.graph.OutDegree(b);
+                      });
+    by_degree.resize(10);
+
+    // Random baseline.
+    Rng rng(71);
+    std::vector<VertexId> random_seeds;
+    while (random_seeds.size() < 10) {
+      const auto v = static_cast<VertexId>(
+          rng.NextBounded(d.network.num_vertices()));
+      if (std::find(random_seeds.begin(), random_seeds.end(), v) ==
+          random_seeds.end()) {
+        random_seeds.push_back(v);
+      }
+    }
+
+    const int kTrials = 400;
+    const double greedy_spread =
+        SimulateSpread(d.network.graph, probs, greedy.seeds, kTrials, 7);
+    const double degree_spread =
+        SimulateSpread(d.network.graph, probs, by_degree, kTrials, 7);
+    const double random_spread =
+        SimulateSpread(d.network.graph, probs, random_seeds, kTrials, 7);
+
+    const auto marginal_at = [&](size_t i) {
+      return i < greedy.marginal_spread.size() ? greedy.marginal_spread[i]
+                                               : 0.0;
+    };
+    std::printf("%-10s | %10.1f %10.1f %10.1f | %4.1f %4.1f %4.1f\n",
+                d.name.c_str(), greedy_spread, degree_spread, random_spread,
+                marginal_at(0), marginal_at(4), marginal_at(9));
+  }
+  std::printf(
+      "\nshape check: greedy >= degree >= random spread on every dataset; "
+      "marginal\nspread decays with seed rank (submodularity).\n");
+  return 0;
+}

@@ -1,0 +1,245 @@
+// Component micro-benchmarks (google-benchmark): the hot primitives every
+// PITEX query is built from.
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <sstream>
+
+#include "bench/bench_common.h"
+#include "src/index/dynamic_index.h"
+#include "src/index/index_io.h"
+#include "src/index/rr_graph.h"
+#include "src/index/rr_index.h"
+#include "src/sampling/lazy_sampler.h"
+#include "src/sampling/mc_sampler.h"
+#include "src/sampling/rr_sampler.h"
+#include "src/sampling/sketch_oracle.h"
+#include "src/sampling/triggering_sampler.h"
+#include "src/util/thread_pool.h"
+
+namespace {
+
+using namespace pitex;
+
+const SocialNetwork& Network() {
+  static const SocialNetwork* network =
+      new SocialNetwork(GenerateDataset(DiggsSpec(0.1)));
+  return *network;
+}
+
+void BM_Posterior(benchmark::State& state) {
+  const auto& n = Network();
+  const auto k = static_cast<size_t>(state.range(0));
+  std::vector<TagId> tags(k);
+  for (size_t i = 0; i < k; ++i) tags[i] = static_cast<TagId>(i * 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(n.topics.Posterior(tags));
+  }
+}
+BENCHMARK(BM_Posterior)->Arg(1)->Arg(3)->Arg(5);
+
+void BM_EdgeProbSparseDot(benchmark::State& state) {
+  const auto& n = Network();
+  const TagId tags[] = {0, 3};
+  const auto post = n.topics.Posterior(tags);
+  EdgeId e = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(n.influence.EdgeProb(e, post));
+    e = (e + 1) % n.num_edges();
+  }
+}
+BENCHMARK(BM_EdgeProbSparseDot);
+
+void BM_GeometricSkip(benchmark::State& state) {
+  Rng rng(1);
+  const double p = 1.0 / static_cast<double>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.NextGeometric(p));
+  }
+}
+BENCHMARK(BM_GeometricSkip)->Arg(10)->Arg(1000);
+
+void BM_ReachableSet(benchmark::State& state) {
+  const auto& n = Network();
+  const TagId tags[] = {0, 3};
+  const auto post = n.topics.Posterior(tags);
+  const auto users = SampleUserGroup(n.graph, UserGroup::kHigh, 1, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ComputeReachableSet(n.graph, n.influence, post, users[0]));
+  }
+}
+BENCHMARK(BM_ReachableSet);
+
+void BM_GenerateRRGraph(benchmark::State& state) {
+  const auto& n = Network();
+  Rng rng(2);
+  for (auto _ : state) {
+    const auto root =
+        static_cast<VertexId>(rng.NextBounded(n.num_vertices()));
+    benchmark::DoNotOptimize(
+        GenerateRRGraph(n.graph, n.influence, root, &rng));
+  }
+}
+BENCHMARK(BM_GenerateRRGraph);
+
+template <typename Sampler>
+void BM_OnlineEstimate(benchmark::State& state) {
+  const auto& n = Network();
+  SampleSizePolicy policy;
+  policy.num_tags = static_cast<int64_t>(n.topics.num_tags());
+  policy.k = 2;
+  policy.min_samples = 64;
+  policy.max_samples = static_cast<uint64_t>(state.range(0));
+  Sampler sampler(n.graph, policy, 3);
+  const TagId tags[] = {0, 3};
+  const auto post = n.topics.Posterior(tags);
+  const PosteriorProbs probs(n.influence, post);
+  const auto users = SampleUserGroup(n.graph, UserGroup::kHigh, 1, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.EstimateInfluence(users[0], probs));
+  }
+}
+BENCHMARK_TEMPLATE(BM_OnlineEstimate, McSampler)->Arg(256);
+BENCHMARK_TEMPLATE(BM_OnlineEstimate, RrSampler)->Arg(256);
+BENCHMARK_TEMPLATE(BM_OnlineEstimate, LazySampler)->Arg(256);
+
+void BM_IndexEstimate(benchmark::State& state) {
+  const auto& n = Network();
+  static RrIndex* index = [] {
+    RrIndexOptions options;
+    options.theta_per_vertex = 4.0;
+    auto* idx = new RrIndex(Network(), options);
+    idx->Build();
+    return idx;
+  }();
+  const TagId tags[] = {0, 3};
+  const auto post = n.topics.Posterior(tags);
+  const PosteriorProbs probs(n.influence, post);
+  const auto users = SampleUserGroup(n.graph, UserGroup::kHigh, 1, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index->EstimateInfluence(users[0], probs));
+  }
+}
+BENCHMARK(BM_IndexEstimate);
+
+void BM_UpperBoundProbs(benchmark::State& state) {
+  const auto& n = Network();
+  static const UpperBoundContext* ctx = new UpperBoundContext(n.topics);
+  const TagId partial[] = {0};
+  for (auto _ : state) {
+    const UpperBoundProbs bound(n.influence, *ctx, partial, 3);
+    benchmark::DoNotOptimize(bound.Prob(0));
+  }
+}
+BENCHMARK(BM_UpperBoundProbs);
+
+void BM_SerializeRrIndex(benchmark::State& state) {
+  static RrIndex* index = [] {
+    RrIndexOptions options;
+    options.theta_per_vertex = 2.0;
+    auto* idx = new RrIndex(Network(), options);
+    idx->Build();
+    return idx;
+  }();
+  size_t bytes = 0;
+  for (auto _ : state) {
+    std::stringstream file;
+    benchmark::DoNotOptimize(SaveRrIndex(*index, file));
+    bytes = file.str().size();
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(bytes) *
+                          static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SerializeRrIndex);
+
+void BM_LoadRrIndex(benchmark::State& state) {
+  static const std::string* snapshot = [] {
+    RrIndexOptions options;
+    options.theta_per_vertex = 2.0;
+    RrIndex index(Network(), options);
+    index.Build();
+    auto* file = new std::stringstream();
+    SaveRrIndex(index, *file);
+    return new std::string(file->str());
+  }();
+  for (auto _ : state) {
+    std::stringstream file(*snapshot);
+    benchmark::DoNotOptimize(LoadRrIndex(Network(), file));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(snapshot->size()) *
+                          static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_LoadRrIndex);
+
+void BM_SketchLookup(benchmark::State& state) {
+  static SketchOracle* oracle = [] {
+    auto* o = new SketchOracle(&Network());
+    o->Build();
+    return o;
+  }();
+  VertexId u = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(oracle->EnvelopeInfluence(u));
+    u = (u + 1) % static_cast<VertexId>(Network().num_vertices());
+  }
+}
+BENCHMARK(BM_SketchLookup);
+
+void BM_DynamicRepairSingleEdge(benchmark::State& state) {
+  const auto& n = Network();
+  RrIndexOptions options;
+  options.theta_per_vertex = 2.0;
+  DynamicRrIndex index(n, options);
+  index.Build();
+  Rng rng(9);
+  for (auto _ : state) {
+    EdgeInfluenceUpdate update;
+    update.edge = static_cast<EdgeId>(rng.NextBounded(n.num_edges()));
+    update.entries = {{static_cast<TopicId>(
+                           rng.NextBounded(n.topics.num_topics())),
+                       0.05 + 0.3 * rng.NextDouble()}};
+    index.ApplyUpdates(std::span(&update, 1));
+  }
+}
+BENCHMARK(BM_DynamicRepairSingleEdge);
+
+void BM_ThreadPoolDispatch(benchmark::State& state) {
+  static ThreadPool* pool = new ThreadPool(4);
+  const auto tasks = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    std::atomic<size_t> counter{0};
+    for (size_t i = 0; i < tasks; ++i) {
+      pool->Submit([&counter] { counter.fetch_add(1); });
+    }
+    pool->Wait();
+    benchmark::DoNotOptimize(counter.load());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(tasks) *
+                          static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ThreadPoolDispatch)->Arg(64)->Arg(1024);
+
+void BM_TriggeringEstimate(benchmark::State& state) {
+  const auto& n = Network();
+  SampleSizePolicy policy;
+  policy.num_tags = static_cast<int64_t>(n.topics.num_tags());
+  policy.k = 2;
+  policy.min_samples = 64;
+  policy.max_samples = 256;
+  static const IcTriggering* ic = new IcTriggering();
+  TriggeringSampler sampler(n.graph, ic, policy, 3);
+  const TagId tags[] = {0, 3};
+  const auto post = n.topics.Posterior(tags);
+  const PosteriorProbs probs(n.influence, post);
+  const auto users = SampleUserGroup(n.graph, UserGroup::kHigh, 1, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.EstimateInfluence(users[0], probs));
+  }
+}
+BENCHMARK(BM_TriggeringEstimate);
+
+}  // namespace
+
+BENCHMARK_MAIN();

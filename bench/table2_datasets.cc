@@ -1,0 +1,47 @@
+// Table 2: statistics of the (synthetic analog) datasets.
+//
+// Prints both the paper's published statistics and the statistics of the
+// generated bench-scale analogs, so the scale factor is explicit.
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace pitex;
+  using namespace pitex::bench;
+
+  std::printf("=== Table 2: Statistics of Datasets ===\n\n");
+  std::printf("paper-published targets:\n");
+  std::printf("%-10s %10s %10s %8s %5s %5s %8s\n", "dataset", "|V|", "|E|",
+              "|E|/|V|", "|Z|", "|W|", "density");
+  struct PaperRow {
+    const char* name;
+    const char* v;
+    const char* e;
+    double ratio;
+    int z, w;
+    double density;
+  };
+  const PaperRow paper[] = {
+      {"lastfm", "1.3K", "12K", 8.7, 20, 50, 0.16},
+      {"diggs", "15K", "0.2M", 19.9, 20, 50, 0.08},
+      {"dblp", "0.5M", "6M", 11.9, 9, 276, 0.32},
+      {"twitter", "10M", "12M", 1.2, 50, 250, 0.17},
+  };
+  for (const auto& row : paper) {
+    std::printf("%-10s %10s %10s %8.1f %5d %5d %8.2f\n", row.name, row.v,
+                row.e, row.ratio, row.z, row.w, row.density);
+  }
+
+  std::printf("\ngenerated bench-scale analogs (PITEX_BENCH_SCALE=%.2f):\n",
+              BenchScale());
+  std::printf("%-10s %10s %10s %8s %5s %5s %8s\n", "dataset", "|V|", "|E|",
+              "|E|/|V|", "|Z|", "|W|", "density");
+  for (const auto& d : MakeBenchDatasets()) {
+    std::printf("%-10s %10zu %10zu %8.1f %5zu %5zu %8.2f\n", d.name.c_str(),
+                d.network.num_vertices(), d.network.num_edges(),
+                d.network.graph.AverageDegree(),
+                d.network.topics.num_topics(), d.network.topics.num_tags(),
+                d.network.topics.Density());
+  }
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Campaign explorer: the paper's motivating scenario (Fig. 1).
+//
+// A political campaign wants to know which standpoints ("selling points")
+// propagate furthest from each candidate through a re-tweet network. We
+// simulate a campaign-season network with the synthetic dataset suite,
+// pretend the top-degree users are candidates, and run PITEX with the
+// fast RR-Graph index so repeated exploration is interactive.
+//
+// Run: ./examples/campaign_explorer
+
+#include <cstdio>
+
+#include "src/core/engine.h"
+#include "src/datasets/synthetic.h"
+#include "src/util/timer.h"
+
+int main() {
+  // A diggs-shaped network stands in for the re-tweet graph.
+  pitex::DatasetSpec spec = pitex::DiggsSpec(0.15);
+  spec.name = "campaign";
+  spec.num_tags = 24;
+  spec.num_topics = 8;
+  spec.tag_topic_density = 0.25;
+  std::printf("generating campaign network (%zu users)...\n",
+              spec.num_vertices);
+  const pitex::SocialNetwork network = pitex::GenerateDataset(spec);
+  std::printf("network: %zu users, %zu follow edges, %zu hashtags, %zu topics\n",
+              network.num_vertices(), network.num_edges(),
+              network.topics.num_tags(), network.topics.num_topics());
+
+  pitex::EngineOptions options;
+  options.method = pitex::Method::kIndexEstPlus;
+  options.index_theta_per_vertex = 8.0;
+  pitex::PitexEngine engine(&network, options);
+
+  pitex::Timer build_timer;
+  engine.BuildIndex();
+  std::printf("RR-Graph index: %.1f MB built in %.2f s\n",
+              static_cast<double>(engine.IndexSizeBytes()) / (1024.0 * 1024.0),
+              engine.IndexBuildSeconds());
+
+  // The three highest out-degree users play the candidates.
+  const auto candidates =
+      pitex::SampleUserGroup(network.graph, pitex::UserGroup::kHigh, 3, 1);
+  for (pitex::VertexId candidate : candidates) {
+    pitex::Timer query_timer;
+    const pitex::PitexResult result =
+        engine.Explore({.user = candidate, .k = 3});
+    std::printf(
+        "\ncandidate user %u (%zu followers):\n  winning hashtags:",
+        candidate, network.graph.OutDegree(candidate));
+    for (pitex::TagId w : result.tags) {
+      std::printf(" #%s", network.tags.Name(w).c_str());
+    }
+    std::printf(
+        "\n  estimated reach: %.1f users | query time %.3f s "
+        "(evaluated %llu tag sets, pruned %llu)\n",
+        result.influence, query_timer.Seconds(),
+        static_cast<unsigned long long>(result.sets_evaluated),
+        static_cast<unsigned long long>(result.sets_pruned));
+  }
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Example: composing influence maximization with PITEX.
+//
+// The Fig. 1 scenario, one step earlier: before a campaign asks "which
+// standpoints should each surrogate push?" (PITEX), it asks "which
+// surrogates should speak at all?" (influence maximization — the
+// related-work problem of Sec. 2). This example runs both:
+//
+//   1. pick the campaign's core message: the tag set the whole network
+//      responds to most (the topic with the widest tag support);
+//   2. recruit the team: greedy RIS seeds maximizing the message's
+//      expected spread (SolveTopicAwareIm);
+//   3. brief each member: their personal top-k selling points via PITEX
+//      (which may *differ* from the campaign message — each member
+//      influences their own audience best with their own tags).
+//
+// Run: ./build/examples/campaign_team
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/core/engine.h"
+#include "src/core/im_solver.h"
+#include "src/datasets/synthetic.h"
+
+int main() {
+  using namespace pitex;
+
+  DatasetSpec spec = LastfmSpec(0.8);
+  spec.seed = 99;
+  const SocialNetwork network = GenerateDataset(spec);
+  std::printf("network: |V|=%zu |E|=%zu |Z|=%zu |Omega|=%zu\n\n",
+              network.num_vertices(), network.num_edges(),
+              network.topics.num_topics(), network.topics.num_tags());
+
+  // -- 1. campaign message: top tags of the best-supported topic --------
+  const TopicModel& topics = network.topics;
+  TopicId message_topic = 0;
+  size_t best_support = 0;
+  for (TopicId z = 0; z < topics.num_topics(); ++z) {
+    size_t support = 0;
+    for (TagId w = 0; w < topics.num_tags(); ++w) {
+      support += (topics.TagTopic(w, z) > 0.0);
+    }
+    if (support > best_support) {
+      best_support = support;
+      message_topic = z;
+    }
+  }
+  std::vector<TagId> ranked(topics.num_tags());
+  for (TagId w = 0; w < topics.num_tags(); ++w) ranked[w] = w;
+  const size_t take = std::min<size_t>(3, std::max<size_t>(1, best_support));
+  std::partial_sort(ranked.begin(),
+                    ranked.begin() + static_cast<ptrdiff_t>(take),
+                    ranked.end(), [&](TagId a, TagId b) {
+                      return topics.TagTopic(a, message_topic) >
+                             topics.TagTopic(b, message_topic);
+                    });
+  ranked.resize(take);
+  std::string message;
+  for (const TagId w : ranked) {
+    if (!message.empty()) message += ", ";
+    message += network.tags.Name(w);
+  }
+  std::printf("campaign message (topic %u): %s\n\n", message_topic,
+              message.c_str());
+
+  // -- 2. recruit the team (influence maximization) ---------------------
+  ImOptions im_options;
+  im_options.num_seeds = 5;
+  im_options.theta_per_vertex = 8.0;
+  const ImResult team = SolveTopicAwareIm(network, ranked, im_options);
+  std::printf("campaign team (greedy RIS, expected spread %.1f users):\n",
+              team.spread);
+  for (size_t i = 0; i < team.seeds.size(); ++i) {
+    std::printf("  member %u: +%.1f users\n", team.seeds[i],
+                team.marginal_spread[i]);
+  }
+  std::printf("\n");
+
+  // -- 3. brief each member (PITEX) -------------------------------------
+  EngineOptions options;
+  options.method = Method::kIndexEstPlus;
+  options.index_theta_per_vertex = 4.0;
+  PitexEngine engine(&network, options);
+  engine.BuildIndex();
+
+  std::printf("personal selling points (PITEX, k = 3):\n");
+  for (const VertexId member : team.seeds) {
+    const PitexResult brief = engine.Explore({.user = member, .k = 3});
+    std::string tags;
+    for (const TagId w : brief.tags) {
+      if (!tags.empty()) tags += ", ";
+      tags += network.tags.Name(w);
+    }
+    std::printf("  member %-6u E[I]=%5.1f  %s\n", member, brief.influence,
+                tags.c_str());
+  }
+  std::printf(
+      "\nnote how members' personal tags can deviate from the campaign "
+      "message:\nthe best tags *for a user* (PITEX) and the best users "
+      "*for a tag set* (IM)\nare different optimizations — the paper's "
+      "Sec. 2 contrast, made runnable.\n");
+  return 0;
+}

@@ -1,0 +1,322 @@
+// pitex_cli: command-line PITEX explorer.
+//
+// Usage:
+//   pitex_cli gen <lastfm|diggs|dblp|twitter> <scale> <out.pitex>
+//       Generate a Table-2 analog dataset and save it.
+//   pitex_cli query <net.pitex> <user> <k> [method] [index.rridx]
+//       Answer a PITEX query on a saved network. method is one of
+//       mc, rr, lazy, lt, tim, indexest, indexest+, delaymat
+//       (default: lazy). Index methods load `index.rridx` when given
+//       instead of rebuilding.
+//   pitex_cli stats <net.pitex>
+//       Print network statistics.
+//   pitex_cli index <net.pitex> <out.rridx> [theta_per_vertex]
+//       Build the RR-Graph index offline and persist it.
+//   pitex_cli plan <net.pitex> <expected_queries> <k>
+//       Price online sampling vs the index for a workload.
+//   pitex_cli screen <net.pitex> <count>
+//       Top users by envelope influence (bottom-k sketches).
+//   pitex_cli seeds <net.pitex> <k_seeds> <tag> [tag...]
+//       Topic-aware influence maximization for a fixed tag set.
+//   pitex_cli batch <net.pitex> <queries> <k> <threads> [method]
+//       Answer a batch of queries across a worker pool and report
+//       throughput.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/core/batch_engine.h"
+#include "src/core/engine.h"
+#include "src/core/im_solver.h"
+#include "src/core/planner.h"
+#include "src/datasets/synthetic.h"
+#include "src/index/index_io.h"
+#include "src/model/network_io.h"
+#include "src/sampling/sketch_oracle.h"
+#include "src/util/timer.h"
+
+namespace {
+
+using namespace pitex;
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  pitex_cli gen <lastfm|diggs|dblp|twitter> <scale> <out>\n"
+               "  pitex_cli query <net> <user> <k> [method] [index.rridx]\n"
+               "  pitex_cli stats <net>\n"
+               "  pitex_cli index <net> <out.rridx> [theta_per_vertex]\n"
+               "  pitex_cli plan <net> <expected_queries> <k>\n"
+               "  pitex_cli screen <net> <count>\n"
+               "  pitex_cli seeds <net> <k_seeds> <tag> [tag...]\n"
+               "  pitex_cli batch <net> <queries> <k> <threads> [method]\n");
+  return 2;
+}
+
+int CmdGen(int argc, char** argv) {
+  if (argc != 5) return Usage();
+  const std::string name = argv[2];
+  const double scale = std::atof(argv[3]);
+  DatasetSpec spec;
+  if (name == "lastfm") {
+    spec = LastfmSpec(scale);
+  } else if (name == "diggs") {
+    spec = DiggsSpec(scale);
+  } else if (name == "dblp") {
+    spec = DblpSpec(scale);
+  } else if (name == "twitter") {
+    spec = TwitterSpec(scale);
+  } else {
+    return Usage();
+  }
+  std::printf("generating %s at scale %.3f...\n", name.c_str(), scale);
+  const SocialNetwork network = GenerateDataset(spec);
+  if (!SaveNetwork(network, argv[4])) {
+    std::fprintf(stderr, "error: cannot write %s\n", argv[4]);
+    return 1;
+  }
+  std::printf("wrote %s: %zu vertices, %zu edges, %zu tags, %zu topics\n",
+              argv[4], network.num_vertices(), network.num_edges(),
+              network.tags.size(), network.topics.num_topics());
+  return 0;
+}
+
+bool ParseMethod(const std::string& name, Method* method) {
+  const struct {
+    const char* name;
+    Method method;
+  } table[] = {
+      {"mc", Method::kMc},           {"rr", Method::kRr},
+      {"lazy", Method::kLazy},       {"lt", Method::kLt},
+      {"tim", Method::kTim},         {"indexest", Method::kIndexEst},
+      {"indexest+", Method::kIndexEstPlus},
+      {"delaymat", Method::kDelayMat},
+  };
+  for (const auto& row : table) {
+    if (name == row.name) {
+      *method = row.method;
+      return true;
+    }
+  }
+  return false;
+}
+
+int CmdQuery(int argc, char** argv) {
+  if (argc < 5 || argc > 7) return Usage();
+  auto network = LoadNetwork(argv[2]);
+  if (!network) {
+    std::fprintf(stderr, "error: cannot load %s\n", argv[2]);
+    return 1;
+  }
+  const auto user = static_cast<VertexId>(std::atoi(argv[3]));
+  const auto k = static_cast<size_t>(std::atoi(argv[4]));
+  if (user >= network->num_vertices() || k == 0 ||
+      k > network->topics.num_tags()) {
+    std::fprintf(stderr, "error: user or k out of range\n");
+    return 1;
+  }
+  Method method = Method::kLazy;
+  if (argc >= 6 && !ParseMethod(argv[5], &method)) return Usage();
+
+  EngineOptions options;
+  options.method = method;
+  PitexEngine engine(network.operator->(), options);
+  if (argc == 7) {
+    std::string error;
+    auto loaded = LoadRrIndex(*network, argv[6], &error);
+    if (loaded == nullptr) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      return 1;
+    }
+    engine.AdoptRrIndex(std::move(loaded));
+    std::printf("loaded index from %s\n", argv[6]);
+  }
+  Timer build_timer;
+  engine.BuildIndex();
+  if (engine.IndexSizeBytes() > 0) {
+    std::printf("index: %.2f MB in %.2f s\n",
+                static_cast<double>(engine.IndexSizeBytes()) / 1048576.0,
+                build_timer.Seconds());
+  }
+  Timer query_timer;
+  const PitexResult result = engine.Explore({.user = user, .k = k});
+  std::printf("user %u, k=%zu, method=%s\n", user, k, MethodName(method));
+  std::printf("best tags:");
+  for (TagId w : result.tags) {
+    std::printf(" %s", network->tags.Name(w).c_str());
+  }
+  std::printf("\nestimated spread: %.3f users\n", result.influence);
+  std::printf("query time: %.3f s (%llu sets evaluated, %llu pruned)\n",
+              query_timer.Seconds(),
+              static_cast<unsigned long long>(result.sets_evaluated),
+              static_cast<unsigned long long>(result.sets_pruned));
+  return 0;
+}
+
+int CmdStats(int argc, char** argv) {
+  if (argc != 3) return Usage();
+  auto network = LoadNetwork(argv[2]);
+  if (!network) {
+    std::fprintf(stderr, "error: cannot load %s\n", argv[2]);
+    return 1;
+  }
+  std::printf("|V| = %zu\n|E| = %zu\n|E|/|V| = %.2f\n|Z| = %zu\n|W| = %zu\n",
+              network->num_vertices(), network->num_edges(),
+              network->graph.AverageDegree(), network->topics.num_topics(),
+              network->topics.num_tags());
+  std::printf("tag-topic density = %.3f\n", network->topics.Density());
+  return 0;
+}
+
+int CmdIndex(int argc, char** argv) {
+  if (argc < 4 || argc > 5) return Usage();
+  auto network = LoadNetwork(argv[2]);
+  if (!network) {
+    std::fprintf(stderr, "error: cannot load %s\n", argv[2]);
+    return 1;
+  }
+  RrIndexOptions options;
+  options.theta_per_vertex = argc == 5 ? std::atof(argv[4]) : 4.0;
+  RrIndex index(*network, options);
+  Timer timer;
+  index.Build();
+  std::string error;
+  if (!SaveRrIndex(index, argv[3], &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("built theta=%llu RR-Graphs in %.2f s, wrote %s (%.2f MB in "
+              "memory)\n",
+              static_cast<unsigned long long>(index.theta()), timer.Seconds(),
+              argv[3], static_cast<double>(index.SizeBytes()) / 1048576.0);
+  return 0;
+}
+
+int CmdPlan(int argc, char** argv) {
+  if (argc != 5) return Usage();
+  auto network = LoadNetwork(argv[2]);
+  if (!network) {
+    std::fprintf(stderr, "error: cannot load %s\n", argv[2]);
+    return 1;
+  }
+  const QueryPlanner planner(network.operator->());
+  PlannerInputs inputs;
+  inputs.expected_queries = static_cast<uint64_t>(std::atoll(argv[3]));
+  inputs.k = static_cast<size_t>(std::atoi(argv[4]));
+  const PlanDecision decision = planner.Plan(inputs);
+  const NetworkProfile& profile = planner.profile();
+  std::printf("profile: avg reach %.1f, avg RR size %.1f, density %.3f\n",
+              profile.avg_envelope_reach, profile.avg_rr_graph_size,
+              profile.tag_topic_density);
+  std::printf("online:  %.3g expected edge probes\n", decision.online_cost);
+  std::printf("index:   %.3g build + %.3g serving\n",
+              decision.index_build_cost, decision.index_query_cost);
+  std::printf("plan:    %s (%s)\n", MethodName(decision.method),
+              decision.rationale.c_str());
+  return 0;
+}
+
+int CmdScreen(int argc, char** argv) {
+  if (argc != 4) return Usage();
+  auto network = LoadNetwork(argv[2]);
+  if (!network) {
+    std::fprintf(stderr, "error: cannot load %s\n", argv[2]);
+    return 1;
+  }
+  SketchOracle oracle(network.operator->());
+  oracle.Build();
+  std::printf("sketches built in %.2f s (%.1f KB)\n", oracle.build_seconds(),
+              static_cast<double>(oracle.SizeBytes()) / 1024.0);
+  const auto count = static_cast<size_t>(std::atoi(argv[3]));
+  for (const auto& [user, influence] : oracle.TopInfluencers(count)) {
+    std::printf("user %-8u ~ %.1f potential spread\n", user, influence);
+  }
+  return 0;
+}
+
+int CmdSeeds(int argc, char** argv) {
+  if (argc < 5) return Usage();
+  auto network = LoadNetwork(argv[2]);
+  if (!network) {
+    std::fprintf(stderr, "error: cannot load %s\n", argv[2]);
+    return 1;
+  }
+  ImOptions options;
+  options.num_seeds = static_cast<size_t>(std::atoi(argv[3]));
+  std::vector<TagId> tags;
+  for (int i = 4; i < argc; ++i) {
+    const auto tag = network->tags.Find(argv[i]);
+    if (!tag) {
+      std::fprintf(stderr, "error: unknown tag '%s'\n", argv[i]);
+      return 1;
+    }
+    tags.push_back(*tag);
+  }
+  Timer timer;
+  const ImResult result = SolveTopicAwareIm(*network, tags, options);
+  std::printf("seed set (greedy RIS, %.2f s, theta=%llu):\n", timer.Seconds(),
+              static_cast<unsigned long long>(result.theta));
+  for (size_t i = 0; i < result.seeds.size(); ++i) {
+    std::printf("  user %-8u marginal spread %.1f\n", result.seeds[i],
+                result.marginal_spread[i]);
+  }
+  std::printf("total expected spread: %.1f users\n", result.spread);
+  return 0;
+}
+
+int CmdBatch(int argc, char** argv) {
+  if (argc < 6 || argc > 7) return Usage();
+  auto network = LoadNetwork(argv[2]);
+  if (!network) {
+    std::fprintf(stderr, "error: cannot load %s\n", argv[2]);
+    return 1;
+  }
+  const auto num_queries = static_cast<size_t>(std::atoi(argv[3]));
+  const auto k = static_cast<size_t>(std::atoi(argv[4]));
+  BatchOptions options;
+  options.num_threads = static_cast<size_t>(std::atoi(argv[5]));
+  options.engine.method = Method::kIndexEstPlus;
+  if (argc == 7 && !ParseMethod(argv[6], &options.engine.method)) {
+    return Usage();
+  }
+
+  const auto users = SampleUserGroup(network->graph, UserGroup::kMid,
+                                     num_queries, /*seed=*/9);
+  std::vector<PitexQuery> queries;
+  for (size_t i = 0; i < num_queries; ++i) {
+    queries.push_back({.user = users[i % users.size()], .k = k});
+  }
+  BatchEngine batch(network.operator->(), options);
+  Timer prepare_timer;
+  batch.Prepare();
+  std::printf("prepared %s on %zu workers in %.2f s\n",
+              MethodName(options.engine.method), options.num_threads,
+              prepare_timer.Seconds());
+  const auto results = batch.ExploreAll(queries);
+  double total_influence = 0.0;
+  for (const PitexResult& r : results) total_influence += r.influence;
+  std::printf("%zu queries in %.3f s -> %.1f q/s, avg spread %.2f\n",
+              results.size(), batch.last_batch_seconds(),
+              static_cast<double>(results.size()) /
+                  std::max(batch.last_batch_seconds(), 1e-9),
+              total_influence / static_cast<double>(results.size()));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  if (std::strcmp(argv[1], "gen") == 0) return CmdGen(argc, argv);
+  if (std::strcmp(argv[1], "query") == 0) return CmdQuery(argc, argv);
+  if (std::strcmp(argv[1], "stats") == 0) return CmdStats(argc, argv);
+  if (std::strcmp(argv[1], "index") == 0) return CmdIndex(argc, argv);
+  if (std::strcmp(argv[1], "plan") == 0) return CmdPlan(argc, argv);
+  if (std::strcmp(argv[1], "screen") == 0) return CmdScreen(argc, argv);
+  if (std::strcmp(argv[1], "seeds") == 0) return CmdSeeds(argc, argv);
+  if (std::strcmp(argv[1], "batch") == 0) return CmdBatch(argc, argv);
+  return Usage();
+}

@@ -1,0 +1,94 @@
+// Quickstart: build a tiny topic-aware social network, ask PITEX for a
+// user's best tags, and print the answer.
+//
+// This constructs the paper's running example (Fig. 2) by hand, so the
+// output can be checked against Example 1: the best two tags for user u1
+// are {w3, w4} with expected spread ~1.733.
+//
+// Run: ./examples/quickstart
+
+#include <cstdio>
+
+#include "src/core/engine.h"
+
+namespace {
+
+pitex::SocialNetwork BuildExampleNetwork() {
+  pitex::SocialNetwork network;
+
+  // 1) Topology: 7 users, 7 follow edges.
+  pitex::GraphBuilder graph(7);
+  graph.AddEdge(0, 1);  // u1 -> u2
+  graph.AddEdge(0, 2);  // u1 -> u3
+  graph.AddEdge(2, 3);  // u3 -> u4
+  graph.AddEdge(2, 5);  // u3 -> u6
+  graph.AddEdge(3, 5);  // u4 -> u6
+  graph.AddEdge(3, 6);  // u4 -> u7
+  graph.AddEdge(5, 6);  // u6 -> u7
+  network.graph = graph.Build();
+
+  // 2) Tag/topic model: 3 topics, 4 tags, likelihoods from Fig. 2(b).
+  network.topics = pitex::TopicModel(3, 4);
+  const double table[4][3] = {
+      {0.6, 0.4, 0.0},
+      {0.4, 0.6, 0.0},
+      {0.0, 0.4, 0.6},
+      {0.0, 0.4, 0.6},
+  };
+  const char* names[4] = {"infrastructure", "income-tax", "social-security",
+                          "foreign-policy"};
+  for (pitex::TagId w = 0; w < 4; ++w) {
+    network.tags.Intern(names[w]);
+    for (pitex::TopicId z = 0; z < 3; ++z) {
+      network.topics.SetTagTopic(w, z, table[w][z]);
+    }
+  }
+
+  // 3) Per-edge topic-wise influence probabilities p(e|z).
+  pitex::InfluenceGraphBuilder influence(network.graph.num_edges());
+  auto set = [&](pitex::EdgeId e,
+                 std::initializer_list<pitex::EdgeTopicEntry> entries) {
+    influence.SetEdgeTopics(e, std::vector<pitex::EdgeTopicEntry>(entries));
+  };
+  set(0, {{0, 0.4}});
+  set(1, {{1, 0.5}, {2, 0.5}});
+  set(2, {{0, 0.5}});
+  set(3, {{2, 0.5}});
+  set(4, {{2, 0.8}});
+  set(5, {{2, 0.4}});
+  set(6, {{2, 0.5}});
+  network.influence = influence.Build();
+  return network;
+}
+
+}  // namespace
+
+int main() {
+  const pitex::SocialNetwork network = BuildExampleNetwork();
+
+  pitex::EngineOptions options;
+  options.method = pitex::Method::kLazy;  // online lazy-propagation sampling
+  options.eps = 0.2;
+  options.min_samples = 5000;
+  pitex::PitexEngine engine(&network, options);
+
+  std::printf("PITEX quickstart: who does user u1 influence, and with what?\n");
+  const pitex::PitexResult result = engine.Explore({.user = 0, .k = 2});
+
+  std::printf("best %zu-tag set for u1:", result.tags.size());
+  for (pitex::TagId w : result.tags) {
+    std::printf(" %s", network.tags.Name(w).c_str());
+  }
+  std::printf("\nestimated influence spread: %.3f users\n", result.influence);
+  std::printf("tag sets evaluated: %llu, pruned: %llu, samples: %llu\n",
+              static_cast<unsigned long long>(result.sets_evaluated),
+              static_cast<unsigned long long>(result.sets_pruned),
+              static_cast<unsigned long long>(result.total_samples));
+
+  // Direct estimation for a specific tag set (Example 1 reports 1.5125).
+  const pitex::TagId w1w2[] = {0, 1};
+  const pitex::Estimate est = engine.EstimateInfluence(0, w1w2);
+  std::printf("E[I(u1 | {infrastructure, income-tax})] ~= %.4f (paper: 1.5125)\n",
+              est.influence);
+  return 0;
+}

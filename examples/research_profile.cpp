@@ -1,0 +1,49 @@
+// Research profile explorer: the paper's Table-4 case study.
+//
+// Builds the planted co-authorship network with eight named researchers,
+// asks PITEX for each researcher's five most influential research
+// keywords, and scores the answers against the planted ground truth —
+// printing a table shaped like the paper's Table 4.
+//
+// Run: ./examples/research_profile
+
+#include <cstdio>
+#include <string>
+
+#include "src/core/engine.h"
+#include "src/datasets/case_study.h"
+
+int main() {
+  std::printf("building co-authorship network with planted ground truth...\n");
+  const pitex::CaseStudyData data = pitex::GenerateCaseStudy({});
+  std::printf("network: %zu authors, %zu citation/co-author edges\n\n",
+              data.network.num_vertices(), data.network.num_edges());
+
+  pitex::EngineOptions options;
+  options.method = pitex::Method::kLazy;
+  options.eps = 0.4;
+  options.min_samples = 1000;
+  options.max_samples = 6000;
+  pitex::PitexEngine engine(&data.network, options);
+
+  std::printf("%-14s %-52s %s\n", "researcher", "influential tags",
+              "accuracy");
+  double total = 0.0;
+  for (const auto& researcher : data.researchers) {
+    const pitex::PitexResult result =
+        engine.Explore({.user = researcher.vertex, .k = 5});
+    std::string tags;
+    for (pitex::TagId w : result.tags) {
+      if (!tags.empty()) tags += ", ";
+      tags += data.network.tags.Name(w);
+    }
+    const double accuracy =
+        pitex::CaseStudyAccuracy(result.tags, researcher.ground_truth);
+    total += accuracy;
+    std::printf("%-14s %-52s %.2f\n", researcher.name.c_str(), tags.c_str(),
+                accuracy);
+  }
+  std::printf("\naverage accuracy: %.2f (paper's annotator study: 0.78)\n",
+              total / static_cast<double>(data.researchers.size()));
+  return 0;
+}

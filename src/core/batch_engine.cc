@@ -1,0 +1,101 @@
+#include "src/core/batch_engine.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/index/index_io.h"
+#include "src/util/check.h"
+#include "src/util/timer.h"
+
+namespace pitex {
+
+BatchEngine::BatchEngine(const SocialNetwork* network,
+                         const BatchOptions& options)
+    : network_(network), options_(options) {
+  PITEX_CHECK(network != nullptr);
+  options_.num_threads = std::max<size_t>(1, options_.num_threads);
+}
+
+BatchEngine::~BatchEngine() = default;
+
+void BatchEngine::Prepare() {
+  if (prepared_) return;
+  prepared_ = true;
+  pool_ = std::make_unique<ThreadPool>(options_.num_threads);
+
+  const Method method = options_.engine.method;
+  if (method == Method::kIndexEst || method == Method::kIndexEstPlus) {
+    // Build the shared index with the full pool's parallelism: the batch
+    // amortizes one offline pass, not one per worker.
+    EngineOptions build_options = options_.engine;
+    RrIndexOptions index_options;
+    index_options.eps = build_options.eps;
+    index_options.delta = build_options.delta;
+    index_options.cap_k = build_options.index_cap_k;
+    index_options.theta_per_vertex = build_options.index_theta_per_vertex;
+    index_options.max_theta = build_options.index_max_theta;
+    index_options.seed = build_options.seed;
+    index_options.num_build_threads = options_.num_threads;
+    shared_index_ = std::make_unique<RrIndex>(*network_, index_options);
+    shared_index_->Build();
+  } else if (method == Method::kDelayMat) {
+    RrIndexOptions index_options;
+    index_options.eps = options_.engine.eps;
+    index_options.delta = options_.engine.delta;
+    index_options.cap_k = options_.engine.index_cap_k;
+    index_options.theta_per_vertex = options_.engine.index_theta_per_vertex;
+    index_options.max_theta = options_.engine.index_max_theta;
+    index_options.seed = options_.engine.seed;
+    DelayMatIndex prototype(*network_, index_options);
+    prototype.Build();
+    std::stringstream snapshot;
+    std::string error;
+    PITEX_CHECK_MSG(SaveDelayMatIndex(prototype, snapshot, &error),
+                    error.c_str());
+    delay_snapshot_ = snapshot.str();
+  }
+
+  workers_.reserve(options_.num_threads);
+  for (size_t w = 0; w < options_.num_threads; ++w) {
+    EngineOptions worker_options = options_.engine;
+    worker_options.seed = options_.engine.seed + w;
+    auto engine = std::make_unique<PitexEngine>(network_, worker_options);
+    if (shared_index_ != nullptr) {
+      engine->UseSharedRrIndex(shared_index_.get());
+    } else if (!delay_snapshot_.empty()) {
+      std::stringstream snapshot(delay_snapshot_);
+      std::string error;
+      auto replica = LoadDelayMatIndex(*network_, snapshot, &error);
+      PITEX_CHECK_MSG(replica != nullptr, error.c_str());
+      engine->AdoptDelayMatIndex(std::move(replica));
+    }
+    engine->BuildIndex();  // wraps/attaches; cheap for adopted indexes
+    workers_.push_back(std::move(engine));
+  }
+}
+
+std::vector<PitexResult> BatchEngine::ExploreAll(
+    std::span<const PitexQuery> queries) {
+  Prepare();
+  std::vector<PitexResult> results(queries.size());
+  Timer timer;
+  const size_t num_workers = workers_.size();
+  for (size_t w = 0; w < num_workers; ++w) {
+    pool_->Submit([this, w, num_workers, queries, &results] {
+      PitexEngine& engine = *workers_[w];
+      for (size_t i = w; i < queries.size(); i += num_workers) {
+        results[i] = engine.Explore(queries[i]);
+      }
+    });
+  }
+  pool_->Wait();
+  last_batch_seconds_ = timer.Seconds();
+  return results;
+}
+
+size_t BatchEngine::SharedIndexSizeBytes() const {
+  if (shared_index_ != nullptr) return shared_index_->SizeBytes();
+  return delay_snapshot_.size();
+}
+
+}  // namespace pitex

@@ -1,0 +1,79 @@
+// Concurrent batch PITEX processing.
+//
+// The paper's evaluation answers 100 queries per configuration
+// (Sec. 7.1); a deployment answers streams of them. BatchEngine runs a
+// batch of PITEX queries across a worker pool while paying the offline
+// index cost once:
+//
+//   * kIndexEst / kIndexEstPlus: one shared RR-Graph index is built (or
+//     adopted from disk) and backs every worker — RrIndex estimation is
+//     read-only after Build(), so concurrent readers are safe. Each
+//     worker keeps its own PrunedRrIndex wrapper (the edge-cut filter
+//     cache is per-worker mutable state).
+//   * kDelayMat: the counter table is built once, snapshotted through
+//     the serialization path, and each worker hydrates a private replica
+//     (DelayMat caches recovered RR-Graphs per query user and must not
+//     be shared).
+//   * online methods (kMc/kRr/kLazy/kLt/kTim): each worker owns an
+//     independent sampler with a distinct seed.
+//
+// Queries are assigned to workers statically (round-robin), so results
+// are deterministic for a fixed (seed, num_threads) — worker w uses seed
+// base_seed + w, and query i always lands on worker i % num_threads.
+
+#ifndef PITEX_SRC_CORE_BATCH_ENGINE_H_
+#define PITEX_SRC_CORE_BATCH_ENGINE_H_
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/core/engine.h"
+#include "src/util/thread_pool.h"
+
+namespace pitex {
+
+struct BatchOptions {
+  /// Per-worker engine configuration (method, eps, delta, ...). Worker w
+  /// derives its seed as engine.seed + w.
+  EngineOptions engine;
+  size_t num_threads = 4;
+};
+
+class BatchEngine {
+ public:
+  /// `network` must outlive the engine.
+  BatchEngine(const SocialNetwork* network, const BatchOptions& options);
+  ~BatchEngine();
+
+  BatchEngine(const BatchEngine&) = delete;
+  BatchEngine& operator=(const BatchEngine&) = delete;
+
+  /// Builds the shared index (index methods) and the worker engines.
+  /// Invoked lazily by ExploreAll if not called explicitly.
+  void Prepare();
+
+  /// Answers every query; results[i] corresponds to queries[i].
+  std::vector<PitexResult> ExploreAll(std::span<const PitexQuery> queries);
+
+  /// Wall-clock seconds of the most recent ExploreAll (excludes Prepare).
+  double last_batch_seconds() const { return last_batch_seconds_; }
+  /// Offline index footprint shared across workers (0 for online methods).
+  size_t SharedIndexSizeBytes() const;
+
+ private:
+  const SocialNetwork* network_;
+  BatchOptions options_;
+  bool prepared_ = false;
+
+  std::unique_ptr<RrIndex> shared_index_;      // kIndexEst / kIndexEstPlus
+  std::string delay_snapshot_;                 // serialized DelayMat
+  std::vector<std::unique_ptr<PitexEngine>> workers_;
+  std::unique_ptr<ThreadPool> pool_;
+  double last_batch_seconds_ = 0.0;
+};
+
+}  // namespace pitex
+
+#endif  // PITEX_SRC_CORE_BATCH_ENGINE_H_

@@ -1,0 +1,130 @@
+#include "src/core/best_effort_solver.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <utility>
+
+#include "src/util/check.h"
+#include "src/util/timer.h"
+
+namespace pitex {
+
+namespace {
+
+struct HeapNode {
+  double bound;
+  std::vector<TagId> tags;  // sorted ascending
+
+  bool operator<(const HeapNode& other) const {  // max-heap on bound
+    return bound < other.bound;
+  }
+};
+
+// Min-ordered comparator so the worst of the current top-N sits on top.
+struct WorstFirst {
+  bool operator()(const RankedTagSet& a, const RankedTagSet& b) const {
+    return a.influence > b.influence;
+  }
+};
+
+}  // namespace
+
+std::vector<RankedTagSet> SolveTopNByBestEffort(
+    const SocialNetwork& network, const PitexQuery& query,
+    const UpperBoundContext& context, InfluenceOracle* oracle, size_t n,
+    PitexResult* stats) {
+  PITEX_CHECK(query.k >= 1 && query.k <= network.topics.num_tags());
+  PITEX_CHECK(query.user < network.num_vertices());
+  PITEX_CHECK(n >= 1);
+  Timer timer;
+  PitexResult local_stats;
+  PitexResult& counters = stats != nullptr ? *stats : local_stats;
+  counters = PitexResult{};
+
+  // The incumbent for pruning is the N-th best influence seen so far (or
+  // "nothing" until N full sets have been evaluated).
+  std::priority_queue<RankedTagSet, std::vector<RankedTagSet>, WorstFirst>
+      best;
+  auto incumbent = [&]() -> double {
+    return best.size() < n ? -1.0 : best.top().influence;
+  };
+
+  std::priority_queue<HeapNode> heap;
+  heap.push(HeapNode{std::numeric_limits<double>::infinity(), {}});
+  const size_t num_tags = network.topics.num_tags();
+
+  while (!heap.empty()) {
+    HeapNode node = heap.top();
+    heap.pop();
+    // Bounds only shrink down the tree: once the best inherited bound
+    // cannot beat the incumbent, nothing remaining can.
+    if (node.bound <= incumbent()) {
+      ++counters.sets_pruned;
+      break;
+    }
+    if (node.tags.size() == query.k) {
+      const TopicPosterior posterior = network.topics.Posterior(node.tags);
+      const PosteriorProbs probs(network.influence, posterior);
+      const Estimate est = oracle->EstimateInfluence(query.user, probs);
+      ++counters.sets_evaluated;
+      counters.total_samples += est.samples;
+      counters.edges_visited += est.edges_visited;
+      best.push(RankedTagSet{std::move(node.tags), est.influence});
+      if (best.size() > n) best.pop();
+      continue;
+    }
+    // Partial set: evaluate its own (tighter) Lemma-8 bound.
+    const UpperBoundProbs bound_probs(network.influence, context, node.tags,
+                                      query.k);
+    const Estimate bound_est =
+        oracle->EstimateInfluence(query.user, bound_probs);
+    ++counters.bounds_evaluated;
+    counters.total_samples += bound_est.samples;
+    counters.edges_visited += bound_est.edges_visited;
+    if (bound_est.influence <= incumbent()) {
+      ++counters.sets_pruned;
+      continue;
+    }
+    // Expand: append every tag below the current minimum (canonical
+    // generation — each subset is reached along exactly one path). A
+    // child {w} + tags still needs k - |tags| - 1 more tags below w, so
+    // children with smaller w are dead ends and skipped.
+    const TagId limit = node.tags.empty() ? static_cast<TagId>(num_tags)
+                                          : node.tags.front();
+    const auto start = static_cast<TagId>(query.k - node.tags.size() - 1);
+    for (TagId w = start; w < limit; ++w) {
+      HeapNode child;
+      child.bound = bound_est.influence;
+      child.tags.reserve(node.tags.size() + 1);
+      child.tags.push_back(w);
+      child.tags.insert(child.tags.end(), node.tags.begin(), node.tags.end());
+      heap.push(std::move(child));
+    }
+  }
+
+  std::vector<RankedTagSet> result;
+  result.reserve(best.size());
+  while (!best.empty()) {
+    result.push_back(best.top());
+    best.pop();
+  }
+  std::reverse(result.begin(), result.end());  // descending influence
+  counters.seconds = timer.Seconds();
+  if (!result.empty()) {
+    counters.tags = result.front().tags;
+    counters.influence = result.front().influence;
+  }
+  return result;
+}
+
+PitexResult SolveByBestEffort(const SocialNetwork& network,
+                              const PitexQuery& query,
+                              const UpperBoundContext& context,
+                              InfluenceOracle* oracle) {
+  PitexResult stats;
+  SolveTopNByBestEffort(network, query, context, oracle, 1, &stats);
+  return stats;
+}
+
+}  // namespace pitex

@@ -1,0 +1,46 @@
+// Best-effort exploration (Sec. 5.2 / Appendix C, Algorithm 5).
+//
+// A max-heap explores partial tag sets ordered by (inherited) influence
+// upper bounds. Popping a full-size set estimates its true influence and
+// updates the incumbent; popping a partial set first re-evaluates its own
+// (tighter) Lemma-8 bound — pruning the whole subtree when the bound
+// cannot beat the incumbent — and otherwise expands it by appending every
+// tag smaller than its minimum element (so each k-set is generated exactly
+// once). Because children inherit their parent's bound and bounds only
+// tighten going down, the search can terminate as soon as the heap top
+// cannot beat the incumbent.
+
+#ifndef PITEX_SRC_CORE_BEST_EFFORT_SOLVER_H_
+#define PITEX_SRC_CORE_BEST_EFFORT_SOLVER_H_
+
+#include "src/core/query.h"
+#include "src/core/upper_bound.h"
+#include "src/sampling/influence_estimator.h"
+
+namespace pitex {
+
+/// Solves `query` on `network` using `oracle` for both influence and
+/// upper-bound estimation. `context` must be built from `network.topics`.
+PitexResult SolveByBestEffort(const SocialNetwork& network,
+                              const PitexQuery& query,
+                              const UpperBoundContext& context,
+                              InfluenceOracle* oracle);
+
+/// One ranked answer of a top-N exploration.
+struct RankedTagSet {
+  std::vector<TagId> tags;
+  double influence = 0.0;
+};
+
+/// Top-N variant: returns up to `n` size-k tag sets in descending
+/// estimated influence. Pruning uses the N-th best incumbent, so the
+/// search degrades gracefully (n=1 is exactly SolveByBestEffort). `stats`
+/// (optional) receives the execution counters.
+std::vector<RankedTagSet> SolveTopNByBestEffort(
+    const SocialNetwork& network, const PitexQuery& query,
+    const UpperBoundContext& context, InfluenceOracle* oracle, size_t n,
+    PitexResult* stats = nullptr);
+
+}  // namespace pitex
+
+#endif  // PITEX_SRC_CORE_BEST_EFFORT_SOLVER_H_

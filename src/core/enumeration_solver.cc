@@ -1,0 +1,36 @@
+#include "src/core/enumeration_solver.h"
+
+#include "src/core/tagset_enumerator.h"
+#include "src/util/check.h"
+#include "src/util/timer.h"
+
+namespace pitex {
+
+PitexResult SolveByEnumeration(const SocialNetwork& network,
+                               const PitexQuery& query,
+                               InfluenceOracle* oracle) {
+  PITEX_CHECK(query.k >= 1 && query.k <= network.topics.num_tags());
+  PITEX_CHECK(query.user < network.num_vertices());
+  Timer timer;
+  PitexResult result;
+  result.influence = 0.0;
+
+  for (TagSetEnumerator it(network.topics.num_tags(), query.k); !it.Done();
+       it.Next()) {
+    const auto& tags = it.Current();
+    const TopicPosterior posterior = network.topics.Posterior(tags);
+    const PosteriorProbs probs(network.influence, posterior);
+    const Estimate est = oracle->EstimateInfluence(query.user, probs);
+    ++result.sets_evaluated;
+    result.total_samples += est.samples;
+    result.edges_visited += est.edges_visited;
+    if (est.influence > result.influence) {
+      result.influence = est.influence;
+      result.tags = tags;
+    }
+  }
+  result.seconds = timer.Seconds();
+  return result;
+}
+
+}  // namespace pitex

@@ -1,0 +1,22 @@
+// Enumeration-based PITEX solver (Sec. 4): estimate E[I(u|W)] for every
+// size-k tag set and return the maximum. Theorem 2: with the Eq.-2 sample
+// sizes this achieves a (1-eps)/(1+eps) approximation with probability
+// 1 - 1/delta.
+
+#ifndef PITEX_SRC_CORE_ENUMERATION_SOLVER_H_
+#define PITEX_SRC_CORE_ENUMERATION_SOLVER_H_
+
+#include "src/core/query.h"
+#include "src/sampling/influence_estimator.h"
+
+namespace pitex {
+
+/// Solves `query` on `network` using `oracle` for influence estimation.
+/// Requires 1 <= query.k <= network.topics.num_tags().
+PitexResult SolveByEnumeration(const SocialNetwork& network,
+                               const PitexQuery& query,
+                               InfluenceOracle* oracle);
+
+}  // namespace pitex
+
+#endif  // PITEX_SRC_CORE_ENUMERATION_SOLVER_H_

@@ -1,0 +1,49 @@
+#include "src/core/greedy_solver.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+#include "src/util/timer.h"
+
+namespace pitex {
+
+PitexResult SolveByGreedy(const SocialNetwork& network,
+                          const PitexQuery& query, InfluenceOracle* oracle) {
+  PITEX_CHECK(query.k >= 1 && query.k <= network.topics.num_tags());
+  PITEX_CHECK(query.user < network.num_vertices());
+  Timer timer;
+  PitexResult result;
+
+  std::vector<TagId> current;
+  std::vector<uint8_t> used(network.topics.num_tags(), 0);
+  std::vector<TagId> candidate;
+  for (size_t round = 0; round < query.k; ++round) {
+    double best_influence = -1.0;
+    TagId best_tag = 0;
+    for (TagId w = 0; w < network.topics.num_tags(); ++w) {
+      if (used[w]) continue;
+      candidate = current;
+      candidate.push_back(w);
+      std::sort(candidate.begin(), candidate.end());
+      const TopicPosterior posterior = network.topics.Posterior(candidate);
+      const PosteriorProbs probs(network.influence, posterior);
+      const Estimate est = oracle->EstimateInfluence(query.user, probs);
+      ++result.sets_evaluated;
+      result.total_samples += est.samples;
+      result.edges_visited += est.edges_visited;
+      if (est.influence > best_influence) {
+        best_influence = est.influence;
+        best_tag = w;
+      }
+    }
+    used[best_tag] = 1;
+    current.push_back(best_tag);
+    std::sort(current.begin(), current.end());
+    result.influence = best_influence;
+  }
+  result.tags = std::move(current);
+  result.seconds = timer.Seconds();
+  return result;
+}
+
+}  // namespace pitex

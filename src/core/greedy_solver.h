@@ -1,0 +1,26 @@
+// Greedy heuristic solver: grow the tag set one tag at a time, always
+// adding the tag with the largest estimated marginal influence.
+//
+// PITEX's objective is NOT submodular in the tag set (the posterior
+// p(z|W) is a ratio of products — Theorem 1 in fact rules out any
+// constant-factor approximation), so greedy carries no guarantee; it is
+// included as the natural fast baseline a practitioner would try first.
+// Cost: O(k * |Omega|) influence estimations instead of the (pruned)
+// exponential search — the ablation bench quantifies the answer-quality
+// gap against best-effort exploration.
+
+#ifndef PITEX_SRC_CORE_GREEDY_SOLVER_H_
+#define PITEX_SRC_CORE_GREEDY_SOLVER_H_
+
+#include "src/core/query.h"
+#include "src/sampling/influence_estimator.h"
+
+namespace pitex {
+
+/// Solves `query` greedily using `oracle` for influence estimation.
+PitexResult SolveByGreedy(const SocialNetwork& network,
+                          const PitexQuery& query, InfluenceOracle* oracle);
+
+}  // namespace pitex
+
+#endif  // PITEX_SRC_CORE_GREEDY_SOLVER_H_

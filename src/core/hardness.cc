@@ -1,0 +1,102 @@
+#include "src/core/hardness.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace pitex {
+
+LabeledGraph BuildKLabelFromSetCover(
+    size_t universe_size,
+    const std::vector<std::vector<uint32_t>>& subsets) {
+  LabeledGraph g;
+  g.num_vertices = universe_size + 1;
+  g.num_labels = subsets.size();
+  for (uint32_t j = 0; j < subsets.size(); ++j) {
+    for (uint32_t element : subsets[j]) {
+      PITEX_CHECK(element < universe_size);
+      g.edges.push_back(LabeledGraph::Edge{
+          static_cast<VertexId>(element), static_cast<VertexId>(element + 1),
+          j});
+    }
+  }
+  return g;
+}
+
+bool LabelReachable(const LabeledGraph& g, std::span<const uint32_t> labels,
+                    VertexId s, VertexId t) {
+  std::vector<uint8_t> allowed(g.num_labels, 0);
+  for (uint32_t l : labels) {
+    PITEX_CHECK(l < g.num_labels);
+    allowed[l] = 1;
+  }
+  // BFS on the label-induced subgraph (adjacency built on the fly; the
+  // gadget graphs are tiny).
+  std::vector<uint8_t> visited(g.num_vertices, 0);
+  std::vector<VertexId> stack{s};
+  visited[s] = 1;
+  while (!stack.empty()) {
+    const VertexId v = stack.back();
+    stack.pop_back();
+    if (v == t) return true;
+    for (const auto& e : g.edges) {
+      if (e.tail != v || !allowed[e.label] || visited[e.head]) continue;
+      visited[e.head] = 1;
+      stack.push_back(e.head);
+    }
+  }
+  return visited[t];
+}
+
+HardnessGadget BuildPitexFromKLabel(const LabeledGraph& g, VertexId s,
+                                    VertexId t) {
+  const size_t n = g.num_vertices;
+  const size_t total = n * n;  // V plus |V'| = n^2 - n amplification chain
+  HardnessGadget gadget;
+  gadget.query_user = s;
+  gadget.t = t;
+  gadget.spread_threshold = static_cast<double>(n) - 1.0;
+
+  GraphBuilder graph_builder(total);
+  std::vector<uint32_t> edge_labels;
+  for (const auto& e : g.edges) {
+    graph_builder.AddEdge(e.tail, e.head);
+    edge_labels.push_back(e.label);
+  }
+  // Amplification chain t -> u'_1 -> ... -> u'_{n^2-n}, live under every
+  // topic.
+  constexpr uint32_t kChainLabel = UINT32_MAX;
+  VertexId prev = t;
+  for (size_t i = 0; i < total - n; ++i) {
+    const auto next = static_cast<VertexId>(n + i);
+    graph_builder.AddEdge(prev, next);
+    edge_labels.push_back(kChainLabel);
+    prev = next;
+  }
+  gadget.network.graph = graph_builder.Build();
+
+  // One tag and one topic per label, diagonal p(w_i|z_i) = 1.
+  const size_t num_labels = std::max<size_t>(g.num_labels, 1);
+  gadget.network.topics = TopicModel(num_labels, num_labels);
+  for (uint32_t l = 0; l < num_labels; ++l) {
+    gadget.network.topics.SetTagTopic(l, l, 1.0);
+  }
+
+  InfluenceGraphBuilder influence_builder(gadget.network.graph.num_edges());
+  std::vector<EdgeTopicEntry> entries;
+  for (EdgeId e = 0; e < gadget.network.graph.num_edges(); ++e) {
+    entries.clear();
+    if (edge_labels[e] == kChainLabel) {
+      for (uint32_t z = 0; z < num_labels; ++z) {
+        entries.push_back({z, 1.0});
+      }
+    } else {
+      entries.push_back({edge_labels[e], 1.0});
+    }
+    influence_builder.SetEdgeTopics(e, entries);
+  }
+  gadget.network.influence = influence_builder.Build();
+  return gadget;
+}
+
+}  // namespace pitex

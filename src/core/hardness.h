@@ -1,0 +1,61 @@
+// Constructions behind the paper's hardness results (Sec. 3.2).
+//
+// Lemma 1 reduces Set Cover to k-label s-t reachability; Theorem 1 reduces
+// k-label s-t reachability to PITEX via a gadget graph whose spread jumps
+// from <= n-1 to >= n^2-n+2 depending on whether s reaches t. These
+// constructions are executable here so that tests can verify the
+// reductions' combinatorial properties on small instances — they also
+// serve as worked examples for readers of the proof.
+
+#ifndef PITEX_SRC_CORE_HARDNESS_H_
+#define PITEX_SRC_CORE_HARDNESS_H_
+
+#include <vector>
+
+#include "src/model/influence_graph.h"
+
+namespace pitex {
+
+/// A directed multigraph with one label per edge (Lemma 1 input).
+struct LabeledGraph {
+  size_t num_vertices = 0;
+  size_t num_labels = 0;
+  struct Edge {
+    VertexId tail;
+    VertexId head;
+    uint32_t label;
+  };
+  std::vector<Edge> edges;
+};
+
+/// Lemma 1 construction: Set Cover instance (universe {0..n-1}, subsets)
+/// -> labeled chain graph on n+1 vertices where s=0 reaches t=n using
+/// exactly the labels of a covering sub-collection.
+LabeledGraph BuildKLabelFromSetCover(
+    size_t universe_size, const std::vector<std::vector<uint32_t>>& subsets);
+
+/// True if s reaches t in the subgraph of `g` induced by `labels`.
+bool LabelReachable(const LabeledGraph& g, std::span<const uint32_t> labels,
+                    VertexId s, VertexId t);
+
+/// Theorem 1 gadget: lifts a k-label s-t reachability instance into a
+/// PITEX instance. The output network has n^2 vertices (n = g.num_vertices
+/// original + an appended amplification chain), one tag and one topic per
+/// label (p(w_i|z_i) = 1), deterministic edges, and query user s. The
+/// amplification chain hangs off t so that reaching t is worth n^2 - n + 1
+/// additional activations.
+struct HardnessGadget {
+  SocialNetwork network;
+  VertexId query_user;
+  VertexId t;
+  /// Spread threshold separating the two cases of the proof: spread
+  /// > num_original - 1 implies s reaches t.
+  double spread_threshold;
+};
+
+HardnessGadget BuildPitexFromKLabel(const LabeledGraph& g, VertexId s,
+                                    VertexId t);
+
+}  // namespace pitex
+
+#endif  // PITEX_SRC_CORE_HARDNESS_H_

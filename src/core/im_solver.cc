@@ -1,0 +1,129 @@
+#include "src/core/im_solver.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/sampling/influence_estimator.h"
+#include "src/util/check.h"
+#include "src/util/random.h"
+
+namespace pitex {
+
+namespace {
+
+// One reverse-reachable vertex set sampled under fixed probabilities:
+// every vertex that reaches a uniform root in a live-edge world.
+std::vector<VertexId> SampleRrSet(const Graph& graph, const EdgeProbFn& probs,
+                                  VertexId root, Rng* rng,
+                                  uint64_t* edges_visited,
+                                  std::vector<uint32_t>* visit_epoch,
+                                  uint32_t epoch) {
+  std::vector<VertexId> set{root};
+  (*visit_epoch)[root] = epoch;
+  std::vector<VertexId> stack{root};
+  while (!stack.empty()) {
+    const VertexId v = stack.back();
+    stack.pop_back();
+    for (const auto& [w, e] : graph.InEdges(v)) {
+      ++*edges_visited;
+      if ((*visit_epoch)[w] == epoch) continue;
+      const double p = probs.Prob(e);
+      if (p <= 0.0 || !rng->NextBernoulli(p)) continue;
+      (*visit_epoch)[w] = epoch;
+      set.push_back(w);
+      stack.push_back(w);
+    }
+  }
+  return set;
+}
+
+}  // namespace
+
+ImResult SolveImWithProbs(const Graph& graph, const EdgeProbFn& probs,
+                          const ImOptions& options) {
+  PITEX_CHECK(graph.num_vertices() > 0);
+  ImResult result;
+  uint64_t theta = options.theta_override;
+  if (theta == 0) {
+    const double target = options.theta_per_vertex *
+                          static_cast<double>(graph.num_vertices());
+    theta = std::min<uint64_t>(
+        options.max_theta,
+        std::max<uint64_t>(64, static_cast<uint64_t>(std::llround(target))));
+  }
+  result.theta = theta;
+
+  // Sampling pass.
+  Rng rng(options.seed);
+  std::vector<std::vector<VertexId>> rr_sets;
+  rr_sets.reserve(theta);
+  std::vector<std::vector<uint32_t>> containing(graph.num_vertices());
+  std::vector<uint32_t> visit_epoch(graph.num_vertices(), 0);
+  for (uint64_t i = 0; i < theta; ++i) {
+    const auto root =
+        static_cast<VertexId>(rng.NextBounded(graph.num_vertices()));
+    rr_sets.push_back(SampleRrSet(graph, probs, root, &rng,
+                                  &result.edges_visited, &visit_epoch,
+                                  static_cast<uint32_t>(i + 1)));
+    for (const VertexId v : rr_sets.back()) {
+      containing[v].push_back(static_cast<uint32_t>(i));
+    }
+  }
+
+  // Greedy max coverage with lazy (CELF-style) re-evaluation: coverage
+  // counts only decrease as sets get covered, so a stale count is an
+  // upper bound and the heap pop with a fresh count is the true argmax.
+  std::vector<uint64_t> cover_count(graph.num_vertices());
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    cover_count[v] = containing[v].size();
+  }
+  std::vector<uint8_t> covered(theta, 0);
+  std::vector<uint8_t> stale(graph.num_vertices(), 0);
+  std::vector<VertexId> heap(graph.num_vertices());
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) heap[v] = v;
+  auto by_count = [&](VertexId a, VertexId b) {
+    return cover_count[a] < cover_count[b];  // max-heap on count
+  };
+  std::make_heap(heap.begin(), heap.end(), by_count);
+
+  const double scale = static_cast<double>(graph.num_vertices()) /
+                       static_cast<double>(theta);
+  uint64_t covered_total = 0;
+  while (result.seeds.size() < options.num_seeds && !heap.empty()) {
+    std::pop_heap(heap.begin(), heap.end(), by_count);
+    const VertexId candidate = heap.back();
+    heap.pop_back();
+    if (stale[candidate]) {
+      // Refresh: drop covered sets from the count, re-push.
+      uint64_t fresh = 0;
+      for (const uint32_t id : containing[candidate]) {
+        fresh += !covered[id];
+      }
+      cover_count[candidate] = fresh;
+      stale[candidate] = 0;
+      heap.push_back(candidate);
+      std::push_heap(heap.begin(), heap.end(), by_count);
+      continue;
+    }
+    if (cover_count[candidate] == 0) break;  // nothing left to gain
+    // Take it: cover its sets, mark everyone else stale.
+    result.seeds.push_back(candidate);
+    result.marginal_spread.push_back(
+        static_cast<double>(cover_count[candidate]) * scale);
+    covered_total += cover_count[candidate];
+    for (const uint32_t id : containing[candidate]) covered[id] = 1;
+    std::fill(stale.begin(), stale.end(), 1);
+  }
+  result.spread = static_cast<double>(covered_total) * scale;
+  return result;
+}
+
+ImResult SolveTopicAwareIm(const SocialNetwork& network,
+                           std::span<const TagId> tags,
+                           const ImOptions& options) {
+  const TopicPosterior posterior = network.topics.Posterior(tags);
+  const PosteriorProbs probs(network.influence, posterior);
+  return SolveImWithProbs(network.graph, probs, options);
+}
+
+}  // namespace pitex

@@ -1,0 +1,73 @@
+// Topic-aware influence maximization for a fixed tag set — the
+// related-work problem PITEX is contrasted against (Sec. 2, [2, 6, 16]).
+//
+// PITEX fixes the user and searches over tag sets; topic-aware IM fixes
+// the tag set W and searches for the k *users* whose joint activation
+// maximizes the expected spread. The library ships it both because the
+// paper positions PITEX against it and because the two compose: first
+// find who could campaign (IM), then find each campaigner's selling
+// points (PITEX) — examples/index_server.cpp style workflows.
+//
+// The solver is standard RIS (reverse influence sampling, the machinery
+// behind [5, 35, 36] that Sec. 4 adapts): sample theta reverse-reachable
+// vertex sets under the fixed probabilities p(e|W), then greedily pick
+// seeds by lazy max-coverage. Coverage is a monotone submodular set
+// function, so greedy is a (1 - 1/e)-approximation of the best coverage,
+// and coverage/theta * |V| estimates the seed set's expected spread.
+
+#ifndef PITEX_SRC_CORE_IM_SOLVER_H_
+#define PITEX_SRC_CORE_IM_SOLVER_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/model/influence_graph.h"
+
+namespace pitex {
+
+struct ImOptions {
+  /// Seed set size (the k of influence maximization).
+  size_t num_seeds = 5;
+  /// Reverse-reachable sets to sample. More sets, tighter estimates;
+  /// RIS theory wants O(k |V| log|V| / eps^2), laptop defaults are
+  /// per-vertex like the PITEX index.
+  double theta_per_vertex = 8.0;
+  uint64_t max_theta = 4'000'000;
+  /// If non-zero, overrides the theta computation.
+  uint64_t theta_override = 0;
+  uint64_t seed = 31;
+};
+
+struct ImResult {
+  /// Selected seed users, in greedy pick order (most marginal coverage
+  /// first).
+  std::vector<VertexId> seeds;
+  /// Estimated expected spread E[I(seeds|W)] of the whole seed set.
+  double spread = 0.0;
+  /// Estimated marginal spread contributed by each seed, aligned with
+  /// `seeds` (diagnostic: shows the diminishing returns curve).
+  std::vector<double> marginal_spread;
+  /// Number of reverse-reachable sets sampled.
+  uint64_t theta = 0;
+  /// Total edges probed during sampling.
+  uint64_t edges_visited = 0;
+};
+
+/// Picks `options.num_seeds` seed users maximizing expected spread under
+/// the fixed tag set `tags` (greedy RIS; (1-1/e)-approximate coverage).
+/// Fewer seeds are returned when the graph runs out of vertices with
+/// positive marginal coverage.
+ImResult SolveTopicAwareIm(const SocialNetwork& network,
+                           std::span<const TagId> tags,
+                           const ImOptions& options);
+
+/// Same, for an arbitrary edge-probability function (used by tests and
+/// by callers with custom propagation weights).
+class EdgeProbFn;
+ImResult SolveImWithProbs(const Graph& graph, const EdgeProbFn& probs,
+                          const ImOptions& options);
+
+}  // namespace pitex
+
+#endif  // PITEX_SRC_CORE_IM_SOLVER_H_

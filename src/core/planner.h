@@ -1,0 +1,100 @@
+// Cost-based method selection for PITEX workloads.
+//
+// The paper evaluates seven estimation methods and leaves choosing one to
+// the reader: online sampling costs nothing up front but pays
+// O(Lambda * |R_W(u)|) per influence estimation (Lemma 7), while the
+// RR-Graph index pays a large offline build (Table 3) to make each
+// estimation nearly free (Lemma 9). Which side wins depends on how many
+// queries will amortize the build — a number only the application knows.
+//
+// QueryPlanner makes the trade explicit. It probes the network once
+// (sampled envelope reach and RR-Graph sizes — the quantities the
+// paper's complexity results are stated in), prices both strategies in
+// units of *expected edge probes*, and picks the cheaper plan:
+//
+//   online_cost = queries * sets_per_query * Lambda * avg_reach
+//   index_cost  = theta * avg_rr_size                      (build)
+//               + queries * sets_per_query * avg_theta_u * avg_rr_size
+//
+// sets_per_query applies the best-effort pruning observation of
+// Sec. 7.3: low tag-topic density prunes most candidate sets, which the
+// planner models with the measured density.
+//
+// The decision also honors deployment constraints: a memory-constrained
+// profile swaps the RR-Graphs index for DelayMat (Table 3's space/time
+// trade), and an already-available index makes index serving free.
+
+#ifndef PITEX_SRC_CORE_PLANNER_H_
+#define PITEX_SRC_CORE_PLANNER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/core/engine.h"
+#include "src/model/influence_graph.h"
+
+namespace pitex {
+
+/// Workload description supplied by the application.
+struct PlannerInputs {
+  /// How many PITEX queries the deployment expects to serve against this
+  /// network (the index build amortizes across them).
+  uint64_t expected_queries = 1;
+  /// Query size k and accuracy knobs (paper defaults).
+  size_t k = 3;
+  double eps = 0.7;
+  double delta = 1000.0;
+  /// A pre-built index is already loaded (e.g. via LoadRrIndex): serving
+  /// from it is free, so online sampling can never win.
+  bool index_available = false;
+  /// Keep the resident index small (Table 3: DelayMat stores one counter
+  /// per vertex instead of theta RR-Graphs).
+  bool memory_constrained = false;
+};
+
+/// The planner's verdict plus the numbers that produced it.
+struct PlanDecision {
+  Method method = Method::kLazy;
+  /// Expected edge probes paid by the best online plan (Lazy).
+  double online_cost = 0.0;
+  /// Expected edge probes paid by the index plan (build + serving).
+  double index_build_cost = 0.0;
+  double index_query_cost = 0.0;
+  /// Human-readable one-line justification for logs.
+  std::string rationale;
+};
+
+/// Network statistics the cost model consumes; measured once per network
+/// by Probe() (sampling a handful of users and RR-Graphs).
+struct NetworkProfile {
+  double avg_envelope_reach = 0.0;   // mean |R(u)| over sampled users
+  double avg_rr_graph_size = 0.0;    // mean vertices+edges per RR-Graph
+  double avg_theta_u_fraction = 0.0; // mean |R-graphs containing u|/theta
+  double tag_topic_density = 0.0;    // nnz(p(w|z)) / (|Omega| * |Z|)
+};
+
+class QueryPlanner {
+ public:
+  /// `network` must outlive the planner. `probe_samples` controls how
+  /// many users / RR-Graphs the profile averages over.
+  explicit QueryPlanner(const SocialNetwork* network,
+                        size_t probe_samples = 32, uint64_t seed = 101);
+
+  /// The measured profile (probing happens in the constructor).
+  const NetworkProfile& profile() const { return profile_; }
+
+  /// Prices both strategies and returns the cheaper plan.
+  PlanDecision Plan(const PlannerInputs& inputs) const;
+
+  /// The number of size-<=k tag-set evaluations the cost model expects
+  /// per query after best-effort pruning (public for tests and benches).
+  double ExpectedSetsPerQuery(size_t k) const;
+
+ private:
+  const SocialNetwork* network_;
+  NetworkProfile profile_;
+};
+
+}  // namespace pitex
+
+#endif  // PITEX_SRC_CORE_PLANNER_H_

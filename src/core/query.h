@@ -1,0 +1,43 @@
+// PITEX query and result types (Definition 1).
+
+#ifndef PITEX_SRC_CORE_QUERY_H_
+#define PITEX_SRC_CORE_QUERY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/model/influence_graph.h"
+
+namespace pitex {
+
+/// A PITEX query: the target user and the number of tags to select.
+struct PitexQuery {
+  VertexId user = 0;
+  size_t k = 3;
+};
+
+/// Query answer plus execution statistics (the quantities the paper's
+/// evaluation section reports).
+struct PitexResult {
+  /// The selected tag set W* (sorted by TagId), |tags| == k.
+  std::vector<TagId> tags;
+  /// Estimated expected spread E[I(u|W*)].
+  double influence = 0.0;
+
+  /// Number of full-size tag sets whose influence was estimated.
+  uint64_t sets_evaluated = 0;
+  /// Number of (partial or full) tag sets discarded by best-effort bounds.
+  uint64_t sets_pruned = 0;
+  /// Number of upper-bound estimations performed.
+  uint64_t bounds_evaluated = 0;
+  /// Total sample instances drawn across all estimations.
+  uint64_t total_samples = 0;
+  /// Total edge probes across all estimations (Fig. 13 metric).
+  uint64_t edges_visited = 0;
+  /// End-to-end wall-clock seconds.
+  double seconds = 0.0;
+};
+
+}  // namespace pitex
+
+#endif  // PITEX_SRC_CORE_QUERY_H_

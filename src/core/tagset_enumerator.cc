@@ -1,0 +1,35 @@
+#include "src/core/tagset_enumerator.h"
+
+#include <cmath>
+
+#include "src/util/chernoff.h"
+#include "src/util/check.h"
+
+namespace pitex {
+
+TagSetEnumerator::TagSetEnumerator(size_t n, size_t k) : n_(n), k_(k) {
+  PITEX_CHECK(k >= 1 && k <= n);
+  current_.resize(k);
+  for (size_t i = 0; i < k; ++i) current_[i] = static_cast<TagId>(i);
+}
+
+void TagSetEnumerator::Next() {
+  // Find the rightmost element that can still be incremented.
+  size_t i = k_;
+  while (i > 0) {
+    --i;
+    if (current_[i] < static_cast<TagId>(n_ - k_ + i)) {
+      ++current_[i];
+      for (size_t j = i + 1; j < k_; ++j) current_[j] = current_[j - 1] + 1;
+      return;
+    }
+  }
+  done_ = true;
+}
+
+double TagSetEnumerator::Count() const {
+  return std::exp(LogBinomial(static_cast<int64_t>(n_),
+                              static_cast<int64_t>(k_)));
+}
+
+}  // namespace pitex

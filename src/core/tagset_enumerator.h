@@ -1,0 +1,43 @@
+// Lexicographic enumeration of size-k tag subsets of [0, n).
+//
+// Used by the enumeration-based solver (Sec. 4) and by tests that need the
+// exact optimum on small vocabularies.
+
+#ifndef PITEX_SRC_CORE_TAGSET_ENUMERATOR_H_
+#define PITEX_SRC_CORE_TAGSET_ENUMERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/model/tag_catalog.h"
+
+namespace pitex {
+
+/// Stateful combination generator: yields all C(n, k) sorted size-k
+/// subsets of {0, .., n-1} in lexicographic order.
+class TagSetEnumerator {
+ public:
+  /// Requires 1 <= k <= n.
+  TagSetEnumerator(size_t n, size_t k);
+
+  /// Current combination (valid while !Done()).
+  const std::vector<TagId>& Current() const { return current_; }
+
+  bool Done() const { return done_; }
+
+  /// Advances to the next combination; sets Done() after the last one.
+  void Next();
+
+  /// Total number of combinations C(n, k) as a double (may be large).
+  double Count() const;
+
+ private:
+  size_t n_;
+  size_t k_;
+  bool done_ = false;
+  std::vector<TagId> current_;
+};
+
+}  // namespace pitex
+
+#endif  // PITEX_SRC_CORE_TAGSET_ENUMERATOR_H_

@@ -1,0 +1,90 @@
+// Lemma 8: per-edge influence probability upper bounds for partial tag
+// sets, powering best-effort exploration (Sec. 5.2).
+//
+// For a partial set W (|W| < k), p+(e|W) must dominate p(e|W') for every
+// size-k completion W' of W. The lemma combines two bounds and takes the
+// minimum:
+//
+//  (Eq. 5, sparse regime)  max over topics z compatible with W
+//                          (p(z|W) > 0) of p(e|z);
+//  (Eq. 6, dense regime)   sum_z p(e|z) * B(z) with
+//                          B(z) = p(z) * prod_{w in W u W*} r(w, z), where
+//                          r(w, z) = p(w|z) / prod_z' p(w|z')^{p(z')}
+//                          (a Jensen bound on the posterior: the weighted
+//                          geometric mean lower-bounds the normalizer) and
+//                          W* ranges over completions — maximized by
+//                          taking the k - |W| largest r(w, z) among the
+//                          remaining tags.
+//
+// Note on Eq. 6: the paper's statement distributes a p(z) factor into
+// every tag's term (prod_w p(w|z) p(z)), i.e. p(z)^{|W|}; since the
+// posterior numerator carries exactly one p(z), that variant can
+// *under*-estimate and is not admissible (our randomized property tests
+// catch the violation). The Jensen step in the paper's own proof
+// (Appendix B.8) supports the single-p(z) form implemented here.
+//
+// r(w, z) is +infinity when some p(w|z') = 0 with positive prior (the
+// geometric-mean denominator vanishes); Eq. 6 then degenerates and the
+// minimum falls back to Eq. 5 — which is why Eq. 6 only helps on dense
+// tag-topic matrices, exactly as the paper discusses.
+
+#ifndef PITEX_SRC_CORE_UPPER_BOUND_H_
+#define PITEX_SRC_CORE_UPPER_BOUND_H_
+
+#include <span>
+#include <vector>
+
+#include "src/sampling/influence_estimator.h"
+
+namespace pitex {
+
+/// Precomputed per-(tag, topic) log r(w, z) values plus per-topic sorted
+/// orders. Built once per network; shared by all queries.
+class UpperBoundContext {
+ public:
+  explicit UpperBoundContext(const TopicModel& topics);
+
+  const TopicModel& topics() const { return *topics_; }
+
+  /// Returns the Eq.-6 multiplier B(z) for each topic given the partial
+  /// set and the target size k, or +infinity where the bound degenerates;
+  /// entries are 0 for topics incompatible with `partial` (p(z|W) = 0).
+  std::vector<double> TopicMultipliers(std::span<const TagId> partial,
+                                       size_t k) const;
+
+  /// True if topic z is compatible with the partial set (every w in W has
+  /// p(w|z) > 0 and the prior is positive).
+  bool Compatible(std::span<const TagId> partial, TopicId z) const;
+
+ private:
+  const TopicModel* topics_;
+  // log r(w, z), row-major [tag][topic]; -inf when p(w|z) = 0, +inf when
+  // the geometric-mean denominator vanishes.
+  std::vector<double> log_r_;
+  // Per topic: tag ids sorted by descending log r(w, z).
+  std::vector<std::vector<TagId>> sorted_tags_;
+
+  double LogR(TagId w, TopicId z) const {
+    return log_r_[static_cast<size_t>(w) * topics_->num_topics() + z];
+  }
+};
+
+/// EdgeProbFn view of p+(e|W): plugs into any InfluenceOracle to estimate
+/// the influence upper bound of a partial tag set.
+class UpperBoundProbs final : public EdgeProbFn {
+ public:
+  UpperBoundProbs(const InfluenceGraph& influence,
+                  const UpperBoundContext& context,
+                  std::span<const TagId> partial, size_t k);
+
+  double Prob(EdgeId e) const override;
+
+ private:
+  const InfluenceGraph& influence_;
+  std::vector<double> multipliers_;   // B(z), 0 for incompatible topics
+  std::vector<uint8_t> compatible_;   // topic mask
+};
+
+}  // namespace pitex
+
+#endif  // PITEX_SRC_CORE_UPPER_BOUND_H_

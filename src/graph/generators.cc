@@ -1,0 +1,66 @@
+#include "src/graph/generators.h"
+
+#include <vector>
+
+#include "src/util/check.h"
+
+namespace pitex {
+
+Graph ErdosRenyi(size_t n, size_t m, Rng* rng) {
+  PITEX_CHECK(n >= 2);
+  GraphBuilder builder(n);
+  for (size_t i = 0; i < m; ++i) {
+    auto u = static_cast<VertexId>(rng->NextBounded(n));
+    auto v = static_cast<VertexId>(rng->NextBounded(n - 1));
+    if (v >= u) ++v;  // skip self-loop
+    builder.AddEdge(u, v);
+  }
+  return builder.Build();
+}
+
+Graph PreferentialAttachment(size_t n, size_t out_degree, Rng* rng) {
+  PITEX_CHECK(n >= 2 && out_degree >= 1);
+  GraphBuilder builder(n);
+  // `targets` holds one entry per (in-degree + 1) unit so that sampling a
+  // uniform element implements preferential attachment.
+  std::vector<VertexId> targets;
+  targets.reserve(n * (out_degree + 1));
+  targets.push_back(0);
+  for (VertexId v = 1; v < n; ++v) {
+    const size_t d = std::min<size_t>(out_degree, v);
+    for (size_t j = 0; j < d; ++j) {
+      const VertexId t = targets[rng->NextBounded(targets.size())];
+      if (t == v) continue;
+      builder.AddEdge(v, t);
+      targets.push_back(t);
+    }
+    targets.push_back(v);
+  }
+  return builder.Build();
+}
+
+Graph Star(size_t n) {
+  PITEX_CHECK(n >= 2);
+  GraphBuilder builder(n);
+  for (VertexId v = 1; v < n; ++v) builder.AddEdge(0, v);
+  return builder.Build();
+}
+
+Graph Celebrity(size_t n) {
+  PITEX_CHECK(n >= 1);
+  GraphBuilder builder(2 * n + 1);
+  for (VertexId v = 1; v <= n; ++v) builder.AddEdge(0, v);
+  for (VertexId v = static_cast<VertexId>(n + 1); v <= 2 * n; ++v) {
+    builder.AddEdge(v, 0);
+  }
+  return builder.Build();
+}
+
+Graph Chain(size_t n) {
+  PITEX_CHECK(n >= 1);
+  GraphBuilder builder(n);
+  for (VertexId v = 0; v + 1 < n; ++v) builder.AddEdge(v, v + 1);
+  return builder.Build();
+}
+
+}  // namespace pitex

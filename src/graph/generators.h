@@ -1,0 +1,48 @@
+// Synthetic graph topologies.
+//
+// Includes the two adversarial shapes from Sec. 4 of the paper (Fig. 3):
+// the *star* graph where MC sampling degenerates to quadratic cost, and the
+// *celebrity* graph where RR sampling does, plus general-purpose random
+// topologies (Erdos-Renyi and a preferential-attachment power-law model)
+// used by the synthetic dataset suite.
+
+#ifndef PITEX_SRC_GRAPH_GENERATORS_H_
+#define PITEX_SRC_GRAPH_GENERATORS_H_
+
+#include <cstdint>
+
+#include "src/graph/graph.h"
+#include "src/util/random.h"
+
+namespace pitex {
+
+/// G(n, m) Erdos-Renyi digraph: m directed edges drawn uniformly with
+/// replacement (self-loops excluded, parallel edges possible but rare for
+/// sparse m).
+Graph ErdosRenyi(size_t n, size_t m, Rng* rng);
+
+/// Directed preferential-attachment graph: vertices arrive one at a time
+/// and emit `out_degree` edges whose targets are chosen proportionally to
+/// (in-degree + 1) among earlier vertices, producing a power-law in-degree
+/// distribution typical of social networks. Vertex 0..seed_size-1 form a
+/// clique-free seed set targeted uniformly at the start.
+Graph PreferentialAttachment(size_t n, size_t out_degree, Rng* rng);
+
+/// Fig. 3(a): root vertex 0 with a single edge to each of the other n-1
+/// vertices ("a user with many followers but low impact"). Pair with
+/// activation probability 1/(n-1) per edge to reproduce the MC
+/// counterexample.
+Graph Star(size_t n);
+
+/// Fig. 3(b): central vertex 0 has an edge to each of vertices 1..n
+/// ("followers"), and each of vertices n+1..2n ("fans") has an edge to the
+/// center. Pair with probability 1 on center->follower edges and 1/n on
+/// fan->center edges to reproduce the RR counterexample. Query any fan.
+Graph Celebrity(size_t n);
+
+/// Directed chain 0 -> 1 -> ... -> n-1.
+Graph Chain(size_t n);
+
+}  // namespace pitex
+
+#endif  // PITEX_SRC_GRAPH_GENERATORS_H_

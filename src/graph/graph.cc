@@ -1,0 +1,57 @@
+#include "src/graph/graph.h"
+
+#include "src/util/check.h"
+
+namespace pitex {
+
+double Graph::AverageDegree() const {
+  if (num_vertices() == 0) return 0.0;
+  return static_cast<double>(num_edges()) /
+         static_cast<double>(num_vertices());
+}
+
+GraphBuilder::GraphBuilder(size_t num_vertices)
+    : num_vertices_(num_vertices) {}
+
+EdgeId GraphBuilder::AddEdge(VertexId u, VertexId v) {
+  PITEX_CHECK(u < num_vertices_ && v < num_vertices_);
+  edges_.emplace_back(u, v);
+  return static_cast<EdgeId>(edges_.size() - 1);
+}
+
+Graph GraphBuilder::Build() {
+  Graph g;
+  const size_t n = num_vertices_;
+  const size_t m = edges_.size();
+  g.tails_.resize(m);
+  g.heads_.resize(m);
+
+  // Counting sort into CSR for both directions.
+  g.out_offsets_.assign(n + 1, 0);
+  g.in_offsets_.assign(n + 1, 0);
+  for (const auto& [u, v] : edges_) {
+    ++g.out_offsets_[u + 1];
+    ++g.in_offsets_[v + 1];
+  }
+  for (size_t i = 0; i < n; ++i) {
+    g.out_offsets_[i + 1] += g.out_offsets_[i];
+    g.in_offsets_[i + 1] += g.in_offsets_[i];
+  }
+  g.out_adj_.resize(m);
+  g.in_adj_.resize(m);
+  std::vector<uint64_t> out_pos(g.out_offsets_.begin(),
+                                g.out_offsets_.end() - 1);
+  std::vector<uint64_t> in_pos(g.in_offsets_.begin(), g.in_offsets_.end() - 1);
+  for (size_t e = 0; e < m; ++e) {
+    const auto [u, v] = edges_[e];
+    const auto id = static_cast<EdgeId>(e);
+    g.tails_[e] = u;
+    g.heads_[e] = v;
+    g.out_adj_[out_pos[u]++] = AdjEntry{v, id};
+    g.in_adj_[in_pos[v]++] = AdjEntry{u, id};
+  }
+  edges_.clear();
+  return g;
+}
+
+}  // namespace pitex

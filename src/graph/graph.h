@@ -1,0 +1,101 @@
+// Directed social graph in compressed-sparse-row form.
+//
+// The graph stores both out-adjacency (forward propagation: MC / Lazy
+// sampling) and in-adjacency (reverse sampling: RR / RR-Graph index). Each
+// directed edge has a stable EdgeId so that per-edge influence
+// probabilities (p(e|z), src/model/influence_graph.h) can live in parallel
+// arrays. Out- and in-adjacency reference the same EdgeIds.
+
+#ifndef PITEX_SRC_GRAPH_GRAPH_H_
+#define PITEX_SRC_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace pitex {
+
+using VertexId = uint32_t;
+using EdgeId = uint32_t;
+
+/// A directed edge endpoint paired with the EdgeId of the edge it belongs
+/// to. In the out-adjacency of u, `vertex` is the head; in the
+/// in-adjacency of v, `vertex` is the tail.
+struct AdjEntry {
+  VertexId vertex;
+  EdgeId edge;
+};
+
+/// Immutable CSR digraph. Build with GraphBuilder.
+class Graph {
+ public:
+  Graph() = default;
+
+  size_t num_vertices() const { return out_offsets_.size() - 1; }
+  size_t num_edges() const { return heads_.size(); }
+
+  /// Out-neighbors of u with their EdgeIds.
+  std::span<const AdjEntry> OutEdges(VertexId u) const {
+    return {out_adj_.data() + out_offsets_[u],
+            out_adj_.data() + out_offsets_[u + 1]};
+  }
+
+  /// In-neighbors of v with their EdgeIds.
+  std::span<const AdjEntry> InEdges(VertexId v) const {
+    return {in_adj_.data() + in_offsets_[v],
+            in_adj_.data() + in_offsets_[v + 1]};
+  }
+
+  size_t OutDegree(VertexId u) const {
+    return out_offsets_[u + 1] - out_offsets_[u];
+  }
+  size_t InDegree(VertexId v) const {
+    return in_offsets_[v + 1] - in_offsets_[v];
+  }
+
+  /// Tail of edge e.
+  VertexId Tail(EdgeId e) const { return tails_[e]; }
+  /// Head of edge e.
+  VertexId Head(EdgeId e) const { return heads_[e]; }
+
+  /// Average out-degree |E| / |V|.
+  double AverageDegree() const;
+
+ private:
+  friend class GraphBuilder;
+
+  std::vector<uint64_t> out_offsets_{0};
+  std::vector<AdjEntry> out_adj_;
+  std::vector<uint64_t> in_offsets_{0};
+  std::vector<AdjEntry> in_adj_;
+  std::vector<VertexId> tails_;
+  std::vector<VertexId> heads_;
+};
+
+/// Accumulates edges and produces an immutable Graph. EdgeIds are assigned
+/// in insertion order. Self-loops are allowed (they never matter for
+/// influence: a source is already active); parallel edges are allowed and
+/// behave as independent activation chances.
+class GraphBuilder {
+ public:
+  /// `num_vertices` fixes the vertex universe [0, num_vertices).
+  explicit GraphBuilder(size_t num_vertices);
+
+  /// Adds a directed edge u -> v and returns its EdgeId.
+  EdgeId AddEdge(VertexId u, VertexId v);
+
+  size_t num_vertices() const { return num_vertices_; }
+  size_t num_edges() const { return edges_.size(); }
+
+  /// Finalizes into a Graph. The builder is left empty.
+  Graph Build();
+
+ private:
+  size_t num_vertices_;
+  std::vector<std::pair<VertexId, VertexId>> edges_;
+};
+
+}  // namespace pitex
+
+#endif  // PITEX_SRC_GRAPH_GRAPH_H_

@@ -1,0 +1,34 @@
+#include "src/graph/graph_io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace pitex {
+
+bool SaveGraph(const Graph& g, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << g.num_vertices() << ' ' << g.num_edges() << '\n';
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    out << g.Tail(e) << ' ' << g.Head(e) << '\n';
+  }
+  return static_cast<bool>(out);
+}
+
+std::optional<Graph> LoadGraph(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  size_t n = 0, m = 0;
+  if (!(in >> n >> m)) return std::nullopt;
+  GraphBuilder builder(n);
+  for (size_t i = 0; i < m; ++i) {
+    VertexId u = 0, v = 0;
+    if (!(in >> u >> v)) return std::nullopt;
+    if (u >= n || v >= n) return std::nullopt;
+    builder.AddEdge(u, v);
+  }
+  return builder.Build();
+}
+
+}  // namespace pitex

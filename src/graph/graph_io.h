@@ -1,0 +1,26 @@
+// Plain-text edge-list persistence for Graph.
+//
+// Format: first line "<num_vertices> <num_edges>", then one "tail head"
+// pair per line, in EdgeId order (so that edge-aligned payloads such as
+// p(e|z) tables stay aligned across a save/load round trip).
+
+#ifndef PITEX_SRC_GRAPH_GRAPH_IO_H_
+#define PITEX_SRC_GRAPH_GRAPH_IO_H_
+
+#include <optional>
+#include <string>
+
+#include "src/graph/graph.h"
+
+namespace pitex {
+
+/// Writes `g` to `path`. Returns false on I/O failure.
+bool SaveGraph(const Graph& g, const std::string& path);
+
+/// Loads a graph previously written by SaveGraph. Returns std::nullopt on
+/// I/O failure or malformed content.
+std::optional<Graph> LoadGraph(const std::string& path);
+
+}  // namespace pitex
+
+#endif  // PITEX_SRC_GRAPH_GRAPH_IO_H_

@@ -1,0 +1,150 @@
+#include "src/index/delay_mat.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/util/check.h"
+#include "src/util/timer.h"
+
+namespace pitex {
+
+DelayMatIndex::DelayMatIndex(const SocialNetwork& network,
+                             const RrIndexOptions& options)
+    : network_(network),
+      options_(options),
+      counts_(network.num_vertices(), 0),
+      query_rng_(options.seed ^ 0xd1b54a32d192ed03ULL) {
+  RrIndex sizing(network, options);  // reuse theta policy
+  theta_ = sizing.theta();
+}
+
+void DelayMatIndex::Build() {
+  PITEX_CHECK_MSG(!built_, "Build() called twice");
+  Timer timer;
+  Rng rng(options_.seed);
+  // Counting pass: sample theta RR-Graphs, remember only membership
+  // counts. The traversal mirrors GenerateRRGraph but skips edge storage
+  // and CSR assembly, which is what makes the build cheaper (Table 3).
+  std::unordered_set<VertexId> visited;
+  std::vector<VertexId> stack;
+  for (uint64_t i = 0; i < theta_; ++i) {
+    const auto root =
+        static_cast<VertexId>(rng.NextBounded(network_.num_vertices()));
+    visited.clear();
+    visited.insert(root);
+    stack.assign(1, root);
+    ++counts_[root];
+    while (!stack.empty()) {
+      const VertexId v = stack.back();
+      stack.pop_back();
+      for (const auto& [w, e] : network_.graph.InEdges(v)) {
+        const double p = network_.influence.MaxProb(e);
+        if (p <= 0.0 || !rng.NextBernoulli(p)) continue;
+        if (visited.insert(w).second) {
+          ++counts_[w];
+          stack.push_back(w);
+        }
+      }
+    }
+  }
+  build_seconds_ = timer.Seconds();
+  built_ = true;
+}
+
+DelayMatIndex::RecoveredGraph DelayMatIndex::RecoverRRGraph(VertexId u) {
+  // Step 1: forward live sample G' = (V', E') from u under p(e).
+  std::vector<VertexId> live_vertices{u};
+  std::vector<GlobalEdgeSample> live_edges;
+  std::unordered_set<VertexId> visited{u};
+  std::vector<VertexId> stack{u};
+  while (!stack.empty()) {
+    const VertexId v = stack.back();
+    stack.pop_back();
+    for (const auto& [w, e] : network_.graph.OutEdges(v)) {
+      const double p = network_.influence.MaxProb(e);
+      if (p <= 0.0 || !query_rng_.NextBernoulli(p)) continue;
+      // Step 3 (folded in): c(e) ~ U[0, p(e)) for live edges.
+      live_edges.push_back(GlobalEdgeSample{
+          v, w, e, static_cast<float>(query_rng_.NextDouble() * p)});
+      if (visited.insert(w).second) {
+        live_vertices.push_back(w);
+        stack.push_back(w);
+      }
+    }
+  }
+
+  // Step 2: uniform root v' from V'; keep the vertices of V' that reach v'
+  // inside the live edge set (reverse BFS over live edges).
+  const VertexId root =
+      live_vertices[query_rng_.NextBounded(live_vertices.size())];
+  std::unordered_map<VertexId, std::vector<size_t>> in_edges_of;
+  for (size_t i = 0; i < live_edges.size(); ++i) {
+    in_edges_of[live_edges[i].head].push_back(i);
+  }
+  std::vector<VertexId> keep{root};
+  std::unordered_set<VertexId> reaches{root};
+  stack.assign(1, root);
+  while (!stack.empty()) {
+    const VertexId v = stack.back();
+    stack.pop_back();
+    auto it = in_edges_of.find(v);
+    if (it == in_edges_of.end()) continue;
+    for (size_t i : it->second) {
+      const VertexId tail = live_edges[i].tail;
+      if (reaches.insert(tail).second) {
+        keep.push_back(tail);
+        stack.push_back(tail);
+      }
+    }
+  }
+  // AssembleRRGraph drops live edges with an endpoint outside `keep`.
+  const uint64_t live_reach = live_vertices.size();
+  return RecoveredGraph{AssembleRRGraph(root, std::move(keep), live_edges),
+                        live_reach};
+}
+
+const std::vector<DelayMatIndex::RecoveredGraph>& DelayMatIndex::RecoveredFor(
+    VertexId u) {
+  if (has_cached_user_ && cached_user_ == u) return cached_graphs_;
+  cached_graphs_.clear();
+  const uint32_t count = counts_[u];
+  cached_graphs_.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    cached_graphs_.push_back(RecoverRRGraph(u));
+  }
+  has_cached_user_ = true;
+  cached_user_ = u;
+  return cached_graphs_;
+}
+
+Estimate DelayMatIndex::EstimateInfluence(VertexId u, const EdgeProbFn& probs) {
+  PITEX_CHECK_MSG(built_, "index not built");
+  Estimate result;
+  // Importance-corrected estimator (see header): average of
+  // |R_g(u)| * 1[u ~>_W root].
+  double weighted_hits = 0.0;
+  double sum_squares = 0.0;
+  for (const RecoveredGraph& rec : RecoveredFor(u)) {
+    ++result.samples;
+    if (IsReachable(rec.graph, u, probs, &result.edges_visited)) {
+      const auto weight = static_cast<double>(rec.live_reach);
+      weighted_hits += weight;
+      sum_squares += weight * weight;
+    }
+  }
+  result.influence =
+      result.samples == 0
+          ? 1.0
+          : weighted_hits / static_cast<double>(result.samples);
+  result.influence = std::max(result.influence, 1.0);
+  result.std_error =
+      SampleMeanStdError(weighted_hits, sum_squares, result.samples);
+  return result;
+}
+
+size_t DelayMatIndex::SizeBytes() const {
+  return sizeof(DelayMatIndex) + counts_.capacity() * sizeof(uint32_t);
+}
+
+}  // namespace pitex

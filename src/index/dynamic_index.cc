@@ -1,0 +1,239 @@
+#include "src/index/dynamic_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/util/check.h"
+
+namespace pitex {
+
+namespace {
+
+// RNG stream for sample i at repair version `version`. version == 0
+// reproduces RrIndex::Build exactly (bit-identical initial index).
+Rng StreamFor(uint64_t seed, uint64_t i, uint64_t version) {
+  uint64_t mix = seed ^ (0x9e3779b97f4a7c15ULL * (i + 1));
+  if (version > 0) mix ^= 0xbf58476d1ce4e5b9ULL * version;
+  return Rng(SplitMix64(&mix));
+}
+
+// Vertices that reach `root` along `edges` (tail reaches head): reverse
+// BFS from the root following edges head -> tail.
+std::vector<VertexId> ReachingRoot(VertexId root,
+                                   std::span<const GlobalEdgeSample> edges) {
+  std::unordered_map<VertexId, std::vector<VertexId>> tails_of;
+  for (const GlobalEdgeSample& e : edges) {
+    tails_of[e.head].push_back(e.tail);
+  }
+  std::vector<VertexId> result{root};
+  std::unordered_set<VertexId> seen{root};
+  std::vector<VertexId> stack{root};
+  while (!stack.empty()) {
+    const VertexId v = stack.back();
+    stack.pop_back();
+    const auto it = tails_of.find(v);
+    if (it == tails_of.end()) continue;
+    for (const VertexId t : it->second) {
+      if (seen.insert(t).second) {
+        result.push_back(t);
+        stack.push_back(t);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+DynamicRrIndex::DynamicRrIndex(const SocialNetwork& network,
+                               const RrIndexOptions& options)
+    : network_(network), options_(options) {
+  if (options_.theta_override > 0) {
+    theta_ = options_.theta_override;
+  } else {
+    const double theta = options_.theta_per_vertex *
+                         static_cast<double>(network_.num_vertices());
+    theta_ = std::min<uint64_t>(
+        options_.max_theta,
+        std::max<uint64_t>(64, static_cast<uint64_t>(std::llround(theta))));
+  }
+}
+
+void DynamicRrIndex::Build() {
+  PITEX_CHECK_MSG(!built_, "Build() called twice");
+  built_ = true;
+  graphs_.resize(theta_);
+  roots_.resize(theta_);
+  containing_.assign(network_.num_vertices(), {});
+  max_prob_.resize(network_.num_edges());
+  for (EdgeId e = 0; e < network_.num_edges(); ++e) {
+    max_prob_[e] = network_.influence.MaxProb(e);
+  }
+  for (uint64_t i = 0; i < theta_; ++i) {
+    Rng rng = StreamFor(options_.seed, i, /*version=*/0);
+    roots_[i] =
+        static_cast<VertexId>(rng.NextBounded(network_.num_vertices()));
+    graphs_[i] =
+        GenerateRRGraph(network_.graph, network_.influence, roots_[i], &rng);
+  }
+  for (uint32_t id = 0; id < graphs_.size(); ++id) {
+    for (VertexId v : graphs_[id].vertices) containing_[v].push_back(id);
+  }
+}
+
+void DynamicRrIndex::ApplyUpdates(
+    std::span<const EdgeInfluenceUpdate> updates) {
+  PITEX_CHECK_MSG(built_, "call Build() before ApplyUpdates()");
+  if (updates.empty()) return;
+  ++stats_.update_batches;
+
+  // Updates apply sequentially; the CSR fold below keeps the *last*
+  // entries per edge, matching the sequential envelope transitions.
+  std::unordered_map<EdgeId, std::span<const EdgeTopicEntry>> pending;
+  for (const EdgeInfluenceUpdate& update : updates) {
+    const EdgeId e = update.edge;
+    PITEX_CHECK(e < network_.num_edges());
+    ++version_;
+    ++stats_.edges_updated;
+
+    const double p_old = max_prob_[e];
+    double p_new = 0.0;
+    for (const EdgeTopicEntry& entry : update.entries) {
+      PITEX_CHECK_MSG(entry.prob >= 0.0 && entry.prob <= 1.0,
+                      "edge probability out of [0, 1]");
+      p_new = std::max(p_new, entry.prob);
+    }
+    max_prob_[e] = p_new;
+    pending[e] = update.entries;
+
+    // Only graphs containing head(e) ever probed e. Snapshot the list:
+    // repairs splice containment as membership changes.
+    const VertexId head = network_.graph.Head(e);
+    const std::vector<uint32_t> affected = containing_[head];
+    for (const uint32_t id : affected) {
+      ++stats_.graphs_examined;
+      Rng rng = StreamFor(options_.seed, id, version_);
+      RepairGraph(id, e, p_old, p_new, &rng);
+    }
+  }
+
+  // Fold the batch into the influence CSR once (O(|E| + nnz)).
+  InfluenceGraphBuilder builder(network_.num_edges());
+  for (EdgeId e = 0; e < network_.num_edges(); ++e) {
+    const auto it = pending.find(e);
+    builder.SetEdgeTopics(e, it != pending.end()
+                                 ? it->second
+                                 : network_.influence.EdgeTopics(e));
+  }
+  network_.influence = builder.Build();
+}
+
+void DynamicRrIndex::UpdateEdgeTopics(EdgeId edge,
+                                      std::span<const EdgeTopicEntry> entries) {
+  EdgeInfluenceUpdate update;
+  update.edge = edge;
+  update.entries.assign(entries.begin(), entries.end());
+  ApplyUpdates(std::span(&update, 1));
+}
+
+void DynamicRrIndex::RepairGraph(uint32_t id, EdgeId e, double p_old,
+                                 double p_new, Rng* rng) {
+  RRGraph& rr = graphs_[id];
+  std::vector<GlobalEdgeSample> edges = DecomposeRRGraph(rr);
+  const auto it =
+      std::find_if(edges.begin(), edges.end(),
+                   [e](const GlobalEdgeSample& s) { return s.edge == e; });
+
+  bool changed = false;
+  if (it != edges.end()) {
+    // Live under the old model with threshold c = U(e) < p_old. The
+    // exact conditional keeps it live iff U(e) < p_new.
+    if (static_cast<double>(it->threshold) >= p_new) {
+      edges.erase(it);
+      changed = true;  // prune below: some vertices may lose the root
+    }
+    // else: survives, threshold unchanged (U(e) < p_new already).
+  } else if (p_new > p_old && p_old < 1.0) {
+    // Dead under the old model: latent U(e) uniform on [p_old, 1).
+    if (rng->NextDouble() < (p_new - p_old) / (1.0 - p_old)) {
+      const VertexId tail = network_.graph.Tail(e);
+      const VertexId head = network_.graph.Head(e);
+      const auto threshold = static_cast<float>(
+          p_old + rng->NextDouble() * (p_new - p_old));
+      edges.push_back(GlobalEdgeSample{tail, head, e, threshold});
+      changed = true;
+
+      // If the tail newly reaches the root, reverse sampling expands:
+      // every vertex entering the graph flips its in-edge coins for the
+      // first time (exactly as GenerateRRGraph would have). Coins use
+      // the envelope mirror, which reflects all updates applied so far.
+      std::unordered_set<VertexId> present(rr.vertices.begin(),
+                                           rr.vertices.end());
+      if (!present.contains(tail)) {
+        std::vector<VertexId> stack{tail};
+        present.insert(tail);
+        while (!stack.empty()) {
+          const VertexId x = stack.back();
+          stack.pop_back();
+          for (const auto& [y, in_edge] : network_.graph.InEdges(x)) {
+            const double p = max_prob_[in_edge];
+            if (p <= 0.0 || !rng->NextBernoulli(p)) continue;
+            const auto c = static_cast<float>(rng->NextDouble() * p);
+            edges.push_back(GlobalEdgeSample{y, x, in_edge, c});
+            if (present.insert(y).second) stack.push_back(y);
+          }
+        }
+      }
+    }
+  }
+  if (!changed) return;
+  ++stats_.graphs_changed;
+
+  // Re-close the graph: keep exactly the vertices still reaching the
+  // root (an edge death can orphan a subtree; an expansion adds one).
+  std::vector<VertexId> vertices = ReachingRoot(roots_[id], edges);
+
+  // Splice containment: detach old membership, attach new.
+  for (const VertexId v : rr.vertices) {
+    auto& list = containing_[v];
+    list.erase(std::find(list.begin(), list.end(), id));
+  }
+  rr = AssembleRRGraph(roots_[id], std::move(vertices), edges);
+  for (const VertexId v : rr.vertices) {
+    auto& list = containing_[v];
+    list.insert(std::lower_bound(list.begin(), list.end(), id), id);
+  }
+}
+
+Estimate DynamicRrIndex::EstimateInfluence(VertexId u,
+                                           const EdgeProbFn& probs) {
+  PITEX_CHECK_MSG(built_, "call Build() first");
+  Estimate result;
+  uint64_t hits = 0;
+  for (const uint32_t id : containing_[u]) {
+    ++result.samples;
+    if (IsReachable(graphs_[id], u, probs, &result.edges_visited)) ++hits;
+  }
+  result.influence = static_cast<double>(hits) / static_cast<double>(theta_) *
+                     static_cast<double>(network_.num_vertices());
+  result.influence = std::max(result.influence, 1.0);
+  const auto scale = static_cast<double>(network_.num_vertices());
+  result.std_error = SampleMeanStdError(
+      static_cast<double>(hits) * scale,
+      static_cast<double>(hits) * scale * scale, theta_);
+  return result;
+}
+
+size_t DynamicRrIndex::SizeBytes() const {
+  size_t bytes = sizeof(DynamicRrIndex);
+  for (const RRGraph& rr : graphs_) bytes += rr.SizeBytes();
+  for (const auto& list : containing_) {
+    bytes += list.capacity() * sizeof(uint32_t) + sizeof(list);
+  }
+  bytes += roots_.capacity() * sizeof(VertexId);
+  return bytes;
+}
+
+}  // namespace pitex

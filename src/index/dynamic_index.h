@@ -1,0 +1,129 @@
+// Incremental maintenance of the RR-Graph index under influence-model
+// updates.
+//
+// The paper's Sec. 2 observes that reliability-query indexes assume a
+// *fixed* input graph, and its own index (Sec. 6) is built offline once.
+// In deployments the influence model is re-learned continually (new
+// cascades arrive, p(e|z) drifts), and rebuilding theta RR-Graphs per
+// refresh is the dominant cost (Table 3 build times). DynamicRrIndex
+// repairs the index instead of rebuilding it.
+//
+// Repair rule (coin coupling). Model each edge's sampling randomness as
+// a latent uniform U(e): the edge is live in a world iff U(e) < p(e),
+// and the stored threshold c(e) of a live edge is exactly U(e). An
+// RR-Graph probed edge e = (t, v) iff it contains v, so:
+//
+//   * graphs without v never examined U(e) — untouched, distribution
+//     unchanged (they probed only edges whose probabilities are
+//     unchanged);
+//   * e live in the graph (c < p_old): stays live iff c < p_new — the
+//     exact conditional P[U < p_new | U < p_old]; on death the graph is
+//     pruned back to the vertices still reaching the root;
+//   * e dead (v present, e absent; latent U uniform on [p_old, 1)):
+//     resurrects with probability (p_new - p_old)/(1 - p_old), drawing
+//     c uniform on [p_old, p_new); if the tail t was outside the graph
+//     the reverse sampling *expands* from t, flipping the in-edge coins
+//     of every newly reached vertex for the first time.
+//
+// Every branch is the exact conditional law of the new model given the
+// old world, so after any update history the ensemble is distributed as
+// a freshly built index on the current model — same estimator, same
+// guarantees. Cost per update is proportional to the affected graphs
+// (theta(v) of the edge's head, small on average by the power-law
+// argument of Lemma 9), not to theta. bench/ablation_dynamic.cc
+// quantifies repair vs. rebuild.
+//
+// Repairs consult an O(1)-updatable envelope mirror, and the owned
+// influence CSR is folded once per ApplyUpdates batch (O(|E| + nnz) per
+// batch, not per edge), so a batch costs O(|E|) plus work proportional
+// to the affected graphs only.
+
+#ifndef PITEX_SRC_INDEX_DYNAMIC_INDEX_H_
+#define PITEX_SRC_INDEX_DYNAMIC_INDEX_H_
+
+#include <span>
+#include <vector>
+
+#include "src/index/rr_graph.h"
+#include "src/index/rr_index.h"
+
+namespace pitex {
+
+/// One influence-model change: edge e's sparse topic vector is replaced
+/// by `entries` (empty entries delete the edge's influence entirely).
+struct EdgeInfluenceUpdate {
+  EdgeId edge = 0;
+  std::vector<EdgeTopicEntry> entries;
+};
+
+class DynamicRrIndex final : public InfluenceOracle {
+ public:
+  /// Copies `network` (the index owns the evolving model; the caller's
+  /// network stays frozen at the construction-time state).
+  DynamicRrIndex(const SocialNetwork& network, const RrIndexOptions& options);
+
+  /// Samples the initial theta RR-Graphs. With equal options and seed the
+  /// initial state is bit-identical to a freshly built RrIndex.
+  void Build();
+
+  /// Applies model updates in order: each replaces one edge's topic
+  /// vector and repairs every affected RR-Graph (those containing the
+  /// edge's head) by the coin-coupling rule above.
+  void ApplyUpdates(std::span<const EdgeInfluenceUpdate> updates);
+
+  /// Convenience single-edge form.
+  void UpdateEdgeTopics(EdgeId edge, std::span<const EdgeTopicEntry> entries);
+
+  Estimate EstimateInfluence(VertexId u, const EdgeProbFn& probs) override;
+  const char* Name() const override { return "DYN-INDEXEST"; }
+
+  /// The current (post-update) network. Posterior probabilities for
+  /// queries must be computed against this copy, not the construction
+  /// argument.
+  const SocialNetwork& network() const { return network_; }
+
+  uint64_t theta() const { return theta_; }
+  size_t num_graphs() const { return graphs_.size(); }
+  const RRGraph& graph(size_t i) const { return graphs_[i]; }
+  const std::vector<uint32_t>& Containing(VertexId u) const {
+    return containing_[u];
+  }
+
+  /// Maintenance counters (ablation metrics).
+  struct Stats {
+    uint64_t update_batches = 0;
+    uint64_t edges_updated = 0;
+    /// Affected graphs examined (containing the updated edge's head).
+    uint64_t graphs_examined = 0;
+    /// Graphs whose structure actually changed (edge died, resurrected,
+    /// or membership shifted).
+    uint64_t graphs_changed = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+  size_t SizeBytes() const;
+
+ private:
+  // Repairs graph `id` for edge `e` transitioning envelope p_old ->
+  // p_new. Precondition: the graph contains head(e).
+  void RepairGraph(uint32_t id, EdgeId e, double p_old, double p_new,
+                   Rng* rng);
+
+  SocialNetwork network_;
+  RrIndexOptions options_;
+  uint64_t theta_ = 0;
+  uint64_t version_ = 0;  // bumped per update; salts the repair RNG
+  std::vector<RRGraph> graphs_;
+  std::vector<VertexId> roots_;  // root of graph i (stable across repairs)
+  std::vector<std::vector<uint32_t>> containing_;
+  // Envelope mirror: max_prob_[e] == max_z p(e|z) of the *current* model
+  // including updates applied earlier in the running batch (the CSR is
+  // only folded at batch end). Repairs and expansions read this.
+  std::vector<double> max_prob_;
+  Stats stats_;
+  bool built_ = false;
+};
+
+}  // namespace pitex
+
+#endif  // PITEX_SRC_INDEX_DYNAMIC_INDEX_H_

@@ -1,0 +1,124 @@
+#include "src/index/edge_cut.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace pitex {
+
+PrunedRrIndex::PrunedRrIndex(const RrIndex* base,
+                             const InfluenceGraph* influence,
+                             CutPolicy policy)
+    : base_(base), influence_(influence), policy_(policy) {}
+
+const PrunedRrIndex::UserFilter& PrunedRrIndex::FilterFor(VertexId u) {
+  auto it = cache_.find(u);
+  if (it != cache_.end()) return it->second;
+
+  UserFilter filter;
+  filter.num_graphs = base_->CountContaining(u);
+  // edge -> list index, local to this filter.
+  std::unordered_map<EdgeId, size_t> list_of;
+
+  for (uint32_t id : base_->Containing(u)) {
+    const RRGraph& rr = base_->graph(id);
+    if (rr.root == u) {
+      filter.trivial.push_back(id);
+      continue;
+    }
+    const auto u_local = rr.LocalIndex(u);
+    const auto root_local = rr.LocalIndex(rr.root);
+    PITEX_DCHECK(u_local && root_local);
+
+    // Candidate cut 1: u's out-edges inside the RR-Graph.
+    // Candidate cut 2: the root's in-edges inside the RR-Graph.
+    // Pruning probability of a cut = prod_e Pr[p(e|W) < c(e)] under the
+    // uniform heuristic = prod_e c(e)/p(e); pick the larger (Example 7).
+    std::vector<std::pair<EdgeId, float>> cut1;
+    double log_prune1 = 0.0;
+    for (uint32_t i = rr.offsets[*u_local]; i < rr.offsets[*u_local + 1];
+         ++i) {
+      const auto& e = rr.edges[i];
+      cut1.emplace_back(e.edge, e.threshold);
+      const double p = influence_->MaxProb(e.edge);
+      log_prune1 += std::log(std::max(1e-12, e.threshold / p));
+    }
+    std::vector<std::pair<EdgeId, float>> cut2;
+    double log_prune2 = 0.0;
+    for (uint32_t tail = 0; tail < rr.vertices.size(); ++tail) {
+      for (uint32_t i = rr.offsets[tail]; i < rr.offsets[tail + 1]; ++i) {
+        const auto& e = rr.edges[i];
+        if (e.head_local != *root_local) continue;
+        cut2.emplace_back(e.edge, e.threshold);
+        const double p = influence_->MaxProb(e.edge);
+        log_prune2 += std::log(std::max(1e-12, e.threshold / p));
+      }
+    }
+    // An empty cut means the side is disconnected: always prunable (both
+    // candidate cuts are sound filters, so a forced policy stays correct).
+    const auto& cut = [&]() -> const std::vector<std::pair<EdgeId, float>>& {
+      if (cut1.empty() || cut2.empty()) return cut1.empty() ? cut1 : cut2;
+      switch (policy_) {
+        case CutPolicy::kOutEdges: return cut1;
+        case CutPolicy::kRootInEdges: return cut2;
+        case CutPolicy::kBestOfTwo: break;
+      }
+      return log_prune1 >= log_prune2 ? cut1 : cut2;
+    }();
+    for (const auto& [edge, threshold] : cut) {
+      auto [entry, inserted] = list_of.try_emplace(edge, filter.lists.size());
+      if (inserted) {
+        filter.cut_edges.push_back(edge);
+        filter.lists.emplace_back();
+      }
+      filter.lists[entry->second].push_back(InvertedEntry{threshold, id});
+    }
+  }
+  for (auto& list : filter.lists) {
+    std::sort(list.begin(), list.end(),
+              [](const InvertedEntry& a, const InvertedEntry& b) {
+                return a.threshold < b.threshold;
+              });
+  }
+  return cache_.emplace(u, std::move(filter)).first->second;
+}
+
+Estimate PrunedRrIndex::EstimateInfluence(VertexId u, const EdgeProbFn& probs) {
+  const UserFilter& filter = FilterFor(u);
+  Estimate result;
+  result.samples = filter.num_graphs;
+
+  uint64_t hits = filter.trivial.size();
+  // Filter step: scan each cut edge's inverted list while c(e) <= p(e|W).
+  std::vector<uint32_t> candidates;
+  for (size_t i = 0; i < filter.cut_edges.size(); ++i) {
+    const double p = probs.Prob(filter.cut_edges[i]);
+    if (p <= 0.0) continue;
+    for (const auto& entry : filter.lists[i]) {
+      if (static_cast<double>(entry.threshold) > p) break;
+      candidates.push_back(entry.graph_id);
+    }
+  }
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+
+  // Verification step.
+  for (uint32_t id : candidates) {
+    if (IsReachable(base_->graph(id), u, probs, &result.edges_visited)) {
+      ++hits;
+    }
+  }
+  last_stats_.candidates = candidates.size();
+  last_stats_.pruned =
+      filter.num_graphs - filter.trivial.size() - candidates.size();
+
+  result.influence = static_cast<double>(hits) /
+                     static_cast<double>(base_->theta()) *
+                     static_cast<double>(base_->num_vertices());
+  result.influence = std::max(result.influence, 1.0);
+  return result;
+}
+
+}  // namespace pitex

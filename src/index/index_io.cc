@@ -1,0 +1,328 @@
+#include "src/index/index_io.h"
+
+#include <fstream>
+#include <limits>
+
+#include "src/util/serialize.h"
+
+namespace pitex {
+
+namespace {
+
+constexpr char kMagic[] = "PITEXIDX";
+constexpr uint32_t kVersion = 1;
+constexpr uint8_t kKindRrGraphs = 1;
+constexpr uint8_t kKindDelayMat = 2;
+
+void SetError(std::string* error, const char* message) {
+  if (error != nullptr) *error = message;
+}
+
+// Writes the shared header (magic, version, kind, fingerprint, options).
+void WriteHeader(BinaryWriter* writer, uint8_t kind, uint64_t fingerprint,
+                 const RrIndexOptions& options) {
+  writer->WriteString(kMagic);
+  writer->WriteU32(kVersion);
+  writer->WriteU8(kind);
+  writer->WriteU64(fingerprint);
+  writer->WriteF64(options.eps);
+  writer->WriteF64(options.delta);
+  writer->WriteU64(static_cast<uint64_t>(options.cap_k));
+  writer->WriteU64(options.seed);
+}
+
+// Reads and validates the shared header; fills `options` fields that are
+// persisted. Returns false with `*error` set on any mismatch.
+bool ReadHeader(BinaryReader* reader, uint8_t expected_kind,
+                uint64_t expected_fingerprint, RrIndexOptions* options,
+                std::string* error) {
+  std::string magic;
+  uint32_t version = 0;
+  uint8_t kind = 0;
+  uint64_t fingerprint = 0;
+  if (!reader->ReadString(&magic) || magic != kMagic) {
+    SetError(error, "not a PITEX index file");
+    return false;
+  }
+  if (!reader->ReadU32(&version) || version != kVersion) {
+    SetError(error, "unsupported index file version");
+    return false;
+  }
+  if (!reader->ReadU8(&kind) || kind != expected_kind) {
+    SetError(error, "index file holds a different index kind");
+    return false;
+  }
+  if (!reader->ReadU64(&fingerprint) || fingerprint != expected_fingerprint) {
+    SetError(error, "index was built from a different network");
+    return false;
+  }
+  uint64_t cap_k = 0;
+  if (!reader->ReadF64(&options->eps) || !reader->ReadF64(&options->delta) ||
+      !reader->ReadU64(&cap_k) || !reader->ReadU64(&options->seed)) {
+    SetError(error, "truncated index header");
+    return false;
+  }
+  options->cap_k = static_cast<int64_t>(cap_k);
+  return true;
+}
+
+}  // namespace
+
+uint64_t NetworkFingerprint(const SocialNetwork& network) {
+  Fnv1a hash;
+  auto fold_u64 = [&hash](uint64_t v) { hash.Update(&v, sizeof(v)); };
+  fold_u64(network.num_vertices());
+  fold_u64(network.num_edges());
+  for (EdgeId e = 0; e < network.num_edges(); ++e) {
+    fold_u64(network.graph.Tail(e));
+    fold_u64(network.graph.Head(e));
+    for (const auto& [z, p] : network.influence.EdgeTopics(e)) {
+      fold_u64(z);
+      hash.Update(&p, sizeof(p));
+    }
+  }
+  fold_u64(network.topics.num_topics());
+  fold_u64(network.topics.num_tags());
+  for (TopicId z = 0; z < network.topics.num_topics(); ++z) {
+    const double prior = network.topics.prior()[z];
+    hash.Update(&prior, sizeof(prior));
+    for (TagId w = 0; w < network.topics.num_tags(); ++w) {
+      const double p = network.topics.TagTopic(w, z);
+      if (p > 0.0) {
+        fold_u64(w);
+        hash.Update(&p, sizeof(p));
+      }
+    }
+  }
+  return hash.digest();
+}
+
+// Befriended by RrIndex and DelayMatIndex: reads/writes their private
+// payloads.
+class IndexIo {
+ public:
+  static bool WriteRr(const RrIndex& index, std::ostream& out,
+                      std::string* error) {
+    if (index.graphs_.empty() && index.theta_ > 0) {
+      SetError(error, "index not built; call Build() before saving");
+      return false;
+    }
+    BinaryWriter writer(&out);
+    WriteHeader(&writer, kKindRrGraphs,
+                NetworkFingerprint(index.network_), index.options_);
+    writer.WriteU64(index.theta_);
+    writer.WriteU64(index.graphs_.size());
+    for (const RRGraph& rr : index.graphs_) {
+      writer.WriteU32(rr.root);
+      writer.WriteVector<VertexId>(rr.vertices);
+      writer.WriteVector<uint32_t>(rr.offsets);
+      writer.WriteU64(rr.edges.size());
+      for (const RRGraph::LocalEdge& edge : rr.edges) {
+        writer.WriteU32(edge.head_local);
+        writer.WriteU32(edge.edge);
+        writer.WriteF32(edge.threshold);
+      }
+    }
+    writer.WriteF64(index.build_seconds_);
+    writer.WriteChecksum();
+    if (!writer.ok()) {
+      SetError(error, "I/O failure while writing index");
+      return false;
+    }
+    return true;
+  }
+
+  static std::unique_ptr<RrIndex> ReadRr(const SocialNetwork& network,
+                                         std::istream& in,
+                                         std::string* error) {
+    BinaryReader reader(&in);
+    RrIndexOptions options;
+    if (!ReadHeader(&reader, kKindRrGraphs, NetworkFingerprint(network),
+                    &options, error)) {
+      return nullptr;
+    }
+    uint64_t theta = 0, num_graphs = 0;
+    if (!reader.ReadU64(&theta) || !reader.ReadU64(&num_graphs) ||
+        num_graphs > theta) {
+      SetError(error, "corrupt index payload header");
+      return nullptr;
+    }
+    options.theta_override = theta;
+    auto index = std::unique_ptr<RrIndex>(new RrIndex(network, options));
+    index->graphs_.resize(num_graphs);
+    const uint64_t max_vertices = network.num_vertices();
+    const uint64_t max_edges = network.num_edges();
+    for (RRGraph& rr : index->graphs_) {
+      uint32_t root = 0;
+      if (!reader.ReadU32(&root) || root >= max_vertices) {
+        SetError(error, "corrupt RR-Graph root");
+        return nullptr;
+      }
+      rr.root = root;
+      if (!reader.ReadVector(&rr.vertices, max_vertices) ||
+          !reader.ReadVector(&rr.offsets, max_vertices + 1)) {
+        SetError(error, "corrupt RR-Graph vertex data");
+        return nullptr;
+      }
+      uint64_t num_local_edges = 0;
+      if (!reader.ReadU64(&num_local_edges) || num_local_edges > max_edges) {
+        SetError(error, "corrupt RR-Graph edge count");
+        return nullptr;
+      }
+      rr.edges.resize(num_local_edges);
+      for (RRGraph::LocalEdge& edge : rr.edges) {
+        if (!reader.ReadU32(&edge.head_local) || !reader.ReadU32(&edge.edge) ||
+            !reader.ReadF32(&edge.threshold) ||
+            edge.head_local >= rr.vertices.size() || edge.edge >= max_edges) {
+          SetError(error, "corrupt RR-Graph edge data");
+          return nullptr;
+        }
+      }
+      if (rr.offsets.size() != rr.vertices.size() + 1 ||
+          (rr.offsets.empty() ? 0 : rr.offsets.back()) != rr.edges.size()) {
+        SetError(error, "inconsistent RR-Graph CSR layout");
+        return nullptr;
+      }
+    }
+    if (!reader.ReadF64(&index->build_seconds_)) {
+      SetError(error, "truncated index trailer");
+      return nullptr;
+    }
+    if (!reader.VerifyChecksum()) {
+      SetError(error, "checksum mismatch: file truncated or corrupted");
+      return nullptr;
+    }
+    // Rebuild the containment lists (cheaper to recompute than to store:
+    // they are a permutation of the graphs' vertex arrays).
+    index->containing_.assign(network.num_vertices(), {});
+    for (uint32_t id = 0; id < index->graphs_.size(); ++id) {
+      for (VertexId v : index->graphs_[id].vertices) {
+        index->containing_[v].push_back(id);
+      }
+    }
+    return index;
+  }
+
+  static bool WriteDelay(const DelayMatIndex& index, std::ostream& out,
+                         std::string* error) {
+    if (!index.built_) {
+      SetError(error, "index not built; call Build() before saving");
+      return false;
+    }
+    BinaryWriter writer(&out);
+    WriteHeader(&writer, kKindDelayMat,
+                NetworkFingerprint(index.network_), index.options_);
+    writer.WriteU64(index.theta_);
+    writer.WriteVector<uint32_t>(index.counts_);
+    writer.WriteF64(index.build_seconds_);
+    writer.WriteChecksum();
+    if (!writer.ok()) {
+      SetError(error, "I/O failure while writing index");
+      return false;
+    }
+    return true;
+  }
+
+  static std::unique_ptr<DelayMatIndex> ReadDelay(
+      const SocialNetwork& network, std::istream& in, std::string* error) {
+    BinaryReader reader(&in);
+    RrIndexOptions options;
+    if (!ReadHeader(&reader, kKindDelayMat, NetworkFingerprint(network),
+                    &options, error)) {
+      return nullptr;
+    }
+    uint64_t theta = 0;
+    if (!reader.ReadU64(&theta)) {
+      SetError(error, "corrupt index payload header");
+      return nullptr;
+    }
+    options.theta_override = theta;
+    auto index =
+        std::unique_ptr<DelayMatIndex>(new DelayMatIndex(network, options));
+    if (!reader.ReadVector(&index->counts_, network.num_vertices()) ||
+        index->counts_.size() != network.num_vertices()) {
+      SetError(error, "corrupt counter payload");
+      return nullptr;
+    }
+    for (uint32_t count : index->counts_) {
+      if (count > theta) {
+        SetError(error, "counter exceeds theta: corrupt payload");
+        return nullptr;
+      }
+    }
+    if (!reader.ReadF64(&index->build_seconds_)) {
+      SetError(error, "truncated index trailer");
+      return nullptr;
+    }
+    if (!reader.VerifyChecksum()) {
+      SetError(error, "checksum mismatch: file truncated or corrupted");
+      return nullptr;
+    }
+    index->built_ = true;
+    return index;
+  }
+};
+
+bool SaveRrIndex(const RrIndex& index, std::ostream& out, std::string* error) {
+  return IndexIo::WriteRr(index, out, error);
+}
+
+bool SaveRrIndex(const RrIndex& index, const std::string& path,
+                 std::string* error) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    SetError(error, "cannot open file for writing");
+    return false;
+  }
+  return IndexIo::WriteRr(index, out, error);
+}
+
+std::unique_ptr<RrIndex> LoadRrIndex(const SocialNetwork& network,
+                                     std::istream& in, std::string* error) {
+  return IndexIo::ReadRr(network, in, error);
+}
+
+std::unique_ptr<RrIndex> LoadRrIndex(const SocialNetwork& network,
+                                     const std::string& path,
+                                     std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    SetError(error, "cannot open file for reading");
+    return nullptr;
+  }
+  return IndexIo::ReadRr(network, in, error);
+}
+
+bool SaveDelayMatIndex(const DelayMatIndex& index, std::ostream& out,
+                       std::string* error) {
+  return IndexIo::WriteDelay(index, out, error);
+}
+
+bool SaveDelayMatIndex(const DelayMatIndex& index, const std::string& path,
+                       std::string* error) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    SetError(error, "cannot open file for writing");
+    return false;
+  }
+  return IndexIo::WriteDelay(index, out, error);
+}
+
+std::unique_ptr<DelayMatIndex> LoadDelayMatIndex(const SocialNetwork& network,
+                                                 std::istream& in,
+                                                 std::string* error) {
+  return IndexIo::ReadDelay(network, in, error);
+}
+
+std::unique_ptr<DelayMatIndex> LoadDelayMatIndex(const SocialNetwork& network,
+                                                 const std::string& path,
+                                                 std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    SetError(error, "cannot open file for reading");
+    return nullptr;
+  }
+  return IndexIo::ReadDelay(network, in, error);
+}
+
+}  // namespace pitex

@@ -1,0 +1,76 @@
+// Persistence for the offline indexes (Sec. 6): RR-Graphs (IndexEst /
+// IndexEst+) and delay-materialization counters (DelayMat).
+//
+// The paper's Table 3 charges index construction as a one-time offline
+// cost; a production deployment amortizes it by building once and
+// serving every process restart from disk. This module provides that:
+//
+//   SaveRrIndex(index, "dblp.rridx");
+//   auto loaded = LoadRrIndex(network, "dblp.rridx", &error);
+//
+// File format (binary little-endian, src/util/serialize.h):
+//
+//   magic "PITEXIDX" | version u32 | kind u8 | network fingerprint u64
+//   options (eps f64, delta f64, cap_k u64, seed u64) | payload | fnv64
+//
+// The fingerprint binds an index file to the network it was sampled
+// from: loading against a different graph (changed topology, edge count,
+// or influence entries) is rejected, because RR-Graphs reference global
+// EdgeIds and are meaningless — and silently wrong — on any other graph.
+// A trailing FNV-1a checksum rejects truncated or corrupted files.
+//
+// IndexEst+ needs no file of its own: PrunedRrIndex derives its edge-cut
+// filters lazily from a (possibly loaded) RrIndex.
+
+#ifndef PITEX_SRC_INDEX_INDEX_IO_H_
+#define PITEX_SRC_INDEX_INDEX_IO_H_
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "src/index/delay_mat.h"
+#include "src/index/rr_index.h"
+
+namespace pitex {
+
+/// Deterministic fingerprint of the network's topology and influence
+/// model; indexes are only loadable against the network they were built
+/// from. Tag names are excluded (renaming a tag does not invalidate
+/// sampled RR-Graphs).
+uint64_t NetworkFingerprint(const SocialNetwork& network);
+
+/// Writes a built RR-Graph index. Returns false (and sets `*error` when
+/// non-null) on I/O failure or when the index is not built.
+bool SaveRrIndex(const RrIndex& index, const std::string& path,
+                 std::string* error = nullptr);
+bool SaveRrIndex(const RrIndex& index, std::ostream& out,
+                 std::string* error = nullptr);
+
+/// Loads an RR-Graph index previously written by SaveRrIndex. `network`
+/// must be the network the index was built from (checked via
+/// fingerprint). Returns nullptr and sets `*error` on failure.
+std::unique_ptr<RrIndex> LoadRrIndex(const SocialNetwork& network,
+                                     const std::string& path,
+                                     std::string* error = nullptr);
+std::unique_ptr<RrIndex> LoadRrIndex(const SocialNetwork& network,
+                                     std::istream& in,
+                                     std::string* error = nullptr);
+
+/// Writes a built DelayMat index (one counter per vertex).
+bool SaveDelayMatIndex(const DelayMatIndex& index, const std::string& path,
+                       std::string* error = nullptr);
+bool SaveDelayMatIndex(const DelayMatIndex& index, std::ostream& out,
+                       std::string* error = nullptr);
+
+/// Loads a DelayMat index previously written by SaveDelayMatIndex.
+std::unique_ptr<DelayMatIndex> LoadDelayMatIndex(
+    const SocialNetwork& network, const std::string& path,
+    std::string* error = nullptr);
+std::unique_ptr<DelayMatIndex> LoadDelayMatIndex(
+    const SocialNetwork& network, std::istream& in,
+    std::string* error = nullptr);
+
+}  // namespace pitex
+
+#endif  // PITEX_SRC_INDEX_INDEX_IO_H_

@@ -1,0 +1,129 @@
+#include "src/index/rr_graph.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "src/util/check.h"
+
+namespace pitex {
+
+std::optional<uint32_t> RRGraph::LocalIndex(VertexId v) const {
+  auto it = std::lower_bound(vertices.begin(), vertices.end(), v);
+  if (it == vertices.end() || *it != v) return std::nullopt;
+  return static_cast<uint32_t>(it - vertices.begin());
+}
+
+size_t RRGraph::SizeBytes() const {
+  return sizeof(RRGraph) + vertices.capacity() * sizeof(VertexId) +
+         offsets.capacity() * sizeof(uint32_t) +
+         edges.capacity() * sizeof(LocalEdge);
+}
+
+RRGraph AssembleRRGraph(VertexId root, std::vector<VertexId> vertices,
+                        std::span<const GlobalEdgeSample> edges) {
+  RRGraph rr;
+  rr.root = root;
+  std::sort(vertices.begin(), vertices.end());
+  vertices.erase(std::unique(vertices.begin(), vertices.end()),
+                 vertices.end());
+  rr.vertices = std::move(vertices);
+  const size_t n = rr.vertices.size();
+
+  auto local_of = [&](VertexId v) -> std::optional<uint32_t> {
+    return rr.LocalIndex(v);
+  };
+
+  // Counting sort the surviving edges by local tail.
+  std::vector<std::pair<uint32_t, RRGraph::LocalEdge>> staged;
+  staged.reserve(edges.size());
+  for (const auto& e : edges) {
+    const auto tail = local_of(e.tail);
+    const auto head = local_of(e.head);
+    if (!tail || !head) continue;
+    staged.emplace_back(*tail,
+                        RRGraph::LocalEdge{*head, e.edge, e.threshold});
+  }
+  rr.offsets.assign(n + 1, 0);
+  for (const auto& [tail, local] : staged) ++rr.offsets[tail + 1];
+  for (size_t i = 0; i < n; ++i) rr.offsets[i + 1] += rr.offsets[i];
+  rr.edges.resize(staged.size());
+  std::vector<uint32_t> pos(rr.offsets.begin(), rr.offsets.end() - 1);
+  for (const auto& [tail, local] : staged) rr.edges[pos[tail]++] = local;
+  return rr;
+}
+
+std::vector<GlobalEdgeSample> DecomposeRRGraph(const RRGraph& rr) {
+  std::vector<GlobalEdgeSample> edges;
+  edges.reserve(rr.edges.size());
+  for (uint32_t tail = 0; tail + 1 < rr.offsets.size(); ++tail) {
+    for (uint32_t i = rr.offsets[tail]; i < rr.offsets[tail + 1]; ++i) {
+      const RRGraph::LocalEdge& local = rr.edges[i];
+      edges.push_back(GlobalEdgeSample{rr.vertices[tail],
+                                       rr.vertices[local.head_local],
+                                       local.edge, local.threshold});
+    }
+  }
+  return edges;
+}
+
+RRGraph GenerateRRGraph(const Graph& graph, const InfluenceGraph& influence,
+                        VertexId root, Rng* rng) {
+  // Reverse BFS from the root over live edges; each in-edge of a visited
+  // vertex is probed exactly once (its head is unique).
+  std::vector<VertexId> vertices{root};
+  std::vector<GlobalEdgeSample> live;
+  std::unordered_map<VertexId, uint8_t> visited;
+  visited.emplace(root, 1);
+  std::vector<VertexId> stack{root};
+  while (!stack.empty()) {
+    const VertexId v = stack.back();
+    stack.pop_back();
+    for (const auto& [w, e] : graph.InEdges(v)) {
+      const double p = influence.MaxProb(e);
+      if (p <= 0.0) continue;
+      if (!rng->NextBernoulli(p)) continue;  // dead for every W
+      const auto threshold = static_cast<float>(rng->NextDouble() * p);
+      live.push_back(GlobalEdgeSample{w, v, e, threshold});
+      if (visited.emplace(w, 1).second) {
+        vertices.push_back(w);
+        stack.push_back(w);
+      }
+    }
+  }
+  return AssembleRRGraph(root, std::move(vertices), live);
+}
+
+bool IsReachable(const RRGraph& rr, VertexId u, const EdgeProbFn& probs,
+                 uint64_t* edges_visited) {
+  const auto start = rr.LocalIndex(u);
+  if (!start) return false;
+  const auto target = rr.LocalIndex(rr.root);
+  PITEX_DCHECK(target.has_value());
+  if (*start == *target) return true;
+
+  std::vector<uint8_t> visited(rr.vertices.size(), 0);
+  std::vector<uint32_t> stack{*start};
+  visited[*start] = 1;
+  uint64_t probes = 0;
+  bool found = false;
+  while (!stack.empty() && !found) {
+    const uint32_t v = stack.back();
+    stack.pop_back();
+    for (uint32_t i = rr.offsets[v]; i < rr.offsets[v + 1]; ++i) {
+      const auto& edge = rr.edges[i];
+      ++probes;
+      if (visited[edge.head_local]) continue;
+      if (probs.Prob(edge.edge) < edge.threshold) continue;  // dead under W
+      if (edge.head_local == *target) {
+        found = true;
+        break;
+      }
+      visited[edge.head_local] = 1;
+      stack.push_back(edge.head_local);
+    }
+  }
+  if (edges_visited != nullptr) *edges_visited += probes;
+  return found;
+}
+
+}  // namespace pitex

@@ -1,0 +1,77 @@
+// RR-Graph: the reverse-reachable sample graph of Definition 2, plus the
+// tag-aware reachability check of Definition 3.
+//
+// An RR-Graph for root v is a reverse IC sample drawn under the envelope
+// probabilities p(e) = max_z p(e|z). Every kept edge carries the threshold
+// c(e) it was sampled with; conditioned on the edge being live, c(e) is
+// uniform on [0, p(e)). At query time the edge is live for tag set W iff
+// p(e|W) >= c(e) — so one offline sample serves every query user and
+// every tag set, and the spread is never underestimated (p(e) >= p(e|W)).
+
+#ifndef PITEX_SRC_INDEX_RR_GRAPH_H_
+#define PITEX_SRC_INDEX_RR_GRAPH_H_
+
+#include <optional>
+#include <vector>
+
+#include "src/sampling/influence_estimator.h"
+#include "src/util/random.h"
+
+namespace pitex {
+
+/// One materialized reverse-reachable sample graph. Vertices are stored
+/// sorted; edges are stored as a local CSR out-adjacency so tag-aware
+/// reachability is a forward BFS from the query user towards the root.
+struct RRGraph {
+  struct LocalEdge {
+    uint32_t head_local;  // index into `vertices`
+    EdgeId edge;          // global EdgeId (for p(e|W) lookups)
+    float threshold;      // c(e)
+  };
+
+  VertexId root = 0;
+  std::vector<VertexId> vertices;   // sorted ascending
+  std::vector<uint32_t> offsets;    // CSR over local tails
+  std::vector<LocalEdge> edges;
+
+  /// Local index of global vertex v, or nullopt if absent.
+  std::optional<uint32_t> LocalIndex(VertexId v) const;
+
+  /// Approximate in-memory footprint.
+  size_t SizeBytes() const;
+};
+
+/// Samples one RR-Graph rooted at `root` (Definition 2): reverse BFS from
+/// the root keeping each in-edge with probability p(e); kept edges get
+/// c(e) ~ U[0, p(e)).
+RRGraph GenerateRRGraph(const Graph& graph, const InfluenceGraph& influence,
+                        VertexId root, Rng* rng);
+
+/// Definition 3: true iff `u` reaches the root of `rr` along edges with
+/// probs.Prob(e) >= c(e). Adds probed-edge counts to `edges_visited` when
+/// non-null.
+bool IsReachable(const RRGraph& rr, VertexId u, const EdgeProbFn& probs,
+                 uint64_t* edges_visited);
+
+/// A sampled live edge in global vertex coordinates, before local CSR
+/// assembly.
+struct GlobalEdgeSample {
+  VertexId tail;
+  VertexId head;
+  EdgeId edge;
+  float threshold;  // c(e)
+};
+
+/// Assembles an RRGraph from a vertex set and sampled live edges (used by
+/// both GenerateRRGraph and delay materialization, which recovers graphs
+/// at query time). Edges with an endpoint outside `vertices` are dropped.
+RRGraph AssembleRRGraph(VertexId root, std::vector<VertexId> vertices,
+                        std::span<const GlobalEdgeSample> edges);
+
+/// Inverse of AssembleRRGraph: the graph's live edges back in global
+/// vertex coordinates (used by incremental index repair).
+std::vector<GlobalEdgeSample> DecomposeRRGraph(const RRGraph& rr);
+
+}  // namespace pitex
+
+#endif  // PITEX_SRC_INDEX_RR_GRAPH_H_

@@ -1,0 +1,107 @@
+#include "src/index/rr_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <thread>
+
+#include "src/util/chernoff.h"
+#include "src/util/check.h"
+#include "src/util/timer.h"
+
+namespace pitex {
+
+double RrIndex::TheoreticalTheta(const RrIndexOptions& options,
+                                 size_t num_vertices, size_t num_tags) {
+  const double log_terms = std::log(options.delta) +
+                           LogPhi(static_cast<int64_t>(num_tags),
+                                  options.cap_k) +
+                           std::log(2.0);
+  return (2.0 + options.eps) / (options.eps * options.eps) *
+         static_cast<double>(num_vertices) * log_terms;
+}
+
+RrIndex::RrIndex(const SocialNetwork& network, const RrIndexOptions& options)
+    : network_(network), options_(options) {
+  if (options_.theta_override > 0) {
+    theta_ = options_.theta_override;
+  } else {
+    const double theta =
+        options_.theta_per_vertex *
+        static_cast<double>(network.num_vertices());
+    theta_ = std::min<uint64_t>(
+        options_.max_theta,
+        std::max<uint64_t>(64, static_cast<uint64_t>(std::llround(theta))));
+  }
+}
+
+void RrIndex::Build() {
+  PITEX_CHECK_MSG(graphs_.empty(), "Build() called twice");
+  Timer timer;
+  graphs_.resize(theta_);
+  containing_.assign(network_.num_vertices(), {});
+
+  // Each sample i owns an independent RNG stream derived from (seed, i),
+  // making the index bit-identical regardless of thread count.
+  auto generate_range = [&](uint64_t begin, uint64_t end) {
+    for (uint64_t i = begin; i < end; ++i) {
+      uint64_t mix = options_.seed ^ (0x9e3779b97f4a7c15ULL * (i + 1));
+      Rng rng(SplitMix64(&mix));
+      const auto root =
+          static_cast<VertexId>(rng.NextBounded(network_.num_vertices()));
+      graphs_[i] =
+          GenerateRRGraph(network_.graph, network_.influence, root, &rng);
+    }
+  };
+
+  const size_t threads = std::max<size_t>(1, options_.num_build_threads);
+  if (threads == 1 || theta_ < 2 * threads) {
+    generate_range(0, theta_);
+  } else {
+    std::vector<std::thread> workers;
+    const uint64_t chunk = (theta_ + threads - 1) / threads;
+    for (size_t t = 0; t < threads; ++t) {
+      const uint64_t begin = t * chunk;
+      const uint64_t end = std::min<uint64_t>(theta_, begin + chunk);
+      if (begin >= end) break;
+      workers.emplace_back(generate_range, begin, end);
+    }
+    for (auto& w : workers) w.join();
+  }
+
+  for (uint32_t id = 0; id < graphs_.size(); ++id) {
+    for (VertexId v : graphs_[id].vertices) containing_[v].push_back(id);
+  }
+  build_seconds_ = timer.Seconds();
+}
+
+Estimate RrIndex::EstimateInfluence(VertexId u, const EdgeProbFn& probs) {
+  PITEX_CHECK_MSG(!graphs_.empty() || theta_ == 0, "index not built");
+  Estimate result;
+  uint64_t hits = 0;
+  for (uint32_t id : containing_[u]) {
+    ++result.samples;
+    if (IsReachable(graphs_[id], u, probs, &result.edges_visited)) ++hits;
+  }
+  result.influence = static_cast<double>(hits) /
+                     static_cast<double>(theta_) *
+                     static_cast<double>(network_.num_vertices());
+  result.influence = std::max(result.influence, 1.0);
+  // Over all theta offline samples, the observation for sample i is
+  // |V| * 1[u in graph i and u ~>_W root_i].
+  const auto scale = static_cast<double>(network_.num_vertices());
+  result.std_error = SampleMeanStdError(
+      static_cast<double>(hits) * scale,
+      static_cast<double>(hits) * scale * scale, theta_);
+  return result;
+}
+
+size_t RrIndex::SizeBytes() const {
+  size_t bytes = sizeof(RrIndex);
+  for (const auto& rr : graphs_) bytes += rr.SizeBytes();
+  for (const auto& list : containing_) {
+    bytes += list.capacity() * sizeof(uint32_t) + sizeof(list);
+  }
+  return bytes;
+}
+
+}  // namespace pitex

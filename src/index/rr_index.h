@@ -1,0 +1,83 @@
+// RR-Graph index: offline sampling + online estimation (Sec. 6.1,
+// Algorithm 3) — the paper's "IndexEst".
+//
+// Offline, theta RR-Graphs are sampled for uniformly random roots. Online,
+// E[I(u|W)] is estimated as |V| * (reachable fraction) over the RR-Graphs
+// that contain u. Eq. (7) gives the theta needed for the full
+// (1-eps)/(1+eps) guarantee; since it is proportional to |V| * Lambda it
+// is far beyond laptop budgets for large graphs, so the default
+// configuration uses theta = theta_per_vertex * |V| (capped) and exposes
+// the theoretical value through TheoreticalTheta() — the same
+// accuracy/space trade-off the paper's Table 3 makes implicitly.
+
+#ifndef PITEX_SRC_INDEX_RR_INDEX_H_
+#define PITEX_SRC_INDEX_RR_INDEX_H_
+
+#include <vector>
+
+#include "src/index/rr_graph.h"
+#include "src/sampling/influence_estimator.h"
+
+namespace pitex {
+
+struct RrIndexOptions {
+  double eps = 0.7;
+  double delta = 1000.0;
+  /// Upper bound K on query k (footnote 2: K = 10 in the paper's setup).
+  int64_t cap_k = 10;
+  /// RR-Graphs sampled per vertex (theta = theta_per_vertex * |V|).
+  double theta_per_vertex = 1.0;
+  /// Hard cap on theta.
+  uint64_t max_theta = 4'000'000;
+  /// If non-zero, overrides the theta computation entirely.
+  uint64_t theta_override = 0;
+  uint64_t seed = 42;
+  /// Build threads. Each RR-Graph derives its RNG stream from (seed,
+  /// sample index), so the built index is bit-identical for any thread
+  /// count.
+  size_t num_build_threads = 1;
+};
+
+class RrIndex final : public InfluenceOracle {
+ public:
+  /// Eq. (7): the theoretically prescribed offline sample size.
+  static double TheoreticalTheta(const RrIndexOptions& options,
+                                 size_t num_vertices, size_t num_tags);
+
+  RrIndex(const SocialNetwork& network, const RrIndexOptions& options);
+
+  /// Samples the RR-Graphs. Must be called once before estimation.
+  void Build();
+
+  Estimate EstimateInfluence(VertexId u, const EdgeProbFn& probs) override;
+  const char* Name() const override { return "INDEXEST"; }
+
+  uint64_t theta() const { return theta_; }
+  size_t num_vertices() const { return network_.num_vertices(); }
+  size_t num_graphs() const { return graphs_.size(); }
+  const RRGraph& graph(size_t i) const { return graphs_[i]; }
+  /// Ids (positions in graphs_) of the RR-Graphs containing u.
+  const std::vector<uint32_t>& Containing(VertexId u) const {
+    return containing_[u];
+  }
+  /// theta(u): how many RR-Graphs contain u (Sec. 6.3 notation).
+  size_t CountContaining(VertexId u) const { return containing_[u].size(); }
+
+  /// Approximate index footprint (Table 3 metric).
+  size_t SizeBytes() const;
+  double build_seconds() const { return build_seconds_; }
+
+ private:
+  friend class IndexIo;  // persistence (src/index/index_io.h)
+
+  const SocialNetwork& network_;
+  RrIndexOptions options_;
+  uint64_t theta_ = 0;
+  std::vector<RRGraph> graphs_;
+  std::vector<std::vector<uint32_t>> containing_;
+  double build_seconds_ = 0.0;
+};
+
+}  // namespace pitex
+
+#endif  // PITEX_SRC_INDEX_RR_INDEX_H_

@@ -1,0 +1,115 @@
+#include "src/model/action_log.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace pitex {
+
+size_t ActionLog::TotalActivations() const {
+  size_t total = 0;
+  for (const auto& c : cascades) total += c.activations.size();
+  return total;
+}
+
+namespace {
+
+// Draws one topic from the prior.
+TopicId SampleTopic(const TopicModel& topics, Rng* rng) {
+  const double u = rng->NextDouble();
+  double acc = 0.0;
+  const auto& prior = topics.prior();
+  for (TopicId z = 0; z + 1 < prior.size(); ++z) {
+    acc += prior[z];
+    if (u < acc) return z;
+  }
+  return static_cast<TopicId>(prior.size() - 1);
+}
+
+// Draws `count` distinct tags proportionally to p(w|z); falls back to
+// uniform tags if the topic has no mass.
+std::vector<TagId> SampleTags(const TopicModel& topics, TopicId z,
+                              size_t count, Rng* rng) {
+  std::vector<double> weights(topics.num_tags());
+  double total = 0.0;
+  for (TagId w = 0; w < topics.num_tags(); ++w) {
+    weights[w] = topics.TagTopic(w, z);
+    total += weights[w];
+  }
+  std::vector<TagId> result;
+  count = std::min(count, topics.num_tags());
+  while (result.size() < count) {
+    TagId pick = 0;
+    if (total > 0.0) {
+      double u = rng->NextDouble() * total;
+      for (TagId w = 0; w < topics.num_tags(); ++w) {
+        if (weights[w] <= 0.0) continue;
+        u -= weights[w];
+        if (u <= 0.0) {
+          pick = w;
+          break;
+        }
+      }
+    } else {
+      pick = static_cast<TagId>(rng->NextBounded(topics.num_tags()));
+    }
+    if (std::find(result.begin(), result.end(), pick) == result.end()) {
+      result.push_back(pick);
+    } else if (total > 0.0) {
+      // Remove the weight so the loop terminates even with one hot tag.
+      total -= weights[pick];
+      weights[pick] = 0.0;
+      if (total <= 0.0) total = 0.0;
+    }
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+}  // namespace
+
+ActionLog SimulateCascades(const SocialNetwork& network,
+                           const CascadeSimOptions& options, Rng* rng) {
+  PITEX_CHECK(network.num_vertices() > 0);
+  ActionLog log;
+  log.cascades.reserve(options.num_cascades);
+  std::vector<uint8_t> active(network.num_vertices(), 0);
+  for (size_t i = 0; i < options.num_cascades; ++i) {
+    Cascade cascade;
+    const TopicId z = SampleTopic(network.topics, rng);
+    cascade.item_tags =
+        SampleTags(network.topics, z, options.tags_per_item, rng);
+    const TopicPosterior posterior =
+        network.topics.Posterior(cascade.item_tags);
+
+    const auto seed =
+        static_cast<VertexId>(rng->NextBounded(network.num_vertices()));
+    std::vector<VertexId> frontier{seed};
+    std::vector<VertexId> touched{seed};
+    active[seed] = 1;
+    cascade.activations.emplace_back(seed, 0);
+    uint32_t step = 0;
+    while (!frontier.empty()) {
+      ++step;
+      std::vector<VertexId> next;
+      for (VertexId v : frontier) {
+        for (const auto& [w, e] : network.graph.OutEdges(v)) {
+          if (active[w]) continue;
+          const double p = network.influence.EdgeProb(e, posterior);
+          if (p > 0.0 && rng->NextBernoulli(p)) {
+            active[w] = 1;
+            touched.push_back(w);
+            next.push_back(w);
+            cascade.activations.emplace_back(w, step);
+          }
+        }
+      }
+      frontier = std::move(next);
+    }
+    for (VertexId v : touched) active[v] = 0;
+    log.cascades.push_back(std::move(cascade));
+  }
+  return log;
+}
+
+}  // namespace pitex

@@ -1,0 +1,52 @@
+// Propagation ("action") logs and a synthetic trace generator.
+//
+// The paper derives p(e|z) and p(w|z) from a "log of past propagation" [2]:
+// timestamped records of users re-sharing tagged items. Real logs (lastfm,
+// diggs) are unavailable offline, so we provide (a) the log data structure
+// and (b) a simulator that plants a ground-truth topic-aware IC model and
+// rolls cascades forward through the graph, producing exactly the kind of
+// log the TIC learner (src/model/tic_learner.h) consumes.
+
+#ifndef PITEX_SRC_MODEL_ACTION_LOG_H_
+#define PITEX_SRC_MODEL_ACTION_LOG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/model/influence_graph.h"
+#include "src/util/random.h"
+
+namespace pitex {
+
+/// One item's cascade: the tags describing the item and the ordered list of
+/// (user, activation step) pairs, seed included at step 0.
+struct Cascade {
+  std::vector<TagId> item_tags;
+  std::vector<std::pair<VertexId, uint32_t>> activations;
+};
+
+/// A log of cascades over a fixed graph.
+struct ActionLog {
+  std::vector<Cascade> cascades;
+
+  size_t TotalActivations() const;
+};
+
+/// Options for the cascade simulator.
+struct CascadeSimOptions {
+  /// Number of cascades (items) to simulate.
+  size_t num_cascades = 1000;
+  /// Tags per item, drawn from the planted topic of the item.
+  size_t tags_per_item = 2;
+};
+
+/// Simulates `options.num_cascades` cascades on `network`: each item picks
+/// a topic from the prior, draws `tags_per_item` distinct tags
+/// proportionally to p(w|z), seeds a uniformly random user, and runs the
+/// IC process with the tag-set probabilities p(e|W) of Eq. (1).
+ActionLog SimulateCascades(const SocialNetwork& network,
+                           const CascadeSimOptions& options, Rng* rng);
+
+}  // namespace pitex
+
+#endif  // PITEX_SRC_MODEL_ACTION_LOG_H_

@@ -1,0 +1,111 @@
+#include "src/model/influence_graph.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace pitex {
+
+double InfluenceGraph::EdgeTopicProb(EdgeId e, TopicId z) const {
+  for (const auto& entry : EdgeTopics(e)) {
+    if (entry.topic == z) return entry.prob;
+  }
+  return 0.0;
+}
+
+double InfluenceGraph::EdgeProb(EdgeId e, const TopicPosterior& posterior) const {
+  double p = 0.0;
+  for (const auto& entry : EdgeTopics(e)) {
+    p += entry.prob * posterior[entry.topic];
+  }
+  return p;
+}
+
+InfluenceGraphBuilder::InfluenceGraphBuilder(size_t num_edges)
+    : num_edges_(num_edges), staged_(num_edges) {}
+
+void InfluenceGraphBuilder::SetEdgeTopics(
+    EdgeId e, std::span<const EdgeTopicEntry> entries) {
+  PITEX_CHECK(e < num_edges_);
+  PITEX_CHECK_MSG(staged_[e].empty(), "edge topic vector set twice");
+  auto& dst = staged_[e];
+  dst.reserve(entries.size());
+  for (const auto& entry : entries) {
+    PITEX_CHECK(entry.prob >= 0.0 && entry.prob <= 1.0);
+    if (entry.prob > 0.0) dst.push_back(entry);
+  }
+  std::sort(dst.begin(), dst.end(),
+            [](const EdgeTopicEntry& a, const EdgeTopicEntry& b) {
+              return a.topic < b.topic;
+            });
+  for (size_t i = 1; i < dst.size(); ++i) {
+    PITEX_CHECK_MSG(dst[i].topic != dst[i - 1].topic, "duplicate topic");
+  }
+}
+
+InfluenceGraph InfluenceGraphBuilder::Build() {
+  InfluenceGraph g;
+  g.offsets_.reserve(num_edges_ + 1);
+  g.max_prob_.reserve(num_edges_);
+  size_t total = 0;
+  for (const auto& v : staged_) total += v.size();
+  g.entries_.reserve(total);
+  for (auto& v : staged_) {
+    double max_p = 0.0;
+    for (const auto& entry : v) max_p = std::max(max_p, entry.prob);
+    g.entries_.insert(g.entries_.end(), v.begin(), v.end());
+    g.offsets_.push_back(g.entries_.size());
+    g.max_prob_.push_back(max_p);
+    v.clear();
+  }
+  staged_.clear();
+  return g;
+}
+
+namespace {
+
+template <typename KeepEdge>
+ReachableSet Bfs(const Graph& graph, VertexId u, KeepEdge keep) {
+  ReachableSet result;
+  std::vector<uint8_t> visited(graph.num_vertices(), 0);
+  std::vector<VertexId> frontier{u};
+  visited[u] = 1;
+  result.vertices.push_back(u);
+  while (!frontier.empty()) {
+    const VertexId v = frontier.back();
+    frontier.pop_back();
+    for (const auto& [w, e] : graph.OutEdges(v)) {
+      if (!keep(e)) continue;
+      if (!visited[w]) {
+        visited[w] = 1;
+        result.vertices.push_back(w);
+        frontier.push_back(w);
+      }
+    }
+  }
+  // Count edges with both endpoints in the reachable set and positive
+  // probability (|E_W(u)| in the paper's notation).
+  for (VertexId v : result.vertices) {
+    for (const auto& [w, e] : graph.OutEdges(v)) {
+      if (keep(e) && visited[w]) ++result.num_internal_edges;
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+ReachableSet ComputeReachableSet(const Graph& graph,
+                                 const InfluenceGraph& influence,
+                                 const TopicPosterior& posterior, VertexId u) {
+  return Bfs(graph, u,
+             [&](EdgeId e) { return influence.EdgeProb(e, posterior) > 0.0; });
+}
+
+ReachableSet ComputeMaxReachableSet(const Graph& graph,
+                                    const InfluenceGraph& influence,
+                                    VertexId u) {
+  return Bfs(graph, u, [&](EdgeId e) { return influence.MaxProb(e) > 0.0; });
+}
+
+}  // namespace pitex

@@ -1,0 +1,110 @@
+// Per-edge topic-wise influence probabilities p(e|z) and the tag-set
+// activation probability p(e|W) of Eq. (1).
+//
+// Learned propagation models are sparse (Sec 5.1): most edges carry
+// probability mass on only a few topics. We therefore store each edge's
+// topic vector in CSR form over (topic, probability) pairs. Computing
+// p(e|W) is then a sparse dot product with the topic posterior p(z|W).
+//
+// The SocialNetwork aggregate bundles the graph topology, the topic model
+// and the influence probabilities — the triple every PITEX algorithm
+// consumes.
+
+#ifndef PITEX_SRC_MODEL_INFLUENCE_GRAPH_H_
+#define PITEX_SRC_MODEL_INFLUENCE_GRAPH_H_
+
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "src/graph/graph.h"
+#include "src/model/topic_model.h"
+
+namespace pitex {
+
+/// One (topic, probability) entry of an edge's sparse topic vector.
+struct EdgeTopicEntry {
+  TopicId topic;
+  double prob;
+};
+
+/// Immutable per-edge p(e|z) table. Build with InfluenceGraphBuilder.
+class InfluenceGraph {
+ public:
+  InfluenceGraph() = default;
+
+  size_t num_edges() const { return offsets_.size() - 1; }
+
+  /// Sparse topic vector of edge e.
+  std::span<const EdgeTopicEntry> EdgeTopics(EdgeId e) const {
+    return {entries_.data() + offsets_[e], entries_.data() + offsets_[e + 1]};
+  }
+
+  /// p(e|z); 0 when the edge carries no mass on z.
+  double EdgeTopicProb(EdgeId e, TopicId z) const;
+
+  /// p(e|W) = sum_z p(e|z) * posterior[z] (Eq. 1).
+  double EdgeProb(EdgeId e, const TopicPosterior& posterior) const;
+
+  /// p(e) = max_z p(e|z) — the "any topic" envelope used by the RR-Graph
+  /// index (Def. 2): p(e) >= p(e|W) for every W.
+  double MaxProb(EdgeId e) const { return max_prob_[e]; }
+
+ private:
+  friend class InfluenceGraphBuilder;
+
+  std::vector<uint64_t> offsets_{0};
+  std::vector<EdgeTopicEntry> entries_;
+  std::vector<double> max_prob_;
+};
+
+/// Accumulates edge topic vectors in EdgeId order.
+class InfluenceGraphBuilder {
+ public:
+  explicit InfluenceGraphBuilder(size_t num_edges);
+
+  /// Sets the topic vector of edge e. May be called in any order; each edge
+  /// at most once. Probabilities must be in [0, 1]; zero entries are
+  /// dropped.
+  void SetEdgeTopics(EdgeId e, std::span<const EdgeTopicEntry> entries);
+
+  InfluenceGraph Build();
+
+ private:
+  size_t num_edges_;
+  std::vector<std::vector<EdgeTopicEntry>> staged_;
+};
+
+/// The full PITEX input: topology + tag/topic model + p(e|z).
+struct SocialNetwork {
+  Graph graph;
+  TopicModel topics{1, 0};
+  InfluenceGraph influence;
+  TagCatalog tags;
+
+  size_t num_vertices() const { return graph.num_vertices(); }
+  size_t num_edges() const { return graph.num_edges(); }
+};
+
+/// Result of a forward reachability sweep restricted to edges with
+/// p(e|W) > 0: the set R_W(u) and the count |E_W(u)| of edges with both
+/// endpoints inside it (Table 1 of the paper).
+struct ReachableSet {
+  std::vector<VertexId> vertices;
+  size_t num_internal_edges = 0;
+};
+
+/// Computes R_W(u) / E_W(u) by BFS over edges with positive p(e|W).
+ReachableSet ComputeReachableSet(const Graph& graph,
+                                 const InfluenceGraph& influence,
+                                 const TopicPosterior& posterior, VertexId u);
+
+/// Computes the reachable set when every edge with p(e) > 0 is kept —
+/// R(u) under the index envelope probabilities.
+ReachableSet ComputeMaxReachableSet(const Graph& graph,
+                                    const InfluenceGraph& influence,
+                                    VertexId u);
+
+}  // namespace pitex
+
+#endif  // PITEX_SRC_MODEL_INFLUENCE_GRAPH_H_

@@ -1,0 +1,151 @@
+#include "src/model/network_io.h"
+
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <vector>
+
+namespace pitex {
+
+bool SaveNetwork(const SocialNetwork& network, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out.precision(17);
+
+  out << "PITEX-NET 1\n";
+  out << "graph " << network.num_vertices() << ' ' << network.num_edges()
+      << '\n';
+  for (EdgeId e = 0; e < network.num_edges(); ++e) {
+    out << network.graph.Tail(e) << ' ' << network.graph.Head(e) << '\n';
+  }
+
+  const TopicModel& topics = network.topics;
+  out << "topics " << topics.num_topics() << ' ' << topics.num_tags() << '\n';
+  out << "prior";
+  for (double p : topics.prior()) out << ' ' << p;
+  out << '\n';
+  size_t nnz = 0;
+  for (TagId w = 0; w < topics.num_tags(); ++w) {
+    for (TopicId z = 0; z < topics.num_topics(); ++z) {
+      nnz += (topics.TagTopic(w, z) > 0.0);
+    }
+  }
+  out << "tagtopic " << nnz << '\n';
+  for (TagId w = 0; w < topics.num_tags(); ++w) {
+    for (TopicId z = 0; z < topics.num_topics(); ++z) {
+      const double p = topics.TagTopic(w, z);
+      if (p > 0.0) out << w << ' ' << z << ' ' << p << '\n';
+    }
+  }
+
+  size_t influence_entries = 0;
+  for (EdgeId e = 0; e < network.num_edges(); ++e) {
+    influence_entries += network.influence.EdgeTopics(e).size();
+  }
+  out << "influence " << influence_entries << '\n';
+  for (EdgeId e = 0; e < network.num_edges(); ++e) {
+    for (const auto& [z, p] : network.influence.EdgeTopics(e)) {
+      out << e << ' ' << z << ' ' << p << '\n';
+    }
+  }
+
+  out << "tags " << network.tags.size() << '\n';
+  for (TagId w = 0; w < network.tags.size(); ++w) {
+    out << network.tags.Name(w) << '\n';
+  }
+  return static_cast<bool>(out);
+}
+
+std::optional<SocialNetwork> LoadNetwork(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+
+  std::string magic;
+  int version = 0;
+  if (!(in >> magic >> version) || magic != "PITEX-NET" || version != 1) {
+    return std::nullopt;
+  }
+
+  SocialNetwork network;
+  std::string section;
+  size_t n = 0, m = 0;
+  if (!(in >> section >> n >> m) || section != "graph") return std::nullopt;
+  GraphBuilder graph(n);
+  for (size_t i = 0; i < m; ++i) {
+    VertexId u = 0, v = 0;
+    if (!(in >> u >> v) || u >= n || v >= n) return std::nullopt;
+    graph.AddEdge(u, v);
+  }
+  network.graph = graph.Build();
+
+  size_t num_topics = 0, num_tags = 0;
+  if (!(in >> section >> num_topics >> num_tags) || section != "topics" ||
+      num_topics == 0) {
+    return std::nullopt;
+  }
+  network.topics = TopicModel(num_topics, num_tags);
+  if (!(in >> section) || section != "prior") return std::nullopt;
+  std::vector<double> prior(num_topics);
+  for (double& p : prior) {
+    if (!(in >> p) || p < 0.0) return std::nullopt;
+  }
+  network.topics.SetPrior(std::move(prior));
+
+  size_t nnz = 0;
+  if (!(in >> section >> nnz) || section != "tagtopic") return std::nullopt;
+  for (size_t i = 0; i < nnz; ++i) {
+    TagId w = 0;
+    TopicId z = 0;
+    double p = 0.0;
+    if (!(in >> w >> z >> p) || w >= num_tags || z >= num_topics || p < 0.0 ||
+        p > 1.0) {
+      return std::nullopt;
+    }
+    network.topics.SetTagTopic(w, z, p);
+  }
+
+  size_t influence_entries = 0;
+  if (!(in >> section >> influence_entries) || section != "influence") {
+    return std::nullopt;
+  }
+  InfluenceGraphBuilder influence(m);
+  std::vector<EdgeTopicEntry> staged;
+  EdgeId current = std::numeric_limits<EdgeId>::max();
+  auto flush = [&]() {
+    if (current != std::numeric_limits<EdgeId>::max()) {
+      influence.SetEdgeTopics(current, staged);
+      staged.clear();
+    }
+  };
+  for (size_t i = 0; i < influence_entries; ++i) {
+    EdgeId e = 0;
+    TopicId z = 0;
+    double p = 0.0;
+    if (!(in >> e >> z >> p) || e >= m || z >= num_topics || p < 0.0 ||
+        p > 1.0) {
+      return std::nullopt;
+    }
+    if (e != current) {
+      if (current != std::numeric_limits<EdgeId>::max() && e < current) {
+        return std::nullopt;  // entries must be grouped by ascending edge
+      }
+      flush();
+      current = e;
+    }
+    staged.push_back({z, p});
+  }
+  flush();
+  network.influence = influence.Build();
+
+  size_t tag_count = 0;
+  if (!(in >> section >> tag_count) || section != "tags") return std::nullopt;
+  in.ignore(std::numeric_limits<std::streamsize>::max(), '\n');
+  for (size_t i = 0; i < tag_count; ++i) {
+    std::string name;
+    if (!std::getline(in, name) || name.empty()) return std::nullopt;
+    network.tags.Intern(name);
+  }
+  return network;
+}
+
+}  // namespace pitex

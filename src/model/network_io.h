@@ -1,0 +1,40 @@
+// Persistence for the full SocialNetwork bundle (topology, topic model,
+// per-edge influence probabilities, tag names).
+//
+// Text format, versioned header, self-describing sections:
+//
+//   PITEX-NET 1
+//   graph <|V|> <|E|>
+//   <tail> <head>                      x |E|   (EdgeId order)
+//   topics <|Z|> <|Omega|>
+//   prior <p(z_0)> ... <p(z_{|Z|-1})>
+//   tagtopic <nnz>
+//   <w> <z> <p(w|z)>                   x nnz
+//   influence <total entries>
+//   <e> <z> <p(e|z)>                   x entries (EdgeId order within file)
+//   tags <count>
+//   <name>                             x count  (one per line, TagId order)
+//
+// The format is deliberately plain so that generated datasets can be
+// inspected, diffed, and checked into experiment repositories.
+
+#ifndef PITEX_SRC_MODEL_NETWORK_IO_H_
+#define PITEX_SRC_MODEL_NETWORK_IO_H_
+
+#include <optional>
+#include <string>
+
+#include "src/model/influence_graph.h"
+
+namespace pitex {
+
+/// Writes `network` to `path`. Returns false on I/O failure.
+bool SaveNetwork(const SocialNetwork& network, const std::string& path);
+
+/// Loads a network previously written by SaveNetwork. Returns nullopt on
+/// I/O failure or malformed/mis-versioned content.
+std::optional<SocialNetwork> LoadNetwork(const std::string& path);
+
+}  // namespace pitex
+
+#endif  // PITEX_SRC_MODEL_NETWORK_IO_H_

@@ -1,0 +1,27 @@
+#include "src/model/tag_catalog.h"
+
+#include "src/util/check.h"
+
+namespace pitex {
+
+TagId TagCatalog::Intern(std::string_view name) {
+  auto it = ids_.find(std::string(name));
+  if (it != ids_.end()) return it->second;
+  const auto id = static_cast<TagId>(names_.size());
+  names_.emplace_back(name);
+  ids_.emplace(names_.back(), id);
+  return id;
+}
+
+std::optional<TagId> TagCatalog::Find(std::string_view name) const {
+  auto it = ids_.find(std::string(name));
+  if (it == ids_.end()) return std::nullopt;
+  return it->second;
+}
+
+const std::string& TagCatalog::Name(TagId id) const {
+  PITEX_CHECK(id < names_.size());
+  return names_[id];
+}
+
+}  // namespace pitex

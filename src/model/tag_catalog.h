@@ -1,0 +1,43 @@
+// Tag vocabulary: maps human-readable tag strings to dense TagIds.
+//
+// Tags are the user-facing vocabulary of PITEX (hashtags, keywords,
+// product features). Algorithms work on dense ids; the catalog is only
+// consulted at the API boundary and when printing results.
+
+#ifndef PITEX_SRC_MODEL_TAG_CATALOG_H_
+#define PITEX_SRC_MODEL_TAG_CATALOG_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace pitex {
+
+using TagId = uint32_t;
+
+/// Bidirectional tag-name <-> TagId mapping. Ids are dense and assigned in
+/// insertion order.
+class TagCatalog {
+ public:
+  /// Interns `name` and returns its id (existing id if already present).
+  TagId Intern(std::string_view name);
+
+  /// Returns the id of `name` if present.
+  std::optional<TagId> Find(std::string_view name) const;
+
+  /// Returns the name of `id`. Requires id < size().
+  const std::string& Name(TagId id) const;
+
+  size_t size() const { return names_.size(); }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, TagId> ids_;
+};
+
+}  // namespace pitex
+
+#endif  // PITEX_SRC_MODEL_TAG_CATALOG_H_

@@ -1,0 +1,159 @@
+#include "src/model/tic_learner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "src/util/check.h"
+#include "src/util/random.h"
+
+namespace pitex {
+
+namespace {
+
+// Per-cascade edge trial/success events, extracted once.
+struct EdgeEvents {
+  std::vector<EdgeId> tried;
+  std::vector<EdgeId> succeeded;
+};
+
+EdgeEvents ExtractEvents(const Graph& graph, const Cascade& cascade) {
+  EdgeEvents events;
+  std::unordered_map<VertexId, uint32_t> step_of;
+  step_of.reserve(cascade.activations.size());
+  for (const auto& [v, step] : cascade.activations) step_of[v] = step;
+  for (const auto& [u, step_u] : cascade.activations) {
+    for (const auto& [v, e] : graph.OutEdges(u)) {
+      auto it = step_of.find(v);
+      if (it == step_of.end()) {
+        events.tried.push_back(e);
+      } else if (it->second == step_u + 1) {
+        events.tried.push_back(e);
+        events.succeeded.push_back(e);
+      }
+      // v active at a step <= step_u: u never got to try e; no trial.
+    }
+  }
+  return events;
+}
+
+}  // namespace
+
+LearnedModel LearnTicModel(const Graph& graph, size_t num_tags,
+                           const ActionLog& log,
+                           const TicLearnerOptions& options) {
+  PITEX_CHECK(options.num_topics >= 1);
+  const size_t num_z = options.num_topics;
+  Rng rng(options.seed);
+
+  // Random positive initialization of p(w|z) so EM can break symmetry.
+  std::vector<double> tag_topic(num_tags * num_z);
+  for (double& v : tag_topic) v = 0.1 + 0.9 * rng.NextDouble();
+  std::vector<double> prior(num_z, 1.0 / static_cast<double>(num_z));
+
+  std::vector<EdgeEvents> events;
+  events.reserve(log.cascades.size());
+  for (const auto& cascade : log.cascades) {
+    events.push_back(ExtractEvents(graph, cascade));
+  }
+
+  std::vector<double> gamma(log.cascades.size() * num_z, 0.0);
+  std::vector<double> succ(graph.num_edges() * num_z);
+  std::vector<double> trial(graph.num_edges() * num_z);
+
+  for (size_t iter = 0; iter < options.num_iterations; ++iter) {
+    // E-step: responsibilities from current p(w|z) and prior.
+    for (size_t i = 0; i < log.cascades.size(); ++i) {
+      double norm = 0.0;
+      for (size_t z = 0; z < num_z; ++z) {
+        double g = prior[z];
+        for (TagId w : log.cascades[i].item_tags) {
+          g *= tag_topic[static_cast<size_t>(w) * num_z + z];
+        }
+        gamma[i * num_z + z] = g;
+        norm += g;
+      }
+      if (norm > 0.0) {
+        for (size_t z = 0; z < num_z; ++z) gamma[i * num_z + z] /= norm;
+      } else {
+        for (size_t z = 0; z < num_z; ++z) {
+          gamma[i * num_z + z] = 1.0 / static_cast<double>(num_z);
+        }
+      }
+    }
+
+    // M-step: tag-topic weights, prior, and edge probabilities.
+    std::fill(tag_topic.begin(), tag_topic.end(), options.tag_smoothing);
+    std::vector<double> topic_mass(num_z, 0.0);
+    for (size_t i = 0; i < log.cascades.size(); ++i) {
+      for (size_t z = 0; z < num_z; ++z) {
+        const double g = gamma[i * num_z + z];
+        topic_mass[z] += g;
+        for (TagId w : log.cascades[i].item_tags) {
+          tag_topic[static_cast<size_t>(w) * num_z + z] += g;
+        }
+      }
+    }
+    // Normalize p(w|z) columns to [0, 1] by the max so entries stay
+    // interpretable as likelihood weights.
+    for (size_t z = 0; z < num_z; ++z) {
+      double col_max = 0.0;
+      for (size_t w = 0; w < num_tags; ++w) {
+        col_max = std::max(col_max, tag_topic[w * num_z + z]);
+      }
+      if (col_max > 0.0) {
+        for (size_t w = 0; w < num_tags; ++w) tag_topic[w * num_z + z] /= col_max;
+      }
+    }
+    double prior_norm = 0.0;
+    for (double m : topic_mass) prior_norm += m;
+    if (prior_norm > 0.0) {
+      for (size_t z = 0; z < num_z; ++z) prior[z] = topic_mass[z] / prior_norm;
+    }
+
+    std::fill(succ.begin(), succ.end(), 0.0);
+    std::fill(trial.begin(), trial.end(), 0.0);
+    for (size_t i = 0; i < log.cascades.size(); ++i) {
+      for (size_t z = 0; z < num_z; ++z) {
+        const double g = gamma[i * num_z + z];
+        if (g <= 0.0) continue;
+        for (EdgeId e : events[i].tried) {
+          trial[static_cast<size_t>(e) * num_z + z] += g;
+        }
+        for (EdgeId e : events[i].succeeded) {
+          succ[static_cast<size_t>(e) * num_z + z] += g;
+        }
+      }
+    }
+  }
+
+  LearnedModel model;
+  model.topics = TopicModel(num_z, num_tags);
+  for (size_t w = 0; w < num_tags; ++w) {
+    for (size_t z = 0; z < num_z; ++z) {
+      model.topics.SetTagTopic(static_cast<TagId>(w),
+                               static_cast<TopicId>(z),
+                               std::min(1.0, tag_topic[w * num_z + z]));
+    }
+  }
+  model.topics.SetPrior(prior);
+
+  InfluenceGraphBuilder builder(graph.num_edges());
+  std::vector<EdgeTopicEntry> entries;
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    entries.clear();
+    for (size_t z = 0; z < num_z; ++z) {
+      const double t = trial[static_cast<size_t>(e) * num_z + z];
+      if (t <= 0.0) continue;
+      const double p = succ[static_cast<size_t>(e) * num_z + z] / t;
+      if (p >= options.min_edge_prob) {
+        entries.push_back({static_cast<TopicId>(z), std::min(1.0, p)});
+      }
+    }
+    builder.SetEdgeTopics(e, entries);
+  }
+  model.influence = builder.Build();
+  return model;
+}
+
+}  // namespace pitex

@@ -1,0 +1,54 @@
+// Simplified Topic-aware IC (TIC) parameter learner [Barbieri et al. 2012].
+//
+// Estimates p(e|z) and p(w|z) jointly from an action log via
+// expectation-maximization:
+//
+//   E-step: each cascade i gets a topic responsibility gamma_i(z)
+//           proportional to p(z) * prod_{w in W_i} p(w|z).
+//   M-step: p(e|z) = soft success / trial counts of edge e, weighted by
+//           gamma_i(z); an edge (u, v) is *tried* in cascade i when u
+//           activates and v is u's out-neighbor, and *succeeds* when v
+//           activates exactly one step after u (standard IC credit
+//           assignment, as in Goyal et al. 2010);
+//           p(w|z) proportional to sum of gamma_i(z) over cascades
+//           containing w.
+//
+// This is a deliberate simplification of the full TIC EM (which also
+// handles partial credit among multiple possible parents); it is the
+// substrate that lets the repo exercise the paper's "learn the model from a
+// log of past propagation" pipeline end to end on synthetic logs.
+
+#ifndef PITEX_SRC_MODEL_TIC_LEARNER_H_
+#define PITEX_SRC_MODEL_TIC_LEARNER_H_
+
+#include "src/model/action_log.h"
+#include "src/model/influence_graph.h"
+
+namespace pitex {
+
+struct TicLearnerOptions {
+  size_t num_topics = 4;
+  size_t num_iterations = 20;
+  /// Additive smoothing for p(w|z) counts.
+  double tag_smoothing = 0.01;
+  /// Edges whose learned probability falls below this are dropped,
+  /// mirroring the sparsity of learned models noted in Sec 5.1.
+  double min_edge_prob = 1e-3;
+  uint64_t seed = 7;
+};
+
+/// Learned model: a topic model over the same tag universe plus per-edge
+/// p(e|z) aligned with `graph`'s EdgeIds.
+struct LearnedModel {
+  TopicModel topics{1, 0};
+  InfluenceGraph influence;
+};
+
+/// Runs EM on `log` over `graph` with `num_tags` vocabulary entries.
+LearnedModel LearnTicModel(const Graph& graph, size_t num_tags,
+                           const ActionLog& log,
+                           const TicLearnerOptions& options);
+
+}  // namespace pitex
+
+#endif  // PITEX_SRC_MODEL_TIC_LEARNER_H_

@@ -1,0 +1,63 @@
+#include "src/model/topic_model.h"
+
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace pitex {
+
+TopicModel::TopicModel(size_t num_topics, size_t num_tags)
+    : num_topics_(num_topics),
+      num_tags_(num_tags),
+      tag_topic_(num_topics * num_tags, 0.0),
+      prior_(num_topics, num_topics > 0 ? 1.0 / num_topics : 0.0) {
+  PITEX_CHECK(num_topics > 0);
+}
+
+void TopicModel::SetTagTopic(TagId w, TopicId z, double p) {
+  PITEX_CHECK(w < num_tags_ && z < num_topics_);
+  PITEX_CHECK(p >= 0.0 && p <= 1.0);
+  tag_topic_[static_cast<size_t>(w) * num_topics_ + z] = p;
+}
+
+void TopicModel::SetPrior(std::vector<double> prior) {
+  PITEX_CHECK(prior.size() == num_topics_);
+  double sum = 0.0;
+  for (double p : prior) {
+    PITEX_CHECK(p >= 0.0);
+    sum += p;
+  }
+  PITEX_CHECK(std::abs(sum - 1.0) < 1e-6);
+  prior_ = std::move(prior);
+}
+
+TopicPosterior TopicModel::Posterior(std::span<const TagId> tags) const {
+  TopicPosterior post(prior_);
+  if (tags.empty()) return post;
+  for (TopicId z = 0; z < num_topics_; ++z) {
+    for (TagId w : tags) {
+      PITEX_DCHECK(w < num_tags_);
+      post[z] *= TagTopic(w, z);
+      if (post[z] == 0.0) break;
+    }
+  }
+  double norm = 0.0;
+  for (double v : post) norm += v;
+  if (norm <= 0.0) {
+    // p(W) = 0: the tag set is unexpressible; all edge probabilities vanish.
+    return TopicPosterior(num_topics_, 0.0);
+  }
+  for (double& v : post) v /= norm;
+  return post;
+}
+
+double TopicModel::Density() const {
+  size_t nonzero = 0;
+  for (double v : tag_topic_) nonzero += (v > 0.0);
+  return tag_topic_.empty()
+             ? 0.0
+             : static_cast<double>(nonzero) /
+                   static_cast<double>(tag_topic_.size());
+}
+
+}  // namespace pitex

@@ -1,0 +1,44 @@
+#include "src/sampling/influence_estimator.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pitex {
+
+double SampleMeanStdError(double sum, double sum_squares, uint64_t n) {
+  if (n < 2) return 0.0;
+  const auto count = static_cast<double>(n);
+  const double mean = sum / count;
+  const double variance =
+      std::max(0.0, (sum_squares - count * mean * mean) / (count - 1.0));
+  return std::sqrt(variance / count);
+}
+
+ReachableSet ComputeReachable(const Graph& graph, const EdgeProbFn& probs,
+                              VertexId u) {
+  ReachableSet result;
+  std::vector<uint8_t> visited(graph.num_vertices(), 0);
+  std::vector<VertexId> stack{u};
+  visited[u] = 1;
+  result.vertices.push_back(u);
+  while (!stack.empty()) {
+    const VertexId v = stack.back();
+    stack.pop_back();
+    for (const auto& [w, e] : graph.OutEdges(v)) {
+      if (probs.Prob(e) <= 0.0) continue;
+      if (!visited[w]) {
+        visited[w] = 1;
+        result.vertices.push_back(w);
+        stack.push_back(w);
+      }
+    }
+  }
+  for (VertexId v : result.vertices) {
+    for (const auto& [w, e] : graph.OutEdges(v)) {
+      if (probs.Prob(e) > 0.0 && visited[w]) ++result.num_internal_edges;
+    }
+  }
+  return result;
+}
+
+}  // namespace pitex

@@ -1,0 +1,91 @@
+#include "src/sampling/exact.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "src/util/check.h"
+
+namespace pitex {
+
+double ExactInfluence(const Graph& graph, const EdgeProbFn& probs,
+                      VertexId u) {
+  // Restrict attention to the positive-probability reachable subgraph.
+  const ReachableSet reach = ComputeReachable(graph, probs, u);
+  std::vector<uint8_t> in_reach(graph.num_vertices(), 0);
+  for (VertexId v : reach.vertices) in_reach[v] = 1;
+
+  // Collect probabilistic edges (0 < p < 1) and certain edges (p == 1)
+  // inside the reachable subgraph.
+  std::vector<EdgeId> random_edges;
+  std::vector<EdgeId> sure_edges;
+  for (VertexId v : reach.vertices) {
+    for (const auto& [w, e] : graph.OutEdges(v)) {
+      if (!in_reach[w]) continue;
+      const double p = probs.Prob(e);
+      if (p <= 0.0) continue;
+      if (p >= 1.0) {
+        sure_edges.push_back(e);
+      } else {
+        random_edges.push_back(e);
+      }
+    }
+  }
+  PITEX_CHECK_MSG(random_edges.size() <= kMaxExactEdges,
+                  "graph too large for exact possible-world enumeration");
+
+  std::vector<uint8_t> visited(graph.num_vertices(), 0);
+  std::vector<VertexId> stack;
+  std::vector<uint8_t> live(random_edges.size(), 0);
+
+  double expected = 0.0;
+  const uint64_t worlds = uint64_t{1} << random_edges.size();
+  for (uint64_t mask = 0; mask < worlds; ++mask) {
+    double weight = 1.0;
+    // Live-edge lookup for this world.
+    std::unordered_map<EdgeId, bool> live_map;
+    live_map.reserve(random_edges.size());
+    for (size_t i = 0; i < random_edges.size(); ++i) {
+      const bool is_live = (mask >> i) & 1;
+      const double p = probs.Prob(random_edges[i]);
+      weight *= is_live ? p : (1.0 - p);
+      live_map[random_edges[i]] = is_live;
+    }
+    if (weight == 0.0) continue;
+
+    // BFS in the world.
+    for (VertexId v : reach.vertices) visited[v] = 0;
+    stack.assign(1, u);
+    visited[u] = 1;
+    uint64_t count = 1;
+    while (!stack.empty()) {
+      const VertexId v = stack.back();
+      stack.pop_back();
+      for (const auto& [w, e] : graph.OutEdges(v)) {
+        if (!in_reach[w] || visited[w]) continue;
+        const double p = probs.Prob(e);
+        bool is_live = false;
+        if (p >= 1.0) {
+          is_live = true;
+        } else if (p > 0.0) {
+          is_live = live_map[e];
+        }
+        if (is_live) {
+          visited[w] = 1;
+          stack.push_back(w);
+          ++count;
+        }
+      }
+    }
+    expected += weight * static_cast<double>(count);
+  }
+  return expected;
+}
+
+double ExactInfluenceForTags(const SocialNetwork& network,
+                             std::span<const TagId> tags, VertexId u) {
+  const TopicPosterior posterior = network.topics.Posterior(tags);
+  const PosteriorProbs probs(network.influence, posterior);
+  return ExactInfluence(network.graph, probs, u);
+}
+
+}  // namespace pitex

@@ -1,0 +1,30 @@
+// Exact expected-spread computation by possible-world enumeration.
+//
+// Influence computation is #P-hard [7], so this oracle is exponential in
+// the number of probabilistic edges and exists for tests and tiny
+// demonstrations: it enumerates every live/dead assignment of the edges
+// with probability in (0, 1) that are incident to the reachable set,
+// weights each world by its probability, and BFS-counts the spread.
+
+#ifndef PITEX_SRC_SAMPLING_EXACT_H_
+#define PITEX_SRC_SAMPLING_EXACT_H_
+
+#include "src/sampling/influence_estimator.h"
+
+namespace pitex {
+
+/// Maximum number of probabilistic edges the exact oracle accepts
+/// (2^kMaxExactEdges worlds are enumerated).
+inline constexpr size_t kMaxExactEdges = 24;
+
+/// Exact E[I(u)] under edge probabilities `probs`. Requires the reachable
+/// subgraph to contain at most kMaxExactEdges edges with prob in (0, 1).
+double ExactInfluence(const Graph& graph, const EdgeProbFn& probs, VertexId u);
+
+/// Convenience wrapper: exact E[I(u|W)] for a tag set.
+double ExactInfluenceForTags(const SocialNetwork& network,
+                             std::span<const TagId> tags, VertexId u);
+
+}  // namespace pitex
+
+#endif  // PITEX_SRC_SAMPLING_EXACT_H_

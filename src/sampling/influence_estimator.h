@@ -1,0 +1,98 @@
+// Estimator interfaces shared by the online samplers (MC, RR, Lazy, TIM)
+// and the index-based estimators (IndexEst, IndexEst+, DelayMat).
+//
+// Every PITEX algorithm reduces influence estimation to "expected IC spread
+// from u when edge e activates with probability f(e)" for some edge
+// probability function f: the true tag-set probabilities p(e|W) (Eq. 1),
+// the Lemma-8 upper bounds p+(e|W) used by best-effort exploration, or the
+// index envelope p(e) = max_z p(e|z). The EdgeProbFn abstraction lets one
+// estimator implementation serve all three.
+
+#ifndef PITEX_SRC_SAMPLING_INFLUENCE_ESTIMATOR_H_
+#define PITEX_SRC_SAMPLING_INFLUENCE_ESTIMATOR_H_
+
+#include <cstdint>
+
+#include "src/model/influence_graph.h"
+
+namespace pitex {
+
+/// Edge activation probability function. Implementations must be pure
+/// (same EdgeId -> same probability for the lifetime of the call).
+class EdgeProbFn {
+ public:
+  virtual ~EdgeProbFn() = default;
+  /// Activation probability of edge e, in [0, 1].
+  virtual double Prob(EdgeId e) const = 0;
+};
+
+/// p(e|W): the true activation probabilities under posterior p(z|W).
+class PosteriorProbs final : public EdgeProbFn {
+ public:
+  PosteriorProbs(const InfluenceGraph& influence,
+                 const TopicPosterior& posterior)
+      : influence_(influence), posterior_(posterior) {}
+  double Prob(EdgeId e) const override {
+    return influence_.EdgeProb(e, posterior_);
+  }
+
+ private:
+  const InfluenceGraph& influence_;
+  const TopicPosterior& posterior_;
+};
+
+/// p(e) = max_z p(e|z): the envelope used for RR-Graph generation (Def. 2).
+class EnvelopeProbs final : public EdgeProbFn {
+ public:
+  explicit EnvelopeProbs(const InfluenceGraph& influence)
+      : influence_(influence) {}
+  double Prob(EdgeId e) const override { return influence_.MaxProb(e); }
+
+ private:
+  const InfluenceGraph& influence_;
+};
+
+/// Result of one influence estimation.
+struct Estimate {
+  /// Estimated expected spread E[I(u|W)] (>= 1: the source is active).
+  double influence = 0.0;
+  /// Sample standard error of `influence`: the usual s / sqrt(n) over
+  /// the estimator's i.i.d. observations. 0 when not applicable
+  /// (deterministic estimators like TIM, or fewer than two samples).
+  /// `influence +- 2 * std_error` is an approximate 95% interval.
+  double std_error = 0.0;
+  /// Number of sample instances generated (0 for deterministic methods).
+  uint64_t samples = 0;
+  /// Number of edge probes performed — the complexity measure of Sec. 4 /
+  /// Fig. 13.
+  uint64_t edges_visited = 0;
+};
+
+/// Standard error of a sample mean given the accumulated sum and sum of
+/// squares of n i.i.d. observations; 0 for n < 2. Numerical noise that
+/// would make the variance negative is clamped.
+double SampleMeanStdError(double sum, double sum_squares, uint64_t n);
+
+/// An influence oracle answers spread queries for arbitrary edge
+/// probability functions. Online oracles sample on the fly; index oracles
+/// consult pre-built RR-Graphs.
+class InfluenceOracle {
+ public:
+  virtual ~InfluenceOracle() = default;
+
+  /// Estimates the expected IC spread from `u` with activation
+  /// probabilities `probs`.
+  virtual Estimate EstimateInfluence(VertexId u, const EdgeProbFn& probs) = 0;
+
+  /// Human-readable method name for logs and benchmark tables.
+  virtual const char* Name() const = 0;
+};
+
+/// BFS over edges with probs.Prob(e) > 0: computes R_W(u) and |E_W(u)| for
+/// an arbitrary probability function (generalizes ComputeReachableSet).
+ReachableSet ComputeReachable(const Graph& graph, const EdgeProbFn& probs,
+                              VertexId u);
+
+}  // namespace pitex
+
+#endif  // PITEX_SRC_SAMPLING_INFLUENCE_ESTIMATOR_H_

@@ -1,0 +1,115 @@
+#include "src/sampling/lazy_sampler.h"
+
+#include <algorithm>
+
+namespace pitex {
+
+namespace {
+struct DueGreater {
+  bool operator()(const LazySampler::HeapEntry&,
+                  const LazySampler::HeapEntry&) const;
+};
+}  // namespace
+
+// Min-heap comparator (std heap primitives build max-heaps).
+bool DueGreater::operator()(const LazySampler::HeapEntry& a,
+                            const LazySampler::HeapEntry& b) const {
+  return a.due > b.due;
+}
+
+LazySampler::LazySampler(const Graph& graph, SampleSizePolicy policy,
+                         uint64_t seed, bool reuse_queues)
+    : graph_(graph),
+      policy_(policy),
+      rng_(seed),
+      reuse_queues_(reuse_queues),
+      states_(graph.num_vertices()),
+      state_epoch_(graph.num_vertices(), 0),
+      visit_epoch_(graph.num_vertices(), 0) {}
+
+LazySampler::VertexState& LazySampler::StateOf(VertexId v,
+                                               const EdgeProbFn& probs,
+                                               uint64_t sample_cap,
+                                               uint64_t* edge_probes) {
+  VertexState& state = states_[v];
+  if (state_epoch_[v] == call_epoch_) return state;
+  state_epoch_[v] = call_epoch_;
+  state.visits = 0;
+  state.heap.clear();
+  for (const auto& [w, e] : graph_.OutEdges(v)) {
+    const double p = probs.Prob(e);
+    if (p <= 0.0) continue;
+    ++*edge_probes;
+    const uint64_t skip = rng_.NextGeometric(p);
+    if (skip > sample_cap) continue;  // can never fire within this call
+    state.heap.push_back(HeapEntry{skip, w, p});
+  }
+  std::make_heap(state.heap.begin(), state.heap.end(), DueGreater{});
+  return state;
+}
+
+Estimate LazySampler::EstimateInfluence(VertexId u, const EdgeProbFn& probs) {
+  if (!reuse_queues_) {
+    // Paper behaviour (Appendix D): heaps are created per estimation and
+    // destroyed afterwards. Swapping in a fresh vector releases every
+    // vertex's retained capacity.
+    std::vector<VertexState>(graph_.num_vertices()).swap(states_);
+  }
+  const ReachableSet reach = ComputeReachable(graph_, probs, u);
+  const auto rw = static_cast<double>(reach.vertices.size());
+  const double threshold = policy_.StoppingThreshold();
+  const uint64_t cap = policy_.SampleCap(reach.vertices.size());
+
+  ++call_epoch_;
+  Estimate result;
+  uint64_t total_activated = 0;  // "s" in Algorithm 2
+  double sum_squares = 0.0;
+  std::vector<VertexId> frontier;
+  for (uint64_t i = 0; i < cap; ++i) {
+    ++instance_epoch_;
+    const uint64_t before = total_activated;
+    frontier.assign(1, u);
+    visit_epoch_[u] = instance_epoch_;
+    while (!frontier.empty()) {
+      const VertexId v = frontier.back();
+      frontier.pop_back();
+      ++total_activated;
+      VertexState& state = StateOf(v, probs, cap, &result.edges_visited);
+      ++state.visits;  // this is the state.visits-th visit of v
+      while (!state.heap.empty() && state.heap.front().due == state.visits) {
+        std::pop_heap(state.heap.begin(), state.heap.end(), DueGreater{});
+        HeapEntry entry = state.heap.back();
+        state.heap.pop_back();
+        ++result.edges_visited;  // the edge actually fired: one probe
+        if (visit_epoch_[entry.neighbor] != instance_epoch_) {
+          visit_epoch_[entry.neighbor] = instance_epoch_;
+          frontier.push_back(entry.neighbor);
+        }
+        // Re-arm the edge for its next activation.
+        const uint64_t skip = rng_.NextGeometric(entry.prob);
+        if (skip <= cap && state.visits + skip > state.visits) {
+          entry.due = state.visits + skip;
+          if (entry.due <= cap) {
+            state.heap.push_back(entry);
+            std::push_heap(state.heap.begin(), state.heap.end(), DueGreater{});
+          }
+        }
+      }
+    }
+    ++result.samples;
+    const auto instance_spread = static_cast<double>(total_activated - before);
+    sum_squares += instance_spread * instance_spread;
+    // Martingale stop (Algorithm 2, line 17).
+    if (result.samples >= policy_.min_samples &&
+        static_cast<double>(total_activated) / rw >= threshold) {
+      break;
+    }
+  }
+  result.influence = static_cast<double>(total_activated) /
+                     static_cast<double>(std::max<uint64_t>(result.samples, 1));
+  result.std_error = SampleMeanStdError(static_cast<double>(total_activated),
+                                        sum_squares, result.samples);
+  return result;
+}
+
+}  // namespace pitex

@@ -1,0 +1,75 @@
+#include "src/sampling/lt_sampler.h"
+
+#include <algorithm>
+
+namespace pitex {
+
+LtSampler::LtSampler(const Graph& graph, SampleSizePolicy policy,
+                     uint64_t seed)
+    : graph_(graph),
+      policy_(policy),
+      rng_(seed),
+      epoch_(graph.num_vertices(), 0),
+      threshold_(graph.num_vertices(), 0.0),
+      accumulated_(graph.num_vertices(), 0.0) {}
+
+Estimate LtSampler::EstimateInfluence(VertexId u, const EdgeProbFn& probs) {
+  const ReachableSet reach = ComputeReachable(graph_, probs, u);
+  const auto rw = static_cast<double>(reach.vertices.size());
+  const double stop = policy_.StoppingThreshold();
+  const uint64_t cap = policy_.SampleCap(reach.vertices.size());
+
+  Estimate result;
+  uint64_t total_activated = 0;
+  double sum_squares = 0.0;
+  std::vector<VertexId> frontier;
+  // -1 epoch parity: epoch_ marks "touched this instance"; a separate
+  // "active" mark is threshold_ <= accumulated_ checked on the fly.
+  std::vector<uint8_t> active(graph_.num_vertices(), 0);
+  std::vector<VertexId> touched;
+  for (uint64_t i = 0; i < cap; ++i) {
+    ++current_epoch_;
+    frontier.assign(1, u);
+    active[u] = 1;
+    touched.assign(1, u);
+    uint64_t activated = 1;
+    while (!frontier.empty()) {
+      const VertexId v = frontier.back();
+      frontier.pop_back();
+      for (const auto& [w, e] : graph_.OutEdges(v)) {
+        const double weight = probs.Prob(e);
+        if (weight <= 0.0) continue;
+        ++result.edges_visited;
+        if (active[w]) continue;
+        if (epoch_[w] != current_epoch_) {
+          epoch_[w] = current_epoch_;
+          threshold_[w] = rng_.NextDouble();
+          accumulated_[w] = 0.0;
+          touched.push_back(w);
+        }
+        accumulated_[w] = std::min(1.0, accumulated_[w] + weight);
+        if (accumulated_[w] >= threshold_[w]) {
+          active[w] = 1;
+          frontier.push_back(w);
+          ++activated;
+        }
+      }
+    }
+    for (VertexId v : touched) active[v] = 0;
+    total_activated += activated;
+    sum_squares += static_cast<double>(activated) *
+                   static_cast<double>(activated);
+    ++result.samples;
+    if (result.samples >= policy_.min_samples &&
+        static_cast<double>(total_activated) / rw >= stop) {
+      break;
+    }
+  }
+  result.influence = static_cast<double>(total_activated) /
+                     static_cast<double>(std::max<uint64_t>(result.samples, 1));
+  result.std_error = SampleMeanStdError(static_cast<double>(total_activated),
+                                        sum_squares, result.samples);
+  return result;
+}
+
+}  // namespace pitex

@@ -1,0 +1,45 @@
+// Linear Threshold (LT) propagation support — the paper's footnote 1
+// notes the PITEX framework also applies to the LT model [14]; this
+// sampler provides that extension.
+//
+// LT semantics: each vertex v draws a threshold theta_v ~ U[0,1] once; v
+// activates as soon as the sum of incoming edge weights from active
+// in-neighbors reaches theta_v. Edge weights are supplied by the same
+// EdgeProbFn used everywhere else (p(e|W) under a tag set); weights
+// accumulating past 1 are clamped, which realizes the standard
+// "sum of in-weights <= 1" normalization degenerately.
+//
+// The estimator is a forward Monte-Carlo simulation with the same
+// stopping rule as the IC samplers, so it plugs into both solvers and the
+// engine unchanged.
+
+#ifndef PITEX_SRC_SAMPLING_LT_SAMPLER_H_
+#define PITEX_SRC_SAMPLING_LT_SAMPLER_H_
+
+#include "src/sampling/influence_estimator.h"
+#include "src/sampling/sample_size.h"
+#include "src/util/random.h"
+
+namespace pitex {
+
+class LtSampler final : public InfluenceOracle {
+ public:
+  LtSampler(const Graph& graph, SampleSizePolicy policy, uint64_t seed);
+
+  Estimate EstimateInfluence(VertexId u, const EdgeProbFn& probs) override;
+  const char* Name() const override { return "LT"; }
+
+ private:
+  const Graph& graph_;
+  SampleSizePolicy policy_;
+  Rng rng_;
+  // Per-instance scratch, epoch-stamped.
+  std::vector<uint32_t> epoch_;
+  std::vector<double> threshold_;
+  std::vector<double> accumulated_;
+  uint32_t current_epoch_ = 0;
+};
+
+}  // namespace pitex
+
+#endif  // PITEX_SRC_SAMPLING_LT_SAMPLER_H_

@@ -1,0 +1,61 @@
+#include "src/sampling/mc_sampler.h"
+
+#include <algorithm>
+
+namespace pitex {
+
+McSampler::McSampler(const Graph& graph, SampleSizePolicy policy,
+                     uint64_t seed)
+    : graph_(graph),
+      policy_(policy),
+      rng_(seed),
+      visit_epoch_(graph.num_vertices(), 0) {}
+
+Estimate McSampler::EstimateInfluence(VertexId u, const EdgeProbFn& probs) {
+  const ReachableSet reach = ComputeReachable(graph_, probs, u);
+  const auto rw = static_cast<double>(reach.vertices.size());
+  const double threshold = policy_.StoppingThreshold();
+  const uint64_t cap = policy_.SampleCap(reach.vertices.size());
+
+  Estimate result;
+  uint64_t total_activated = 0;  // "s" in Algo 2
+  double sum_squares = 0.0;
+  std::vector<VertexId> stack;
+  for (uint64_t i = 0; i < cap; ++i) {
+    ++epoch_;
+    stack.assign(1, u);
+    visit_epoch_[u] = epoch_;
+    uint64_t activated = 1;
+    while (!stack.empty()) {
+      const VertexId v = stack.back();
+      stack.pop_back();
+      for (const auto& [w, e] : graph_.OutEdges(v)) {
+        const double p = probs.Prob(e);
+        if (p <= 0.0) continue;
+        ++result.edges_visited;  // MC probes every positive-prob edge
+        if (visit_epoch_[w] == epoch_) continue;
+        if (rng_.NextBernoulli(p)) {
+          visit_epoch_[w] = epoch_;
+          stack.push_back(w);
+          ++activated;
+        }
+      }
+    }
+    total_activated += activated;
+    sum_squares += static_cast<double>(activated) *
+                   static_cast<double>(activated);
+    ++result.samples;
+    // Martingale stop: accumulated normalized spread crossed Lambda.
+    if (result.samples >= policy_.min_samples &&
+        static_cast<double>(total_activated) / rw >= threshold) {
+      break;
+    }
+  }
+  result.influence = static_cast<double>(total_activated) /
+                     static_cast<double>(std::max<uint64_t>(result.samples, 1));
+  result.std_error = SampleMeanStdError(static_cast<double>(total_activated),
+                                        sum_squares, result.samples);
+  return result;
+}
+
+}  // namespace pitex

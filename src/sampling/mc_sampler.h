@@ -1,0 +1,36 @@
+// Monte-Carlo influence estimation (Sec. 4, after Kempe et al. [19]).
+//
+// Each sample instance runs a forward IC simulation from u, probing every
+// out-edge of every activated vertex with a Bernoulli coin. The estimate is
+// the mean activated count. Sampling stops early via the martingale rule of
+// SampleSizePolicy. MC's weakness (Example 2 of the paper): a high-out-
+// degree, low-probability source probes all its edges in every instance.
+
+#ifndef PITEX_SRC_SAMPLING_MC_SAMPLER_H_
+#define PITEX_SRC_SAMPLING_MC_SAMPLER_H_
+
+#include "src/sampling/influence_estimator.h"
+#include "src/sampling/sample_size.h"
+#include "src/util/random.h"
+
+namespace pitex {
+
+class McSampler final : public InfluenceOracle {
+ public:
+  McSampler(const Graph& graph, SampleSizePolicy policy, uint64_t seed);
+
+  Estimate EstimateInfluence(VertexId u, const EdgeProbFn& probs) override;
+  const char* Name() const override { return "MC"; }
+
+ private:
+  const Graph& graph_;
+  SampleSizePolicy policy_;
+  Rng rng_;
+  // Scratch reused across calls: epoch-stamped visited marks.
+  std::vector<uint32_t> visit_epoch_;
+  uint32_t epoch_ = 0;
+};
+
+}  // namespace pitex
+
+#endif  // PITEX_SRC_SAMPLING_MC_SAMPLER_H_

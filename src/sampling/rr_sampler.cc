@@ -1,0 +1,72 @@
+#include "src/sampling/rr_sampler.h"
+
+#include <algorithm>
+
+namespace pitex {
+
+RrSampler::RrSampler(const Graph& graph, SampleSizePolicy policy,
+                     uint64_t seed)
+    : graph_(graph),
+      policy_(policy),
+      rng_(seed),
+      visit_epoch_(graph.num_vertices(), 0) {}
+
+Estimate RrSampler::EstimateInfluence(VertexId u, const EdgeProbFn& probs) {
+  const ReachableSet reach = ComputeReachable(graph_, probs, u);
+  const auto rw = static_cast<double>(reach.vertices.size());
+  const double threshold = policy_.StoppingThreshold();
+  const uint64_t cap = policy_.SampleCap(reach.vertices.size());
+
+  Estimate result;
+  uint64_t hits = 0;
+  std::vector<VertexId> stack;
+  for (uint64_t i = 0; i < cap; ++i) {
+    const VertexId target =
+        reach.vertices[rng_.NextBounded(reach.vertices.size())];
+    ++result.samples;
+    ++epoch_;
+    // Reverse BFS from the target; stop as soon as u is reached (the
+    // indicator is already determined).
+    bool hit = (target == u);
+    if (!hit) {
+      stack.assign(1, target);
+      visit_epoch_[target] = epoch_;
+      while (!stack.empty() && !hit) {
+        const VertexId v = stack.back();
+        stack.pop_back();
+        for (const auto& [w, e] : graph_.InEdges(v)) {
+          const double p = probs.Prob(e);
+          if (p <= 0.0) continue;
+          ++result.edges_visited;  // RR probes every positive in-edge
+          if (visit_epoch_[w] == epoch_) continue;
+          if (rng_.NextBernoulli(p)) {
+            if (w == u) {
+              hit = true;
+              break;
+            }
+            visit_epoch_[w] = epoch_;
+            stack.push_back(w);
+          }
+        }
+      }
+    }
+    if (hit) ++hits;
+    // Bernoulli samples: the normalized accumulated spread is exactly the
+    // hit count.
+    if (result.samples >= policy_.min_samples &&
+        static_cast<double>(hits) >= threshold) {
+      break;
+    }
+  }
+  result.influence = static_cast<double>(hits) /
+                     static_cast<double>(std::max<uint64_t>(result.samples, 1)) *
+                     rw;
+  result.influence = std::max(result.influence, 1.0);
+  // Observations are Bernoulli * |R_W(u)|.
+  result.std_error = SampleMeanStdError(static_cast<double>(hits) * rw,
+                                        static_cast<double>(hits) * rw * rw,
+                                        result.samples);
+  return result;
+}
+
+}  // namespace pitex

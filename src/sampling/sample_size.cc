@@ -1,0 +1,30 @@
+#include "src/sampling/sample_size.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/chernoff.h"
+#include "src/util/check.h"
+
+namespace pitex {
+
+double SampleSizePolicy::StoppingThreshold() const {
+  PITEX_CHECK(eps > 0.0 && delta > 1.0);
+  const double log_sets =
+      use_phi ? LogPhi(num_tags, k) : LogBinomial(num_tags, k);
+  const double log_terms = std::log(delta) + log_sets + std::log(2.0);
+  return (2.0 + eps) / (eps * eps) * log_terms;
+}
+
+uint64_t SampleSizePolicy::SampleCap(uint64_t reachable_size) const {
+  const double cap =
+      StoppingThreshold() * static_cast<double>(std::max<uint64_t>(
+                                reachable_size, 1));
+  uint64_t theta = max_samples;
+  if (cap < static_cast<double>(max_samples)) {
+    theta = static_cast<uint64_t>(std::ceil(cap));
+  }
+  return std::clamp<uint64_t>(theta, min_samples, max_samples);
+}
+
+}  // namespace pitex

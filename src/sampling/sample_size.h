@@ -1,0 +1,50 @@
+// Sample-size policy implementing Eq. (2) and the early-stopping rule of
+// Algorithm 2 (line 17).
+//
+// Eq. (2) prescribes theta_W proportional to |R_W(u)| / E[I(u|W)] — but
+// E[I(u|W)] is exactly the quantity being estimated. The paper resolves
+// this with a martingale stopping rule: normalize each sample's spread by
+// |R_W(u)| (a [0,1] variable with mean E[I]/|R_W|) and stop once the
+// accumulated sum crosses the Lambda threshold
+//
+//   Lambda = (2+eps)/eps^2 * (ln(delta) + ln C(|Omega|, k) + ln 2),
+//
+// at which point the number of samples drawn matches Eq. (2) up to
+// constants. A hard cap (Eq. (2) with the trivial bound E[I] >= 1, further
+// clamped by `max_samples`) bounds the worst case.
+
+#ifndef PITEX_SRC_SAMPLING_SAMPLE_SIZE_H_
+#define PITEX_SRC_SAMPLING_SAMPLE_SIZE_H_
+
+#include <cstdint>
+
+namespace pitex {
+
+struct SampleSizePolicy {
+  /// Relative error target (eps in the paper; default matches Sec. 7).
+  double eps = 0.7;
+  /// Confidence parameter: guarantees hold with probability 1 - 1/delta.
+  double delta = 1000.0;
+  /// Tag vocabulary size |Omega|.
+  int64_t num_tags = 1;
+  /// Query size k (the union bound runs over all C(|Omega|, k) tag sets;
+  /// best-effort uses phi_k = sum_i C(|Omega|, i) instead — set
+  /// `use_phi` for that).
+  int64_t k = 1;
+  bool use_phi = false;
+
+  /// Never draw fewer samples than this (protects tiny instances).
+  uint64_t min_samples = 32;
+  /// Hard cap on samples per estimation, independent of graph size.
+  uint64_t max_samples = 1 << 17;
+
+  /// The stopping threshold Lambda (see file comment).
+  double StoppingThreshold() const;
+
+  /// Eq. (2) with E[I(u|W)] >= 1, clamped to [min_samples, max_samples].
+  uint64_t SampleCap(uint64_t reachable_size) const;
+};
+
+}  // namespace pitex
+
+#endif  // PITEX_SRC_SAMPLING_SAMPLE_SIZE_H_

@@ -1,0 +1,56 @@
+#include "src/sampling/tim_estimator.h"
+
+#include <queue>
+#include <utility>
+
+namespace pitex {
+
+TimEstimator::TimEstimator(const Graph& graph, TimOptions options)
+    : graph_(graph),
+      options_(options),
+      best_prob_(graph.num_vertices(), 0.0),
+      seen_epoch_(graph.num_vertices(), 0) {}
+
+Estimate TimEstimator::EstimateInfluence(VertexId u, const EdgeProbFn& probs) {
+  ++epoch_;
+  Estimate result;
+
+  // Max-probability-path Dijkstra: the priority queue orders by path
+  // probability, largest first.
+  using QueueEntry = std::pair<double, VertexId>;
+  std::priority_queue<QueueEntry> queue;
+  queue.emplace(1.0, u);
+  best_prob_[u] = 1.0;
+  seen_epoch_[u] = epoch_;
+
+  double influence = 0.0;
+  size_t settled = 0;
+  while (!queue.empty() && settled < options_.max_vertices) {
+    const auto [p, v] = queue.top();
+    queue.pop();
+    if (p < best_prob_[v] || seen_epoch_[v] != epoch_) continue;  // stale
+    // Mark settled by bumping best above any future entry.
+    influence += p;
+    ++settled;
+    best_prob_[v] = 2.0;  // sentinel: settled
+    for (const auto& [w, e] : graph_.OutEdges(v)) {
+      const double pe = probs.Prob(e);
+      if (pe <= 0.0) continue;
+      ++result.edges_visited;
+      const double pw = p * pe;
+      if (pw < options_.path_threshold) continue;
+      if (seen_epoch_[w] != epoch_) {
+        seen_epoch_[w] = epoch_;
+        best_prob_[w] = pw;
+        queue.emplace(pw, w);
+      } else if (best_prob_[w] < 2.0 && pw > best_prob_[w]) {
+        best_prob_[w] = pw;
+        queue.emplace(pw, w);
+      }
+    }
+  }
+  result.influence = influence;
+  return result;
+}
+
+}  // namespace pitex

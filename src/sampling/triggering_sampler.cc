@@ -1,0 +1,101 @@
+#include "src/sampling/triggering_sampler.h"
+
+#include <algorithm>
+
+namespace pitex {
+
+void IcTriggering::SampleTriggeringSet(const Graph& graph, VertexId v,
+                                       const EdgeProbFn& probs, Rng* rng,
+                                       std::vector<EdgeId>* live) const {
+  for (const auto& [tail, e] : graph.InEdges(v)) {
+    const double p = probs.Prob(e);
+    if (p > 0.0 && rng->NextBernoulli(p)) live->push_back(e);
+  }
+}
+
+void LtTriggering::SampleTriggeringSet(const Graph& graph, VertexId v,
+                                       const EdgeProbFn& probs, Rng* rng,
+                                       std::vector<EdgeId>* live) const {
+  double total = 0.0;
+  for (const auto& [tail, e] : graph.InEdges(v)) total += probs.Prob(e);
+  if (total <= 0.0) return;
+  // With sum <= 1 the leftover mass selects nobody; with sum > 1 the
+  // draw is renormalized (every in-weight profile is still a valid
+  // categorical distribution).
+  const double scale = std::max(total, 1.0);
+  double pick = rng->NextDouble() * scale;
+  for (const auto& [tail, e] : graph.InEdges(v)) {
+    pick -= probs.Prob(e);
+    if (pick < 0.0) {
+      live->push_back(e);
+      return;
+    }
+  }
+  // pick landed in the [total, 1) leftover: empty triggering set.
+}
+
+TriggeringSampler::TriggeringSampler(const Graph& graph,
+                                     const TriggeringDistribution* distribution,
+                                     SampleSizePolicy policy, uint64_t seed)
+    : graph_(graph),
+      distribution_(distribution),
+      policy_(policy),
+      rng_(seed),
+      decided_epoch_(graph.num_vertices(), 0),
+      live_epoch_(graph.num_edges(), 0),
+      active_epoch_(graph.num_vertices(), 0) {}
+
+Estimate TriggeringSampler::EstimateInfluence(VertexId u,
+                                              const EdgeProbFn& probs) {
+  const ReachableSet reach = ComputeReachable(graph_, probs, u);
+  const auto rw = static_cast<double>(reach.vertices.size());
+  const double threshold = policy_.StoppingThreshold();
+  const uint64_t cap = policy_.SampleCap(reach.vertices.size());
+
+  Estimate result;
+  uint64_t total_activated = 0;
+  double sum_squares = 0.0;
+  std::vector<VertexId> frontier;
+  for (uint64_t i = 0; i < cap; ++i) {
+    ++epoch_;
+    const uint64_t before = total_activated;
+    frontier.assign(1, u);
+    active_epoch_[u] = epoch_;
+    while (!frontier.empty()) {
+      const VertexId x = frontier.back();
+      frontier.pop_back();
+      ++total_activated;
+      for (const auto& [v, e] : graph_.OutEdges(x)) {
+        if (active_epoch_[v] == epoch_) continue;
+        // Draw T_v lazily on first probe; the draw is independent of the
+        // probing order, so deferring it preserves the distribution.
+        if (decided_epoch_[v] != epoch_) {
+          decided_epoch_[v] = epoch_;
+          scratch_live_.clear();
+          distribution_->SampleTriggeringSet(graph_, v, probs, &rng_,
+                                             &scratch_live_);
+          result.edges_visited += graph_.InDegree(v);
+          for (const EdgeId live : scratch_live_) live_epoch_[live] = epoch_;
+        }
+        if (live_epoch_[e] == epoch_) {
+          active_epoch_[v] = epoch_;
+          frontier.push_back(v);
+        }
+      }
+    }
+    ++result.samples;
+    const auto instance_spread = static_cast<double>(total_activated - before);
+    sum_squares += instance_spread * instance_spread;
+    if (result.samples >= policy_.min_samples && rw > 0.0 &&
+        static_cast<double>(total_activated) / rw >= threshold) {
+      break;
+    }
+  }
+  result.influence = static_cast<double>(total_activated) /
+                     static_cast<double>(std::max<uint64_t>(result.samples, 1));
+  result.std_error = SampleMeanStdError(static_cast<double>(total_activated),
+                                        sum_squares, result.samples);
+  return result;
+}
+
+}  // namespace pitex

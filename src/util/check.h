@@ -1,0 +1,40 @@
+// Lightweight invariant-checking macros.
+//
+// PITEX_CHECK(cond) aborts with a message when `cond` is false. It is used
+// for programmer errors and internal invariants that must never fail in a
+// correct program; it is enabled in all build types (the cost is a branch).
+// PITEX_DCHECK(cond) compiles away in NDEBUG builds and is used on hot paths.
+
+#ifndef PITEX_SRC_UTIL_CHECK_H_
+#define PITEX_SRC_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define PITEX_CHECK(cond)                                                    \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "PITEX_CHECK failed at %s:%d: %s\n", __FILE__,    \
+                   __LINE__, #cond);                                         \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#define PITEX_CHECK_MSG(cond, msg)                                           \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "PITEX_CHECK failed at %s:%d: %s (%s)\n",         \
+                   __FILE__, __LINE__, #cond, msg);                          \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#ifdef NDEBUG
+#define PITEX_DCHECK(cond) \
+  do {                     \
+  } while (0)
+#else
+#define PITEX_DCHECK(cond) PITEX_CHECK(cond)
+#endif
+
+#endif  // PITEX_SRC_UTIL_CHECK_H_

@@ -1,0 +1,39 @@
+#include "src/util/chernoff.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace pitex {
+
+double LogBinomial(int64_t n, int64_t k) {
+  if (k <= 0 || k >= n) return 0.0;
+  return std::lgamma(static_cast<double>(n + 1)) -
+         std::lgamma(static_cast<double>(k + 1)) -
+         std::lgamma(static_cast<double>(n - k + 1));
+}
+
+double LogPhi(int64_t n, int64_t cap_k) {
+  PITEX_CHECK(n >= 1 && cap_k >= 1);
+  cap_k = std::min(cap_k, n);
+  // log-sum-exp over ln C(n, i), i = 1..K.
+  double max_term = 0.0;
+  for (int64_t i = 1; i <= cap_k; ++i) {
+    max_term = std::max(max_term, LogBinomial(n, i));
+  }
+  double sum = 0.0;
+  for (int64_t i = 1; i <= cap_k; ++i) {
+    sum += std::exp(LogBinomial(n, i) - max_term);
+  }
+  return max_term + std::log(sum);
+}
+
+double Lambda(double eps, double delta, int64_t n_tags, int64_t k) {
+  PITEX_CHECK(eps > 0.0 && delta > 1.0);
+  const double log_terms =
+      std::log(delta) + LogBinomial(n_tags, k) + std::log(2.0);
+  return (2.0 + eps) / (eps * eps) * log_terms;
+}
+
+}  // namespace pitex

@@ -1,0 +1,32 @@
+// Chernoff-bound sample-size arithmetic used throughout the paper.
+//
+// Lemma 2 / Eq. (2):  theta_W = (2+eps)/eps^2 * |R_W(u)| *
+//                     (ln delta + ln C(|Omega|, k) + ln 2) / E[I(u|W)]
+// Eq. (7) (offline):  theta   = (2+eps)/eps^2 * |V| *
+//                     (ln delta + ln phi_K + ln 2)
+// where phi_K = sum_{i=1..K} C(|Omega|, i).
+//
+// These quantities involve log-binomials, which we compute via lgamma to
+// avoid overflow for large vocabularies.
+
+#ifndef PITEX_SRC_UTIL_CHERNOFF_H_
+#define PITEX_SRC_UTIL_CHERNOFF_H_
+
+#include <cstdint>
+
+namespace pitex {
+
+/// Returns ln C(n, k); 0 for degenerate inputs (k <= 0 or k >= n).
+double LogBinomial(int64_t n, int64_t k);
+
+/// Returns ln phi_K where phi_K = sum_{i=1..K} C(n, i); computed stably in
+/// log space. Requires K >= 1 and n >= 1.
+double LogPhi(int64_t n, int64_t cap_k);
+
+/// The Lambda factor of the paper's complexity analyses:
+/// (2+eps)/eps^2 * (ln delta + ln C(|Omega|, k) + ln 2).
+double Lambda(double eps, double delta, int64_t n_tags, int64_t k);
+
+}  // namespace pitex
+
+#endif  // PITEX_SRC_UTIL_CHERNOFF_H_

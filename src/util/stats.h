@@ -1,0 +1,41 @@
+// Small statistics accumulators used by tests and benchmark harnesses.
+
+#ifndef PITEX_SRC_UTIL_STATS_H_
+#define PITEX_SRC_UTIL_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace pitex {
+
+/// Streaming mean/variance accumulator (Welford's algorithm).
+class RunningStats {
+ public:
+  /// Adds one observation.
+  void Add(double x);
+
+  int64_t count() const { return count_; }
+  double mean() const { return mean_; }
+  /// Sample variance (n-1 denominator); 0 when fewer than 2 observations.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return sum_; }
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Returns the q-quantile (0 <= q <= 1) of `values` using linear
+/// interpolation; `values` is copied and sorted. Returns 0 for empty input.
+double Quantile(std::vector<double> values, double q);
+
+}  // namespace pitex
+
+#endif  // PITEX_SRC_UTIL_STATS_H_

@@ -1,0 +1,88 @@
+#include "src/util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+
+#include "src/util/check.h"
+
+namespace pitex {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  const size_t count = std::max<size_t>(1, num_threads);
+  workers_.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  Wait();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutting_down_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  PITEX_CHECK(task != nullptr);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    PITEX_CHECK_MSG(!shutting_down_, "Submit after shutdown");
+    queue_.push_back(std::move(task));
+    ++in_flight_;
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  all_idle_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(
+          lock, [this] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutting down and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --in_flight_;
+      if (in_flight_ == 0) all_idle_.notify_all();
+    }
+  }
+}
+
+void ParallelFor(ThreadPool* pool, size_t begin, size_t end,
+                 const std::function<void(size_t)>& fn) {
+  if (begin >= end) return;
+  const size_t total = end - begin;
+  // Small chunks balance power-law skew; large enough to amortize the
+  // claim. One shared cursor, claimed in chunks of ~total/(8*threads).
+  const size_t chunk = std::max<size_t>(
+      1, total / (8 * std::max<size_t>(1, pool->num_threads())));
+  auto cursor = std::make_shared<std::atomic<size_t>>(begin);
+  const size_t num_tasks = std::min(pool->num_threads(), total);
+  for (size_t t = 0; t < num_tasks; ++t) {
+    pool->Submit([cursor, end, chunk, &fn] {
+      for (;;) {
+        const size_t start = cursor->fetch_add(chunk);
+        if (start >= end) return;
+        const size_t stop = std::min(end, start + chunk);
+        for (size_t i = start; i < stop; ++i) fn(i);
+      }
+    });
+  }
+  pool->Wait();
+}
+
+}  // namespace pitex

@@ -1,0 +1,67 @@
+// A fixed-size worker pool for batch query processing.
+//
+// The pool is deliberately minimal: submit void() tasks, wait for
+// quiescence, destructor joins. PITEX uses it for two workloads with
+// different shapes:
+//   * batch PITEX queries (src/core/batch_engine.h): many independent
+//     medium-sized tasks, claimed via an atomic cursor;
+//   * bulk index construction already handles its own threading
+//     (src/index/rr_index.cc) because its partitioning is static.
+//
+// ParallelFor is the convenience wrapper for index-style static ranges.
+
+#ifndef PITEX_SRC_UTIL_THREAD_POOL_H_
+#define PITEX_SRC_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pitex {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (at least one).
+  explicit ThreadPool(size_t num_threads);
+
+  /// Waits for all submitted tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Tasks must not throw (the library does not use
+  /// exceptions); a task may Submit further tasks.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task (including tasks submitted by
+  /// running tasks) has finished.
+  void Wait();
+
+  size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_idle_;
+  std::deque<std::function<void()>> queue_;
+  size_t in_flight_ = 0;  // queued + currently running tasks
+  bool shutting_down_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Runs fn(i) for i in [begin, end) across the pool, blocking until all
+/// iterations finish. Iterations are claimed dynamically in chunks so
+/// uneven per-item costs (e.g. power-law reach sizes) still balance.
+void ParallelFor(ThreadPool* pool, size_t begin, size_t end,
+                 const std::function<void(size_t)>& fn);
+
+}  // namespace pitex
+
+#endif  // PITEX_SRC_UTIL_THREAD_POOL_H_

@@ -1,0 +1,92 @@
+#include "src/model/action_log.h"
+
+#include <set>
+#include <unordered_map>
+
+#include <gtest/gtest.h>
+
+#include "running_example.h"
+#include "src/datasets/synthetic.h"
+
+namespace pitex {
+namespace {
+
+TEST(ActionLogTest, CascadesHaveSeedsAtStepZero) {
+  SocialNetwork n = MakeRunningExample();
+  Rng rng(1);
+  const ActionLog log = SimulateCascades(n, {.num_cascades = 50}, &rng);
+  ASSERT_EQ(log.cascades.size(), 50u);
+  for (const auto& c : log.cascades) {
+    ASSERT_FALSE(c.activations.empty());
+    EXPECT_EQ(c.activations.front().second, 0u);  // seed at step 0
+  }
+}
+
+TEST(ActionLogTest, TagsAreDistinctAndSorted) {
+  SocialNetwork n = MakeRunningExample();
+  Rng rng(2);
+  const ActionLog log =
+      SimulateCascades(n, {.num_cascades = 100, .tags_per_item = 2}, &rng);
+  for (const auto& c : log.cascades) {
+    EXPECT_EQ(c.item_tags.size(), 2u);
+    EXPECT_LT(c.item_tags[0], c.item_tags[1]);
+  }
+}
+
+TEST(ActionLogTest, ActivationsFollowEdges) {
+  // Every non-seed activation must have an in-neighbor activated at the
+  // previous step.
+  SocialNetwork n = MakeRunningExample();
+  Rng rng(3);
+  const ActionLog log = SimulateCascades(n, {.num_cascades = 200}, &rng);
+  for (const auto& c : log.cascades) {
+    std::unordered_map<VertexId, uint32_t> step_of;
+    for (const auto& [v, s] : c.activations) step_of[v] = s;
+    for (const auto& [v, s] : c.activations) {
+      if (s == 0) continue;
+      bool has_parent = false;
+      for (const auto& [w, e] : n.graph.InEdges(v)) {
+        auto it = step_of.find(w);
+        if (it != step_of.end() && it->second == s - 1) {
+          has_parent = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(has_parent) << "orphan activation";
+    }
+  }
+}
+
+TEST(ActionLogTest, NoDuplicateActivations) {
+  SocialNetwork n = MakeRunningExample();
+  Rng rng(4);
+  const ActionLog log = SimulateCascades(n, {.num_cascades = 200}, &rng);
+  for (const auto& c : log.cascades) {
+    std::set<VertexId> seen;
+    for (const auto& [v, s] : c.activations) {
+      EXPECT_TRUE(seen.insert(v).second) << "duplicate activation of " << v;
+    }
+  }
+}
+
+TEST(ActionLogTest, TotalActivationsCountsAll) {
+  SocialNetwork n = MakeRunningExample();
+  Rng rng(5);
+  const ActionLog log = SimulateCascades(n, {.num_cascades = 30}, &rng);
+  size_t manual = 0;
+  for (const auto& c : log.cascades) manual += c.activations.size();
+  EXPECT_EQ(log.TotalActivations(), manual);
+  EXPECT_GE(log.TotalActivations(), 30u);  // at least the seeds
+}
+
+TEST(ActionLogTest, AverageCascadeSizeTracksInfluence) {
+  // On a dataset with non-trivial probabilities, cascades must propagate
+  // beyond the seed reasonably often.
+  SocialNetwork n = GenerateDataset(LastfmSpec(0.1));
+  Rng rng(6);
+  const ActionLog log = SimulateCascades(n, {.num_cascades = 500}, &rng);
+  EXPECT_GT(log.TotalActivations(), 505u);
+}
+
+}  // namespace
+}  // namespace pitex

@@ -1,0 +1,176 @@
+// Tests for BatchEngine (src/core/batch_engine.h): batch answers must
+// agree with sequential single-engine answers, stay deterministic for a
+// fixed thread count, and support every estimation method over a shared
+// or replicated index.
+
+#include "src/core/batch_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "running_example.h"
+#include "src/datasets/synthetic.h"
+
+namespace pitex {
+namespace {
+
+std::vector<PitexQuery> MakeQueries(const SocialNetwork& n, size_t count) {
+  std::vector<PitexQuery> queries;
+  queries.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    queries.push_back(
+        {.user = static_cast<VertexId>(i % n.num_vertices()), .k = 2});
+  }
+  return queries;
+}
+
+TEST(BatchEngineTest, MatchesSequentialEngineOnIndexEst) {
+  const SocialNetwork n = MakeRunningExample();
+  EngineOptions options;
+  options.method = Method::kIndexEst;
+  options.index_theta_per_vertex = 400.0;  // dense: estimates become stable
+  options.seed = 3;
+
+  // Sequential reference.
+  PitexEngine reference(&n, options);
+  reference.BuildIndex();
+
+  BatchOptions batch_options;
+  batch_options.engine = options;
+  batch_options.num_threads = 4;
+  BatchEngine batch(&n, batch_options);
+
+  const auto queries = MakeQueries(n, 14);
+  const auto results = batch.ExploreAll(queries);
+  ASSERT_EQ(results.size(), queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const PitexResult expected = reference.Explore(queries[i]);
+    // IndexEst is deterministic given the index; the shared index is
+    // built with the same seed, so tag sets and influences must agree.
+    EXPECT_EQ(results[i].tags, expected.tags) << "query " << i;
+    EXPECT_DOUBLE_EQ(results[i].influence, expected.influence);
+  }
+}
+
+TEST(BatchEngineTest, DeterministicAcrossRunsForFixedThreads) {
+  const SocialNetwork n = MakeRunningExample();
+  BatchOptions options;
+  options.engine.method = Method::kLazy;
+  options.engine.seed = 9;
+  options.num_threads = 3;
+
+  const auto queries = MakeQueries(n, 12);
+  BatchEngine first(&n, options);
+  BatchEngine second(&n, options);
+  const auto a = first.ExploreAll(queries);
+  const auto b = second.ExploreAll(queries);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].tags, b[i].tags) << "query " << i;
+    EXPECT_DOUBLE_EQ(a[i].influence, b[i].influence);
+  }
+}
+
+class BatchEngineMethodTest : public ::testing::TestWithParam<Method> {};
+
+TEST_P(BatchEngineMethodTest, AllMethodsAnswerBatches) {
+  const SocialNetwork n = MakeRunningExample();
+  BatchOptions options;
+  options.engine.method = GetParam();
+  options.engine.index_theta_per_vertex = 150.0;
+  options.engine.seed = 7;
+  options.num_threads = 4;
+
+  BatchEngine batch(&n, options);
+  const auto queries = MakeQueries(n, 10);
+  const auto results = batch.ExploreAll(queries);
+  ASSERT_EQ(results.size(), queries.size());
+  for (size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].tags.size(), queries[i].k) << "query " << i;
+    EXPECT_GE(results[i].influence, 1.0) << "query " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMethods, BatchEngineMethodTest,
+                         ::testing::Values(Method::kMc, Method::kRr,
+                                           Method::kLazy, Method::kTim,
+                                           Method::kIndexEst,
+                                           Method::kIndexEstPlus,
+                                           Method::kDelayMat, Method::kLt),
+                         [](const auto& info) {
+                           std::string name = MethodName(info.param);
+                           for (char& c : name) {
+                             if (c == '+') c = 'P';
+                           }
+                           return name;
+                         });
+
+TEST(BatchEngineTest, SingleThreadDegeneratesToSequential) {
+  const SocialNetwork n = MakeRunningExample();
+  BatchOptions options;
+  options.engine.method = Method::kLazy;
+  options.engine.seed = 5;
+  options.num_threads = 1;
+
+  PitexEngine reference(&n, options.engine);
+  BatchEngine batch(&n, options);
+  const auto queries = MakeQueries(n, 6);
+  const auto results = batch.ExploreAll(queries);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const PitexResult expected = reference.Explore(queries[i]);
+    EXPECT_EQ(results[i].tags, expected.tags) << "query " << i;
+    EXPECT_DOUBLE_EQ(results[i].influence, expected.influence);
+  }
+}
+
+TEST(BatchEngineTest, SharedIndexReportedForIndexMethods) {
+  const SocialNetwork n = MakeRunningExample();
+  BatchOptions options;
+  options.engine.method = Method::kIndexEst;
+  options.num_threads = 2;
+  BatchEngine batch(&n, options);
+  batch.Prepare();
+  EXPECT_GT(batch.SharedIndexSizeBytes(), 0u);
+
+  BatchOptions online;
+  online.engine.method = Method::kLazy;
+  BatchEngine online_batch(&n, online);
+  online_batch.Prepare();
+  EXPECT_EQ(online_batch.SharedIndexSizeBytes(), 0u);
+}
+
+TEST(BatchEngineTest, LargeBatchOnSyntheticDataset) {
+  DatasetSpec spec = LastfmSpec(0.5);
+  spec.seed = 21;
+  const SocialNetwork n = GenerateDataset(spec);
+  BatchOptions options;
+  options.engine.method = Method::kIndexEstPlus;
+  options.engine.index_theta_per_vertex = 2.0;
+  options.num_threads = 4;
+
+  BatchEngine batch(&n, options);
+  std::vector<PitexQuery> queries;
+  const auto users =
+      SampleUserGroup(n.graph, UserGroup::kMid, 40, /*seed=*/2);
+  for (const VertexId u : users) queries.push_back({.user = u, .k = 3});
+  const auto results = batch.ExploreAll(queries);
+  ASSERT_EQ(results.size(), queries.size());
+  for (const PitexResult& r : results) {
+    EXPECT_EQ(r.tags.size(), 3u);
+    EXPECT_GE(r.influence, 1.0);
+  }
+  EXPECT_GT(batch.last_batch_seconds(), 0.0);
+}
+
+TEST(BatchEngineTest, EmptyBatchIsFine) {
+  const SocialNetwork n = MakeRunningExample();
+  BatchOptions options;
+  options.engine.method = Method::kLazy;
+  BatchEngine batch(&n, options);
+  const auto results = batch.ExploreAll({});
+  EXPECT_TRUE(results.empty());
+}
+
+}  // namespace
+}  // namespace pitex

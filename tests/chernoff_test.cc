@@ -1,0 +1,67 @@
+#include "src/util/chernoff.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace pitex {
+namespace {
+
+TEST(LogBinomialTest, SmallValuesExact) {
+  EXPECT_NEAR(std::exp(LogBinomial(5, 2)), 10.0, 1e-9);
+  EXPECT_NEAR(std::exp(LogBinomial(10, 3)), 120.0, 1e-6);
+  EXPECT_NEAR(std::exp(LogBinomial(50, 3)), 19600.0, 1e-3);
+}
+
+TEST(LogBinomialTest, DegenerateCases) {
+  EXPECT_EQ(LogBinomial(5, 0), 0.0);
+  EXPECT_EQ(LogBinomial(5, 5), 0.0);
+  EXPECT_EQ(LogBinomial(5, -1), 0.0);
+  EXPECT_EQ(LogBinomial(5, 7), 0.0);
+}
+
+TEST(LogBinomialTest, Symmetry) {
+  EXPECT_NEAR(LogBinomial(20, 6), LogBinomial(20, 14), 1e-9);
+}
+
+TEST(LogBinomialTest, LargeValuesFinite) {
+  const double v = LogBinomial(10000000, 250);
+  EXPECT_TRUE(std::isfinite(v));
+  EXPECT_GT(v, 0.0);
+}
+
+TEST(LogPhiTest, MatchesDirectSum) {
+  // phi_3(6) = C(6,1)+C(6,2)+C(6,3) = 6+15+20 = 41.
+  EXPECT_NEAR(std::exp(LogPhi(6, 3)), 41.0, 1e-6);
+  // phi_1(n) = n.
+  EXPECT_NEAR(std::exp(LogPhi(100, 1)), 100.0, 1e-6);
+}
+
+TEST(LogPhiTest, CapsAtN) {
+  // K > n: phi = 2^n - 1.
+  EXPECT_NEAR(std::exp(LogPhi(4, 10)), 15.0, 1e-6);
+}
+
+TEST(LogPhiTest, DominatedByLargestTerm) {
+  // phi_K >= C(n, K).
+  EXPECT_GE(LogPhi(50, 5), LogBinomial(50, 5));
+}
+
+TEST(LambdaTest, MatchesManualFormula) {
+  const double eps = 0.7, delta = 1000;
+  const double expected = (2.0 + eps) / (eps * eps) *
+                          (std::log(delta) + LogBinomial(50, 3) +
+                           std::log(2.0));
+  EXPECT_NEAR(Lambda(eps, delta, 50, 3), expected, 1e-9);
+}
+
+TEST(LambdaTest, ShrinksWithLargerEps) {
+  EXPECT_GT(Lambda(0.3, 1000, 50, 3), Lambda(0.9, 1000, 50, 3));
+}
+
+TEST(LambdaTest, GrowsWithDelta) {
+  EXPECT_LT(Lambda(0.7, 10, 50, 3), Lambda(0.7, 10000, 50, 3));
+}
+
+}  // namespace
+}  // namespace pitex

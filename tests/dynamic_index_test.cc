@@ -1,0 +1,353 @@
+// Tests for incremental index maintenance (src/index/dynamic_index.h):
+// bit-identical initial state vs. the static index, exact affected-set
+// computation, repair correctness against fresh rebuilds and the exact
+// oracle, and deterministic repair histories.
+
+#include "src/index/dynamic_index.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "running_example.h"
+#include "src/datasets/synthetic.h"
+#include "src/sampling/exact.h"
+
+namespace pitex {
+namespace {
+
+RrIndexOptions DenseOptions() {
+  RrIndexOptions options;
+  options.theta_override = 60000;
+  options.seed = 5;
+  return options;
+}
+
+RrIndexOptions SmallOptions() {
+  RrIndexOptions options;
+  options.theta_override = 3000;
+  options.seed = 5;
+  return options;
+}
+
+bool GraphsEqual(const RRGraph& a, const RRGraph& b) {
+  if (a.root != b.root || a.vertices != b.vertices || a.offsets != b.offsets ||
+      a.edges.size() != b.edges.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.edges.size(); ++i) {
+    if (a.edges[i].head_local != b.edges[i].head_local ||
+        a.edges[i].edge != b.edges[i].edge ||
+        a.edges[i].threshold != b.edges[i].threshold) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(DynamicRrIndexTest, InitialStateMatchesStaticIndex) {
+  const SocialNetwork n = MakeRunningExample();
+  RrIndex static_index(n, SmallOptions());
+  static_index.Build();
+  DynamicRrIndex dynamic_index(n, SmallOptions());
+  dynamic_index.Build();
+
+  ASSERT_EQ(dynamic_index.num_graphs(), static_index.num_graphs());
+  for (size_t i = 0; i < static_index.num_graphs(); ++i) {
+    EXPECT_TRUE(GraphsEqual(dynamic_index.graph(i), static_index.graph(i)))
+        << "graph " << i;
+  }
+  for (VertexId v = 0; v < n.num_vertices(); ++v) {
+    EXPECT_EQ(dynamic_index.Containing(v), static_index.Containing(v));
+  }
+}
+
+TEST(DynamicRrIndexTest, AffectedSetIsContainingHead) {
+  const SocialNetwork n = MakeRunningExample();
+  DynamicRrIndex index(n, SmallOptions());
+  index.Build();
+
+  const EdgeId e = 4;  // u4 -> u6
+  const VertexId head = n.graph.Head(e);
+  const size_t expected = index.Containing(head).size();
+
+  const EdgeTopicEntry entries[] = {{2, 0.3}};
+  index.UpdateEdgeTopics(e, entries);
+  EXPECT_EQ(index.stats().graphs_examined, expected);
+  EXPECT_LE(index.stats().graphs_changed, expected);
+  EXPECT_EQ(index.stats().edges_updated, 1u);
+  EXPECT_EQ(index.stats().update_batches, 1u);
+}
+
+TEST(DynamicRrIndexTest, UpdateSwapsInfluenceModel) {
+  const SocialNetwork n = MakeRunningExample();
+  DynamicRrIndex index(n, SmallOptions());
+  index.Build();
+
+  const EdgeTopicEntry entries[] = {{0, 0.9}};
+  index.UpdateEdgeTopics(0, entries);
+  EXPECT_DOUBLE_EQ(index.network().influence.MaxProb(0), 0.9);
+  EXPECT_DOUBLE_EQ(index.network().influence.EdgeTopicProb(0, 0), 0.9);
+  // Caller's network is untouched.
+  EXPECT_DOUBLE_EQ(n.influence.MaxProb(0), 0.4);
+}
+
+TEST(DynamicRrIndexTest, DeletingEntriesZeroesEnvelope) {
+  const SocialNetwork n = MakeRunningExample();
+  DynamicRrIndex index(n, SmallOptions());
+  index.Build();
+  index.UpdateEdgeTopics(0, {});
+  EXPECT_DOUBLE_EQ(index.network().influence.MaxProb(0), 0.0);
+}
+
+TEST(DynamicRrIndexTest, ZeroedOutEdgesKillInfluence) {
+  const SocialNetwork n = MakeRunningExample();
+  DynamicRrIndex index(n, DenseOptions());
+  index.Build();
+
+  const TagId tags[] = {2, 3};
+  const auto post = n.topics.Posterior(tags);
+
+  // Zero both of u1's out-edges: u1 can no longer influence anybody.
+  std::vector<EdgeInfluenceUpdate> updates(2);
+  updates[0].edge = 0;
+  updates[1].edge = 1;
+  index.ApplyUpdates(updates);
+
+  // Only graphs rooted at u1 still count u1 (trivial self-reach), so the
+  // estimate concentrates on exactly 1.0 up to root-sampling noise.
+  const PosteriorProbs probs(index.network().influence, post);
+  EXPECT_NEAR(index.EstimateInfluence(0, probs).influence, 1.0, 0.05);
+}
+
+TEST(DynamicRrIndexTest, RaisingProbabilityIncreasesSpread) {
+  const SocialNetwork n = MakeRunningExample();
+  DynamicRrIndex index(n, DenseOptions());
+  index.Build();
+
+  const TagId tags[] = {2, 3};
+  const auto post = n.topics.Posterior(tags);
+  const PosteriorProbs before_probs(index.network().influence, post);
+  const double before = index.EstimateInfluence(0, before_probs).influence;
+
+  // Crank edge u1 -> u3 (the gateway to the whole z3 cluster) to 1.
+  const EdgeTopicEntry entries[] = {{1, 1.0}, {2, 1.0}};
+  index.UpdateEdgeTopics(1, entries);
+  const PosteriorProbs after_probs(index.network().influence, post);
+  const double after = index.EstimateInfluence(0, after_probs).influence;
+  EXPECT_GT(after, before);
+}
+
+TEST(DynamicRrIndexTest, RepairAgreesWithExactOracle) {
+  const SocialNetwork n = MakeRunningExample();
+  DynamicRrIndex index(n, DenseOptions());
+  index.Build();
+
+  // A batch of model changes across the graph.
+  std::vector<EdgeInfluenceUpdate> updates(3);
+  updates[0].edge = 1;
+  updates[0].entries = {{1, 0.8}, {2, 0.2}};
+  updates[1].edge = 4;
+  updates[1].entries = {{2, 0.3}};
+  updates[2].edge = 6;
+  updates[2].entries = {{2, 0.9}};
+  index.ApplyUpdates(updates);
+
+  for (TagId a = 0; a < 4; ++a) {
+    for (TagId b = a + 1; b < 4; ++b) {
+      const TagId tags[] = {a, b};
+      const auto post = index.network().topics.Posterior(tags);
+      const PosteriorProbs probs(index.network().influence, post);
+      const double exact =
+          ExactInfluence(index.network().graph, probs, 0);
+      const Estimate est = index.EstimateInfluence(0, probs);
+      EXPECT_NEAR(est.influence, exact, 0.06 * exact + 0.02)
+          << "tags " << a << "," << b;
+    }
+  }
+}
+
+TEST(DynamicRrIndexTest, RepairAgreesWithFreshRebuild) {
+  DatasetSpec spec = LastfmSpec(0.4);
+  spec.seed = 17;
+  const SocialNetwork n = GenerateDataset(spec);
+
+  RrIndexOptions options;
+  options.theta_override = 40000;
+  options.seed = 9;
+  DynamicRrIndex dynamic_index(n, options);
+  dynamic_index.Build();
+
+  // Update a handful of edges.
+  std::vector<EdgeInfluenceUpdate> updates;
+  for (EdgeId e = 0; e < 10; ++e) {
+    EdgeInfluenceUpdate update;
+    update.edge = e * 97 % n.num_edges();
+    update.entries = {{static_cast<TopicId>(e % n.topics.num_topics()),
+                       0.05 + 0.02 * static_cast<double>(e % 5)}};
+    updates.push_back(std::move(update));
+  }
+  dynamic_index.ApplyUpdates(updates);
+
+  // A fresh index on the updated network must agree statistically.
+  RrIndexOptions rebuild_options = options;
+  rebuild_options.seed = 1234;  // independent randomness
+  RrIndex rebuilt(dynamic_index.network(), rebuild_options);
+  rebuilt.Build();
+
+  const TagId tags[] = {0, 1};
+  const auto post = dynamic_index.network().topics.Posterior(tags);
+  const PosteriorProbs probs(dynamic_index.network().influence, post);
+  const auto users = SampleUserGroup(n.graph, UserGroup::kHigh, 3, 7);
+  for (const VertexId u : users) {
+    const double repaired = dynamic_index.EstimateInfluence(u, probs).influence;
+    const double fresh = rebuilt.EstimateInfluence(u, probs).influence;
+    EXPECT_NEAR(repaired, fresh, 0.15 * fresh + 0.3) << "user " << u;
+  }
+}
+
+TEST(DynamicRrIndexTest, LaterDuplicateWins) {
+  const SocialNetwork n = MakeRunningExample();
+  DynamicRrIndex index(n, SmallOptions());
+  index.Build();
+
+  std::vector<EdgeInfluenceUpdate> updates(2);
+  updates[0].edge = 0;
+  updates[0].entries = {{0, 0.1}};
+  updates[1].edge = 0;
+  updates[1].entries = {{0, 0.7}};
+  index.ApplyUpdates(updates);
+  // Updates apply sequentially; the final model reflects the last one.
+  EXPECT_DOUBLE_EQ(index.network().influence.MaxProb(0), 0.7);
+  EXPECT_EQ(index.stats().edges_updated, 2u);
+}
+
+TEST(DynamicRrIndexTest, EmptyBatchIsNoop) {
+  const SocialNetwork n = MakeRunningExample();
+  DynamicRrIndex index(n, SmallOptions());
+  index.Build();
+  index.ApplyUpdates({});
+  EXPECT_EQ(index.stats().update_batches, 0u);
+  EXPECT_EQ(index.stats().graphs_examined, 0u);
+}
+
+TEST(DynamicRrIndexTest, RepairHistoryIsDeterministic) {
+  const SocialNetwork n = MakeRunningExample();
+  DynamicRrIndex a(n, SmallOptions());
+  DynamicRrIndex b(n, SmallOptions());
+  a.Build();
+  b.Build();
+
+  for (int round = 0; round < 3; ++round) {
+    EdgeInfluenceUpdate update;
+    update.edge = static_cast<EdgeId>(round * 2 % 7);
+    update.entries = {{2, 0.1 + 0.2 * round}};
+    a.ApplyUpdates(std::span(&update, 1));
+    b.ApplyUpdates(std::span(&update, 1));
+  }
+  ASSERT_EQ(a.num_graphs(), b.num_graphs());
+  for (size_t i = 0; i < a.num_graphs(); ++i) {
+    EXPECT_TRUE(GraphsEqual(a.graph(i), b.graph(i))) << "graph " << i;
+  }
+}
+
+TEST(DynamicRrIndexTest, NoopUpdateLeavesEveryGraphIdentical) {
+  // Coin coupling makes a same-probability update a structural no-op:
+  // live edges satisfy c < p_new = p_old, dead edges resurrect with
+  // probability 0. (Full regeneration — the naive repair — would redraw
+  // the graphs and, worse, bias the ensemble toward worlds that never
+  // probed the edge.)
+  const SocialNetwork n = MakeRunningExample();
+  DynamicRrIndex index(n, SmallOptions());
+  index.Build();
+  std::vector<RRGraph> snapshot;
+  for (size_t i = 0; i < index.num_graphs(); ++i) {
+    snapshot.push_back(index.graph(i));
+  }
+
+  std::vector<EdgeTopicEntry> same(n.influence.EdgeTopics(1).begin(),
+                                   n.influence.EdgeTopics(1).end());
+  index.UpdateEdgeTopics(1, same);
+
+  EXPECT_GT(index.stats().graphs_examined, 0u);
+  EXPECT_EQ(index.stats().graphs_changed, 0u);
+  for (size_t i = 0; i < index.num_graphs(); ++i) {
+    ASSERT_TRUE(GraphsEqual(index.graph(i), snapshot[i])) << "graph " << i;
+  }
+}
+
+TEST(DynamicRrIndexTest, ProbabilityDropNeverGrowsGraphs) {
+  // Lowering an envelope can only kill the edge (c >= p_new) and prune;
+  // every repaired graph must be a sub-structure of its old self.
+  const SocialNetwork n = MakeRunningExample();
+  DynamicRrIndex index(n, SmallOptions());
+  index.Build();
+  std::vector<size_t> before;
+  for (size_t i = 0; i < index.num_graphs(); ++i) {
+    before.push_back(index.graph(i).vertices.size());
+  }
+
+  const EdgeTopicEntry entries[] = {{2, 0.1}};  // e4 was z3:0.8
+  index.UpdateEdgeTopics(4, entries);
+  for (size_t i = 0; i < index.num_graphs(); ++i) {
+    EXPECT_LE(index.graph(i).vertices.size(), before[i]) << "graph " << i;
+  }
+}
+
+TEST(DynamicRrIndexTest, ProbabilityRaiseNeverShrinksGraphs) {
+  const SocialNetwork n = MakeRunningExample();
+  DynamicRrIndex index(n, SmallOptions());
+  index.Build();
+  std::vector<size_t> before;
+  size_t total_before = 0;
+  for (size_t i = 0; i < index.num_graphs(); ++i) {
+    before.push_back(index.graph(i).vertices.size());
+    total_before += before.back();
+  }
+
+  const EdgeTopicEntry entries[] = {{2, 0.95}};  // e4 raised from 0.8
+  index.UpdateEdgeTopics(4, entries);
+  size_t total_after = 0;
+  for (size_t i = 0; i < index.num_graphs(); ++i) {
+    EXPECT_GE(index.graph(i).vertices.size(), before[i]) << "graph " << i;
+    total_after += index.graph(i).vertices.size();
+  }
+  // With thousands of graphs, some resurrection must have occurred.
+  EXPECT_GT(total_after, total_before);
+}
+
+TEST(DynamicRrIndexTest, ContainmentStaysConsistentAfterRepairs) {
+  DatasetSpec spec = LastfmSpec(0.3);
+  spec.seed = 23;
+  const SocialNetwork n = GenerateDataset(spec);
+  RrIndexOptions options;
+  options.theta_override = 2000;
+  DynamicRrIndex index(n, options);
+  index.Build();
+
+  for (int round = 0; round < 5; ++round) {
+    EdgeInfluenceUpdate update;
+    update.edge = static_cast<EdgeId>((round * 131) % n.num_edges());
+    update.entries = {{static_cast<TopicId>(round % n.topics.num_topics()),
+                       0.2}};
+    index.ApplyUpdates(std::span(&update, 1));
+  }
+
+  // Invariant: v's containment list holds exactly the graphs whose
+  // vertex set includes v.
+  size_t listed = 0;
+  for (VertexId v = 0; v < n.num_vertices(); ++v) {
+    for (const uint32_t id : index.Containing(v)) {
+      EXPECT_TRUE(index.graph(id).LocalIndex(v).has_value());
+      ++listed;
+    }
+  }
+  size_t contained = 0;
+  for (size_t i = 0; i < index.num_graphs(); ++i) {
+    contained += index.graph(i).vertices.size();
+  }
+  EXPECT_EQ(listed, contained);
+}
+
+}  // namespace
+}  // namespace pitex

@@ -1,0 +1,87 @@
+#include "src/sampling/exact.h"
+
+#include <gtest/gtest.h>
+
+#include "src/graph/generators.h"
+
+namespace pitex {
+namespace {
+
+class ConstProbs final : public EdgeProbFn {
+ public:
+  explicit ConstProbs(double p) : p_(p) {}
+  double Prob(EdgeId) const override { return p_; }
+
+ private:
+  double p_;
+};
+
+TEST(ExactTest, SingleEdge) {
+  GraphBuilder b(2);
+  b.AddEdge(0, 1);
+  Graph g = b.Build();
+  EXPECT_NEAR(ExactInfluence(g, ConstProbs(0.3), 0), 1.3, 1e-12);
+}
+
+TEST(ExactTest, ChainClosedForm) {
+  // E[I] over a chain = sum_i p^i.
+  Graph g = Chain(4);
+  const double p = 0.4;
+  EXPECT_NEAR(ExactInfluence(g, ConstProbs(p), 0),
+              1 + p + p * p + p * p * p, 1e-12);
+}
+
+TEST(ExactTest, DiamondIndependentPaths) {
+  // 0->1->3, 0->2->3 with p everywhere:
+  // P(3 active) = 1 - (1 - p^2)^2.
+  GraphBuilder b(4);
+  b.AddEdge(0, 1);
+  b.AddEdge(0, 2);
+  b.AddEdge(1, 3);
+  b.AddEdge(2, 3);
+  Graph g = b.Build();
+  const double p = 0.5;
+  const double expected = 1 + 2 * p + (1 - (1 - p * p) * (1 - p * p));
+  EXPECT_NEAR(ExactInfluence(g, ConstProbs(p), 0), expected, 1e-12);
+}
+
+TEST(ExactTest, DeterministicEdges) {
+  Graph g = Chain(10);
+  EXPECT_NEAR(ExactInfluence(g, ConstProbs(1.0), 0), 10.0, 1e-12);
+}
+
+TEST(ExactTest, ZeroEdges) {
+  Graph g = Chain(10);
+  EXPECT_NEAR(ExactInfluence(g, ConstProbs(0.0), 0), 1.0, 1e-12);
+}
+
+TEST(ExactTest, CycleHandled) {
+  // 0 -> 1 -> 0 cycle plus 1 -> 2.
+  GraphBuilder b(3);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 0);
+  b.AddEdge(1, 2);
+  Graph g = b.Build();
+  const double p = 0.5;
+  // From 0: 1 active w.p. 0.5; 2 active w.p. 0.25; the back edge to 0
+  // changes nothing (0 already active).
+  EXPECT_NEAR(ExactInfluence(g, ConstProbs(p), 0), 1.75, 1e-12);
+}
+
+TEST(ExactTest, MixedCertainAndRandomEdges) {
+  class MixedProbs final : public EdgeProbFn {
+   public:
+    double Prob(EdgeId e) const override { return e == 0 ? 1.0 : 0.5; }
+  };
+  Graph g = Chain(3);  // 0 -> 1 (certain) -> 2 (coin)
+  EXPECT_NEAR(ExactInfluence(g, MixedProbs(), 0), 2.5, 1e-12);
+}
+
+TEST(ExactDeathTest, RejectsTooManyRandomEdges) {
+  Rng rng(1);
+  Graph g = ErdosRenyi(40, 200, &rng);
+  EXPECT_DEATH(ExactInfluence(g, ConstProbs(0.5), 0), "too large");
+}
+
+}  // namespace
+}  // namespace pitex

@@ -1,0 +1,86 @@
+#include "src/graph/generators.h"
+
+#include <gtest/gtest.h>
+
+namespace pitex {
+namespace {
+
+TEST(ErdosRenyiTest, EdgeCountAndNoSelfLoops) {
+  Rng rng(1);
+  Graph g = ErdosRenyi(100, 500, &rng);
+  EXPECT_EQ(g.num_vertices(), 100u);
+  EXPECT_EQ(g.num_edges(), 500u);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    EXPECT_NE(g.Tail(e), g.Head(e));
+  }
+}
+
+TEST(PreferentialAttachmentTest, BasicShape) {
+  Rng rng(2);
+  Graph g = PreferentialAttachment(500, 3, &rng);
+  EXPECT_EQ(g.num_vertices(), 500u);
+  // Each vertex v >= 1 emits min(3, v) edges minus rare self-collisions.
+  EXPECT_GT(g.num_edges(), 1300u);
+  EXPECT_LE(g.num_edges(), 3 * 499u);
+}
+
+TEST(PreferentialAttachmentTest, ProducesSkewedInDegrees) {
+  Rng rng(3);
+  Graph g = PreferentialAttachment(2000, 2, &rng);
+  size_t max_in = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    max_in = std::max(max_in, g.InDegree(v));
+  }
+  // Power-law-ish: the hub should be far above the mean (~2).
+  EXPECT_GT(max_in, 20u);
+}
+
+TEST(StarTest, MatchesFig3a) {
+  Graph g = Star(11);
+  EXPECT_EQ(g.num_vertices(), 11u);
+  EXPECT_EQ(g.num_edges(), 10u);
+  EXPECT_EQ(g.OutDegree(0), 10u);
+  for (VertexId v = 1; v < 11; ++v) {
+    EXPECT_EQ(g.InDegree(v), 1u);
+    EXPECT_EQ(g.OutDegree(v), 0u);
+  }
+}
+
+TEST(CelebrityTest, MatchesFig3b) {
+  const size_t n = 5;
+  Graph g = Celebrity(n);
+  EXPECT_EQ(g.num_vertices(), 2 * n + 1);
+  EXPECT_EQ(g.num_edges(), 2 * n);
+  EXPECT_EQ(g.OutDegree(0), n);  // center -> followers
+  EXPECT_EQ(g.InDegree(0), n);   // fans -> center
+  for (VertexId v = 1; v <= n; ++v) EXPECT_EQ(g.InDegree(v), 1u);
+  for (VertexId v = n + 1; v <= 2 * n; ++v) EXPECT_EQ(g.OutDegree(v), 1u);
+}
+
+TEST(ChainTest, LinearStructure) {
+  Graph g = Chain(5);
+  EXPECT_EQ(g.num_edges(), 4u);
+  for (EdgeId e = 0; e < 4; ++e) {
+    EXPECT_EQ(g.Tail(e) + 1, g.Head(e));
+  }
+}
+
+TEST(ChainTest, SingleVertex) {
+  Graph g = Chain(1);
+  EXPECT_EQ(g.num_vertices(), 1u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(GeneratorsTest, DeterministicUnderSameSeed) {
+  Rng rng1(9), rng2(9);
+  Graph a = PreferentialAttachment(200, 2, &rng1);
+  Graph b = PreferentialAttachment(200, 2, &rng2);
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (EdgeId e = 0; e < a.num_edges(); ++e) {
+    EXPECT_EQ(a.Tail(e), b.Tail(e));
+    EXPECT_EQ(a.Head(e), b.Head(e));
+  }
+}
+
+}  // namespace
+}  // namespace pitex

@@ -1,0 +1,76 @@
+#include "src/graph/graph_io.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "src/graph/generators.h"
+
+namespace pitex {
+namespace {
+
+std::string TempPath(const char* name) {
+  return testing::TempDir() + "/" + name;
+}
+
+TEST(GraphIoTest, RoundTripPreservesEdgeOrder) {
+  Rng rng(4);
+  Graph g = ErdosRenyi(50, 200, &rng);
+  const std::string path = TempPath("roundtrip.txt");
+  ASSERT_TRUE(SaveGraph(g, path));
+  auto loaded = LoadGraph(path);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->num_vertices(), g.num_vertices());
+  ASSERT_EQ(loaded->num_edges(), g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    EXPECT_EQ(loaded->Tail(e), g.Tail(e));
+    EXPECT_EQ(loaded->Head(e), g.Head(e));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, EmptyGraphRoundTrip) {
+  GraphBuilder b(5);
+  Graph g = b.Build();
+  const std::string path = TempPath("empty.txt");
+  ASSERT_TRUE(SaveGraph(g, path));
+  auto loaded = LoadGraph(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->num_vertices(), 5u);
+  EXPECT_EQ(loaded->num_edges(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, MissingFileFails) {
+  EXPECT_FALSE(LoadGraph("/nonexistent/dir/graph.txt").has_value());
+}
+
+TEST(GraphIoTest, MalformedHeaderFails) {
+  const std::string path = TempPath("bad_header.txt");
+  std::ofstream(path) << "not numbers\n";
+  EXPECT_FALSE(LoadGraph(path).has_value());
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, TruncatedEdgesFails) {
+  const std::string path = TempPath("truncated.txt");
+  std::ofstream(path) << "3 2\n0 1\n";  // promises 2 edges, provides 1
+  EXPECT_FALSE(LoadGraph(path).has_value());
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, OutOfRangeVertexFails) {
+  const std::string path = TempPath("oob.txt");
+  std::ofstream(path) << "2 1\n0 5\n";
+  EXPECT_FALSE(LoadGraph(path).has_value());
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, SaveToUnwritablePathFails) {
+  GraphBuilder b(1);
+  EXPECT_FALSE(SaveGraph(b.Build(), "/nonexistent/dir/out.txt"));
+}
+
+}  // namespace
+}  // namespace pitex

@@ -1,0 +1,86 @@
+#include "src/core/greedy_solver.h"
+
+#include <gtest/gtest.h>
+
+#include "running_example.h"
+#include "src/core/best_effort_solver.h"
+#include "src/datasets/synthetic.h"
+#include "src/sampling/lazy_sampler.h"
+
+namespace pitex {
+namespace {
+
+SampleSizePolicy TestPolicy(size_t num_tags, size_t k) {
+  SampleSizePolicy policy;
+  policy.eps = 0.2;
+  policy.num_tags = static_cast<int64_t>(num_tags);
+  policy.k = static_cast<int64_t>(k);
+  policy.min_samples = 4000;
+  policy.max_samples = 20000;
+  return policy;
+}
+
+TEST(GreedySolverTest, FindsRunningExampleOptimum) {
+  // On the running example greedy happens to be exact: w3/w4 are also the
+  // best singletons.
+  SocialNetwork n = MakeRunningExample();
+  LazySampler sampler(n.graph, TestPolicy(4, 2), 5);
+  const PitexResult r = SolveByGreedy(n, {.user = 0, .k = 2}, &sampler);
+  EXPECT_EQ(r.tags, (std::vector<TagId>{2, 3}));
+  EXPECT_NEAR(r.influence, 1.733, 0.08);
+}
+
+TEST(GreedySolverTest, EvaluationCountIsLinear) {
+  SocialNetwork n = MakeRunningExample();
+  LazySampler sampler(n.graph, TestPolicy(4, 3), 5);
+  const PitexResult r = SolveByGreedy(n, {.user = 0, .k = 3}, &sampler);
+  // Rounds evaluate 4 + 3 + 2 candidate sets.
+  EXPECT_EQ(r.sets_evaluated, 9u);
+  EXPECT_EQ(r.tags.size(), 3u);
+}
+
+TEST(GreedySolverTest, TagsDistinctAndSorted) {
+  SocialNetwork n = GenerateDataset(LastfmSpec(0.1));
+  LazySampler sampler(n.graph, TestPolicy(n.topics.num_tags(), 3), 5);
+  const auto users = SampleUserGroup(n.graph, UserGroup::kHigh, 1, 3);
+  const PitexResult r =
+      SolveByGreedy(n, {.user = users[0], .k = 3}, &sampler);
+  ASSERT_EQ(r.tags.size(), 3u);
+  EXPECT_LT(r.tags[0], r.tags[1]);
+  EXPECT_LT(r.tags[1], r.tags[2]);
+}
+
+TEST(GreedySolverTest, NeverBeatsBestEffortByMuch) {
+  // Greedy has no guarantee but can never (statistically) exceed the
+  // exhaustive search; allow sampling slack.
+  SocialNetwork n = GenerateDataset(LastfmSpec(0.1));
+  const UpperBoundContext ctx(n.topics);
+  const auto users = SampleUserGroup(n.graph, UserGroup::kMid, 3, 9);
+  for (VertexId u : users) {
+    LazySampler s1(n.graph, TestPolicy(n.topics.num_tags(), 2), 7);
+    LazySampler s2(n.graph, TestPolicy(n.topics.num_tags(), 2), 7);
+    const PitexResult greedy = SolveByGreedy(n, {.user = u, .k = 2}, &s1);
+    const PitexResult best =
+        SolveByBestEffort(n, {.user = u, .k = 2}, ctx, &s2);
+    EXPECT_LE(greedy.influence,
+              best.influence * 1.15 + 0.2)  // sampling slack
+        << "user " << u;
+  }
+}
+
+TEST(GreedySolverTest, KEqualsVocabularySelectsEverything) {
+  SocialNetwork n = MakeRunningExample();
+  LazySampler sampler(n.graph, TestPolicy(4, 4), 5);
+  const PitexResult r = SolveByGreedy(n, {.user = 0, .k = 4}, &sampler);
+  EXPECT_EQ(r.tags, (std::vector<TagId>{0, 1, 2, 3}));
+}
+
+TEST(GreedySolverDeathTest, RejectsBadQuery) {
+  SocialNetwork n = MakeRunningExample();
+  LazySampler sampler(n.graph, TestPolicy(4, 2), 5);
+  EXPECT_DEATH(SolveByGreedy(n, {.user = 0, .k = 9}, &sampler),
+               "PITEX_CHECK");
+}
+
+}  // namespace
+}  // namespace pitex

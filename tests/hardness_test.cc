@@ -1,0 +1,106 @@
+// Tests for the hardness constructions (Sec. 3.2): the Lemma-1 Set-Cover
+// reduction and the Theorem-1 PITEX gadget.
+
+#include <gtest/gtest.h>
+
+#include "src/core/hardness.h"
+#include "src/sampling/exact.h"
+
+namespace pitex {
+namespace {
+
+// Set cover instance: universe {0,1,2,3}, subsets S0={0,1}, S1={1,2},
+// S2={2,3}, S3={0,3}. Covers of size 2: {S0,S2} and {S1,S3}.
+LabeledGraph MakeCoverInstance() {
+  return BuildKLabelFromSetCover(4, {{0, 1}, {1, 2}, {2, 3}, {0, 3}});
+}
+
+TEST(KLabelTest, CoveringLabelsReach) {
+  const LabeledGraph g = MakeCoverInstance();
+  const uint32_t cover1[] = {0, 2};
+  const uint32_t cover2[] = {1, 3};
+  EXPECT_TRUE(LabelReachable(g, cover1, 0, 4));
+  EXPECT_TRUE(LabelReachable(g, cover2, 0, 4));
+}
+
+TEST(KLabelTest, NonCoveringLabelsDoNotReach) {
+  const LabeledGraph g = MakeCoverInstance();
+  const uint32_t not_cover1[] = {0, 1};  // misses element 3
+  const uint32_t not_cover2[] = {2, 3};  // misses element 1
+  const uint32_t single[] = {0};
+  EXPECT_FALSE(LabelReachable(g, not_cover1, 0, 4));
+  EXPECT_FALSE(LabelReachable(g, not_cover2, 0, 4));
+  EXPECT_FALSE(LabelReachable(g, single, 0, 4));
+}
+
+TEST(KLabelTest, AllLabelsAlwaysReachWhenCoverExists) {
+  const LabeledGraph g = MakeCoverInstance();
+  const uint32_t all[] = {0, 1, 2, 3};
+  EXPECT_TRUE(LabelReachable(g, all, 0, 4));
+}
+
+TEST(KLabelTest, StructureMatchesReduction) {
+  const LabeledGraph g = MakeCoverInstance();
+  EXPECT_EQ(g.num_vertices, 5u);  // universe + 1
+  EXPECT_EQ(g.num_labels, 4u);
+  EXPECT_EQ(g.edges.size(), 8u);  // sum of subset sizes
+}
+
+TEST(HardnessGadgetTest, VertexCountIsNSquared) {
+  const LabeledGraph g = MakeCoverInstance();
+  const HardnessGadget gadget = BuildPitexFromKLabel(g, 0, 4);
+  const size_t n = g.num_vertices;
+  EXPECT_EQ(gadget.network.num_vertices(), n * n);
+  EXPECT_EQ(gadget.query_user, 0u);
+  EXPECT_DOUBLE_EQ(gadget.spread_threshold, static_cast<double>(n) - 1.0);
+}
+
+TEST(HardnessGadgetTest, DiagonalTagTopicMatrix) {
+  const LabeledGraph g = MakeCoverInstance();
+  const HardnessGadget gadget = BuildPitexFromKLabel(g, 0, 4);
+  const auto& topics = gadget.network.topics;
+  for (TagId w = 0; w < topics.num_tags(); ++w) {
+    for (TopicId z = 0; z < topics.num_topics(); ++z) {
+      EXPECT_EQ(topics.TagTopic(w, z), w == z ? 1.0 : 0.0);
+    }
+  }
+}
+
+// The spread dichotomy of Theorem 1's proof, checked exactly for k = 1
+// (single-tag queries make the gadget graph deterministic under Eq. 1):
+// if the single label reaches t, the amplification chain fires and the
+// spread exceeds n^2 - n + 1; otherwise it stays below n - 1.
+TEST(HardnessGadgetTest, SpreadDichotomyForSingleLabels) {
+  // Universe {0}: S0 = {0} covers alone; S1 = {} never helps.
+  const LabeledGraph g = BuildKLabelFromSetCover(1, {{0}, {}});
+  const HardnessGadget gadget = BuildPitexFromKLabel(g, 0, 1);
+  const size_t n = g.num_vertices;  // 2
+
+  for (TagId w = 0; w < 2; ++w) {
+    const TagId tags[] = {w};
+    const double spread =
+        ExactInfluenceForTags(gadget.network, tags, gadget.query_user);
+    const uint32_t label[] = {w};
+    if (LabelReachable(g, label, 0, gadget.t)) {
+      // s, t and the full chain of n^2 - n vertices.
+      EXPECT_GE(spread, static_cast<double>(n * n - n + 2));
+    } else {
+      EXPECT_LE(spread, gadget.spread_threshold);
+    }
+  }
+}
+
+TEST(HardnessGadgetTest, ChainIsLiveUnderEveryTopic) {
+  const LabeledGraph g = BuildKLabelFromSetCover(1, {{0}});
+  const HardnessGadget gadget = BuildPitexFromKLabel(g, 0, 1);
+  // Chain edges (all edges beyond the original one) carry every topic.
+  const auto& influence = gadget.network.influence;
+  for (EdgeId e = 1; e < gadget.network.num_edges(); ++e) {
+    for (TopicId z = 0; z < gadget.network.topics.num_topics(); ++z) {
+      EXPECT_EQ(influence.EdgeTopicProb(e, z), 1.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pitex

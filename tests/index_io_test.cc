@@ -1,0 +1,276 @@
+// Tests for index persistence (src/index/index_io.h): byte-exact round
+// trips of RR-Graph and DelayMat indexes, fingerprint binding to the
+// source network, and rejection of truncated / corrupted / mismatched
+// files.
+
+#include "src/index/index_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "running_example.h"
+#include "src/datasets/synthetic.h"
+#include "src/index/edge_cut.h"
+
+namespace pitex {
+namespace {
+
+RrIndexOptions SmallOptions() {
+  RrIndexOptions options;
+  options.theta_override = 4000;
+  options.seed = 11;
+  return options;
+}
+
+// A second, structurally different network for fingerprint tests.
+SocialNetwork MakeOtherNetwork() {
+  SocialNetwork network = MakeRunningExample();
+  // Perturb one influence probability: same topology, different model.
+  InfluenceGraphBuilder influence(network.graph.num_edges());
+  for (EdgeId e = 0; e < network.graph.num_edges(); ++e) {
+    std::vector<EdgeTopicEntry> entries(
+        network.influence.EdgeTopics(e).begin(),
+        network.influence.EdgeTopics(e).end());
+    if (e == 0) entries[0].prob *= 0.5;
+    influence.SetEdgeTopics(e, entries);
+  }
+  network.influence = influence.Build();
+  return network;
+}
+
+TEST(NetworkFingerprintTest, StableAndSensitive) {
+  const SocialNetwork a = MakeRunningExample();
+  const SocialNetwork b = MakeRunningExample();
+  EXPECT_EQ(NetworkFingerprint(a), NetworkFingerprint(b));
+  const SocialNetwork c = MakeOtherNetwork();
+  EXPECT_NE(NetworkFingerprint(a), NetworkFingerprint(c));
+}
+
+TEST(IndexIoTest, RrIndexRoundTripsExactly) {
+  const SocialNetwork n = MakeRunningExample();
+  RrIndex index(n, SmallOptions());
+  index.Build();
+
+  std::stringstream file;
+  std::string error;
+  ASSERT_TRUE(SaveRrIndex(index, file, &error)) << error;
+  const auto loaded = LoadRrIndex(n, file, &error);
+  ASSERT_NE(loaded, nullptr) << error;
+
+  ASSERT_EQ(loaded->theta(), index.theta());
+  ASSERT_EQ(loaded->num_graphs(), index.num_graphs());
+  for (size_t i = 0; i < index.num_graphs(); ++i) {
+    const RRGraph& original = index.graph(i);
+    const RRGraph& restored = loaded->graph(i);
+    EXPECT_EQ(restored.root, original.root);
+    EXPECT_EQ(restored.vertices, original.vertices);
+    EXPECT_EQ(restored.offsets, original.offsets);
+    ASSERT_EQ(restored.edges.size(), original.edges.size());
+    for (size_t j = 0; j < original.edges.size(); ++j) {
+      EXPECT_EQ(restored.edges[j].head_local, original.edges[j].head_local);
+      EXPECT_EQ(restored.edges[j].edge, original.edges[j].edge);
+      EXPECT_EQ(restored.edges[j].threshold, original.edges[j].threshold);
+    }
+  }
+  for (VertexId v = 0; v < n.num_vertices(); ++v) {
+    EXPECT_EQ(loaded->Containing(v), index.Containing(v));
+  }
+}
+
+TEST(IndexIoTest, LoadedIndexGivesIdenticalEstimates) {
+  const SocialNetwork n = MakeRunningExample();
+  RrIndex index(n, SmallOptions());
+  index.Build();
+
+  std::stringstream file;
+  ASSERT_TRUE(SaveRrIndex(index, file));
+  const auto loaded = LoadRrIndex(n, file);
+  ASSERT_NE(loaded, nullptr);
+
+  for (TagId a = 0; a < 4; ++a) {
+    for (TagId b = a + 1; b < 4; ++b) {
+      const TagId tags[] = {a, b};
+      const auto post = n.topics.Posterior(tags);
+      const PosteriorProbs probs(n.influence, post);
+      for (VertexId u = 0; u < n.num_vertices(); ++u) {
+        const Estimate original = index.EstimateInfluence(u, probs);
+        const Estimate restored = loaded->EstimateInfluence(u, probs);
+        EXPECT_EQ(restored.influence, original.influence);
+        EXPECT_EQ(restored.samples, original.samples);
+      }
+    }
+  }
+}
+
+TEST(IndexIoTest, LoadedIndexServesIndexEstPlus) {
+  const SocialNetwork n = MakeRunningExample();
+  RrIndex index(n, SmallOptions());
+  index.Build();
+
+  std::stringstream file;
+  ASSERT_TRUE(SaveRrIndex(index, file));
+  const auto loaded = LoadRrIndex(n, file);
+  ASSERT_NE(loaded, nullptr);
+
+  PrunedRrIndex pruned_original(&index, &n.influence);
+  PrunedRrIndex pruned_loaded(loaded.get(), &n.influence);
+  const TagId tags[] = {2, 3};
+  const auto post = n.topics.Posterior(tags);
+  const PosteriorProbs probs(n.influence, post);
+  for (VertexId u = 0; u < n.num_vertices(); ++u) {
+    EXPECT_EQ(pruned_loaded.EstimateInfluence(u, probs).influence,
+              pruned_original.EstimateInfluence(u, probs).influence);
+  }
+}
+
+TEST(IndexIoTest, UnbuiltRrIndexRefusesToSave) {
+  const SocialNetwork n = MakeRunningExample();
+  RrIndex index(n, SmallOptions());  // Build() not called
+  std::stringstream file;
+  std::string error;
+  EXPECT_FALSE(SaveRrIndex(index, file, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(IndexIoTest, WrongNetworkRejected) {
+  const SocialNetwork n = MakeRunningExample();
+  RrIndex index(n, SmallOptions());
+  index.Build();
+  std::stringstream file;
+  ASSERT_TRUE(SaveRrIndex(index, file));
+
+  const SocialNetwork other = MakeOtherNetwork();
+  std::string error;
+  EXPECT_EQ(LoadRrIndex(other, file, &error), nullptr);
+  EXPECT_NE(error.find("different network"), std::string::npos) << error;
+}
+
+TEST(IndexIoTest, KindMismatchRejected) {
+  const SocialNetwork n = MakeRunningExample();
+  DelayMatIndex delay(n, SmallOptions());
+  delay.Build();
+  std::stringstream file;
+  ASSERT_TRUE(SaveDelayMatIndex(delay, file));
+
+  std::string error;
+  EXPECT_EQ(LoadRrIndex(n, file, &error), nullptr);
+  EXPECT_NE(error.find("different index kind"), std::string::npos) << error;
+}
+
+TEST(IndexIoTest, GarbageRejected) {
+  const SocialNetwork n = MakeRunningExample();
+  std::stringstream file("this is not an index file at all");
+  std::string error;
+  EXPECT_EQ(LoadRrIndex(n, file, &error), nullptr);
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(IndexIoTest, TruncationRejected) {
+  const SocialNetwork n = MakeRunningExample();
+  RrIndex index(n, SmallOptions());
+  index.Build();
+  std::stringstream file;
+  ASSERT_TRUE(SaveRrIndex(index, file));
+
+  std::string bytes = file.str();
+  for (const size_t keep :
+       {bytes.size() - 7, bytes.size() / 2, bytes.size() / 4}) {
+    std::stringstream truncated(bytes.substr(0, keep));
+    std::string error;
+    EXPECT_EQ(LoadRrIndex(n, truncated, &error), nullptr)
+        << "kept " << keep << " of " << bytes.size() << " bytes";
+  }
+}
+
+TEST(IndexIoTest, PayloadCorruptionRejected) {
+  const SocialNetwork n = MakeRunningExample();
+  RrIndex index(n, SmallOptions());
+  index.Build();
+  std::stringstream file;
+  ASSERT_TRUE(SaveRrIndex(index, file));
+
+  std::string bytes = file.str();
+  // Flip a bit deep inside the payload (past header; before checksum).
+  bytes[bytes.size() / 2] = static_cast<char>(bytes[bytes.size() / 2] ^ 0x01);
+  std::stringstream corrupted(bytes);
+  std::string error;
+  EXPECT_EQ(LoadRrIndex(n, corrupted, &error), nullptr);
+}
+
+TEST(IndexIoTest, DelayMatRoundTripsExactly) {
+  const SocialNetwork n = MakeRunningExample();
+  DelayMatIndex index(n, SmallOptions());
+  index.Build();
+
+  std::stringstream file;
+  std::string error;
+  ASSERT_TRUE(SaveDelayMatIndex(index, file, &error)) << error;
+  const auto loaded = LoadDelayMatIndex(n, file, &error);
+  ASSERT_NE(loaded, nullptr) << error;
+
+  EXPECT_EQ(loaded->theta(), index.theta());
+  for (VertexId v = 0; v < n.num_vertices(); ++v) {
+    EXPECT_EQ(loaded->CountContaining(v), index.CountContaining(v));
+  }
+  EXPECT_EQ(loaded->SizeBytes(), index.SizeBytes());
+}
+
+TEST(IndexIoTest, LoadedDelayMatEstimatesWithinTolerance) {
+  const SocialNetwork n = MakeRunningExample();
+  DelayMatIndex index(n, SmallOptions());
+  index.Build();
+
+  std::stringstream file;
+  ASSERT_TRUE(SaveDelayMatIndex(index, file));
+  auto loaded = LoadDelayMatIndex(n, file);
+  ASSERT_NE(loaded, nullptr);
+
+  // DelayMat recovers fresh graphs per query, so estimates are stochastic;
+  // loaded counters must support estimation in the same accuracy regime.
+  const TagId tags[] = {2, 3};
+  const auto post = n.topics.Posterior(tags);
+  const PosteriorProbs probs(n.influence, post);
+  const Estimate original = index.EstimateInfluence(0, probs);
+  const Estimate restored = loaded->EstimateInfluence(0, probs);
+  EXPECT_NEAR(restored.influence, original.influence,
+              0.25 * original.influence + 0.25);
+}
+
+TEST(IndexIoTest, UnbuiltDelayMatRefusesToSave) {
+  const SocialNetwork n = MakeRunningExample();
+  DelayMatIndex index(n, SmallOptions());
+  std::stringstream file;
+  std::string error;
+  EXPECT_FALSE(SaveDelayMatIndex(index, file, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(IndexIoTest, FileRoundTripOnDisk) {
+  DatasetSpec spec = LastfmSpec();
+  spec.seed = 3;
+  const SocialNetwork n = GenerateDataset(spec);
+  RrIndexOptions options;
+  options.theta_override = 2000;
+  RrIndex index(n, options);
+  index.Build();
+
+  const std::string path = ::testing::TempDir() + "/lastfm.rridx";
+  std::string error;
+  ASSERT_TRUE(SaveRrIndex(index, path, &error)) << error;
+  const auto loaded = LoadRrIndex(n, path, &error);
+  ASSERT_NE(loaded, nullptr) << error;
+  EXPECT_EQ(loaded->num_graphs(), index.num_graphs());
+  std::remove(path.c_str());
+}
+
+TEST(IndexIoTest, MissingFileFailsCleanly) {
+  const SocialNetwork n = MakeRunningExample();
+  std::string error;
+  EXPECT_EQ(LoadRrIndex(n, "/nonexistent/dir/file.rridx", &error), nullptr);
+  EXPECT_NE(error.find("cannot open"), std::string::npos) << error;
+}
+
+}  // namespace
+}  // namespace pitex

@@ -1,0 +1,109 @@
+#include "src/model/influence_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "running_example.h"
+
+namespace pitex {
+namespace {
+
+TEST(InfluenceGraphTest, EdgeTopicsStoredSortedAndZeroDropped) {
+  InfluenceGraphBuilder b(1);
+  const EdgeTopicEntry entries[] = {{2, 0.3}, {0, 0.5}, {1, 0.0}};
+  b.SetEdgeTopics(0, entries);
+  InfluenceGraph g = b.Build();
+  const auto topics = g.EdgeTopics(0);
+  ASSERT_EQ(topics.size(), 2u);
+  EXPECT_EQ(topics[0].topic, 0u);
+  EXPECT_EQ(topics[1].topic, 2u);
+}
+
+TEST(InfluenceGraphTest, UnsetEdgeIsEmpty) {
+  InfluenceGraphBuilder b(2);
+  const EdgeTopicEntry entries[] = {{0, 0.4}};
+  b.SetEdgeTopics(1, entries);
+  InfluenceGraph g = b.Build();
+  EXPECT_TRUE(g.EdgeTopics(0).empty());
+  EXPECT_EQ(g.MaxProb(0), 0.0);
+  EXPECT_EQ(g.MaxProb(1), 0.4);
+}
+
+TEST(InfluenceGraphTest, EdgeTopicProbLookup) {
+  SocialNetwork n = MakeRunningExample();
+  EXPECT_DOUBLE_EQ(n.influence.EdgeTopicProb(0, 0), 0.4);
+  EXPECT_DOUBLE_EQ(n.influence.EdgeTopicProb(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(n.influence.EdgeTopicProb(1, 1), 0.5);
+  EXPECT_DOUBLE_EQ(n.influence.EdgeTopicProb(1, 2), 0.5);
+}
+
+// Example 1: p((u1,u2) | {w1, w2}) = 0.2.
+TEST(InfluenceGraphTest, RunningExampleEdgeProbability) {
+  SocialNetwork n = MakeRunningExample();
+  const TagId tags[] = {0, 1};
+  const auto post = n.topics.Posterior(tags);
+  EXPECT_NEAR(n.influence.EdgeProb(0, post), 0.2, 1e-12);
+}
+
+TEST(InfluenceGraphTest, MaxProbIsEnvelope) {
+  SocialNetwork n = MakeRunningExample();
+  // For every edge and every tag set, p(e|W) <= p(e).
+  for (TagId a = 0; a < 4; ++a) {
+    for (TagId b = a + 1; b < 4; ++b) {
+      const TagId tags[] = {a, b};
+      const auto post = n.topics.Posterior(tags);
+      for (EdgeId e = 0; e < n.num_edges(); ++e) {
+        EXPECT_LE(n.influence.EdgeProb(e, post),
+                  n.influence.MaxProb(e) + 1e-12);
+      }
+    }
+  }
+}
+
+TEST(InfluenceGraphTest, ZeroPosteriorZeroesEveryEdge) {
+  SocialNetwork n = MakeRunningExample();
+  const TopicPosterior zero(3, 0.0);
+  for (EdgeId e = 0; e < n.num_edges(); ++e) {
+    EXPECT_EQ(n.influence.EdgeProb(e, zero), 0.0);
+  }
+}
+
+TEST(ReachableSetTest, FullReachabilityUnderEnvelope) {
+  SocialNetwork n = MakeRunningExample();
+  const auto r = ComputeMaxReachableSet(n.graph, n.influence, 0);
+  // u1 reaches everyone except u5 (id 4) in the running example.
+  EXPECT_EQ(r.vertices.size(), 6u);
+  EXPECT_EQ(r.num_internal_edges, 7u);
+}
+
+TEST(ReachableSetTest, TagSetRestrictsReachability) {
+  SocialNetwork n = MakeRunningExample();
+  const TagId tags[] = {0, 1};  // {w1, w2}: z3-only edges vanish
+  const auto post = n.topics.Posterior(tags);
+  const auto r = ComputeReachableSet(n.graph, n.influence, post, 0);
+  // Reachable: u1, u2, u3, u4 (z3 edges e3..e6 are dead).
+  EXPECT_EQ(r.vertices.size(), 4u);
+  EXPECT_EQ(r.num_internal_edges, 3u);
+}
+
+TEST(ReachableSetTest, IsolatedSource) {
+  SocialNetwork n = MakeRunningExample();
+  const auto r = ComputeMaxReachableSet(n.graph, n.influence, 4);  // u5
+  EXPECT_EQ(r.vertices.size(), 1u);
+  EXPECT_EQ(r.num_internal_edges, 0u);
+}
+
+TEST(InfluenceGraphDeathTest, RejectsSettingEdgeTwice) {
+  InfluenceGraphBuilder b(1);
+  const EdgeTopicEntry entries[] = {{0, 0.4}};
+  b.SetEdgeTopics(0, entries);
+  EXPECT_DEATH(b.SetEdgeTopics(0, entries), "twice");
+}
+
+TEST(InfluenceGraphDeathTest, RejectsDuplicateTopic) {
+  InfluenceGraphBuilder b(1);
+  const EdgeTopicEntry entries[] = {{0, 0.4}, {0, 0.5}};
+  EXPECT_DEATH(b.SetEdgeTopics(0, entries), "duplicate");
+}
+
+}  // namespace
+}  // namespace pitex

@@ -1,0 +1,112 @@
+// End-to-end integration: all estimation methods answer the same queries
+// on a generated dataset, agree on the influence magnitude, and the index
+// methods agree with the online ones.
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "src/core/engine.h"
+#include "src/datasets/synthetic.h"
+
+namespace pitex {
+namespace {
+
+class IntegrationTest : public testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    DatasetSpec spec = LastfmSpec(0.15);
+    spec.num_tags = 10;
+    spec.num_topics = 5;
+    network_ = new SocialNetwork(GenerateDataset(spec));
+  }
+  static void TearDownTestSuite() {
+    delete network_;
+    network_ = nullptr;
+  }
+
+  static EngineOptions Options(Method method) {
+    EngineOptions options;
+    options.method = method;
+    options.eps = 0.3;
+    options.min_samples = 2000;
+    options.max_samples = 10000;
+    options.index_theta_per_vertex = 300.0;
+    options.seed = 11;
+    return options;
+  }
+
+  static SocialNetwork* network_;
+};
+
+SocialNetwork* IntegrationTest::network_ = nullptr;
+
+TEST_F(IntegrationTest, AllMethodsAgreeOnInfluenceOfFixedTagSet) {
+  const auto users = SampleUserGroup(network_->graph, UserGroup::kHigh, 2, 3);
+  ASSERT_FALSE(users.empty());
+  const TagId tags[] = {1, 4};
+
+  // Reference: high-sample Lazy.
+  PitexEngine reference(network_, Options(Method::kLazy));
+  for (VertexId u : users) {
+    const double expected = reference.EstimateInfluence(u, tags).influence;
+    for (Method method : {Method::kMc, Method::kRr, Method::kIndexEst,
+                          Method::kIndexEstPlus, Method::kDelayMat}) {
+      PitexEngine engine(network_, Options(method));
+      engine.BuildIndex();
+      const double actual = engine.EstimateInfluence(u, tags).influence;
+      EXPECT_NEAR(actual, expected, 0.25 * expected + 0.3)
+          << MethodName(method) << " user " << u;
+    }
+  }
+}
+
+TEST_F(IntegrationTest, GuaranteedMethodsFindComparableOptima) {
+  const auto users = SampleUserGroup(network_->graph, UserGroup::kMid, 2, 5);
+  ASSERT_FALSE(users.empty());
+  for (VertexId u : users) {
+    PitexEngine lazy(network_, Options(Method::kLazy));
+    const PitexResult base = lazy.Explore({.user = u, .k = 2});
+    for (Method method :
+         {Method::kIndexEst, Method::kIndexEstPlus, Method::kDelayMat}) {
+      PitexEngine engine(network_, Options(method));
+      engine.BuildIndex();
+      const PitexResult r = engine.Explore({.user = u, .k = 2});
+      // The selected sets may differ under noise, but the achieved
+      // influence must be comparable (the 1-eps/1+eps band).
+      EXPECT_GT(r.influence, 0.6 * base.influence) << MethodName(method);
+      EXPECT_LT(r.influence, 1.7 * base.influence + 0.5)
+          << MethodName(method);
+    }
+  }
+}
+
+TEST_F(IntegrationTest, QueriesAreDeterministicPerEngine) {
+  const auto users = SampleUserGroup(network_->graph, UserGroup::kMid, 1, 7);
+  PitexEngine a(network_, Options(Method::kIndexEst));
+  a.BuildIndex();
+  PitexEngine b(network_, Options(Method::kIndexEst));
+  b.BuildIndex();
+  const PitexResult ra = a.Explore({.user = users[0], .k = 2});
+  const PitexResult rb = b.Explore({.user = users[0], .k = 2});
+  EXPECT_EQ(ra.tags, rb.tags);
+  EXPECT_DOUBLE_EQ(ra.influence, rb.influence);
+}
+
+TEST_F(IntegrationTest, LearnedAndPlantedModelsAgreeOnHotUsers) {
+  // Smoke check of the full pipeline promise: the tags PITEX returns are
+  // those with posterior mass on topics the user's edges carry.
+  const auto users = SampleUserGroup(network_->graph, UserGroup::kHigh, 1, 9);
+  PitexEngine engine(network_, Options(Method::kLazy));
+  const PitexResult r = engine.Explore({.user = users[0], .k = 2});
+  ASSERT_EQ(r.tags.size(), 2u);
+  const auto post = network_->topics.Posterior(r.tags);
+  double support = 0.0;
+  for (const auto& [w, e] : network_->graph.OutEdges(users[0])) {
+    support += network_->influence.EdgeProb(e, post);
+  }
+  EXPECT_GT(support, 0.0);
+}
+
+}  // namespace
+}  // namespace pitex

@@ -1,0 +1,111 @@
+// Tests for the Linear Threshold extension (paper footnote 1).
+
+#include <gtest/gtest.h>
+
+#include "running_example.h"
+#include "src/graph/generators.h"
+#include "src/sampling/lt_sampler.h"
+
+namespace pitex {
+namespace {
+
+class ConstProbs final : public EdgeProbFn {
+ public:
+  explicit ConstProbs(double p) : p_(p) {}
+  double Prob(EdgeId) const override { return p_; }
+
+ private:
+  double p_;
+};
+
+SampleSizePolicy FixedPolicy(uint64_t theta) {
+  SampleSizePolicy policy;
+  policy.eps = 1e-6;
+  policy.delta = 1e12;
+  policy.min_samples = theta;
+  policy.max_samples = theta;
+  return policy;
+}
+
+TEST(LtSamplerTest, DeterministicChainFullSpread) {
+  Graph g = Chain(6);
+  LtSampler lt(g, FixedPolicy(200), 1);
+  const Estimate est = lt.EstimateInfluence(0, ConstProbs(1.0));
+  EXPECT_NEAR(est.influence, 6.0, 1e-9);
+}
+
+TEST(LtSamplerTest, ZeroWeightsUnitSpread) {
+  Graph g = Chain(6);
+  LtSampler lt(g, FixedPolicy(200), 1);
+  const Estimate est = lt.EstimateInfluence(0, ConstProbs(0.0));
+  EXPECT_NEAR(est.influence, 1.0, 1e-9);
+}
+
+TEST(LtSamplerTest, StarMatchesLinearity) {
+  // In LT, Pr[v active] equals the (clamped) expected in-weight from
+  // active neighbors: for a star with weight w per edge the spread is
+  // exactly 1 + n * w.
+  const size_t n = 40;
+  Graph g = Star(n + 1);
+  LtSampler lt(g, FixedPolicy(30000), 2);
+  const Estimate est = lt.EstimateInfluence(0, ConstProbs(0.3));
+  EXPECT_NEAR(est.influence, 1.0 + 0.3 * n, 0.03 * (1.0 + 0.3 * n));
+}
+
+TEST(LtSamplerTest, ChainMatchesProductForm) {
+  // LT on a chain: each vertex has a single in-edge, so activation is a
+  // Bernoulli(w) like IC; spread = sum w^i.
+  Graph g = Chain(5);
+  const double w = 0.5;
+  LtSampler lt(g, FixedPolicy(40000), 3);
+  const Estimate est = lt.EstimateInfluence(0, ConstProbs(w));
+  EXPECT_NEAR(est.influence, 1.9375, 0.05);
+}
+
+TEST(LtSamplerTest, DiamondDiffersFromIc) {
+  // LT linearity: P(3 active) = E[min(1, 0.5*1[1] + 0.5*1[2])] =
+  // 0.5*(P(1)+P(2)) = 0.5, whereas IC gives 1-(1-0.25)^2 = 0.4375.
+  GraphBuilder b(4);
+  b.AddEdge(0, 1);
+  b.AddEdge(0, 2);
+  b.AddEdge(1, 3);
+  b.AddEdge(2, 3);
+  Graph g = b.Build();
+  LtSampler lt(g, FixedPolicy(60000), 4);
+  const Estimate est = lt.EstimateInfluence(0, ConstProbs(0.5));
+  EXPECT_NEAR(est.influence, 1.0 + 0.5 + 0.5 + 0.5, 0.04);
+}
+
+TEST(LtSamplerTest, WeightsAccumulateAcrossNeighbors) {
+  // Two parents with weight 0.5 each, both always active: the child's
+  // accumulated weight is 1.0 -> always activates.
+  GraphBuilder b(4);
+  b.AddEdge(0, 1);
+  b.AddEdge(0, 2);
+  b.AddEdge(1, 3);
+  b.AddEdge(2, 3);
+  Graph g = b.Build();
+  class Weights final : public EdgeProbFn {
+   public:
+    double Prob(EdgeId e) const override { return e < 2 ? 1.0 : 0.5; }
+  };
+  LtSampler lt(g, FixedPolicy(5000), 5);
+  const Estimate est = lt.EstimateInfluence(0, Weights());
+  EXPECT_NEAR(est.influence, 4.0, 1e-9);
+}
+
+TEST(LtSamplerTest, WorksWithTagSetPosteriors) {
+  SocialNetwork n = MakeRunningExample();
+  const TagId tags[] = {2, 3};
+  const auto post = n.topics.Posterior(tags);
+  const PosteriorProbs probs(n.influence, post);
+  LtSampler lt(n.graph, FixedPolicy(40000), 6);
+  const Estimate est = lt.EstimateInfluence(0, probs);
+  // LT linearity on the (tree-shaped) live graph: spread =
+  // 1 + 0.5*(1 + p*(1 + p)) with p = 4.5/13 — coincides with IC on trees.
+  const double p = 4.5 / 13.0;
+  EXPECT_NEAR(est.influence, 1.0 + 0.5 * (1.0 + p * (1.0 + p)), 0.05);
+}
+
+}  // namespace
+}  // namespace pitex

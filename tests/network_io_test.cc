@@ -1,0 +1,122 @@
+#include "src/model/network_io.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "running_example.h"
+#include "src/datasets/synthetic.h"
+#include "src/sampling/exact.h"
+
+namespace pitex {
+namespace {
+
+std::string TempPath(const char* name) {
+  return testing::TempDir() + "/" + name;
+}
+
+void ExpectNetworksEqual(const SocialNetwork& a, const SocialNetwork& b) {
+  ASSERT_EQ(a.num_vertices(), b.num_vertices());
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (EdgeId e = 0; e < a.num_edges(); ++e) {
+    EXPECT_EQ(a.graph.Tail(e), b.graph.Tail(e));
+    EXPECT_EQ(a.graph.Head(e), b.graph.Head(e));
+  }
+  ASSERT_EQ(a.topics.num_topics(), b.topics.num_topics());
+  ASSERT_EQ(a.topics.num_tags(), b.topics.num_tags());
+  for (TopicId z = 0; z < a.topics.num_topics(); ++z) {
+    EXPECT_DOUBLE_EQ(a.topics.prior()[z], b.topics.prior()[z]);
+    for (TagId w = 0; w < a.topics.num_tags(); ++w) {
+      EXPECT_DOUBLE_EQ(a.topics.TagTopic(w, z), b.topics.TagTopic(w, z));
+    }
+  }
+  for (EdgeId e = 0; e < a.num_edges(); ++e) {
+    const auto ta = a.influence.EdgeTopics(e);
+    const auto tb = b.influence.EdgeTopics(e);
+    ASSERT_EQ(ta.size(), tb.size()) << "edge " << e;
+    for (size_t i = 0; i < ta.size(); ++i) {
+      EXPECT_EQ(ta[i].topic, tb[i].topic);
+      EXPECT_DOUBLE_EQ(ta[i].prob, tb[i].prob);
+    }
+  }
+  ASSERT_EQ(a.tags.size(), b.tags.size());
+  for (TagId w = 0; w < a.tags.size(); ++w) {
+    EXPECT_EQ(a.tags.Name(w), b.tags.Name(w));
+  }
+}
+
+TEST(NetworkIoTest, RunningExampleRoundTrip) {
+  const SocialNetwork original = MakeRunningExample();
+  const std::string path = TempPath("running_example.pitex");
+  ASSERT_TRUE(SaveNetwork(original, path));
+  auto loaded = LoadNetwork(path);
+  ASSERT_TRUE(loaded.has_value());
+  ExpectNetworksEqual(original, *loaded);
+  std::remove(path.c_str());
+}
+
+TEST(NetworkIoTest, RoundTripPreservesSemantics) {
+  const SocialNetwork original = MakeRunningExample();
+  const std::string path = TempPath("semantics.pitex");
+  ASSERT_TRUE(SaveNetwork(original, path));
+  auto loaded = LoadNetwork(path);
+  ASSERT_TRUE(loaded.has_value());
+  const TagId tags[] = {0, 1};
+  EXPECT_NEAR(ExactInfluenceForTags(*loaded, tags, 0), 1.5125, 1e-9);
+}
+
+TEST(NetworkIoTest, SyntheticDatasetRoundTrip) {
+  const SocialNetwork original = GenerateDataset(LastfmSpec(0.1));
+  const std::string path = TempPath("lastfm.pitex");
+  ASSERT_TRUE(SaveNetwork(original, path));
+  auto loaded = LoadNetwork(path);
+  ASSERT_TRUE(loaded.has_value());
+  ExpectNetworksEqual(original, *loaded);
+  std::remove(path.c_str());
+}
+
+TEST(NetworkIoTest, MissingFileFails) {
+  EXPECT_FALSE(LoadNetwork("/nonexistent/net.pitex").has_value());
+}
+
+TEST(NetworkIoTest, WrongMagicFails) {
+  const std::string path = TempPath("bad_magic.pitex");
+  std::ofstream(path) << "NOT-PITEX 1\n";
+  EXPECT_FALSE(LoadNetwork(path).has_value());
+  std::remove(path.c_str());
+}
+
+TEST(NetworkIoTest, WrongVersionFails) {
+  const std::string path = TempPath("bad_version.pitex");
+  std::ofstream(path) << "PITEX-NET 99\ngraph 0 0\n";
+  EXPECT_FALSE(LoadNetwork(path).has_value());
+  std::remove(path.c_str());
+}
+
+TEST(NetworkIoTest, TruncatedInfluenceFails) {
+  const SocialNetwork original = MakeRunningExample();
+  const std::string path = TempPath("truncate.pitex");
+  ASSERT_TRUE(SaveNetwork(original, path));
+  // Truncate the file to cut off the tags section and part of influence.
+  std::ifstream in(path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  in.close();
+  std::ofstream(path) << content.substr(0, content.size() * 2 / 3);
+  EXPECT_FALSE(LoadNetwork(path).has_value());
+  std::remove(path.c_str());
+}
+
+TEST(NetworkIoTest, OutOfRangeEntriesFail) {
+  const std::string path = TempPath("oob.pitex");
+  std::ofstream(path) << "PITEX-NET 1\n"
+                      << "graph 2 1\n0 1\n"
+                      << "topics 2 2\nprior 0.5 0.5\n"
+                      << "tagtopic 1\n0 7 0.5\n";  // topic 7 out of range
+  EXPECT_FALSE(LoadNetwork(path).has_value());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace pitex

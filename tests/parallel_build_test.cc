@@ -1,0 +1,88 @@
+// Deterministic parallel index construction: the index must be
+// bit-identical for every thread count.
+
+#include <gtest/gtest.h>
+
+#include "running_example.h"
+#include "src/datasets/synthetic.h"
+#include "src/index/rr_index.h"
+
+namespace pitex {
+namespace {
+
+void ExpectIndexesIdentical(const RrIndex& a, const RrIndex& b) {
+  ASSERT_EQ(a.num_graphs(), b.num_graphs());
+  for (size_t i = 0; i < a.num_graphs(); ++i) {
+    const RRGraph& ga = a.graph(i);
+    const RRGraph& gb = b.graph(i);
+    ASSERT_EQ(ga.root, gb.root) << "graph " << i;
+    ASSERT_EQ(ga.vertices, gb.vertices) << "graph " << i;
+    ASSERT_EQ(ga.edges.size(), gb.edges.size()) << "graph " << i;
+    for (size_t j = 0; j < ga.edges.size(); ++j) {
+      EXPECT_EQ(ga.edges[j].head_local, gb.edges[j].head_local);
+      EXPECT_EQ(ga.edges[j].edge, gb.edges[j].edge);
+      EXPECT_EQ(ga.edges[j].threshold, gb.edges[j].threshold);
+    }
+  }
+}
+
+TEST(ParallelBuildTest, OneVsTwoThreadsIdentical) {
+  SocialNetwork n = MakeRunningExample();
+  RrIndexOptions serial;
+  serial.theta_override = 2000;
+  RrIndexOptions parallel = serial;
+  parallel.num_build_threads = 2;
+
+  RrIndex a(n, serial), b(n, parallel);
+  a.Build();
+  b.Build();
+  ExpectIndexesIdentical(a, b);
+}
+
+TEST(ParallelBuildTest, FourThreadsOnSyntheticDataset) {
+  SocialNetwork n = GenerateDataset(LastfmSpec(0.1));
+  RrIndexOptions serial;
+  serial.theta_override = 500;
+  RrIndexOptions parallel = serial;
+  parallel.num_build_threads = 4;
+
+  RrIndex a(n, serial), b(n, parallel);
+  a.Build();
+  b.Build();
+  ExpectIndexesIdentical(a, b);
+}
+
+TEST(ParallelBuildTest, ContainingListsIdentical) {
+  SocialNetwork n = MakeRunningExample();
+  RrIndexOptions serial;
+  serial.theta_override = 1000;
+  RrIndexOptions parallel = serial;
+  parallel.num_build_threads = 3;
+
+  RrIndex a(n, serial), b(n, parallel);
+  a.Build();
+  b.Build();
+  for (VertexId v = 0; v < n.num_vertices(); ++v) {
+    EXPECT_EQ(a.Containing(v), b.Containing(v)) << "vertex " << v;
+  }
+}
+
+TEST(ParallelBuildTest, EstimatesIdentical) {
+  SocialNetwork n = MakeRunningExample();
+  RrIndexOptions serial;
+  serial.theta_override = 3000;
+  RrIndexOptions parallel = serial;
+  parallel.num_build_threads = 2;
+
+  RrIndex a(n, serial), b(n, parallel);
+  a.Build();
+  b.Build();
+  const TagId tags[] = {2, 3};
+  const auto post = n.topics.Posterior(tags);
+  const PosteriorProbs probs(n.influence, post);
+  EXPECT_DOUBLE_EQ(a.EstimateInfluence(0, probs).influence,
+                   b.EstimateInfluence(0, probs).influence);
+}
+
+}  // namespace
+}  // namespace pitex

@@ -1,0 +1,158 @@
+// Tests for the cost-based query planner (src/core/planner.h): sane
+// network profiles, monotone decisions (more queries favor the index),
+// and constraint handling (memory profile, pre-built index).
+
+#include "src/core/planner.h"
+
+#include <gtest/gtest.h>
+
+#include "running_example.h"
+#include "src/datasets/synthetic.h"
+
+namespace pitex {
+namespace {
+
+TEST(QueryPlannerTest, ProfileIsPlausible) {
+  const SocialNetwork n = MakeRunningExample();
+  const QueryPlanner planner(&n);
+  const NetworkProfile& profile = planner.profile();
+  EXPECT_GE(profile.avg_envelope_reach, 1.0);
+  EXPECT_LE(profile.avg_envelope_reach,
+            static_cast<double>(n.num_vertices()));
+  EXPECT_GE(profile.avg_rr_graph_size, 1.0);
+  EXPECT_GT(profile.avg_theta_u_fraction, 0.0);
+  EXPECT_LE(profile.avg_theta_u_fraction, 1.0);
+  // Fig. 2's p(w|z) table has 8 of 12 entries non-zero.
+  EXPECT_NEAR(profile.tag_topic_density, 8.0 / 12.0, 1e-9);
+}
+
+TEST(QueryPlannerTest, SingleQueryOnSparseGraphPrefersOnline) {
+  // Twitter-shaped analog: many vertices, tiny envelope reach. A single
+  // k=1 query cannot amortize sampling |V| RR-Graphs. (The index wins
+  // surprisingly often elsewhere: with sparse reverse reach, theta
+  // RR-Graphs cost less than one full online PITEX query evaluating
+  // thousands of candidate tag sets — which is the paper's own pitch.)
+  DatasetSpec spec = TwitterSpec(0.05);
+  spec.seed = 31;
+  const SocialNetwork n = GenerateDataset(spec);
+  const QueryPlanner planner(&n);
+
+  PlannerInputs inputs;
+  inputs.expected_queries = 1;
+  inputs.k = 1;
+  const PlanDecision decision = planner.Plan(inputs);
+  EXPECT_EQ(decision.method, Method::kLazy) << decision.rationale;
+  EXPECT_GT(decision.index_build_cost, 0.0);
+}
+
+TEST(QueryPlannerTest, ManyQueriesPreferIndex) {
+  DatasetSpec spec = LastfmSpec(0.5);
+  spec.seed = 31;
+  const SocialNetwork n = GenerateDataset(spec);
+  const QueryPlanner planner(&n);
+
+  PlannerInputs inputs;
+  inputs.expected_queries = 100000000;
+  const PlanDecision decision = planner.Plan(inputs);
+  EXPECT_EQ(decision.method, Method::kIndexEstPlus) << decision.rationale;
+}
+
+TEST(QueryPlannerTest, DecisionIsMonotoneInQueryCount) {
+  DatasetSpec spec = DiggsSpec(0.05);
+  spec.seed = 3;
+  const SocialNetwork n = GenerateDataset(spec);
+  const QueryPlanner planner(&n);
+
+  bool seen_index = false;
+  PlannerInputs inputs;
+  for (uint64_t queries = 1; queries <= 1ULL << 40; queries *= 16) {
+    inputs.expected_queries = queries;
+    const PlanDecision decision = planner.Plan(inputs);
+    const bool is_index = decision.method != Method::kLazy;
+    // Once the index wins it must keep winning for larger workloads.
+    EXPECT_TRUE(is_index || !seen_index)
+        << "non-monotone at " << queries << ": " << decision.rationale;
+    seen_index = seen_index || is_index;
+  }
+  EXPECT_TRUE(seen_index);  // some workload justifies the build
+}
+
+TEST(QueryPlannerTest, MemoryConstrainedPicksDelayMat) {
+  const SocialNetwork n = MakeRunningExample();
+  const QueryPlanner planner(&n);
+  PlannerInputs inputs;
+  inputs.expected_queries = 1ULL << 40;
+  inputs.memory_constrained = true;
+  const PlanDecision decision = planner.Plan(inputs);
+  EXPECT_EQ(decision.method, Method::kDelayMat) << decision.rationale;
+}
+
+TEST(QueryPlannerTest, AvailableIndexZeroesBuildCost) {
+  const SocialNetwork n = MakeRunningExample();
+  const QueryPlanner planner(&n);
+  PlannerInputs inputs;
+  inputs.expected_queries = 1;
+  inputs.index_available = true;
+  const PlanDecision decision = planner.Plan(inputs);
+  EXPECT_EQ(decision.index_build_cost, 0.0);
+  EXPECT_NE(decision.method, Method::kLazy) << decision.rationale;
+}
+
+TEST(QueryPlannerTest, ExpectedSetsShrinkWithSparserModels) {
+  DatasetSpec dense = LastfmSpec(0.3);
+  dense.tag_topic_density = 0.6;
+  dense.seed = 5;
+  DatasetSpec sparse = dense;
+  sparse.tag_topic_density = 0.05;
+  const SocialNetwork dense_net = GenerateDataset(dense);
+  const SocialNetwork sparse_net = GenerateDataset(sparse);
+  const QueryPlanner dense_planner(&dense_net);
+  const QueryPlanner sparse_planner(&sparse_net);
+  // Sec. 7.3: lower density -> stronger best-effort pruning -> fewer
+  // evaluated tag sets.
+  EXPECT_LT(sparse_planner.ExpectedSetsPerQuery(3),
+            dense_planner.ExpectedSetsPerQuery(3));
+}
+
+TEST(QueryPlannerTest, ExpectedSetsGrowWithVocabulary) {
+  DatasetSpec small = LastfmSpec(0.3);
+  small.num_tags = 10;
+  small.seed = 5;
+  DatasetSpec big = small;
+  big.num_tags = 60;
+  const SocialNetwork small_net = GenerateDataset(small);
+  const SocialNetwork big_net = GenerateDataset(big);
+  const QueryPlanner small_planner(&small_net);
+  const QueryPlanner big_planner(&big_net);
+  EXPECT_LT(small_planner.ExpectedSetsPerQuery(2),
+            big_planner.ExpectedSetsPerQuery(2));
+}
+
+TEST(QueryPlannerTest, RationaleMentionsTheWinner) {
+  const SocialNetwork n = MakeRunningExample();
+  const QueryPlanner planner(&n);
+  PlannerInputs inputs;
+  inputs.expected_queries = 1ULL << 40;
+  const PlanDecision decision = planner.Plan(inputs);
+  EXPECT_NE(decision.rationale.find("index"), std::string::npos);
+}
+
+TEST(QueryPlannerTest, PlannedMethodRunsEndToEnd) {
+  const SocialNetwork n = MakeRunningExample();
+  const QueryPlanner planner(&n);
+  PlannerInputs inputs;
+  inputs.expected_queries = 500;
+  const PlanDecision decision = planner.Plan(inputs);
+
+  EngineOptions options;
+  options.method = decision.method;
+  options.index_theta_per_vertex = 100.0;
+  PitexEngine engine(&n, options);
+  engine.BuildIndex();
+  const PitexResult result = engine.Explore({.user = 0, .k = 2});
+  EXPECT_EQ(result.tags.size(), 2u);
+  EXPECT_GE(result.influence, 1.0);
+}
+
+}  // namespace
+}  // namespace pitex

@@ -1,0 +1,162 @@
+// Cross-module property suites (parameterized gtest sweeps):
+//  * combination enumerator counting identity over (n, k);
+//  * all estimators (online + index) agree with the exact oracle on
+//    randomized small networks across seeds;
+//  * monotonicity: raising every edge probability cannot lower influence.
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "src/core/tagset_enumerator.h"
+#include "src/graph/generators.h"
+#include "src/index/rr_index.h"
+#include "src/sampling/exact.h"
+#include "src/sampling/lazy_sampler.h"
+#include "src/sampling/mc_sampler.h"
+#include "src/sampling/rr_sampler.h"
+
+namespace pitex {
+namespace {
+
+// ---------------------------------------------------------------------
+// Enumerator: count identity C(n, k) for a sweep of (n, k).
+class EnumeratorCountTest
+    : public testing::TestWithParam<std::pair<size_t, size_t>> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, EnumeratorCountTest,
+    testing::Values(std::pair<size_t, size_t>{4, 2},
+                    std::pair<size_t, size_t>{6, 3},
+                    std::pair<size_t, size_t>{8, 1},
+                    std::pair<size_t, size_t>{8, 5},
+                    std::pair<size_t, size_t>{10, 4},
+                    std::pair<size_t, size_t>{12, 6}),
+    [](const auto& info) {
+      return "n" + std::to_string(info.param.first) + "k" +
+             std::to_string(info.param.second);
+    });
+
+TEST_P(EnumeratorCountTest, EnumeratedCountMatchesBinomial) {
+  const auto [n, k] = GetParam();
+  size_t count = 0;
+  for (TagSetEnumerator it(n, k); !it.Done(); it.Next()) ++count;
+  EXPECT_NEAR(static_cast<double>(count), TagSetEnumerator(n, k).Count(),
+              0.5);
+}
+
+// ---------------------------------------------------------------------
+// Randomized small-world agreement: every estimator matches the exact
+// oracle on a random graph with random probabilities.
+class RandomWorldProbs final : public EdgeProbFn {
+ public:
+  RandomWorldProbs(size_t num_edges, uint64_t seed) {
+    Rng rng(seed);
+    probs_.resize(num_edges);
+    for (double& p : probs_) {
+      // Mix of zero, deterministic and fractional probabilities.
+      const double u = rng.NextDouble();
+      if (u < 0.2) {
+        p = 0.0;
+      } else if (u < 0.3) {
+        p = 1.0;
+      } else {
+        p = rng.NextDouble() * 0.8;
+      }
+    }
+  }
+  double Prob(EdgeId e) const override { return probs_[e]; }
+
+ private:
+  std::vector<double> probs_;
+};
+
+class RandomAgreementTest : public testing::TestWithParam<uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomAgreementTest,
+                         testing::Values(1u, 2u, 3u, 4u, 5u, 6u));
+
+TEST_P(RandomAgreementTest, AllEstimatorsMatchExact) {
+  const uint64_t seed = GetParam();
+  Rng rng(seed * 1000);
+  // Small enough for the exact oracle: <= ~14 fractional edges.
+  const Graph g = ErdosRenyi(10, 18, &rng);
+  const RandomWorldProbs probs(g.num_edges(), seed);
+  const VertexId u = 0;
+  const double exact = ExactInfluence(g, probs, u);
+
+  SampleSizePolicy policy;
+  policy.eps = 0.1;
+  policy.num_tags = 4;
+  policy.k = 1;
+  policy.min_samples = 30000;
+  policy.max_samples = 30000;
+  McSampler mc(g, policy, seed);
+  RrSampler rr(g, policy, seed + 1);
+  LazySampler lazy(g, policy, seed + 2);
+  const double tol = std::max(0.03, 0.04 * exact);
+  EXPECT_NEAR(mc.EstimateInfluence(u, probs).influence, exact, tol);
+  EXPECT_NEAR(rr.EstimateInfluence(u, probs).influence, exact, tol);
+  EXPECT_NEAR(lazy.EstimateInfluence(u, probs).influence, exact, tol);
+}
+
+TEST_P(RandomAgreementTest, IndexMatchesExactWithinEnvelope) {
+  const uint64_t seed = GetParam();
+  Rng rng(seed * 777);
+  SocialNetwork n;
+  n.graph = ErdosRenyi(10, 16, &rng);
+  n.topics = TopicModel(2, 4);
+  for (TagId w = 0; w < 4; ++w) {
+    n.topics.SetTagTopic(w, w % 2, 0.5 + 0.5 * rng.NextDouble());
+  }
+  InfluenceGraphBuilder ib(n.graph.num_edges());
+  for (EdgeId e = 0; e < n.graph.num_edges(); ++e) {
+    std::vector<EdgeTopicEntry> entries;
+    for (TopicId z = 0; z < 2; ++z) {
+      if (rng.NextBernoulli(0.6)) entries.push_back({z, 0.6 * rng.NextDouble()});
+    }
+    ib.SetEdgeTopics(e, entries);
+  }
+  n.influence = ib.Build();
+
+  RrIndexOptions options;
+  options.theta_override = 40000;
+  options.seed = seed;
+  RrIndex index(n, options);
+  index.Build();
+
+  const TagId tags[] = {0, 1};
+  const auto post = n.topics.Posterior(tags);
+  const PosteriorProbs probs(n.influence, post);
+  const double exact = ExactInfluence(n.graph, probs, 0);
+  const Estimate est = index.EstimateInfluence(0, probs);
+  EXPECT_NEAR(est.influence, exact, std::max(0.05, 0.06 * exact));
+}
+
+// ---------------------------------------------------------------------
+// Monotonicity: scaling all probabilities up cannot decrease influence.
+class ScaledProbs final : public EdgeProbFn {
+ public:
+  ScaledProbs(const EdgeProbFn& base, double factor)
+      : base_(base), factor_(factor) {}
+  double Prob(EdgeId e) const override {
+    return std::min(1.0, base_.Prob(e) * factor_);
+  }
+
+ private:
+  const EdgeProbFn& base_;
+  double factor_;
+};
+
+TEST_P(RandomAgreementTest, InfluenceMonotoneInProbabilities) {
+  const uint64_t seed = GetParam();
+  Rng rng(seed * 31);
+  const Graph g = ErdosRenyi(9, 14, &rng);
+  const RandomWorldProbs base(g.num_edges(), seed + 50);
+  const ScaledProbs scaled(base, 1.5);
+  EXPECT_LE(ExactInfluence(g, base, 0),
+            ExactInfluence(g, scaled, 0) + 1e-9);
+}
+
+}  // namespace
+}  // namespace pitex

@@ -1,0 +1,116 @@
+#include "src/util/random.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace pitex {
+namespace {
+
+TEST(RngTest, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += (a.NextU64() == b.NextU64());
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, DoubleMeanNearHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.NextDouble();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, BoundedWithinRange) {
+  Rng rng(5);
+  for (uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(rng.NextBounded(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, BoundedCoversAllValues) {
+  Rng rng(17);
+  std::vector<int> counts(7, 0);
+  for (int i = 0; i < 7000; ++i) ++counts[rng.NextBounded(7)];
+  for (int c : counts) EXPECT_GT(c, 700);  // ~1000 each
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.NextBernoulli(0.0));
+    EXPECT_TRUE(rng.NextBernoulli(1.0));
+    EXPECT_FALSE(rng.NextBernoulli(-1.0));
+    EXPECT_TRUE(rng.NextBernoulli(2.0));
+  }
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(29);
+  int heads = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) heads += rng.NextBernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(heads) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, GeometricOneAlwaysOne) {
+  Rng rng(31);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.NextGeometric(1.0), 1u);
+}
+
+TEST(RngTest, GeometricMeanMatches) {
+  // E[Geometric(p)] = 1/p.
+  Rng rng(37);
+  for (double p : {0.5, 0.2, 0.05}) {
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+      sum += static_cast<double>(rng.NextGeometric(p));
+    }
+    EXPECT_NEAR(sum / n, 1.0 / p, 0.05 / p) << "p=" << p;
+  }
+}
+
+TEST(RngTest, GeometricAtLeastOne) {
+  Rng rng(41);
+  for (int i = 0; i < 10000; ++i) EXPECT_GE(rng.NextGeometric(0.9), 1u);
+}
+
+TEST(RngTest, SplitIndependent) {
+  Rng parent(99);
+  Rng child = parent.Split();
+  // The split stream should not replay the parent's stream.
+  Rng parent_again(99);
+  parent_again.NextU64();  // advance past the split draw
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    equal += (child.NextU64() == parent_again.NextU64());
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(SplitMix64Test, KnownSequenceIsStable) {
+  uint64_t s1 = 42, s2 = 42;
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(SplitMix64(&s1), SplitMix64(&s2));
+}
+
+}  // namespace
+}  // namespace pitex

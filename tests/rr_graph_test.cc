@@ -1,0 +1,169 @@
+// Tests for RR-Graph generation (Def. 2) and tag-aware reachability
+// (Def. 3): structural invariants, threshold distributions, and unbiased
+// estimation against the exact oracle.
+
+#include <gtest/gtest.h>
+
+#include "running_example.h"
+#include "src/graph/generators.h"
+#include "src/index/rr_graph.h"
+#include "src/sampling/exact.h"
+
+namespace pitex {
+namespace {
+
+TEST(RRGraphTest, RootAlwaysPresent) {
+  SocialNetwork n = MakeRunningExample();
+  Rng rng(1);
+  for (VertexId root = 0; root < n.num_vertices(); ++root) {
+    const RRGraph rr = GenerateRRGraph(n.graph, n.influence, root, &rng);
+    EXPECT_TRUE(rr.LocalIndex(root).has_value());
+  }
+}
+
+TEST(RRGraphTest, VerticesSortedUnique) {
+  SocialNetwork n = MakeRunningExample();
+  Rng rng(2);
+  for (int i = 0; i < 50; ++i) {
+    const RRGraph rr = GenerateRRGraph(n.graph, n.influence, 6, &rng);
+    for (size_t j = 1; j < rr.vertices.size(); ++j) {
+      EXPECT_LT(rr.vertices[j - 1], rr.vertices[j]);
+    }
+  }
+}
+
+TEST(RRGraphTest, ThresholdsBelowEnvelope) {
+  SocialNetwork n = MakeRunningExample();
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    const RRGraph rr = GenerateRRGraph(n.graph, n.influence, 6, &rng);
+    for (const auto& e : rr.edges) {
+      EXPECT_LT(static_cast<double>(e.threshold),
+                n.influence.MaxProb(e.edge));
+      EXPECT_GE(e.threshold, 0.0f);
+    }
+  }
+}
+
+TEST(RRGraphTest, EveryVertexReachesRootUnderEnvelope) {
+  // Under the envelope p(e) every stored edge is live, so every vertex in
+  // the RR-Graph must reach the root.
+  SocialNetwork n = MakeRunningExample();
+  const EnvelopeProbs envelope(n.influence);
+  Rng rng(4);
+  for (int i = 0; i < 100; ++i) {
+    const RRGraph rr = GenerateRRGraph(n.graph, n.influence, 6, &rng);
+    for (VertexId v : rr.vertices) {
+      EXPECT_TRUE(IsReachable(rr, v, envelope, nullptr))
+          << "vertex " << v << " cannot reach root";
+    }
+  }
+}
+
+TEST(RRGraphTest, RootTriviallyReachable) {
+  SocialNetwork n = MakeRunningExample();
+  Rng rng(5);
+  const RRGraph rr = GenerateRRGraph(n.graph, n.influence, 3, &rng);
+  const TopicPosterior zero(3, 0.0);
+  const PosteriorProbs probs(n.influence, zero);
+  EXPECT_TRUE(IsReachable(rr, 3, probs, nullptr));  // u == root
+}
+
+TEST(RRGraphTest, AbsentVertexNotReachable) {
+  SocialNetwork n = MakeRunningExample();
+  Rng rng(6);
+  const RRGraph rr = GenerateRRGraph(n.graph, n.influence, 1, &rng);
+  // u5 (id 4) has no outgoing edges and can never appear in u2's RR-Graph.
+  const EnvelopeProbs envelope(n.influence);
+  EXPECT_FALSE(IsReachable(rr, 4, envelope, nullptr));
+}
+
+TEST(RRGraphTest, MembershipFrequencyMatchesInfluence) {
+  // Pr[u in RR-Graph of v] = Pr[u activates v under the envelope]; summing
+  // over uniform v gives E[I(u|*)] / |V|. Check u1 on the running example.
+  SocialNetwork n = MakeRunningExample();
+  const EnvelopeProbs envelope(n.influence);
+  const double exact = ExactInfluence(n.graph, envelope, 0);
+
+  Rng rng(7);
+  const int trials = 40000;
+  int containing = 0;
+  for (int i = 0; i < trials; ++i) {
+    const auto root = static_cast<VertexId>(rng.NextBounded(7));
+    const RRGraph rr = GenerateRRGraph(n.graph, n.influence, root, &rng);
+    containing += rr.LocalIndex(0).has_value();
+  }
+  const double estimated =
+      static_cast<double>(containing) / trials * 7.0;
+  EXPECT_NEAR(estimated, exact, 0.05 * exact);
+}
+
+TEST(RRGraphTest, TagAwareReachabilityMatchesExample5) {
+  // Example 5's specific thresholds: c(u1->u2) = 0.3 blocks {w3,w4}
+  // (p = 0.13), while the path u1->u3->u4->u6 with small thresholds is
+  // live. Build the RR-Graphs by hand to pin the c(e) values.
+  SocialNetwork n = MakeRunningExample();
+  const TagId tags[] = {2, 3};
+  const auto post = n.topics.Posterior(tags);
+  const PosteriorProbs probs(n.influence, post);
+
+  // G_RR(u2): single edge u1->u2 with c = 0.3.
+  {
+    const GlobalEdgeSample edges[] = {{0, 1, 0, 0.3f}};
+    const RRGraph rr = AssembleRRGraph(1, {0, 1}, edges);
+    EXPECT_FALSE(IsReachable(rr, 0, probs, nullptr));
+  }
+  // p(u1->u3 | {w3,w4}) = 0.5, p(u3->u6) = 4.5/13 ~= 0.346: live when the
+  // thresholds are small.
+  {
+    const GlobalEdgeSample edges[] = {
+        {0, 2, 1, 0.2f},  // u1 -> u3
+        {2, 5, 3, 0.2f},  // u3 -> u6
+    };
+    const RRGraph rr = AssembleRRGraph(5, {0, 2, 5}, edges);
+    EXPECT_TRUE(IsReachable(rr, 0, probs, nullptr));
+  }
+  // Same graph with a threshold above 0.346 on u3->u6: dead.
+  {
+    const GlobalEdgeSample edges[] = {
+        {0, 2, 1, 0.2f},
+        {2, 5, 3, 0.4f},
+    };
+    const RRGraph rr = AssembleRRGraph(5, {0, 2, 5}, edges);
+    EXPECT_FALSE(IsReachable(rr, 0, probs, nullptr));
+  }
+}
+
+TEST(RRGraphTest, AssembleDropsEdgesOutsideVertexSet) {
+  const GlobalEdgeSample edges[] = {
+      {0, 1, 0, 0.1f},
+      {2, 1, 1, 0.1f},  // tail 2 not in vertex set
+  };
+  const RRGraph rr = AssembleRRGraph(1, {0, 1}, edges);
+  EXPECT_EQ(rr.edges.size(), 1u);
+}
+
+TEST(RRGraphTest, SizeBytesPositiveAndMonotone) {
+  SocialNetwork n = MakeRunningExample();
+  Rng rng(8);
+  const RRGraph small = AssembleRRGraph(0, {0}, {});
+  const RRGraph big = GenerateRRGraph(n.graph, n.influence, 6, &rng);
+  EXPECT_GT(small.SizeBytes(), 0u);
+  EXPECT_GE(big.SizeBytes(), small.SizeBytes());
+}
+
+TEST(RRGraphTest, EdgeVisitCounterAccumulates) {
+  SocialNetwork n = MakeRunningExample();
+  Rng rng(9);
+  const EnvelopeProbs envelope(n.influence);
+  uint64_t visits = 0;
+  for (int i = 0; i < 10; ++i) {
+    const RRGraph rr = GenerateRRGraph(n.graph, n.influence, 6, &rng);
+    IsReachable(rr, 0, envelope, &visits);
+  }
+  // At least some probing must have happened over 10 graphs.
+  EXPECT_GT(visits, 0u);
+}
+
+}  // namespace
+}  // namespace pitex

@@ -1,0 +1,73 @@
+// The paper's running example (Fig. 2) as an exact test fixture.
+//
+// Seven users u1..u7 (ids 0..6), three topics, four tags. The topology and
+// topic labels are reconstructed from the figure and validated against the
+// numbers the paper states explicitly:
+//   * p(z|{w1,w2}) = (0.5, 0.5, 0.0) and the rest of Fig. 2(b)'s table;
+//   * p((u1,u2) | {w1,w2}) = 0.2                         (Example 1);
+//   * E[I(u1 | {w1,w2})] = 1.5125                        (Example 1);
+//   * the k=2 optimum for u1 is {w3, w4}                 (Example 1);
+//   * u3's out-edges go to u4 and u6; u7's in-edges come from u4 and u6
+//                                                        (Example 7).
+
+#ifndef PITEX_TESTS_RUNNING_EXAMPLE_H_
+#define PITEX_TESTS_RUNNING_EXAMPLE_H_
+
+#include "src/model/influence_graph.h"
+
+namespace pitex {
+
+inline SocialNetwork MakeRunningExample() {
+  SocialNetwork network;
+  GraphBuilder graph(7);
+  // Edge order matters: tests refer to EdgeIds.
+  graph.AddEdge(0, 1);  // e0: u1 -> u2, z1:0.4
+  graph.AddEdge(0, 2);  // e1: u1 -> u3, z2:0.5 z3:0.5
+  graph.AddEdge(2, 3);  // e2: u3 -> u4, z1:0.5
+  graph.AddEdge(2, 5);  // e3: u3 -> u6, z3:0.5
+  graph.AddEdge(3, 5);  // e4: u4 -> u6, z3:0.8
+  graph.AddEdge(3, 6);  // e5: u4 -> u7, z3:0.4
+  graph.AddEdge(5, 6);  // e6: u6 -> u7, z3:0.5
+  network.graph = graph.Build();
+
+  network.topics = TopicModel(3, 4);
+  // Fig. 2(b): p(w_i | z_j).
+  const double table[4][3] = {
+      {0.6, 0.4, 0.0},  // w1
+      {0.4, 0.6, 0.0},  // w2
+      {0.0, 0.4, 0.6},  // w3
+      {0.0, 0.4, 0.6},  // w4
+  };
+  for (TagId w = 0; w < 4; ++w) {
+    for (TopicId z = 0; z < 3; ++z) {
+      network.topics.SetTagTopic(w, z, table[w][z]);
+    }
+  }
+
+  InfluenceGraphBuilder influence(network.graph.num_edges());
+  const auto set1 = [&](EdgeId e, TopicId z, double p) {
+    const EdgeTopicEntry entry{z, p};
+    influence.SetEdgeTopics(e, std::span(&entry, 1));
+  };
+  set1(0, 0, 0.4);
+  {
+    const EdgeTopicEntry entries[] = {{1, 0.5}, {2, 0.5}};
+    influence.SetEdgeTopics(1, entries);
+  }
+  set1(2, 0, 0.5);
+  set1(3, 2, 0.5);
+  set1(4, 2, 0.8);
+  set1(5, 2, 0.4);
+  set1(6, 2, 0.5);
+  network.influence = influence.Build();
+
+  network.tags.Intern("w1");
+  network.tags.Intern("w2");
+  network.tags.Intern("w3");
+  network.tags.Intern("w4");
+  return network;
+}
+
+}  // namespace pitex
+
+#endif  // PITEX_TESTS_RUNNING_EXAMPLE_H_

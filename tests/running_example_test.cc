@@ -1,0 +1,83 @@
+// End-to-end validation of the paper's running example (Fig. 2 +
+// Examples 1, 5, 6, 7): exact influence values and the k=2 optimum.
+
+#include <gtest/gtest.h>
+
+#include "running_example.h"
+#include "src/core/enumeration_solver.h"
+#include "src/core/tagset_enumerator.h"
+#include "src/sampling/exact.h"
+
+namespace pitex {
+namespace {
+
+// Example 1: E[I(u1 | {w1, w2})] = 1.5125.
+TEST(RunningExampleTest, ExactInfluenceOfW1W2) {
+  SocialNetwork n = MakeRunningExample();
+  const TagId tags[] = {0, 1};
+  EXPECT_NEAR(ExactInfluenceForTags(n, tags, 0), 1.5125, 1e-9);
+}
+
+// Example 1: the k=2 optimum for u1 is {w3, w4}.
+TEST(RunningExampleTest, BestPairIsW3W4) {
+  SocialNetwork n = MakeRunningExample();
+  double best = 0.0;
+  std::vector<TagId> best_tags;
+  for (TagSetEnumerator it(4, 2); !it.Done(); it.Next()) {
+    const double inf = ExactInfluenceForTags(n, it.Current(), 0);
+    if (inf > best) {
+      best = inf;
+      best_tags = it.Current();
+    }
+  }
+  EXPECT_EQ(best_tags, (std::vector<TagId>{2, 3}));
+  // Exact optimum value: 1 + 0.5 * (1 + (4.5/13) * (1 + 4.5/13)).
+  const double p = 4.5 / 13.0;
+  EXPECT_NEAR(best, 1.0 + 0.5 * (1.0 + p * (1.0 + p)), 1e-9);
+}
+
+// All pairs containing exactly one of {w1,w2} and one of {w3,w4} put all
+// posterior mass on z2, keeping only edge u1->u3: spread 1.5.
+TEST(RunningExampleTest, CrossPairsHaveSpreadOnePointFive) {
+  SocialNetwork n = MakeRunningExample();
+  for (TagId a : {0u, 1u}) {
+    for (TagId b : {2u, 3u}) {
+      const TagId tags[] = {a, b};
+      EXPECT_NEAR(ExactInfluenceForTags(n, tags, 0), 1.5, 1e-9)
+          << "pair " << a << "," << b;
+    }
+  }
+}
+
+// Monotonicity sanity: a user with no outgoing edges has spread exactly 1.
+TEST(RunningExampleTest, SinkUserHasUnitSpread) {
+  SocialNetwork n = MakeRunningExample();
+  const TagId tags[] = {2, 3};
+  EXPECT_NEAR(ExactInfluenceForTags(n, tags, 6), 1.0, 1e-12);  // u7
+  EXPECT_NEAR(ExactInfluenceForTags(n, tags, 4), 1.0, 1e-12);  // u5
+}
+
+// Example 6 context: u3's influence under {w3, w4} — computable exactly:
+// u3 reaches u6 with 4.5/13 and u7 through u6; u4 unreachable (z1 edge).
+TEST(RunningExampleTest, ExactInfluenceOfU3UnderW3W4) {
+  SocialNetwork n = MakeRunningExample();
+  const TagId tags[] = {2, 3};
+  const double p = 4.5 / 13.0;
+  EXPECT_NEAR(ExactInfluenceForTags(n, tags, 2), 1.0 + p * (1.0 + p), 1e-9);
+}
+
+// Single-tag queries: w3 and w4 are individually the strongest tags for u1.
+TEST(RunningExampleTest, SingleTagRanking) {
+  SocialNetwork n = MakeRunningExample();
+  std::vector<double> spread(4);
+  for (TagId w = 0; w < 4; ++w) {
+    const TagId tags[] = {w};
+    spread[w] = ExactInfluenceForTags(n, tags, 0);
+  }
+  EXPECT_GT(spread[2], spread[0]);
+  EXPECT_GT(spread[2], spread[1]);
+  EXPECT_NEAR(spread[2], spread[3], 1e-12);  // w3 and w4 are symmetric
+}
+
+}  // namespace
+}  // namespace pitex

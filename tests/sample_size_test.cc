@@ -1,0 +1,72 @@
+#include "src/sampling/sample_size.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/chernoff.h"
+
+namespace pitex {
+namespace {
+
+SampleSizePolicy Default() {
+  SampleSizePolicy p;
+  p.num_tags = 50;
+  p.k = 3;
+  return p;
+}
+
+TEST(SampleSizePolicyTest, ThresholdMatchesLambda) {
+  SampleSizePolicy p = Default();
+  EXPECT_NEAR(p.StoppingThreshold(), Lambda(p.eps, p.delta, 50, 3), 1e-9);
+}
+
+TEST(SampleSizePolicyTest, PhiVariantIsLarger) {
+  SampleSizePolicy p = Default();
+  SampleSizePolicy phi = p;
+  phi.use_phi = true;
+  EXPECT_GT(phi.StoppingThreshold(), p.StoppingThreshold());
+}
+
+TEST(SampleSizePolicyTest, CapScalesWithReachableSize) {
+  SampleSizePolicy p = Default();
+  p.max_samples = 1ull << 40;  // effectively uncapped
+  const uint64_t small = p.SampleCap(10);
+  const uint64_t large = p.SampleCap(1000);
+  EXPECT_GT(large, small);
+  EXPECT_NEAR(static_cast<double>(large) / static_cast<double>(small), 100.0,
+              1.0);
+}
+
+TEST(SampleSizePolicyTest, CapRespectsBounds) {
+  SampleSizePolicy p = Default();
+  p.min_samples = 100;
+  p.max_samples = 1000;
+  EXPECT_EQ(p.SampleCap(0), 100u);   // clamped up
+  EXPECT_EQ(p.SampleCap(1u << 30), 1000u);  // clamped down
+}
+
+TEST(SampleSizePolicyTest, SmallerEpsMoreSamples) {
+  SampleSizePolicy loose = Default();
+  loose.eps = 0.9;
+  SampleSizePolicy tight = Default();
+  tight.eps = 0.3;
+  tight.max_samples = loose.max_samples = 1ull << 40;
+  EXPECT_GT(tight.SampleCap(100), loose.SampleCap(100));
+}
+
+TEST(SampleSizePolicyTest, LargerDeltaMoreSamples) {
+  SampleSizePolicy a = Default();
+  a.delta = 10;
+  SampleSizePolicy b = Default();
+  b.delta = 10000;
+  a.max_samples = b.max_samples = 1ull << 40;
+  EXPECT_LT(a.SampleCap(100), b.SampleCap(100));
+}
+
+TEST(SampleSizePolicyDeathTest, RejectsInvalidEps) {
+  SampleSizePolicy p = Default();
+  p.eps = 0.0;
+  EXPECT_DEATH(p.StoppingThreshold(), "PITEX_CHECK");
+}
+
+}  // namespace
+}  // namespace pitex

@@ -1,0 +1,251 @@
+// Unit + property tests for the three online samplers (MC, RR, Lazy):
+// agreement with the exact oracle, agreement with each other, convergence
+// behaviour (Fig. 6 shape) and the counterexample graphs of Fig. 3.
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "running_example.h"
+#include "src/graph/generators.h"
+#include "src/sampling/exact.h"
+#include "src/sampling/lazy_sampler.h"
+#include "src/sampling/mc_sampler.h"
+#include "src/sampling/rr_sampler.h"
+
+namespace pitex {
+namespace {
+
+SampleSizePolicy TightPolicy() {
+  SampleSizePolicy policy;
+  policy.eps = 0.1;
+  policy.delta = 1000;
+  policy.num_tags = 4;
+  policy.k = 2;
+  policy.min_samples = 20000;
+  policy.max_samples = 60000;
+  return policy;
+}
+
+// A fixed-probability EdgeProbFn for tests.
+class ConstProbs final : public EdgeProbFn {
+ public:
+  explicit ConstProbs(double p) : p_(p) {}
+  double Prob(EdgeId) const override { return p_; }
+
+ private:
+  double p_;
+};
+
+enum class Kind { kMc, kRr, kLazy };
+
+std::unique_ptr<InfluenceOracle> MakeSampler(Kind kind, const Graph& graph,
+                                             const SampleSizePolicy& policy,
+                                             uint64_t seed) {
+  switch (kind) {
+    case Kind::kMc: return std::make_unique<McSampler>(graph, policy, seed);
+    case Kind::kRr: return std::make_unique<RrSampler>(graph, policy, seed);
+    case Kind::kLazy:
+      return std::make_unique<LazySampler>(graph, policy, seed);
+  }
+  return nullptr;
+}
+
+class SamplerParamTest : public testing::TestWithParam<Kind> {};
+
+INSTANTIATE_TEST_SUITE_P(AllSamplers, SamplerParamTest,
+                         testing::Values(Kind::kMc, Kind::kRr, Kind::kLazy),
+                         [](const testing::TestParamInfo<Kind>& info) {
+                           switch (info.param) {
+                             case Kind::kMc: return "MC";
+                             case Kind::kRr: return "RR";
+                             case Kind::kLazy: return "Lazy";
+                           }
+                           return "?";
+                         });
+
+// Every sampler matches the exact oracle on the running example for every
+// tag pair (5% relative tolerance with tight sampling).
+TEST_P(SamplerParamTest, MatchesExactOnRunningExample) {
+  SocialNetwork n = MakeRunningExample();
+  auto sampler = MakeSampler(GetParam(), n.graph, TightPolicy(), 7);
+  for (TagId a = 0; a < 4; ++a) {
+    for (TagId b = a + 1; b < 4; ++b) {
+      const TagId tags[] = {a, b};
+      const auto post = n.topics.Posterior(tags);
+      const PosteriorProbs probs(n.influence, post);
+      const double exact = ExactInfluence(n.graph, probs, 0);
+      const Estimate est = sampler->EstimateInfluence(0, probs);
+      EXPECT_NEAR(est.influence, exact, 0.05 * exact)
+          << sampler->Name() << " pair " << a << "," << b;
+    }
+  }
+}
+
+TEST_P(SamplerParamTest, DeterministicEdgesGiveExactSpread) {
+  // Chain with probability 1: spread is the whole chain, variance 0.
+  Graph g = Chain(6);
+  const ConstProbs probs(1.0);
+  auto sampler = MakeSampler(GetParam(), g, TightPolicy(), 9);
+  const Estimate est = sampler->EstimateInfluence(0, probs);
+  EXPECT_NEAR(est.influence, 6.0, 1e-9);
+}
+
+TEST_P(SamplerParamTest, ZeroProbabilityGivesUnitSpread) {
+  Graph g = Chain(6);
+  const ConstProbs probs(0.0);
+  auto sampler = MakeSampler(GetParam(), g, TightPolicy(), 9);
+  const Estimate est = sampler->EstimateInfluence(0, probs);
+  EXPECT_NEAR(est.influence, 1.0, 1e-9);
+}
+
+TEST_P(SamplerParamTest, ChainWithHalfProbability) {
+  // E[I] = sum_{i=0..4} 0.5^i = 1.9375 for a 5-vertex chain from vertex 0.
+  Graph g = Chain(5);
+  const ConstProbs probs(0.5);
+  auto sampler = MakeSampler(GetParam(), g, TightPolicy(), 11);
+  const Estimate est = sampler->EstimateInfluence(0, probs);
+  EXPECT_NEAR(est.influence, 1.9375, 0.05);
+}
+
+TEST_P(SamplerParamTest, StarGraphSpread) {
+  // Fig. 3(a): star with per-edge probability 1/n; E[I] = 1 + n*(1/n) = 2.
+  const size_t n = 50;
+  Graph g = Star(n + 1);
+  const ConstProbs probs(1.0 / static_cast<double>(n));
+  auto sampler = MakeSampler(GetParam(), g, TightPolicy(), 13);
+  const Estimate est = sampler->EstimateInfluence(0, probs);
+  EXPECT_NEAR(est.influence, 2.0, 0.1);
+}
+
+TEST_P(SamplerParamTest, EstimateOnRandomGraphAgreesWithMcReference) {
+  // Cross-check on a nontrivial random topology against a brute-force MC
+  // reference with a large fixed sample count.
+  Rng rng(21);
+  Graph g = ErdosRenyi(60, 240, &rng);
+  const ConstProbs probs(0.15);
+
+  // Reference: plain forward simulation.
+  Rng ref_rng(99);
+  double total = 0.0;
+  const int ref_samples = 60000;
+  std::vector<uint8_t> active(g.num_vertices());
+  for (int s = 0; s < ref_samples; ++s) {
+    std::fill(active.begin(), active.end(), 0);
+    std::vector<VertexId> stack{0};
+    active[0] = 1;
+    int count = 1;
+    while (!stack.empty()) {
+      VertexId v = stack.back();
+      stack.pop_back();
+      for (const auto& [w, e] : g.OutEdges(v)) {
+        if (!active[w] && ref_rng.NextBernoulli(0.15)) {
+          active[w] = 1;
+          stack.push_back(w);
+          ++count;
+        }
+      }
+    }
+    total += count;
+  }
+  const double reference = total / ref_samples;
+
+  auto sampler = MakeSampler(GetParam(), g, TightPolicy(), 31);
+  const Estimate est = sampler->EstimateInfluence(0, probs);
+  EXPECT_NEAR(est.influence, reference, 0.07 * reference) << sampler->Name();
+}
+
+TEST_P(SamplerParamTest, ReportsSampleAndEdgeCounts) {
+  SocialNetwork n = MakeRunningExample();
+  const TagId tags[] = {2, 3};
+  const auto post = n.topics.Posterior(tags);
+  const PosteriorProbs probs(n.influence, post);
+  auto sampler = MakeSampler(GetParam(), n.graph, TightPolicy(), 5);
+  const Estimate est = sampler->EstimateInfluence(0, probs);
+  EXPECT_GT(est.samples, 0u);
+  EXPECT_GT(est.edges_visited, 0u);
+}
+
+// Lazy visits far fewer edges than MC on the Fig. 3(a) star — the paper's
+// headline complexity claim (Lemma 7 vs Lemma 5).
+TEST(LazyVsMcTest, LazyVisitsFarFewerEdgesOnStar) {
+  const size_t n = 500;
+  Graph g = Star(n + 1);
+  const ConstProbs probs(1.0 / static_cast<double>(n));
+  SampleSizePolicy policy = TightPolicy();
+  policy.min_samples = 5000;
+  policy.max_samples = 5000;  // fixed sample count for a fair comparison
+
+  McSampler mc(g, policy, 3);
+  LazySampler lazy(g, policy, 3);
+  const Estimate mc_est = mc.EstimateInfluence(0, probs);
+  const Estimate lazy_est = lazy.EstimateInfluence(0, probs);
+  EXPECT_NEAR(mc_est.influence, 2.0, 0.15);
+  EXPECT_NEAR(lazy_est.influence, 2.0, 0.15);
+  // MC probes all n edges every instance; Lazy only the ~1 activation.
+  EXPECT_GT(mc_est.edges_visited, 20 * lazy_est.edges_visited);
+}
+
+// RR probes the celebrity's in-edges every sample (Fig. 3(b)); MC from a
+// fan is cheap per instance.
+TEST(RrVsMcTest, RrVisitsManyEdgesOnCelebrity) {
+  const size_t n = 200;
+  Graph g = Celebrity(n);
+  // center->follower edges have p=1; fan->center edges have p=1/n.
+  class CelebrityProbs final : public EdgeProbFn {
+   public:
+    CelebrityProbs(const Graph& g, size_t n) : g_(g), n_(n) {}
+    double Prob(EdgeId e) const override {
+      return g_.Tail(e) == 0 ? 1.0 : 1.0 / static_cast<double>(n_);
+    }
+
+   private:
+    const Graph& g_;
+    size_t n_;
+  };
+  const CelebrityProbs probs(g, n);
+  SampleSizePolicy policy = TightPolicy();
+  policy.min_samples = 30000;
+  policy.max_samples = 30000;
+  const VertexId fan = static_cast<VertexId>(n + 1);
+
+  RrSampler rr(g, policy, 17);
+  LazySampler lazy(g, policy, 17);
+  const Estimate rr_est = rr.EstimateInfluence(fan, probs);
+  const Estimate lazy_est = lazy.EstimateInfluence(fan, probs);
+  // Exact spread: 1 + (1/n) * (1 + n) ~= 2.
+  EXPECT_NEAR(rr_est.influence, 2.0, 0.25);
+  EXPECT_NEAR(lazy_est.influence, 2.0, 0.25);
+  EXPECT_GT(rr_est.edges_visited, 5 * lazy_est.edges_visited);
+}
+
+// Statistical equivalence of geometric skips and Bernoulli trials
+// (Lemma 6): the lazy estimate distribution matches MC's across seeds.
+TEST(LazyEquivalenceTest, MeanAcrossSeedsMatchesMc) {
+  SocialNetwork n = MakeRunningExample();
+  const TagId tags[] = {0, 1};
+  const auto post = n.topics.Posterior(tags);
+  const PosteriorProbs probs(n.influence, post);
+  SampleSizePolicy policy;
+  policy.num_tags = 4;
+  policy.k = 2;
+  policy.min_samples = 500;
+  policy.max_samples = 500;
+
+  double mc_mean = 0.0, lazy_mean = 0.0;
+  const int trials = 60;
+  for (int t = 0; t < trials; ++t) {
+    McSampler mc(n.graph, policy, 1000 + t);
+    LazySampler lazy(n.graph, policy, 2000 + t);
+    mc_mean += mc.EstimateInfluence(0, probs).influence;
+    lazy_mean += lazy.EstimateInfluence(0, probs).influence;
+  }
+  mc_mean /= trials;
+  lazy_mean /= trials;
+  EXPECT_NEAR(mc_mean, 1.5125, 0.02);
+  EXPECT_NEAR(lazy_mean, 1.5125, 0.02);
+  EXPECT_NEAR(mc_mean, lazy_mean, 0.03);
+}
+
+}  // namespace
+}  // namespace pitex

@@ -1,0 +1,222 @@
+// Tests for the bottom-k reachability sketch oracle
+// (src/sampling/sketch_oracle.h): exactness in the small-count regime,
+// agreement with the exact envelope influence, dominance over tag-set
+// influences, influencer ranking, and determinism.
+
+#include "src/sampling/sketch_oracle.h"
+
+#include <gtest/gtest.h>
+
+#include "running_example.h"
+#include "src/datasets/synthetic.h"
+#include "src/sampling/exact.h"
+#include "src/sampling/influence_estimator.h"
+#include "src/util/random.h"
+
+namespace pitex {
+namespace {
+
+SketchOptions AccurateOptions() {
+  SketchOptions options;
+  options.sketch_size = 256;
+  options.num_worlds = 512;
+  options.seed = 3;
+  return options;
+}
+
+TEST(SketchOracleTest, MatchesExactEnvelopeInfluence) {
+  const SocialNetwork n = MakeRunningExample();
+  SketchOracle oracle(&n, AccurateOptions());
+  oracle.Build();
+
+  const EnvelopeProbs envelope(n.influence);
+  for (VertexId u = 0; u < n.num_vertices(); ++u) {
+    const double exact = ExactInfluence(n.graph, envelope, u);
+    EXPECT_NEAR(oracle.EnvelopeInfluence(u), exact, 0.12 * exact + 0.05)
+        << "user " << u;
+  }
+}
+
+TEST(SketchOracleTest, DominatesEveryTagSetInfluence) {
+  const SocialNetwork n = MakeRunningExample();
+  SketchOracle oracle(&n, AccurateOptions());
+  oracle.Build();
+
+  // The envelope estimate (with modest statistical slack) must sit above
+  // the exact influence of every size-2 tag set for every user —
+  // otherwise screening with it would wrongly rule out candidates.
+  constexpr double kSlack = 1.1;
+  for (VertexId u = 0; u < n.num_vertices(); ++u) {
+    const double bound = kSlack * oracle.EnvelopeInfluence(u);
+    for (TagId a = 0; a < 4; ++a) {
+      for (TagId b = a + 1; b < 4; ++b) {
+        const TagId tags[] = {a, b};
+        const auto post = n.topics.Posterior(tags);
+        const PosteriorProbs probs(n.influence, post);
+        EXPECT_GE(bound, ExactInfluence(n.graph, probs, u))
+            << "user " << u << " tags " << a << "," << b;
+      }
+    }
+  }
+}
+
+TEST(SketchOracleTest, SinkVertexScoresExactlyOne) {
+  const SocialNetwork n = MakeRunningExample();
+  SketchOracle oracle(&n, AccurateOptions());
+  oracle.Build();
+  // u7 (id 6) has no out-edges: envelope influence is exactly 1. With
+  // num_worlds > sketch_size the self-elements alone overflow the sketch,
+  // so the bottom-k estimator (not the exact count) answers — near 1.
+  EXPECT_NEAR(oracle.EnvelopeInfluence(6), 1.0, 0.1);
+
+  // With num_worlds <= sketch_size the count is exact.
+  SketchOptions exact_options;
+  exact_options.sketch_size = 64;
+  exact_options.num_worlds = 32;
+  SketchOracle exact_oracle(&n, exact_options);
+  exact_oracle.Build();
+  EXPECT_DOUBLE_EQ(exact_oracle.EnvelopeInfluence(6), 1.0);
+}
+
+TEST(SketchOracleTest, DeterministicChainIsExact) {
+  // 0 -> 1 -> 2 -> 3 with p(e) = 1: reach sizes are 4, 3, 2, 1 in every
+  // world. With sketch_size > num_worlds * reach the counts are exact.
+  SocialNetwork n;
+  GraphBuilder graph(4);
+  graph.AddEdge(0, 1);
+  graph.AddEdge(1, 2);
+  graph.AddEdge(2, 3);
+  n.graph = graph.Build();
+  n.topics = TopicModel(1, 1);
+  InfluenceGraphBuilder influence(3);
+  for (EdgeId e = 0; e < 3; ++e) {
+    const EdgeTopicEntry entry{0, 1.0};
+    influence.SetEdgeTopics(e, std::span(&entry, 1));
+  }
+  n.influence = influence.Build();
+
+  SketchOptions options;
+  options.sketch_size = 64;
+  options.num_worlds = 8;  // 8 * 4 = 32 elements < 64: exact regime
+  SketchOracle oracle(&n, options);
+  oracle.Build();
+  EXPECT_DOUBLE_EQ(oracle.EnvelopeInfluence(0), 4.0);
+  EXPECT_DOUBLE_EQ(oracle.EnvelopeInfluence(1), 3.0);
+  EXPECT_DOUBLE_EQ(oracle.EnvelopeInfluence(2), 2.0);
+  EXPECT_DOUBLE_EQ(oracle.EnvelopeInfluence(3), 1.0);
+}
+
+TEST(SketchOracleTest, HandlesCycles) {
+  // 3-cycle with p = 1: every vertex reaches all three in every world.
+  SocialNetwork n;
+  GraphBuilder graph(3);
+  graph.AddEdge(0, 1);
+  graph.AddEdge(1, 2);
+  graph.AddEdge(2, 0);
+  n.graph = graph.Build();
+  n.topics = TopicModel(1, 1);
+  InfluenceGraphBuilder influence(3);
+  for (EdgeId e = 0; e < 3; ++e) {
+    const EdgeTopicEntry entry{0, 1.0};
+    influence.SetEdgeTopics(e, std::span(&entry, 1));
+  }
+  n.influence = influence.Build();
+
+  SketchOptions options;
+  options.sketch_size = 64;
+  options.num_worlds = 8;
+  SketchOracle oracle(&n, options);
+  oracle.Build();
+  for (VertexId v = 0; v < 3; ++v) {
+    EXPECT_DOUBLE_EQ(oracle.EnvelopeInfluence(v), 3.0) << "vertex " << v;
+  }
+}
+
+TEST(SketchOracleTest, TopInfluencersRankByEnvelopeReach) {
+  const SocialNetwork n = MakeRunningExample();
+  SketchOracle oracle(&n, AccurateOptions());
+  oracle.Build();
+
+  const auto top = oracle.TopInfluencers(3);
+  ASSERT_EQ(top.size(), 3u);
+  // u1 (id 0) reaches the whole z3 cluster under the envelope; exact
+  // envelope influences rank it first.
+  EXPECT_EQ(top[0].first, 0u);
+  EXPECT_GE(top[0].second, top[1].second);
+  EXPECT_GE(top[1].second, top[2].second);
+}
+
+TEST(SketchOracleTest, TopInfluencersCountClamped) {
+  const SocialNetwork n = MakeRunningExample();
+  SketchOracle oracle(&n, AccurateOptions());
+  oracle.Build();
+  EXPECT_EQ(oracle.TopInfluencers(100).size(), n.num_vertices());
+  EXPECT_TRUE(oracle.TopInfluencers(0).empty());
+}
+
+TEST(SketchOracleTest, DeterministicForFixedSeed) {
+  const SocialNetwork n = MakeRunningExample();
+  SketchOracle a(&n, AccurateOptions());
+  SketchOracle b(&n, AccurateOptions());
+  a.Build();
+  b.Build();
+  for (VertexId v = 0; v < n.num_vertices(); ++v) {
+    EXPECT_DOUBLE_EQ(a.EnvelopeInfluence(v), b.EnvelopeInfluence(v));
+  }
+}
+
+TEST(SketchOracleTest, AccuracyOnSyntheticDataset) {
+  DatasetSpec spec = LastfmSpec(0.3);
+  spec.seed = 41;
+  const SocialNetwork n = GenerateDataset(spec);
+
+  SketchOptions options;
+  options.sketch_size = 128;
+  options.num_worlds = 64;
+  SketchOracle oracle(&n, options);
+  oracle.Build();
+
+  // Spot-check against a brute-force Monte-Carlo envelope estimate for a
+  // few users (exact enumeration is infeasible here).
+  const EnvelopeProbs envelope(n.influence);
+  const auto users = SampleUserGroup(n.graph, UserGroup::kHigh, 3, 9);
+  for (const VertexId u : users) {
+    Rng rng(123 + u);
+    double total = 0.0;
+    const int kTrials = 600;
+    std::vector<uint8_t> active(n.num_vertices());
+    std::vector<VertexId> frontier;
+    for (int t = 0; t < kTrials; ++t) {
+      std::fill(active.begin(), active.end(), 0);
+      frontier.assign(1, u);
+      active[u] = 1;
+      size_t spread = 0;
+      while (!frontier.empty()) {
+        const VertexId x = frontier.back();
+        frontier.pop_back();
+        ++spread;
+        for (const auto& [v, e] : n.graph.OutEdges(x)) {
+          if (!active[v] && rng.NextBernoulli(envelope.Prob(e))) {
+            active[v] = 1;
+            frontier.push_back(v);
+          }
+        }
+      }
+      total += static_cast<double>(spread);
+    }
+    const double mc = total / kTrials;
+    EXPECT_NEAR(oracle.EnvelopeInfluence(u), mc, 0.25 * mc + 0.5)
+        << "user " << u;
+  }
+}
+
+TEST(SketchOracleTest, SizeAndBuildTimeReported) {
+  const SocialNetwork n = MakeRunningExample();
+  SketchOracle oracle(&n);
+  oracle.Build();
+  EXPECT_GT(oracle.SizeBytes(), 0u);
+  EXPECT_GE(oracle.build_seconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace pitex

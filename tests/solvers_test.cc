@@ -1,0 +1,130 @@
+// Tests for the enumeration and best-effort solvers: both must find the
+// running example's optimum, agree with each other, and best-effort must
+// prune without changing the answer.
+
+#include <gtest/gtest.h>
+
+#include "running_example.h"
+#include "src/core/best_effort_solver.h"
+#include "src/core/enumeration_solver.h"
+#include "src/core/tagset_enumerator.h"
+#include "src/datasets/synthetic.h"
+#include "src/sampling/lazy_sampler.h"
+
+namespace pitex {
+namespace {
+
+SampleSizePolicy TestPolicy(size_t num_tags, size_t k) {
+  SampleSizePolicy policy;
+  policy.eps = 0.2;
+  policy.num_tags = static_cast<int64_t>(num_tags);
+  policy.k = static_cast<int64_t>(k);
+  policy.use_phi = true;
+  policy.min_samples = 4000;
+  policy.max_samples = 20000;
+  return policy;
+}
+
+TEST(EnumerationSolverTest, FindsRunningExampleOptimum) {
+  SocialNetwork n = MakeRunningExample();
+  LazySampler sampler(n.graph, TestPolicy(4, 2), 3);
+  const PitexResult r = SolveByEnumeration(n, {.user = 0, .k = 2}, &sampler);
+  EXPECT_EQ(r.tags, (std::vector<TagId>{2, 3}));
+  EXPECT_NEAR(r.influence, 1.733, 0.06);
+  EXPECT_EQ(r.sets_evaluated, 6u);  // C(4,2)
+}
+
+TEST(EnumerationSolverTest, K1SelectsBestSingleTag) {
+  SocialNetwork n = MakeRunningExample();
+  LazySampler sampler(n.graph, TestPolicy(4, 1), 3);
+  const PitexResult r = SolveByEnumeration(n, {.user = 0, .k = 1}, &sampler);
+  EXPECT_EQ(r.sets_evaluated, 4u);
+  EXPECT_TRUE(r.tags == std::vector<TagId>{2} ||
+              r.tags == std::vector<TagId>{3});
+}
+
+TEST(EnumerationSolverTest, SinkUserGetsUnitInfluence) {
+  SocialNetwork n = MakeRunningExample();
+  LazySampler sampler(n.graph, TestPolicy(4, 2), 3);
+  const PitexResult r = SolveByEnumeration(n, {.user = 6, .k = 2}, &sampler);
+  EXPECT_NEAR(r.influence, 1.0, 1e-9);
+}
+
+TEST(BestEffortSolverTest, FindsRunningExampleOptimum) {
+  SocialNetwork n = MakeRunningExample();
+  const UpperBoundContext ctx(n.topics);
+  LazySampler sampler(n.graph, TestPolicy(4, 2), 7);
+  const PitexResult r =
+      SolveByBestEffort(n, {.user = 0, .k = 2}, ctx, &sampler);
+  EXPECT_EQ(r.tags, (std::vector<TagId>{2, 3}));
+  EXPECT_NEAR(r.influence, 1.733, 0.06);
+}
+
+TEST(BestEffortSolverTest, AgreesWithEnumerationOnSyntheticData) {
+  DatasetSpec spec = LastfmSpec(0.2);
+  spec.num_tags = 8;  // keep C(8,2)=28 sets tractable for enumeration
+  spec.num_topics = 4;
+  SocialNetwork n = GenerateDataset(spec);
+  const UserGroup group = UserGroup::kMid;
+  const auto users = SampleUserGroup(n.graph, group, 3, 5);
+  ASSERT_FALSE(users.empty());
+  const UpperBoundContext ctx(n.topics);
+  for (VertexId u : users) {
+    LazySampler s1(n.graph, TestPolicy(8, 2), 11);
+    LazySampler s2(n.graph, TestPolicy(8, 2), 11);
+    const PitexResult enumr = SolveByEnumeration(n, {.user = u, .k = 2}, &s1);
+    const PitexResult best =
+        SolveByBestEffort(n, {.user = u, .k = 2}, ctx, &s2);
+    // Same answer up to sampling noise on the influence value.
+    EXPECT_NEAR(best.influence, enumr.influence,
+                0.15 * std::max(1.0, enumr.influence))
+        << "user " << u;
+  }
+}
+
+TEST(BestEffortSolverTest, PrunesOnSparseModels) {
+  DatasetSpec spec = DiggsSpec(0.05);  // density 0.08: strong pruning
+  SocialNetwork n = GenerateDataset(spec);
+  const auto users = SampleUserGroup(n.graph, UserGroup::kMid, 1, 5);
+  ASSERT_FALSE(users.empty());
+  const UpperBoundContext ctx(n.topics);
+  LazySampler sampler(n.graph, TestPolicy(spec.num_tags, 2), 13);
+  const PitexResult r =
+      SolveByBestEffort(n, {.user = users[0], .k = 2}, ctx, &sampler);
+  const double total_sets = TagSetEnumerator(spec.num_tags, 2).Count();
+  // Far fewer full evaluations than C(50,2) = 1225.
+  EXPECT_LT(static_cast<double>(r.sets_evaluated), 0.6 * total_sets);
+  EXPECT_GT(r.sets_pruned, 0u);
+}
+
+TEST(BestEffortSolverTest, ReturnsKTags) {
+  SocialNetwork n = MakeRunningExample();
+  const UpperBoundContext ctx(n.topics);
+  for (size_t k = 1; k <= 4; ++k) {
+    LazySampler sampler(n.graph, TestPolicy(4, k), 17);
+    const PitexResult r =
+        SolveByBestEffort(n, {.user = 0, .k = k}, ctx, &sampler);
+    EXPECT_EQ(r.tags.size(), k);
+    // Tags are distinct and sorted.
+    for (size_t i = 1; i < r.tags.size(); ++i) {
+      EXPECT_LT(r.tags[i - 1], r.tags[i]);
+    }
+  }
+}
+
+TEST(SolverDeathTest, RejectsOutOfRangeK) {
+  SocialNetwork n = MakeRunningExample();
+  LazySampler sampler(n.graph, TestPolicy(4, 5), 3);
+  EXPECT_DEATH(SolveByEnumeration(n, {.user = 0, .k = 5}, &sampler),
+               "PITEX_CHECK");
+}
+
+TEST(SolverDeathTest, RejectsOutOfRangeUser) {
+  SocialNetwork n = MakeRunningExample();
+  LazySampler sampler(n.graph, TestPolicy(4, 2), 3);
+  EXPECT_DEATH(SolveByEnumeration(n, {.user = 99, .k = 2}, &sampler),
+               "PITEX_CHECK");
+}
+
+}  // namespace
+}  // namespace pitex

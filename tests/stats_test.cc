@@ -1,0 +1,58 @@
+#include "src/util/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace pitex {
+namespace {
+
+TEST(RunningStatsTest, Empty) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, SingleValue) {
+  RunningStats s;
+  s.Add(4.0);
+  EXPECT_EQ(s.count(), 1);
+  EXPECT_EQ(s.mean(), 4.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 4.0);
+  EXPECT_EQ(s.max(), 4.0);
+}
+
+TEST(RunningStatsTest, KnownMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_NEAR(s.mean(), 5.0, 1e-12);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.sum(), 40.0, 1e-12);
+}
+
+TEST(QuantileTest, MedianAndExtremes) {
+  std::vector<double> v{5, 1, 3, 2, 4};
+  EXPECT_NEAR(Quantile(v, 0.5), 3.0, 1e-12);
+  EXPECT_NEAR(Quantile(v, 0.0), 1.0, 1e-12);
+  EXPECT_NEAR(Quantile(v, 1.0), 5.0, 1e-12);
+}
+
+TEST(QuantileTest, Interpolates) {
+  std::vector<double> v{0, 10};
+  EXPECT_NEAR(Quantile(v, 0.25), 2.5, 1e-12);
+}
+
+TEST(QuantileTest, EmptyReturnsZero) {
+  EXPECT_EQ(Quantile({}, 0.5), 0.0);
+}
+
+TEST(QuantileTest, ClampsOutOfRangeQ) {
+  std::vector<double> v{1, 2, 3};
+  EXPECT_NEAR(Quantile(v, -0.5), 1.0, 1e-12);
+  EXPECT_NEAR(Quantile(v, 1.5), 3.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace pitex

@@ -1,0 +1,155 @@
+// Tests for the per-estimate standard errors (Estimate::std_error):
+// calibration against the exact oracle (the error bar must cover the
+// truth at roughly its nominal rate), 1/sqrt(n) shrinkage, and zero for
+// deterministic regimes.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "running_example.h"
+#include "src/index/rr_index.h"
+#include "src/sampling/exact.h"
+#include "src/sampling/lazy_sampler.h"
+#include "src/sampling/lt_sampler.h"
+#include "src/sampling/mc_sampler.h"
+#include "src/sampling/rr_sampler.h"
+#include "src/sampling/tim_estimator.h"
+
+namespace pitex {
+namespace {
+
+TEST(SampleMeanStdErrorTest, Formula) {
+  // Observations {1, 3}: mean 2, s^2 = 2, stderr = 1.
+  EXPECT_DOUBLE_EQ(SampleMeanStdError(4.0, 10.0, 2), 1.0);
+  // Single observation or none: undefined -> 0.
+  EXPECT_DOUBLE_EQ(SampleMeanStdError(5.0, 25.0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(SampleMeanStdError(0.0, 0.0, 0), 0.0);
+  // Constant observations: 0 (clamped against fp noise).
+  EXPECT_DOUBLE_EQ(SampleMeanStdError(10.0, 20.0, 5), 0.0);
+}
+
+template <typename Sampler>
+void CheckCalibration(const char* label) {
+  const SocialNetwork n = MakeRunningExample();
+  const TagId tags[] = {2, 3};
+  const auto post = n.topics.Posterior(tags);
+  const PosteriorProbs probs(n.influence, post);
+  const double exact = ExactInfluence(n.graph, probs, 0);
+
+  SampleSizePolicy policy;
+  policy.min_samples = 400;
+  policy.max_samples = 400;
+
+  // Across many independent runs, |estimate - exact| <= 3 * std_error
+  // should hold essentially always (nominal miss rate ~0.3%); allow a
+  // couple of misses for the tails.
+  int covered = 0;
+  const int kRuns = 40;
+  for (int run = 0; run < kRuns; ++run) {
+    Sampler sampler(n.graph, policy, 1000 + run);
+    const Estimate est = sampler.EstimateInfluence(0, probs);
+    EXPECT_GT(est.std_error, 0.0) << label;
+    covered += std::abs(est.influence - exact) <= 3.0 * est.std_error;
+  }
+  EXPECT_GE(covered, kRuns - 4) << label;
+}
+
+TEST(StdErrorTest, McCalibrated) { CheckCalibration<McSampler>("MC"); }
+TEST(StdErrorTest, RrCalibrated) { CheckCalibration<RrSampler>("RR"); }
+TEST(StdErrorTest, LazyCalibrated) { CheckCalibration<LazySampler>("LAZY"); }
+
+TEST(StdErrorTest, ShrinksWithSampleCount) {
+  const SocialNetwork n = MakeRunningExample();
+  const TagId tags[] = {2, 3};
+  const auto post = n.topics.Posterior(tags);
+  const PosteriorProbs probs(n.influence, post);
+
+  auto stderr_at = [&](uint64_t samples) {
+    SampleSizePolicy policy;
+    policy.min_samples = samples;
+    policy.max_samples = samples;
+    McSampler sampler(n.graph, policy, 7);
+    return sampler.EstimateInfluence(0, probs).std_error;
+  };
+  const double coarse = stderr_at(100);
+  const double fine = stderr_at(6400);
+  // 64x samples -> ~8x smaller stderr; allow a generous band.
+  EXPECT_GT(coarse / fine, 4.0);
+  EXPECT_LT(coarse / fine, 16.0);
+}
+
+TEST(StdErrorTest, DeterministicSpreadHasZeroError) {
+  // Chain with p = 1: every instance activates everything.
+  SocialNetwork n;
+  GraphBuilder graph(4);
+  graph.AddEdge(0, 1);
+  graph.AddEdge(1, 2);
+  graph.AddEdge(2, 3);
+  n.graph = graph.Build();
+  n.topics = TopicModel(1, 1);
+  n.topics.SetTagTopic(0, 0, 1.0);
+  InfluenceGraphBuilder influence(3);
+  for (EdgeId e = 0; e < 3; ++e) {
+    const EdgeTopicEntry entry{0, 1.0};
+    influence.SetEdgeTopics(e, std::span(&entry, 1));
+  }
+  n.influence = influence.Build();
+
+  SampleSizePolicy policy;
+  policy.min_samples = 64;
+  policy.max_samples = 64;
+  McSampler sampler(n.graph, policy, 3);
+  const TagId tags[] = {0};
+  const auto post = n.topics.Posterior(tags);
+  const PosteriorProbs probs(n.influence, post);
+  const Estimate est = sampler.EstimateInfluence(0, probs);
+  EXPECT_DOUBLE_EQ(est.influence, 4.0);
+  EXPECT_DOUBLE_EQ(est.std_error, 0.0);
+}
+
+TEST(StdErrorTest, TimIsDeterministic) {
+  const SocialNetwork n = MakeRunningExample();
+  TimEstimator tim(n.graph, TimOptions{});
+  const TagId tags[] = {2, 3};
+  const auto post = n.topics.Posterior(tags);
+  const PosteriorProbs probs(n.influence, post);
+  EXPECT_DOUBLE_EQ(tim.EstimateInfluence(0, probs).std_error, 0.0);
+}
+
+TEST(StdErrorTest, IndexEstCalibrated) {
+  const SocialNetwork n = MakeRunningExample();
+  const TagId tags[] = {2, 3};
+  const auto post = n.topics.Posterior(tags);
+  const PosteriorProbs probs(n.influence, post);
+  const double exact = ExactInfluence(n.graph, probs, 0);
+
+  int covered = 0;
+  const int kRuns = 25;
+  for (int run = 0; run < kRuns; ++run) {
+    RrIndexOptions options;
+    options.theta_override = 4000;
+    options.seed = 500 + run;
+    RrIndex index(n, options);
+    index.Build();
+    const Estimate est = index.EstimateInfluence(0, probs);
+    EXPECT_GT(est.std_error, 0.0);
+    covered += std::abs(est.influence - exact) <= 3.0 * est.std_error;
+  }
+  EXPECT_GE(covered, kRuns - 3);
+}
+
+TEST(StdErrorTest, LtReportsError) {
+  const SocialNetwork n = MakeRunningExample();
+  SampleSizePolicy policy;
+  policy.min_samples = 200;
+  policy.max_samples = 200;
+  LtSampler sampler(n.graph, policy, 3);
+  const TagId tags[] = {2, 3};
+  const auto post = n.topics.Posterior(tags);
+  const PosteriorProbs probs(n.influence, post);
+  EXPECT_GT(sampler.EstimateInfluence(0, probs).std_error, 0.0);
+}
+
+}  // namespace
+}  // namespace pitex

@@ -1,0 +1,45 @@
+#include "src/model/tag_catalog.h"
+
+#include <gtest/gtest.h>
+
+namespace pitex {
+namespace {
+
+TEST(TagCatalogTest, InternAssignsSequentialIds) {
+  TagCatalog c;
+  EXPECT_EQ(c.Intern("alpha"), 0u);
+  EXPECT_EQ(c.Intern("beta"), 1u);
+  EXPECT_EQ(c.Intern("gamma"), 2u);
+  EXPECT_EQ(c.size(), 3u);
+}
+
+TEST(TagCatalogTest, InternIsIdempotent) {
+  TagCatalog c;
+  const TagId id = c.Intern("tag");
+  EXPECT_EQ(c.Intern("tag"), id);
+  EXPECT_EQ(c.size(), 1u);
+}
+
+TEST(TagCatalogTest, FindExistingAndMissing) {
+  TagCatalog c;
+  c.Intern("x");
+  EXPECT_EQ(c.Find("x"), std::optional<TagId>(0));
+  EXPECT_FALSE(c.Find("y").has_value());
+}
+
+TEST(TagCatalogTest, NameRoundTrip) {
+  TagCatalog c;
+  const TagId a = c.Intern("infrastructure");
+  const TagId b = c.Intern("social security");
+  EXPECT_EQ(c.Name(a), "infrastructure");
+  EXPECT_EQ(c.Name(b), "social security");
+}
+
+TEST(TagCatalogTest, EmptyCatalog) {
+  TagCatalog c;
+  EXPECT_EQ(c.size(), 0u);
+  EXPECT_FALSE(c.Find("anything").has_value());
+}
+
+}  // namespace
+}  // namespace pitex

@@ -1,0 +1,55 @@
+#include "src/core/tagset_enumerator.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace pitex {
+namespace {
+
+TEST(TagSetEnumeratorTest, EnumeratesAllCombinations) {
+  std::set<std::vector<TagId>> seen;
+  for (TagSetEnumerator it(5, 3); !it.Done(); it.Next()) {
+    EXPECT_TRUE(seen.insert(it.Current()).second) << "duplicate combination";
+  }
+  EXPECT_EQ(seen.size(), 10u);  // C(5,3)
+}
+
+TEST(TagSetEnumeratorTest, CombinationsAreSortedAndDistinct) {
+  for (TagSetEnumerator it(6, 4); !it.Done(); it.Next()) {
+    const auto& c = it.Current();
+    for (size_t i = 1; i < c.size(); ++i) EXPECT_LT(c[i - 1], c[i]);
+  }
+}
+
+TEST(TagSetEnumeratorTest, LexicographicOrder) {
+  TagSetEnumerator it(4, 2);
+  EXPECT_EQ(it.Current(), (std::vector<TagId>{0, 1}));
+  it.Next();
+  EXPECT_EQ(it.Current(), (std::vector<TagId>{0, 2}));
+  it.Next();
+  EXPECT_EQ(it.Current(), (std::vector<TagId>{0, 3}));
+  it.Next();
+  EXPECT_EQ(it.Current(), (std::vector<TagId>{1, 2}));
+}
+
+TEST(TagSetEnumeratorTest, KEqualsN) {
+  TagSetEnumerator it(3, 3);
+  EXPECT_EQ(it.Current(), (std::vector<TagId>{0, 1, 2}));
+  it.Next();
+  EXPECT_TRUE(it.Done());
+}
+
+TEST(TagSetEnumeratorTest, KEqualsOne) {
+  size_t count = 0;
+  for (TagSetEnumerator it(7, 1); !it.Done(); it.Next()) ++count;
+  EXPECT_EQ(count, 7u);
+}
+
+TEST(TagSetEnumeratorTest, CountMatchesBinomial) {
+  EXPECT_NEAR(TagSetEnumerator(50, 3).Count(), 19600.0, 1e-3);
+  EXPECT_NEAR(TagSetEnumerator(4, 4).Count(), 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace pitex

@@ -1,0 +1,125 @@
+// Tests for the worker pool (src/util/thread_pool.h): completion,
+// quiescence semantics, nested submission, and ParallelFor coverage.
+
+#include "src/util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+namespace pitex {
+namespace {
+
+TEST(ThreadPoolTest, RunsEveryTask) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 1000; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 1000);
+}
+
+TEST(ThreadPoolTest, AtLeastOneWorker) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  std::atomic<bool> ran{false};
+  pool.Submit([&ran] { ran = true; });
+  pool.Wait();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPoolTest, WaitWithNothingSubmittedReturns) {
+  ThreadPool pool(2);
+  pool.Wait();  // must not hang
+}
+
+TEST(ThreadPoolTest, WaitCoversNestedSubmissions) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  pool.Submit([&pool, &counter] {
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+  });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPoolTest, TasksRunConcurrently) {
+  ThreadPool pool(4);
+  std::atomic<int> running{0};
+  std::atomic<int> peak{0};
+  for (int i = 0; i < 8; ++i) {
+    pool.Submit([&running, &peak] {
+      const int now = running.fetch_add(1) + 1;
+      int expected = peak.load();
+      while (expected < now &&
+             !peak.compare_exchange_weak(expected, now)) {
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      running.fetch_sub(1);
+    });
+  }
+  pool.Wait();
+  EXPECT_GE(peak.load(), 2);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueue) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 200; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+  }
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(5000);
+  ParallelFor(&pool, 0, hits.size(),
+              [&hits](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < hits.size(); ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelForTest, EmptyAndSingletonRanges) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  ParallelFor(&pool, 10, 10, [&counter](size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 0);
+  ParallelFor(&pool, 10, 11, [&counter](size_t i) {
+    EXPECT_EQ(i, 10u);
+    counter.fetch_add(1);
+  });
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ParallelForTest, OffsetRange) {
+  ThreadPool pool(3);
+  std::atomic<long long> sum{0};
+  ParallelFor(&pool, 100, 200,
+              [&sum](size_t i) { sum.fetch_add(static_cast<long long>(i)); });
+  long long expected = 0;
+  for (size_t i = 100; i < 200; ++i) expected += static_cast<long long>(i);
+  EXPECT_EQ(sum.load(), expected);
+}
+
+TEST(ParallelForTest, PoolReusableAcrossCalls) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int round = 0; round < 10; ++round) {
+    ParallelFor(&pool, 0, 100, [&counter](size_t) { counter.fetch_add(1); });
+  }
+  EXPECT_EQ(counter.load(), 1000);
+}
+
+}  // namespace
+}  // namespace pitex

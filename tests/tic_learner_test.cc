@@ -1,0 +1,150 @@
+// Tests for the simplified TIC learner: parameter recovery on planted
+// models and end-to-end "learn then query" behaviour.
+
+#include <gtest/gtest.h>
+
+#include "src/graph/generators.h"
+#include "src/model/action_log.h"
+#include "src/model/tic_learner.h"
+
+namespace pitex {
+namespace {
+
+// A two-community planted network: edges within community c carry topic c
+// with probability 0.6; tags 0..2 belong to topic 0, tags 3..5 to topic 1.
+SocialNetwork MakePlantedNetwork() {
+  SocialNetwork n;
+  const size_t half = 30;
+  GraphBuilder gb(2 * half);
+  std::vector<std::pair<EdgeId, TopicId>> edge_topic;
+  Rng rng(8);
+  for (size_t c = 0; c < 2; ++c) {
+    const auto base = static_cast<VertexId>(c * half);
+    for (size_t i = 0; i < 4 * half; ++i) {
+      const auto u = static_cast<VertexId>(base + rng.NextBounded(half));
+      auto v = static_cast<VertexId>(base + rng.NextBounded(half - 1));
+      if (v >= u) ++v;
+      edge_topic.emplace_back(gb.AddEdge(u, v), static_cast<TopicId>(c));
+    }
+  }
+  n.graph = gb.Build();
+  n.topics = TopicModel(2, 6);
+  for (TagId w = 0; w < 6; ++w) {
+    n.topics.SetTagTopic(w, w < 3 ? 0 : 1, 0.8);
+  }
+  InfluenceGraphBuilder ib(n.graph.num_edges());
+  for (const auto& [e, z] : edge_topic) {
+    const EdgeTopicEntry entry{z, 0.6};
+    ib.SetEdgeTopics(e, std::span(&entry, 1));
+  }
+  n.influence = ib.Build();
+  return n;
+}
+
+TEST(TicLearnerTest, OutputShapesMatchInputs) {
+  SocialNetwork planted = MakePlantedNetwork();
+  Rng rng(1);
+  const ActionLog log = SimulateCascades(planted, {.num_cascades = 300}, &rng);
+  TicLearnerOptions options;
+  options.num_topics = 2;
+  const LearnedModel model = LearnTicModel(planted.graph, 6, log, options);
+  EXPECT_EQ(model.topics.num_topics(), 2u);
+  EXPECT_EQ(model.topics.num_tags(), 6u);
+  EXPECT_EQ(model.influence.num_edges(), planted.graph.num_edges());
+}
+
+TEST(TicLearnerTest, RecoversTagClustersUpToPermutation) {
+  SocialNetwork planted = MakePlantedNetwork();
+  Rng rng(2);
+  const ActionLog log =
+      SimulateCascades(planted, {.num_cascades = 2000}, &rng);
+  TicLearnerOptions options;
+  options.num_topics = 2;
+  options.num_iterations = 30;
+  const LearnedModel model = LearnTicModel(planted.graph, 6, log, options);
+
+  // Tags 0..2 should share a dominant learned topic, and 3..5 the other.
+  auto dominant = [&](TagId w) {
+    return model.topics.TagTopic(w, 0) >= model.topics.TagTopic(w, 1) ? 0 : 1;
+  };
+  const int d0 = dominant(0);
+  EXPECT_EQ(dominant(1), d0);
+  EXPECT_EQ(dominant(2), d0);
+  EXPECT_EQ(dominant(3), 1 - d0);
+  EXPECT_EQ(dominant(4), 1 - d0);
+  EXPECT_EQ(dominant(5), 1 - d0);
+}
+
+TEST(TicLearnerTest, LearnedEdgeProbsInRange) {
+  SocialNetwork planted = MakePlantedNetwork();
+  Rng rng(3);
+  const ActionLog log = SimulateCascades(planted, {.num_cascades = 500}, &rng);
+  TicLearnerOptions options;
+  options.num_topics = 2;
+  const LearnedModel model = LearnTicModel(planted.graph, 6, log, options);
+  for (EdgeId e = 0; e < model.influence.num_edges(); ++e) {
+    for (const auto& [z, p] : model.influence.EdgeTopics(e)) {
+      EXPECT_GT(p, 0.0);
+      EXPECT_LE(p, 1.0);
+    }
+  }
+}
+
+TEST(TicLearnerTest, RecoveredProbabilitiesCorrelateWithTruth) {
+  // Edges that were frequently successful in the log should get higher
+  // learned probabilities than never-tried edges (which get none).
+  SocialNetwork planted = MakePlantedNetwork();
+  Rng rng(4);
+  const ActionLog log =
+      SimulateCascades(planted, {.num_cascades = 3000}, &rng);
+  TicLearnerOptions options;
+  options.num_topics = 2;
+  const LearnedModel model = LearnTicModel(planted.graph, 6, log, options);
+
+  // Mean learned max-prob over edges must be in the ballpark of the
+  // planted 0.6 (credit assignment is approximate; wide tolerance).
+  double sum = 0.0;
+  size_t nonzero = 0;
+  for (EdgeId e = 0; e < model.influence.num_edges(); ++e) {
+    const double p = model.influence.MaxProb(e);
+    if (p > 0.0) {
+      sum += p;
+      ++nonzero;
+    }
+  }
+  ASSERT_GT(nonzero, model.influence.num_edges() / 4);
+  const double mean = sum / static_cast<double>(nonzero);
+  // The simplified credit assignment awards full credit to every possible
+  // parent, so a mild upward bias over the planted 0.6 is expected.
+  EXPECT_GT(mean, 0.3);
+  EXPECT_LT(mean, 0.95);
+}
+
+TEST(TicLearnerTest, DeterministicUnderSeed) {
+  SocialNetwork planted = MakePlantedNetwork();
+  Rng rng(5);
+  const ActionLog log = SimulateCascades(planted, {.num_cascades = 200}, &rng);
+  TicLearnerOptions options;
+  options.num_topics = 2;
+  const LearnedModel a = LearnTicModel(planted.graph, 6, log, options);
+  const LearnedModel b = LearnTicModel(planted.graph, 6, log, options);
+  for (TagId w = 0; w < 6; ++w) {
+    for (TopicId z = 0; z < 2; ++z) {
+      EXPECT_DOUBLE_EQ(a.topics.TagTopic(w, z), b.topics.TagTopic(w, z));
+    }
+  }
+}
+
+TEST(TicLearnerTest, EmptyLogYieldsEmptyInfluence) {
+  SocialNetwork planted = MakePlantedNetwork();
+  const ActionLog empty;
+  TicLearnerOptions options;
+  options.num_topics = 2;
+  const LearnedModel model = LearnTicModel(planted.graph, 6, empty, options);
+  for (EdgeId e = 0; e < model.influence.num_edges(); ++e) {
+    EXPECT_EQ(model.influence.MaxProb(e), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace pitex

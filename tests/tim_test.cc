@@ -1,0 +1,118 @@
+// Tests for the TIM tree-based baseline: exactness on trees, the known
+// bias on graphs with many disjoint paths, and pruning behaviour.
+
+#include <gtest/gtest.h>
+
+#include "running_example.h"
+#include "src/graph/generators.h"
+#include "src/sampling/exact.h"
+#include "src/sampling/tim_estimator.h"
+
+namespace pitex {
+namespace {
+
+class ConstProbs final : public EdgeProbFn {
+ public:
+  explicit ConstProbs(double p) : p_(p) {}
+  double Prob(EdgeId) const override { return p_; }
+
+ private:
+  double p_;
+};
+
+TEST(TimTest, ExactOnChains) {
+  Graph g = Chain(5);
+  TimEstimator tim(g, {.path_threshold = 1e-9});
+  const double p = 0.4;
+  const Estimate est = tim.EstimateInfluence(0, ConstProbs(p));
+  EXPECT_NEAR(est.influence, 1 + p + p * p + p * p * p + p * p * p * p,
+              1e-9);
+}
+
+TEST(TimTest, ExactOnStars) {
+  Graph g = Star(11);
+  TimEstimator tim(g, {});
+  const Estimate est = tim.EstimateInfluence(0, ConstProbs(0.2));
+  EXPECT_NEAR(est.influence, 1 + 10 * 0.2, 1e-9);
+}
+
+TEST(TimTest, UnderestimatesMultiPathGraphs) {
+  // Diamond 0->{1,2}->3: max-path estimate for 3 is p^2; the truth is
+  // 1-(1-p^2)^2 > p^2 — TIM's documented bias (Fig. 8 behaviour).
+  GraphBuilder b(4);
+  b.AddEdge(0, 1);
+  b.AddEdge(0, 2);
+  b.AddEdge(1, 3);
+  b.AddEdge(2, 3);
+  Graph g = b.Build();
+  const ConstProbs probs(0.5);
+  TimEstimator tim(g, {.path_threshold = 1e-9});
+  const double exact = ExactInfluence(g, probs, 0);
+  const Estimate est = tim.EstimateInfluence(0, probs);
+  EXPECT_LT(est.influence, exact - 0.1);
+}
+
+TEST(TimTest, PathThresholdPrunesDeepVertices) {
+  Graph g = Chain(30);
+  TimEstimator loose(g, {.path_threshold = 1e-12});
+  TimEstimator tight(g, TimOptions{.path_threshold = 0.1});
+  const ConstProbs probs(0.5);
+  const Estimate l = loose.EstimateInfluence(0, probs);
+  const Estimate t = tight.EstimateInfluence(0, probs);
+  EXPECT_GT(l.influence, t.influence);
+  EXPECT_LT(l.edges_visited, 40u);  // chain: at most one probe per vertex
+}
+
+TEST(TimTest, MaxVerticesCapsWork) {
+  Graph g = Chain(100);
+  TimEstimator capped(g, TimOptions{.path_threshold = 0.0,
+                                    .max_vertices = 10});
+  const Estimate est = capped.EstimateInfluence(0, ConstProbs(1.0));
+  EXPECT_NEAR(est.influence, 10.0, 1e-9);  // settles exactly 10 vertices
+}
+
+TEST(TimTest, PicksMaxProbabilityPath) {
+  // Two paths to 2: direct (0.3) and via 1 (0.9 * 0.9 = 0.81). The tree
+  // estimate must use the stronger indirect path.
+  GraphBuilder b(3);
+  const EdgeId direct = b.AddEdge(0, 2);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  Graph g = b.Build();
+  class PathProbs final : public EdgeProbFn {
+   public:
+    explicit PathProbs(EdgeId direct) : direct_(direct) {}
+    double Prob(EdgeId e) const override { return e == direct_ ? 0.3 : 0.9; }
+
+   private:
+    EdgeId direct_;
+  };
+  TimEstimator tim(g, {.path_threshold = 1e-9});
+  const Estimate est = tim.EstimateInfluence(0, PathProbs(direct));
+  EXPECT_NEAR(est.influence, 1.0 + 0.9 + 0.81, 1e-9);
+}
+
+TEST(TimTest, RunningExampleRanking) {
+  // On the running example every per-tag-set live graph is a tree from u1,
+  // so TIM is exact there and must rank {w3,w4} on top.
+  SocialNetwork n = MakeRunningExample();
+  TimEstimator tim(n.graph, {.path_threshold = 1e-9});
+  double best = 0.0;
+  std::pair<TagId, TagId> best_pair{0, 0};
+  for (TagId a = 0; a < 4; ++a) {
+    for (TagId b = a + 1; b < 4; ++b) {
+      const TagId tags[] = {a, b};
+      const auto post = n.topics.Posterior(tags);
+      const PosteriorProbs probs(n.influence, post);
+      const double value = tim.EstimateInfluence(0, probs).influence;
+      if (value > best) {
+        best = value;
+        best_pair = {a, b};
+      }
+    }
+  }
+  EXPECT_EQ(best_pair, (std::pair<TagId, TagId>{2, 3}));
+}
+
+}  // namespace
+}  // namespace pitex

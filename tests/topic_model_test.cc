@@ -1,0 +1,115 @@
+#include "src/model/topic_model.h"
+
+#include <gtest/gtest.h>
+
+#include "running_example.h"
+
+namespace pitex {
+namespace {
+
+TEST(TopicModelTest, DefaultsToUniformPriorAndZeroLikelihoods) {
+  TopicModel m(4, 3);
+  for (TopicId z = 0; z < 4; ++z) {
+    EXPECT_DOUBLE_EQ(m.prior()[z], 0.25);
+    for (TagId w = 0; w < 3; ++w) EXPECT_EQ(m.TagTopic(w, z), 0.0);
+  }
+}
+
+TEST(TopicModelTest, EmptyTagSetPosteriorIsPrior) {
+  TopicModel m(3, 2);
+  const auto post = m.Posterior({});
+  for (double p : post) EXPECT_NEAR(p, 1.0 / 3.0, 1e-12);
+}
+
+TEST(TopicModelTest, PosteriorSingleTag) {
+  TopicModel m(2, 1);
+  m.SetTagTopic(0, 0, 0.8);
+  m.SetTagTopic(0, 1, 0.2);
+  const TagId tags[] = {0};
+  const auto post = m.Posterior(tags);
+  EXPECT_NEAR(post[0], 0.8, 1e-12);
+  EXPECT_NEAR(post[1], 0.2, 1e-12);
+}
+
+TEST(TopicModelTest, UnexpressibleTagSetGivesZeroPosterior) {
+  TopicModel m(2, 2);
+  m.SetTagTopic(0, 0, 1.0);  // w0 only in z0
+  m.SetTagTopic(1, 1, 1.0);  // w1 only in z1
+  const TagId tags[] = {0, 1};
+  const auto post = m.Posterior(tags);
+  EXPECT_EQ(post[0], 0.0);
+  EXPECT_EQ(post[1], 0.0);
+}
+
+TEST(TopicModelTest, PosteriorSumsToOneWhenExpressible) {
+  SocialNetwork network = MakeRunningExample();
+  const TagId tags[] = {0, 2};
+  const auto post = network.topics.Posterior(tags);
+  double sum = 0.0;
+  for (double p : post) sum += p;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+// Fig. 2(b), right table: p(z | {w_a, w_b}) for every pair.
+TEST(TopicModelTest, RunningExamplePosteriorTable) {
+  SocialNetwork network = MakeRunningExample();
+  const auto& topics = network.topics;
+  struct Row {
+    TagId a, b;
+    double z1, z2, z3;
+  };
+  const Row rows[] = {
+      {0, 1, 0.5, 0.5, 0.0},        // {w1, w2}
+      {0, 2, 0.0, 1.0, 0.0},        // {w1, w3}
+      {0, 3, 0.0, 1.0, 0.0},        // {w1, w4}
+      {1, 2, 0.0, 1.0, 0.0},        // {w2, w3}
+      {1, 3, 0.0, 1.0, 0.0},        // {w2, w4}
+      {2, 3, 0.0, 4.0 / 13.0, 9.0 / 13.0},  // {w3, w4}: 0.33 / 0.67 rounded
+  };
+  for (const Row& row : rows) {
+    const TagId tags[] = {row.a, row.b};
+    const auto post = topics.Posterior(tags);
+    EXPECT_NEAR(post[0], row.z1, 1e-9) << "pair " << row.a << "," << row.b;
+    EXPECT_NEAR(post[1], row.z2, 1e-9) << "pair " << row.a << "," << row.b;
+    EXPECT_NEAR(post[2], row.z3, 1e-9) << "pair " << row.a << "," << row.b;
+  }
+}
+
+TEST(TopicModelTest, NonUniformPriorShiftsPosterior) {
+  TopicModel m(2, 1);
+  m.SetTagTopic(0, 0, 0.5);
+  m.SetTagTopic(0, 1, 0.5);
+  m.SetPrior({0.9, 0.1});
+  const TagId tags[] = {0};
+  const auto post = m.Posterior(tags);
+  EXPECT_NEAR(post[0], 0.9, 1e-12);
+  EXPECT_NEAR(post[1], 0.1, 1e-12);
+}
+
+TEST(TopicModelTest, DensityCountsNonZeros) {
+  TopicModel m(2, 2);
+  EXPECT_EQ(m.Density(), 0.0);
+  m.SetTagTopic(0, 0, 0.5);
+  EXPECT_NEAR(m.Density(), 0.25, 1e-12);
+  m.SetTagTopic(1, 1, 0.5);
+  EXPECT_NEAR(m.Density(), 0.5, 1e-12);
+}
+
+TEST(TopicModelTest, RunningExampleDensity) {
+  SocialNetwork network = MakeRunningExample();
+  // 8 of 12 entries are non-zero in Fig. 2(b).
+  EXPECT_NEAR(network.topics.Density(), 8.0 / 12.0, 1e-12);
+}
+
+TEST(TopicModelDeathTest, RejectsBadPrior) {
+  TopicModel m(2, 1);
+  EXPECT_DEATH(m.SetPrior({0.5, 0.2}), "PITEX_CHECK");
+}
+
+TEST(TopicModelDeathTest, RejectsOutOfRangeProbability) {
+  TopicModel m(2, 1);
+  EXPECT_DEATH(m.SetTagTopic(0, 0, 1.5), "PITEX_CHECK");
+}
+
+}  // namespace
+}  // namespace pitex

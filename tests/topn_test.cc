@@ -1,0 +1,101 @@
+// Tests for top-N best-effort exploration.
+
+#include <gtest/gtest.h>
+
+#include "running_example.h"
+#include "src/core/best_effort_solver.h"
+#include "src/core/tagset_enumerator.h"
+#include "src/sampling/exact.h"
+#include "src/sampling/lazy_sampler.h"
+
+namespace pitex {
+namespace {
+
+SampleSizePolicy TightPolicy() {
+  SampleSizePolicy policy;
+  policy.eps = 0.15;
+  policy.num_tags = 4;
+  policy.k = 2;
+  policy.use_phi = true;
+  policy.min_samples = 8000;
+  policy.max_samples = 30000;
+  return policy;
+}
+
+TEST(TopNTest, Top1MatchesSolveByBestEffort) {
+  SocialNetwork n = MakeRunningExample();
+  const UpperBoundContext ctx(n.topics);
+  LazySampler s1(n.graph, TightPolicy(), 3);
+  LazySampler s2(n.graph, TightPolicy(), 3);
+  const auto top1 =
+      SolveTopNByBestEffort(n, {.user = 0, .k = 2}, ctx, &s1, 1);
+  const PitexResult single =
+      SolveByBestEffort(n, {.user = 0, .k = 2}, ctx, &s2);
+  ASSERT_EQ(top1.size(), 1u);
+  EXPECT_EQ(top1[0].tags, single.tags);
+}
+
+TEST(TopNTest, RankingMatchesExactOrder) {
+  SocialNetwork n = MakeRunningExample();
+  const UpperBoundContext ctx(n.topics);
+  LazySampler sampler(n.graph, TightPolicy(), 7);
+  const auto top3 =
+      SolveTopNByBestEffort(n, {.user = 0, .k = 2}, ctx, &sampler, 3);
+  ASSERT_EQ(top3.size(), 3u);
+  // Exact ranking: {w3,w4}=1.733 > {w1,w2}=1.5125 > cross pairs (1.5).
+  EXPECT_EQ(top3[0].tags, (std::vector<TagId>{2, 3}));
+  EXPECT_EQ(top3[1].tags, (std::vector<TagId>{0, 1}));
+  EXPECT_GE(top3[0].influence, top3[1].influence);
+  EXPECT_GE(top3[1].influence, top3[2].influence);
+}
+
+TEST(TopNTest, NLargerThanUniverseReturnsAll) {
+  SocialNetwork n = MakeRunningExample();
+  const UpperBoundContext ctx(n.topics);
+  LazySampler sampler(n.graph, TightPolicy(), 9);
+  const auto all =
+      SolveTopNByBestEffort(n, {.user = 0, .k = 2}, ctx, &sampler, 100);
+  EXPECT_EQ(all.size(), 6u);  // C(4,2)
+  for (size_t i = 1; i < all.size(); ++i) {
+    EXPECT_GE(all[i - 1].influence, all[i].influence);
+  }
+}
+
+TEST(TopNTest, ResultsAreDistinctSets) {
+  SocialNetwork n = MakeRunningExample();
+  const UpperBoundContext ctx(n.topics);
+  LazySampler sampler(n.graph, TightPolicy(), 11);
+  const auto top =
+      SolveTopNByBestEffort(n, {.user = 0, .k = 2}, ctx, &sampler, 4);
+  for (size_t i = 0; i < top.size(); ++i) {
+    for (size_t j = i + 1; j < top.size(); ++j) {
+      EXPECT_NE(top[i].tags, top[j].tags);
+    }
+  }
+}
+
+TEST(TopNTest, StatsPopulated) {
+  SocialNetwork n = MakeRunningExample();
+  const UpperBoundContext ctx(n.topics);
+  LazySampler sampler(n.graph, TightPolicy(), 13);
+  PitexResult stats;
+  const auto top =
+      SolveTopNByBestEffort(n, {.user = 0, .k = 2}, ctx, &sampler, 2,
+                            &stats);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(stats.tags, top[0].tags);
+  EXPECT_GT(stats.sets_evaluated, 0u);
+  EXPECT_GT(stats.total_samples, 0u);
+}
+
+TEST(TopNDeathTest, RejectsZeroN) {
+  SocialNetwork n = MakeRunningExample();
+  const UpperBoundContext ctx(n.topics);
+  LazySampler sampler(n.graph, TightPolicy(), 15);
+  EXPECT_DEATH(
+      SolveTopNByBestEffort(n, {.user = 0, .k = 2}, ctx, &sampler, 0),
+      "PITEX_CHECK");
+}
+
+}  // namespace
+}  // namespace pitex

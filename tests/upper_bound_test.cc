@@ -1,0 +1,174 @@
+// Property tests for the Lemma-8 upper bounds: admissibility
+// (p+(e|W) >= p(e|W') for every completion W' of W) on the running example
+// and on randomized models, plus the sparse/dense regime behaviour.
+
+#include <gtest/gtest.h>
+
+#include "running_example.h"
+#include "src/core/tagset_enumerator.h"
+#include "src/core/upper_bound.h"
+#include "src/util/random.h"
+
+namespace pitex {
+namespace {
+
+// Checks p+(e|partial) >= p(e|full) for every size-k superset `full` of
+// `partial`, every edge.
+void CheckAdmissible(const SocialNetwork& n, const UpperBoundContext& ctx,
+                     std::span<const TagId> partial, size_t k) {
+  const UpperBoundProbs bound(n.influence, ctx, partial, k);
+  for (TagSetEnumerator it(n.topics.num_tags(), k); !it.Done(); it.Next()) {
+    const auto& full = it.Current();
+    bool contains = true;
+    for (TagId w : partial) {
+      if (std::find(full.begin(), full.end(), w) == full.end()) {
+        contains = false;
+        break;
+      }
+    }
+    if (!contains) continue;
+    const auto post = n.topics.Posterior(full);
+    for (EdgeId e = 0; e < n.num_edges(); ++e) {
+      const double actual = n.influence.EdgeProb(e, post);
+      EXPECT_GE(bound.Prob(e) + 1e-9, actual)
+          << "edge " << e << " partial size " << partial.size();
+    }
+  }
+}
+
+TEST(UpperBoundTest, EmptySetBoundIsEnvelope) {
+  SocialNetwork n = MakeRunningExample();
+  const UpperBoundContext ctx(n.topics);
+  const UpperBoundProbs bound(n.influence, ctx, {}, 2);
+  for (EdgeId e = 0; e < n.num_edges(); ++e) {
+    // W.L.O.G. p+(e | {}) = max_z p(e|z) (Lemma 8) — Eq. 6 may only make
+    // it smaller, never smaller than any true p(e|W).
+    EXPECT_LE(bound.Prob(e), n.influence.MaxProb(e) + 1e-12);
+  }
+  CheckAdmissible(n, ctx, {}, 2);
+}
+
+TEST(UpperBoundTest, AdmissibleForAllSingletonsRunningExample) {
+  SocialNetwork n = MakeRunningExample();
+  const UpperBoundContext ctx(n.topics);
+  for (TagId w = 0; w < 4; ++w) {
+    const TagId partial[] = {w};
+    CheckAdmissible(n, ctx, partial, 2);
+  }
+}
+
+TEST(UpperBoundTest, AdmissibleForK3RunningExample) {
+  SocialNetwork n = MakeRunningExample();
+  const UpperBoundContext ctx(n.topics);
+  CheckAdmissible(n, ctx, {}, 3);
+  for (TagId a = 0; a < 4; ++a) {
+    const TagId p1[] = {a};
+    CheckAdmissible(n, ctx, p1, 3);
+    for (TagId b = a + 1; b < 4; ++b) {
+      const TagId p2[] = {a, b};
+      CheckAdmissible(n, ctx, p2, 3);
+    }
+  }
+}
+
+TEST(UpperBoundTest, IncompatibleTopicContributesNothing) {
+  SocialNetwork n = MakeRunningExample();
+  const UpperBoundContext ctx(n.topics);
+  // w1 (id 0) is incompatible with z3; edge e6 (u6->u7) is z3-only, so its
+  // bound under partial {w1} must be 0.
+  const TagId partial[] = {0};
+  const UpperBoundProbs bound(n.influence, ctx, partial, 2);
+  EXPECT_EQ(bound.Prob(6), 0.0);
+}
+
+TEST(UpperBoundTest, CompatibleMaskMatchesPosterior) {
+  SocialNetwork n = MakeRunningExample();
+  const UpperBoundContext ctx(n.topics);
+  EXPECT_TRUE(ctx.Compatible({}, 0));
+  const TagId w3[] = {2};
+  EXPECT_FALSE(ctx.Compatible(w3, 0));  // w3 has p(w|z1) = 0
+  EXPECT_TRUE(ctx.Compatible(w3, 1));
+  EXPECT_TRUE(ctx.Compatible(w3, 2));
+}
+
+// Randomized admissibility sweep over dense and sparse random models.
+class UpperBoundRandomTest : public testing::TestWithParam<double> {};
+
+INSTANTIATE_TEST_SUITE_P(Densities, UpperBoundRandomTest,
+                         testing::Values(0.3, 0.6, 1.0));
+
+TEST_P(UpperBoundRandomTest, AdmissibleOnRandomModels) {
+  const double density = GetParam();
+  Rng rng(static_cast<uint64_t>(density * 1000));
+  const size_t num_topics = 4, num_tags = 6, num_edges = 10;
+
+  SocialNetwork n;
+  GraphBuilder gb(num_edges + 1);
+  for (VertexId v = 0; v < num_edges; ++v) gb.AddEdge(v, v + 1);
+  n.graph = gb.Build();
+
+  n.topics = TopicModel(num_topics, num_tags);
+  for (TagId w = 0; w < num_tags; ++w) {
+    for (TopicId z = 0; z < num_topics; ++z) {
+      if (rng.NextBernoulli(density)) {
+        n.topics.SetTagTopic(w, z, 0.1 + 0.9 * rng.NextDouble());
+      }
+    }
+  }
+  InfluenceGraphBuilder ib(num_edges);
+  for (EdgeId e = 0; e < num_edges; ++e) {
+    std::vector<EdgeTopicEntry> entries;
+    for (TopicId z = 0; z < num_topics; ++z) {
+      if (rng.NextBernoulli(0.5)) {
+        entries.push_back({z, rng.NextDouble()});
+      }
+    }
+    ib.SetEdgeTopics(e, entries);
+  }
+  n.influence = ib.Build();
+
+  const UpperBoundContext ctx(n.topics);
+  const size_t k = 3;
+  CheckAdmissible(n, ctx, {}, k);
+  for (TagId w = 0; w < num_tags; ++w) {
+    const TagId p1[] = {w};
+    CheckAdmissible(n, ctx, p1, k);
+  }
+  const TagId p2[] = {1, 4};
+  CheckAdmissible(n, ctx, p2, k);
+}
+
+// On a dense model, Eq. 6 should sometimes beat Eq. 5 (that is its
+// purpose): when every available tag is unlikely under the edge's topic,
+// the posterior on that topic is provably small and the bound drops below
+// the naive max_z p(e|z).
+TEST(UpperBoundTest, DenseBoundTighterThanNaiveMaxSomewhere) {
+  const size_t num_topics = 3, num_tags = 6;
+  SocialNetwork n;
+  GraphBuilder gb(2);
+  gb.AddEdge(0, 1);
+  n.graph = gb.Build();
+  n.topics = TopicModel(num_topics, num_tags);
+  for (TagId w = 0; w < num_tags; ++w) {
+    // Dense matrix: every tag is strong on z0 and z2 but weak on z1, so no
+    // size-2 tag set can put much posterior mass on z1.
+    n.topics.SetTagTopic(w, 0, 0.9);
+    n.topics.SetTagTopic(w, 1, 0.05);
+    n.topics.SetTagTopic(w, 2, 0.9);
+  }
+  InfluenceGraphBuilder ib(1);
+  const EdgeTopicEntry entries[] = {{1, 0.9}};  // the edge lives on z1 only
+  ib.SetEdgeTopics(0, entries);
+  n.influence = ib.Build();
+
+  const UpperBoundContext ctx(n.topics);
+  const TagId partial[] = {0};
+  const UpperBoundProbs bound(n.influence, ctx, partial, 2);
+  // Eq. 5 alone would give 0.9; Eq. 6 must be far tighter here.
+  EXPECT_LT(bound.Prob(0), 0.1);
+  CheckAdmissible(n, ctx, partial, 2);
+  CheckAdmissible(n, ctx, {}, 2);
+}
+
+}  // namespace
+}  // namespace pitex
