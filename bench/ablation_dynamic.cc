@@ -14,7 +14,8 @@
 #include "src/index/dynamic_index.h"
 #include "src/util/random.h"
 
-int main() {
+int main(int argc, char** argv) {
+  pitex::bench::InitBench(argc, argv);
   using namespace pitex;
   using namespace pitex::bench;
 

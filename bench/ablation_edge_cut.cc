@@ -9,7 +9,8 @@
 #include "bench/bench_common.h"
 #include "src/index/edge_cut.h"
 
-int main() {
+int main(int argc, char** argv) {
+  pitex::bench::InitBench(argc, argv);
   using namespace pitex;
   using namespace pitex::bench;
 

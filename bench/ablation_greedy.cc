@@ -10,7 +10,8 @@
 #include "src/core/greedy_solver.h"
 #include "src/sampling/lazy_sampler.h"
 
-int main() {
+int main(int argc, char** argv) {
+  pitex::bench::InitBench(argc, argv);
   using namespace pitex;
   using namespace pitex::bench;
 

@@ -15,7 +15,8 @@
 #include "src/core/upper_bound.h"
 #include "src/sampling/lazy_sampler.h"
 
-int main() {
+int main(int argc, char** argv) {
+  pitex::bench::InitBench(argc, argv);
   using namespace pitex;
   using namespace pitex::bench;
 

@@ -16,7 +16,8 @@
 #include "src/sampling/lazy_sampler.h"
 #include "src/sampling/sketch_oracle.h"
 
-int main() {
+int main(int argc, char** argv) {
+  pitex::bench::InitBench(argc, argv);
   using namespace pitex;
   using namespace pitex::bench;
 

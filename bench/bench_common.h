@@ -8,13 +8,20 @@
 // Environment knobs:
 //   PITEX_BENCH_SCALE    multiplies |V| of every dataset (default 1.0)
 //   PITEX_BENCH_QUERIES  queries per user group            (default 3)
+// CLI flags (parsed by InitBench):
+//   --smoke              shrink datasets ~10x and run one query per group
+//                        so the full code path finishes in seconds; this
+//                        is what the bench_smoke_* CTest entries run
 
 #ifndef PITEX_BENCH_BENCH_COMMON_H_
 #define PITEX_BENCH_BENCH_COMMON_H_
 
+#include <cstddef>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/core/engine.h"
@@ -24,12 +31,33 @@
 
 namespace pitex::bench {
 
+inline bool& SmokeMode() {
+  static bool smoke = false;
+  return smoke;
+}
+
+/// Parses the common bench CLI flags; every bench main calls this first.
+inline void InitBench(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      SmokeMode() = true;
+    } else {
+      std::fprintf(stderr, "unknown flag %s (supported: --smoke)\n", argv[i]);
+      std::exit(2);
+    }
+  }
+  if (SmokeMode()) std::printf("[smoke mode: ~10x smaller datasets]\n");
+}
+
 inline double BenchScale() {
   const char* env = std::getenv("PITEX_BENCH_SCALE");
-  return env != nullptr ? std::atof(env) : 1.0;
+  double scale = env != nullptr ? std::atof(env) : 1.0;
+  if (SmokeMode()) scale *= 0.1;
+  return scale;
 }
 
 inline size_t BenchQueries() {
+  if (SmokeMode()) return 1;
   const char* env = std::getenv("PITEX_BENCH_QUERIES");
   return env != nullptr ? static_cast<size_t>(std::atoi(env)) : 3;
 }

@@ -10,7 +10,8 @@
 #include "bench/bench_common.h"
 #include "src/core/batch_engine.h"
 
-int main() {
+int main(int argc, char** argv) {
+  pitex::bench::InitBench(argc, argv);
   using namespace pitex;
   using namespace pitex::bench;
 

@@ -10,7 +10,8 @@
 #include "src/sampling/lazy_sampler.h"
 #include "src/sampling/lt_sampler.h"
 
-int main() {
+int main(int argc, char** argv) {
+  pitex::bench::InitBench(argc, argv);
   using namespace pitex;
   using namespace pitex::bench;
 

@@ -49,7 +49,8 @@ double SimulateSpread(const Graph& graph, const EdgeProbFn& probs,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  pitex::bench::InitBench(argc, argv);
   using namespace pitex::bench;
 
   std::printf("=== Extension: topic-aware influence maximization ===\n");

@@ -38,7 +38,8 @@ VertexId MaxOutDegreeUser(const Graph& g) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  pitex::bench::InitBench(argc, argv);
   using namespace pitex::bench;
 
   std::printf("=== Fig 6: sampling convergence (influence vs theta_W) ===\n");

@@ -4,7 +4,9 @@
 #include <benchmark/benchmark.h>
 
 #include <atomic>
+#include <cstring>
 #include <sstream>
+#include <vector>
 
 #include "bench/bench_common.h"
 #include "src/index/dynamic_index.h"
@@ -160,9 +162,9 @@ void BM_LoadRrIndex(benchmark::State& state) {
     options.theta_per_vertex = 2.0;
     RrIndex index(Network(), options);
     index.Build();
-    auto* file = new std::stringstream();
-    SaveRrIndex(index, *file);
-    return new std::string(file->str());
+    std::stringstream file;
+    SaveRrIndex(index, file);
+    return new std::string(file.str());
   }();
   for (auto _ : state) {
     std::stringstream file(*snapshot);
@@ -242,4 +244,29 @@ BENCHMARK(BM_TriggeringEstimate);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Hand-rolled BENCHMARK_MAIN so the binary understands the repo-wide
+// --smoke flag: each benchmark then runs a single short iteration window,
+// which is enough for the bench_smoke_* CTest entry to prove the harness
+// still builds and runs.
+int main(int argc, char** argv) {
+  std::vector<char*> args;
+  bool smoke = false;
+  for (int i = 0; i < argc; ++i) {
+    if (i > 0 && std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  static char min_time[] = "--benchmark_min_time=0.001";
+  if (smoke) args.push_back(min_time);
+
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -12,7 +12,8 @@
 #include "src/index/index_io.h"
 #include "src/index/rr_index.h"
 
-int main() {
+int main(int argc, char** argv) {
+  pitex::bench::InitBench(argc, argv);
   using namespace pitex;
   using namespace pitex::bench;
 

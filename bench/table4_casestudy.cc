@@ -16,7 +16,8 @@
 #include "bench/bench_common.h"
 #include "src/datasets/case_study.h"
 
-int main() {
+int main(int argc, char** argv) {
+  pitex::bench::InitBench(argc, argv);
   using namespace pitex;
 
   std::printf("=== Table 4: case study (k = 5) ===\n\n");

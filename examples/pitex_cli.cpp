@@ -310,6 +310,12 @@ int CmdBatch(int argc, char** argv) {
 
 int main(int argc, char** argv) {
   if (argc < 2) return Usage();
+  if (std::strcmp(argv[1], "--help") == 0 ||
+      std::strcmp(argv[1], "-h") == 0 ||
+      std::strcmp(argv[1], "help") == 0) {
+    Usage();
+    return 0;
+  }
   if (std::strcmp(argv[1], "gen") == 0) return CmdGen(argc, argv);
   if (std::strcmp(argv[1], "query") == 0) return CmdQuery(argc, argv);
   if (std::strcmp(argv[1], "stats") == 0) return CmdStats(argc, argv);

@@ -24,6 +24,7 @@
 #ifndef PITEX_SRC_CORE_BATCH_ENGINE_H_
 #define PITEX_SRC_CORE_BATCH_ENGINE_H_
 
+#include <cstddef>
 #include <memory>
 #include <span>
 #include <string>

@@ -13,6 +13,9 @@
 #ifndef PITEX_SRC_CORE_BEST_EFFORT_SOLVER_H_
 #define PITEX_SRC_CORE_BEST_EFFORT_SOLVER_H_
 
+#include <cstddef>
+#include <vector>
+
 #include "src/core/query.h"
 #include "src/core/upper_bound.h"
 #include "src/sampling/influence_estimator.h"

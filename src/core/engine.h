@@ -14,7 +14,10 @@
 #ifndef PITEX_SRC_CORE_ENGINE_H_
 #define PITEX_SRC_CORE_ENGINE_H_
 
+#include <cstddef>
+#include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 

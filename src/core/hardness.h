@@ -10,6 +10,9 @@
 #ifndef PITEX_SRC_CORE_HARDNESS_H_
 #define PITEX_SRC_CORE_HARDNESS_H_
 
+#include <cstddef>
+#include <cstdint>
+#include <span>
 #include <vector>
 
 #include "src/model/influence_graph.h"

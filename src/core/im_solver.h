@@ -18,6 +18,7 @@
 #ifndef PITEX_SRC_CORE_IM_SOLVER_H_
 #define PITEX_SRC_CORE_IM_SOLVER_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <span>
 #include <vector>

@@ -27,6 +27,7 @@
 #ifndef PITEX_SRC_CORE_PLANNER_H_
 #define PITEX_SRC_CORE_PLANNER_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 

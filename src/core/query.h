@@ -3,6 +3,7 @@
 #ifndef PITEX_SRC_CORE_QUERY_H_
 #define PITEX_SRC_CORE_QUERY_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 

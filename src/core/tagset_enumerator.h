@@ -6,6 +6,7 @@
 #ifndef PITEX_SRC_CORE_TAGSET_ENUMERATOR_H_
 #define PITEX_SRC_CORE_TAGSET_ENUMERATOR_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 

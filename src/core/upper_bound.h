@@ -31,6 +31,8 @@
 #ifndef PITEX_SRC_CORE_UPPER_BOUND_H_
 #define PITEX_SRC_CORE_UPPER_BOUND_H_
 
+#include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 

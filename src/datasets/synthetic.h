@@ -14,7 +14,10 @@
 #ifndef PITEX_SRC_DATASETS_SYNTHETIC_H_
 #define PITEX_SRC_DATASETS_SYNTHETIC_H_
 
+#include <cstddef>
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "src/model/influence_graph.h"
 

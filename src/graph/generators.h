@@ -9,6 +9,7 @@
 #ifndef PITEX_SRC_GRAPH_GENERATORS_H_
 #define PITEX_SRC_GRAPH_GENERATORS_H_
 
+#include <cstddef>
 #include <cstdint>
 
 #include "src/graph/graph.h"

@@ -9,6 +9,7 @@
 #ifndef PITEX_SRC_GRAPH_GRAPH_H_
 #define PITEX_SRC_GRAPH_GRAPH_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <span>
 #include <utility>

@@ -28,6 +28,8 @@
 #ifndef PITEX_SRC_INDEX_DELAY_MAT_H_
 #define PITEX_SRC_INDEX_DELAY_MAT_H_
 
+#include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "src/index/rr_graph.h"

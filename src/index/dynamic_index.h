@@ -41,6 +41,8 @@
 #ifndef PITEX_SRC_INDEX_DYNAMIC_INDEX_H_
 #define PITEX_SRC_INDEX_DYNAMIC_INDEX_H_
 
+#include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 

@@ -16,6 +16,7 @@
 #ifndef PITEX_SRC_INDEX_EDGE_CUT_H_
 #define PITEX_SRC_INDEX_EDGE_CUT_H_
 
+#include <cstdint>
 #include <unordered_map>
 #include <vector>
 

@@ -25,6 +25,7 @@
 #ifndef PITEX_SRC_INDEX_INDEX_IO_H_
 #define PITEX_SRC_INDEX_INDEX_IO_H_
 
+#include <cstdint>
 #include <iosfwd>
 #include <memory>
 #include <string>

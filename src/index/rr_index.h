@@ -13,6 +13,8 @@
 #ifndef PITEX_SRC_INDEX_RR_INDEX_H_
 #define PITEX_SRC_INDEX_RR_INDEX_H_
 
+#include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "src/index/rr_graph.h"

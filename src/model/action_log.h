@@ -10,7 +10,9 @@
 #ifndef PITEX_SRC_MODEL_ACTION_LOG_H_
 #define PITEX_SRC_MODEL_ACTION_LOG_H_
 
+#include <cstddef>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "src/model/influence_graph.h"

@@ -13,6 +13,8 @@
 #ifndef PITEX_SRC_MODEL_INFLUENCE_GRAPH_H_
 #define PITEX_SRC_MODEL_INFLUENCE_GRAPH_H_
 
+#include <cstddef>
+#include <cstdint>
 #include <span>
 #include <utility>
 #include <vector>

@@ -7,6 +7,7 @@
 #ifndef PITEX_SRC_MODEL_TAG_CATALOG_H_
 #define PITEX_SRC_MODEL_TAG_CATALOG_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <string>

@@ -21,6 +21,9 @@
 #ifndef PITEX_SRC_MODEL_TIC_LEARNER_H_
 #define PITEX_SRC_MODEL_TIC_LEARNER_H_
 
+#include <cstddef>
+#include <cstdint>
+
 #include "src/model/action_log.h"
 #include "src/model/influence_graph.h"
 

@@ -9,6 +9,9 @@
 #ifndef PITEX_SRC_SAMPLING_EXACT_H_
 #define PITEX_SRC_SAMPLING_EXACT_H_
 
+#include <cstddef>
+#include <span>
+
 #include "src/sampling/influence_estimator.h"
 
 namespace pitex {

@@ -15,6 +15,7 @@
 #ifndef PITEX_SRC_SAMPLING_LAZY_SAMPLER_H_
 #define PITEX_SRC_SAMPLING_LAZY_SAMPLER_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "src/sampling/influence_estimator.h"

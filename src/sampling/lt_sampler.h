@@ -16,6 +16,9 @@
 #ifndef PITEX_SRC_SAMPLING_LT_SAMPLER_H_
 #define PITEX_SRC_SAMPLING_LT_SAMPLER_H_
 
+#include <cstdint>
+#include <vector>
+
 #include "src/sampling/influence_estimator.h"
 #include "src/sampling/sample_size.h"
 #include "src/util/random.h"

@@ -30,6 +30,7 @@
 #ifndef PITEX_SRC_SAMPLING_SKETCH_ORACLE_H_
 #define PITEX_SRC_SAMPLING_SKETCH_ORACLE_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <utility>
 #include <vector>

@@ -14,6 +14,10 @@
 #ifndef PITEX_SRC_SAMPLING_TIM_ESTIMATOR_H_
 #define PITEX_SRC_SAMPLING_TIM_ESTIMATOR_H_
 
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
 #include "src/sampling/influence_estimator.h"
 
 namespace pitex {

@@ -14,6 +14,7 @@
 #ifndef PITEX_SRC_UTIL_SERIALIZE_H_
 #define PITEX_SRC_UTIL_SERIALIZE_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <iosfwd>
 #include <span>

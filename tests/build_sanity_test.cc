@@ -1,0 +1,79 @@
+// Build-sanity suite: asserts that every bench binary completes its
+// --smoke path and that every example binary exits 0 when run with
+// --help (pitex_cli) or no arguments (the self-contained walkthroughs).
+//
+// The binary lists arrive as colon-separated paths in the environment
+// variables PITEX_BENCH_BINARIES and PITEX_EXAMPLE_BINARIES, set by the
+// CTest registration in tests/CMakeLists.txt. Run outside CTest the suite
+// skips instead of failing, so `./build_sanity_test` alone stays green.
+
+#include <sys/wait.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace {
+
+std::vector<std::string> SplitPaths(const char* env_value) {
+  std::vector<std::string> paths;
+  if (env_value == nullptr) return paths;
+  std::string value(env_value);
+  size_t start = 0;
+  while (start <= value.size()) {
+    const size_t colon = value.find(':', start);
+    const size_t end = colon == std::string::npos ? value.size() : colon;
+    if (end > start) paths.push_back(value.substr(start, end - start));
+    if (colon == std::string::npos) break;
+    start = colon + 1;
+  }
+  return paths;
+}
+
+std::string BaseName(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+// Runs `command` through the shell and returns the process exit code
+// (-1 if the process did not exit normally).
+int RunCommand(const std::string& command) {
+  const int status = std::system(command.c_str());
+  if (status == -1) return -1;
+  if (WIFEXITED(status)) return WEXITSTATUS(status);
+  return -1;
+}
+
+TEST(BuildSanityTest, EveryBenchBinaryRunsSmoke) {
+  const std::vector<std::string> benches =
+      SplitPaths(std::getenv("PITEX_BENCH_BINARIES"));
+  if (benches.empty()) {
+    GTEST_SKIP() << "PITEX_BENCH_BINARIES not set (run under CTest)";
+  }
+  for (const std::string& bench : benches) {
+    SCOPED_TRACE(bench);
+    const int code = RunCommand("'" + bench + "' --smoke > /dev/null");
+    EXPECT_EQ(code, 0) << BaseName(bench) << " --smoke exited " << code;
+  }
+}
+
+TEST(BuildSanityTest, EveryExampleBinaryExitsZero) {
+  const std::vector<std::string> examples =
+      SplitPaths(std::getenv("PITEX_EXAMPLE_BINARIES"));
+  if (examples.empty()) {
+    GTEST_SKIP() << "PITEX_EXAMPLE_BINARIES not set (run under CTest)";
+  }
+  for (const std::string& example : examples) {
+    SCOPED_TRACE(example);
+    // pitex_cli wants a subcommand; --help is its zero-exit path. The
+    // walkthrough examples run argument-free.
+    const bool is_cli = BaseName(example) == "pitex_cli";
+    const std::string args = is_cli ? " --help" : "";
+    const int code = RunCommand("'" + example + "'" + args + " > /dev/null");
+    EXPECT_EQ(code, 0) << BaseName(example) << args << " exited " << code;
+  }
+}
+
+}  // namespace
