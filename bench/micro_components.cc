@@ -126,6 +126,80 @@ void BM_IndexEstimate(benchmark::State& state) {
 }
 BENCHMARK(BM_IndexEstimate);
 
+void BM_IndexEstimateSweep(benchmark::State& state) {
+  // Sweeps the query user round-robin over the whole vertex set: the
+  // aggregate estimate hot path (thousands of tiny sketch walks), which is
+  // what the pooled layout and scratch reuse target.
+  const auto& n = Network();
+  static RrIndex* index = [] {
+    RrIndexOptions options;
+    options.theta_per_vertex = 4.0;
+    auto* idx = new RrIndex(Network(), options);
+    idx->Build();
+    return idx;
+  }();
+  const TagId tags[] = {0, 3};
+  const auto post = n.topics.Posterior(tags);
+  const PosteriorProbs probs(n.influence, post);
+  VertexId u = 0;
+  uint64_t edges_visited = 0;
+  for (auto _ : state) {
+    const Estimate est = index->EstimateInfluence(u, probs);
+    edges_visited += est.edges_visited;
+    benchmark::DoNotOptimize(est);
+    u = (u + 1) % static_cast<VertexId>(n.num_vertices());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  state.counters["edges_visited"] =
+      benchmark::Counter(static_cast<double>(edges_visited),
+                         benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_IndexEstimateSweep);
+
+void BM_IsReachable(benchmark::State& state) {
+  // Raw Definition-3 reachability over one pre-built index's non-trivial
+  // sketches (u != root, so the BFS actually runs): isolates the per-call
+  // visited/stack cost from estimator bookkeeping.
+  const auto& n = Network();
+  static RrIndex* index = [] {
+    RrIndexOptions options;
+    options.theta_per_vertex = 4.0;
+    auto* idx = new RrIndex(Network(), options);
+    idx->Build();
+    return idx;
+  }();
+  const TagId tags[] = {0, 3};
+  const auto post = n.topics.Posterior(tags);
+  const PosteriorProbs probs(n.influence, post);
+  // (sketch, user) pairs where the user is a non-root member, gathered
+  // across the whole index so the BFS actually walks edges.
+  std::vector<std::pair<uint32_t, VertexId>> pairs;
+  for (uint32_t id = 0; id < index->num_graphs() && pairs.size() < 1024;
+       ++id) {
+    const RRView rr = index->graph(id);
+    for (const VertexId v : rr.vertices) {
+      if (v != rr.root) {
+        pairs.emplace_back(id, v);
+        break;
+      }
+    }
+  }
+  if (pairs.empty()) {
+    state.SkipWithError("no RR-Graph has a non-root member");
+    return;
+  }
+  EstimateScratch scratch;
+  size_t next = 0;
+  uint64_t visits = 0;
+  for (auto _ : state) {
+    const auto& [id, u] = pairs[next];
+    benchmark::DoNotOptimize(
+        IsReachable(index->graph(id), u, probs, &visits, &scratch));
+    next = (next + 1) % pairs.size();
+  }
+}
+BENCHMARK(BM_IsReachable);
+
 void BM_UpperBoundProbs(benchmark::State& state) {
   const auto& n = Network();
   static const UpperBoundContext* ctx = new UpperBoundContext(n.topics);

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Runs the google-benchmark micro suite (bench/micro_components.cc) in a
+# Release build and writes the results to BENCH_micro.json so perf
+# trajectory data accumulates across changes.
+#
+# Usage:
+#   bench/run_bench.sh [output.json] [extra benchmark args...]
+#
+# Environment:
+#   BUILD_DIR    Release build directory (default: build-bench)
+#   REPETITIONS  benchmark repetitions for aggregates (default: 3)
+#
+# Compare two runs with google-benchmark's tools/compare.py, or diff the
+# JSON directly; docs/perf.md records the pooled-layout before/after.
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+out_json="${1:-${repo_root}/BENCH_micro.json}"
+shift || true
+
+build_dir="${BUILD_DIR:-${repo_root}/build-bench}"
+repetitions="${REPETITIONS:-3}"
+
+cmake -B "${build_dir}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Release \
+  -DPITEX_BUILD_TESTS=OFF -DPITEX_BUILD_EXAMPLES=OFF
+cmake --build "${build_dir}" -j "$(nproc)" --target micro_components
+
+bench_bin="${build_dir}/bench/micro_components"
+if [[ ! -x "${bench_bin}" ]]; then
+  echo "error: ${bench_bin} was not built (is libbenchmark-dev installed?)" >&2
+  exit 1
+fi
+
+"${bench_bin}" \
+  --benchmark_repetitions="${repetitions}" \
+  --benchmark_report_aggregates_only=true \
+  --benchmark_out="${out_json}" \
+  --benchmark_out_format=json \
+  "$@"
+
+echo "wrote ${out_json}"

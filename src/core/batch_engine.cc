@@ -37,7 +37,9 @@ void BatchEngine::Prepare() {
     index_options.seed = build_options.seed;
     index_options.num_build_threads = options_.num_threads;
     shared_index_ = std::make_unique<RrIndex>(*network_, index_options);
-    shared_index_->Build();
+    // The query worker pool doubles as the build pool: no extra thread
+    // spawn, and the sampled index is bit-identical for any pool size.
+    shared_index_->Build(pool_.get());
   } else if (method == Method::kDelayMat) {
     RrIndexOptions index_options;
     index_options.eps = options_.engine.eps;

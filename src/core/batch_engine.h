@@ -5,11 +5,13 @@
 // batch of PITEX queries across a worker pool while paying the offline
 // index cost once:
 //
-//   * kIndexEst / kIndexEstPlus: one shared RR-Graph index is built (or
-//     adopted from disk) and backs every worker — RrIndex estimation is
-//     read-only after Build(), so concurrent readers are safe. Each
-//     worker keeps its own PrunedRrIndex wrapper (the edge-cut filter
-//     cache is per-worker mutable state).
+//   * kIndexEst / kIndexEstPlus: one shared RR-Graph index is built on
+//     the batch's worker pool (or adopted from disk) and backs every
+//     worker — RrIndex estimation is read-only after Build() and its
+//     reachability scratch is per-thread, so concurrent readers are safe
+//     and allocation-free. Each worker keeps its own PrunedRrIndex
+//     wrapper (the edge-cut filter cache and verification scratch are
+//     per-worker mutable state).
 //   * kDelayMat: the counter table is built once, snapshotted through
 //     the serialization path, and each worker hydrates a private replica
 //     (DelayMat caches recovered RR-Graphs per query user and must not

@@ -86,7 +86,8 @@ class PitexEngine {
 
   /// Serves kIndexEst / kIndexEstPlus from an externally owned, already
   /// built RR-Graph index instead of building one. RrIndex estimation is
-  /// read-only after Build(), so one index may back many engines — this
+  /// read-only after Build() and keeps its reachability scratch
+  /// per-thread, so one index may back many engines concurrently — this
   /// is how BatchEngine shares the offline cost across workers and how a
   /// server adopts an index loaded via LoadRrIndex. `shared` must
   /// outlive the engine. Call before BuildIndex().

@@ -127,7 +127,7 @@ Estimate DelayMatIndex::EstimateInfluence(VertexId u, const EdgeProbFn& probs) {
   double sum_squares = 0.0;
   for (const RecoveredGraph& rec : RecoveredFor(u)) {
     ++result.samples;
-    if (IsReachable(rec.graph, u, probs, &result.edges_visited)) {
+    if (IsReachable(rec.graph, u, probs, &result.edges_visited, &scratch_)) {
       const auto weight = static_cast<double>(rec.live_reach);
       weighted_hits += weight;
       sum_squares += weight * weight;

@@ -77,6 +77,9 @@ class DelayMatIndex final : public InfluenceOracle {
   uint64_t theta_ = 0;
   std::vector<uint32_t> counts_;
   Rng query_rng_;
+  // Per-instance reachability scratch (DelayMat caches per query user and
+  // is never shared across threads; see BatchEngine).
+  EstimateScratch scratch_;
   double build_seconds_ = 0.0;
   bool built_ = false;
   bool has_cached_user_ = false;

@@ -214,7 +214,10 @@ Estimate DynamicRrIndex::EstimateInfluence(VertexId u,
   uint64_t hits = 0;
   for (const uint32_t id : containing_[u]) {
     ++result.samples;
-    if (IsReachable(graphs_[id], u, probs, &result.edges_visited)) ++hits;
+    if (IsReachable(graphs_[id], u, probs, &result.edges_visited,
+                    &scratch_)) {
+      ++hits;
+    }
   }
   result.influence = static_cast<double>(hits) / static_cast<double>(theta_) *
                      static_cast<double>(network_.num_vertices());

@@ -115,6 +115,9 @@ class DynamicRrIndex final : public InfluenceOracle {
   RrIndexOptions options_;
   uint64_t theta_ = 0;
   uint64_t version_ = 0;  // bumped per update; salts the repair RNG
+  // Unlike the read-only RrIndex (pooled CSR store), repairs rewrite
+  // individual sketches in place, so each keeps its own storage; only
+  // the estimate path shares the view-based zero-allocation machinery.
   std::vector<RRGraph> graphs_;
   std::vector<VertexId> roots_;  // root of graph i (stable across repairs)
   std::vector<std::vector<uint32_t>> containing_;
@@ -123,6 +126,9 @@ class DynamicRrIndex final : public InfluenceOracle {
   // only folded at batch end). Repairs and expansions read this.
   std::vector<double> max_prob_;
   Stats stats_;
+  // Per-instance reachability scratch (a DynamicRrIndex is single-owner
+  // mutable state, never shared across threads).
+  EstimateScratch scratch_;
   bool built_ = false;
 };
 

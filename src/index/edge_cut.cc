@@ -10,7 +10,9 @@ namespace pitex {
 PrunedRrIndex::PrunedRrIndex(const RrIndex* base,
                              const InfluenceGraph* influence,
                              CutPolicy policy)
-    : base_(base), influence_(influence), policy_(policy) {}
+    : base_(base), influence_(influence), policy_(policy) {
+  scratch_.Reserve(base->pool().max_sketch_vertices());
+}
 
 const PrunedRrIndex::UserFilter& PrunedRrIndex::FilterFor(VertexId u) {
   auto it = cache_.find(u);
@@ -22,7 +24,7 @@ const PrunedRrIndex::UserFilter& PrunedRrIndex::FilterFor(VertexId u) {
   std::unordered_map<EdgeId, size_t> list_of;
 
   for (uint32_t id : base_->Containing(u)) {
-    const RRGraph& rr = base_->graph(id);
+    const RRView rr = base_->graph(id);
     if (rr.root == u) {
       filter.trivial.push_back(id);
       continue;
@@ -91,7 +93,8 @@ Estimate PrunedRrIndex::EstimateInfluence(VertexId u, const EdgeProbFn& probs) {
 
   uint64_t hits = filter.trivial.size();
   // Filter step: scan each cut edge's inverted list while c(e) <= p(e|W).
-  std::vector<uint32_t> candidates;
+  std::vector<uint32_t>& candidates = candidates_;
+  candidates.clear();
   for (size_t i = 0; i < filter.cut_edges.size(); ++i) {
     const double p = probs.Prob(filter.cut_edges[i]);
     if (p <= 0.0) continue;
@@ -106,7 +109,8 @@ Estimate PrunedRrIndex::EstimateInfluence(VertexId u, const EdgeProbFn& probs) {
 
   // Verification step.
   for (uint32_t id : candidates) {
-    if (IsReachable(base_->graph(id), u, probs, &result.edges_visited)) {
+    if (IsReachable(base_->graph(id), u, probs, &result.edges_visited,
+                    &scratch_)) {
       ++hits;
     }
   }

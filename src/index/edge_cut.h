@@ -71,6 +71,12 @@ class PrunedRrIndex final : public InfluenceOracle {
   CutPolicy policy_;
   std::unordered_map<VertexId, UserFilter> cache_;
   FilterStats last_stats_;
+  // Per-instance query scratch (a PrunedRrIndex is per-worker state, like
+  // its filter cache): verification BFS scratch plus the surviving-
+  // candidate buffer, both reused so estimation stops allocating once
+  // warmed up.
+  EstimateScratch scratch_;
+  std::vector<uint32_t> candidates_;
 };
 
 }  // namespace pitex

@@ -1,7 +1,9 @@
 #include "src/index/index_io.h"
 
+#include <algorithm>
 #include <fstream>
 #include <limits>
+#include <vector>
 
 #include "src/util/serialize.h"
 
@@ -10,7 +12,12 @@ namespace pitex {
 namespace {
 
 constexpr char kMagic[] = "PITEXIDX";
-constexpr uint32_t kVersion = 1;
+// v1 stored RR-Graphs one record per graph; v2 stores the pooled
+// CSR-of-CSRs arrays (RrSketchPool) in bulk. v1 files remain readable:
+// their graphs are re-packed into a pool on load. The DelayMat payload is
+// identical in both versions.
+constexpr uint32_t kVersionV1 = 1;
+constexpr uint32_t kVersionCurrent = 2;
 constexpr uint8_t kKindRrGraphs = 1;
 constexpr uint8_t kKindDelayMat = 2;
 
@@ -18,11 +25,18 @@ void SetError(std::string* error, const char* message) {
   if (error != nullptr) *error = message;
 }
 
+// a * b, saturating at UINT64_MAX (bounds for ReadVector guards built
+// from untrusted counts).
+uint64_t SaturatingMul(uint64_t a, uint64_t b) {
+  if (b != 0 && a > UINT64_MAX / b) return UINT64_MAX;
+  return a * b;
+}
+
 // Writes the shared header (magic, version, kind, fingerprint, options).
 void WriteHeader(BinaryWriter* writer, uint8_t kind, uint64_t fingerprint,
                  const RrIndexOptions& options) {
   writer->WriteString(kMagic);
-  writer->WriteU32(kVersion);
+  writer->WriteU32(kVersionCurrent);
   writer->WriteU8(kind);
   writer->WriteU64(fingerprint);
   writer->WriteF64(options.eps);
@@ -32,19 +46,20 @@ void WriteHeader(BinaryWriter* writer, uint8_t kind, uint64_t fingerprint,
 }
 
 // Reads and validates the shared header; fills `options` fields that are
-// persisted. Returns false with `*error` set on any mismatch.
+// persisted and reports the file's format version through `*version`.
+// Returns false with `*error` set on any mismatch.
 bool ReadHeader(BinaryReader* reader, uint8_t expected_kind,
                 uint64_t expected_fingerprint, RrIndexOptions* options,
-                std::string* error) {
+                uint32_t* version, std::string* error) {
   std::string magic;
-  uint32_t version = 0;
   uint8_t kind = 0;
   uint64_t fingerprint = 0;
   if (!reader->ReadString(&magic) || magic != kMagic) {
     SetError(error, "not a PITEX index file");
     return false;
   }
-  if (!reader->ReadU32(&version) || version != kVersion) {
+  if (!reader->ReadU32(version) ||
+      (*version != kVersionV1 && *version != kVersionCurrent)) {
     SetError(error, "unsupported index file version");
     return false;
   }
@@ -103,25 +118,29 @@ class IndexIo {
  public:
   static bool WriteRr(const RrIndex& index, std::ostream& out,
                       std::string* error) {
-    if (index.graphs_.empty() && index.theta_ > 0) {
+    if (!index.built_) {
       SetError(error, "index not built; call Build() before saving");
       return false;
     }
+    const RrSketchPool& pool = index.pool_;
     BinaryWriter writer(&out);
     WriteHeader(&writer, kKindRrGraphs,
                 NetworkFingerprint(index.network_), index.options_);
     writer.WriteU64(index.theta_);
-    writer.WriteU64(index.graphs_.size());
-    for (const RRGraph& rr : index.graphs_) {
-      writer.WriteU32(rr.root);
-      writer.WriteVector<VertexId>(rr.vertices);
-      writer.WriteVector<uint32_t>(rr.offsets);
-      writer.WriteU64(rr.edges.size());
-      for (const RRGraph::LocalEdge& edge : rr.edges) {
-        writer.WriteU32(edge.head_local);
-        writer.WriteU32(edge.edge);
-        writer.WriteF32(edge.threshold);
-      }
+    writer.WriteU64(pool.num_sketches());
+    // v2 payload: the pooled arrays verbatim (the containing index is
+    // rebuilt on load — it is a permutation of the vertex array). Edges
+    // are written field-wise so the encoding stays layout-independent.
+    writer.WriteVector<VertexId>(pool.roots_);
+    writer.WriteVector<uint64_t>(pool.vertex_starts_);
+    writer.WriteVector<VertexId>(pool.vertices_);
+    writer.WriteVector<uint32_t>(pool.offsets_);
+    writer.WriteVector<uint64_t>(pool.edge_starts_);
+    writer.WriteU64(pool.edges_.size());
+    for (const RRLocalEdge& edge : pool.edges_) {
+      writer.WriteU32(edge.head_local);
+      writer.WriteU32(edge.edge);
+      writer.WriteF32(edge.threshold);
     }
     writer.WriteF64(index.build_seconds_);
     writer.WriteChecksum();
@@ -132,13 +151,175 @@ class IndexIo {
     return true;
   }
 
+  // v1 payload: one record per graph. Read into staging RRGraphs, then
+  // packed into the pool by the caller.
+  static bool ReadRrGraphsV1(BinaryReader* reader, uint64_t num_graphs,
+                             uint64_t max_vertices, uint64_t max_edges,
+                             std::vector<RRGraph>* staging,
+                             std::string* error) {
+    staging->resize(num_graphs);
+    for (RRGraph& rr : *staging) {
+      uint32_t root = 0;
+      if (!reader->ReadU32(&root) || root >= max_vertices) {
+        SetError(error, "corrupt RR-Graph root");
+        return false;
+      }
+      rr.root = root;
+      if (!reader->ReadVector(&rr.vertices, max_vertices) ||
+          !reader->ReadVector(&rr.offsets, max_vertices + 1)) {
+        SetError(error, "corrupt RR-Graph vertex data");
+        return false;
+      }
+      uint64_t num_local_edges = 0;
+      if (!reader->ReadU64(&num_local_edges) || num_local_edges > max_edges) {
+        SetError(error, "corrupt RR-Graph edge count");
+        return false;
+      }
+      rr.edges.resize(num_local_edges);
+      for (RRLocalEdge& edge : rr.edges) {
+        if (!reader->ReadU32(&edge.head_local) ||
+            !reader->ReadU32(&edge.edge) ||
+            !reader->ReadF32(&edge.threshold) ||
+            edge.head_local >= rr.vertices.size() || edge.edge >= max_edges) {
+          SetError(error, "corrupt RR-Graph edge data");
+          return false;
+        }
+      }
+      if (rr.offsets.size() != rr.vertices.size() + 1 ||
+          (rr.offsets.empty() ? 0 : rr.offsets.back()) != rr.edges.size()) {
+        SetError(error, "inconsistent RR-Graph CSR layout");
+        return false;
+      }
+      // Same structural guarantees the v2 loader enforces — the pooled
+      // consumers (BuildContaining, LocalIndex, IsReachable) rely on
+      // in-range sorted vertices, a member root and monotone offsets.
+      for (size_t j = 0; j < rr.vertices.size(); ++j) {
+        if (rr.vertices[j] >= max_vertices ||
+            (j > 0 && rr.vertices[j] <= rr.vertices[j - 1])) {
+          SetError(error, "corrupt RR-Graph vertex array");
+          return false;
+        }
+      }
+      if (!std::binary_search(rr.vertices.begin(), rr.vertices.end(),
+                              rr.root)) {
+        SetError(error, "RR-Graph root not a member");
+        return false;
+      }
+      for (size_t j = 0; j + 1 < rr.offsets.size(); ++j) {
+        if (rr.offsets[j] > rr.offsets[j + 1]) {
+          SetError(error, "non-monotone RR-Graph CSR offsets");
+          return false;
+        }
+      }
+    }
+    return true;
+  }
+
+  // v2 payload: the pooled arrays, validated wholesale (per-sketch CSR
+  // consistency, sorted vertex arrays, in-range edge ids).
+  static bool ReadRrPoolV2(BinaryReader* reader, uint64_t num_sketches,
+                           uint64_t max_vertices, uint64_t max_edges,
+                           RrSketchPool* pool, std::string* error) {
+    const uint64_t max_total_vertices =
+        SaturatingMul(num_sketches, max_vertices);
+    if (!reader->ReadVector(&pool->roots_, num_sketches) ||
+        pool->roots_.size() != num_sketches ||
+        !reader->ReadVector(&pool->vertex_starts_, num_sketches + 1) ||
+        pool->vertex_starts_.size() != num_sketches + 1 ||
+        !reader->ReadVector(&pool->vertices_, max_total_vertices) ||
+        !reader->ReadVector(&pool->offsets_,
+                            SaturatingMul(num_sketches, max_vertices + 1)) ||
+        !reader->ReadVector(&pool->edge_starts_, num_sketches + 1) ||
+        pool->edge_starts_.size() != num_sketches + 1) {
+      SetError(error, "corrupt pooled sketch arrays");
+      return false;
+    }
+    uint64_t num_edges = 0;
+    if (!reader->ReadU64(&num_edges) ||
+        num_edges > SaturatingMul(num_sketches, max_edges)) {
+      SetError(error, "corrupt pooled edge count");
+      return false;
+    }
+    pool->edges_.resize(num_edges);
+    for (RRLocalEdge& edge : pool->edges_) {
+      if (!reader->ReadU32(&edge.head_local) || !reader->ReadU32(&edge.edge) ||
+          !reader->ReadF32(&edge.threshold) || edge.edge >= max_edges) {
+        SetError(error, "corrupt pooled edge data");
+        return false;
+      }
+    }
+
+    // Structural validation of the CSR-of-CSRs.
+    if (pool->vertex_starts_.front() != 0 ||
+        pool->vertex_starts_.back() != pool->vertices_.size() ||
+        pool->edge_starts_.front() != 0 ||
+        pool->edge_starts_.back() != pool->edges_.size() ||
+        pool->offsets_.size() != pool->vertices_.size() + num_sketches) {
+      SetError(error, "inconsistent pooled sketch layout");
+      return false;
+    }
+    for (uint64_t i = 0; i < num_sketches; ++i) {
+      const uint64_t vb = pool->vertex_starts_[i];
+      const uint64_t ve = pool->vertex_starts_[i + 1];
+      const uint64_t eb = pool->edge_starts_[i];
+      const uint64_t ee = pool->edge_starts_[i + 1];
+      if (ve < vb || ve > pool->vertices_.size() || ee < eb ||
+          ee > pool->edges_.size()) {
+        SetError(error, "inconsistent pooled sketch bounds");
+        return false;
+      }
+      const uint64_t n = ve - vb;
+      const uint64_t m = ee - eb;
+      if (n == 0 || n > max_vertices) {
+        SetError(error, "corrupt sketch vertex count");
+        return false;
+      }
+      // Vertices sorted strictly ascending and in range (LocalIndex
+      // binary-searches them); root must be a member.
+      for (uint64_t j = vb; j < ve; ++j) {
+        if (pool->vertices_[j] >= max_vertices ||
+            (j > vb && pool->vertices_[j] <= pool->vertices_[j - 1])) {
+          SetError(error, "corrupt sketch vertex array");
+          return false;
+        }
+      }
+      if (!std::binary_search(pool->vertices_.begin() + vb,
+                              pool->vertices_.begin() + ve,
+                              pool->roots_[i])) {
+        SetError(error, "sketch root not a sketch member");
+        return false;
+      }
+      // Local CSR: starts at 0, non-decreasing, ends at the edge count;
+      // edge heads stay inside the sketch.
+      const uint64_t ob = vb + i;
+      if (pool->offsets_[ob] != 0 || pool->offsets_[ob + n] != m) {
+        SetError(error, "inconsistent sketch CSR offsets");
+        return false;
+      }
+      for (uint64_t j = 0; j < n; ++j) {
+        if (pool->offsets_[ob + j] > pool->offsets_[ob + j + 1]) {
+          SetError(error, "non-monotone sketch CSR offsets");
+          return false;
+        }
+      }
+      for (uint64_t j = eb; j < ee; ++j) {
+        if (pool->edges_[j].head_local >= n) {
+          SetError(error, "sketch edge head out of range");
+          return false;
+        }
+      }
+    }
+    return true;
+  }
+
   static std::unique_ptr<RrIndex> ReadRr(const SocialNetwork& network,
                                          std::istream& in,
                                          std::string* error) {
     BinaryReader reader(&in);
     RrIndexOptions options;
+    uint32_t version = 0;
     if (!ReadHeader(&reader, kKindRrGraphs, NetworkFingerprint(network),
-                    &options, error)) {
+                    &options, &version, error)) {
       return nullptr;
     }
     uint64_t theta = 0, num_graphs = 0;
@@ -149,38 +330,18 @@ class IndexIo {
     }
     options.theta_override = theta;
     auto index = std::unique_ptr<RrIndex>(new RrIndex(network, options));
-    index->graphs_.resize(num_graphs);
     const uint64_t max_vertices = network.num_vertices();
     const uint64_t max_edges = network.num_edges();
-    for (RRGraph& rr : index->graphs_) {
-      uint32_t root = 0;
-      if (!reader.ReadU32(&root) || root >= max_vertices) {
-        SetError(error, "corrupt RR-Graph root");
+
+    std::vector<RRGraph> staging;  // v1 only
+    if (version == kVersionV1) {
+      if (!ReadRrGraphsV1(&reader, num_graphs, max_vertices, max_edges,
+                          &staging, error)) {
         return nullptr;
       }
-      rr.root = root;
-      if (!reader.ReadVector(&rr.vertices, max_vertices) ||
-          !reader.ReadVector(&rr.offsets, max_vertices + 1)) {
-        SetError(error, "corrupt RR-Graph vertex data");
-        return nullptr;
-      }
-      uint64_t num_local_edges = 0;
-      if (!reader.ReadU64(&num_local_edges) || num_local_edges > max_edges) {
-        SetError(error, "corrupt RR-Graph edge count");
-        return nullptr;
-      }
-      rr.edges.resize(num_local_edges);
-      for (RRGraph::LocalEdge& edge : rr.edges) {
-        if (!reader.ReadU32(&edge.head_local) || !reader.ReadU32(&edge.edge) ||
-            !reader.ReadF32(&edge.threshold) ||
-            edge.head_local >= rr.vertices.size() || edge.edge >= max_edges) {
-          SetError(error, "corrupt RR-Graph edge data");
-          return nullptr;
-        }
-      }
-      if (rr.offsets.size() != rr.vertices.size() + 1 ||
-          (rr.offsets.empty() ? 0 : rr.offsets.back()) != rr.edges.size()) {
-        SetError(error, "inconsistent RR-Graph CSR layout");
+    } else {
+      if (!ReadRrPoolV2(&reader, num_graphs, max_vertices, max_edges,
+                        &index->pool_, error)) {
         return nullptr;
       }
     }
@@ -192,14 +353,14 @@ class IndexIo {
       SetError(error, "checksum mismatch: file truncated or corrupted");
       return nullptr;
     }
-    // Rebuild the containment lists (cheaper to recompute than to store:
-    // they are a permutation of the graphs' vertex arrays).
-    index->containing_.assign(network.num_vertices(), {});
-    for (uint32_t id = 0; id < index->graphs_.size(); ++id) {
-      for (VertexId v : index->graphs_[id].vertices) {
-        index->containing_[v].push_back(id);
-      }
+    if (version == kVersionV1) {
+      index->pool_ = RrSketchPool::Pack(staging, network.num_vertices());
+    } else {
+      // The containing index is a permutation of the vertex array:
+      // cheaper to recompute than to store.
+      index->pool_.BuildContaining(network.num_vertices());
     }
+    index->built_ = true;
     return index;
   }
 
@@ -227,8 +388,9 @@ class IndexIo {
       const SocialNetwork& network, std::istream& in, std::string* error) {
     BinaryReader reader(&in);
     RrIndexOptions options;
+    uint32_t version = 0;  // DelayMat payload is identical in v1 and v2
     if (!ReadHeader(&reader, kKindDelayMat, NetworkFingerprint(network),
-                    &options, error)) {
+                    &options, &version, error)) {
       return nullptr;
     }
     uint64_t theta = 0;

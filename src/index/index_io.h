@@ -13,6 +13,12 @@
 //   magic "PITEXIDX" | version u32 | kind u8 | network fingerprint u64
 //   options (eps f64, delta f64, cap_k u64, seed u64) | payload | fnv64
 //
+// Version 2 (current) stores the RR-Graph payload as the pooled
+// CSR-of-CSRs arrays of RrSketchPool — written and loaded in bulk.
+// Version 1 stored one record per graph; v1 files are still readable
+// (graphs are re-packed into a pool on load). The DelayMat payload is
+// identical in both versions.
+//
 // The fingerprint binds an index file to the network it was sampled
 // from: loading against a different graph (changed topology, edge count,
 // or influence entries) is rejected, because RR-Graphs reference global

@@ -1,13 +1,12 @@
 #include "src/index/rr_graph.h"
 
 #include <algorithm>
-#include <unordered_map>
 
 #include "src/util/check.h"
 
 namespace pitex {
 
-std::optional<uint32_t> RRGraph::LocalIndex(VertexId v) const {
+std::optional<uint32_t> RRView::LocalIndex(VertexId v) const {
   auto it = std::lower_bound(vertices.begin(), vertices.end(), v);
   if (it == vertices.end() || *it != v) return std::nullopt;
   return static_cast<uint32_t>(it - vertices.begin());
@@ -16,7 +15,11 @@ std::optional<uint32_t> RRGraph::LocalIndex(VertexId v) const {
 size_t RRGraph::SizeBytes() const {
   return sizeof(RRGraph) + vertices.capacity() * sizeof(VertexId) +
          offsets.capacity() * sizeof(uint32_t) +
-         edges.capacity() * sizeof(LocalEdge);
+         edges.capacity() * sizeof(RRLocalEdge);
+}
+
+void EstimateScratch::Reserve(size_t max_vertices) {
+  if (visited_.size() < max_vertices) visited_.resize(max_vertices, 0);
 }
 
 RRGraph AssembleRRGraph(VertexId root, std::vector<VertexId> vertices,
@@ -34,14 +37,13 @@ RRGraph AssembleRRGraph(VertexId root, std::vector<VertexId> vertices,
   };
 
   // Counting sort the surviving edges by local tail.
-  std::vector<std::pair<uint32_t, RRGraph::LocalEdge>> staged;
+  std::vector<std::pair<uint32_t, RRLocalEdge>> staged;
   staged.reserve(edges.size());
   for (const auto& e : edges) {
     const auto tail = local_of(e.tail);
     const auto head = local_of(e.head);
     if (!tail || !head) continue;
-    staged.emplace_back(*tail,
-                        RRGraph::LocalEdge{*head, e.edge, e.threshold});
+    staged.emplace_back(*tail, RRLocalEdge{*head, e.edge, e.threshold});
   }
   rr.offsets.assign(n + 1, 0);
   for (const auto& [tail, local] : staged) ++rr.offsets[tail + 1];
@@ -57,7 +59,7 @@ std::vector<GlobalEdgeSample> DecomposeRRGraph(const RRGraph& rr) {
   edges.reserve(rr.edges.size());
   for (uint32_t tail = 0; tail + 1 < rr.offsets.size(); ++tail) {
     for (uint32_t i = rr.offsets[tail]; i < rr.offsets[tail + 1]; ++i) {
-      const RRGraph::LocalEdge& local = rr.edges[i];
+      const RRLocalEdge& local = rr.edges[i];
       edges.push_back(GlobalEdgeSample{rr.vertices[tail],
                                        rr.vertices[local.head_local],
                                        local.edge, local.threshold});
@@ -66,15 +68,44 @@ std::vector<GlobalEdgeSample> DecomposeRRGraph(const RRGraph& rr) {
   return edges;
 }
 
+namespace {
+
+// Per-thread visited stamps for GenerateRRGraph's reverse BFS: a dense
+// epoch array over the global vertex space replaces the previous
+// unordered_map (no hashing, no rehash growth on the build hot path).
+// Deterministic: only the membership-set representation changed, so the
+// RNG consumes exactly the same draws.
+struct GenerateScratch {
+  std::vector<uint32_t> mark;
+  std::vector<VertexId> stack;
+  uint32_t epoch = 0;
+
+  // Starts a new traversal over `num_vertices` global vertices; returns
+  // the epoch stamp marking "visited in this traversal".
+  uint32_t Begin(size_t num_vertices) {
+    if (mark.size() < num_vertices) mark.resize(num_vertices, 0);
+    if (++epoch == 0) {
+      std::fill(mark.begin(), mark.end(), 0);
+      epoch = 1;
+    }
+    return epoch;
+  }
+};
+
+}  // namespace
+
 RRGraph GenerateRRGraph(const Graph& graph, const InfluenceGraph& influence,
                         VertexId root, Rng* rng) {
+  thread_local GenerateScratch scratch;
+  const uint32_t epoch = scratch.Begin(graph.num_vertices());
+
   // Reverse BFS from the root over live edges; each in-edge of a visited
   // vertex is probed exactly once (its head is unique).
   std::vector<VertexId> vertices{root};
   std::vector<GlobalEdgeSample> live;
-  std::unordered_map<VertexId, uint8_t> visited;
-  visited.emplace(root, 1);
-  std::vector<VertexId> stack{root};
+  scratch.mark[root] = epoch;
+  auto& stack = scratch.stack;
+  stack.assign(1, root);
   while (!stack.empty()) {
     const VertexId v = stack.back();
     stack.pop_back();
@@ -84,7 +115,8 @@ RRGraph GenerateRRGraph(const Graph& graph, const InfluenceGraph& influence,
       if (!rng->NextBernoulli(p)) continue;  // dead for every W
       const auto threshold = static_cast<float>(rng->NextDouble() * p);
       live.push_back(GlobalEdgeSample{w, v, e, threshold});
-      if (visited.emplace(w, 1).second) {
+      if (scratch.mark[w] != epoch) {
+        scratch.mark[w] = epoch;
         vertices.push_back(w);
         stack.push_back(w);
       }
@@ -93,17 +125,29 @@ RRGraph GenerateRRGraph(const Graph& graph, const InfluenceGraph& influence,
   return AssembleRRGraph(root, std::move(vertices), live);
 }
 
-bool IsReachable(const RRGraph& rr, VertexId u, const EdgeProbFn& probs,
-                 uint64_t* edges_visited) {
+bool IsReachable(const RRView& rr, VertexId u, const EdgeProbFn& probs,
+                 uint64_t* edges_visited, EstimateScratch* scratch) {
   const auto start = rr.LocalIndex(u);
   if (!start) return false;
   const auto target = rr.LocalIndex(rr.root);
   PITEX_DCHECK(target.has_value());
   if (*start == *target) return true;
 
-  std::vector<uint8_t> visited(rr.vertices.size(), 0);
-  std::vector<uint32_t> stack{*start};
-  visited[*start] = 1;
+  const size_t n = rr.vertices.size();
+  auto& visited = scratch->visited_;
+  if (visited.size() < n) visited.resize(n, 0);
+  // Epoch stamping: bumping the epoch invalidates every old mark without
+  // touching memory. On the (once per 2^32 calls) wrap, clear explicitly.
+  if (++scratch->epoch_ == 0) {
+    std::fill(visited.begin(), visited.end(), 0);
+    scratch->epoch_ = 1;
+  }
+  const uint32_t epoch = scratch->epoch_;
+
+  auto& stack = scratch->stack_;
+  stack.clear();
+  stack.push_back(*start);
+  visited[*start] = epoch;
   uint64_t probes = 0;
   bool found = false;
   while (!stack.empty() && !found) {
@@ -112,18 +156,24 @@ bool IsReachable(const RRGraph& rr, VertexId u, const EdgeProbFn& probs,
     for (uint32_t i = rr.offsets[v]; i < rr.offsets[v + 1]; ++i) {
       const auto& edge = rr.edges[i];
       ++probes;
-      if (visited[edge.head_local]) continue;
+      if (visited[edge.head_local] == epoch) continue;
       if (probs.Prob(edge.edge) < edge.threshold) continue;  // dead under W
       if (edge.head_local == *target) {
         found = true;
         break;
       }
-      visited[edge.head_local] = 1;
+      visited[edge.head_local] = epoch;
       stack.push_back(edge.head_local);
     }
   }
   if (edges_visited != nullptr) *edges_visited += probes;
   return found;
+}
+
+bool IsReachable(const RRView& rr, VertexId u, const EdgeProbFn& probs,
+                 uint64_t* edges_visited) {
+  EstimateScratch scratch;
+  return IsReachable(rr, u, probs, edges_visited, &scratch);
 }
 
 }  // namespace pitex

@@ -7,6 +7,19 @@
 // uniform on [0, p(e)). At query time the edge is live for tag set W iff
 // p(e|W) >= c(e) — so one offline sample serves every query user and
 // every tag set, and the spread is never underestimated (p(e) >= p(e|W)).
+//
+// Two representations exist:
+//   * RRGraph owns its storage. It is the unit of generation, dynamic
+//     repair and delayed recovery — anything that builds or mutates one
+//     sketch at a time.
+//   * RRView is a non-owning std::span view. The estimate hot path only
+//     ever reads sketches, so it runs on views — either over an RRGraph
+//     or, for the offline index, over the pooled CSR-of-CSRs store
+//     (src/index/rr_sketch_pool.h) that keeps all theta sketches in three
+//     contiguous arrays.
+// Reachability scratch (visited stamps + DFS stack) lives in a reusable
+// EstimateScratch so repeated IsReachable calls allocate nothing once the
+// scratch has grown to the largest sketch.
 
 #ifndef PITEX_SRC_INDEX_RR_GRAPH_H_
 #define PITEX_SRC_INDEX_RR_GRAPH_H_
@@ -22,26 +35,69 @@
 
 namespace pitex {
 
-/// One materialized reverse-reachable sample graph. Vertices are stored
-/// sorted; edges are stored as a local CSR out-adjacency so tag-aware
-/// reachability is a forward BFS from the query user towards the root.
+/// One edge of a sketch's local CSR out-adjacency.
+struct RRLocalEdge {
+  uint32_t head_local;  // index into the sketch's vertex array
+  EdgeId edge;          // global EdgeId (for p(e|W) lookups)
+  float threshold;      // c(e)
+};
+
+/// Non-owning view of one reverse-reachable sample graph. Vertices are
+/// sorted; edges are a local CSR out-adjacency so tag-aware reachability
+/// is a forward BFS from the query user towards the root. The spans may
+/// point into an owning RRGraph or into an RrSketchPool.
+struct RRView {
+  VertexId root = 0;
+  std::span<const VertexId> vertices;   // sorted ascending
+  std::span<const uint32_t> offsets;    // CSR over local tails
+  std::span<const RRLocalEdge> edges;
+
+  /// Local index of global vertex v, or nullopt if absent.
+  std::optional<uint32_t> LocalIndex(VertexId v) const;
+};
+
+/// One materialized, storage-owning reverse-reachable sample graph.
 struct RRGraph {
-  struct LocalEdge {
-    uint32_t head_local;  // index into `vertices`
-    EdgeId edge;          // global EdgeId (for p(e|W) lookups)
-    float threshold;      // c(e)
-  };
+  using LocalEdge = RRLocalEdge;
 
   VertexId root = 0;
   std::vector<VertexId> vertices;   // sorted ascending
   std::vector<uint32_t> offsets;    // CSR over local tails
-  std::vector<LocalEdge> edges;
+  std::vector<RRLocalEdge> edges;
+
+  /// Non-owning view over this graph (valid while the graph is alive and
+  /// unmodified). Implicit so every RRView consumer accepts an RRGraph.
+  RRView View() const {
+    return RRView{root, vertices, offsets, edges};
+  }
+  operator RRView() const { return View(); }  // NOLINT(runtime/explicit)
 
   /// Local index of global vertex v, or nullopt if absent.
-  std::optional<uint32_t> LocalIndex(VertexId v) const;
+  std::optional<uint32_t> LocalIndex(VertexId v) const {
+    return View().LocalIndex(v);
+  }
 
   /// Approximate in-memory footprint.
   size_t SizeBytes() const;
+};
+
+/// Reusable traversal scratch for IsReachable: an epoch-stamped visited
+/// array (no clearing between calls) plus the DFS stack. Grows to the
+/// largest sketch it has seen, then stays allocation-free. Not
+/// thread-safe; use one instance per thread.
+class EstimateScratch {
+ public:
+  /// Pre-sizes the visited array for sketches of up to `max_vertices`
+  /// local vertices (optional; the scratch also grows on demand).
+  void Reserve(size_t max_vertices);
+
+ private:
+  friend bool IsReachable(const RRView&, VertexId, const EdgeProbFn&,
+                          uint64_t*, EstimateScratch*);
+
+  std::vector<uint32_t> visited_;  // visited_[i] == epoch_ <=> visited
+  std::vector<uint32_t> stack_;
+  uint32_t epoch_ = 0;
 };
 
 /// Samples one RR-Graph rooted at `root` (Definition 2): reverse BFS from
@@ -52,8 +108,13 @@ RRGraph GenerateRRGraph(const Graph& graph, const InfluenceGraph& influence,
 
 /// Definition 3: true iff `u` reaches the root of `rr` along edges with
 /// probs.Prob(e) >= c(e). Adds probed-edge counts to `edges_visited` when
-/// non-null.
-bool IsReachable(const RRGraph& rr, VertexId u, const EdgeProbFn& probs,
+/// non-null. Uses `scratch` for the visited stamps and stack: zero
+/// allocations once the scratch has warmed up.
+bool IsReachable(const RRView& rr, VertexId u, const EdgeProbFn& probs,
+                 uint64_t* edges_visited, EstimateScratch* scratch);
+
+/// Convenience overload with call-local scratch (tests, one-off checks).
+bool IsReachable(const RRView& rr, VertexId u, const EdgeProbFn& probs,
                  uint64_t* edges_visited);
 
 /// A sampled live edge in global vertex coordinates, before local CSR

@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
-#include <thread>
+#include <vector>
 
 #include "src/util/chernoff.h"
 #include "src/util/check.h"
@@ -34,53 +34,48 @@ RrIndex::RrIndex(const SocialNetwork& network, const RrIndexOptions& options)
   }
 }
 
-void RrIndex::Build() {
-  PITEX_CHECK_MSG(graphs_.empty(), "Build() called twice");
+void RrIndex::Build(ThreadPool* pool) {
+  PITEX_CHECK_MSG(!built_, "Build() called twice");
   Timer timer;
-  graphs_.resize(theta_);
-  containing_.assign(network_.num_vertices(), {});
+  std::vector<RRGraph> staging(theta_);
 
   // Each sample i owns an independent RNG stream derived from (seed, i),
   // making the index bit-identical regardless of thread count.
-  auto generate_range = [&](uint64_t begin, uint64_t end) {
-    for (uint64_t i = begin; i < end; ++i) {
-      uint64_t mix = options_.seed ^ (0x9e3779b97f4a7c15ULL * (i + 1));
-      Rng rng(SplitMix64(&mix));
-      const auto root =
-          static_cast<VertexId>(rng.NextBounded(network_.num_vertices()));
-      graphs_[i] =
-          GenerateRRGraph(network_.graph, network_.influence, root, &rng);
-    }
+  auto generate = [&](size_t i) {
+    uint64_t mix = options_.seed ^ (0x9e3779b97f4a7c15ULL * (i + 1));
+    Rng rng(SplitMix64(&mix));
+    const auto root =
+        static_cast<VertexId>(rng.NextBounded(network_.num_vertices()));
+    staging[i] =
+        GenerateRRGraph(network_.graph, network_.influence, root, &rng);
   };
 
   const size_t threads = std::max<size_t>(1, options_.num_build_threads);
-  if (threads == 1 || theta_ < 2 * threads) {
-    generate_range(0, theta_);
+  if (pool != nullptr && theta_ >= 2) {
+    ParallelFor(pool, 0, theta_, generate);
+  } else if (threads > 1 && theta_ >= 2 * threads) {
+    ThreadPool local_pool(threads);
+    ParallelFor(&local_pool, 0, theta_, generate);
   } else {
-    std::vector<std::thread> workers;
-    const uint64_t chunk = (theta_ + threads - 1) / threads;
-    for (size_t t = 0; t < threads; ++t) {
-      const uint64_t begin = t * chunk;
-      const uint64_t end = std::min<uint64_t>(theta_, begin + chunk);
-      if (begin >= end) break;
-      workers.emplace_back(generate_range, begin, end);
-    }
-    for (auto& w : workers) w.join();
+    for (uint64_t i = 0; i < theta_; ++i) generate(i);
   }
 
-  for (uint32_t id = 0; id < graphs_.size(); ++id) {
-    for (VertexId v : graphs_[id].vertices) containing_[v].push_back(id);
-  }
+  pool_ = RrSketchPool::Pack(staging, network_.num_vertices());
+  built_ = true;
   build_seconds_ = timer.Seconds();
 }
 
-Estimate RrIndex::EstimateInfluence(VertexId u, const EdgeProbFn& probs) {
-  PITEX_CHECK_MSG(!graphs_.empty() || theta_ == 0, "index not built");
+Estimate RrIndex::EstimateInfluence(VertexId u, const EdgeProbFn& probs,
+                                    EstimateScratch* scratch) const {
+  PITEX_CHECK_MSG(built_, "index not built");
   Estimate result;
   uint64_t hits = 0;
-  for (uint32_t id : containing_[u]) {
+  for (uint32_t id : pool_.Containing(u)) {
     ++result.samples;
-    if (IsReachable(graphs_[id], u, probs, &result.edges_visited)) ++hits;
+    if (IsReachable(pool_.View(id), u, probs, &result.edges_visited,
+                    scratch)) {
+      ++hits;
+    }
   }
   result.influence = static_cast<double>(hits) /
                      static_cast<double>(theta_) *
@@ -95,13 +90,19 @@ Estimate RrIndex::EstimateInfluence(VertexId u, const EdgeProbFn& probs) {
   return result;
 }
 
+Estimate RrIndex::EstimateInfluence(VertexId u, const EdgeProbFn& probs) {
+  // One RrIndex backs many concurrent readers (BatchEngine shares it
+  // across workers), so the oracle-interface entry point keeps its
+  // scratch per thread: concurrent estimates stay safe and allocation-
+  // free without any caller-side plumbing. Pre-sizing to the largest
+  // sketch makes the very first walk allocation-free too.
+  thread_local EstimateScratch scratch;
+  scratch.Reserve(pool_.max_sketch_vertices());
+  return EstimateInfluence(u, probs, &scratch);
+}
+
 size_t RrIndex::SizeBytes() const {
-  size_t bytes = sizeof(RrIndex);
-  for (const auto& rr : graphs_) bytes += rr.SizeBytes();
-  for (const auto& list : containing_) {
-    bytes += list.capacity() * sizeof(uint32_t) + sizeof(list);
-  }
-  return bytes;
+  return sizeof(RrIndex) - sizeof(RrSketchPool) + pool_.SizeBytes();
 }
 
 }  // namespace pitex

@@ -1,7 +1,10 @@
 // RR-Graph index: offline sampling + online estimation (Sec. 6.1,
 // Algorithm 3) — the paper's "IndexEst".
 //
-// Offline, theta RR-Graphs are sampled for uniformly random roots. Online,
+// Offline, theta RR-Graphs are sampled for uniformly random roots and
+// flattened into a pooled CSR store (src/index/rr_sketch_pool.h): the
+// estimate path walks contiguous memory and a reusable EstimateScratch,
+// so a query performs zero heap allocations after warmup. Online,
 // E[I(u|W)] is estimated as |V| * (reachable fraction) over the RR-Graphs
 // that contain u. Eq. (7) gives the theta needed for the full
 // (1-eps)/(1+eps) guarantee; since it is proportional to |V| * Lambda it
@@ -15,10 +18,12 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <vector>
+#include <span>
 
 #include "src/index/rr_graph.h"
+#include "src/index/rr_sketch_pool.h"
 #include "src/sampling/influence_estimator.h"
+#include "src/util/thread_pool.h"
 
 namespace pitex {
 
@@ -34,9 +39,9 @@ struct RrIndexOptions {
   /// If non-zero, overrides the theta computation entirely.
   uint64_t theta_override = 0;
   uint64_t seed = 42;
-  /// Build threads. Each RR-Graph derives its RNG stream from (seed,
-  /// sample index), so the built index is bit-identical for any thread
-  /// count.
+  /// Build threads when Build() is not handed an external pool. Each
+  /// RR-Graph derives its RNG stream from (seed, sample index), so the
+  /// built index is bit-identical for any thread count.
   size_t num_build_threads = 1;
 };
 
@@ -48,24 +53,37 @@ class RrIndex final : public InfluenceOracle {
 
   RrIndex(const SocialNetwork& network, const RrIndexOptions& options);
 
-  /// Samples the RR-Graphs. Must be called once before estimation.
-  void Build();
+  /// Samples the RR-Graphs and packs them into the pool. Must be called
+  /// once before estimation. When `pool` is non-null its workers run the
+  /// sampling pass (BatchEngine reuses its query pool this way);
+  /// otherwise an internal pool of options.num_build_threads workers is
+  /// used. The result is bit-identical for any thread count.
+  void Build(ThreadPool* pool = nullptr);
 
   Estimate EstimateInfluence(VertexId u, const EdgeProbFn& probs) override;
+  /// Scratch-explicit variant: const, thread-safe for concurrent callers
+  /// with distinct scratches, and allocation-free after scratch warmup.
+  Estimate EstimateInfluence(VertexId u, const EdgeProbFn& probs,
+                             EstimateScratch* scratch) const;
   const char* Name() const override { return "INDEXEST"; }
 
   uint64_t theta() const { return theta_; }
   size_t num_vertices() const { return network_.num_vertices(); }
-  size_t num_graphs() const { return graphs_.size(); }
-  const RRGraph& graph(size_t i) const { return graphs_[i]; }
-  /// Ids (positions in graphs_) of the RR-Graphs containing u.
-  const std::vector<uint32_t>& Containing(VertexId u) const {
-    return containing_[u];
+  size_t num_graphs() const { return pool_.num_sketches(); }
+  /// Non-owning view of RR-Graph i (valid while the index is alive).
+  RRView graph(size_t i) const { return pool_.View(i); }
+  /// Ids (sketch positions) of the RR-Graphs containing u, ascending.
+  std::span<const uint32_t> Containing(VertexId u) const {
+    return pool_.Containing(u);
   }
   /// theta(u): how many RR-Graphs contain u (Sec. 6.3 notation).
-  size_t CountContaining(VertexId u) const { return containing_[u].size(); }
+  size_t CountContaining(VertexId u) const {
+    return pool_.CountContaining(u);
+  }
+  /// The pooled sketch store backing this index.
+  const RrSketchPool& pool() const { return pool_; }
 
-  /// Approximate index footprint (Table 3 metric).
+  /// Approximate index footprint (Table 3 metric), O(1).
   size_t SizeBytes() const;
   double build_seconds() const { return build_seconds_; }
 
@@ -75,8 +93,8 @@ class RrIndex final : public InfluenceOracle {
   const SocialNetwork& network_;
   RrIndexOptions options_;
   uint64_t theta_ = 0;
-  std::vector<RRGraph> graphs_;
-  std::vector<std::vector<uint32_t>> containing_;
+  RrSketchPool pool_;
+  bool built_ = false;
   double build_seconds_ = 0.0;
 };
 

@@ -1,0 +1,77 @@
+#include "src/index/rr_sketch_pool.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace pitex {
+
+RrSketchPool RrSketchPool::Pack(std::span<const RRGraph> graphs,
+                                size_t num_vertices) {
+  RrSketchPool pool;
+  const size_t s = graphs.size();
+  pool.roots_.resize(s);
+  pool.vertex_starts_.assign(s + 1, 0);
+  pool.edge_starts_.assign(s + 1, 0);
+  for (size_t i = 0; i < s; ++i) {
+    PITEX_DCHECK(graphs[i].offsets.size() == graphs[i].vertices.size() + 1);
+    pool.vertex_starts_[i + 1] =
+        pool.vertex_starts_[i] + graphs[i].vertices.size();
+    pool.edge_starts_[i + 1] = pool.edge_starts_[i] + graphs[i].edges.size();
+  }
+  pool.vertices_.resize(pool.vertex_starts_[s]);
+  pool.offsets_.resize(pool.vertex_starts_[s] + s);
+  pool.edges_.resize(pool.edge_starts_[s]);
+  for (size_t i = 0; i < s; ++i) {
+    const RRGraph& rr = graphs[i];
+    pool.roots_[i] = rr.root;
+    std::copy(rr.vertices.begin(), rr.vertices.end(),
+              pool.vertices_.begin() +
+                  static_cast<ptrdiff_t>(pool.vertex_starts_[i]));
+    std::copy(rr.offsets.begin(), rr.offsets.end(),
+              pool.offsets_.begin() +
+                  static_cast<ptrdiff_t>(pool.vertex_starts_[i] + i));
+    std::copy(rr.edges.begin(), rr.edges.end(),
+              pool.edges_.begin() +
+                  static_cast<ptrdiff_t>(pool.edge_starts_[i]));
+  }
+  pool.BuildContaining(num_vertices);
+  return pool;
+}
+
+void RrSketchPool::BuildContaining(size_t num_vertices) {
+  // Counting pass: theta(u) per vertex, then prefix sums, then one fill
+  // in ascending sketch-id order (so each per-vertex list is sorted).
+  containing_starts_.assign(num_vertices + 1, 0);
+  for (const VertexId v : vertices_) ++containing_starts_[v + 1];
+  for (size_t v = 0; v < num_vertices; ++v) {
+    containing_starts_[v + 1] += containing_starts_[v];
+  }
+  containing_.resize(vertices_.size());
+  std::vector<uint64_t> cursor(containing_starts_.begin(),
+                               containing_starts_.end() - 1);
+  max_sketch_vertices_ = 0;
+  for (size_t i = 0; i < num_sketches(); ++i) {
+    const uint64_t vb = vertex_starts_[i];
+    const uint64_t ve = vertex_starts_[i + 1];
+    max_sketch_vertices_ =
+        std::max<size_t>(max_sketch_vertices_, ve - vb);
+    for (uint64_t j = vb; j < ve; ++j) {
+      containing_[cursor[vertices_[j]]++] = static_cast<uint32_t>(i);
+    }
+  }
+}
+
+size_t RrSketchPool::SizeBytes() const {
+  return sizeof(RrSketchPool) +
+         roots_.capacity() * sizeof(VertexId) +
+         vertex_starts_.capacity() * sizeof(uint64_t) +
+         vertices_.capacity() * sizeof(VertexId) +
+         offsets_.capacity() * sizeof(uint32_t) +
+         edge_starts_.capacity() * sizeof(uint64_t) +
+         edges_.capacity() * sizeof(RRLocalEdge) +
+         containing_starts_.capacity() * sizeof(uint64_t) +
+         containing_.capacity() * sizeof(uint32_t);
+}
+
+}  // namespace pitex

@@ -1,0 +1,110 @@
+// Pooled storage for the offline RR-Graph index (Sec. 6.1): all theta
+// sketches flattened into one contiguous vertex array, one edge array and
+// one offsets array (a CSR of per-sketch CSRs), plus a CSR-flattened
+// inverted "containing" index.
+//
+// The IndexEst estimate path walks theta(u) tiny sketches per query; with
+// one heap object per sketch (three vectors each) those walks chase
+// pointers all over the heap and the allocator dominates build time. The
+// pool keeps every sketch's data adjacent, hands out non-owning RRViews,
+// and answers Containing(u) from one flat array — no per-sketch or
+// per-vertex heap objects at all, and SizeBytes() is O(1).
+//
+// Layout for sketch i (n_i vertices, m_i edges):
+//   roots_[i]                                     root vertex
+//   vertices_[vertex_starts_[i] .. vertex_starts_[i+1])   sorted vertex ids
+//   offsets_[vertex_starts_[i] + i ..  + n_i + 1)  local CSR (starts at 0)
+//   edges_[edge_starts_[i] .. edge_starts_[i+1])   local out-edges
+// The offsets position is derived: sketch i's offsets block starts at
+// vertex_starts_[i] + i because every earlier sketch contributed n_j + 1
+// entries.
+//
+// The pool is immutable after Pack(): DynamicRrIndex, which repairs
+// individual sketches in place, deliberately keeps per-sketch owning
+// RRGraphs instead (mutating a pooled sketch would force a full repack).
+
+#ifndef PITEX_SRC_INDEX_RR_SKETCH_POOL_H_
+#define PITEX_SRC_INDEX_RR_SKETCH_POOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/index/rr_graph.h"
+
+namespace pitex {
+
+class RrSketchPool {
+ public:
+  RrSketchPool() = default;
+
+  /// Flattens per-sketch owning graphs into one pool and builds the
+  /// inverted containing index with a counting pass (exact-size
+  /// allocation, no push_back growth). `num_vertices` is the global
+  /// vertex universe; every graph vertex must lie inside it.
+  static RrSketchPool Pack(std::span<const RRGraph> graphs,
+                           size_t num_vertices);
+
+  size_t num_sketches() const { return roots_.size(); }
+  bool empty() const { return roots_.empty(); }
+
+  /// Non-owning view of sketch i (valid while the pool is alive).
+  RRView View(size_t i) const {
+    const uint64_t vb = vertex_starts_[i];
+    const uint64_t n = vertex_starts_[i + 1] - vb;
+    const uint64_t eb = edge_starts_[i];
+    return RRView{
+        roots_[i],
+        {vertices_.data() + vb, n},
+        {offsets_.data() + vb + i, n + 1},
+        {edges_.data() + eb, edge_starts_[i + 1] - eb}};
+  }
+
+  VertexId root(size_t i) const { return roots_[i]; }
+
+  /// Ids (sketch positions) of the sketches containing u, ascending.
+  std::span<const uint32_t> Containing(VertexId u) const {
+    return {containing_.data() + containing_starts_[u],
+            containing_.data() + containing_starts_[u + 1]};
+  }
+  /// theta(u): how many sketches contain u (Sec. 6.3 notation).
+  size_t CountContaining(VertexId u) const {
+    return containing_starts_[u + 1] - containing_starts_[u];
+  }
+  /// Number of vertices the containing index covers.
+  size_t num_universe_vertices() const {
+    return containing_starts_.empty() ? 0 : containing_starts_.size() - 1;
+  }
+
+  /// Totals across all sketches.
+  uint64_t total_vertices() const { return vertices_.size(); }
+  uint64_t total_edges() const { return edges_.size(); }
+  /// Largest per-sketch vertex count (scratch pre-sizing).
+  size_t max_sketch_vertices() const { return max_sketch_vertices_; }
+
+  /// Exact footprint of the pooled arrays, computed in O(1).
+  size_t SizeBytes() const;
+
+ private:
+  friend class IndexIo;  // persistence reads/writes the raw arrays
+
+  /// Rebuilds containing_starts_/containing_ from the packed vertex
+  /// arrays (counting pass + prefix sum + fill in ascending sketch-id
+  /// order). Also recomputes max_sketch_vertices_.
+  void BuildContaining(size_t num_vertices);
+
+  std::vector<VertexId> roots_;          // one per sketch
+  std::vector<uint64_t> vertex_starts_;  // num_sketches + 1
+  std::vector<VertexId> vertices_;       // all sketch vertex arrays
+  std::vector<uint32_t> offsets_;        // all local CSRs; n_i + 1 each
+  std::vector<uint64_t> edge_starts_;    // num_sketches + 1
+  std::vector<RRLocalEdge> edges_;       // all sketch edge arrays
+  std::vector<uint64_t> containing_starts_;  // num_vertices + 1
+  std::vector<uint32_t> containing_;         // sketch ids, CSR by vertex
+  size_t max_sketch_vertices_ = 0;
+};
+
+}  // namespace pitex
+
+#endif  // PITEX_SRC_INDEX_RR_SKETCH_POOL_H_

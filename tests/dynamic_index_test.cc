@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
 #include "running_example.h"
@@ -30,8 +31,12 @@ RrIndexOptions SmallOptions() {
   return options;
 }
 
-bool GraphsEqual(const RRGraph& a, const RRGraph& b) {
-  if (a.root != b.root || a.vertices != b.vertices || a.offsets != b.offsets ||
+// Compares through RRView so owning graphs (DynamicRrIndex) and pooled
+// views (RrIndex) are interchangeable.
+bool GraphsEqual(const RRView& a, const RRView& b) {
+  if (a.root != b.root ||
+      !std::ranges::equal(a.vertices, b.vertices) ||
+      !std::ranges::equal(a.offsets, b.offsets) ||
       a.edges.size() != b.edges.size()) {
     return false;
   }
@@ -58,7 +63,9 @@ TEST(DynamicRrIndexTest, InitialStateMatchesStaticIndex) {
         << "graph " << i;
   }
   for (VertexId v = 0; v < n.num_vertices(); ++v) {
-    EXPECT_EQ(dynamic_index.Containing(v), static_index.Containing(v));
+    EXPECT_TRUE(std::ranges::equal(dynamic_index.Containing(v),
+                                   static_index.Containing(v)))
+        << "vertex " << v;
   }
 }
 

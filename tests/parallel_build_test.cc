@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "running_example.h"
 #include "src/datasets/synthetic.h"
 #include "src/index/rr_index.h"
@@ -13,10 +15,12 @@ namespace {
 void ExpectIndexesIdentical(const RrIndex& a, const RrIndex& b) {
   ASSERT_EQ(a.num_graphs(), b.num_graphs());
   for (size_t i = 0; i < a.num_graphs(); ++i) {
-    const RRGraph& ga = a.graph(i);
-    const RRGraph& gb = b.graph(i);
+    const RRView ga = a.graph(i);
+    const RRView gb = b.graph(i);
     ASSERT_EQ(ga.root, gb.root) << "graph " << i;
-    ASSERT_EQ(ga.vertices, gb.vertices) << "graph " << i;
+    ASSERT_TRUE(std::ranges::equal(ga.vertices, gb.vertices))
+        << "graph " << i;
+    ASSERT_TRUE(std::ranges::equal(ga.offsets, gb.offsets)) << "graph " << i;
     ASSERT_EQ(ga.edges.size(), gb.edges.size()) << "graph " << i;
     for (size_t j = 0; j < ga.edges.size(); ++j) {
       EXPECT_EQ(ga.edges[j].head_local, gb.edges[j].head_local);
@@ -63,7 +67,8 @@ TEST(ParallelBuildTest, ContainingListsIdentical) {
   a.Build();
   b.Build();
   for (VertexId v = 0; v < n.num_vertices(); ++v) {
-    EXPECT_EQ(a.Containing(v), b.Containing(v)) << "vertex " << v;
+    EXPECT_TRUE(std::ranges::equal(a.Containing(v), b.Containing(v)))
+        << "vertex " << v;
   }
 }
 

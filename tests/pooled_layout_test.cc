@@ -1,0 +1,202 @@
+// Layout-equivalence tests for the pooled RR-sketch store
+// (src/index/rr_sketch_pool.h): the CSR-of-CSRs flattening must be a pure
+// representation change. Against a reference rebuild (the same per-sample
+// RNG streams, generated into standalone owning RRGraphs) the pooled
+// index must hold structurally identical sketches, identical containment
+// lists, and bit-identical EstimateInfluence results — and the estimate
+// hot path must stop allocating once its scratch has warmed up.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "running_example.h"
+#include "src/index/rr_index.h"
+#include "src/sampling/exact.h"
+
+// Global allocation counter: every operator new in the test binary bumps
+// it, so "zero allocations" is measured, not assumed. The replacement
+// operators are malloc-backed; GCC's heuristic flags inlined new/free
+// pairs from replacement allocators, which is exactly what we intend.
+#if defined(__GNUC__)
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+namespace {
+std::atomic<uint64_t> g_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace pitex {
+namespace {
+
+constexpr uint64_t kSeed = 7;
+constexpr uint64_t kTheta = 2000;
+
+RrIndexOptions Options() {
+  RrIndexOptions options;
+  options.theta_override = kTheta;
+  options.seed = kSeed;
+  return options;
+}
+
+// Replicates RrIndex::Build's per-sample RNG stream derivation.
+Rng StreamFor(uint64_t seed, uint64_t i) {
+  uint64_t mix = seed ^ (0x9e3779b97f4a7c15ULL * (i + 1));
+  return Rng(SplitMix64(&mix));
+}
+
+// The reference rebuild: standalone owning RRGraphs, no pool.
+std::vector<RRGraph> ReferenceGraphs(const SocialNetwork& n) {
+  std::vector<RRGraph> graphs(kTheta);
+  for (uint64_t i = 0; i < kTheta; ++i) {
+    Rng rng = StreamFor(kSeed, i);
+    const auto root =
+        static_cast<VertexId>(rng.NextBounded(n.num_vertices()));
+    graphs[i] = GenerateRRGraph(n.graph, n.influence, root, &rng);
+  }
+  return graphs;
+}
+
+TEST(PooledLayoutTest, SketchesMatchReferenceRebuild) {
+  const SocialNetwork n = MakeRunningExample();
+  RrIndex index(n, Options());
+  index.Build();
+  const std::vector<RRGraph> reference = ReferenceGraphs(n);
+
+  ASSERT_EQ(index.num_graphs(), reference.size());
+  for (size_t i = 0; i < reference.size(); ++i) {
+    const RRView pooled = index.graph(i);
+    const RRView ref = reference[i];
+    ASSERT_EQ(pooled.root, ref.root) << "graph " << i;
+    ASSERT_TRUE(std::ranges::equal(pooled.vertices, ref.vertices))
+        << "graph " << i;
+    ASSERT_TRUE(std::ranges::equal(pooled.offsets, ref.offsets))
+        << "graph " << i;
+    ASSERT_EQ(pooled.edges.size(), ref.edges.size()) << "graph " << i;
+    for (size_t j = 0; j < ref.edges.size(); ++j) {
+      ASSERT_EQ(pooled.edges[j].head_local, ref.edges[j].head_local);
+      ASSERT_EQ(pooled.edges[j].edge, ref.edges[j].edge);
+      ASSERT_EQ(pooled.edges[j].threshold, ref.edges[j].threshold);
+    }
+  }
+}
+
+TEST(PooledLayoutTest, ContainingMatchesReferenceRebuild) {
+  const SocialNetwork n = MakeRunningExample();
+  RrIndex index(n, Options());
+  index.Build();
+  const std::vector<RRGraph> reference = ReferenceGraphs(n);
+
+  uint64_t total = 0;
+  for (VertexId v = 0; v < n.num_vertices(); ++v) {
+    std::vector<uint32_t> expected;
+    for (uint32_t i = 0; i < reference.size(); ++i) {
+      if (reference[i].LocalIndex(v).has_value()) expected.push_back(i);
+    }
+    EXPECT_TRUE(std::ranges::equal(index.Containing(v), expected))
+        << "vertex " << v;
+    EXPECT_EQ(index.CountContaining(v), expected.size());
+    total += expected.size();
+  }
+  EXPECT_EQ(index.pool().total_vertices(), total);
+}
+
+TEST(PooledLayoutTest, EstimatesBitIdenticalToReference) {
+  const SocialNetwork n = MakeRunningExample();
+  RrIndex index(n, Options());
+  index.Build();
+  const std::vector<RRGraph> reference = ReferenceGraphs(n);
+
+  for (TagId a = 0; a < 4; ++a) {
+    for (TagId b = a + 1; b < 4; ++b) {
+      const TagId tags[] = {a, b};
+      const auto post = n.topics.Posterior(tags);
+      const PosteriorProbs probs(n.influence, post);
+      for (VertexId u = 0; u < n.num_vertices(); ++u) {
+        // Reference estimator: Algorithm 3 over the standalone graphs.
+        uint64_t hits = 0, samples = 0, edges_visited = 0;
+        for (const RRGraph& rr : reference) {
+          if (!rr.LocalIndex(u).has_value()) continue;
+          ++samples;
+          if (IsReachable(rr, u, probs, &edges_visited)) ++hits;
+        }
+        double expected = static_cast<double>(hits) /
+                          static_cast<double>(kTheta) *
+                          static_cast<double>(n.num_vertices());
+        expected = std::max(expected, 1.0);
+
+        const Estimate est = index.EstimateInfluence(u, probs);
+        EXPECT_EQ(est.influence, expected) << "user " << u;
+        EXPECT_EQ(est.samples, samples) << "user " << u;
+        EXPECT_EQ(est.edges_visited, edges_visited) << "user " << u;
+      }
+    }
+  }
+}
+
+TEST(PooledLayoutTest, EstimateAllocatesNothingAfterWarmup) {
+  const SocialNetwork n = MakeRunningExample();
+  RrIndex index(n, Options());
+  index.Build();
+  const TagId tags[] = {2, 3};
+  const auto post = n.topics.Posterior(tags);
+  const PosteriorProbs probs(n.influence, post);
+
+  // Warmup: grows the per-thread scratch to the largest sketch.
+  double sink = 0.0;
+  for (VertexId u = 0; u < n.num_vertices(); ++u) {
+    sink += index.EstimateInfluence(u, probs).influence;
+  }
+
+  const uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  for (int round = 0; round < 10; ++round) {
+    for (VertexId u = 0; u < n.num_vertices(); ++u) {
+      sink += index.EstimateInfluence(u, probs).influence;
+    }
+  }
+  const uint64_t after = g_allocations.load(std::memory_order_relaxed);
+  EXPECT_EQ(after, before) << "estimate hot path allocated";
+  EXPECT_GT(sink, 0.0);
+}
+
+TEST(PooledLayoutTest, PoolTotalsConsistent) {
+  const SocialNetwork n = MakeRunningExample();
+  RrIndex index(n, Options());
+  index.Build();
+  const RrSketchPool& pool = index.pool();
+
+  uint64_t vertices = 0, edges = 0;
+  size_t max_sketch = 0;
+  for (size_t i = 0; i < pool.num_sketches(); ++i) {
+    const RRView view = pool.View(i);
+    vertices += view.vertices.size();
+    edges += view.edges.size();
+    max_sketch = std::max(max_sketch, view.vertices.size());
+    ASSERT_EQ(view.offsets.size(), view.vertices.size() + 1);
+    ASSERT_EQ(view.offsets.back(), view.edges.size());
+  }
+  EXPECT_EQ(pool.total_vertices(), vertices);
+  EXPECT_EQ(pool.total_edges(), edges);
+  EXPECT_EQ(pool.max_sketch_vertices(), max_sketch);
+  EXPECT_EQ(pool.num_universe_vertices(), n.num_vertices());
+  // O(1) footprint accounting must cover at least the raw array bytes.
+  EXPECT_GE(pool.SizeBytes(),
+            vertices * sizeof(VertexId) + edges * sizeof(RRLocalEdge));
+}
+
+}  // namespace
+}  // namespace pitex
