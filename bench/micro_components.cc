@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "src/core/engine.h"
 #include "src/index/dynamic_index.h"
 #include "src/index/index_io.h"
 #include "src/index/rr_graph.h"
@@ -210,6 +211,73 @@ void BM_UpperBoundProbs(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_UpperBoundProbs);
+
+void BM_UpperBoundMultipliers(benchmark::State& state) {
+  // The Lemma-8 topic-multiplier computation, once per explored partial
+  // set in best-effort search — the bound-side hot path, measured through
+  // the scratch-based production entry point.
+  const auto& n = Network();
+  static const UpperBoundContext* ctx = new UpperBoundContext(n.topics);
+  static BoundScratch* scratch = new BoundScratch();
+  const auto size = static_cast<size_t>(state.range(0));
+  std::vector<TagId> partial(size);
+  for (size_t i = 0; i < size; ++i) partial[i] = static_cast<TagId>(i * 2);
+  for (auto _ : state) {
+    ctx->TopicMultipliersInto(partial, 4, scratch);
+    benchmark::DoNotOptimize(scratch->multipliers.data());
+  }
+}
+BENCHMARK(BM_UpperBoundMultipliers)->Arg(1)->Arg(3);
+
+void BM_LazySamplerEstimate(benchmark::State& state) {
+  // One lazy-propagation estimate exactly as the best-effort solver
+  // drives it per explored node (fixed tag set, reused sampler; the
+  // sampler self-materializes the probabilities during its sweep).
+  const auto& n = Network();
+  SampleSizePolicy policy;
+  policy.num_tags = static_cast<int64_t>(n.topics.num_tags());
+  policy.k = 2;
+  policy.use_phi = true;
+  policy.min_samples = 32;
+  policy.max_samples = 256;
+  LazySampler sampler(n.graph, policy, 3);
+  const TagId tags[] = {0, 3};
+  const auto post = n.topics.Posterior(tags);
+  const PosteriorProbs probs(n.influence, post);
+  const auto users = SampleUserGroup(n.graph, UserGroup::kHigh, 1, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.EstimateInfluence(users[0], probs));
+  }
+}
+BENCHMARK(BM_LazySamplerEstimate);
+
+void BM_BestEffortQuery(benchmark::State& state) {
+  // End-to-end best-effort PITEX query (Sec. 5 / Algorithm 1) through the
+  // engine facade with the LAZY oracle: heap exploration, Lemma-8 bounds,
+  // and online sampling together.
+  const auto& n = Network();
+  EngineOptions options = [] {
+    EngineOptions o;
+    o.method = Method::kLazy;
+    o.best_effort = true;
+    o.min_samples = 32;
+    o.max_samples = 256;
+    o.seed = 7;
+    return o;
+  }();
+  PitexEngine engine(&n, options);
+  const auto k = static_cast<size_t>(state.range(0));
+  const auto users = SampleUserGroup(n.graph, UserGroup::kHigh, 1, 1);
+  uint64_t sets = 0;
+  for (auto _ : state) {
+    const PitexResult r = engine.Explore({.user = users[0], .k = k});
+    sets += r.sets_evaluated + r.bounds_evaluated;
+    benchmark::DoNotOptimize(r.influence);
+  }
+  state.counters["sets"] = benchmark::Counter(
+      static_cast<double>(sets), benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_BestEffortQuery)->Arg(2)->Arg(3);
 
 void BM_SerializeRrIndex(benchmark::State& state) {
   static RrIndex* index = [] {

@@ -4,20 +4,59 @@
 # trajectory data accumulates across changes.
 #
 # Usage:
-#   bench/run_bench.sh [output.json] [extra benchmark args...]
+#   bench/run_bench.sh [output.json] [--compare baseline.json] [extra args...]
+#
+# --compare diffs the fresh run against a baseline BENCH_micro.json
+# (mean-aggregate real_time per benchmark) and flags regressions above
+# 25%. It is report-only: the exit code stays 0 so CI jobs can surface
+# the table without gating on noisy shared-runner timings. The baseline
+# is snapshotted before the run, so comparing against the output path
+# itself ("how does this commit compare to the committed numbers?") works.
 #
 # Environment:
 #   BUILD_DIR    Release build directory (default: build-bench)
 #   REPETITIONS  benchmark repetitions for aggregates (default: 3)
 #
 # Compare two runs with google-benchmark's tools/compare.py, or diff the
-# JSON directly; docs/perf.md records the pooled-layout before/after.
+# JSON directly; docs/perf.md records the pooled-layout and best-effort
+# before/after numbers.
 
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
-out_json="${1:-${repo_root}/BENCH_micro.json}"
-shift || true
+
+out_json=""
+compare_baseline=""
+extra_args=()
+while (($#)); do
+  case "$1" in
+    --compare)
+      [[ $# -ge 2 ]] || { echo "error: --compare needs a baseline path" >&2; exit 2; }
+      compare_baseline="$2"
+      shift 2
+      ;;
+    *)
+      if [[ -z "${out_json}" ]]; then
+        out_json="$1"
+      else
+        extra_args+=("$1")
+      fi
+      shift
+      ;;
+  esac
+done
+out_json="${out_json:-${repo_root}/BENCH_micro.json}"
+
+baseline_snapshot=""
+if [[ -n "${compare_baseline}" ]]; then
+  if [[ ! -f "${compare_baseline}" ]]; then
+    echo "error: baseline ${compare_baseline} not found" >&2
+    exit 2
+  fi
+  baseline_snapshot="$(mktemp)"
+  trap 'rm -f "${baseline_snapshot}"' EXIT
+  cp "${compare_baseline}" "${baseline_snapshot}"
+fi
 
 build_dir="${BUILD_DIR:-${repo_root}/build-bench}"
 repetitions="${REPETITIONS:-3}"
@@ -37,6 +76,63 @@ fi
   --benchmark_report_aggregates_only=true \
   --benchmark_out="${out_json}" \
   --benchmark_out_format=json \
-  "$@"
+  ${extra_args[@]+"${extra_args[@]}"}
 
 echo "wrote ${out_json}"
+
+if [[ -n "${baseline_snapshot}" ]]; then
+  python3 - "${baseline_snapshot}" "${out_json}" << 'PYEOF'
+import json
+import sys
+
+REGRESSION_PCT = 25.0
+
+def mean_times(path):
+    with open(path) as f:
+        doc = json.load(f)
+    out = {}
+    for bench in doc.get("benchmarks", []):
+        # With report_aggregates_only the file holds aggregates; fall back
+        # to raw entries for baselines produced without repetitions.
+        if bench.get("aggregate_name", "") not in ("", "mean"):
+            continue
+        name = bench.get("run_name", bench.get("name", ""))
+        out[name] = (bench.get("real_time", 0.0), bench.get("time_unit", "ns"))
+    return out
+
+base = mean_times(sys.argv[1])
+cur = mean_times(sys.argv[2])
+
+shared = sorted(set(base) & set(cur))
+added = sorted(set(cur) - set(base))
+removed = sorted(set(base) - set(cur))
+
+print()
+print(f"=== benchmark comparison vs baseline (mean real_time, >"
+      f"{REGRESSION_PCT:.0f}% slower flagged) ===")
+print(f"{'benchmark':<44} {'baseline':>12} {'current':>12} {'delta':>8}")
+regressions = []
+for name in shared:
+    b, unit = base[name]
+    c, _ = cur[name]
+    delta = 0.0 if b == 0 else (c - b) / b * 100.0
+    flag = ""
+    if delta > REGRESSION_PCT:
+        flag = "  REGRESSION"
+        regressions.append((name, delta))
+    print(f"{name:<44} {b:>10.1f}{unit:<2} {c:>10.1f}{unit:<2} "
+          f"{delta:>+7.1f}%{flag}")
+for name in added:
+    print(f"{name:<44} {'-':>12} {cur[name][0]:>10.1f}{cur[name][1]:<2}     new")
+for name in removed:
+    print(f"{name:<44} {base[name][0]:>10.1f}{base[name][1]:<2} {'-':>12} removed")
+print()
+if regressions:
+    print(f"{len(regressions)} benchmark(s) regressed more than "
+          f"{REGRESSION_PCT:.0f}% (report-only, not gating):")
+    for name, delta in regressions:
+        print(f"  {name}: {delta:+.1f}%")
+else:
+    print("no regressions above the threshold")
+PYEOF
+fi

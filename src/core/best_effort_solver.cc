@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <limits>
-#include <queue>
 #include <utility>
 
 #include "src/util/check.h"
@@ -12,15 +11,6 @@ namespace pitex {
 
 namespace {
 
-struct HeapNode {
-  double bound;
-  std::vector<TagId> tags;  // sorted ascending
-
-  bool operator<(const HeapNode& other) const {  // max-heap on bound
-    return bound < other.bound;
-  }
-};
-
 // Min-ordered comparator so the worst of the current top-N sits on top.
 struct WorstFirst {
   bool operator()(const RankedTagSet& a, const RankedTagSet& b) const {
@@ -28,55 +18,94 @@ struct WorstFirst {
   }
 };
 
+// Field-wise reset that keeps the tags vector's capacity (a plain
+// `*r = PitexResult{}` would free and later re-grow it every call).
+void ResetCounters(PitexResult* r) {
+  r->tags.clear();
+  r->influence = 0.0;
+  r->sets_evaluated = 0;
+  r->sets_pruned = 0;
+  r->bounds_evaluated = 0;
+  r->total_samples = 0;
+  r->edges_visited = 0;
+  r->seconds = 0.0;
+}
+
 }  // namespace
 
-std::vector<RankedTagSet> SolveTopNByBestEffort(
-    const SocialNetwork& network, const PitexQuery& query,
-    const UpperBoundContext& context, InfluenceOracle* oracle, size_t n,
-    PitexResult* stats) {
+void SolveTopNByBestEffort(const SocialNetwork& network,
+                           const PitexQuery& query,
+                           const UpperBoundContext& context,
+                           InfluenceOracle* oracle, size_t n,
+                           std::vector<RankedTagSet>* out,
+                           PitexResult* stats, BestEffortScratch* scratch) {
   PITEX_CHECK(query.k >= 1 && query.k <= network.topics.num_tags());
   PITEX_CHECK(query.user < network.num_vertices());
   PITEX_CHECK(n >= 1);
+  PITEX_CHECK(out != nullptr && scratch != nullptr);
   Timer timer;
   PitexResult local_stats;
   PitexResult& counters = stats != nullptr ? *stats : local_stats;
-  counters = PitexResult{};
+  ResetCounters(&counters);
 
-  // The incumbent for pruning is the N-th best influence seen so far (or
-  // "nothing" until N full sets have been evaluated).
-  std::priority_queue<RankedTagSet, std::vector<RankedTagSet>, WorstFirst>
-      best;
+  // Recycle last query's incumbent slots (their tag vectors keep their
+  // capacity), then start from an empty top-N heap. The incumbent for
+  // pruning is the N-th best influence seen so far (or "nothing" until N
+  // full sets have been evaluated).
+  std::vector<RankedTagSet>& top = scratch->top;
+  std::vector<RankedTagSet>& pool = scratch->pool;
+  for (RankedTagSet& slot : top) pool.push_back(std::move(slot));
+  top.clear();
   auto incumbent = [&]() -> double {
-    return best.size() < n ? -1.0 : best.top().influence;
+    return top.size() < n ? -1.0 : top.front().influence;
   };
 
-  std::priority_queue<HeapNode> heap;
-  heap.push(HeapNode{std::numeric_limits<double>::infinity(), {}});
+  SearchArena& arena = scratch->arena;
+  arena.Reset();
+  arena.Push({std::numeric_limits<double>::infinity(), SearchArena::kNoChain,
+              0});
   const size_t num_tags = network.topics.num_tags();
 
-  while (!heap.empty()) {
-    HeapNode node = heap.top();
-    heap.pop();
+  while (!arena.empty()) {
+    const SearchArena::HeapSlot node = arena.Pop();
     // Bounds only shrink down the tree: once the best inherited bound
     // cannot beat the incumbent, nothing remaining can.
     if (node.bound <= incumbent()) {
       ++counters.sets_pruned;
       break;
     }
-    if (node.tags.size() == query.k) {
-      const TopicPosterior posterior = network.topics.Posterior(node.tags);
-      const PosteriorProbs probs(network.influence, posterior);
+    scratch->tags.resize(node.size);
+    arena.Materialize(node.chain, node.size, scratch->tags.data());
+    if (node.size == query.k) {
+      network.topics.PosteriorInto(scratch->tags, &scratch->posterior);
+      const PosteriorProbs probs(network.influence, scratch->posterior);
       const Estimate est = oracle->EstimateInfluence(query.user, probs);
       ++counters.sets_evaluated;
       counters.total_samples += est.samples;
       counters.edges_visited += est.edges_visited;
-      best.push(RankedTagSet{std::move(node.tags), est.influence});
-      if (best.size() > n) best.pop();
+      // Push into the top-N heap through a recycled slot; evicting the
+      // worst returns its storage to the pool. Same push/pop primitives
+      // as the reference's std::priority_queue, so tie order matches.
+      RankedTagSet slot;
+      if (!pool.empty()) {
+        slot = std::move(pool.back());
+        pool.pop_back();
+      }
+      slot.tags.assign(scratch->tags.begin(), scratch->tags.end());
+      slot.influence = est.influence;
+      top.push_back(std::move(slot));
+      std::push_heap(top.begin(), top.end(), WorstFirst{});
+      if (top.size() > n) {
+        std::pop_heap(top.begin(), top.end(), WorstFirst{});
+        pool.push_back(std::move(top.back()));
+        top.pop_back();
+      }
       continue;
     }
     // Partial set: evaluate its own (tighter) Lemma-8 bound.
-    const UpperBoundProbs bound_probs(network.influence, context, node.tags,
-                                      query.k);
+    const UpperBoundProbs bound_probs(network.influence, context,
+                                      scratch->tags, query.k,
+                                      &scratch->bound);
     const Estimate bound_est =
         oracle->EstimateInfluence(query.user, bound_probs);
     ++counters.bounds_evaluated;
@@ -90,31 +119,40 @@ std::vector<RankedTagSet> SolveTopNByBestEffort(
     // generation — each subset is reached along exactly one path). A
     // child {w} + tags still needs k - |tags| - 1 more tags below w, so
     // children with smaller w are dead ends and skipped.
-    const TagId limit = node.tags.empty() ? static_cast<TagId>(num_tags)
-                                          : node.tags.front();
-    const auto start = static_cast<TagId>(query.k - node.tags.size() - 1);
+    const TagId limit = node.size == 0 ? static_cast<TagId>(num_tags)
+                                       : scratch->tags.front();
+    const auto start = static_cast<TagId>(query.k - node.size - 1);
     for (TagId w = start; w < limit; ++w) {
-      HeapNode child;
-      child.bound = bound_est.influence;
-      child.tags.reserve(node.tags.size() + 1);
-      child.tags.push_back(w);
-      child.tags.insert(child.tags.end(), node.tags.begin(), node.tags.end());
-      heap.push(std::move(child));
+      arena.Push({bound_est.influence, arena.Extend(node.chain, w),
+                  node.size + 1});
     }
   }
 
-  std::vector<RankedTagSet> result;
-  result.reserve(best.size());
-  while (!best.empty()) {
-    result.push_back(best.top());
-    best.pop();
+  // Drain the incumbent heap. sort_heap pops worst-first to the back, so
+  // front-to-back equals the reference's pop-all-then-reverse order —
+  // descending influence with identical tie order.
+  std::sort_heap(top.begin(), top.end(), WorstFirst{});
+  if (out->size() > top.size()) out->resize(top.size());
+  while (out->size() < top.size()) out->emplace_back();
+  for (size_t i = 0; i < top.size(); ++i) {
+    (*out)[i].tags.assign(top[i].tags.begin(), top[i].tags.end());
+    (*out)[i].influence = top[i].influence;
   }
-  std::reverse(result.begin(), result.end());  // descending influence
   counters.seconds = timer.Seconds();
-  if (!result.empty()) {
-    counters.tags = result.front().tags;
-    counters.influence = result.front().influence;
+  if (!out->empty()) {
+    counters.tags.assign(out->front().tags.begin(), out->front().tags.end());
+    counters.influence = out->front().influence;
   }
+}
+
+std::vector<RankedTagSet> SolveTopNByBestEffort(
+    const SocialNetwork& network, const PitexQuery& query,
+    const UpperBoundContext& context, InfluenceOracle* oracle, size_t n,
+    PitexResult* stats) {
+  BestEffortScratch scratch;
+  std::vector<RankedTagSet> result;
+  SolveTopNByBestEffort(network, query, context, oracle, n, &result, stats,
+                        &scratch);
   return result;
 }
 

@@ -9,6 +9,16 @@
 // once). Because children inherit their parent's bound and bounds only
 // tighten going down, the search can terminate as soon as the heap top
 // cannot beat the incumbent.
+//
+// Hot-path architecture: the frontier lives in a SearchArena (pooled
+// chain-coded tag sets, no per-node vectors), Lemma-8 multipliers are
+// evaluated into a reusable BoundScratch, and the online samplers
+// materialize each node's fixed edge probabilities into a flat table
+// during their reachability sweep (see estimator_common.h). With a
+// caller-provided BestEffortScratch the whole search performs zero heap
+// allocations at steady state while returning results bit-identical to
+// the reference implementation
+// (tests/best_effort_equivalence_test.cc pins both properties).
 
 #ifndef PITEX_SRC_CORE_BEST_EFFORT_SOLVER_H_
 #define PITEX_SRC_CORE_BEST_EFFORT_SOLVER_H_
@@ -17,7 +27,9 @@
 #include <vector>
 
 #include "src/core/query.h"
+#include "src/core/search_arena.h"
 #include "src/core/upper_bound.h"
+#include "src/sampling/estimator_common.h"
 #include "src/sampling/influence_estimator.h"
 
 namespace pitex {
@@ -35,6 +47,18 @@ struct RankedTagSet {
   double influence = 0.0;
 };
 
+/// Reusable cross-query state for SolveTopNByBestEffort. Everything is
+/// pooled: after the first query of a given shape has warmed the
+/// capacities up, subsequent queries allocate nothing.
+struct BestEffortScratch {
+  SearchArena arena;               // frontier heap + chain-coded tag sets
+  BoundScratch bound;              // Lemma-8 multipliers and masks
+  TopicPosterior posterior;        // p(z|W) of the popped full set
+  std::vector<TagId> tags;         // materialized tags of the popped node
+  std::vector<RankedTagSet> top;   // incumbent heap (worst on top)
+  std::vector<RankedTagSet> pool;  // recycled incumbent slots
+};
+
 /// Top-N variant: returns up to `n` size-k tag sets in descending
 /// estimated influence. Pruning uses the N-th best incumbent, so the
 /// search degrades gracefully (n=1 is exactly SolveByBestEffort). `stats`
@@ -43,6 +67,17 @@ std::vector<RankedTagSet> SolveTopNByBestEffort(
     const SocialNetwork& network, const PitexQuery& query,
     const UpperBoundContext& context, InfluenceOracle* oracle, size_t n,
     PitexResult* stats = nullptr);
+
+/// Scratch-explicit overload: writes the ranking into `*out` (cleared and
+/// refilled, element storage reused) and keeps all transient state in
+/// `*scratch`. Zero heap allocations at steady state. `stats` may be
+/// null.
+void SolveTopNByBestEffort(const SocialNetwork& network,
+                           const PitexQuery& query,
+                           const UpperBoundContext& context,
+                           InfluenceOracle* oracle, size_t n,
+                           std::vector<RankedTagSet>* out,
+                           PitexResult* stats, BestEffortScratch* scratch);
 
 }  // namespace pitex
 

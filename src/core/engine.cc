@@ -152,7 +152,13 @@ InfluenceOracle* PitexEngine::OracleFor(size_t k) {
 PitexResult PitexEngine::Explore(const PitexQuery& query) {
   InfluenceOracle* oracle = OracleFor(query.k);
   if (options_.best_effort) {
-    return SolveByBestEffort(*network_, query, bound_context_, oracle);
+    // Route through the engine-owned scratch so repeated queries reuse
+    // the search arena, bound scratch, and materialized-probability
+    // table instead of re-allocating them.
+    PitexResult stats;
+    SolveTopNByBestEffort(*network_, query, bound_context_, oracle, 1,
+                          &best_effort_out_, &stats, &best_effort_scratch_);
+    return stats;
   }
   return SolveByEnumeration(*network_, query, oracle);
 }
@@ -160,7 +166,9 @@ PitexResult PitexEngine::Explore(const PitexQuery& query) {
 std::vector<RankedTagSet> PitexEngine::ExploreTopN(const PitexQuery& query,
                                                    size_t n) {
   InfluenceOracle* oracle = OracleFor(query.k);
-  return SolveTopNByBestEffort(*network_, query, bound_context_, oracle, n);
+  SolveTopNByBestEffort(*network_, query, bound_context_, oracle, n,
+                        &best_effort_out_, nullptr, &best_effort_scratch_);
+  return best_effort_out_;
 }
 
 Estimate PitexEngine::EstimateInfluence(VertexId user,

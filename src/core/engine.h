@@ -130,6 +130,10 @@ class PitexEngine {
   const SocialNetwork* network_;
   EngineOptions options_;
   UpperBoundContext bound_context_;
+  // Pooled best-effort state: queries after the first allocate nothing
+  // inside the search loop.
+  BestEffortScratch best_effort_scratch_;
+  std::vector<RankedTagSet> best_effort_out_;
 
   // At most one of each, created on demand. `rr_index_ptr_` is the index
   // actually served (owned or shared).

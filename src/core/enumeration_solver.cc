@@ -15,10 +15,15 @@ PitexResult SolveByEnumeration(const SocialNetwork& network,
   PitexResult result;
   result.influence = 0.0;
 
+  // The posterior is computed into reused storage; the samplers
+  // themselves materialize each set's edge probabilities during their
+  // reachability sweep (see estimator_common.h).
+  TopicPosterior posterior;
+
   for (TagSetEnumerator it(network.topics.num_tags(), query.k); !it.Done();
        it.Next()) {
     const auto& tags = it.Current();
-    const TopicPosterior posterior = network.topics.Posterior(tags);
+    network.topics.PosteriorInto(tags, &posterior);
     const PosteriorProbs probs(network.influence, posterior);
     const Estimate est = oracle->EstimateInfluence(query.user, probs);
     ++result.sets_evaluated;

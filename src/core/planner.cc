@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "src/index/rr_graph.h"
+#include "src/sampling/estimator_common.h"
 #include "src/sampling/sample_size.h"
 #include "src/util/check.h"
 #include "src/util/random.h"
@@ -18,13 +19,17 @@ QueryPlanner::QueryPlanner(const SocialNetwork* network, size_t probe_samples,
   Rng rng(seed);
 
   // Forward probe: average envelope reach |R(u)| over random users
-  // (the per-estimation cost driver of Lemma 7).
+  // (the per-estimation cost driver of Lemma 7). One shared scratch keeps
+  // the sweep allocation-free across probes.
+  const InfluenceGraph& influence = network_->influence;
+  ReachScratch reach;
   double reach_sum = 0.0;
   for (size_t i = 0; i < probe_samples; ++i) {
     const auto u =
         static_cast<VertexId>(rng.NextBounded(network_->num_vertices()));
-    const ReachableSet reach = ComputeMaxReachableSet(
-        network_->graph, network_->influence, u);
+    ComputeReachableInto(
+        network_->graph, [&influence](EdgeId e) { return influence.MaxProb(e); },
+        u, &reach);
     reach_sum += static_cast<double>(reach.vertices.size());
   }
   profile_.avg_envelope_reach = reach_sum / static_cast<double>(probe_samples);

@@ -1,0 +1,52 @@
+#include "src/core/search_arena.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace pitex {
+
+namespace {
+// Max-heap on bound — the reference solver's HeapNode::operator<.
+struct BoundLess {
+  bool operator()(const SearchArena::HeapSlot& a,
+                  const SearchArena::HeapSlot& b) const {
+    return a.bound < b.bound;
+  }
+};
+}  // namespace
+
+void SearchArena::Reset() {
+  chain_.clear();
+  heap_.clear();
+}
+
+uint32_t SearchArena::Extend(uint32_t parent, TagId tag) {
+  chain_.push_back(ChainNode{tag, parent});
+  return static_cast<uint32_t>(chain_.size() - 1);
+}
+
+void SearchArena::Materialize(uint32_t chain, uint32_t size,
+                              TagId* out) const {
+  uint32_t index = chain;
+  for (uint32_t i = 0; i < size; ++i) {
+    PITEX_DCHECK(index != kNoChain);
+    out[i] = chain_[index].tag;
+    index = chain_[index].parent;
+  }
+  PITEX_DCHECK(index == kNoChain);
+}
+
+void SearchArena::Push(const HeapSlot& slot) {
+  heap_.push_back(slot);
+  std::push_heap(heap_.begin(), heap_.end(), BoundLess{});
+}
+
+SearchArena::HeapSlot SearchArena::Pop() {
+  const HeapSlot top = heap_.front();
+  std::pop_heap(heap_.begin(), heap_.end(), BoundLess{});
+  heap_.pop_back();
+  return top;
+}
+
+}  // namespace pitex

@@ -1,0 +1,79 @@
+// Pooled, allocation-free storage for the best-effort search frontier
+// (Sec. 5.2 / Appendix C, Algorithm 5).
+//
+// The reference implementation kept a std::priority_queue of nodes each
+// owning a std::vector<TagId>: one heap allocation plus an O(k) copy per
+// pushed child, and another allocation per pop (copying the top before
+// popping it). The arena replaces both with two pooled arrays:
+//
+//  * a tag-chain pool: each node stores only its own tag and the index of
+//    its parent's chain node. Canonical child generation always prepends a
+//    tag smaller than the node's minimum, so walking the chain from a node
+//    towards the root yields its tags in ascending order — Materialize()
+//    writes them into a caller buffer in O(k);
+//  * the binary heap itself, stored as {bound, chain, size} slots and
+//    sifted with std::push_heap/std::pop_heap under exactly the reference
+//    comparator (max-heap on bound). std::priority_queue uses the same
+//    primitives, so the pop order — ties included — is bit-identical.
+//
+// Both arrays keep their capacity across Reset(), so a solver that reuses
+// one arena performs zero heap allocations at steady state
+// (tests/best_effort_equivalence_test.cc counts operator new to prove it).
+
+#ifndef PITEX_SRC_CORE_SEARCH_ARENA_H_
+#define PITEX_SRC_CORE_SEARCH_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/model/tag_catalog.h"
+
+namespace pitex {
+
+class SearchArena {
+ public:
+  /// Sentinel chain index of the empty tag set (the search root).
+  static constexpr uint32_t kNoChain = 0xffffffffu;
+
+  /// One frontier entry: the node's inherited bound plus its tag chain.
+  struct HeapSlot {
+    double bound;
+    uint32_t chain;  // kNoChain for the root (empty set)
+    uint32_t size;   // |tags| — the chain length, cached
+  };
+
+  /// Clears the frontier and the chain pool, keeping both capacities.
+  void Reset();
+
+  /// Appends `tag` to the chain ending at `parent` (kNoChain for the empty
+  /// set) and returns the new chain's index. Chain nodes are never freed
+  /// individually — only Reset() reclaims them.
+  uint32_t Extend(uint32_t parent, TagId tag);
+
+  /// Writes the tags of `chain` (ascending) into out[0..size). `out` must
+  /// hold at least `size` entries.
+  void Materialize(uint32_t chain, uint32_t size, TagId* out) const;
+
+  bool empty() const { return heap_.empty(); }
+  size_t frontier_size() const { return heap_.size(); }
+  size_t num_chain_nodes() const { return chain_.size(); }
+
+  /// Heap push/pop, behaviourally identical to
+  /// std::priority_queue<HeapNode> ordered by bound (max-heap).
+  void Push(const HeapSlot& slot);
+  HeapSlot Pop();
+
+ private:
+  struct ChainNode {
+    TagId tag;
+    uint32_t parent;
+  };
+
+  std::vector<ChainNode> chain_;
+  std::vector<HeapSlot> heap_;
+};
+
+}  // namespace pitex
+
+#endif  // PITEX_SRC_CORE_SEARCH_ARENA_H_

@@ -28,6 +28,16 @@ void TagSetEnumerator::Next() {
 }
 
 double TagSetEnumerator::Count() const {
+  // Exact integer binomial whenever a double can represent it: the
+  // lgamma-based exp(LogBinomial) carries rounding error (C(50, 3) came
+  // back 19599.999...), which breaks callers that display or compare
+  // counts. The log form remains only as the overflow fallback, where the
+  // nearest double is the best answer anyway.
+  const uint64_t exact =
+      BinomialExact(static_cast<int64_t>(n_), static_cast<int64_t>(k_));
+  if (exact != 0 && exact <= (uint64_t{1} << 53)) {
+    return static_cast<double>(exact);
+  }
   return std::exp(LogBinomial(static_cast<int64_t>(n_),
                               static_cast<int64_t>(k_)));
 }

@@ -98,15 +98,72 @@ std::vector<double> UpperBoundContext::TopicMultipliers(
   return result;
 }
 
+void UpperBoundContext::TopicMultipliersInto(std::span<const TagId> partial,
+                                             size_t k,
+                                             BoundScratch* scratch) const {
+  PITEX_CHECK(partial.size() <= k);
+  const size_t num_z = topics_->num_topics();
+  const size_t num_w = topics_->num_tags();
+  if (scratch->tag_epoch.size() < num_w) {
+    scratch->tag_epoch.assign(num_w, 0);
+    scratch->epoch = 0;
+  }
+  if (++scratch->epoch == 0) {  // epoch wrapped: drop all stale stamps
+    std::fill(scratch->tag_epoch.begin(), scratch->tag_epoch.end(), 0);
+    scratch->epoch = 1;
+  }
+  const uint32_t epoch = scratch->epoch;
+  for (TagId w : partial) scratch->tag_epoch[w] = epoch;
+
+  scratch->multipliers.assign(num_z, 0.0);
+  scratch->compatible.assign(num_z, 0);
+  const size_t need = k - partial.size();
+  // Identical accumulation order to TopicMultipliers above — only the
+  // membership test (epoch stamp vs std::find) and the output storage
+  // differ, so the doubles come out bit-identical.
+  for (TopicId z = 0; z < num_z; ++z) {
+    if (!Compatible(partial, z)) continue;
+    scratch->compatible[z] = 1;
+    double log_b = std::log(topics_->prior()[z]);
+    for (TagId w : partial) log_b += LogR(w, z);
+    size_t taken = 0;
+    for (TagId w : sorted_tags_[z]) {
+      if (taken == need) break;
+      if (scratch->tag_epoch[w] == epoch) continue;
+      log_b += LogR(w, z);
+      ++taken;
+    }
+    if (std::isnan(log_b)) {
+      scratch->multipliers[z] = 0.0;
+    } else if (log_b == kInf) {
+      scratch->multipliers[z] = kInf;
+    } else {
+      scratch->multipliers[z] = std::exp(log_b);
+    }
+  }
+}
+
 UpperBoundProbs::UpperBoundProbs(const InfluenceGraph& influence,
                                  const UpperBoundContext& context,
                                  std::span<const TagId> partial, size_t k)
     : influence_(influence),
-      multipliers_(context.TopicMultipliers(partial, k)),
-      compatible_(multipliers_.size(), 0) {
-  for (TopicId z = 0; z < multipliers_.size(); ++z) {
-    compatible_[z] = context.Compatible(partial, z) ? 1 : 0;
+      owned_multipliers_(context.TopicMultipliers(partial, k)),
+      owned_compatible_(owned_multipliers_.size(), 0) {
+  for (TopicId z = 0; z < owned_compatible_.size(); ++z) {
+    owned_compatible_[z] = context.Compatible(partial, z) ? 1 : 0;
   }
+  multipliers_ = owned_multipliers_;
+  compatible_ = owned_compatible_;
+}
+
+UpperBoundProbs::UpperBoundProbs(const InfluenceGraph& influence,
+                                 const UpperBoundContext& context,
+                                 std::span<const TagId> partial, size_t k,
+                                 BoundScratch* scratch)
+    : influence_(influence) {
+  context.TopicMultipliersInto(partial, k, scratch);
+  multipliers_ = scratch->multipliers;
+  compatible_ = scratch->compatible;
 }
 
 double UpperBoundProbs::Prob(EdgeId e) const {

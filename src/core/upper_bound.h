@@ -40,6 +40,22 @@
 
 namespace pitex {
 
+/// Reusable scratch for allocation-free Lemma-8 bound evaluation along the
+/// best-effort enumeration tree. The per-topic running log_b accumulators
+/// land in `multipliers`/`compatible`, which double as the storage the
+/// scratch-based UpperBoundProbs constructor points into; `tag_epoch`
+/// gives O(1) "is w in the current partial set" tests (the reference
+/// implementation re-scanned the partial set with std::find for every
+/// entry of the per-topic sorted order, an O(k) scan each). Everything is
+/// epoch-stamped or assign()ed in place, so after warmup a bound
+/// evaluation allocates nothing.
+struct BoundScratch {
+  std::vector<double> multipliers;  // B(z) per topic; 0 when incompatible
+  std::vector<uint8_t> compatible;  // per-topic compatibility mask
+  std::vector<uint32_t> tag_epoch;  // per-tag "in current partial" stamps
+  uint32_t epoch = 0;
+};
+
 /// Precomputed per-(tag, topic) log r(w, z) values plus per-topic sorted
 /// orders. Built once per network; shared by all queries.
 class UpperBoundContext {
@@ -51,8 +67,22 @@ class UpperBoundContext {
   /// Returns the Eq.-6 multiplier B(z) for each topic given the partial
   /// set and the target size k, or +infinity where the bound degenerates;
   /// entries are 0 for topics incompatible with `partial` (p(z|W) = 0).
+  /// This is the reference implementation — byte-for-byte the pre-arena
+  /// code path — kept for tests and one-off callers; the query hot path
+  /// uses TopicMultipliersInto.
   std::vector<double> TopicMultipliers(std::span<const TagId> partial,
                                        size_t k) const;
+
+  /// TopicMultipliers plus the compatibility mask, written into
+  /// caller-owned scratch: zero allocations after warmup and O(|Z| * k)
+  /// work per call thanks to the epoch-stamped membership test. The
+  /// floating-point accumulation order is kept exactly as
+  /// TopicMultipliers' so the results are bit-identical (a true
+  /// parent-to-child delta of the log sums would reorder the additions
+  /// and break the bit-reproducibility the equivalence tests pin —
+  /// docs/perf.md discusses the tradeoff).
+  void TopicMultipliersInto(std::span<const TagId> partial, size_t k,
+                            BoundScratch* scratch) const;
 
   /// True if topic z is compatible with the partial set (every w in W has
   /// p(w|z) > 0 and the prior is positive).
@@ -75,16 +105,36 @@ class UpperBoundContext {
 /// the influence upper bound of a partial tag set.
 class UpperBoundProbs final : public EdgeProbFn {
  public:
+  /// Owning constructor: computes and stores the multipliers through the
+  /// reference TopicMultipliers path (allocates). For tests and one-off
+  /// callers.
   UpperBoundProbs(const InfluenceGraph& influence,
                   const UpperBoundContext& context,
                   std::span<const TagId> partial, size_t k);
+
+  /// Non-allocating constructor: fills *scratch via TopicMultipliersInto
+  /// and points into it. `scratch` must outlive this object and must not
+  /// be refilled while it is in use.
+  UpperBoundProbs(const InfluenceGraph& influence,
+                  const UpperBoundContext& context,
+                  std::span<const TagId> partial, size_t k,
+                  BoundScratch* scratch);
+
+  // Not copyable: the spans may alias this object's owned storage, so a
+  // memberwise copy would dangle once the source is destroyed.
+  UpperBoundProbs(const UpperBoundProbs&) = delete;
+  UpperBoundProbs& operator=(const UpperBoundProbs&) = delete;
 
   double Prob(EdgeId e) const override;
 
  private:
   const InfluenceGraph& influence_;
-  std::vector<double> multipliers_;   // B(z), 0 for incompatible topics
-  std::vector<uint8_t> compatible_;   // topic mask
+  // Owning storage, used only by the first constructor.
+  std::vector<double> owned_multipliers_;
+  std::vector<uint8_t> owned_compatible_;
+  // What Prob reads: either the owned storage or the caller's scratch.
+  std::span<const double> multipliers_;   // B(z), 0 for incompatible topics
+  std::span<const uint8_t> compatible_;   // topic mask
 };
 
 }  // namespace pitex

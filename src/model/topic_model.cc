@@ -32,8 +32,16 @@ void TopicModel::SetPrior(std::vector<double> prior) {
 }
 
 TopicPosterior TopicModel::Posterior(std::span<const TagId> tags) const {
-  TopicPosterior post(prior_);
-  if (tags.empty()) return post;
+  TopicPosterior post;
+  PosteriorInto(tags, &post);
+  return post;
+}
+
+void TopicModel::PosteriorInto(std::span<const TagId> tags,
+                               TopicPosterior* out) const {
+  out->assign(prior_.begin(), prior_.end());
+  if (tags.empty()) return;
+  TopicPosterior& post = *out;
   for (TopicId z = 0; z < num_topics_; ++z) {
     for (TagId w : tags) {
       PITEX_DCHECK(w < num_tags_);
@@ -45,10 +53,10 @@ TopicPosterior TopicModel::Posterior(std::span<const TagId> tags) const {
   for (double v : post) norm += v;
   if (norm <= 0.0) {
     // p(W) = 0: the tag set is unexpressible; all edge probabilities vanish.
-    return TopicPosterior(num_topics_, 0.0);
+    out->assign(num_topics_, 0.0);
+    return;
   }
   for (double& v : post) v /= norm;
-  return post;
 }
 
 double TopicModel::Density() const {

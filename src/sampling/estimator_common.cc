@@ -1,9 +1,16 @@
-#include "src/sampling/influence_estimator.h"
+#include "src/sampling/estimator_common.h"
 
 #include <algorithm>
 #include <cmath>
 
+#include "src/sampling/influence_estimator.h"
+
 namespace pitex {
+
+void MaterializedProbs::Assign(const EdgeProbFn& source, size_t num_edges) {
+  table_.resize(num_edges);
+  for (EdgeId e = 0; e < num_edges; ++e) table_[e] = source.Prob(e);
+}
 
 double SampleMeanStdError(double sum, double sum_squares, uint64_t n) {
   if (n < 2) return 0.0;

@@ -1,33 +1,47 @@
 #include "src/sampling/exact.h"
 
 #include <algorithm>
-#include <unordered_map>
+#include <vector>
 
+#include "src/sampling/estimator_common.h"
 #include "src/util/check.h"
 
 namespace pitex {
 
 double ExactInfluence(const Graph& graph, const EdgeProbFn& probs,
                       VertexId u) {
-  // Restrict attention to the positive-probability reachable subgraph.
-  const ReachableSet reach = ComputeReachable(graph, probs, u);
-  std::vector<uint8_t> in_reach(graph.num_vertices(), 0);
-  for (VertexId v : reach.vertices) in_reach[v] = 1;
+  // World enumeration probes every edge 2^m times: materialize the
+  // probabilities into a dense table up front (one pass, the only place
+  // the virtual Prob is consulted) unless the caller already did.
+  const double* table = probs.DenseTable();
+  std::vector<double> owned;
+  if (table == nullptr) {
+    owned.resize(graph.num_edges());
+    for (EdgeId e = 0; e < graph.num_edges(); ++e) owned[e] = probs.Prob(e);
+    table = owned.data();
+  }
+  const auto prob = [table](EdgeId e) { return table[e]; };
 
-  // Collect probabilistic edges (0 < p < 1) and certain edges (p == 1)
-  // inside the reachable subgraph.
+  // Restrict attention to the positive-probability reachable subgraph.
+  ReachScratch scratch;
+  ComputeReachableInto(graph, prob, u, &scratch);
+  const std::vector<VertexId>& reach = scratch.vertices;
+  std::vector<uint8_t> in_reach(graph.num_vertices(), 0);
+  for (VertexId v : reach) in_reach[v] = 1;
+
+  // Collect probabilistic edges (0 < p < 1) inside the reachable
+  // subgraph; `random_index[e]` maps such an edge to its bit in the world
+  // mask (certain p == 1 edges are always live and need no bit).
+  constexpr uint32_t kNotRandom = 0xffffffffu;
   std::vector<EdgeId> random_edges;
-  std::vector<EdgeId> sure_edges;
-  for (VertexId v : reach.vertices) {
+  std::vector<uint32_t> random_index(graph.num_edges(), kNotRandom);
+  for (VertexId v : reach) {
     for (const auto& [w, e] : graph.OutEdges(v)) {
       if (!in_reach[w]) continue;
-      const double p = probs.Prob(e);
-      if (p <= 0.0) continue;
-      if (p >= 1.0) {
-        sure_edges.push_back(e);
-      } else {
-        random_edges.push_back(e);
-      }
+      const double p = prob(e);
+      if (p <= 0.0 || p >= 1.0) continue;
+      random_index[e] = static_cast<uint32_t>(random_edges.size());
+      random_edges.push_back(e);
     }
   }
   PITEX_CHECK_MSG(random_edges.size() <= kMaxExactEdges,
@@ -35,25 +49,20 @@ double ExactInfluence(const Graph& graph, const EdgeProbFn& probs,
 
   std::vector<uint8_t> visited(graph.num_vertices(), 0);
   std::vector<VertexId> stack;
-  std::vector<uint8_t> live(random_edges.size(), 0);
 
   double expected = 0.0;
   const uint64_t worlds = uint64_t{1} << random_edges.size();
   for (uint64_t mask = 0; mask < worlds; ++mask) {
     double weight = 1.0;
-    // Live-edge lookup for this world.
-    std::unordered_map<EdgeId, bool> live_map;
-    live_map.reserve(random_edges.size());
     for (size_t i = 0; i < random_edges.size(); ++i) {
       const bool is_live = (mask >> i) & 1;
-      const double p = probs.Prob(random_edges[i]);
+      const double p = prob(random_edges[i]);
       weight *= is_live ? p : (1.0 - p);
-      live_map[random_edges[i]] = is_live;
     }
     if (weight == 0.0) continue;
 
     // BFS in the world.
-    for (VertexId v : reach.vertices) visited[v] = 0;
+    for (VertexId v : reach) visited[v] = 0;
     stack.assign(1, u);
     visited[u] = 1;
     uint64_t count = 1;
@@ -62,12 +71,12 @@ double ExactInfluence(const Graph& graph, const EdgeProbFn& probs,
       stack.pop_back();
       for (const auto& [w, e] : graph.OutEdges(v)) {
         if (!in_reach[w] || visited[w]) continue;
-        const double p = probs.Prob(e);
+        const double p = prob(e);
         bool is_live = false;
         if (p >= 1.0) {
           is_live = true;
         } else if (p > 0.0) {
-          is_live = live_map[e];
+          is_live = (mask >> random_index[e]) & 1;
         }
         if (is_live) {
           visited[w] = 1;

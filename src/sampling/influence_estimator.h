@@ -24,6 +24,10 @@ class EdgeProbFn {
   virtual ~EdgeProbFn() = default;
   /// Activation probability of edge e, in [0, 1].
   virtual double Prob(EdgeId e) const = 0;
+  /// When non-null: a dense table with table[e] == Prob(e) for every edge
+  /// of the graph. Sampler inner loops index it directly, skipping the
+  /// virtual dispatch (see MaterializedProbs in estimator_common.h).
+  virtual const double* DenseTable() const { return nullptr; }
 };
 
 /// p(e|W): the true activation probabilities under posterior p(z|W).

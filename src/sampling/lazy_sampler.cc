@@ -21,6 +21,7 @@ LazySampler::LazySampler(const Graph& graph, SampleSizePolicy policy,
                          uint64_t seed, bool reuse_queues)
     : graph_(graph),
       policy_(policy),
+      threshold_(policy.StoppingThreshold()),
       rng_(seed),
       reuse_queues_(reuse_queues),
       states_(graph.num_vertices()),
@@ -28,7 +29,7 @@ LazySampler::LazySampler(const Graph& graph, SampleSizePolicy policy,
       visit_epoch_(graph.num_vertices(), 0) {}
 
 LazySampler::VertexState& LazySampler::StateOf(VertexId v,
-                                               const EdgeProbFn& probs,
+                                               const double* table,
                                                uint64_t sample_cap,
                                                uint64_t* edge_probes) {
   VertexState& state = states_[v];
@@ -37,7 +38,7 @@ LazySampler::VertexState& LazySampler::StateOf(VertexId v,
   state.visits = 0;
   state.heap.clear();
   for (const auto& [w, e] : graph_.OutEdges(v)) {
-    const double p = probs.Prob(e);
+    const double p = table[e];
     if (p <= 0.0) continue;
     ++*edge_probes;
     const uint64_t skip = rng_.NextGeometric(p);
@@ -48,23 +49,22 @@ LazySampler::VertexState& LazySampler::StateOf(VertexId v,
   return state;
 }
 
-Estimate LazySampler::EstimateInfluence(VertexId u, const EdgeProbFn& probs) {
+Estimate LazySampler::EstimateImpl(VertexId u, const double* table) {
   if (!reuse_queues_) {
     // Paper behaviour (Appendix D): heaps are created per estimation and
     // destroyed afterwards. Swapping in a fresh vector releases every
     // vertex's retained capacity.
     std::vector<VertexState>(graph_.num_vertices()).swap(states_);
   }
-  const ReachableSet reach = ComputeReachable(graph_, probs, u);
-  const auto rw = static_cast<double>(reach.vertices.size());
-  const double threshold = policy_.StoppingThreshold();
-  const uint64_t cap = policy_.SampleCap(reach.vertices.size());
+  const auto rw = static_cast<double>(reach_.vertices.size());
+  const double threshold = threshold_;
+  const uint64_t cap = policy_.SampleCapFor(threshold_, reach_.vertices.size());
 
   ++call_epoch_;
   Estimate result;
   uint64_t total_activated = 0;  // "s" in Algorithm 2
   double sum_squares = 0.0;
-  std::vector<VertexId> frontier;
+  std::vector<VertexId>& frontier = frontier_;
   for (uint64_t i = 0; i < cap; ++i) {
     ++instance_epoch_;
     const uint64_t before = total_activated;
@@ -74,7 +74,7 @@ Estimate LazySampler::EstimateInfluence(VertexId u, const EdgeProbFn& probs) {
       const VertexId v = frontier.back();
       frontier.pop_back();
       ++total_activated;
-      VertexState& state = StateOf(v, probs, cap, &result.edges_visited);
+      VertexState& state = StateOf(v, table, cap, &result.edges_visited);
       ++state.visits;  // this is the state.visits-th visit of v
       while (!state.heap.empty() && state.heap.front().due == state.visits) {
         std::pop_heap(state.heap.begin(), state.heap.end(), DueGreater{});
@@ -110,6 +110,10 @@ Estimate LazySampler::EstimateInfluence(VertexId u, const EdgeProbFn& probs) {
   result.std_error = SampleMeanStdError(static_cast<double>(total_activated),
                                         sum_squares, result.samples);
   return result;
+}
+
+Estimate LazySampler::EstimateInfluence(VertexId u, const EdgeProbFn& probs) {
+  return EstimateImpl(u, SweepAndMaterialize(graph_, probs, u, &reach_));
 }
 
 }  // namespace pitex

@@ -11,6 +11,15 @@
 // initialization draw. This reduces the expected edge work from
 // O(|E_W(u)| * E[I(u ~> v_ot|W)]) to O(|R_W(u)| * E[I(u ~> v*|W)])
 // (Lemma 7).
+//
+// Hot-path layout: the reachability sweep materializes every probed
+// edge's probability into a flat table (ReachScratch::edge_prob) as it
+// runs, so the estimation loop proper performs zero virtual Prob calls —
+// heap initialization reads the table directly. Callers holding a
+// precomputed dense table (EdgeProbFn::DenseTable) skip even the fill.
+// All per-call state — the sweep, the BFS frontier, and (with
+// `reuse_queues`) every vertex's lazy heap — lives in pooled members, so
+// a warmed-up sampler estimates without heap allocations.
 
 #ifndef PITEX_SRC_SAMPLING_LAZY_SAMPLER_H_
 #define PITEX_SRC_SAMPLING_LAZY_SAMPLER_H_
@@ -18,6 +27,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/sampling/estimator_common.h"
 #include "src/sampling/influence_estimator.h"
 #include "src/sampling/sample_size.h"
 #include "src/util/random.h"
@@ -53,11 +63,16 @@ class LazySampler final : public InfluenceOracle {
   };
 
   // Initializes (or reuses) the lazy state of v for the current call.
-  VertexState& StateOf(VertexId v, const EdgeProbFn& probs,
-                       uint64_t sample_cap, uint64_t* edge_probes);
+  // `table` is the dense probability table valid for this call.
+  VertexState& StateOf(VertexId v, const double* table, uint64_t sample_cap,
+                       uint64_t* edge_probes);
+
+  // The estimation loop; all probability reads go through `table`.
+  Estimate EstimateImpl(VertexId u, const double* table);
 
   const Graph& graph_;
   SampleSizePolicy policy_;
+  double threshold_;  // cached policy_.StoppingThreshold()
   Rng rng_;
   bool reuse_queues_;
   std::vector<VertexState> states_;
@@ -65,6 +80,10 @@ class LazySampler final : public InfluenceOracle {
   std::vector<uint32_t> visit_epoch_;   // which instance visited v
   uint32_t call_epoch_ = 0;
   uint32_t instance_epoch_ = 0;
+  // Pooled per-call scratch: reachability sweep (+ materialized edge
+  // probabilities) and the BFS frontier.
+  ReachScratch reach_;
+  std::vector<VertexId> frontier_;
 };
 
 }  // namespace pitex

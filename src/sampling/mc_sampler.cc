@@ -8,19 +8,19 @@ McSampler::McSampler(const Graph& graph, SampleSizePolicy policy,
                      uint64_t seed)
     : graph_(graph),
       policy_(policy),
+      threshold_(policy.StoppingThreshold()),
       rng_(seed),
       visit_epoch_(graph.num_vertices(), 0) {}
 
-Estimate McSampler::EstimateInfluence(VertexId u, const EdgeProbFn& probs) {
-  const ReachableSet reach = ComputeReachable(graph_, probs, u);
-  const auto rw = static_cast<double>(reach.vertices.size());
-  const double threshold = policy_.StoppingThreshold();
-  const uint64_t cap = policy_.SampleCap(reach.vertices.size());
+Estimate McSampler::EstimateImpl(VertexId u, const double* table) {
+  const auto rw = static_cast<double>(reach_.vertices.size());
+  const double threshold = threshold_;
+  const uint64_t cap = policy_.SampleCapFor(threshold_, reach_.vertices.size());
 
   Estimate result;
   uint64_t total_activated = 0;  // "s" in Algo 2
   double sum_squares = 0.0;
-  std::vector<VertexId> stack;
+  std::vector<VertexId>& stack = stack_;
   for (uint64_t i = 0; i < cap; ++i) {
     ++epoch_;
     stack.assign(1, u);
@@ -30,7 +30,7 @@ Estimate McSampler::EstimateInfluence(VertexId u, const EdgeProbFn& probs) {
       const VertexId v = stack.back();
       stack.pop_back();
       for (const auto& [w, e] : graph_.OutEdges(v)) {
-        const double p = probs.Prob(e);
+        const double p = table[e];
         if (p <= 0.0) continue;
         ++result.edges_visited;  // MC probes every positive-prob edge
         if (visit_epoch_[w] == epoch_) continue;
@@ -56,6 +56,10 @@ Estimate McSampler::EstimateInfluence(VertexId u, const EdgeProbFn& probs) {
   result.std_error = SampleMeanStdError(static_cast<double>(total_activated),
                                         sum_squares, result.samples);
   return result;
+}
+
+Estimate McSampler::EstimateInfluence(VertexId u, const EdgeProbFn& probs) {
+  return EstimateImpl(u, SweepAndMaterialize(graph_, probs, u, &reach_));
 }
 
 }  // namespace pitex

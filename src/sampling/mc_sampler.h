@@ -4,7 +4,11 @@
 // out-edge of every activated vertex with a Bernoulli coin. The estimate is
 // the mean activated count. Sampling stops early via the martingale rule of
 // SampleSizePolicy. MC's weakness (Example 2 of the paper): a high-out-
-// degree, low-probability source probes all its edges in every instance.
+// degree, low-probability source probes all its edges in every instance —
+// which is exactly why it benefits the most from the self-materialized
+// probability table the reachability sweep fills (ReachScratch::edge_prob):
+// every repeat probe becomes an array load instead of a virtual sparse
+// dot product.
 
 #ifndef PITEX_SRC_SAMPLING_MC_SAMPLER_H_
 #define PITEX_SRC_SAMPLING_MC_SAMPLER_H_
@@ -12,6 +16,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/sampling/estimator_common.h"
 #include "src/sampling/influence_estimator.h"
 #include "src/sampling/sample_size.h"
 #include "src/util/random.h"
@@ -26,12 +31,19 @@ class McSampler final : public InfluenceOracle {
   const char* Name() const override { return "MC"; }
 
  private:
+  // The simulation loop; all probability reads go through `table`.
+  Estimate EstimateImpl(VertexId u, const double* table);
+
   const Graph& graph_;
   SampleSizePolicy policy_;
+  double threshold_;  // cached policy_.StoppingThreshold()
   Rng rng_;
-  // Scratch reused across calls: epoch-stamped visited marks.
+  // Scratch reused across calls: epoch-stamped visited marks plus the
+  // simulation stack and the reachability sweep.
   std::vector<uint32_t> visit_epoch_;
   uint32_t epoch_ = 0;
+  std::vector<VertexId> stack_;
+  ReachScratch reach_;
 };
 
 }  // namespace pitex

@@ -17,9 +17,13 @@ double SampleSizePolicy::StoppingThreshold() const {
 }
 
 uint64_t SampleSizePolicy::SampleCap(uint64_t reachable_size) const {
+  return SampleCapFor(StoppingThreshold(), reachable_size);
+}
+
+uint64_t SampleSizePolicy::SampleCapFor(double threshold,
+                                        uint64_t reachable_size) const {
   const double cap =
-      StoppingThreshold() * static_cast<double>(std::max<uint64_t>(
-                                reachable_size, 1));
+      threshold * static_cast<double>(std::max<uint64_t>(reachable_size, 1));
   uint64_t theta = max_samples;
   if (cap < static_cast<double>(max_samples)) {
     theta = static_cast<uint64_t>(std::ceil(cap));

@@ -38,11 +38,17 @@ struct SampleSizePolicy {
   /// Hard cap on samples per estimation, independent of graph size.
   uint64_t max_samples = 1 << 17;
 
-  /// The stopping threshold Lambda (see file comment).
+  /// The stopping threshold Lambda (see file comment). Involves several
+  /// lgamma evaluations — samplers with a fixed policy compute it once at
+  /// construction and reuse it via SampleCapFor.
   double StoppingThreshold() const;
 
   /// Eq. (2) with E[I(u|W)] >= 1, clamped to [min_samples, max_samples].
   uint64_t SampleCap(uint64_t reachable_size) const;
+
+  /// SampleCap with a precomputed StoppingThreshold() value, skipping the
+  /// log-binomial arithmetic on the per-estimation hot path.
+  uint64_t SampleCapFor(double threshold, uint64_t reachable_size) const;
 };
 
 }  // namespace pitex

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "src/util/check.h"
 
@@ -12,6 +13,20 @@ double LogBinomial(int64_t n, int64_t k) {
   return std::lgamma(static_cast<double>(n + 1)) -
          std::lgamma(static_cast<double>(k + 1)) -
          std::lgamma(static_cast<double>(n - k + 1));
+}
+
+uint64_t BinomialExact(int64_t n, int64_t k) {
+  PITEX_CHECK(n >= 0 && k >= 0 && k <= n);
+  k = std::min(k, n - k);
+  uint64_t c = 1;
+  for (int64_t i = 1; i <= k; ++i) {
+    const auto factor = static_cast<uint64_t>(n - k + i);
+    // C(n-k+i, i) = C(n-k+i-1, i-1) * (n-k+i) / i, exactly divisible
+    // after the multiply — so overflow of c * factor is the only hazard.
+    if (c > std::numeric_limits<uint64_t>::max() / factor) return 0;
+    c = c * factor / static_cast<uint64_t>(i);
+  }
+  return c;
 }
 
 double LogPhi(int64_t n, int64_t cap_k) {

@@ -19,6 +19,11 @@ namespace pitex {
 /// Returns ln C(n, k); 0 for degenerate inputs (k <= 0 or k >= n).
 double LogBinomial(int64_t n, int64_t k);
 
+/// Exact C(n, k) in integer arithmetic; returns 0 when the value (or an
+/// intermediate product) overflows uint64 — a safe sentinel since real
+/// binomials are >= 1. Requires 0 <= k <= n.
+uint64_t BinomialExact(int64_t n, int64_t k);
+
 /// Returns ln phi_K where phi_K = sum_{i=1..K} C(n, i); computed stably in
 /// log space. Requires K >= 1 and n >= 1.
 double LogPhi(int64_t n, int64_t cap_k);

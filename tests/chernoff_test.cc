@@ -63,5 +63,38 @@ TEST(LambdaTest, GrowsWithDelta) {
   EXPECT_LT(Lambda(0.7, 10, 50, 3), Lambda(0.7, 10000, 50, 3));
 }
 
+TEST(BinomialExactTest, KnownValues) {
+  EXPECT_EQ(BinomialExact(0, 0), 1u);
+  EXPECT_EQ(BinomialExact(5, 0), 1u);
+  EXPECT_EQ(BinomialExact(5, 5), 1u);
+  EXPECT_EQ(BinomialExact(5, 2), 10u);
+  EXPECT_EQ(BinomialExact(50, 3), 19600u);
+  EXPECT_EQ(BinomialExact(52, 5), 2598960u);
+  EXPECT_EQ(BinomialExact(60, 30), 118264581564861424u);
+}
+
+TEST(BinomialExactTest, SymmetricInK) {
+  EXPECT_EQ(BinomialExact(40, 13), BinomialExact(40, 27));
+}
+
+TEST(BinomialExactTest, OverflowReturnsSentinel) {
+  // C(100, 50) ~ 1e29 overflows uint64: the 0 sentinel tells callers to
+  // fall back to LogBinomial.
+  EXPECT_EQ(BinomialExact(100, 50), 0u);
+  EXPECT_GT(LogBinomial(100, 50), 0.0);
+}
+
+TEST(BinomialExactTest, AgreesWithLogFormWhereBothApply) {
+  for (int64_t n = 1; n <= 40; ++n) {
+    for (int64_t k = 0; k <= n; ++k) {
+      const uint64_t exact = BinomialExact(n, k);
+      ASSERT_NE(exact, 0u) << n << " choose " << k;
+      EXPECT_NEAR(std::exp(LogBinomial(n, k)) / static_cast<double>(exact),
+                  1.0, 1e-9)
+          << n << " choose " << k;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace pitex

@@ -51,5 +51,24 @@ TEST(TagSetEnumeratorTest, CountMatchesBinomial) {
   EXPECT_NEAR(TagSetEnumerator(4, 4).Count(), 1.0, 1e-9);
 }
 
+TEST(TagSetEnumeratorTest, CountIsExactForSmallInputs) {
+  // Integer-exact values, not exp(lgamma) approximations: a double holds
+  // these binomials exactly, so Count() must too.
+  EXPECT_EQ(TagSetEnumerator(4, 2).Count(), 6.0);
+  EXPECT_EQ(TagSetEnumerator(50, 3).Count(), 19600.0);
+  EXPECT_EQ(TagSetEnumerator(52, 5).Count(), 2598960.0);
+  EXPECT_EQ(TagSetEnumerator(36, 2).Count(), 630.0);
+  EXPECT_EQ(TagSetEnumerator(40, 20).Count(), 137846528820.0);
+  EXPECT_EQ(TagSetEnumerator(7, 1).Count(), 7.0);
+  EXPECT_EQ(TagSetEnumerator(9, 9).Count(), 1.0);
+}
+
+TEST(TagSetEnumeratorTest, CountFallsBackToLogFormPastDoublePrecision) {
+  // C(60, 30) = 118264581564861424 > 2^53: the log fallback kicks in and
+  // must still land within relative rounding error.
+  const double count = TagSetEnumerator(60, 30).Count();
+  EXPECT_NEAR(count / 1.18264581564861424e17, 1.0, 1e-9);
+}
+
 }  // namespace
 }  // namespace pitex
