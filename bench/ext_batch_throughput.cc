@@ -1,14 +1,26 @@
-// Extension bench: batch query throughput vs. worker count.
+// Extension bench: batch query throughput vs. worker count, plus the
+// serving-layer comparison.
 //
 // Not a paper figure — the paper reports single-query latency; this
-// harness measures the deployment-side metric (queries/second when a
-// stream of PITEX queries shares one offline index across a worker
-// pool). Expected shape: near-linear scaling for the index methods while
-// workers are below the physical core count, with IndexEst+ sustaining
-// the highest absolute throughput (same ordering as Fig. 7 latencies).
+// harness measures the deployment-side metrics:
+//   1. queries/second when a stream of PITEX queries shares one offline
+//      index across a worker pool (BatchEngine). Expected shape:
+//      near-linear scaling below the physical core count, IndexEst+
+//      sustaining the highest absolute throughput (Fig. 7 ordering);
+//   2. BatchEngine (static round-robin) vs. PitexService (work-stealing)
+//      on a *skewed* workload where expensive hub queries pile onto one
+//      round-robin residue class — the imbalance the per-worker
+//      BatchWorkerStats expose and the stealing scheduler removes;
+//   3. p50/p95/p99 sojourn latency of the service under a bursty arrival
+//      schedule (waves of concurrent Submits separated by idle gaps).
+
+#include <algorithm>
+#include <future>
+#include <thread>
 
 #include "bench/bench_common.h"
 #include "src/core/batch_engine.h"
+#include "src/serve/pitex_service.h"
 
 int main(int argc, char** argv) {
   pitex::bench::InitBench(argc, argv);
@@ -60,6 +72,147 @@ int main(int argc, char** argv) {
   }
   std::printf("shape check: throughput should rise with threads (sub-linear "
               "beyond core count)\nand rank INDEXEST+ >= DELAYMAT > INDEXEST "
-              ">> LAZY, matching Fig. 7 latencies.\n");
+              ">> LAZY, matching Fig. 7 latencies.\n\n");
+
+  // --- 2. skewed workload: static round-robin vs. work-stealing ----------
+  // Hub queries land on residue class 0 of the round-robin assignment, so
+  // BatchEngine's worker 0 carries nearly all the work while the others
+  // idle; the stealing scheduler redistributes it.
+  std::printf("=== Skewed workload: BatchEngine (round-robin) vs "
+              "PitexService (work-stealing) ===\n");
+  const size_t kServeThreads = 4;
+  for (const auto& d : MakeBenchDatasets()) {
+    auto hubs = SampleUserGroup(d.network.graph, UserGroup::kHigh, 8, 5);
+    const auto leaves =
+        SampleUserGroup(d.network.graph, UserGroup::kLow, kBatch, 6);
+    if (hubs.empty() || leaves.empty()) continue;  // degenerate smoke graph
+    std::vector<PitexQuery> skewed;
+    for (size_t i = 0; i < kBatch; ++i) {
+      const bool hub = i % kServeThreads == 0;
+      skewed.push_back({.user = hub ? hubs[i % hubs.size()]
+                                    : leaves[i % leaves.size()],
+                        .k = 3});
+    }
+
+    for (const Method method : {Method::kIndexEst, Method::kIndexEstPlus}) {
+      BatchOptions batch_options;
+      batch_options.engine = BenchOptions(method);
+      batch_options.num_threads = kServeThreads;
+      BatchEngine batch(&d.network, batch_options);
+      batch.Prepare();
+      (void)batch.ExploreAll(skewed);  // warm caches
+      const auto batch_results = batch.ExploreAll(skewed);
+      const double batch_qps = static_cast<double>(skewed.size()) /
+                               std::max(batch.last_batch_seconds(), 1e-9);
+      double busiest = 0.0, idlest = 1e30;
+      for (const BatchWorkerStats& w : batch.last_worker_stats()) {
+        busiest = std::max(busiest, w.seconds);
+        idlest = std::min(idlest, w.seconds);
+      }
+
+      // Scheduling model from the measured per-query costs: round-robin
+      // makespan (what static assignment pays on kServeThreads real
+      // cores) vs. list-scheduling makespan (what stealing approximates
+      // online). Host-core-count independent — on a single-core runner
+      // the measured wall times below cannot show the gap, this model
+      // can.
+      std::vector<double> rr_load(kServeThreads, 0.0);
+      std::vector<double> balanced_load(kServeThreads, 0.0);
+      for (size_t i = 0; i < batch_results.size(); ++i) {
+        rr_load[i % kServeThreads] += batch_results[i].seconds;
+        size_t least = 0;
+        for (size_t w = 1; w < kServeThreads; ++w) {
+          if (balanced_load[w] < balanced_load[least]) least = w;
+        }
+        balanced_load[least] += batch_results[i].seconds;
+      }
+      const double rr_makespan =
+          *std::max_element(rr_load.begin(), rr_load.end());
+      const double balanced_makespan =
+          *std::max_element(balanced_load.begin(), balanced_load.end());
+
+      ServeOptions serve_options;
+      serve_options.engine = batch_options.engine;
+      serve_options.num_threads = kServeThreads;
+      serve_options.mode = ScheduleMode::kWorkStealing;
+      serve_options.cache_capacity = 0;  // measure scheduling, not caching
+      PitexService service(&d.network, serve_options);
+      service.Start();
+      (void)service.ServeAll(skewed);  // warm engine replicas
+      Timer serve_timer;
+      (void)service.ServeAll(skewed);
+      const double serve_seconds = serve_timer.Seconds();
+      const double serve_qps =
+          static_cast<double>(skewed.size()) / std::max(serve_seconds, 1e-9);
+      const ServiceStats stats = service.Stats();
+
+      std::printf("%-10s %-10s batch %9.1f q/s (busy %.3fs / idle %.3fs)  "
+                  "serve %9.1f q/s (steals %llu)  speedup %.2fx  "
+                  "[modeled %zu-core makespan: rr %.3fms vs balanced "
+                  "%.3fms, %.2fx]\n",
+                  d.name.c_str(), MethodName(method), batch_qps, busiest,
+                  idlest, serve_qps,
+                  static_cast<unsigned long long>(stats.steals),
+                  serve_qps / std::max(batch_qps, 1e-9), kServeThreads,
+                  rr_makespan * 1e3, balanced_makespan * 1e3,
+                  rr_makespan / std::max(balanced_makespan, 1e-9));
+    }
+  }
+  std::printf("shape check: the work-stealing service should beat the "
+              "static batch on this skew\n(hub cost concentrated on one "
+              "residue class), with a visible busy/idle gap.\n"
+              "On hosts with fewer cores than workers "
+              "(hardware_concurrency=%u here) the measured\nspeedup "
+              "saturates at ~1.0x — the modeled makespans isolate the "
+              "scheduling effect.\n\n",
+              std::thread::hardware_concurrency());
+
+  // --- 3. bursty arrivals: service latency percentiles --------------------
+  std::printf("=== Bursty arrivals: PitexService sojourn latency ===\n");
+  const size_t kBursts = SmokeMode() ? 3 : 8;
+  const size_t kBurstSize = SmokeMode() ? 16 : 64;
+  for (const auto& d : MakeBenchDatasets()) {
+    ServeOptions serve_options;
+    serve_options.engine = BenchOptions(Method::kIndexEstPlus);
+    serve_options.num_threads = kServeThreads;
+    serve_options.cache_capacity = 0;
+    PitexService service(&d.network, serve_options);
+    service.Start();
+
+    const auto users =
+        SampleUserGroup(d.network.graph, UserGroup::kMid, kBurstSize, 7);
+    // Warm the engine replicas outside the measured window.
+    std::vector<PitexQuery> warm;
+    for (size_t i = 0; i < kBurstSize; ++i) {
+      warm.push_back({.user = users[i % users.size()], .k = 3});
+    }
+    (void)service.ServeAll(warm);
+    service.ClearLatencyWindow();  // percentiles cover the bursts only
+
+    Timer burst_timer;
+    std::vector<std::future<ServedResult>> futures;
+    for (size_t burst = 0; burst < kBursts; ++burst) {
+      // A whole wave arrives at once...
+      for (size_t i = 0; i < kBurstSize; ++i) {
+        futures.push_back(service.Submit(
+            {.user = users[(burst + i) % users.size()], .k = 3}));
+      }
+      // ...then the stream goes quiet while the queue drains.
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    for (auto& future : futures) (void)future.get();
+    const double wall = burst_timer.Seconds();
+
+    const LatencySummary latency = service.Stats().latency;
+    std::printf("%-10s %4zu queries in %zu bursts: %8.1f q/s  "
+                "p50 %7.2fms  p95 %7.2fms  p99 %7.2fms  max %7.2fms\n",
+                d.name.c_str(), futures.size(), kBursts,
+                static_cast<double>(futures.size()) / std::max(wall, 1e-9),
+                latency.p50 * 1e3, latency.p95 * 1e3, latency.p99 * 1e3,
+                latency.max * 1e3);
+  }
+  std::printf("shape check: p99 >> p50 under bursts (queue wait dominates "
+              "the tail); the gap\nshrinks as burst size approaches the "
+              "worker count.\n");
   return 0;
 }

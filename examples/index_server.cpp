@@ -8,10 +8,12 @@
 //   2. screen  — SketchOracle finds the users worth querying at all;
 //   3. build   — the RR-Graph index is built once and persisted to disk
 //                (index_io), then reloaded as a serving replica;
-//   4. serve   — BatchEngine answers a query stream across workers from
-//                the shared loaded index;
-//   5. evolve  — DynamicRrIndex repairs the index when the influence
-//                model drifts, instead of rebuilding it.
+//   4. serve   — PitexService answers a query stream across a
+//                work-stealing worker pool with per-worker engine
+//                replicas and an epoch-keyed result cache;
+//   5. evolve  — ApplyUpdates repairs the shadow DynamicRrIndex master
+//                and hot-swaps a new immutable snapshot epoch while the
+//                service keeps answering.
 //
 // Run: ./build/examples/index_server
 
@@ -19,12 +21,11 @@
 #include <string>
 #include <vector>
 
-#include "src/core/batch_engine.h"
 #include "src/core/planner.h"
 #include "src/datasets/synthetic.h"
-#include "src/index/dynamic_index.h"
 #include "src/index/index_io.h"
 #include "src/sampling/sketch_oracle.h"
+#include "src/serve/pitex_service.h"
 
 int main() {
   using namespace pitex;
@@ -85,50 +86,70 @@ int main() {
               index.build_seconds());
 
   // -- 4. serve -------------------------------------------------------------
-  BatchOptions batch_options;
-  batch_options.engine.method = decision.method == Method::kLazy
+  ServeOptions serve_options;
+  serve_options.engine.method = decision.method == Method::kLazy
                                     ? Method::kIndexEstPlus  // index is built
                                     : decision.method;
-  batch_options.engine.index_theta_per_vertex = index_options.theta_per_vertex;
-  batch_options.engine.seed = index_options.seed;
-  batch_options.num_threads = 4;
-  BatchEngine server(&network, batch_options);
+  serve_options.engine.index_theta_per_vertex = index_options.theta_per_vertex;
+  serve_options.engine.seed = index_options.seed;
+  serve_options.num_threads = 4;
+  serve_options.cache_capacity = 1024;
+  serve_options.enable_updates = true;  // keep a repairable shadow master
+  PitexService service(&network, serve_options);
+  service.Start();
 
+  // The influencer screen repeats hot users — exactly the stream shape
+  // the epoch-keyed result cache absorbs. Serve each twice.
   std::vector<PitexQuery> queries;
-  for (const auto& [user, influence] : influencers) {
-    queries.push_back({.user = user, .k = 3});
+  for (int round = 0; round < 2; ++round) {
+    for (const auto& [user, influence] : influencers) {
+      queries.push_back({.user = user, .k = 3});
+    }
   }
-  const auto results = server.ExploreAll(queries);
-  std::printf("serving: %zu queries on %zu workers in %.3fs\n",
-              results.size(), batch_options.num_threads,
-              server.last_batch_seconds());
-  for (size_t i = 0; i < results.size(); ++i) {
+  const auto served = service.ServeAll(queries);
+  ServiceStats stats = service.Stats();
+  std::printf("serving: %zu queries on %zu workers (epoch %llu): "
+              "%llu cache hits, %llu steals, p95 %.2fms\n",
+              served.size(), serve_options.num_threads,
+              static_cast<unsigned long long>(stats.current_epoch),
+              static_cast<unsigned long long>(stats.cache_hits),
+              static_cast<unsigned long long>(stats.steals),
+              stats.latency.p95 * 1e3);
+  for (size_t i = 0; i < influencers.size(); ++i) {
     std::string tags;
-    for (const TagId w : results[i].tags) {
+    for (const TagId w : served[i].result.tags) {
       if (!tags.empty()) tags += ", ";
       tags += network.tags.Name(w);
     }
-    std::printf("  user %-6u E[I]=%6.1f  selling points: %s\n",
-                queries[i].user, results[i].influence, tags.c_str());
+    std::printf("  user %-6u E[I]=%6.1f  selling points: %s%s\n",
+                queries[i].user, served[i].result.influence, tags.c_str(),
+                served[i].cache_hit ? "  (cached)" : "");
   }
   std::printf("\n");
 
   // -- 5. evolve ------------------------------------------------------------
-  DynamicRrIndex dynamic_index(network, index_options);
-  dynamic_index.Build();
+  // The model drifts; repairs go to the shadow master and are published
+  // as a new immutable epoch — in-flight queries finish on their
+  // snapshot, the cache entries of the old epoch age out by keying.
   std::vector<EdgeInfluenceUpdate> drift(3);
   for (size_t i = 0; i < drift.size(); ++i) {
     drift[i].edge = static_cast<EdgeId>(i * 101 % network.num_edges());
     drift[i].entries = {{static_cast<TopicId>(i % spec.num_topics), 0.3}};
   }
-  dynamic_index.ApplyUpdates(drift);
-  const auto& stats = dynamic_index.stats();
-  std::printf("model drift: %llu edges re-learned -> examined %llu of %zu "
-              "RR-Graphs, %llu changed\n",
-              static_cast<unsigned long long>(stats.edges_updated),
-              static_cast<unsigned long long>(stats.graphs_examined),
-              dynamic_index.num_graphs(),
-              static_cast<unsigned long long>(stats.graphs_changed));
+  const uint64_t epoch = service.ApplyUpdates(drift);
+  const auto refreshed = service.ServeAll(
+      std::span<const PitexQuery>(queries.data(), influencers.size()));
+  stats = service.Stats();
+  std::printf("model drift: %zu edges re-learned -> hot-swapped to epoch "
+              "%llu (%llu snapshots retired), answers refreshed:\n",
+              drift.size(), static_cast<unsigned long long>(epoch),
+              static_cast<unsigned long long>(stats.epochs_published - 1));
+  for (size_t i = 0; i < refreshed.size(); ++i) {
+    std::printf("  user %-6u E[I]=%6.1f (epoch %llu%s)\n", queries[i].user,
+                refreshed[i].result.influence,
+                static_cast<unsigned long long>(refreshed[i].epoch),
+                refreshed[i].cache_hit ? ", cached" : "");
+  }
   std::remove(path.c_str());
   return 0;
 }

@@ -82,12 +82,17 @@ std::vector<PitexResult> BatchEngine::ExploreAll(
   std::vector<PitexResult> results(queries.size());
   Timer timer;
   const size_t num_workers = workers_.size();
+  last_worker_stats_.assign(num_workers, BatchWorkerStats{});
   for (size_t w = 0; w < num_workers; ++w) {
     pool_->Submit([this, w, num_workers, queries, &results] {
       PitexEngine& engine = *workers_[w];
+      BatchWorkerStats& stats = last_worker_stats_[w];  // exclusive slot
+      Timer worker_timer;
       for (size_t i = w; i < queries.size(); i += num_workers) {
         results[i] = engine.Explore(queries[i]);
+        ++stats.queries;
       }
+      stats.seconds = worker_timer.Seconds();
     });
   }
   pool_->Wait();

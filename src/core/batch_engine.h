@@ -44,6 +44,19 @@ struct BatchOptions {
   size_t num_threads = 4;
 };
 
+/// Per-worker execution accounting of one ExploreAll call. Static
+/// round-robin assignment balances query *counts* but not query *cost*
+/// (hub users are orders of magnitude more expensive), so the wall-time
+/// spread across workers is the load-imbalance signal — and the quantity
+/// the work-stealing serving scheduler (src/serve/pitex_service.h)
+/// removes.
+struct BatchWorkerStats {
+  /// Queries this worker answered.
+  uint64_t queries = 0;
+  /// Wall-clock seconds this worker spent answering them.
+  double seconds = 0.0;
+};
+
 class BatchEngine {
  public:
   /// `network` must outlive the engine.
@@ -62,6 +75,11 @@ class BatchEngine {
 
   /// Wall-clock seconds of the most recent ExploreAll (excludes Prepare).
   double last_batch_seconds() const { return last_batch_seconds_; }
+  /// Per-worker query counts and wall times of the most recent
+  /// ExploreAll (one entry per worker; empty before the first call).
+  const std::vector<BatchWorkerStats>& last_worker_stats() const {
+    return last_worker_stats_;
+  }
   /// Offline index footprint shared across workers (0 for online methods).
   size_t SharedIndexSizeBytes() const;
 
@@ -75,6 +93,7 @@ class BatchEngine {
   std::vector<std::unique_ptr<PitexEngine>> workers_;
   std::unique_ptr<ThreadPool> pool_;
   double last_batch_seconds_ = 0.0;
+  std::vector<BatchWorkerStats> last_worker_stats_;
 };
 
 }  // namespace pitex

@@ -87,6 +87,11 @@ class DynamicRrIndex final : public InfluenceOracle {
   uint64_t theta() const { return theta_; }
   size_t num_graphs() const { return graphs_.size(); }
   const RRGraph& graph(size_t i) const { return graphs_[i]; }
+  /// All current sketches, in sample order — the snapshot hook: the serve
+  /// layer packs them into an immutable RrSketchPool (RrIndex::FromPool)
+  /// to publish a frozen, concurrently readable replica of this index.
+  std::span<const RRGraph> graphs() const { return graphs_; }
+  const RrIndexOptions& options() const { return options_; }
   const std::vector<uint32_t>& Containing(VertexId u) const {
     return containing_[u];
   }

@@ -34,6 +34,18 @@ RrIndex::RrIndex(const SocialNetwork& network, const RrIndexOptions& options)
   }
 }
 
+std::unique_ptr<RrIndex> RrIndex::FromPool(const SocialNetwork& network,
+                                           const RrIndexOptions& options,
+                                           uint64_t theta, RrSketchPool pool) {
+  PITEX_CHECK(theta > 0);
+  RrIndexOptions adopted = options;
+  adopted.theta_override = theta;
+  auto index = std::make_unique<RrIndex>(network, adopted);
+  index->pool_ = std::move(pool);
+  index->built_ = true;
+  return index;
+}
+
 void RrIndex::Build(ThreadPool* pool) {
   PITEX_CHECK_MSG(!built_, "Build() called twice");
   Timer timer;

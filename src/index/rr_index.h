@@ -18,6 +18,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <span>
 
 #include "src/index/rr_graph.h"
@@ -52,6 +53,16 @@ class RrIndex final : public InfluenceOracle {
                                  size_t num_vertices, size_t num_tags);
 
   RrIndex(const SocialNetwork& network, const RrIndexOptions& options);
+
+  /// Snapshot hook (src/serve): wraps an externally packed sketch pool as
+  /// a built, immutable index — how a DynamicRrIndex master is frozen
+  /// into a serving replica after repairs. `network` must be the (frozen
+  /// copy of the) network whose EdgeIds the pooled sketches reference and
+  /// must outlive the index; `theta` is the ensemble size the estimator
+  /// normalizes by.
+  static std::unique_ptr<RrIndex> FromPool(const SocialNetwork& network,
+                                           const RrIndexOptions& options,
+                                           uint64_t theta, RrSketchPool pool);
 
   /// Samples the RR-Graphs and packs them into the pool. Must be called
   /// once before estimation. When `pool` is non-null its workers run the

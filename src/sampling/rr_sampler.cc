@@ -8,34 +8,59 @@ RrSampler::RrSampler(const Graph& graph, SampleSizePolicy policy,
                      uint64_t seed)
     : graph_(graph),
       policy_(policy),
+      threshold_(policy.StoppingThreshold()),
       rng_(seed),
       visit_epoch_(graph.num_vertices(), 0) {}
 
 Estimate RrSampler::EstimateInfluence(VertexId u, const EdgeProbFn& probs) {
-  const ReachableSet reach = ComputeReachable(graph_, probs, u);
-  const auto rw = static_cast<double>(reach.vertices.size());
-  const double threshold = policy_.StoppingThreshold();
-  const uint64_t cap = policy_.SampleCap(reach.vertices.size());
+  // One probability lookup per edge per call; every later probe of the
+  // same edge is an array load. A caller-provided dense table is used
+  // as-is; otherwise the lazily validated member table backs both the
+  // forward sweep and the reverse BFS (whose tails may leave R_W(u)).
+  const double* dense = probs.DenseTable();
+  if (dense == nullptr) {
+    if (edge_prob_.size() < graph_.num_edges()) {
+      edge_prob_.resize(graph_.num_edges());
+      edge_prob_epoch_.assign(graph_.num_edges(), 0);
+      prob_epoch_ = 0;
+    }
+    if (++prob_epoch_ == 0) {  // epoch wrapped: drop all stale entries
+      std::fill(edge_prob_epoch_.begin(), edge_prob_epoch_.end(), 0);
+      prob_epoch_ = 1;
+    }
+  }
+  const auto prob = [this, &probs, dense](EdgeId e) {
+    if (dense != nullptr) return dense[e];
+    if (edge_prob_epoch_[e] != prob_epoch_) {
+      edge_prob_epoch_[e] = prob_epoch_;
+      edge_prob_[e] = probs.Prob(e);
+    }
+    return edge_prob_[e];
+  };
+
+  ComputeReachableInto(graph_, prob, u, &reach_);
+  const std::vector<VertexId>& reachable = reach_.vertices;
+  const auto rw = static_cast<double>(reachable.size());
+  const double threshold = threshold_;
+  const uint64_t cap = policy_.SampleCapFor(threshold_, reachable.size());
 
   Estimate result;
   uint64_t hits = 0;
-  std::vector<VertexId> stack;
   for (uint64_t i = 0; i < cap; ++i) {
-    const VertexId target =
-        reach.vertices[rng_.NextBounded(reach.vertices.size())];
+    const VertexId target = reachable[rng_.NextBounded(reachable.size())];
     ++result.samples;
     ++epoch_;
     // Reverse BFS from the target; stop as soon as u is reached (the
     // indicator is already determined).
     bool hit = (target == u);
     if (!hit) {
-      stack.assign(1, target);
+      stack_.assign(1, target);
       visit_epoch_[target] = epoch_;
-      while (!stack.empty() && !hit) {
-        const VertexId v = stack.back();
-        stack.pop_back();
+      while (!stack_.empty() && !hit) {
+        const VertexId v = stack_.back();
+        stack_.pop_back();
         for (const auto& [w, e] : graph_.InEdges(v)) {
-          const double p = probs.Prob(e);
+          const double p = prob(e);
           if (p <= 0.0) continue;
           ++result.edges_visited;  // RR probes every positive in-edge
           if (visit_epoch_[w] == epoch_) continue;
@@ -45,7 +70,7 @@ Estimate RrSampler::EstimateInfluence(VertexId u, const EdgeProbFn& probs) {
               break;
             }
             visit_epoch_[w] = epoch_;
-            stack.push_back(w);
+            stack_.push_back(w);
           }
         }
       }

@@ -6,6 +6,15 @@
 // 1[u ~> v] estimates E[I(u|W)] / |R_W(u)|. RR's weakness (Example 3 of
 // the paper): a celebrity vertex with huge in-degree is probed in full by
 // nearly every sample.
+//
+// Hot path: like the lazy/MC samplers (estimator_common.h), edge
+// probabilities are materialized into a flat dense table so the
+// per-sample loops do array loads instead of virtual Prob calls. The
+// forward reachability sweep self-materializes every out-edge of R_W(u);
+// the reverse BFS can additionally walk in-edges whose tails lie outside
+// R_W(u), so those stragglers are filled lazily through an epoch-stamped
+// validity array — each edge's posterior is evaluated at most once per
+// estimation, then reused by up to max_samples reverse probes.
 
 #ifndef PITEX_SRC_SAMPLING_RR_SAMPLER_H_
 #define PITEX_SRC_SAMPLING_RR_SAMPLER_H_
@@ -13,6 +22,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/sampling/estimator_common.h"
 #include "src/sampling/influence_estimator.h"
 #include "src/sampling/sample_size.h"
 #include "src/util/random.h"
@@ -29,9 +39,19 @@ class RrSampler final : public InfluenceOracle {
  private:
   const Graph& graph_;
   SampleSizePolicy policy_;
+  const double threshold_;  // StoppingThreshold() is lgamma-heavy
   Rng rng_;
+  // Reverse-BFS visited marks + stack (reused across samples and calls).
   std::vector<uint32_t> visit_epoch_;
   uint32_t epoch_ = 0;
+  std::vector<VertexId> stack_;
+  // Forward reachability sweep scratch (allocation-free after warmup).
+  ReachScratch reach_;
+  // Lazily filled dense probability table; prob_epoch_ stamps validity
+  // per call, so stale entries cost nothing to discard.
+  std::vector<double> edge_prob_;
+  std::vector<uint32_t> edge_prob_epoch_;
+  uint32_t prob_epoch_ = 0;
 };
 
 }  // namespace pitex

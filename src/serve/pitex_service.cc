@@ -1,0 +1,429 @@
+#include "src/serve/pitex_service.h"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "src/index/index_io.h"
+#include "src/util/check.h"
+
+namespace pitex {
+
+PitexService::PitexService(const SocialNetwork* network,
+                           const ServeOptions& options)
+    : network_(network), options_(options) {
+  PITEX_CHECK(network != nullptr);
+  options_.num_threads = std::max<size_t>(1, options_.num_threads);
+  options_.top_n = std::max<size_t>(1, options_.top_n);
+  options_.latency_window = std::max<size_t>(1, options_.latency_window);
+  // Containers that Stats()/ClearLatencyWindow() traverse are sized here
+  // and never reassigned again, so those methods stay safe to call
+  // concurrently with a lazy Start() from another thread.
+  deques_.resize(options_.num_threads);
+  workers_ = std::vector<WorkerState>(options_.num_threads);
+  // Deterministic mode forbids the cache: a hit skips the engine, so the
+  // worker's sampler RNG would not advance and every subsequent answer
+  // on that worker would diverge from BatchEngine.
+  if (options_.mode == ScheduleMode::kWorkStealing &&
+      options_.cache_capacity > 0) {
+    cache_ = std::make_unique<ResultCache>(options_.cache_capacity,
+                                           options_.cache_shards);
+  }
+}
+
+PitexService::~PitexService() {
+  if (pool_ != nullptr) {
+    {
+      std::lock_guard<std::mutex> lock(sched_mutex_);
+      stop_ = true;
+    }
+    work_cv_.notify_all();
+    // ThreadPool::~ThreadPool waits for the pumps, which drain every
+    // still-pending query (promises must not be abandoned) and exit.
+    pool_.reset();
+  }
+}
+
+void PitexService::Start() {
+  if (started_.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> start_lock(start_mutex_);
+  if (started_.load(std::memory_order_relaxed)) return;
+
+  const size_t num_threads = options_.num_threads;
+  pool_ = std::make_unique<ThreadPool>(num_threads);
+
+  // Offline cost is paid once here, exactly as BatchEngine::Prepare does
+  // (deterministic mode depends on the index derivation matching).
+  const Method method = options_.engine.method;
+  RrIndexOptions index_options;
+  index_options.eps = options_.engine.eps;
+  index_options.delta = options_.engine.delta;
+  index_options.cap_k = options_.engine.index_cap_k;
+  index_options.theta_per_vertex = options_.engine.index_theta_per_vertex;
+  index_options.max_theta = options_.engine.index_max_theta;
+  index_options.seed = options_.engine.seed;
+
+  std::shared_ptr<const IndexSnapshot> snapshot;
+  if (method == Method::kIndexEst || method == Method::kIndexEstPlus) {
+    if (options_.enable_updates) {
+      // Shadow master: repairs mutate it privately; every published
+      // epoch is an immutable packed replica. The initial state is
+      // bit-identical to a freshly built RrIndex with these options.
+      master_ = std::make_unique<DynamicRrIndex>(*network_, index_options);
+      master_->Build();
+      snapshot = IndexSnapshot::FromDynamic(*master_, 1);
+    } else {
+      index_options.num_build_threads = num_threads;
+      auto index = std::make_unique<RrIndex>(*network_, index_options);
+      // The pump pool doubles as the build pool (pumps are parked only
+      // after the build); the index is bit-identical for any pool size.
+      index->Build(pool_.get());
+      snapshot = IndexSnapshot::Wrap(network_, std::move(index), "", 1);
+    }
+  } else {
+    PITEX_CHECK_MSG(!options_.enable_updates,
+                    "enable_updates requires kIndexEst or kIndexEstPlus");
+    if (method == Method::kDelayMat) {
+      DelayMatIndex prototype(*network_, index_options);
+      prototype.Build();
+      std::stringstream snapshot_stream;
+      std::string error;
+      PITEX_CHECK_MSG(SaveDelayMatIndex(prototype, snapshot_stream, &error),
+                      error.c_str());
+      snapshot =
+          IndexSnapshot::Wrap(network_, nullptr, snapshot_stream.str(), 1);
+    } else {
+      snapshot = IndexSnapshot::Wrap(network_, nullptr, "", 1);
+    }
+  }
+  registry_.Publish(std::move(snapshot));
+
+  for (size_t i = 0; i < num_threads; ++i) {
+    pool_->SubmitIndexed([this](size_t worker) { PumpLoop(worker); });
+  }
+  started_.store(true, std::memory_order_release);
+}
+
+void PitexService::EnqueueLocked(PendingQuery item, size_t sequence) {
+  size_t worker;
+  if (options_.mode == ScheduleMode::kDeterministic) {
+    worker = sequence % deques_.size();
+  } else {
+    // User-affinity placement: the per-worker engine replicas keep
+    // per-user state (IndexEst+ filter caches, DelayMat recovered
+    // graphs), so a user's home deque is chosen by hash, keeping those
+    // caches warm across the stream. Stealing remains the overflow
+    // valve when a home deque runs hot.
+    const uint64_t hash =
+        static_cast<uint64_t>(item.query.user) * 0x9e3779b97f4a7c15ULL;
+    worker = static_cast<size_t>(hash >> 32) % deques_.size();
+  }
+  deques_[worker].push_back(std::move(item));
+}
+
+bool PitexService::AnyStealableLocked(size_t thief) const {
+  // Backlogs of one are left to their home worker: stealing the last
+  // item buys nothing but a cold per-user cache on the thief. The
+  // predicate must match TryStealLocked exactly, or an idle pump would
+  // spin on work it can never claim.
+  for (size_t v = 0; v < deques_.size(); ++v) {
+    if (v != thief && deques_[v].size() >= 2) return true;
+  }
+  return false;
+}
+
+// Queries claimed per lock acquisition. Runs amortize the scheduler's
+// mutex/condvar traffic across many queries while staying small enough
+// that the tail of a skewed batch is still redistributed finely.
+constexpr size_t kMaxRunLength = 16;
+
+bool PitexService::TryStealLocked(size_t thief,
+                                  std::vector<PendingQuery>* run) {
+  size_t best = deques_.size();
+  size_t best_size = 0;
+  for (size_t v = 0; v < deques_.size(); ++v) {
+    if (v == thief) continue;
+    if (deques_[v].size() > best_size) {
+      best = v;
+      best_size = deques_[v].size();
+    }
+  }
+  if (best == deques_.size() || best_size < 2) return false;
+  // Steal half the victim's backlog (capped) from the back: the owner
+  // pops the front, so thief and owner touch opposite ends, and one
+  // steal rebalances a whole run instead of a single query.
+  std::deque<PendingQuery>& victim = deques_[best];
+  const size_t take = std::min(kMaxRunLength, victim.size() / 2);
+  const size_t start = victim.size() - take;
+  for (size_t i = start; i < victim.size(); ++i) {
+    run->push_back(std::move(victim[i]));
+  }
+  victim.erase(victim.begin() + static_cast<ptrdiff_t>(start), victim.end());
+  return true;
+}
+
+void PitexService::PumpLoop(size_t worker) {
+  const bool stealing = options_.mode == ScheduleMode::kWorkStealing;
+  std::vector<PendingQuery> run;
+  run.reserve(kMaxRunLength);
+  for (;;) {
+    run.clear();
+    bool stolen = false;
+    {
+      std::unique_lock<std::mutex> lock(sched_mutex_);
+      work_cv_.wait(lock, [&] {
+        return stop_ || !deques_[worker].empty() ||
+               (stealing && AnyStealableLocked(worker));
+      });
+      std::deque<PendingQuery>& own = deques_[worker];
+      if (!own.empty()) {
+        // Claim a run of the own backlog. Halving (instead of taking it
+        // all) leaves the rest visible to thieves, so a worker stuck on
+        // an expensive run is still relieved.
+        const size_t take =
+            std::min(kMaxRunLength, std::max<size_t>(1, own.size() / 2));
+        for (size_t i = 0; i < take; ++i) {
+          run.push_back(std::move(own.front()));
+          own.pop_front();
+        }
+      } else if (stealing && TryStealLocked(worker, &run)) {
+        stolen = true;
+      } else if (stop_) {
+        return;  // drained: stop only ever fires after pending work
+      } else {
+        continue;  // another pump took the work this wakeup announced
+      }
+    }
+    ServeRun(worker, &run, stolen);
+  }
+}
+
+void PitexService::BindWorker(WorkerState* state,
+                              std::shared_ptr<const IndexSnapshot> snapshot,
+                              size_t worker) {
+  EngineOptions worker_options = options_.engine;
+  worker_options.seed = options_.engine.seed + worker;
+  auto engine =
+      std::make_unique<PitexEngine>(&snapshot->network(), worker_options);
+  if (snapshot->rr_index() != nullptr) {
+    engine->UseSharedRrIndex(snapshot->rr_index());
+  } else if (!snapshot->delay_snapshot().empty()) {
+    // DelayMat caches recovered graphs per query user and must not be
+    // shared: hydrate a private replica from the serialized prototype.
+    std::stringstream snapshot_stream(snapshot->delay_snapshot());
+    std::string error;
+    auto replica =
+        LoadDelayMatIndex(snapshot->network(), snapshot_stream, &error);
+    PITEX_CHECK_MSG(replica != nullptr, error.c_str());
+    engine->AdoptDelayMatIndex(std::move(replica));
+  }
+  engine->BuildIndex();  // wraps/attaches; cheap for adopted indexes
+  state->engine = std::move(engine);
+  state->engine_epoch = snapshot->epoch();
+  state->snapshot = std::move(snapshot);  // pin: keeps the epoch alive
+}
+
+void PitexService::ServeRun(size_t worker, std::vector<PendingQuery>* run,
+                            bool stolen) {
+  // Epoch pickup is per run: a publish mid-run becomes visible on the
+  // next claim. Answers are still labeled with the epoch that actually
+  // computed them (state.engine_epoch), so correctness is unaffected.
+  std::shared_ptr<const IndexSnapshot> snapshot = registry_.Current();
+  WorkerState& state = workers_[worker];
+  if (state.engine == nullptr || state.engine_epoch != snapshot->epoch()) {
+    BindWorker(&state, std::move(snapshot), worker);
+  }
+
+  ResultCacheKey key;
+  key.top_n = static_cast<uint32_t>(options_.top_n);
+  key.method = static_cast<uint8_t>(options_.engine.method);
+  key.epoch = state.engine_epoch;
+
+  double latencies[kMaxRunLength];
+  ServedResult outs[kMaxRunLength];
+  size_t count = 0;
+
+  for (PendingQuery& item : *run) {
+    ServedResult& out = outs[count];
+    out.epoch = state.engine_epoch;
+    out.worker = static_cast<uint32_t>(worker);
+    out.stolen = stolen;
+    out.cache_hit = false;
+    key.user = item.query.user;
+    key.k = static_cast<uint32_t>(item.query.k);
+
+    if (cache_ != nullptr && cache_->Lookup(key, &out.ranking)) {
+      out.cache_hit = true;
+      out.result = PitexResult{};
+      out.result.tags = out.ranking.front().tags;
+      out.result.influence = out.ranking.front().influence;
+    } else {
+      if (options_.top_n == 1) {
+        out.result = state.engine->Explore(item.query);
+        out.ranking.assign(
+            1, RankedTagSet{out.result.tags, out.result.influence});
+      } else {
+        out.ranking = state.engine->ExploreTopN(item.query, options_.top_n);
+        out.result = PitexResult{};
+        if (!out.ranking.empty()) {
+          out.result.tags = out.ranking.front().tags;
+          out.result.influence = out.ranking.front().influence;
+        }
+      }
+      if (cache_ != nullptr) cache_->Insert(key, out.ranking);
+    }
+
+    latencies[count++] =
+        std::chrono::duration<double>(Clock::now() - item.enqueued).count();
+  }
+
+  // Flush the counters BEFORE delivering: once the batch waiter (or a
+  // future holder) unblocks, Stats() must already account for every
+  // query of this run. One flush per run, not per query.
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    state.served += count;
+    if (stolen) state.steals += count;
+    for (size_t i = 0; i < count; ++i) {
+      if (state.latency_ring.size() < options_.latency_window) {
+        state.latency_ring.push_back(latencies[i]);
+      } else {
+        state.latency_ring[state.latency_pos] = latencies[i];
+        state.latency_pos =
+            (state.latency_pos + 1) % state.latency_ring.size();
+      }
+    }
+  }
+
+  for (size_t i = 0; i < count; ++i) {
+    PendingQuery& item = (*run)[i];
+    if (item.promise != nullptr) {
+      item.promise->set_value(std::move(outs[i]));
+    } else if (item.slot != nullptr) {
+      *item.slot = std::move(outs[i]);
+    }
+    if (item.remaining != nullptr &&
+        item.remaining->fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      // Lock/unlock pairs with the waiter's predicate check so the final
+      // notify cannot slip between its check and its wait.
+      std::lock_guard<std::mutex> lock(batch_mutex_);
+      batch_cv_.notify_all();
+    }
+  }
+}
+
+std::vector<ServedResult> PitexService::ServeAll(
+    std::span<const PitexQuery> queries) {
+  if (queries.empty()) return {};
+  Start();
+  std::vector<ServedResult> results(queries.size());
+  std::atomic<size_t> remaining{queries.size()};
+  const auto now = Clock::now();
+  {
+    std::lock_guard<std::mutex> lock(sched_mutex_);
+    for (size_t i = 0; i < queries.size(); ++i) {
+      PendingQuery item;
+      item.query = queries[i];
+      item.enqueued = now;
+      item.slot = &results[i];
+      item.remaining = &remaining;
+      // Batch-local i % N placement: in deterministic mode this IS the
+      // assignment (BatchEngine's round-robin); in work-stealing mode it
+      // is only the initial placement.
+      EnqueueLocked(std::move(item), i);
+    }
+  }
+  work_cv_.notify_all();
+  std::unique_lock<std::mutex> lock(batch_mutex_);
+  batch_cv_.wait(
+      lock, [&] { return remaining.load(std::memory_order_acquire) == 0; });
+  return results;
+}
+
+std::future<ServedResult> PitexService::Submit(const PitexQuery& query) {
+  Start();
+  PendingQuery item;
+  item.query = query;
+  item.enqueued = Clock::now();
+  item.promise = std::make_unique<std::promise<ServedResult>>();
+  std::future<ServedResult> future = item.promise->get_future();
+  {
+    std::lock_guard<std::mutex> lock(sched_mutex_);
+    EnqueueLocked(std::move(item), stream_seq_++);
+  }
+  work_cv_.notify_all();
+  return future;
+}
+
+uint64_t PitexService::ApplyUpdates(
+    std::span<const EdgeInfluenceUpdate> updates) {
+  Start();
+  PITEX_CHECK_MSG(master_ != nullptr,
+                  "ApplyUpdates requires options.enable_updates");
+  std::lock_guard<std::mutex> lock(update_mutex_);
+  master_->ApplyUpdates(updates);
+  const uint64_t epoch = registry_.current_epoch() + 1;
+  registry_.Publish(IndexSnapshot::FromDynamic(*master_, epoch));
+  work_cv_.notify_all();  // idle pumps may rebind eagerly on next query
+  return epoch;
+}
+
+std::shared_ptr<const IndexSnapshot> PitexService::CurrentSnapshot() const {
+  return registry_.Current();
+}
+
+uint64_t PitexService::current_epoch() const {
+  return registry_.current_epoch();
+}
+
+size_t PitexService::SharedIndexSizeBytes() const {
+  const auto snapshot = registry_.Current();
+  if (snapshot == nullptr) return 0;
+  if (snapshot->rr_index() != nullptr) {
+    return snapshot->rr_index()->SizeBytes();
+  }
+  return snapshot->delay_snapshot().size();
+}
+
+void PitexService::ClearLatencyWindow() {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  for (WorkerState& state : workers_) {
+    state.latency_ring.clear();
+    state.latency_pos = 0;
+  }
+}
+
+ServiceStats PitexService::Stats() {
+  ServiceStats stats;
+  std::vector<double> latencies;
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    stats.per_worker_served.reserve(workers_.size());
+    for (const WorkerState& state : workers_) {
+      stats.per_worker_served.push_back(state.served);
+      stats.queries_served += state.served;
+      stats.steals += state.steals;
+      latencies.insert(latencies.end(), state.latency_ring.begin(),
+                       state.latency_ring.end());
+    }
+  }
+  if (cache_ != nullptr) {
+    const ResultCache::Stats cache_stats = cache_->GetStats();
+    stats.cache_hits = cache_stats.hits;
+    stats.cache_entries = cache_stats.entries;
+    stats.cache_evictions = cache_stats.evictions;
+  }
+  // Cache hit counters advance per query while served counts flush per
+  // run, so a concurrent poll can briefly observe hits > served; clamp
+  // instead of letting the unsigned subtraction wrap.
+  stats.cache_misses = stats.queries_served >= stats.cache_hits
+                           ? stats.queries_served - stats.cache_hits
+                           : 0;
+  stats.epochs_published = registry_.epochs_published();
+  stats.current_epoch = registry_.current_epoch();
+  stats.snapshots_alive = registry_.AliveSnapshots();
+  stats.latency = SummarizeLatencies(std::move(latencies));
+  return stats;
+}
+
+}  // namespace pitex

@@ -1,0 +1,214 @@
+// PitexService: the online query-serving subsystem.
+//
+// BatchEngine (src/core/batch_engine.h) answers a closed batch with
+// static round-robin worker assignment — the right tool for offline
+// evaluation runs, and deliberately deterministic. A serving deployment
+// faces a different shape: an open stream of queries with skewed
+// per-query cost (hub users cost orders of magnitude more than leaf
+// users), arriving in bursts, while the underlying influence model is
+// re-learned continually. PitexService covers that scenario class:
+//
+//   * scheduling — every query lands on a per-worker FIFO deque; idle
+//     workers steal from the most loaded deque, so one hub query no
+//     longer stalls the whole residue class it round-robins into. Each
+//     worker owns a persistent PitexEngine replica (and thereby a
+//     persistent BestEffortScratch + sampler state), so steady-state
+//     serving allocates only at the scheduling layer. A `deterministic`
+//     mode disables stealing and pins query i of a ServeAll batch to
+//     worker i % num_threads — reproducing BatchEngine::ExploreAll
+//     bit-identically (pinned by tests/pitex_service_test.cc);
+//   * snapshots — queries pin the current IndexSnapshot; ApplyUpdates
+//     repairs a shadow DynamicRrIndex master and publishes a fresh
+//     immutable snapshot, so in-flight queries finish on the epoch they
+//     started while new queries see the repaired index (see
+//     src/serve/snapshot_registry.h);
+//   * memoization — answers are cached per (user, k, top_n, method,
+//     epoch) in a sharded LRU ResultCache; epoch keying makes update
+//     invalidation free. The cache is forced off in deterministic mode
+//     (a hit would skip sampler RNG advancement and change every later
+//     answer on that worker).
+//
+// Threading: built on util/thread_pool — Start() parks one pump task per
+// pool worker via SubmitIndexed, whose worker index keys the engine
+// replica. ServeAll blocks until its batch drains; Submit returns a
+// future for streaming callers. All public methods are thread-safe;
+// ServeAll/Submit may run concurrently with ApplyUpdates.
+
+#ifndef PITEX_SRC_SERVE_PITEX_SERVICE_H_
+#define PITEX_SRC_SERVE_PITEX_SERVICE_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "src/core/engine.h"
+#include "src/index/dynamic_index.h"
+#include "src/serve/result_cache.h"
+#include "src/serve/service_stats.h"
+#include "src/serve/snapshot_registry.h"
+#include "src/util/thread_pool.h"
+
+namespace pitex {
+
+enum class ScheduleMode {
+  /// Per-worker deques with stealing: best throughput under skew; the
+  /// worker (and hence sampler seed) serving a query is load-dependent.
+  kWorkStealing,
+  /// Static assignment (batch query i -> worker i % num_threads), no
+  /// stealing, no cache: bit-identical to BatchEngine::ExploreAll for
+  /// the same (options, num_threads).
+  kDeterministic,
+};
+
+struct ServeOptions {
+  /// Per-worker engine configuration; worker w uses seed engine.seed + w
+  /// (the same derivation as BatchEngine).
+  EngineOptions engine;
+  size_t num_threads = 4;
+  ScheduleMode mode = ScheduleMode::kWorkStealing;
+  /// Ranked answers per query (1 = classic Explore).
+  size_t top_n = 1;
+  /// Result-cache entry budget; 0 disables. Ignored (off) in
+  /// deterministic mode.
+  size_t cache_capacity = 4096;
+  size_t cache_shards = 8;
+  /// Keep a DynamicRrIndex master so ApplyUpdates can publish repaired
+  /// snapshots. Requires an RR-Graph method (kIndexEst / kIndexEstPlus).
+  bool enable_updates = false;
+  /// Per-worker ring size for latency samples (Stats()).
+  size_t latency_window = 1 << 14;
+};
+
+/// One served answer plus serving metadata.
+struct ServedResult {
+  PitexResult result;
+  /// Up to top_n ranked tag sets (ranking[0] == result.tags). For cache
+  /// hits the PitexResult counters are zero — no work was done.
+  std::vector<RankedTagSet> ranking;
+  /// Index epoch the answer was computed against.
+  uint64_t epoch = 0;
+  /// Worker that served it.
+  uint32_t worker = 0;
+  bool cache_hit = false;
+  /// Served off another worker's deque (work-stealing mode).
+  bool stolen = false;
+};
+
+class PitexService {
+ public:
+  /// `network` must outlive the service.
+  PitexService(const SocialNetwork* network, const ServeOptions& options);
+  ~PitexService();
+
+  PitexService(const PitexService&) = delete;
+  PitexService& operator=(const PitexService&) = delete;
+
+  /// Builds the epoch-1 snapshot (offline index for index methods) and
+  /// parks the worker pumps. Idempotent; invoked lazily by the serving
+  /// entry points.
+  void Start();
+
+  /// Answers a batch: results[i] corresponds to queries[i]. Blocks until
+  /// every query in the batch is served; other threads may ServeAll /
+  /// Submit / ApplyUpdates concurrently.
+  std::vector<ServedResult> ServeAll(std::span<const PitexQuery> queries);
+
+  /// Streaming entry point: enqueues one query, returns immediately.
+  std::future<ServedResult> Submit(const PitexQuery& query);
+
+  /// Repairs the shadow master index and atomically publishes the result
+  /// as a new snapshot epoch (returned). In-flight queries are
+  /// unaffected; subsequent queries see the repaired index. Requires
+  /// options.enable_updates.
+  uint64_t ApplyUpdates(std::span<const EdgeInfluenceUpdate> updates);
+
+  /// The snapshot new queries are currently served from.
+  std::shared_ptr<const IndexSnapshot> CurrentSnapshot() const;
+  uint64_t current_epoch() const;
+
+  /// Consistent counter snapshot (prunes expired snapshot observers).
+  ServiceStats Stats();
+
+  /// Drops the latency sample window (e.g. after warmup, or when a
+  /// metrics scraper wants per-interval percentiles). Cumulative
+  /// counters are unaffected.
+  void ClearLatencyWindow();
+
+  /// Footprint of the current snapshot's shared index (0 for online
+  /// methods).
+  size_t SharedIndexSizeBytes() const;
+
+  const ServeOptions& options() const { return options_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct PendingQuery {
+    PitexQuery query;
+    Clock::time_point enqueued;
+    ServedResult* slot = nullptr;                      // batch delivery
+    std::unique_ptr<std::promise<ServedResult>> promise;  // streaming
+    std::atomic<size_t>* remaining = nullptr;          // batch countdown
+  };
+
+  /// Engine replica + pinned snapshot + counters of one worker. Only
+  /// pump w touches `engine`/`snapshot` (worker exclusivity via
+  /// SubmitIndexed); the counters are guarded by stats_mutex_.
+  struct WorkerState {
+    std::unique_ptr<PitexEngine> engine;
+    std::shared_ptr<const IndexSnapshot> snapshot;
+    uint64_t engine_epoch = 0;
+    uint64_t served = 0;
+    uint64_t steals = 0;
+    std::vector<double> latency_ring;
+    size_t latency_pos = 0;
+  };
+
+  void PumpLoop(size_t worker);
+  void ServeRun(size_t worker, std::vector<PendingQuery>* run, bool stolen);
+  void BindWorker(WorkerState* state,
+                  std::shared_ptr<const IndexSnapshot> snapshot,
+                  size_t worker);
+  void EnqueueLocked(PendingQuery item, size_t sequence);
+  bool AnyStealableLocked(size_t thief) const;
+  bool TryStealLocked(size_t thief, std::vector<PendingQuery>* run);
+
+  const SocialNetwork* network_;
+  ServeOptions options_;
+
+  std::mutex start_mutex_;
+  std::atomic<bool> started_{false};
+
+  IndexSnapshotRegistry registry_;
+  std::mutex update_mutex_;  // serializes ApplyUpdates publishers
+  std::unique_ptr<DynamicRrIndex> master_;  // shadow copy (enable_updates)
+  std::unique_ptr<ResultCache> cache_;
+
+  // Scheduler state, guarded by sched_mutex_.
+  std::mutex sched_mutex_;
+  std::condition_variable work_cv_;
+  std::vector<std::deque<PendingQuery>> deques_;
+  bool stop_ = false;
+  uint64_t stream_seq_ = 0;  // round-robin placement for Submit
+
+  // Batch completion: decrement-to-zero notifies under batch_mutex_.
+  std::mutex batch_mutex_;
+  std::condition_variable batch_cv_;
+
+  std::mutex stats_mutex_;
+  std::vector<WorkerState> workers_;
+
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace pitex
+
+#endif  // PITEX_SRC_SERVE_PITEX_SERVICE_H_

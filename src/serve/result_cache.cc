@@ -1,0 +1,74 @@
+#include "src/serve/result_cache.h"
+
+#include <algorithm>
+
+namespace pitex {
+
+ResultCache::ResultCache(size_t capacity, size_t num_shards)
+    : capacity_(capacity) {
+  const size_t count = std::max<size_t>(1, num_shards);
+  shards_.reserve(count);
+  // Ceil-divide so the shards together hold at least `capacity` entries.
+  const size_t per_shard = capacity == 0 ? 0 : (capacity + count - 1) / count;
+  for (size_t i = 0; i < count; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->capacity = per_shard;
+    shards_.push_back(std::move(shard));
+  }
+}
+
+ResultCache::Shard& ResultCache::ShardFor(const ResultCacheKey& key) {
+  return *shards_[ResultCacheKeyHash{}(key) % shards_.size()];
+}
+
+bool ResultCache::Lookup(const ResultCacheKey& key,
+                         std::vector<RankedTagSet>* out) {
+  if (!enabled()) return false;
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    ++shard.misses;
+    return false;
+  }
+  ++shard.hits;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  *out = it->second->second;
+  return true;
+}
+
+void ResultCache::Insert(const ResultCacheKey& key,
+                         const std::vector<RankedTagSet>& ranking) {
+  if (!enabled()) return;
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    it->second->second = ranking;
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  shard.lru.emplace_front(key, ranking);
+  shard.index.emplace(key, shard.lru.begin());
+  ++shard.insertions;
+  while (shard.lru.size() > shard.capacity) {
+    shard.index.erase(shard.lru.back().first);
+    shard.lru.pop_back();
+    ++shard.evictions;
+  }
+}
+
+ResultCache::Stats ResultCache::GetStats() const {
+  Stats stats;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    stats.hits += shard->hits;
+    stats.misses += shard->misses;
+    stats.insertions += shard->insertions;
+    stats.evictions += shard->evictions;
+    stats.entries += shard->lru.size();
+  }
+  return stats;
+}
+
+}  // namespace pitex

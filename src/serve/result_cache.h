@@ -1,0 +1,120 @@
+// Sharded LRU memoization of PITEX top-N rankings for the serving layer.
+//
+// A production query stream is heavily repetitive — the same influential
+// users get explored again and again — while a PITEX answer is a pure
+// function of (user, k, top_n, method, index epoch): the index methods
+// are deterministic given a snapshot, and for the sampling methods any
+// best-effort answer within the accuracy envelope is equally valid, so
+// replaying the first one is sound. Keying on the snapshot epoch makes
+// invalidation free: publishing a repaired index bumps the epoch and all
+// cached entries for older epochs simply stop being reachable (and age
+// out of the LRU) — no scan, no flush, and a query in flight on an old
+// snapshot can still hit entries of its own epoch.
+//
+// Sharding: the key hash picks one of N independently locked shards, so
+// concurrent workers rarely contend; each shard runs its own LRU list.
+
+#ifndef PITEX_SRC_SERVE_RESULT_CACHE_H_
+#define PITEX_SRC_SERVE_RESULT_CACHE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/core/best_effort_solver.h"
+#include "src/model/influence_graph.h"
+
+namespace pitex {
+
+/// Identity of a memoizable serving answer. Two queries with equal keys
+/// are interchangeable: same user, same search shape, same method, and
+/// the same immutable index snapshot.
+struct ResultCacheKey {
+  VertexId user = 0;
+  uint32_t k = 0;
+  uint32_t top_n = 0;
+  uint8_t method = 0;  // static_cast<uint8_t>(Method)
+  uint64_t epoch = 0;
+
+  bool operator==(const ResultCacheKey&) const = default;
+};
+
+struct ResultCacheKeyHash {
+  size_t operator()(const ResultCacheKey& key) const {
+    // FNV-1a over the field values; cheap and well-mixed for shard
+    // selection and bucket placement alike.
+    uint64_t h = 0xcbf29ce484222325ULL;
+    const auto mix = [&h](uint64_t v) {
+      h ^= v;
+      h *= 0x100000001b3ULL;
+    };
+    mix(key.user);
+    mix((static_cast<uint64_t>(key.k) << 40) |
+        (static_cast<uint64_t>(key.top_n) << 8) | key.method);
+    mix(key.epoch);
+    return static_cast<size_t>(h);
+  }
+};
+
+class ResultCache {
+ public:
+  /// `capacity` is the total entry budget across all shards (rounded up
+  /// to at least one entry per shard). A zero capacity disables the
+  /// cache: Lookup always misses, Insert is a no-op.
+  ResultCache(size_t capacity, size_t num_shards);
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  /// On hit, copies the cached ranking into `*out` (cleared first),
+  /// promotes the entry to most-recently-used, and returns true.
+  bool Lookup(const ResultCacheKey& key, std::vector<RankedTagSet>* out);
+
+  /// Inserts (or refreshes) the ranking for `key`, evicting the shard's
+  /// least-recently-used entry when over budget.
+  void Insert(const ResultCacheKey& key,
+              const std::vector<RankedTagSet>& ranking);
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t insertions = 0;
+    uint64_t evictions = 0;
+    size_t entries = 0;
+  };
+  /// Aggregated over all shards.
+  Stats GetStats() const;
+
+  size_t capacity() const { return capacity_; }
+  size_t num_shards() const { return shards_.size(); }
+  bool enabled() const { return capacity_ > 0; }
+
+ private:
+  using Entry = std::pair<ResultCacheKey, std::vector<RankedTagSet>>;
+  struct Shard {
+    std::mutex mutex;
+    std::list<Entry> lru;  // front = most recently used
+    std::unordered_map<ResultCacheKey, std::list<Entry>::iterator,
+                       ResultCacheKeyHash>
+        index;
+    size_t capacity = 0;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t insertions = 0;
+    uint64_t evictions = 0;
+  };
+
+  Shard& ShardFor(const ResultCacheKey& key);
+
+  size_t capacity_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace pitex
+
+#endif  // PITEX_SRC_SERVE_RESULT_CACHE_H_

@@ -1,0 +1,80 @@
+// Observability for the online serving layer (src/serve/pitex_service.h).
+//
+// The serving loop records one latency sample per engine-served query
+// (sojourn time: queue wait + engine execution, the quantity a latency
+// SLO is written against) into bounded per-worker rings, and counts
+// cache hits, steals, and per-worker load. PitexService::Stats()
+// assembles everything into one ServiceStats value — a consistent
+// snapshot cheap enough to poll from a metrics scraper.
+
+#ifndef PITEX_SRC_SERVE_SERVICE_STATS_H_
+#define PITEX_SRC_SERVE_SERVICE_STATS_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace pitex {
+
+/// Order statistics of a latency sample set, in seconds.
+struct LatencySummary {
+  uint64_t count = 0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+};
+
+/// Computes the summary by sorting a copy of `samples` (nearest-rank
+/// percentiles). Empty input yields an all-zero summary.
+inline LatencySummary SummarizeLatencies(std::vector<double> samples) {
+  LatencySummary summary;
+  if (samples.empty()) return summary;
+  std::sort(samples.begin(), samples.end());
+  summary.count = samples.size();
+  double sum = 0.0;
+  for (const double s : samples) sum += s;
+  summary.mean = sum / static_cast<double>(samples.size());
+  const auto at = [&samples](double q) {
+    const size_t n = samples.size();
+    const size_t rank = std::min(
+        n - 1, static_cast<size_t>(q * static_cast<double>(n)));
+    return samples[rank];
+  };
+  summary.p50 = at(0.50);
+  summary.p95 = at(0.95);
+  summary.p99 = at(0.99);
+  summary.max = samples.back();
+  return summary;
+}
+
+/// One serving-side counter snapshot (PitexService::Stats()).
+struct ServiceStats {
+  /// Queries answered (cache hits + engine executions).
+  uint64_t queries_served = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  /// Result-cache entries currently resident / evicted so far.
+  size_t cache_entries = 0;
+  uint64_t cache_evictions = 0;
+  /// Queries a worker served off another worker's deque (work-stealing
+  /// mode only; always 0 in deterministic mode).
+  uint64_t steals = 0;
+  /// Index snapshots published so far (initial snapshot included).
+  uint64_t epochs_published = 0;
+  /// The epoch new queries are currently served from.
+  uint64_t current_epoch = 0;
+  /// Retired snapshots still pinned by in-flight readers.
+  size_t snapshots_alive = 0;
+  /// Engine-served queries per worker (load-balance visibility).
+  std::vector<uint64_t> per_worker_served;
+  /// Sojourn latency (enqueue -> answered) of engine-served queries,
+  /// over a bounded window of recent samples.
+  LatencySummary latency;
+};
+
+}  // namespace pitex
+
+#endif  // PITEX_SRC_SERVE_SERVICE_STATS_H_

@@ -1,0 +1,78 @@
+#include "src/serve/snapshot_registry.h"
+
+#include <algorithm>
+
+#include "src/index/rr_sketch_pool.h"
+#include "src/util/check.h"
+
+namespace pitex {
+
+std::shared_ptr<const IndexSnapshot> IndexSnapshot::Wrap(
+    const SocialNetwork* network, std::unique_ptr<RrIndex> rr_index,
+    std::string delay_snapshot, uint64_t epoch) {
+  PITEX_CHECK(network != nullptr);
+  auto snapshot = std::shared_ptr<IndexSnapshot>(new IndexSnapshot());
+  // Non-owning alias: the control block holds nothing, the pointer is
+  // the caller's network (which outlives the snapshot by contract).
+  snapshot->network_ =
+      std::shared_ptr<const SocialNetwork>(std::shared_ptr<void>(), network);
+  snapshot->rr_index_ = std::move(rr_index);
+  snapshot->delay_snapshot_ = std::move(delay_snapshot);
+  snapshot->epoch_ = epoch;
+  return snapshot;
+}
+
+std::shared_ptr<const IndexSnapshot> IndexSnapshot::FromDynamic(
+    const DynamicRrIndex& master, uint64_t epoch) {
+  auto snapshot = std::shared_ptr<IndexSnapshot>(new IndexSnapshot());
+  // The frozen network copy must live in the snapshot (stable address)
+  // before the RrIndex replica can reference it.
+  auto network = std::make_shared<SocialNetwork>(master.network());
+  RrSketchPool pool =
+      RrSketchPool::Pack(master.graphs(), network->num_vertices());
+  snapshot->rr_index_ = RrIndex::FromPool(*network, master.options(),
+                                          master.theta(), std::move(pool));
+  snapshot->network_ = std::move(network);
+  snapshot->epoch_ = epoch;
+  return snapshot;
+}
+
+void IndexSnapshotRegistry::Publish(
+    std::shared_ptr<const IndexSnapshot> snapshot) {
+  PITEX_CHECK(snapshot != nullptr);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (current_ != nullptr) {
+    PITEX_CHECK_MSG(snapshot->epoch() > current_->epoch(),
+                    "published epoch must increase");
+    retired_.push_back(current_);
+  }
+  current_ = std::move(snapshot);
+  ++epochs_published_;
+}
+
+std::shared_ptr<const IndexSnapshot> IndexSnapshotRegistry::Current() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return current_;
+}
+
+uint64_t IndexSnapshotRegistry::current_epoch() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return current_ == nullptr ? 0 : current_->epoch();
+}
+
+uint64_t IndexSnapshotRegistry::epochs_published() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return epochs_published_;
+}
+
+size_t IndexSnapshotRegistry::AliveSnapshots() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  retired_.erase(std::remove_if(retired_.begin(), retired_.end(),
+                                [](const std::weak_ptr<const IndexSnapshot>& w) {
+                                  return w.expired();
+                                }),
+                 retired_.end());
+  return retired_.size();
+}
+
+}  // namespace pitex

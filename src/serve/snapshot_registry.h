@@ -1,0 +1,117 @@
+// Immutable, refcounted index snapshots with atomic hot swap.
+//
+// The serving layer must answer queries while the underlying index
+// evolves (DynamicRrIndex repairs as the influence model drifts). The
+// classic lock answer — a reader/writer lock around the index — stalls
+// every in-flight query for the duration of a repair batch. Instead the
+// registry versions the index into immutable *snapshots*:
+//
+//   * an IndexSnapshot is a frozen (network copy, RrIndex replica) pair
+//     stamped with a monotonically increasing epoch. It is never mutated
+//     after construction, so any number of workers read it without
+//     synchronization (RrIndex estimation is const + per-thread scratch);
+//   * repairs run on the writer's private master DynamicRrIndex — a
+//     shadow copy no reader ever sees — and publishing packs the master
+//     into a fresh snapshot and swaps the registry's current pointer
+//     under a mutex held for nanoseconds, not for the repair;
+//   * reclamation is refcount-by-epoch: each query pins the snapshot it
+//     started on via shared_ptr, so an old epoch stays alive exactly
+//     until its last in-flight reader finishes, then frees itself. The
+//     registry keeps weak observers of retired epochs purely for
+//     stats/tests (AliveSnapshots).
+//
+// The registry stores snapshots only; the writer-side master and the
+// publish cadence live in PitexService (src/serve/pitex_service.h).
+
+#ifndef PITEX_SRC_SERVE_SNAPSHOT_REGISTRY_H_
+#define PITEX_SRC_SERVE_SNAPSHOT_REGISTRY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/index/dynamic_index.h"
+#include "src/index/rr_index.h"
+
+namespace pitex {
+
+/// One immutable serving version of the index. Workers bind engine
+/// replicas to a snapshot's network + index and keep a shared_ptr pin
+/// for as long as any engine references it.
+class IndexSnapshot {
+ public:
+  /// Frozen copy of the influence model the index was sampled from;
+  /// posterior probabilities for queries served from this snapshot must
+  /// be computed against it.
+  const SocialNetwork& network() const { return *network_; }
+  /// Shared RR-Graph replica (kIndexEst / kIndexEstPlus), else null.
+  /// Read-only after build; safe for concurrent engines (see
+  /// PitexEngine::UseSharedRrIndex).
+  RrIndex* rr_index() const { return rr_index_.get(); }
+  /// Serialized DelayMat prototype (kDelayMat), hydrated per worker via
+  /// LoadDelayMatIndex; empty otherwise.
+  const std::string& delay_snapshot() const { return delay_snapshot_; }
+  uint64_t epoch() const { return epoch_; }
+
+  /// Aliases `network` without copying (initial snapshot on a caller-
+  /// owned network; `network` must outlive the snapshot). `rr_index` may
+  /// be null for online methods.
+  static std::shared_ptr<const IndexSnapshot> Wrap(
+      const SocialNetwork* network, std::unique_ptr<RrIndex> rr_index,
+      std::string delay_snapshot, uint64_t epoch);
+
+  /// Freezes the master's current state: copies its (post-update)
+  /// network and packs its sketches into an immutable pooled RrIndex
+  /// replica (RrIndex::FromPool). This is the publish path for
+  /// serve-during-update.
+  static std::shared_ptr<const IndexSnapshot> FromDynamic(
+      const DynamicRrIndex& master, uint64_t epoch);
+
+ private:
+  IndexSnapshot() = default;
+
+  std::shared_ptr<const SocialNetwork> network_;
+  std::unique_ptr<RrIndex> rr_index_;
+  std::string delay_snapshot_;
+  uint64_t epoch_ = 0;
+};
+
+class IndexSnapshotRegistry {
+ public:
+  IndexSnapshotRegistry() = default;
+
+  IndexSnapshotRegistry(const IndexSnapshotRegistry&) = delete;
+  IndexSnapshotRegistry& operator=(const IndexSnapshotRegistry&) = delete;
+
+  /// Atomically makes `snapshot` the version new queries are served
+  /// from. Its epoch must exceed the current one. In-flight readers of
+  /// older snapshots are unaffected; the displaced snapshot is retired
+  /// and reclaimed when its last reader unpins it.
+  void Publish(std::shared_ptr<const IndexSnapshot> snapshot);
+
+  /// The snapshot new queries should pin, or null before first Publish.
+  std::shared_ptr<const IndexSnapshot> Current() const;
+
+  /// Epoch of the current snapshot (0 before first Publish).
+  uint64_t current_epoch() const;
+  uint64_t epochs_published() const;
+
+  /// Retired snapshots still pinned by in-flight readers. Expired
+  /// observers are pruned as a side effect (epoch-based reclamation is
+  /// the shared_ptr refcount; this is the observability hook).
+  size_t AliveSnapshots();
+
+ private:
+  mutable std::mutex mutex_;
+  std::shared_ptr<const IndexSnapshot> current_;
+  std::vector<std::weak_ptr<const IndexSnapshot>> retired_;
+  uint64_t epochs_published_ = 0;
+};
+
+}  // namespace pitex
+
+#endif  // PITEX_SRC_SERVE_SNAPSHOT_REGISTRY_H_

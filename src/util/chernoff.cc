@@ -6,13 +6,32 @@
 
 #include "src/util/check.h"
 
+#if defined(__GLIBC__)
+// std::lgamma writes the POSIX process-global `signgam`, so concurrent
+// callers (every batch/serve worker computes a stopping threshold) race
+// on it. The reentrant variant keeps the sign local; it is not declared
+// under -std=c++20's strict mode, so declare it here.
+extern "C" double lgamma_r(double, int*);
+#endif
+
 namespace pitex {
+
+namespace {
+inline double LGamma(double x) {
+#if defined(__GLIBC__)
+  int sign = 0;
+  return lgamma_r(x, &sign);
+#else
+  return std::lgamma(x);
+#endif
+}
+}  // namespace
 
 double LogBinomial(int64_t n, int64_t k) {
   if (k <= 0 || k >= n) return 0.0;
-  return std::lgamma(static_cast<double>(n + 1)) -
-         std::lgamma(static_cast<double>(k + 1)) -
-         std::lgamma(static_cast<double>(n - k + 1));
+  return LGamma(static_cast<double>(n + 1)) -
+         LGamma(static_cast<double>(k + 1)) -
+         LGamma(static_cast<double>(n - k + 1));
 }
 
 uint64_t BinomialExact(int64_t n, int64_t k) {

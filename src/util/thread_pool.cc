@@ -12,7 +12,7 @@ ThreadPool::ThreadPool(size_t num_threads) {
   const size_t count = std::max<size_t>(1, num_threads);
   workers_.reserve(count);
   for (size_t i = 0; i < count; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
   }
 }
 
@@ -28,6 +28,11 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::Submit(std::function<void()> task) {
   PITEX_CHECK(task != nullptr);
+  SubmitIndexed([task = std::move(task)](size_t) { task(); });
+}
+
+void ThreadPool::SubmitIndexed(std::function<void(size_t)> task) {
+  PITEX_CHECK(task != nullptr);
   {
     std::lock_guard<std::mutex> lock(mutex_);
     PITEX_CHECK_MSG(!shutting_down_, "Submit after shutdown");
@@ -42,9 +47,9 @@ void ThreadPool::Wait() {
   all_idle_.wait(lock, [this] { return in_flight_ == 0; });
 }
 
-void ThreadPool::WorkerLoop() {
+void ThreadPool::WorkerLoop(size_t worker_index) {
   for (;;) {
-    std::function<void()> task;
+    std::function<void(size_t)> task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       work_available_.wait(
@@ -53,7 +58,7 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    task(worker_index);
     {
       std::lock_guard<std::mutex> lock(mutex_);
       --in_flight_;

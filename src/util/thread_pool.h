@@ -1,12 +1,18 @@
 // A fixed-size worker pool for batch query processing.
 //
 // The pool is deliberately minimal: submit void() tasks, wait for
-// quiescence, destructor joins. PITEX uses it for two workloads with
+// quiescence, destructor joins. PITEX uses it for three workloads with
 // different shapes:
 //   * batch PITEX queries (src/core/batch_engine.h): many independent
 //     medium-sized tasks, claimed via an atomic cursor;
 //   * bulk index construction already handles its own threading
-//     (src/index/rr_index.cc) because its partitioning is static.
+//     (src/index/rr_index.cc) because its partitioning is static;
+//   * the online serving layer (src/serve/pitex_service.h): long-lived
+//     pump tasks that need to know which worker runs them so they can
+//     bind to per-worker engine replicas — SubmitIndexed passes the
+//     executing worker's index into the task. Two tasks observing the
+//     same index never run concurrently (a worker runs one task at a
+//     time), so index-keyed state needs no locking.
 //
 // ParallelFor is the convenience wrapper for index-style static ranges.
 
@@ -38,6 +44,13 @@ class ThreadPool {
   /// exceptions); a task may Submit further tasks.
   void Submit(std::function<void()> task);
 
+  /// Like Submit, but the task receives the index (in [0, num_threads))
+  /// of the pool worker executing it. The index identifies an exclusive
+  /// slot: tasks seeing the same index are serialized, so per-worker
+  /// state (engine replicas, scratch buffers) indexed by it is safe
+  /// without synchronization.
+  void SubmitIndexed(std::function<void(size_t)> task);
+
   /// Blocks until every submitted task (including tasks submitted by
   /// running tasks) has finished.
   void Wait();
@@ -45,12 +58,12 @@ class ThreadPool {
   size_t num_threads() const { return workers_.size(); }
 
  private:
-  void WorkerLoop();
+  void WorkerLoop(size_t worker_index);
 
   std::mutex mutex_;
   std::condition_variable work_available_;
   std::condition_variable all_idle_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<std::function<void(size_t)>> queue_;
   size_t in_flight_ = 0;  // queued + currently running tasks
   bool shutting_down_ = false;
   std::vector<std::thread> workers_;

@@ -163,6 +163,37 @@ TEST(BatchEngineTest, LargeBatchOnSyntheticDataset) {
   EXPECT_GT(batch.last_batch_seconds(), 0.0);
 }
 
+TEST(BatchEngineTest, PerWorkerStatsAccountForEveryQuery) {
+  const SocialNetwork n = MakeRunningExample();
+  BatchOptions options;
+  options.engine.method = Method::kLazy;
+  options.engine.seed = 4;
+  options.num_threads = 3;
+  BatchEngine batch(&n, options);
+
+  EXPECT_TRUE(batch.last_worker_stats().empty());  // nothing run yet
+  const auto queries = MakeQueries(n, 11);
+  (void)batch.ExploreAll(queries);
+
+  const auto& stats = batch.last_worker_stats();
+  ASSERT_EQ(stats.size(), options.num_threads);
+  uint64_t total = 0;
+  for (size_t w = 0; w < stats.size(); ++w) {
+    // Round-robin: worker w gets ceil((11 - w) / 3) queries.
+    const uint64_t expected = (queries.size() - w + 2) / 3;
+    EXPECT_EQ(stats[w].queries, expected) << "worker " << w;
+    EXPECT_GE(stats[w].seconds, 0.0);
+    EXPECT_LE(stats[w].seconds, batch.last_batch_seconds() + 0.5);
+    total += stats[w].queries;
+  }
+  EXPECT_EQ(total, queries.size());
+
+  // Stats are per-call, not cumulative.
+  (void)batch.ExploreAll(MakeQueries(n, 3));
+  ASSERT_EQ(batch.last_worker_stats().size(), options.num_threads);
+  EXPECT_EQ(batch.last_worker_stats()[0].queries, 1u);
+}
+
 TEST(BatchEngineTest, EmptyBatchIsFine) {
   const SocialNetwork n = MakeRunningExample();
   BatchOptions options;

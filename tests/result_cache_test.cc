@@ -1,0 +1,122 @@
+// Tests for the serving-layer result cache (src/serve/result_cache.h):
+// hit/miss behavior, LRU eviction per shard, epoch keying, counters, and
+// concurrent access.
+
+#include "src/serve/result_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace pitex {
+namespace {
+
+std::vector<RankedTagSet> MakeRanking(TagId tag, double influence) {
+  return {RankedTagSet{{tag}, influence}};
+}
+
+ResultCacheKey MakeKey(VertexId user, uint64_t epoch = 1) {
+  ResultCacheKey key;
+  key.user = user;
+  key.k = 2;
+  key.top_n = 1;
+  key.method = 4;
+  key.epoch = epoch;
+  return key;
+}
+
+TEST(ResultCacheTest, MissThenHit) {
+  ResultCache cache(16, 2);
+  std::vector<RankedTagSet> out;
+  EXPECT_FALSE(cache.Lookup(MakeKey(1), &out));
+  cache.Insert(MakeKey(1), MakeRanking(7, 3.5));
+  ASSERT_TRUE(cache.Lookup(MakeKey(1), &out));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].tags, std::vector<TagId>{7});
+  EXPECT_DOUBLE_EQ(out[0].influence, 3.5);
+
+  const ResultCache::Stats stats = cache.GetStats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.insertions, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(ResultCacheTest, EpochIsPartOfTheKey) {
+  ResultCache cache(16, 1);
+  cache.Insert(MakeKey(1, /*epoch=*/1), MakeRanking(7, 3.5));
+  std::vector<RankedTagSet> out;
+  // Same user, newer index epoch: a different answer space entirely.
+  EXPECT_FALSE(cache.Lookup(MakeKey(1, /*epoch=*/2), &out));
+  EXPECT_TRUE(cache.Lookup(MakeKey(1, /*epoch=*/1), &out));
+}
+
+TEST(ResultCacheTest, LruEvictsTheColdestEntry) {
+  // One shard, three slots: inserting a fourth evicts the LRU entry.
+  ResultCache cache(3, 1);
+  cache.Insert(MakeKey(1), MakeRanking(1, 1.0));
+  cache.Insert(MakeKey(2), MakeRanking(2, 2.0));
+  cache.Insert(MakeKey(3), MakeRanking(3, 3.0));
+  std::vector<RankedTagSet> out;
+  // Touch key 1 so key 2 becomes the coldest.
+  ASSERT_TRUE(cache.Lookup(MakeKey(1), &out));
+  cache.Insert(MakeKey(4), MakeRanking(4, 4.0));
+  EXPECT_TRUE(cache.Lookup(MakeKey(1), &out));
+  EXPECT_FALSE(cache.Lookup(MakeKey(2), &out));
+  EXPECT_TRUE(cache.Lookup(MakeKey(3), &out));
+  EXPECT_TRUE(cache.Lookup(MakeKey(4), &out));
+  EXPECT_EQ(cache.GetStats().evictions, 1u);
+  EXPECT_EQ(cache.GetStats().entries, 3u);
+}
+
+TEST(ResultCacheTest, ReinsertRefreshesInsteadOfDuplicating) {
+  ResultCache cache(4, 1);
+  cache.Insert(MakeKey(1), MakeRanking(1, 1.0));
+  cache.Insert(MakeKey(1), MakeRanking(9, 9.0));
+  std::vector<RankedTagSet> out;
+  ASSERT_TRUE(cache.Lookup(MakeKey(1), &out));
+  EXPECT_DOUBLE_EQ(out[0].influence, 9.0);
+  EXPECT_EQ(cache.GetStats().entries, 1u);
+}
+
+TEST(ResultCacheTest, ZeroCapacityDisables) {
+  ResultCache cache(0, 4);
+  EXPECT_FALSE(cache.enabled());
+  cache.Insert(MakeKey(1), MakeRanking(1, 1.0));
+  std::vector<RankedTagSet> out;
+  EXPECT_FALSE(cache.Lookup(MakeKey(1), &out));
+  EXPECT_EQ(cache.GetStats().entries, 0u);
+}
+
+TEST(ResultCacheTest, ConcurrentMixedWorkload) {
+  ResultCache cache(128, 8);
+  constexpr int kThreads = 4;
+  constexpr int kOpsPerThread = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, t] {
+      std::vector<RankedTagSet> out;
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const auto user = static_cast<VertexId>((t * 31 + i) % 64);
+        if (cache.Lookup(MakeKey(user), &out)) {
+          // Cached rankings must always be well-formed.
+          ASSERT_EQ(out.size(), 1u);
+          ASSERT_EQ(out[0].tags.size(), 1u);
+          ASSERT_EQ(out[0].tags[0], static_cast<TagId>(user % 8));
+        } else {
+          cache.Insert(MakeKey(user),
+                       MakeRanking(static_cast<TagId>(user % 8), 1.0));
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  const ResultCache::Stats stats = cache.GetStats();
+  EXPECT_EQ(stats.hits + stats.misses,
+            static_cast<uint64_t>(kThreads) * kOpsPerThread);
+  EXPECT_LE(stats.entries, 128u + 8u);  // per-shard ceil rounding slack
+}
+
+}  // namespace
+}  // namespace pitex

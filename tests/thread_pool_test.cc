@@ -80,6 +80,65 @@ TEST(ThreadPoolTest, DestructorDrainsQueue) {
   EXPECT_EQ(counter.load(), 200);
 }
 
+TEST(ThreadPoolTest, SubmitIndexedReceivesValidWorkerIndex) {
+  ThreadPool pool(4);
+  std::atomic<int> bad{0};
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 500; ++i) {
+    pool.SubmitIndexed([&pool, &bad, &ran](size_t worker) {
+      if (worker >= pool.num_threads()) bad.fetch_add(1);
+      ran.fetch_add(1);
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(ran.load(), 500);
+  EXPECT_EQ(bad.load(), 0);
+}
+
+TEST(ThreadPoolTest, SubmitIndexedSerializesPerIndex) {
+  // Two tasks observing the same worker index never overlap: the index
+  // is an exclusive slot (the serving layer keys engine replicas by it).
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> active(pool.num_threads());
+  std::atomic<int> overlaps{0};
+  for (int i = 0; i < 200; ++i) {
+    pool.SubmitIndexed([&active, &overlaps](size_t worker) {
+      if (active[worker].fetch_add(1) != 0) overlaps.fetch_add(1);
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+      active[worker].fetch_sub(1);
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(overlaps.load(), 0);
+}
+
+TEST(ThreadPoolTest, LongLivedIndexedTasksCoverDistinctWorkers) {
+  // N parked tasks on an N-worker pool must land on N distinct indices —
+  // the property the serving pumps rely on.
+  constexpr size_t kWorkers = 3;
+  ThreadPool pool(kWorkers);
+  std::vector<std::atomic<int>> seen(kWorkers);
+  std::atomic<size_t> parked{0};
+  std::atomic<bool> release{false};
+  for (size_t i = 0; i < kWorkers; ++i) {
+    pool.SubmitIndexed([&seen, &parked, &release](size_t worker) {
+      seen[worker].fetch_add(1);
+      parked.fetch_add(1);
+      while (!release.load(std::memory_order_acquire)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    });
+  }
+  while (parked.load(std::memory_order_acquire) < kWorkers) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  release.store(true, std::memory_order_release);
+  pool.Wait();
+  for (size_t i = 0; i < kWorkers; ++i) {
+    EXPECT_EQ(seen[i].load(), 1) << "worker " << i;
+  }
+}
+
 TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
   ThreadPool pool(4);
   std::vector<std::atomic<int>> hits(5000);
