@@ -5,6 +5,7 @@
 
 #include <atomic>
 #include <cstring>
+#include <memory>
 #include <sstream>
 #include <vector>
 
@@ -19,6 +20,7 @@
 #include "src/sampling/rr_sampler.h"
 #include "src/sampling/sketch_oracle.h"
 #include "src/sampling/triggering_sampler.h"
+#include "src/serve/snapshot_registry.h"
 #include "src/util/thread_pool.h"
 
 namespace {
@@ -107,6 +109,50 @@ void BM_OnlineEstimate(benchmark::State& state) {
 BENCHMARK_TEMPLATE(BM_OnlineEstimate, McSampler)->Arg(256);
 BENCHMARK_TEMPLATE(BM_OnlineEstimate, RrSampler)->Arg(256);
 BENCHMARK_TEMPLATE(BM_OnlineEstimate, LazySampler)->Arg(256);
+
+void BM_IndexBuild(benchmark::State& state) {
+  // Full offline index construction (Def.-2 sampling + pool pack) at
+  // bench scale, swept over build threads for per-thread scaling.
+  const auto& n = Network();
+  RrIndexOptions options;
+  options.theta_per_vertex = 4.0;
+  options.num_build_threads = static_cast<size_t>(state.range(0));
+  uint64_t sketches = 0;
+  for (auto _ : state) {
+    RrIndex index(n, options);
+    index.Build();
+    sketches += index.num_graphs();
+    benchmark::DoNotOptimize(index.SizeBytes());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(sketches));
+}
+BENCHMARK(BM_IndexBuild)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SnapshotPublish(benchmark::State& state) {
+  // Serve-mode epoch swap: freeze the shadow master (network copy + pool
+  // pack into an immutable RrIndex replica) and publish the snapshot.
+  // Arg is the maintenance-pool size (0 = serial freeze; >=2 overlaps the
+  // network copy with a pool-parallel pack, the PitexService default).
+  static DynamicRrIndex* master = [] {
+    RrIndexOptions options;
+    options.theta_per_vertex = 4.0;
+    auto* m = new DynamicRrIndex(Network(), options);
+    m->Build();
+    return m;
+  }();
+  const auto pack_threads = static_cast<size_t>(state.range(0));
+  std::unique_ptr<ThreadPool> pack_pool;
+  if (pack_threads > 1) pack_pool = std::make_unique<ThreadPool>(pack_threads);
+  IndexSnapshotRegistry registry;
+  uint64_t epoch = 0;
+  for (auto _ : state) {
+    registry.Publish(
+        IndexSnapshot::FromDynamic(*master, ++epoch, pack_pool.get()));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SnapshotPublish)->Arg(0)->Arg(2)->Unit(benchmark::kMillisecond);
 
 void BM_IndexEstimate(benchmark::State& state) {
   const auto& n = Network();

@@ -12,6 +12,13 @@
 # the table without gating on noisy shared-runner timings. The baseline
 # is snapshotted before the run, so comparing against the output path
 # itself ("how does this commit compare to the committed numbers?") works.
+# The comparison table is also written to <output>.compare.txt next to
+# the JSON (the release-bench CI job uploads both as artifacts).
+#
+# The suite covers the query-side micro benchmarks plus the offline
+# pipeline: BM_IndexBuild (arena-staged construction, per-thread sweep),
+# BM_SnapshotPublish (serve-mode epoch freeze, serial vs maintenance
+# pool) and BM_DynamicRepairSingleEdge.
 #
 # Environment:
 #   BUILD_DIR    Release build directory (default: build-bench)
@@ -81,7 +88,8 @@ fi
 echo "wrote ${out_json}"
 
 if [[ -n "${baseline_snapshot}" ]]; then
-  python3 - "${baseline_snapshot}" "${out_json}" << 'PYEOF'
+  compare_txt="${out_json%.json}.compare.txt"
+  python3 - "${baseline_snapshot}" "${out_json}" << 'PYEOF' | tee "${compare_txt}"
 import json
 import sys
 
@@ -135,4 +143,5 @@ if regressions:
 else:
     print("no regressions above the threshold")
 PYEOF
+  echo "wrote ${compare_txt}"
 fi

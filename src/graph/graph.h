@@ -48,6 +48,12 @@ class Graph {
             in_adj_.data() + in_offsets_[v + 1]};
   }
 
+  /// Position of v's first in-edge in the global in-adjacency array:
+  /// InEdges(v)[j] corresponds to in-adjacency slot InEdgeOffset(v) + j.
+  /// Lets per-in-edge side tables (e.g. the dense envelope table of
+  /// src/model/influence_graph.h) lie in traversal order.
+  uint64_t InEdgeOffset(VertexId v) const { return in_offsets_[v]; }
+
   size_t OutDegree(VertexId u) const {
     return out_offsets_[u + 1] - out_offsets_[u];
   }

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cmath>
 #include <unordered_map>
-#include <unordered_set>
 
 #include "src/util/check.h"
 
@@ -17,32 +16,6 @@ Rng StreamFor(uint64_t seed, uint64_t i, uint64_t version) {
   uint64_t mix = seed ^ (0x9e3779b97f4a7c15ULL * (i + 1));
   if (version > 0) mix ^= 0xbf58476d1ce4e5b9ULL * version;
   return Rng(SplitMix64(&mix));
-}
-
-// Vertices that reach `root` along `edges` (tail reaches head): reverse
-// BFS from the root following edges head -> tail.
-std::vector<VertexId> ReachingRoot(VertexId root,
-                                   std::span<const GlobalEdgeSample> edges) {
-  std::unordered_map<VertexId, std::vector<VertexId>> tails_of;
-  for (const GlobalEdgeSample& e : edges) {
-    tails_of[e.head].push_back(e.tail);
-  }
-  std::vector<VertexId> result{root};
-  std::unordered_set<VertexId> seen{root};
-  std::vector<VertexId> stack{root};
-  while (!stack.empty()) {
-    const VertexId v = stack.back();
-    stack.pop_back();
-    const auto it = tails_of.find(v);
-    if (it == tails_of.end()) continue;
-    for (const VertexId t : it->second) {
-      if (seen.insert(t).second) {
-        result.push_back(t);
-        stack.push_back(t);
-      }
-    }
-  }
-  return result;
 }
 
 }  // namespace
@@ -67,16 +40,17 @@ void DynamicRrIndex::Build() {
   graphs_.resize(theta_);
   roots_.resize(theta_);
   containing_.assign(network_.num_vertices(), {});
-  max_prob_.resize(network_.num_edges());
-  for (EdgeId e = 0; e < network_.num_edges(); ++e) {
-    max_prob_[e] = network_.influence.MaxProb(e);
-  }
+  envelope_ = EnvelopeTable(network_.graph, network_.influence);
+  // Arena-staged generation against the envelope mirror: the same table
+  // the static build materializes, so the initial state is bit-identical
+  // to RrIndex::Build with equal options and seed.
   for (uint64_t i = 0; i < theta_; ++i) {
     Rng rng = StreamFor(options_.seed, i, /*version=*/0);
     roots_[i] =
         static_cast<VertexId>(rng.NextBounded(network_.num_vertices()));
-    graphs_[i] =
-        GenerateRRGraph(network_.graph, network_.influence, roots_[i], &rng);
+    arena_.Clear();
+    arena_.Generate(network_.graph, envelope_, roots_[i], &rng, i);
+    arena_.Export(0, &graphs_[i]);
   }
   for (uint32_t id = 0; id < graphs_.size(); ++id) {
     for (VertexId v : graphs_[id].vertices) containing_[v].push_back(id);
@@ -98,14 +72,19 @@ void DynamicRrIndex::ApplyUpdates(
     ++version_;
     ++stats_.edges_updated;
 
-    const double p_old = max_prob_[e];
-    double p_new = 0.0;
+    // Transitions are taken in the float-quantized envelope space the
+    // sketches were sampled in (EnvelopeProbability), so the coupling
+    // conditionals below are exact w.r.t. the stored thresholds.
+    const auto p_old = static_cast<double>(envelope_.Prob(e));
+    double p_new_raw = 0.0;
     for (const EdgeTopicEntry& entry : update.entries) {
       PITEX_CHECK_MSG(entry.prob >= 0.0 && entry.prob <= 1.0,
                       "edge probability out of [0, 1]");
-      p_new = std::max(p_new, entry.prob);
+      p_new_raw = std::max(p_new_raw, entry.prob);
     }
-    max_prob_[e] = p_new;
+    const auto p_new =
+        static_cast<double>(EnvelopeProbability(p_new_raw));
+    envelope_.Update(network_.graph, e, p_new_raw);
     pending[e] = update.entries;
 
     // Only graphs containing head(e) ever probed e. Snapshot the list:
@@ -119,15 +98,15 @@ void DynamicRrIndex::ApplyUpdates(
     }
   }
 
-  // Fold the batch into the influence CSR once (O(|E| + nnz)).
-  InfluenceGraphBuilder builder(network_.num_edges());
-  for (EdgeId e = 0; e < network_.num_edges(); ++e) {
-    const auto it = pending.find(e);
-    builder.SetEdgeTopics(e, it != pending.end()
-                                 ? it->second
-                                 : network_.influence.EdgeTopics(e));
+  // Fold the batch into the influence CSR once: a single exact-size
+  // splice pass (O(|E| + nnz), three allocations) instead of re-staging
+  // every edge through InfluenceGraphBuilder's per-edge vectors.
+  std::vector<EdgeTopicsReplacement> replacements;
+  replacements.reserve(pending.size());
+  for (const auto& [e, entries] : pending) {
+    replacements.push_back(EdgeTopicsReplacement{e, entries});
   }
-  network_.influence = builder.Build();
+  network_.influence = ReplaceEdgeTopics(network_.influence, replacements);
 }
 
 void DynamicRrIndex::UpdateEdgeTopics(EdgeId edge,
@@ -141,7 +120,8 @@ void DynamicRrIndex::UpdateEdgeTopics(EdgeId edge,
 void DynamicRrIndex::RepairGraph(uint32_t id, EdgeId e, double p_old,
                                  double p_new, Rng* rng) {
   RRGraph& rr = graphs_[id];
-  std::vector<GlobalEdgeSample> edges = DecomposeRRGraph(rr);
+  auto& edges = repair_edges_;
+  DecomposeRRGraphInto(rr, &edges);
   const auto it =
       std::find_if(edges.begin(), edges.end(),
                    [e](const GlobalEdgeSample& s) { return s.edge == e; });
@@ -167,23 +147,37 @@ void DynamicRrIndex::RepairGraph(uint32_t id, EdgeId e, double p_old,
 
       // If the tail newly reaches the root, reverse sampling expands:
       // every vertex entering the graph flips its in-edge coins for the
-      // first time (exactly as GenerateRRGraph would have). Coins use
-      // the envelope mirror, which reflects all updates applied so far.
-      std::unordered_set<VertexId> present(rr.vertices.begin(),
-                                           rr.vertices.end());
-      if (!present.contains(tail)) {
-        std::vector<VertexId> stack{tail};
-        present.insert(tail);
+      // first time, through the same combined-draw + geometric-skip
+      // probe the bulk build uses (SampleLiveInEdges) against the
+      // envelope mirror, which reflects all updates applied so far.
+      if (!rr.LocalIndex(tail).has_value()) {
+        if (present_mark_.size() < network_.num_vertices()) {
+          present_mark_.resize(network_.num_vertices(), 0);
+        }
+        if (++present_epoch_ == 0) {
+          std::fill(present_mark_.begin(), present_mark_.end(), 0);
+          present_epoch_ = 1;
+        }
+        const uint32_t epoch = present_epoch_;
+        for (const VertexId v : rr.vertices) present_mark_[v] = epoch;
+        present_mark_[tail] = epoch;
+        std::vector<VertexId>& stack = repair_stack_;
+        stack.assign(1, tail);
         while (!stack.empty()) {
           const VertexId x = stack.back();
           stack.pop_back();
-          for (const auto& [y, in_edge] : network_.graph.InEdges(x)) {
-            const double p = max_prob_[in_edge];
-            if (p <= 0.0 || !rng->NextBernoulli(p)) continue;
-            const auto c = static_cast<float>(rng->NextDouble() * p);
-            edges.push_back(GlobalEdgeSample{y, x, in_edge, c});
-            if (present.insert(y).second) stack.push_back(y);
-          }
+          const auto in = network_.graph.InEdges(x);
+          SampleLiveInEdges(envelope_.InEnvelopes(network_.graph, x),
+                            envelope_.VertexMax(x), rng,
+                            [&](size_t j, double u) {
+                              const auto& [y, in_edge] = in[j];
+                              edges.push_back(GlobalEdgeSample{
+                                  y, x, in_edge, static_cast<float>(u)});
+                              if (present_mark_[y] != epoch) {
+                                present_mark_[y] = epoch;
+                                stack.push_back(y);
+                              }
+                            });
         }
       }
     }
@@ -191,16 +185,16 @@ void DynamicRrIndex::RepairGraph(uint32_t id, EdgeId e, double p_old,
   if (!changed) return;
   ++stats_.graphs_changed;
 
-  // Re-close the graph: keep exactly the vertices still reaching the
-  // root (an edge death can orphan a subtree; an expansion adds one).
-  std::vector<VertexId> vertices = ReachingRoot(roots_[id], edges);
-
-  // Splice containment: detach old membership, attach new.
+  // Splice containment: detach old membership, re-close the sketch (keep
+  // exactly the vertices still reaching the root — an edge death can
+  // orphan a subtree; an expansion adds one) and attach the new
+  // membership. The arena rebuild reuses rr's own capacity.
   for (const VertexId v : rr.vertices) {
     auto& list = containing_[v];
     list.erase(std::find(list.begin(), list.end(), id));
   }
-  rr = AssembleRRGraph(roots_[id], std::move(vertices), edges);
+  arena_.RebuildRepairedSketch(roots_[id], network_.num_vertices(), edges,
+                               &rr);
   for (const VertexId v : rr.vertices) {
     auto& list = containing_[v];
     list.insert(std::lower_bound(list.begin(), list.end(), id), id);
@@ -236,6 +230,7 @@ size_t DynamicRrIndex::SizeBytes() const {
     bytes += list.capacity() * sizeof(uint32_t) + sizeof(list);
   }
   bytes += roots_.capacity() * sizeof(VertexId);
+  bytes += envelope_.SizeBytes();
   return bytes;
 }
 

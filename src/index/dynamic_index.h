@@ -48,6 +48,7 @@
 
 #include "src/index/rr_graph.h"
 #include "src/index/rr_index.h"
+#include "src/index/sketch_arena.h"
 
 namespace pitex {
 
@@ -126,14 +127,25 @@ class DynamicRrIndex final : public InfluenceOracle {
   std::vector<RRGraph> graphs_;
   std::vector<VertexId> roots_;  // root of graph i (stable across repairs)
   std::vector<std::vector<uint32_t>> containing_;
-  // Envelope mirror: max_prob_[e] == max_z p(e|z) of the *current* model
-  // including updates applied earlier in the running batch (the CSR is
-  // only folded at batch end). Repairs and expansions read this.
-  std::vector<double> max_prob_;
+  // Envelope mirror: the same dense float table the static build reads
+  // (EnvelopeProbability(max_z p(e|z)) of the *current* model, including
+  // updates applied earlier in the running batch — the CSR is only
+  // folded at batch end). Repairs and expansions read this, so repair
+  // coins are drawn against exactly the envelope the sketches were (or
+  // would have been) sampled with.
+  EnvelopeTable envelope_;
   Stats stats_;
   // Per-instance reachability scratch (a DynamicRrIndex is single-owner
   // mutable state, never shared across threads).
   EstimateScratch scratch_;
+  // Build/repair scratch: sketch generation and repaired-sketch assembly
+  // run through the arena, so steady-state repairs reuse flat buffers
+  // instead of per-repair hash sets and staging vectors.
+  SketchArena arena_;
+  std::vector<GlobalEdgeSample> repair_edges_;
+  std::vector<VertexId> repair_stack_;
+  std::vector<uint32_t> present_mark_;  // expansion membership stamps
+  uint32_t present_epoch_ = 0;
   bool built_ = false;
 };
 

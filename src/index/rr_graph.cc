@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/index/sketch_arena.h"
 #include "src/util/check.h"
 
 namespace pitex {
@@ -54,75 +55,38 @@ RRGraph AssembleRRGraph(VertexId root, std::vector<VertexId> vertices,
   return rr;
 }
 
-std::vector<GlobalEdgeSample> DecomposeRRGraph(const RRGraph& rr) {
-  std::vector<GlobalEdgeSample> edges;
-  edges.reserve(rr.edges.size());
+void DecomposeRRGraphInto(const RRGraph& rr,
+                          std::vector<GlobalEdgeSample>* edges) {
+  edges->clear();
+  edges->reserve(rr.edges.size());
   for (uint32_t tail = 0; tail + 1 < rr.offsets.size(); ++tail) {
     for (uint32_t i = rr.offsets[tail]; i < rr.offsets[tail + 1]; ++i) {
       const RRLocalEdge& local = rr.edges[i];
-      edges.push_back(GlobalEdgeSample{rr.vertices[tail],
-                                       rr.vertices[local.head_local],
-                                       local.edge, local.threshold});
+      edges->push_back(GlobalEdgeSample{rr.vertices[tail],
+                                        rr.vertices[local.head_local],
+                                        local.edge, local.threshold});
     }
   }
+}
+
+std::vector<GlobalEdgeSample> DecomposeRRGraph(const RRGraph& rr) {
+  std::vector<GlobalEdgeSample> edges;
+  DecomposeRRGraphInto(rr, &edges);
   return edges;
 }
 
-namespace {
-
-// Per-thread visited stamps for GenerateRRGraph's reverse BFS: a dense
-// epoch array over the global vertex space replaces the previous
-// unordered_map (no hashing, no rehash growth on the build hot path).
-// Deterministic: only the membership-set representation changed, so the
-// RNG consumes exactly the same draws.
-struct GenerateScratch {
-  std::vector<uint32_t> mark;
-  std::vector<VertexId> stack;
-  uint32_t epoch = 0;
-
-  // Starts a new traversal over `num_vertices` global vertices; returns
-  // the epoch stamp marking "visited in this traversal".
-  uint32_t Begin(size_t num_vertices) {
-    if (mark.size() < num_vertices) mark.resize(num_vertices, 0);
-    if (++epoch == 0) {
-      std::fill(mark.begin(), mark.end(), 0);
-      epoch = 1;
-    }
-    return epoch;
-  }
-};
-
-}  // namespace
-
 RRGraph GenerateRRGraph(const Graph& graph, const InfluenceGraph& influence,
                         VertexId root, Rng* rng) {
-  thread_local GenerateScratch scratch;
-  const uint32_t epoch = scratch.Begin(graph.num_vertices());
-
-  // Reverse BFS from the root over live edges; each in-edge of a visited
-  // vertex is probed exactly once (its head is unique).
-  std::vector<VertexId> vertices{root};
-  std::vector<GlobalEdgeSample> live;
-  scratch.mark[root] = epoch;
-  auto& stack = scratch.stack;
-  stack.assign(1, root);
-  while (!stack.empty()) {
-    const VertexId v = stack.back();
-    stack.pop_back();
-    for (const auto& [w, e] : graph.InEdges(v)) {
-      const double p = influence.MaxProb(e);
-      if (p <= 0.0) continue;
-      if (!rng->NextBernoulli(p)) continue;  // dead for every W
-      const auto threshold = static_cast<float>(rng->NextDouble() * p);
-      live.push_back(GlobalEdgeSample{w, v, e, threshold});
-      if (scratch.mark[w] != epoch) {
-        scratch.mark[w] = epoch;
-        vertices.push_back(w);
-        stack.push_back(w);
-      }
-    }
-  }
-  return AssembleRRGraph(root, std::move(vertices), live);
+  // One-off entry point over the arena core: identical draws to the
+  // table-backed bulk build (SketchArena materializes the envelope floats
+  // per visited vertex), owning-RRGraph output for callers that keep
+  // per-sketch storage (DynamicRrIndex, TIM planning, tests).
+  thread_local SketchArena arena;
+  arena.Clear();
+  arena.Generate(graph, influence, root, rng, /*sample_index=*/0);
+  RRGraph out;
+  arena.Export(0, &out);
+  return out;
 }
 
 bool IsReachable(const RRView& rr, VertexId u, const EdgeProbFn& probs,

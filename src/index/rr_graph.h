@@ -102,7 +102,11 @@ class EstimateScratch {
 
 /// Samples one RR-Graph rooted at `root` (Definition 2): reverse BFS from
 /// the root keeping each in-edge with probability p(e); kept edges get
-/// c(e) ~ U[0, p(e)).
+/// c(e) ~ U[0, p(e)). Implemented on the arena generation core
+/// (src/index/sketch_arena.h): envelopes are float (rounded up, so the
+/// envelope invariant holds), the Bernoulli coin doubles as the threshold
+/// draw, and low-probability in-edge runs are probed with geometric
+/// skips. Draws are bit-identical to the table-backed bulk build.
 RRGraph GenerateRRGraph(const Graph& graph, const InfluenceGraph& influence,
                         VertexId root, Rng* rng);
 
@@ -135,6 +139,11 @@ RRGraph AssembleRRGraph(VertexId root, std::vector<VertexId> vertices,
 /// Inverse of AssembleRRGraph: the graph's live edges back in global
 /// vertex coordinates (used by incremental index repair).
 std::vector<GlobalEdgeSample> DecomposeRRGraph(const RRGraph& rr);
+
+/// Non-allocating variant: clears and fills `*edges`, reusing capacity
+/// (the repair hot path decomposes one sketch per affected graph).
+void DecomposeRRGraphInto(const RRGraph& rr,
+                          std::vector<GlobalEdgeSample>* edges);
 
 }  // namespace pitex
 

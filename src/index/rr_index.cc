@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <vector>
 
 #include "src/util/chernoff.h"
@@ -49,30 +50,42 @@ std::unique_ptr<RrIndex> RrIndex::FromPool(const SocialNetwork& network,
 void RrIndex::Build(ThreadPool* pool) {
   PITEX_CHECK_MSG(!built_, "Build() called twice");
   Timer timer;
-  std::vector<RRGraph> staging(theta_);
+
+  // Arena-staged construction: the envelope table is materialized once
+  // (O(|E|)), every worker slot samples straight into its own arena
+  // (zero allocations at steady state), and PackFrom flattens the arenas
+  // into the pooled store with exactly one copy per sketch.
+  const EnvelopeTable envelope(network_.graph, network_.influence);
 
   // Each sample i owns an independent RNG stream derived from (seed, i),
   // making the index bit-identical regardless of thread count.
-  auto generate = [&](size_t i) {
+  auto generate = [&](SketchArena* arena, size_t i) {
     uint64_t mix = options_.seed ^ (0x9e3779b97f4a7c15ULL * (i + 1));
     Rng rng(SplitMix64(&mix));
     const auto root =
         static_cast<VertexId>(rng.NextBounded(network_.num_vertices()));
-    staging[i] =
-        GenerateRRGraph(network_.graph, network_.influence, root, &rng);
+    arena->Generate(network_.graph, envelope, root, &rng, i);
   };
 
   const size_t threads = std::max<size_t>(1, options_.num_build_threads);
-  if (pool != nullptr && theta_ >= 2) {
-    ParallelFor(pool, 0, theta_, generate);
-  } else if (threads > 1 && theta_ >= 2 * threads) {
-    ThreadPool local_pool(threads);
-    ParallelFor(&local_pool, 0, theta_, generate);
-  } else {
-    for (uint64_t i = 0; i < theta_; ++i) generate(i);
+  std::unique_ptr<ThreadPool> local_pool;
+  if (pool == nullptr && threads > 1 && theta_ >= 2 * threads) {
+    local_pool = std::make_unique<ThreadPool>(threads);
+    pool = local_pool.get();
   }
-
-  pool_ = RrSketchPool::Pack(staging, network_.num_vertices());
+  if (pool != nullptr && theta_ >= 2) {
+    std::vector<SketchArena> arenas(
+        std::min<size_t>(pool->num_threads(), theta_));
+    ParallelForSlots(pool, 0, theta_, [&](size_t slot, size_t i) {
+      generate(&arenas[slot], i);
+    });
+    pool_ = RrSketchPool::PackFrom(arenas, theta_, network_.num_vertices(),
+                                   pool);
+  } else {
+    std::vector<SketchArena> arenas(1);
+    for (uint64_t i = 0; i < theta_; ++i) generate(&arenas[0], i);
+    pool_ = RrSketchPool::PackFrom(arenas, theta_, network_.num_vertices());
+  }
   built_ = true;
   build_seconds_ = timer.Seconds();
 }

@@ -1,65 +1,185 @@
 #include "src/index/rr_sketch_pool.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "src/util/check.h"
 
 namespace pitex {
 
 RrSketchPool RrSketchPool::Pack(std::span<const RRGraph> graphs,
-                                size_t num_vertices) {
-  RrSketchPool pool;
+                                size_t num_vertices, ThreadPool* pool) {
+  RrSketchPool out;
   const size_t s = graphs.size();
-  pool.roots_.resize(s);
-  pool.vertex_starts_.assign(s + 1, 0);
-  pool.edge_starts_.assign(s + 1, 0);
+  out.roots_.resize(s);
+  out.vertex_starts_.assign(s + 1, 0);
+  out.edge_starts_.assign(s + 1, 0);
   for (size_t i = 0; i < s; ++i) {
     PITEX_DCHECK(graphs[i].offsets.size() == graphs[i].vertices.size() + 1);
-    pool.vertex_starts_[i + 1] =
-        pool.vertex_starts_[i] + graphs[i].vertices.size();
-    pool.edge_starts_[i + 1] = pool.edge_starts_[i] + graphs[i].edges.size();
+    out.vertex_starts_[i + 1] =
+        out.vertex_starts_[i] + graphs[i].vertices.size();
+    out.edge_starts_[i + 1] = out.edge_starts_[i] + graphs[i].edges.size();
   }
-  pool.vertices_.resize(pool.vertex_starts_[s]);
-  pool.offsets_.resize(pool.vertex_starts_[s] + s);
-  pool.edges_.resize(pool.edge_starts_[s]);
-  for (size_t i = 0; i < s; ++i) {
+  out.vertices_.resize(out.vertex_starts_[s]);
+  out.offsets_.resize(out.vertex_starts_[s] + s);
+  out.edges_.resize(out.edge_starts_[s]);
+  const auto copy_one = [&](size_t i) {
     const RRGraph& rr = graphs[i];
-    pool.roots_[i] = rr.root;
+    out.roots_[i] = rr.root;
     std::copy(rr.vertices.begin(), rr.vertices.end(),
-              pool.vertices_.begin() +
-                  static_cast<ptrdiff_t>(pool.vertex_starts_[i]));
+              out.vertices_.begin() +
+                  static_cast<ptrdiff_t>(out.vertex_starts_[i]));
     std::copy(rr.offsets.begin(), rr.offsets.end(),
-              pool.offsets_.begin() +
-                  static_cast<ptrdiff_t>(pool.vertex_starts_[i] + i));
+              out.offsets_.begin() +
+                  static_cast<ptrdiff_t>(out.vertex_starts_[i] + i));
     std::copy(rr.edges.begin(), rr.edges.end(),
-              pool.edges_.begin() +
-                  static_cast<ptrdiff_t>(pool.edge_starts_[i]));
+              out.edges_.begin() +
+                  static_cast<ptrdiff_t>(out.edge_starts_[i]));
+  };
+  if (pool != nullptr && s >= 2) {
+    ParallelFor(pool, 0, s, copy_one);
+  } else {
+    for (size_t i = 0; i < s; ++i) copy_one(i);
   }
-  pool.BuildContaining(num_vertices);
-  return pool;
+  out.BuildContaining(num_vertices, pool);
+  return out;
 }
 
-void RrSketchPool::BuildContaining(size_t num_vertices) {
-  // Counting pass: theta(u) per vertex, then prefix sums, then one fill
-  // in ascending sketch-id order (so each per-vertex list is sorted).
-  containing_starts_.assign(num_vertices + 1, 0);
-  for (const VertexId v : vertices_) ++containing_starts_[v + 1];
-  for (size_t v = 0; v < num_vertices; ++v) {
-    containing_starts_[v + 1] += containing_starts_[v];
-  }
-  containing_.resize(vertices_.size());
-  std::vector<uint64_t> cursor(containing_starts_.begin(),
-                               containing_starts_.end() - 1);
-  max_sketch_vertices_ = 0;
-  for (size_t i = 0; i < num_sketches(); ++i) {
-    const uint64_t vb = vertex_starts_[i];
-    const uint64_t ve = vertex_starts_[i + 1];
-    max_sketch_vertices_ =
-        std::max<size_t>(max_sketch_vertices_, ve - vb);
-    for (uint64_t j = vb; j < ve; ++j) {
-      containing_[cursor[vertices_[j]]++] = static_cast<uint32_t>(i);
+RrSketchPool RrSketchPool::PackFrom(std::span<const SketchArena> arenas,
+                                    uint64_t num_sketches,
+                                    size_t num_vertices, ThreadPool* pool) {
+  RrSketchPool out;
+  const size_t s = num_sketches;
+  // Pass 1: locate each sample across the arenas and size every pooled
+  // array exactly from the arena counters — no growth, no staging.
+  std::vector<std::pair<uint32_t, uint32_t>> where(s);
+  size_t located = 0;
+  for (uint32_t a = 0; a < arenas.size(); ++a) {
+    for (uint32_t slot = 0; slot < arenas[a].num_sketches(); ++slot) {
+      const uint64_t sample = arenas[a].sample_index(slot);
+      PITEX_CHECK_MSG(sample < s, "arena sample index out of range");
+      where[sample] = {a, slot};
+      ++located;
     }
   }
+  PITEX_CHECK_MSG(located == s, "arenas must cover every sample exactly once");
+
+  out.roots_.resize(s);
+  out.vertex_starts_.assign(s + 1, 0);
+  out.edge_starts_.assign(s + 1, 0);
+  for (size_t i = 0; i < s; ++i) {
+    const auto [a, slot] = where[i];
+    // located == s plus this round-trip rules out duplicate samples
+    // silently shadowing a missing one (O(s), negligible vs the copy).
+    PITEX_CHECK_MSG(arenas[a].sample_index(slot) == i,
+                    "duplicate arena sample index");
+    out.roots_[i] = arenas[a].root(slot);
+    out.vertex_starts_[i + 1] =
+        out.vertex_starts_[i] + arenas[a].sketch_vertices(slot);
+    out.edge_starts_[i + 1] =
+        out.edge_starts_[i] + arenas[a].sketch_edges(slot);
+  }
+  out.vertices_.resize(out.vertex_starts_[s]);
+  out.offsets_.resize(out.vertex_starts_[s] + s);
+  out.edges_.resize(out.edge_starts_[s]);
+
+  // Pass 2: copy each sketch's segments once, straight arena -> pool.
+  const auto copy_one = [&](size_t i) {
+    const auto [a, slot] = where[i];
+    const RRView rr = arenas[a].View(slot);
+    std::copy(rr.vertices.begin(), rr.vertices.end(),
+              out.vertices_.begin() +
+                  static_cast<ptrdiff_t>(out.vertex_starts_[i]));
+    std::copy(rr.offsets.begin(), rr.offsets.end(),
+              out.offsets_.begin() +
+                  static_cast<ptrdiff_t>(out.vertex_starts_[i] + i));
+    std::copy(rr.edges.begin(), rr.edges.end(),
+              out.edges_.begin() +
+                  static_cast<ptrdiff_t>(out.edge_starts_[i]));
+  };
+  if (pool != nullptr && s >= 2) {
+    ParallelFor(pool, 0, s, copy_one);
+  } else {
+    for (size_t i = 0; i < s; ++i) copy_one(i);
+  }
+  out.BuildContaining(num_vertices, pool);
+  return out;
+}
+
+void RrSketchPool::BuildContaining(size_t num_vertices, ThreadPool* pool) {
+  const size_t s = num_sketches();
+  max_sketch_vertices_ = 0;
+  for (size_t i = 0; i < s; ++i) {
+    max_sketch_vertices_ = std::max<size_t>(
+        max_sketch_vertices_, vertex_starts_[i + 1] - vertex_starts_[i]);
+  }
+  containing_starts_.assign(num_vertices + 1, 0);
+  containing_.resize(vertices_.size());
+
+  const size_t tasks =
+      pool == nullptr
+          ? 1
+          : std::min<size_t>({pool->num_threads(), s, 8});
+  if (tasks <= 1) {
+    // Counting pass: theta(u) per vertex, then prefix sums, then one fill
+    // in ascending sketch-id order (so each per-vertex list is sorted).
+    for (const VertexId v : vertices_) ++containing_starts_[v + 1];
+    for (size_t v = 0; v < num_vertices; ++v) {
+      containing_starts_[v + 1] += containing_starts_[v];
+    }
+    std::vector<uint64_t> cursor(containing_starts_.begin(),
+                                 containing_starts_.end() - 1);
+    for (size_t i = 0; i < s; ++i) {
+      for (uint64_t j = vertex_starts_[i]; j < vertex_starts_[i + 1]; ++j) {
+        containing_[cursor[vertices_[j]]++] = static_cast<uint32_t>(i);
+      }
+    }
+    return;
+  }
+
+  // Parallel variant: contiguous sketch ranges balanced by vertex
+  // volume. Each range histograms its vertices; a serial prefix over
+  // (range, vertex) turns the histograms into per-range write cursors,
+  // so range r fills its sketches (ascending ids) into the slice after
+  // every earlier range's entries — per-vertex order is still ascending
+  // sketch id, bit-identical to the serial fill. Transient memory is
+  // tasks * |V| counters (tasks is capped at 8).
+  std::vector<size_t> bounds(tasks + 1, s);
+  bounds[0] = 0;
+  const uint64_t total = vertices_.size();
+  for (size_t t = 1; t < tasks; ++t) {
+    const uint64_t target = total * t / tasks;
+    bounds[t] = static_cast<size_t>(
+        std::lower_bound(vertex_starts_.begin(), vertex_starts_.end(),
+                         target) -
+        vertex_starts_.begin());
+  }
+  std::vector<std::vector<uint64_t>> hist(tasks);
+  ParallelFor(pool, 0, tasks, [&](size_t t) {
+    auto& h = hist[t];
+    h.assign(num_vertices, 0);
+    for (uint64_t j = vertex_starts_[bounds[t]];
+         j < vertex_starts_[bounds[t + 1]]; ++j) {
+      ++h[vertices_[j]];
+    }
+  });
+  for (size_t v = 0; v < num_vertices; ++v) {
+    uint64_t running = containing_starts_[v];
+    for (size_t t = 0; t < tasks; ++t) {
+      const uint64_t count = hist[t][v];
+      hist[t][v] = running;  // becomes range t's cursor for vertex v
+      running += count;
+    }
+    containing_starts_[v + 1] = running;
+  }
+  ParallelFor(pool, 0, tasks, [&](size_t t) {
+    auto& cursor = hist[t];
+    for (size_t i = bounds[t]; i < bounds[t + 1]; ++i) {
+      for (uint64_t j = vertex_starts_[i]; j < vertex_starts_[i + 1]; ++j) {
+        containing_[cursor[vertices_[j]]++] = static_cast<uint32_t>(i);
+      }
+    }
+  });
 }
 
 size_t RrSketchPool::SizeBytes() const {

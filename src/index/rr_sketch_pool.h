@@ -32,6 +32,8 @@
 #include <vector>
 
 #include "src/index/rr_graph.h"
+#include "src/index/sketch_arena.h"
+#include "src/util/thread_pool.h"
 
 namespace pitex {
 
@@ -42,9 +44,25 @@ class RrSketchPool {
   /// Flattens per-sketch owning graphs into one pool and builds the
   /// inverted containing index with a counting pass (exact-size
   /// allocation, no push_back growth). `num_vertices` is the global
-  /// vertex universe; every graph vertex must lie inside it.
+  /// vertex universe; every graph vertex must lie inside it. When `pool`
+  /// is non-null the sketch copy and the containing fill run across its
+  /// workers (the serve-layer publish path packs a repaired master this
+  /// way); the result is identical for any pool size.
   static RrSketchPool Pack(std::span<const RRGraph> graphs,
-                           size_t num_vertices);
+                           size_t num_vertices,
+                           ThreadPool* pool = nullptr);
+
+  /// Two-pass pack straight from build arenas, replacing the old
+  /// copy-of-a-copy (owning staging RRGraphs, then Pack): pass one sizes
+  /// every pooled array exactly from per-arena counters; pass two copies
+  /// each sketch's segments once — in parallel when `pool` is non-null.
+  /// The arenas' recorded sample indices must cover [0, num_sketches)
+  /// exactly once; sketch i of the pool is the arena sketch with sample
+  /// index i, so the result is bit-identical for any arena count /
+  /// claim interleaving.
+  static RrSketchPool PackFrom(std::span<const SketchArena> arenas,
+                               uint64_t num_sketches, size_t num_vertices,
+                               ThreadPool* pool = nullptr);
 
   size_t num_sketches() const { return roots_.size(); }
   bool empty() const { return roots_.empty(); }
@@ -91,8 +109,11 @@ class RrSketchPool {
 
   /// Rebuilds containing_starts_/containing_ from the packed vertex
   /// arrays (counting pass + prefix sum + fill in ascending sketch-id
-  /// order). Also recomputes max_sketch_vertices_.
-  void BuildContaining(size_t num_vertices);
+  /// order). Also recomputes max_sketch_vertices_. With a pool, count
+  /// and fill run over sketch ranges balanced by vertex volume, with
+  /// per-range histograms turned into deterministic per-range cursors —
+  /// the fill order per vertex is still ascending sketch id.
+  void BuildContaining(size_t num_vertices, ThreadPool* pool = nullptr);
 
   std::vector<VertexId> roots_;          // one per sketch
   std::vector<uint64_t> vertex_starts_;  // num_sketches + 1

@@ -1,0 +1,237 @@
+#include "src/index/sketch_arena.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace pitex {
+
+void SketchArena::Clear() {
+  meta_.clear();
+  vertices_.clear();
+  offsets_.clear();
+  edges_.clear();
+  max_sketch_vertices_ = 0;
+}
+
+RRView SketchArena::View(size_t slot) const {
+  const Meta& m = meta_[slot];
+  const uint64_t n = VertexEnd(slot) - m.vertex_start;
+  return RRView{m.root,
+                {vertices_.data() + m.vertex_start, n},
+                {offsets_.data() + m.offset_start, n + 1},
+                {edges_.data() + m.edge_start, EdgeEnd(slot) - m.edge_start}};
+}
+
+uint32_t SketchArena::BeginTraversal(size_t num_vertices) {
+  if (mark_.size() < num_vertices) {
+    mark_.resize(num_vertices, 0);
+    local_index_.resize(num_vertices, 0);
+  }
+  if (++epoch_ == 0) {
+    std::fill(mark_.begin(), mark_.end(), 0);
+    epoch_ = 1;
+  }
+  return epoch_;
+}
+
+template <typename EnvOf>
+void SketchArena::GenerateImpl(const Graph& graph, const EnvOf& env_of,
+                               VertexId root, Rng* rng,
+                               uint64_t sample_index) {
+  const uint32_t epoch = BeginTraversal(graph.num_vertices());
+  Meta meta;
+  meta.sample = sample_index;
+  meta.root = root;
+  meta.vertex_start = vertices_.size();
+  meta.offset_start = offsets_.size();
+  meta.edge_start = edges_.size();
+
+  // Reverse BFS from the root over live in-edges; each in-edge of a
+  // visited vertex is probed exactly once (its head is unique).
+  staged_.clear();
+  mark_[root] = epoch;
+  vertices_.push_back(root);
+  stack_.assign(1, root);
+  while (!stack_.empty()) {
+    const VertexId v = stack_.back();
+    stack_.pop_back();
+    const auto in = graph.InEdges(v);
+    const auto [env, vmax] = env_of(v);
+    SampleLiveInEdges(env, vmax, rng, [&](size_t j, double u) {
+      const auto& [w, e] = in[j];
+      staged_.push_back(GlobalEdgeSample{w, v, e, static_cast<float>(u)});
+      if (mark_[w] != epoch) {
+        mark_[w] = epoch;
+        vertices_.push_back(w);
+        stack_.push_back(w);
+      }
+    });
+  }
+
+  // Local assembly in place: sort the vertex segment (no duplicates by
+  // construction), dense global -> local map via the epoch marks, then
+  // counting-sort the staged edges by local tail (stable, so per-tail
+  // edge order is probe order — same as AssembleRRGraph's staging).
+  const auto vbegin =
+      vertices_.begin() + static_cast<ptrdiff_t>(meta.vertex_start);
+  std::sort(vbegin, vertices_.end());
+  const size_t n = vertices_.size() - meta.vertex_start;
+  for (size_t j = 0; j < n; ++j) {
+    local_index_[*(vbegin + static_cast<ptrdiff_t>(j))] =
+        static_cast<uint32_t>(j);
+  }
+  counts_.assign(n + 1, 0);
+  for (const GlobalEdgeSample& s : staged_) {
+    ++counts_[local_index_[s.tail] + 1];
+  }
+  for (size_t j = 0; j < n; ++j) counts_[j + 1] += counts_[j];
+  offsets_.insert(offsets_.end(), counts_.begin(), counts_.end());
+  edges_.resize(meta.edge_start + staged_.size());
+  RRLocalEdge* const out = edges_.data() + meta.edge_start;
+  for (const GlobalEdgeSample& s : staged_) {
+    out[counts_[local_index_[s.tail]]++] =
+        RRLocalEdge{local_index_[s.head], s.edge, s.threshold};
+  }
+
+  max_sketch_vertices_ = std::max(max_sketch_vertices_, n);
+  meta_.push_back(meta);
+}
+
+void SketchArena::Generate(const Graph& graph, const EnvelopeTable& envelope,
+                           VertexId root, Rng* rng, uint64_t sample_index) {
+  GenerateImpl(
+      graph,
+      [&](VertexId v) {
+        return std::pair<std::span<const float>, float>(
+            envelope.InEnvelopes(graph, v), envelope.VertexMax(v));
+      },
+      root, rng, sample_index);
+}
+
+void SketchArena::Generate(const Graph& graph,
+                           const InfluenceGraph& influence, VertexId root,
+                           Rng* rng, uint64_t sample_index) {
+  GenerateImpl(
+      graph,
+      [&](VertexId v) {
+        const auto in = graph.InEdges(v);
+        if (env_scratch_.size() < in.size()) env_scratch_.resize(in.size());
+        float* const env = env_scratch_.data();
+        float vmax = 0.0f;
+        for (size_t j = 0; j < in.size(); ++j) {
+          const float p = EnvelopeProbability(influence.MaxProb(in[j].edge));
+          env[j] = p;
+          vmax = std::max(vmax, p);
+        }
+        return std::pair<std::span<const float>, float>(
+            std::span<const float>(env, in.size()), vmax);
+      },
+      root, rng, sample_index);
+}
+
+void SketchArena::Export(size_t slot, RRGraph* out) const {
+  const Meta& m = meta_[slot];
+  out->root = m.root;
+  const uint64_t n = VertexEnd(slot) - m.vertex_start;
+  out->vertices.assign(vertices_.begin() + static_cast<ptrdiff_t>(m.vertex_start),
+                       vertices_.begin() +
+                           static_cast<ptrdiff_t>(m.vertex_start + n));
+  out->offsets.assign(
+      offsets_.begin() + static_cast<ptrdiff_t>(m.offset_start),
+      offsets_.begin() + static_cast<ptrdiff_t>(m.offset_start + n + 1));
+  out->edges.assign(edges_.begin() + static_cast<ptrdiff_t>(m.edge_start),
+                    edges_.begin() + static_cast<ptrdiff_t>(EdgeEnd(slot)));
+}
+
+void SketchArena::RebuildRepairedSketch(VertexId root, size_t num_vertices,
+                                        std::span<const GlobalEdgeSample> edges,
+                                        RRGraph* out) {
+  // 1. Candidate set = {root} + every edge endpoint, provisional local
+  // ids in first-seen order via the epoch marks.
+  uint32_t epoch = BeginTraversal(num_vertices);
+  cand_.clear();
+  auto add_cand = [&](VertexId v) {
+    if (mark_[v] != epoch) {
+      mark_[v] = epoch;
+      local_index_[v] = static_cast<uint32_t>(cand_.size());
+      cand_.push_back(v);
+    }
+  };
+  add_cand(root);
+  for (const GlobalEdgeSample& s : edges) {
+    add_cand(s.tail);
+    add_cand(s.head);
+  }
+  const size_t c = cand_.size();
+
+  // 2. Reverse adjacency (edges bucketed by local head id) so "which
+  // tails feed v" is a slice, not a hash lookup.
+  counts_.assign(c + 1, 0);
+  for (const GlobalEdgeSample& s : edges) {
+    ++counts_[local_index_[s.head] + 1];
+  }
+  for (size_t j = 0; j < c; ++j) counts_[j + 1] += counts_[j];
+  adj_.resize(edges.size());
+  for (size_t i = 0; i < edges.size(); ++i) {
+    adj_[counts_[local_index_[edges[i].head]]++] = static_cast<uint32_t>(i);
+  }
+  // counts_[j] now ends bucket j; bucket j starts at counts_[j - 1].
+
+  // 3. Reverse BFS from the root: mark every candidate that reaches it.
+  reach_.assign(c, 0);
+  reach_[local_index_[root]] = 1;
+  stack_.assign(1, root);
+  while (!stack_.empty()) {
+    const VertexId v = stack_.back();
+    stack_.pop_back();
+    const uint32_t lv = local_index_[v];
+    const uint32_t begin = lv == 0 ? 0 : counts_[lv - 1];
+    for (uint32_t i = begin; i < counts_[lv]; ++i) {
+      const VertexId tail = edges[adj_[i]].tail;
+      uint8_t& seen = reach_[local_index_[tail]];
+      if (seen == 0) {
+        seen = 1;
+        stack_.push_back(tail);
+      }
+    }
+  }
+
+  // 4. Kept vertices, sorted ascending, with final local ids stamped
+  // under a fresh epoch (so dropped candidates read as absent).
+  out->root = root;
+  out->vertices.clear();
+  for (const VertexId v : cand_) {
+    if (reach_[local_index_[v]] != 0) out->vertices.push_back(v);
+  }
+  std::sort(out->vertices.begin(), out->vertices.end());
+  epoch = BeginTraversal(num_vertices);
+  const size_t n = out->vertices.size();
+  for (size_t j = 0; j < n; ++j) {
+    mark_[out->vertices[j]] = epoch;
+    local_index_[out->vertices[j]] = static_cast<uint32_t>(j);
+  }
+
+  // 5. Counting-sort the surviving edges by local tail (stable: per-tail
+  // order is input order, matching AssembleRRGraph).
+  counts_.assign(n + 1, 0);
+  size_t kept_edges = 0;
+  auto kept = [&](const GlobalEdgeSample& s) {
+    return mark_[s.tail] == epoch && mark_[s.head] == epoch;
+  };
+  for (const GlobalEdgeSample& s : edges) {
+    if (!kept(s)) continue;
+    ++counts_[local_index_[s.tail] + 1];
+    ++kept_edges;
+  }
+  for (size_t j = 0; j < n; ++j) counts_[j + 1] += counts_[j];
+  out->offsets.assign(counts_.begin(), counts_.end());
+  out->edges.resize(kept_edges);
+  for (const GlobalEdgeSample& s : edges) {
+    if (!kept(s)) continue;
+    out->edges[counts_[local_index_[s.tail]]++] =
+        RRLocalEdge{local_index_[s.head], s.edge, s.threshold};
+  }
+}
+
+}  // namespace pitex

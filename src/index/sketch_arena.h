@@ -1,0 +1,189 @@
+// Arena-staged RR-Graph construction (the build-side counterpart of the
+// pooled read-side store in src/index/rr_sketch_pool.h).
+//
+// The pre-arena build pipeline materialized every sketch as an owning
+// RRGraph — three vectors allocated per sketch, an AssembleRRGraph
+// sort/copy into a staging vector, and a second full copy when
+// RrSketchPool::Pack flattened the staging set. A SketchArena removes
+// both the allocations and one of the copies: GenerateRRGraph writes
+// each sketch *directly* into the arena's flat segment-coded buffers
+// (vertex, local-CSR-offset and edge segments appended back to back),
+// reusing epoch-stamped traversal scratch, so steady-state sketch
+// generation performs zero heap allocations once the buffers have grown
+// to the working-set high-water mark. RrSketchPool::PackFrom then sizes
+// the pooled arrays from arena counters and copies each segment exactly
+// once.
+//
+// In-edge probing uses SampleLiveInEdges below: one uniform draw per
+// probed edge (the draw doubles as the Bernoulli coin and, on success,
+// the threshold c(e) — conditioned on u < p, u is exactly U[0, p)), and
+// geometric skips across low-probability in-edge runs (vertex max
+// envelope < kGeometricSkipMax): the skip selects each edge as a
+// candidate with probability q = vmax, and the candidate's uniform
+// thins it to its own envelope p <= q, so the joint law of (live,
+// threshold) per edge is exactly the per-edge Bernoulli + uniform of
+// Definition 2 while the RNG consumes ~q*d + |live| draws instead of d.
+// The draw *sequence* differs from the pre-arena generator, which is
+// pinned by tests/index_build_equivalence_test.cc (fixed-seed golden +
+// chi-squared spread-distribution agreement with a verbatim reference).
+
+#ifndef PITEX_SRC_INDEX_SKETCH_ARENA_H_
+#define PITEX_SRC_INDEX_SKETCH_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/index/rr_graph.h"
+#include "src/model/influence_graph.h"
+#include "src/util/random.h"
+
+namespace pitex {
+
+/// Per-vertex envelope maxima below this use geometric-skip probing; at
+/// or above it, a plain per-edge loop is cheaper (a skip draw costs a
+/// log; it pays off once it jumps ~16 edges on average).
+inline constexpr float kGeometricSkipMax = 1.0f / 16.0f;
+
+/// Probes one vertex's in-edge run under float envelope probabilities
+/// `env` (aligned with the InEdges span it was built from; `vmax` must
+/// be max(env)). Invokes sink(j, u) for every live in-edge index j,
+/// where u ~ U[0, env[j]) is the threshold draw. Per-edge law is
+/// identical across both regimes (see file comment); only the RNG draw
+/// sequence depends on the regime.
+template <typename Sink>
+inline void SampleLiveInEdges(std::span<const float> env, float vmax,
+                              Rng* rng, Sink&& sink) {
+  const size_t d = env.size();
+  if (d == 0 || vmax <= 0.0f) return;
+  if (vmax < kGeometricSkipMax) {
+    const auto q = static_cast<double>(vmax);
+    size_t j = 0;
+    while (j < d) {
+      const uint64_t skip = rng->NextGeometric(q);  // 1-based candidate
+      if (skip > d - j) break;  // next candidate lies beyond the run
+      j += static_cast<size_t>(skip) - 1;
+      // Thinning: candidate (selected w.p. q) survives w.p. env[j]/q,
+      // so it is live w.p. env[j]; conditioned on u*q < env[j], u*q is
+      // exactly U[0, env[j]) — the acceptance coin IS the threshold.
+      const double u = rng->NextDouble() * q;
+      if (u < static_cast<double>(env[j])) sink(j, u);
+      ++j;
+    }
+  } else {
+    for (size_t j = 0; j < d; ++j) {
+      const auto p = static_cast<double>(env[j]);
+      if (p <= 0.0) continue;  // dead for every W, no draw
+      const double u = rng->NextDouble();
+      if (u < p) sink(j, u);
+    }
+  }
+}
+
+/// Reusable flat storage for a batch of generated sketches plus the
+/// traversal/assembly scratch. Not thread-safe: parallel builds use one
+/// arena per ParallelForSlots slot. Cleared between builds; capacity is
+/// retained, so repeated Generate calls stop allocating once warmed up.
+class SketchArena {
+ public:
+  SketchArena() = default;
+
+  /// Drops all sketches, keeps every buffer's capacity.
+  void Clear();
+
+  size_t num_sketches() const { return meta_.size(); }
+  /// Build-order sample index recorded at Generate time (PackFrom places
+  /// the sketch at this position in the pool).
+  uint64_t sample_index(size_t slot) const { return meta_[slot].sample; }
+  VertexId root(size_t slot) const { return meta_[slot].root; }
+  size_t sketch_vertices(size_t slot) const {
+    return VertexEnd(slot) - meta_[slot].vertex_start;
+  }
+  size_t sketch_edges(size_t slot) const {
+    return EdgeEnd(slot) - meta_[slot].edge_start;
+  }
+  /// Non-owning view of sketch `slot` (valid until the next Generate /
+  /// Clear on this arena).
+  RRView View(size_t slot) const;
+
+  uint64_t total_vertices() const { return vertices_.size(); }
+  uint64_t total_edges() const { return edges_.size(); }
+  size_t max_sketch_vertices() const { return max_sketch_vertices_; }
+
+  /// Samples one RR-Graph rooted at `root` (Definition 2) and appends it
+  /// to the arena, reading envelopes from the dense table.
+  void Generate(const Graph& graph, const EnvelopeTable& envelope,
+                VertexId root, Rng* rng, uint64_t sample_index);
+  /// Table-free overload for one-off callers (tests, delayed repair
+  /// expansion seeding): envelope floats are materialized per visited
+  /// vertex into arena scratch, producing bit-identical draws to the
+  /// table path at ~2x the in-edge memory traffic.
+  void Generate(const Graph& graph, const InfluenceGraph& influence,
+                VertexId root, Rng* rng, uint64_t sample_index);
+
+  /// Copies sketch `slot` into an owning RRGraph, reusing out's vector
+  /// capacity (DynamicRrIndex keeps owning per-sketch storage).
+  void Export(size_t slot, RRGraph* out) const;
+
+  /// Repair-side assembly (DynamicRrIndex): keeps exactly the vertices
+  /// reaching `root` through `edges` (tail -> head), drops edges with a
+  /// dropped endpoint, and writes the re-closed sketch into *out reusing
+  /// its capacity. Byte-identical to ReachingRoot + AssembleRRGraph on
+  /// the same inputs, with arena scratch instead of per-call hash maps.
+  /// `num_vertices` is the global vertex universe.
+  void RebuildRepairedSketch(VertexId root, size_t num_vertices,
+                             std::span<const GlobalEdgeSample> edges,
+                             RRGraph* out);
+
+ private:
+  struct Meta {
+    uint64_t sample = 0;
+    VertexId root = 0;
+    uint64_t vertex_start = 0;
+    uint64_t offset_start = 0;
+    uint64_t edge_start = 0;
+  };
+
+  uint64_t VertexEnd(size_t slot) const {
+    return slot + 1 < meta_.size() ? meta_[slot + 1].vertex_start
+                                   : vertices_.size();
+  }
+  uint64_t EdgeEnd(size_t slot) const {
+    return slot + 1 < meta_.size() ? meta_[slot + 1].edge_start
+                                   : edges_.size();
+  }
+
+  /// Starts a new traversal over `num_vertices` global ids; returns the
+  /// epoch stamp marking "touched in this traversal".
+  uint32_t BeginTraversal(size_t num_vertices);
+
+  template <typename EnvOf>
+  void GenerateImpl(const Graph& graph, const EnvOf& env_of, VertexId root,
+                    Rng* rng, uint64_t sample_index);
+
+  // Sketch storage: segments appended back to back, one Meta per sketch.
+  std::vector<Meta> meta_;
+  std::vector<VertexId> vertices_;   // sorted ascending per sketch
+  std::vector<uint32_t> offsets_;    // local CSR, n_i + 1 entries each
+  std::vector<RRLocalEdge> edges_;   // counting-sorted by local tail
+  size_t max_sketch_vertices_ = 0;
+
+  // Traversal / assembly scratch (epoch-stamped over global vertex ids:
+  // no O(|V|) clearing between sketches).
+  std::vector<uint32_t> mark_;
+  std::vector<uint32_t> local_index_;  // valid where mark_ == epoch_
+  uint32_t epoch_ = 0;
+  std::vector<VertexId> stack_;
+  std::vector<GlobalEdgeSample> staged_;  // one sketch's live edges
+  std::vector<uint32_t> counts_;          // counting-sort cursors
+  std::vector<float> env_scratch_;        // table-free envelope slice
+  // RebuildRepairedSketch scratch (local-id space of one sketch).
+  std::vector<VertexId> cand_;
+  std::vector<uint32_t> adj_;
+  std::vector<uint8_t> reach_;
+};
+
+}  // namespace pitex
+
+#endif  // PITEX_SRC_INDEX_SKETCH_ARENA_H_

@@ -1,10 +1,51 @@
 #include "src/model/influence_graph.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "src/util/check.h"
 
 namespace pitex {
+
+float EnvelopeProbability(double p) {
+  PITEX_DCHECK(p >= 0.0 && p <= 1.0);
+  auto f = static_cast<float>(p);  // round-to-nearest
+  if (static_cast<double>(f) < p) f = std::nextafterf(f, 2.0f);
+  return f;
+}
+
+EnvelopeTable::EnvelopeTable(const Graph& graph,
+                             const InfluenceGraph& influence) {
+  in_env_.resize(graph.num_edges());
+  in_pos_.resize(graph.num_edges());
+  vertex_max_.resize(graph.num_vertices());
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    const uint64_t base = graph.InEdgeOffset(v);
+    const auto in = graph.InEdges(v);
+    float vmax = 0.0f;
+    for (size_t j = 0; j < in.size(); ++j) {
+      const float p = EnvelopeProbability(influence.MaxProb(in[j].edge));
+      in_env_[base + j] = p;
+      in_pos_[in[j].edge] = static_cast<uint32_t>(base + j);
+      vmax = std::max(vmax, p);
+    }
+    vertex_max_[v] = vmax;
+  }
+}
+
+void EnvelopeTable::Update(const Graph& graph, EdgeId e, double max_prob) {
+  in_env_[in_pos_[e]] = EnvelopeProbability(max_prob);
+  const VertexId head = graph.Head(e);
+  float vmax = 0.0f;
+  for (const float p : InEnvelopes(graph, head)) vmax = std::max(vmax, p);
+  vertex_max_[head] = vmax;
+}
+
+size_t EnvelopeTable::SizeBytes() const {
+  return in_env_.capacity() * sizeof(float) +
+         in_pos_.capacity() * sizeof(uint32_t) +
+         vertex_max_.capacity() * sizeof(float);
+}
 
 double InfluenceGraph::EdgeTopicProb(EdgeId e, TopicId z) const {
   for (const auto& entry : EdgeTopics(e)) {
@@ -19,6 +60,71 @@ double InfluenceGraph::EdgeProb(EdgeId e, const TopicPosterior& posterior) const
     p += entry.prob * posterior[entry.topic];
   }
   return p;
+}
+
+InfluenceGraph ReplaceEdgeTopics(
+    const InfluenceGraph& influence,
+    std::span<const EdgeTopicsReplacement> replacements) {
+  const size_t num_edges = influence.num_edges();
+  // Validate each replacement into a shared scratch (kept entries are
+  // sorted by topic with zeros dropped, like InfluenceGraphBuilder) and
+  // index them by edge.
+  std::vector<uint32_t> replacement_of(num_edges, UINT32_MAX);
+  std::vector<std::pair<uint32_t, uint32_t>> kept_range(replacements.size());
+  std::vector<EdgeTopicEntry> kept;
+  for (uint32_t r = 0; r < replacements.size(); ++r) {
+    const auto& [e, entries] = replacements[r];
+    PITEX_CHECK(e < num_edges);
+    PITEX_CHECK_MSG(replacement_of[e] == UINT32_MAX,
+                    "edge replaced twice in one batch");
+    replacement_of[e] = r;
+    const auto begin = static_cast<uint32_t>(kept.size());
+    for (const EdgeTopicEntry& entry : entries) {
+      PITEX_CHECK(entry.prob >= 0.0 && entry.prob <= 1.0);
+      if (entry.prob > 0.0) kept.push_back(entry);
+    }
+    std::sort(kept.begin() + begin, kept.end(),
+              [](const EdgeTopicEntry& a, const EdgeTopicEntry& b) {
+                return a.topic < b.topic;
+              });
+    for (size_t i = begin + 1; i < kept.size(); ++i) {
+      PITEX_CHECK_MSG(kept[i].topic != kept[i - 1].topic, "duplicate topic");
+    }
+    kept_range[r] = {begin, static_cast<uint32_t>(kept.size())};
+  }
+
+  // Exact-size single pass: unchanged edges block-copy their CSR slice.
+  InfluenceGraph out;
+  int64_t nnz_delta = 0;
+  for (uint32_t r = 0; r < replacements.size(); ++r) {
+    nnz_delta +=
+        static_cast<int64_t>(kept_range[r].second) -
+        static_cast<int64_t>(kept_range[r].first) -
+        static_cast<int64_t>(influence.EdgeTopics(replacements[r].edge).size());
+  }
+  out.offsets_.clear();
+  out.offsets_.reserve(num_edges + 1);
+  out.offsets_.push_back(0);
+  out.entries_.reserve(influence.entries_.size() +
+                       static_cast<size_t>(std::max<int64_t>(0, nnz_delta)));
+  out.max_prob_.reserve(num_edges);
+  for (EdgeId e = 0; e < num_edges; ++e) {
+    std::span<const EdgeTopicEntry> entries;
+    if (replacement_of[e] != UINT32_MAX) {
+      const auto [begin, end] = kept_range[replacement_of[e]];
+      entries = {kept.data() + begin, kept.data() + end};
+    } else {
+      entries = influence.EdgeTopics(e);
+    }
+    double max_p = 0.0;
+    for (const EdgeTopicEntry& entry : entries) {
+      max_p = std::max(max_p, entry.prob);
+    }
+    out.entries_.insert(out.entries_.end(), entries.begin(), entries.end());
+    out.offsets_.push_back(out.entries_.size());
+    out.max_prob_.push_back(max_p);
+  }
+  return out;
 }
 
 InfluenceGraphBuilder::InfluenceGraphBuilder(size_t num_edges)

@@ -30,6 +30,13 @@ struct EdgeTopicEntry {
   double prob;
 };
 
+/// One edge's replacement topic vector for ReplaceEdgeTopics (empty
+/// entries delete the edge's influence entirely).
+struct EdgeTopicsReplacement {
+  EdgeId edge = 0;
+  std::span<const EdgeTopicEntry> entries;
+};
+
 /// Immutable per-edge p(e|z) table. Build with InfluenceGraphBuilder.
 class InfluenceGraph {
  public:
@@ -54,6 +61,9 @@ class InfluenceGraph {
 
  private:
   friend class InfluenceGraphBuilder;
+  friend InfluenceGraph ReplaceEdgeTopics(
+      const InfluenceGraph& influence,
+      std::span<const EdgeTopicsReplacement> replacements);
 
   std::vector<uint64_t> offsets_{0};
   std::vector<EdgeTopicEntry> entries_;
@@ -75,6 +85,61 @@ class InfluenceGraphBuilder {
  private:
   size_t num_edges_;
   std::vector<std::vector<EdgeTopicEntry>> staged_;
+};
+
+/// Copy of `influence` with the listed edges' topic vectors replaced —
+/// the batch-fold primitive of DynamicRrIndex::ApplyUpdates. Entry
+/// validation matches InfluenceGraphBuilder (probabilities in [0, 1],
+/// zero entries dropped, sorted by topic, duplicate topics rejected),
+/// but the copy is one exact-size pass over the CSR: unchanged edges
+/// are block-copied, so a batch costs O(|E| + nnz) with three array
+/// allocations instead of one staging vector per edge. Each edge may
+/// appear at most once in `replacements`.
+InfluenceGraph ReplaceEdgeTopics(
+    const InfluenceGraph& influence,
+    std::span<const EdgeTopicsReplacement> replacements);
+
+/// Smallest float >= p. The RR-Graph build consumes envelope
+/// probabilities through a dense float table (half the bytes of the
+/// double array, so the reverse-BFS inner loop streams twice the edges
+/// per cache line); rounding *up* preserves the Definition-2 envelope
+/// invariant p(e) >= p(e|W) for every tag set W that the double value
+/// guaranteed. Requires p in [0, 1].
+float EnvelopeProbability(double p);
+
+/// Dense envelope table for index construction: p(e) = max_z p(e|z) as
+/// floats laid out in *in-adjacency order* (entry Graph::InEdgeOffset(v)
+/// + j belongs to InEdges(v)[j]), plus the per-vertex maximum over
+/// in-edges. The reverse-BFS probe loop of RR-Graph generation reads the
+/// per-vertex slice sequentially — no virtual MaxProb call, no sparse
+/// indirection — and the per-vertex maximum drives the geometric-skip
+/// decision (see SampleLiveInEdges in src/index/sketch_arena.h).
+/// Materialized once per build (O(|E|)); DynamicRrIndex keeps one as its
+/// O(1)-updatable envelope mirror across repair batches.
+class EnvelopeTable {
+ public:
+  EnvelopeTable() = default;
+  EnvelopeTable(const Graph& graph, const InfluenceGraph& influence);
+
+  /// Envelope slice aligned with graph.InEdges(v).
+  std::span<const float> InEnvelopes(const Graph& graph, VertexId v) const {
+    return {in_env_.data() + graph.InEdgeOffset(v), graph.InDegree(v)};
+  }
+  /// max over InEnvelopes(v); 0 for in-degree-0 vertices.
+  float VertexMax(VertexId v) const { return vertex_max_[v]; }
+  /// Envelope of edge e (EdgeId-indexed random access).
+  float Prob(EdgeId e) const { return in_env_[in_pos_[e]]; }
+
+  /// Replaces edge e's envelope with EnvelopeProbability(max_prob) and
+  /// rescans the head's per-vertex maximum — O(InDegree(head(e))).
+  void Update(const Graph& graph, EdgeId e, double max_prob);
+
+  size_t SizeBytes() const;
+
+ private:
+  std::vector<float> in_env_;      // in-adjacency order
+  std::vector<uint32_t> in_pos_;   // EdgeId -> slot in in_env_
+  std::vector<float> vertex_max_;  // per-vertex max over in-edges
 };
 
 /// The full PITEX input: topology + tag/topic model + p(e|z).

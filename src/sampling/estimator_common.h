@@ -33,6 +33,7 @@
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "src/sampling/influence_estimator.h"
@@ -57,6 +58,62 @@ class MaterializedProbs final : public EdgeProbFn {
 
  private:
   std::vector<double> table_;
+};
+
+/// Epoch-validated lazy dense probability cache for samplers whose
+/// probes can leave R_W(u) (the RR reverse BFS, triggering-set draws on
+/// in-edges): each source edge is evaluated through the virtual Prob at
+/// most once per Begin, later probes are array loads, and stale entries
+/// from earlier calls cost nothing to discard. A caller-provided
+/// DenseTable bypasses the fill entirely. Reused across calls; zero
+/// allocations after the first Begin with the largest edge count.
+class LazyEdgeProbCache {
+ public:
+  /// Starts a new estimation against `probs`.
+  void Begin(const EdgeProbFn& probs, size_t num_edges) {
+    source_ = &probs;
+    dense_ = probs.DenseTable();
+    if (dense_ != nullptr) return;
+    if (table_.size() < num_edges) {
+      table_.resize(num_edges);
+      epoch_of_.assign(num_edges, 0);
+      epoch_ = 0;
+    }
+    if (++epoch_ == 0) {  // epoch wrapped: drop all stale entries
+      std::fill(epoch_of_.begin(), epoch_of_.end(), 0);
+      epoch_ = 1;
+    }
+  }
+
+  /// probs.Prob(e), cached. Valid until the next Begin.
+  double Prob(EdgeId e) {
+    if (dense_ != nullptr) return dense_[e];
+    if (epoch_of_[e] != epoch_) {
+      epoch_of_[e] = epoch_;
+      table_[e] = source_->Prob(e);
+    }
+    return table_[e];
+  }
+
+  /// True when the source supplied a full DenseTable (no on-demand
+  /// validation needed before bulk reads).
+  bool has_dense() const { return dense_ != nullptr; }
+
+  /// Raw dense view for handing to bulk readers (e.g. a
+  /// TriggeringDistribution): entries are valid only where Prob was
+  /// called since the last Begin (everywhere for a DenseTable source).
+  std::span<const double> Table(size_t num_edges) const {
+    return dense_ != nullptr
+               ? std::span<const double>(dense_, num_edges)
+               : std::span<const double>(table_.data(), table_.size());
+  }
+
+ private:
+  const EdgeProbFn* source_ = nullptr;
+  const double* dense_ = nullptr;
+  std::vector<double> table_;
+  std::vector<uint32_t> epoch_of_;
+  uint32_t epoch_ = 0;
 };
 
 /// Reusable state for allocation-free reachability sweeps: epoch-stamped

@@ -8,54 +8,56 @@ LtSampler::LtSampler(const Graph& graph, SampleSizePolicy policy,
                      uint64_t seed)
     : graph_(graph),
       policy_(policy),
+      threshold_(policy.StoppingThreshold()),
       rng_(seed),
       epoch_(graph.num_vertices(), 0),
-      threshold_(graph.num_vertices(), 0.0),
-      accumulated_(graph.num_vertices(), 0.0) {}
+      threshold_v_(graph.num_vertices(), 0.0),
+      accumulated_(graph.num_vertices(), 0.0),
+      active_epoch_(graph.num_vertices(), 0) {}
 
 Estimate LtSampler::EstimateInfluence(VertexId u, const EdgeProbFn& probs) {
-  const ReachableSet reach = ComputeReachable(graph_, probs, u);
-  const auto rw = static_cast<double>(reach.vertices.size());
-  const double stop = policy_.StoppingThreshold();
-  const uint64_t cap = policy_.SampleCap(reach.vertices.size());
+  // The simulation only probes out-edges of activated vertices, all of
+  // which lie inside R_W(u) — exactly the edges the sweep materializes,
+  // so the inner loop is a plain table load (same pattern as McSampler).
+  const double* table = SweepAndMaterialize(graph_, probs, u, &reach_);
+  const auto rw = static_cast<double>(reach_.vertices.size());
+  const double stop = threshold_;
+  const uint64_t cap =
+      policy_.SampleCapFor(threshold_, reach_.vertices.size());
 
   Estimate result;
   uint64_t total_activated = 0;
   double sum_squares = 0.0;
-  std::vector<VertexId> frontier;
-  // -1 epoch parity: epoch_ marks "touched this instance"; a separate
-  // "active" mark is threshold_ <= accumulated_ checked on the fly.
-  std::vector<uint8_t> active(graph_.num_vertices(), 0);
-  std::vector<VertexId> touched;
   for (uint64_t i = 0; i < cap; ++i) {
-    ++current_epoch_;
-    frontier.assign(1, u);
-    active[u] = 1;
-    touched.assign(1, u);
+    if (++current_epoch_ == 0) {  // wrapped: drop all stale stamps
+      std::fill(epoch_.begin(), epoch_.end(), 0);
+      std::fill(active_epoch_.begin(), active_epoch_.end(), 0);
+      current_epoch_ = 1;
+    }
+    frontier_.assign(1, u);
+    active_epoch_[u] = current_epoch_;
     uint64_t activated = 1;
-    while (!frontier.empty()) {
-      const VertexId v = frontier.back();
-      frontier.pop_back();
+    while (!frontier_.empty()) {
+      const VertexId v = frontier_.back();
+      frontier_.pop_back();
       for (const auto& [w, e] : graph_.OutEdges(v)) {
-        const double weight = probs.Prob(e);
+        const double weight = table[e];
         if (weight <= 0.0) continue;
         ++result.edges_visited;
-        if (active[w]) continue;
+        if (active_epoch_[w] == current_epoch_) continue;
         if (epoch_[w] != current_epoch_) {
           epoch_[w] = current_epoch_;
-          threshold_[w] = rng_.NextDouble();
+          threshold_v_[w] = rng_.NextDouble();
           accumulated_[w] = 0.0;
-          touched.push_back(w);
         }
         accumulated_[w] = std::min(1.0, accumulated_[w] + weight);
-        if (accumulated_[w] >= threshold_[w]) {
-          active[w] = 1;
-          frontier.push_back(w);
+        if (accumulated_[w] >= threshold_v_[w]) {
+          active_epoch_[w] = current_epoch_;
+          frontier_.push_back(w);
           ++activated;
         }
       }
     }
-    for (VertexId v : touched) active[v] = 0;
     total_activated += activated;
     sum_squares += static_cast<double>(activated) *
                    static_cast<double>(activated);

@@ -12,6 +12,15 @@
 // The estimator is a forward Monte-Carlo simulation with the same
 // stopping rule as the IC samplers, so it plugs into both solvers and the
 // engine unchanged.
+//
+// Hot path (the PR-3 dense-table treatment, see estimator_common.h): the
+// reachability sweep self-materializes every probed edge's weight into a
+// flat table, the simulation loop reads array entries instead of calling
+// the virtual sparse-dot Prob(e), the lgamma-heavy stopping threshold is
+// cached at construction, and all per-instance state lives in
+// epoch-stamped member scratch — zero allocations at steady state.
+// Results are pinned bit-identical to the pre-treatment implementation
+// by tests/samplers_test.cc.
 
 #ifndef PITEX_SRC_SAMPLING_LT_SAMPLER_H_
 #define PITEX_SRC_SAMPLING_LT_SAMPLER_H_
@@ -19,6 +28,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/sampling/estimator_common.h"
 #include "src/sampling/influence_estimator.h"
 #include "src/sampling/sample_size.h"
 #include "src/util/random.h"
@@ -35,11 +45,18 @@ class LtSampler final : public InfluenceOracle {
  private:
   const Graph& graph_;
   SampleSizePolicy policy_;
+  const double threshold_;  // StoppingThreshold() is lgamma-heavy
   Rng rng_;
-  // Per-instance scratch, epoch-stamped.
+  // Forward reachability sweep scratch; the sweep self-materializes the
+  // dense weight table the simulation loop reads (SweepAndMaterialize).
+  ReachScratch reach_;
+  // Per-instance scratch, epoch-stamped: touched (threshold drawn),
+  // active, accumulated in-weight, plus the frontier stack.
   std::vector<uint32_t> epoch_;
-  std::vector<double> threshold_;
+  std::vector<double> threshold_v_;
   std::vector<double> accumulated_;
+  std::vector<uint32_t> active_epoch_;
+  std::vector<VertexId> frontier_;
   uint32_t current_epoch_ = 0;
 };
 

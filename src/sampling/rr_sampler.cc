@@ -14,29 +14,11 @@ RrSampler::RrSampler(const Graph& graph, SampleSizePolicy policy,
 
 Estimate RrSampler::EstimateInfluence(VertexId u, const EdgeProbFn& probs) {
   // One probability lookup per edge per call; every later probe of the
-  // same edge is an array load. A caller-provided dense table is used
-  // as-is; otherwise the lazily validated member table backs both the
-  // forward sweep and the reverse BFS (whose tails may leave R_W(u)).
-  const double* dense = probs.DenseTable();
-  if (dense == nullptr) {
-    if (edge_prob_.size() < graph_.num_edges()) {
-      edge_prob_.resize(graph_.num_edges());
-      edge_prob_epoch_.assign(graph_.num_edges(), 0);
-      prob_epoch_ = 0;
-    }
-    if (++prob_epoch_ == 0) {  // epoch wrapped: drop all stale entries
-      std::fill(edge_prob_epoch_.begin(), edge_prob_epoch_.end(), 0);
-      prob_epoch_ = 1;
-    }
-  }
-  const auto prob = [this, &probs, dense](EdgeId e) {
-    if (dense != nullptr) return dense[e];
-    if (edge_prob_epoch_[e] != prob_epoch_) {
-      edge_prob_epoch_[e] = prob_epoch_;
-      edge_prob_[e] = probs.Prob(e);
-    }
-    return edge_prob_[e];
-  };
+  // same edge is an array load. The lazily validated cache backs both
+  // the forward sweep and the reverse BFS (whose tails may leave
+  // R_W(u)).
+  cache_.Begin(probs, graph_.num_edges());
+  const auto prob = [this](EdgeId e) { return cache_.Prob(e); };
 
   ComputeReachableInto(graph_, prob, u, &reach_);
   const std::vector<VertexId>& reachable = reach_.vertices;

@@ -47,11 +47,8 @@ class RrSampler final : public InfluenceOracle {
   std::vector<VertexId> stack_;
   // Forward reachability sweep scratch (allocation-free after warmup).
   ReachScratch reach_;
-  // Lazily filled dense probability table; prob_epoch_ stamps validity
-  // per call, so stale entries cost nothing to discard.
-  std::vector<double> edge_prob_;
-  std::vector<uint32_t> edge_prob_epoch_;
-  uint32_t prob_epoch_ = 0;
+  // Lazily validated dense probability table (estimator_common.h).
+  LazyEdgeProbCache cache_;
 };
 
 }  // namespace pitex

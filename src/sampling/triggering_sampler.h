@@ -19,6 +19,15 @@
 // the draw for the rest of that instance — exactly the deferred-decision
 // principle of Sec. 5.1, lifted from edges to vertices.
 //
+// Hot path (the PR-3/PR-4 dense-table treatment): distributions read a
+// dense EdgeId-indexed probability table instead of calling the virtual
+// sparse-dot Prob(e) per probe — the sampler validates the in-edge
+// entries of v (at most one sparse dot per edge per estimation, cached
+// by epoch stamp) before drawing T_v, so a triggering-set draw costs one
+// virtual call total, not one per in-edge. Results are pinned
+// bit-identical to the pre-treatment implementation by
+// tests/samplers_test.cc.
+//
 // McSampler / LtSampler remain the fast paths for their models; this
 // sampler is the general, model-agnostic reference implementation and
 // the extension point for custom propagation semantics.
@@ -27,8 +36,10 @@
 #define PITEX_SRC_SAMPLING_TRIGGERING_SAMPLER_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
+#include "src/sampling/estimator_common.h"
 #include "src/sampling/influence_estimator.h"
 #include "src/sampling/sample_size.h"
 #include "src/util/random.h"
@@ -43,10 +54,13 @@ class TriggeringDistribution {
   virtual ~TriggeringDistribution() = default;
 
   /// Appends to `live` the EdgeIds of v's in-edges whose tails belong to
-  /// the freshly drawn T_v. `probs` supplies the tag-set-dependent edge
-  /// probabilities p(e|W).
+  /// the freshly drawn T_v. `edge_probs` is a dense EdgeId-indexed table
+  /// of the tag-set-dependent probabilities p(e|W); the caller
+  /// guarantees the entries of v's in-edges are valid (other entries may
+  /// be stale — implementations must only read v's in-edges).
   virtual void SampleTriggeringSet(const Graph& graph, VertexId v,
-                                   const EdgeProbFn& probs, Rng* rng,
+                                   std::span<const double> edge_probs,
+                                   Rng* rng,
                                    std::vector<EdgeId>* live) const = 0;
 
   virtual const char* Name() const = 0;
@@ -57,7 +71,7 @@ class TriggeringDistribution {
 class IcTriggering final : public TriggeringDistribution {
  public:
   void SampleTriggeringSet(const Graph& graph, VertexId v,
-                           const EdgeProbFn& probs, Rng* rng,
+                           std::span<const double> edge_probs, Rng* rng,
                            std::vector<EdgeId>* live) const override;
   const char* Name() const override { return "TRIG-IC"; }
 };
@@ -69,7 +83,7 @@ class IcTriggering final : public TriggeringDistribution {
 class LtTriggering final : public TriggeringDistribution {
  public:
   void SampleTriggeringSet(const Graph& graph, VertexId v,
-                           const EdgeProbFn& probs, Rng* rng,
+                           std::span<const double> edge_probs, Rng* rng,
                            std::vector<EdgeId>* live) const override;
   const char* Name() const override { return "TRIG-LT"; }
 };
@@ -91,14 +105,22 @@ class TriggeringSampler final : public InfluenceOracle {
   const Graph& graph_;
   const TriggeringDistribution* distribution_;
   SampleSizePolicy policy_;
+  const double threshold_;  // StoppingThreshold() is lgamma-heavy
   Rng rng_;
 
+  // Forward reachability sweep scratch (allocation-free after warmup).
+  ReachScratch reach_;
+  // Lazily validated dense probability table; triggering draws probe
+  // the in-edges of out-neighbors, whose tails can lie outside R_W(u),
+  // so stragglers are validated on demand.
+  LazyEdgeProbCache cache_;
   // Per-instance scratch, epoch-stamped to avoid O(|V|) clears.
   std::vector<uint32_t> decided_epoch_;  // T_v drawn this instance?
   std::vector<uint32_t> live_epoch_;     // per-edge: e in T_head(e)?
   std::vector<uint32_t> active_epoch_;   // vertex active this instance?
   uint32_t epoch_ = 0;
   std::vector<EdgeId> scratch_live_;
+  std::vector<VertexId> frontier_;
 };
 
 }  // namespace pitex

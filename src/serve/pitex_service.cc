@@ -71,7 +71,10 @@ void PitexService::Start() {
       // bit-identical to a freshly built RrIndex with these options.
       master_ = std::make_unique<DynamicRrIndex>(*network_, index_options);
       master_->Build();
-      snapshot = IndexSnapshot::FromDynamic(*master_, 1);
+      if (options_.publish_threads > 1) {
+        publish_pool_ = std::make_unique<ThreadPool>(options_.publish_threads);
+      }
+      snapshot = IndexSnapshot::FromDynamic(*master_, 1, publish_pool_.get());
     } else {
       index_options.num_build_threads = num_threads;
       auto index = std::make_unique<RrIndex>(*network_, index_options);
@@ -363,7 +366,8 @@ uint64_t PitexService::ApplyUpdates(
   std::lock_guard<std::mutex> lock(update_mutex_);
   master_->ApplyUpdates(updates);
   const uint64_t epoch = registry_.current_epoch() + 1;
-  registry_.Publish(IndexSnapshot::FromDynamic(*master_, epoch));
+  registry_.Publish(
+      IndexSnapshot::FromDynamic(*master_, epoch, publish_pool_.get()));
   work_cv_.notify_all();  // idle pumps may rebind eagerly on next query
   return epoch;
 }

@@ -83,6 +83,13 @@ struct ServeOptions {
   /// Keep a DynamicRrIndex master so ApplyUpdates can publish repaired
   /// snapshots. Requires an RR-Graph method (kIndexEst / kIndexEstPlus).
   bool enable_updates = false;
+  /// Workers for the publish-side freeze (IndexSnapshot::FromDynamic):
+  /// the network copy overlaps a pool-parallel pack. The serving pool is
+  /// permanently parked under the pumps, so publishes get their own
+  /// small maintenance pool; it sits idle between epochs. 0 or 1 (the
+  /// default) freezes serially — only worth enabling when cores are
+  /// genuinely free beyond the serving pumps.
+  size_t publish_threads = 0;
   /// Per-worker ring size for latency samples (Stats()).
   size_t latency_window = 1 << 14;
 };
@@ -190,6 +197,9 @@ class PitexService {
   IndexSnapshotRegistry registry_;
   std::mutex update_mutex_;  // serializes ApplyUpdates publishers
   std::unique_ptr<DynamicRrIndex> master_;  // shadow copy (enable_updates)
+  // Maintenance pool for publish-side packs (guarded by update_mutex_ /
+  // start_mutex_; never the pump pool — its workers are parked for good).
+  std::unique_ptr<ThreadPool> publish_pool_;
   std::unique_ptr<ResultCache> cache_;
 
   // Scheduler state, guarded by sched_mutex_.

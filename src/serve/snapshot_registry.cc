@@ -23,13 +23,26 @@ std::shared_ptr<const IndexSnapshot> IndexSnapshot::Wrap(
 }
 
 std::shared_ptr<const IndexSnapshot> IndexSnapshot::FromDynamic(
-    const DynamicRrIndex& master, uint64_t epoch) {
+    const DynamicRrIndex& master, uint64_t epoch, ThreadPool* pack_pool) {
   auto snapshot = std::shared_ptr<IndexSnapshot>(new IndexSnapshot());
   // The frozen network copy must live in the snapshot (stable address)
   // before the RrIndex replica can reference it.
-  auto network = std::make_shared<SocialNetwork>(master.network());
-  RrSketchPool pool =
-      RrSketchPool::Pack(master.graphs(), network->num_vertices());
+  auto network = std::make_shared<SocialNetwork>();
+  const size_t num_vertices = master.network().num_vertices();
+  RrSketchPool pool;
+  if (pack_pool != nullptr) {
+    // The freeze has two independent halves — the (post-update) network
+    // copy and the sketch pack. With a pool they overlap: the copy runs
+    // as one pool task while Pack fans its copy/containing passes over
+    // the remaining workers; Pack's internal Wait covers the copy task
+    // (ThreadPool::Wait is global quiescence).
+    pack_pool->Submit([&network, &master] { *network = master.network(); });
+    pool = RrSketchPool::Pack(master.graphs(), num_vertices, pack_pool);
+    pack_pool->Wait();
+  } else {
+    *network = master.network();
+    pool = RrSketchPool::Pack(master.graphs(), num_vertices);
+  }
   snapshot->rr_index_ = RrIndex::FromPool(*network, master.options(),
                                           master.theta(), std::move(pool));
   snapshot->network_ = std::move(network);

@@ -67,9 +67,12 @@ class IndexSnapshot {
   /// Freezes the master's current state: copies its (post-update)
   /// network and packs its sketches into an immutable pooled RrIndex
   /// replica (RrIndex::FromPool). This is the publish path for
-  /// serve-during-update.
+  /// serve-during-update. When `pack_pool` is non-null the pool pack
+  /// (sketch copy + containing index) runs across its workers — pass a
+  /// maintenance pool, never the pool the caller is running on.
   static std::shared_ptr<const IndexSnapshot> FromDynamic(
-      const DynamicRrIndex& master, uint64_t epoch);
+      const DynamicRrIndex& master, uint64_t epoch,
+      ThreadPool* pack_pool = nullptr);
 
  private:
   IndexSnapshot() = default;

@@ -67,27 +67,37 @@ void ThreadPool::WorkerLoop(size_t worker_index) {
   }
 }
 
-void ParallelFor(ThreadPool* pool, size_t begin, size_t end,
-                 const std::function<void(size_t)>& fn) {
+void ParallelForSlots(ThreadPool* pool, size_t begin, size_t end,
+                      const std::function<void(size_t, size_t)>& fn) {
   if (begin >= end) return;
   const size_t total = end - begin;
-  // Small chunks balance power-law skew; large enough to amortize the
-  // claim. One shared cursor, claimed in chunks of ~total/(8*threads).
-  const size_t chunk = std::max<size_t>(
-      1, total / (8 * std::max<size_t>(1, pool->num_threads())));
-  auto cursor = std::make_shared<std::atomic<size_t>>(begin);
   const size_t num_tasks = std::min(pool->num_threads(), total);
+  auto cursor = std::make_shared<std::atomic<size_t>>(begin);
   for (size_t t = 0; t < num_tasks; ++t) {
-    pool->Submit([cursor, end, chunk, &fn] {
+    pool->Submit([cursor, end, num_tasks, t, &fn] {
       for (;;) {
-        const size_t start = cursor->fetch_add(chunk);
+        // Guided claims: chunk = remaining/(4 * tasks), shrinking toward
+        // 1 at the tail. The remaining estimate races with other claims,
+        // which only perturbs the chunk size, never coverage: fetch_add
+        // hands out disjoint ranges and the clamp below bounds them.
+        const size_t seen = cursor->load(std::memory_order_relaxed);
+        if (seen >= end) return;
+        const size_t chunk =
+            std::max<size_t>(1, (end - seen) / (4 * num_tasks));
+        const size_t start =
+            cursor->fetch_add(chunk, std::memory_order_relaxed);
         if (start >= end) return;
         const size_t stop = std::min(end, start + chunk);
-        for (size_t i = start; i < stop; ++i) fn(i);
+        for (size_t i = start; i < stop; ++i) fn(t, i);
       }
     });
   }
   pool->Wait();
+}
+
+void ParallelFor(ThreadPool* pool, size_t begin, size_t end,
+                 const std::function<void(size_t)>& fn) {
+  ParallelForSlots(pool, begin, end, [&fn](size_t, size_t i) { fn(i); });
 }
 
 }  // namespace pitex

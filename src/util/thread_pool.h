@@ -5,8 +5,9 @@
 // different shapes:
 //   * batch PITEX queries (src/core/batch_engine.h): many independent
 //     medium-sized tasks, claimed via an atomic cursor;
-//   * bulk index construction already handles its own threading
-//     (src/index/rr_index.cc) because its partitioning is static;
+//   * bulk index construction (src/index/rr_index.cc): ParallelForSlots
+//     over theta samples, one SketchArena per claiming slot, guided
+//     chunk claims absorbing the power-law skew of sketch sizes;
 //   * the online serving layer (src/serve/pitex_service.h): long-lived
 //     pump tasks that need to know which worker runs them so they can
 //     bind to per-worker engine replicas — SubmitIndexed passes the
@@ -70,10 +71,24 @@ class ThreadPool {
 };
 
 /// Runs fn(i) for i in [begin, end) across the pool, blocking until all
-/// iterations finish. Iterations are claimed dynamically in chunks so
-/// uneven per-item costs (e.g. power-law reach sizes) still balance.
+/// iterations finish. Iterations are claimed dynamically in *guided*
+/// chunks off a shared cursor (like PitexService's run claims): each
+/// claim takes remaining/(4 * tasks) iterations, so early claims are
+/// large (amortizing the atomic) and tail claims shrink toward 1 —
+/// a power-law-cost item landing in the last fixed-size chunk can no
+/// longer stall the join while every other task sits idle. Results are
+/// independent of thread count and claim interleaving as long as fn(i)
+/// depends only on i.
 void ParallelFor(ThreadPool* pool, size_t begin, size_t end,
                  const std::function<void(size_t)>& fn);
+
+/// ParallelFor variant whose callback also receives a stable *slot* id in
+/// [0, min(pool->num_threads(), end - begin)): each slot is one claiming
+/// task, so invocations sharing a slot are serialized. Callers key
+/// per-task state (e.g. one SketchArena per slot in the index build) by
+/// it without synchronization.
+void ParallelForSlots(ThreadPool* pool, size_t begin, size_t end,
+                      const std::function<void(size_t, size_t)>& fn);
 
 }  // namespace pitex
 

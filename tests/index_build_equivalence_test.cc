@@ -1,0 +1,322 @@
+// Equivalence tests for arena-staged index construction
+// (src/index/sketch_arena.h + RrSketchPool::PackFrom):
+//
+//   * representation: the arena-built pool is byte-identical to packing
+//     standalone GenerateRRGraph outputs — the arena and the two-pass
+//     pack are pure layout changes;
+//   * RNG scheme: the combined-draw + geometric-skip probe changed the
+//     draw *sequence* (documented in docs/perf.md). A fixed-seed golden
+//     hash pins the current scheme so future refactors cannot drift it
+//     silently, and a chi-squared test checks the sketch-size (spread)
+//     distribution against a verbatim retained copy of the pre-arena
+//     two-draw generator — the distributions must agree because the
+//     per-edge law (live w.p. p(e), threshold U[0, p(e))) is unchanged;
+//   * allocations: steady-state sketch generation into a warmed arena is
+//     measured allocation-free;
+//   * repairs: SketchArena::RebuildRepairedSketch matches the
+//     ReachingRoot + AssembleRRGraph reference it replaced.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "running_example.h"
+#include "src/index/rr_index.h"
+#include "src/index/sketch_arena.h"
+
+// Global allocation counter: every operator new in the test binary bumps
+// it, so "zero allocations" is measured, not assumed. The replacement
+// operators are malloc-backed; GCC's heuristic flags inlined new/free
+// pairs from replacement allocators, which is exactly what we intend.
+#if defined(__GNUC__)
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+namespace {
+std::atomic<uint64_t> g_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace pitex {
+namespace {
+
+// Replicates RrIndex::Build's per-sample RNG stream derivation.
+Rng StreamFor(uint64_t seed, uint64_t i) {
+  uint64_t mix = seed ^ (0x9e3779b97f4a7c15ULL * (i + 1));
+  return Rng(SplitMix64(&mix));
+}
+
+// A sparse network whose envelopes sit deep in the geometric-skip regime
+// (vertex max << 1/16): a celebrity-style hub with many weak in-edges
+// plus a weak ring, so reverse BFS meets long low-probability in-edge
+// runs and the skip path is actually exercised.
+SocialNetwork MakeSkipRegimeNetwork() {
+  constexpr size_t kFans = 400;
+  SocialNetwork n;
+  GraphBuilder builder(kFans + 1);
+  for (VertexId f = 1; f <= kFans; ++f) builder.AddEdge(f, 0);
+  for (VertexId f = 1; f <= kFans; ++f) {
+    builder.AddEdge(f, 1 + (f % kFans));
+  }
+  n.graph = builder.Build();
+  n.topics = TopicModel(1, 1);
+  n.topics.SetTagTopic(0, 0, 1.0);
+  InfluenceGraphBuilder influence(n.graph.num_edges());
+  for (EdgeId e = 0; e < n.graph.num_edges(); ++e) {
+    const EdgeTopicEntry entry{0, e < kFans ? 0.01 : 0.03};
+    influence.SetEdgeTopics(e, std::span(&entry, 1));
+  }
+  n.influence = influence.Build();
+  return n;
+}
+
+uint64_t Fnv1a(uint64_t hash, const void* data, size_t bytes) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < bytes; ++i) {
+    hash ^= p[i];
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+// Field-wise content hash of every sketch in a built index (struct
+// padding never enters the hash).
+uint64_t IndexContentHash(const RrIndex& index) {
+  uint64_t hash = 0xcbf29ce484222325ULL;
+  for (size_t i = 0; i < index.num_graphs(); ++i) {
+    const RRView rr = index.graph(i);
+    hash = Fnv1a(hash, &rr.root, sizeof(rr.root));
+    hash = Fnv1a(hash, rr.vertices.data(),
+                 rr.vertices.size() * sizeof(VertexId));
+    hash = Fnv1a(hash, rr.offsets.data(),
+                 rr.offsets.size() * sizeof(uint32_t));
+    for (const RRLocalEdge& e : rr.edges) {
+      hash = Fnv1a(hash, &e.head_local, sizeof(e.head_local));
+      hash = Fnv1a(hash, &e.edge, sizeof(e.edge));
+      hash = Fnv1a(hash, &e.threshold, sizeof(e.threshold));
+    }
+  }
+  return hash;
+}
+
+// Verbatim retained pre-arena generator (rr_graph.cc before the arena
+// rebuild): double envelopes, one Bernoulli draw plus one threshold draw
+// per live edge, no geometric skips. The new scheme must reproduce its
+// *distribution* (chi-squared below), not its draw sequence.
+RRGraph ReferenceGenerateRRGraph(const Graph& graph,
+                                 const InfluenceGraph& influence,
+                                 VertexId root, Rng* rng) {
+  std::unordered_set<VertexId> visited{root};
+  std::vector<VertexId> vertices{root};
+  std::vector<GlobalEdgeSample> live;
+  std::vector<VertexId> stack{root};
+  while (!stack.empty()) {
+    const VertexId v = stack.back();
+    stack.pop_back();
+    for (const auto& [w, e] : graph.InEdges(v)) {
+      const double p = influence.MaxProb(e);
+      if (p <= 0.0) continue;
+      if (!rng->NextBernoulli(p)) continue;  // dead for every W
+      const auto threshold = static_cast<float>(rng->NextDouble() * p);
+      live.push_back(GlobalEdgeSample{w, v, e, threshold});
+      if (visited.insert(w).second) {
+        vertices.push_back(w);
+        stack.push_back(w);
+      }
+    }
+  }
+  return AssembleRRGraph(root, std::move(vertices), live);
+}
+
+TEST(IndexBuildEquivalenceTest, ArenaPoolMatchesStandaloneGeneration) {
+  // The arena-built pool must equal packing standalone GenerateRRGraph
+  // outputs: pure representation change, same draws, same layout.
+  const SocialNetwork n = MakeRunningExample();
+  RrIndexOptions options;
+  options.theta_override = 2000;
+  options.seed = 7;
+  RrIndex index(n, options);
+  index.Build();
+
+  std::vector<RRGraph> staging(options.theta_override);
+  for (uint64_t i = 0; i < options.theta_override; ++i) {
+    Rng rng = StreamFor(options.seed, i);
+    const auto root =
+        static_cast<VertexId>(rng.NextBounded(n.num_vertices()));
+    staging[i] = GenerateRRGraph(n.graph, n.influence, root, &rng);
+  }
+  const RrSketchPool reference =
+      RrSketchPool::Pack(staging, n.num_vertices());
+
+  ASSERT_EQ(index.pool().num_sketches(), reference.num_sketches());
+  for (size_t i = 0; i < reference.num_sketches(); ++i) {
+    const RRView got = index.pool().View(i);
+    const RRView want = reference.View(i);
+    ASSERT_EQ(got.root, want.root) << "sketch " << i;
+    ASSERT_TRUE(std::ranges::equal(got.vertices, want.vertices))
+        << "sketch " << i;
+    ASSERT_TRUE(std::ranges::equal(got.offsets, want.offsets))
+        << "sketch " << i;
+    ASSERT_EQ(got.edges.size(), want.edges.size()) << "sketch " << i;
+    for (size_t j = 0; j < want.edges.size(); ++j) {
+      ASSERT_EQ(got.edges[j].head_local, want.edges[j].head_local);
+      ASSERT_EQ(got.edges[j].edge, want.edges[j].edge);
+      ASSERT_EQ(got.edges[j].threshold, want.edges[j].threshold);
+    }
+  }
+  for (VertexId v = 0; v < n.num_vertices(); ++v) {
+    ASSERT_TRUE(std::ranges::equal(index.pool().Containing(v),
+                                   reference.Containing(v)))
+        << "vertex " << v;
+  }
+}
+
+TEST(IndexBuildEquivalenceTest, FixedSeedGoldenHash) {
+  // Pins the exact draw scheme (combined draw, float envelopes,
+  // geometric skips, arena assembly). An intentional sampling change
+  // must update these constants — and the docs/perf.md derivation.
+  const SocialNetwork example = MakeRunningExample();
+  RrIndexOptions options;
+  options.theta_override = 512;
+  options.seed = 7;
+  RrIndex dense_index(example, options);
+  dense_index.Build();
+  EXPECT_EQ(IndexContentHash(dense_index), 0xb1bf3513731c5a79ULL)
+      << std::hex << IndexContentHash(dense_index);
+
+  // Skip-regime graph: exercises the geometric path specifically.
+  const SocialNetwork sparse = MakeSkipRegimeNetwork();
+  options.seed = 11;
+  RrIndex sparse_index(sparse, options);
+  sparse_index.Build();
+  EXPECT_EQ(IndexContentHash(sparse_index), 0x867ec66e2fd6512bULL)
+      << std::hex << IndexContentHash(sparse_index);
+}
+
+TEST(IndexBuildEquivalenceTest, SpreadDistributionMatchesReference) {
+  // Chi-squared two-sample test on the sketch vertex-count distribution:
+  // the geometric-skip generator draws from exactly the per-edge law of
+  // the retained two-draw reference, so the size histograms must agree.
+  // Fixed seeds make the statistic deterministic; the 0.001-level
+  // critical value leaves generous room for the envelope's float
+  // round-up (a <= 2^-24 relative perturbation).
+  const SocialNetwork n = MakeSkipRegimeNetwork();
+  constexpr int kSamples = 20000;
+  constexpr size_t kBuckets = 8;  // sizes 1..7 and >= 8
+  std::vector<double> current(kBuckets, 0.0);
+  std::vector<double> reference(kBuckets, 0.0);
+  Rng cur_rng(1234);
+  Rng ref_rng(1234);
+  for (int i = 0; i < kSamples; ++i) {
+    const auto root = static_cast<VertexId>(
+        cur_rng.NextBounded(n.num_vertices()));
+    (void)ref_rng.NextBounded(n.num_vertices());  // mirror the root draw
+    const RRGraph cur = GenerateRRGraph(n.graph, n.influence, root, &cur_rng);
+    const RRGraph ref =
+        ReferenceGenerateRRGraph(n.graph, n.influence, root, &ref_rng);
+    ++current[std::min(cur.vertices.size(), kBuckets) - 1];
+    ++reference[std::min(ref.vertices.size(), kBuckets) - 1];
+  }
+  double stat = 0.0;
+  size_t df = 0;
+  for (size_t b = 0; b < kBuckets; ++b) {
+    const double total = current[b] + reference[b];
+    if (total < 10.0) continue;  // merge-or-skip sparse tail buckets
+    const double diff = current[b] - reference[b];
+    stat += diff * diff / total;
+    ++df;
+  }
+  ASSERT_GE(df, 2u);
+  // Chi-squared 0.999 quantiles for df = 1..8.
+  const double critical[] = {10.83, 13.82, 16.27, 18.47,
+                             20.52, 22.46, 24.32, 26.12};
+  EXPECT_LT(stat, critical[df - 1]) << "df=" << df;
+}
+
+TEST(IndexBuildEquivalenceTest, SteadyStateGenerationAllocatesNothing) {
+  const SocialNetwork n = MakeRunningExample();
+  const EnvelopeTable envelope(n.graph, n.influence);
+  SketchArena arena;
+  // Each round replays the same seed, so the working set is identical
+  // and the warmup round establishes every buffer's high-water mark.
+  const auto run_round = [&] {
+    Rng rng(3);
+    arena.Clear();
+    for (uint64_t i = 0; i < 64; ++i) {
+      const auto root =
+          static_cast<VertexId>(rng.NextBounded(n.num_vertices()));
+      arena.Generate(n.graph, envelope, root, &rng, i);
+    }
+  };
+  run_round();  // warmup
+  const uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  for (int round = 0; round < 10; ++round) run_round();
+  const uint64_t after = g_allocations.load(std::memory_order_relaxed);
+  EXPECT_EQ(after, before) << "steady-state sketch generation allocated";
+  EXPECT_GT(arena.num_sketches(), 0u);
+}
+
+TEST(IndexBuildEquivalenceTest, RebuildRepairedSketchMatchesAssemble) {
+  // RebuildRepairedSketch == ReachingRoot + AssembleRRGraph (the repair
+  // pipeline it replaced), including orphaned-subtree pruning and
+  // per-tail edge order.
+  const VertexId root = 5;
+  const std::vector<GlobalEdgeSample> edges = {
+      {2, 5, 0, 0.1f},  // 2 -> root
+      {1, 2, 1, 0.2f},  // 1 -> 2 -> root
+      {3, 4, 2, 0.3f},  // orphan pair: 3 -> 4 does not reach root
+      {4, 3, 3, 0.4f},
+      {6, 2, 4, 0.5f},  // 6 -> 2 -> root
+      {1, 2, 5, 0.6f},  // parallel edge, order must be preserved
+  };
+  // Reference: reverse BFS for the reaching set, then AssembleRRGraph.
+  std::unordered_map<VertexId, std::vector<VertexId>> tails_of;
+  for (const GlobalEdgeSample& e : edges) tails_of[e.head].push_back(e.tail);
+  std::vector<VertexId> keep{root};
+  std::unordered_set<VertexId> seen{root};
+  std::vector<VertexId> stack{root};
+  while (!stack.empty()) {
+    const VertexId v = stack.back();
+    stack.pop_back();
+    const auto it = tails_of.find(v);
+    if (it == tails_of.end()) continue;
+    for (const VertexId t : it->second) {
+      if (seen.insert(t).second) {
+        keep.push_back(t);
+        stack.push_back(t);
+      }
+    }
+  }
+  const RRGraph want = AssembleRRGraph(root, keep, edges);
+
+  SketchArena arena;
+  RRGraph got;
+  arena.RebuildRepairedSketch(root, /*num_vertices=*/8, edges, &got);
+  EXPECT_EQ(got.root, want.root);
+  EXPECT_EQ(got.vertices, want.vertices);
+  EXPECT_EQ(got.offsets, want.offsets);
+  ASSERT_EQ(got.edges.size(), want.edges.size());
+  for (size_t i = 0; i < want.edges.size(); ++i) {
+    EXPECT_EQ(got.edges[i].head_local, want.edges[i].head_local);
+    EXPECT_EQ(got.edges[i].edge, want.edges[i].edge);
+    EXPECT_EQ(got.edges[i].threshold, want.edges[i].threshold);
+  }
+}
+
+}  // namespace
+}  // namespace pitex

@@ -11,8 +11,10 @@
 #include "src/graph/generators.h"
 #include "src/sampling/exact.h"
 #include "src/sampling/lazy_sampler.h"
+#include "src/sampling/lt_sampler.h"
 #include "src/sampling/mc_sampler.h"
 #include "src/sampling/rr_sampler.h"
+#include "src/sampling/triggering_sampler.h"
 
 namespace pitex {
 namespace {
@@ -322,6 +324,270 @@ TEST(RrEquivalenceTest, DenseTableRrIsBitIdenticalToReference) {
       ASSERT_EQ(got.edges_visited, want.edges_visited);
       ASSERT_EQ(got.influence, want.influence);  // bitwise, not NEAR
       ASSERT_EQ(got.std_error, want.std_error);
+    }
+  }
+}
+
+// Retained pre-dense-table LtSampler (verbatim except renames): the
+// scratch-based sweep + cached probability table must not perturb a
+// single threshold draw or weight value.
+class ReferenceLtSampler final : public InfluenceOracle {
+ public:
+  ReferenceLtSampler(const Graph& graph, SampleSizePolicy policy,
+                     uint64_t seed)
+      : graph_(graph),
+        policy_(policy),
+        rng_(seed),
+        epoch_(graph.num_vertices(), 0),
+        threshold_(graph.num_vertices(), 0.0),
+        accumulated_(graph.num_vertices(), 0.0) {}
+
+  const char* Name() const override { return "REF-LT"; }
+
+  Estimate EstimateInfluence(VertexId u, const EdgeProbFn& probs) override {
+    const ReachableSet reach = ComputeReachable(graph_, probs, u);
+    const auto rw = static_cast<double>(reach.vertices.size());
+    const double stop = policy_.StoppingThreshold();
+    const uint64_t cap = policy_.SampleCap(reach.vertices.size());
+
+    Estimate result;
+    uint64_t total_activated = 0;
+    double sum_squares = 0.0;
+    std::vector<VertexId> frontier;
+    std::vector<uint8_t> active(graph_.num_vertices(), 0);
+    std::vector<VertexId> touched;
+    for (uint64_t i = 0; i < cap; ++i) {
+      ++current_epoch_;
+      frontier.assign(1, u);
+      active[u] = 1;
+      touched.assign(1, u);
+      uint64_t activated = 1;
+      while (!frontier.empty()) {
+        const VertexId v = frontier.back();
+        frontier.pop_back();
+        for (const auto& [w, e] : graph_.OutEdges(v)) {
+          const double weight = probs.Prob(e);
+          if (weight <= 0.0) continue;
+          ++result.edges_visited;
+          if (active[w]) continue;
+          if (epoch_[w] != current_epoch_) {
+            epoch_[w] = current_epoch_;
+            threshold_[w] = rng_.NextDouble();
+            accumulated_[w] = 0.0;
+            touched.push_back(w);
+          }
+          accumulated_[w] = std::min(1.0, accumulated_[w] + weight);
+          if (accumulated_[w] >= threshold_[w]) {
+            active[w] = 1;
+            frontier.push_back(w);
+            ++activated;
+          }
+        }
+      }
+      for (VertexId v : touched) active[v] = 0;
+      total_activated += activated;
+      sum_squares += static_cast<double>(activated) *
+                     static_cast<double>(activated);
+      ++result.samples;
+      if (result.samples >= policy_.min_samples &&
+          static_cast<double>(total_activated) / rw >= stop) {
+        break;
+      }
+    }
+    result.influence =
+        static_cast<double>(total_activated) /
+        static_cast<double>(std::max<uint64_t>(result.samples, 1));
+    result.std_error = SampleMeanStdError(
+        static_cast<double>(total_activated), sum_squares, result.samples);
+    return result;
+  }
+
+ private:
+  const Graph& graph_;
+  SampleSizePolicy policy_;
+  Rng rng_;
+  std::vector<uint32_t> epoch_;
+  std::vector<double> threshold_;
+  std::vector<double> accumulated_;
+  uint32_t current_epoch_ = 0;
+};
+
+TEST(LtEquivalenceTest, DenseTableLtIsBitIdenticalToReference) {
+  const SocialNetwork n = MakeRunningExample();
+  SampleSizePolicy policy = TightPolicy();
+  policy.min_samples = 64;
+  policy.max_samples = 4096;
+
+  const TagId tag_sets[][2] = {{0, 1}, {1, 2}, {2, 3}, {0, 3}};
+  for (const uint64_t seed : {1u, 7u, 42u}) {
+    LtSampler current(n.graph, policy, seed);
+    ReferenceLtSampler reference(n.graph, policy, seed);
+    // Interleave users and tag sets so the member scratch and the lazily
+    // validated table are exercised across epochs, not just cold.
+    for (int call = 0; call < 12; ++call) {
+      const VertexId u = static_cast<VertexId>(call % n.num_vertices());
+      const auto posterior = n.topics.Posterior(tag_sets[call % 4]);
+      const PosteriorProbs probs(n.influence, posterior);
+      const Estimate got = current.EstimateInfluence(u, probs);
+      const Estimate want = reference.EstimateInfluence(u, probs);
+      ASSERT_EQ(got.samples, want.samples) << "seed " << seed;
+      ASSERT_EQ(got.edges_visited, want.edges_visited);
+      ASSERT_EQ(got.influence, want.influence);  // bitwise, not NEAR
+      ASSERT_EQ(got.std_error, want.std_error);
+    }
+  }
+}
+
+// Retained pre-dense-table triggering machinery (verbatim except
+// renames): distributions probed the virtual Prob(e) per in-edge.
+class ReferenceIcTriggering {
+ public:
+  void SampleTriggeringSet(const Graph& graph, VertexId v,
+                           const EdgeProbFn& probs, Rng* rng,
+                           std::vector<EdgeId>* live) const {
+    for (const auto& [tail, e] : graph.InEdges(v)) {
+      const double p = probs.Prob(e);
+      if (p > 0.0 && rng->NextBernoulli(p)) live->push_back(e);
+    }
+  }
+};
+
+class ReferenceLtTriggering {
+ public:
+  void SampleTriggeringSet(const Graph& graph, VertexId v,
+                           const EdgeProbFn& probs, Rng* rng,
+                           std::vector<EdgeId>* live) const {
+    double total = 0.0;
+    for (const auto& [tail, e] : graph.InEdges(v)) total += probs.Prob(e);
+    if (total <= 0.0) return;
+    const double scale = std::max(total, 1.0);
+    double pick = rng->NextDouble() * scale;
+    for (const auto& [tail, e] : graph.InEdges(v)) {
+      pick -= probs.Prob(e);
+      if (pick < 0.0) {
+        live->push_back(e);
+        return;
+      }
+    }
+  }
+};
+
+template <typename Distribution>
+class ReferenceTriggeringSampler final : public InfluenceOracle {
+ public:
+  ReferenceTriggeringSampler(const Graph& graph,
+                             const Distribution* distribution,
+                             SampleSizePolicy policy, uint64_t seed)
+      : graph_(graph),
+        distribution_(distribution),
+        policy_(policy),
+        rng_(seed),
+        decided_epoch_(graph.num_vertices(), 0),
+        live_epoch_(graph.num_edges(), 0),
+        active_epoch_(graph.num_vertices(), 0) {}
+
+  const char* Name() const override { return "REF-TRIG"; }
+
+  Estimate EstimateInfluence(VertexId u, const EdgeProbFn& probs) override {
+    const ReachableSet reach = ComputeReachable(graph_, probs, u);
+    const auto rw = static_cast<double>(reach.vertices.size());
+    const double threshold = policy_.StoppingThreshold();
+    const uint64_t cap = policy_.SampleCap(reach.vertices.size());
+
+    Estimate result;
+    uint64_t total_activated = 0;
+    double sum_squares = 0.0;
+    std::vector<VertexId> frontier;
+    for (uint64_t i = 0; i < cap; ++i) {
+      ++epoch_;
+      const uint64_t before = total_activated;
+      frontier.assign(1, u);
+      active_epoch_[u] = epoch_;
+      while (!frontier.empty()) {
+        const VertexId x = frontier.back();
+        frontier.pop_back();
+        ++total_activated;
+        for (const auto& [v, e] : graph_.OutEdges(x)) {
+          if (active_epoch_[v] == epoch_) continue;
+          if (decided_epoch_[v] != epoch_) {
+            decided_epoch_[v] = epoch_;
+            scratch_live_.clear();
+            distribution_->SampleTriggeringSet(graph_, v, probs, &rng_,
+                                               &scratch_live_);
+            result.edges_visited += graph_.InDegree(v);
+            for (const EdgeId live : scratch_live_) {
+              live_epoch_[live] = epoch_;
+            }
+          }
+          if (live_epoch_[e] == epoch_) {
+            active_epoch_[v] = epoch_;
+            frontier.push_back(v);
+          }
+        }
+      }
+      ++result.samples;
+      const auto instance_spread =
+          static_cast<double>(total_activated - before);
+      sum_squares += instance_spread * instance_spread;
+      if (result.samples >= policy_.min_samples && rw > 0.0 &&
+          static_cast<double>(total_activated) / rw >= threshold) {
+        break;
+      }
+    }
+    result.influence =
+        static_cast<double>(total_activated) /
+        static_cast<double>(std::max<uint64_t>(result.samples, 1));
+    result.std_error = SampleMeanStdError(
+        static_cast<double>(total_activated), sum_squares, result.samples);
+    return result;
+  }
+
+ private:
+  const Graph& graph_;
+  const Distribution* distribution_;
+  SampleSizePolicy policy_;
+  Rng rng_;
+  std::vector<uint32_t> decided_epoch_;
+  std::vector<uint32_t> live_epoch_;
+  std::vector<uint32_t> active_epoch_;
+  uint32_t epoch_ = 0;
+  std::vector<EdgeId> scratch_live_;
+};
+
+TEST(TriggeringEquivalenceTest, DenseTableTriggeringIsBitIdentical) {
+  const SocialNetwork n = MakeRunningExample();
+  SampleSizePolicy policy = TightPolicy();
+  policy.min_samples = 64;
+  policy.max_samples = 4096;
+
+  const IcTriggering ic;
+  const LtTriggering lt;
+  const ReferenceIcTriggering ref_ic;
+  const ReferenceLtTriggering ref_lt;
+  const TagId tag_sets[][2] = {{0, 1}, {1, 2}, {2, 3}, {0, 3}};
+  for (const uint64_t seed : {1u, 7u, 42u}) {
+    TriggeringSampler ic_current(n.graph, &ic, policy, seed);
+    ReferenceTriggeringSampler<ReferenceIcTriggering> ic_reference(
+        n.graph, &ref_ic, policy, seed);
+    TriggeringSampler lt_current(n.graph, &lt, policy, seed + 100);
+    ReferenceTriggeringSampler<ReferenceLtTriggering> lt_reference(
+        n.graph, &ref_lt, policy, seed + 100);
+    for (int call = 0; call < 12; ++call) {
+      const VertexId u = static_cast<VertexId>(call % n.num_vertices());
+      const auto posterior = n.topics.Posterior(tag_sets[call % 4]);
+      const PosteriorProbs probs(n.influence, posterior);
+      const Estimate ic_got = ic_current.EstimateInfluence(u, probs);
+      const Estimate ic_want = ic_reference.EstimateInfluence(u, probs);
+      ASSERT_EQ(ic_got.samples, ic_want.samples) << "seed " << seed;
+      ASSERT_EQ(ic_got.edges_visited, ic_want.edges_visited);
+      ASSERT_EQ(ic_got.influence, ic_want.influence);  // bitwise
+      ASSERT_EQ(ic_got.std_error, ic_want.std_error);
+      const Estimate lt_got = lt_current.EstimateInfluence(u, probs);
+      const Estimate lt_want = lt_reference.EstimateInfluence(u, probs);
+      ASSERT_EQ(lt_got.samples, lt_want.samples) << "seed " << seed;
+      ASSERT_EQ(lt_got.edges_visited, lt_want.edges_visited);
+      ASSERT_EQ(lt_got.influence, lt_want.influence);  // bitwise
+      ASSERT_EQ(lt_got.std_error, lt_want.std_error);
     }
   }
 }

@@ -171,6 +171,52 @@ TEST(ParallelForTest, OffsetRange) {
   EXPECT_EQ(sum.load(), expected);
 }
 
+TEST(ParallelForSlotsTest, CoversEveryIndexWithValidSlots) {
+  ThreadPool pool(4);
+  const size_t total = 5000;
+  std::vector<std::atomic<int>> hits(total);
+  std::atomic<int> bad_slot{0};
+  ParallelForSlots(&pool, 0, total, [&](size_t slot, size_t i) {
+    if (slot >= std::min<size_t>(4, total)) bad_slot.fetch_add(1);
+    hits[i].fetch_add(1);
+  });
+  EXPECT_EQ(bad_slot.load(), 0);
+  for (size_t i = 0; i < total; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelForSlotsTest, SlotsNeverOverlap) {
+  // Invocations sharing a slot are serialized — the property per-slot
+  // arenas in the index build rely on.
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> active(4);
+  std::atomic<int> overlaps{0};
+  ParallelForSlots(&pool, 0, 500, [&](size_t slot, size_t) {
+    if (active[slot].fetch_add(1) != 0) overlaps.fetch_add(1);
+    std::this_thread::sleep_for(std::chrono::microseconds(10));
+    active[slot].fetch_sub(1);
+  });
+  EXPECT_EQ(overlaps.load(), 0);
+}
+
+TEST(ParallelForTest, GuidedClaimsBalanceSkewedTail) {
+  // A power-law cost profile (one huge item near the end) must not leave
+  // the range uncovered or double-claimed under guided chunking.
+  ThreadPool pool(4);
+  const size_t total = 2000;
+  std::vector<std::atomic<int>> hits(total);
+  ParallelFor(&pool, 0, total, [&hits, total](size_t i) {
+    if (i == total - 7) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    hits[i].fetch_add(1);
+  });
+  for (size_t i = 0; i < total; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
 TEST(ParallelForTest, PoolReusableAcrossCalls) {
   ThreadPool pool(4);
   std::atomic<int> counter{0};

@@ -39,6 +39,14 @@ SampleSizePolicy TightPolicy() {
   return policy;
 }
 
+// Dense EdgeId-indexed table for direct SampleTriggeringSet calls (the
+// sampler-provided table in production).
+std::vector<double> DenseProbs(const Graph& graph, const EdgeProbFn& probs) {
+  std::vector<double> table(graph.num_edges());
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) table[e] = probs.Prob(e);
+  return table;
+}
+
 TEST(TriggeringDistributionTest, IcFrequenciesMatchEdgeProbs) {
   GraphBuilder builder(3);
   builder.AddEdge(0, 2);
@@ -48,13 +56,14 @@ TEST(TriggeringDistributionTest, IcFrequenciesMatchEdgeProbs) {
 
   Rng rng(7);
   IcTriggering ic;
+  const std::vector<double> table = DenseProbs(graph, probs);
   int hits[2] = {0, 0};
   int both = 0;
   const int kTrials = 40000;
   std::vector<EdgeId> live;
   for (int i = 0; i < kTrials; ++i) {
     live.clear();
-    ic.SampleTriggeringSet(graph, 2, probs, &rng, &live);
+    ic.SampleTriggeringSet(graph, 2, table, &rng, &live);
     for (const EdgeId e : live) ++hits[e];
     if (live.size() == 2) ++both;
   }
@@ -74,13 +83,14 @@ TEST(TriggeringDistributionTest, LtPicksAtMostOneEdge) {
 
   Rng rng(9);
   LtTriggering lt;
+  const std::vector<double> table = DenseProbs(graph, probs);
   int hits[3] = {0, 0, 0};
   int empty = 0;
   const int kTrials = 40000;
   std::vector<EdgeId> live;
   for (int i = 0; i < kTrials; ++i) {
     live.clear();
-    lt.SampleTriggeringSet(graph, 3, probs, &rng, &live);
+    lt.SampleTriggeringSet(graph, 3, table, &rng, &live);
     ASSERT_LE(live.size(), 1u);
     if (live.empty()) {
       ++empty;
@@ -104,12 +114,13 @@ TEST(TriggeringDistributionTest, LtRenormalizesOverflowingWeights) {
 
   Rng rng(11);
   LtTriggering lt;
+  const std::vector<double> table = DenseProbs(graph, probs);
   int selections = 0;
   const int kTrials = 20000;
   std::vector<EdgeId> live;
   for (int i = 0; i < kTrials; ++i) {
     live.clear();
-    lt.SampleTriggeringSet(graph, 2, probs, &rng, &live);
+    lt.SampleTriggeringSet(graph, 2, table, &rng, &live);
     ASSERT_LE(live.size(), 1u);
     selections += !live.empty();
   }
