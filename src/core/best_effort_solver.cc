@@ -33,7 +33,7 @@ void ResetCounters(PitexResult* r) {
 
 }  // namespace
 
-void SolveTopNByBestEffort(const SocialNetwork& network,
+PITEX_NOALLOC void SolveTopNByBestEffort(const SocialNetwork& network,
                            const PitexQuery& query,
                            const UpperBoundContext& context,
                            InfluenceOracle* oracle, size_t n,
@@ -91,6 +91,8 @@ void SolveTopNByBestEffort(const SocialNetwork& network,
         slot = std::move(pool.back());
         pool.pop_back();
       }
+      // assign() below reuses the capacity donated by the pool slot.
+      // pitex-check: allow(noalloc): recycled slot, grows only on warmup
       slot.tags.assign(scratch->tags.begin(), scratch->tags.end());
       slot.influence = est.influence;
       top.push_back(std::move(slot));

@@ -31,6 +31,7 @@
 #include "src/core/upper_bound.h"
 #include "src/sampling/estimator_common.h"
 #include "src/sampling/influence_estimator.h"
+#include "src/util/thread_annotations.h"
 
 namespace pitex {
 
@@ -72,8 +73,8 @@ std::vector<RankedTagSet> SolveTopNByBestEffort(
 /// refilled, element storage reused) and keeps all transient state in
 /// `*scratch`. Zero heap allocations at steady state. `stats` may be
 /// null.
-void SolveTopNByBestEffort(const SocialNetwork& network,
-                           const PitexQuery& query,
+PITEX_NOALLOC void SolveTopNByBestEffort(
+    const SocialNetwork& network, const PitexQuery& query,
                            const UpperBoundContext& context,
                            InfluenceOracle* oracle, size_t n,
                            std::vector<RankedTagSet>* out,

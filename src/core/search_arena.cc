@@ -16,17 +16,17 @@ struct BoundLess {
 };
 }  // namespace
 
-void SearchArena::Reset() {
+PITEX_NOALLOC void SearchArena::Reset() {
   chain_.clear();
   heap_.clear();
 }
 
-uint32_t SearchArena::Extend(uint32_t parent, TagId tag) {
+PITEX_NOALLOC uint32_t SearchArena::Extend(uint32_t parent, TagId tag) {
   chain_.push_back(ChainNode{tag, parent});
   return static_cast<uint32_t>(chain_.size() - 1);
 }
 
-void SearchArena::Materialize(uint32_t chain, uint32_t size,
+PITEX_NOALLOC void SearchArena::Materialize(uint32_t chain, uint32_t size,
                               TagId* out) const {
   uint32_t index = chain;
   for (uint32_t i = 0; i < size; ++i) {
@@ -37,12 +37,12 @@ void SearchArena::Materialize(uint32_t chain, uint32_t size,
   PITEX_DCHECK(index == kNoChain);
 }
 
-void SearchArena::Push(const HeapSlot& slot) {
+PITEX_NOALLOC void SearchArena::Push(const HeapSlot& slot) {
   heap_.push_back(slot);
   std::push_heap(heap_.begin(), heap_.end(), BoundLess{});
 }
 
-SearchArena::HeapSlot SearchArena::Pop() {
+PITEX_NOALLOC SearchArena::HeapSlot SearchArena::Pop() {
   const HeapSlot top = heap_.front();
   std::pop_heap(heap_.begin(), heap_.end(), BoundLess{});
   heap_.pop_back();

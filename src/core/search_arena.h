@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "src/model/tag_catalog.h"
+#include "src/util/thread_annotations.h"
 
 namespace pitex {
 
@@ -44,16 +45,17 @@ class SearchArena {
   };
 
   /// Clears the frontier and the chain pool, keeping both capacities.
-  void Reset();
+  PITEX_NOALLOC void Reset();
 
   /// Appends `tag` to the chain ending at `parent` (kNoChain for the empty
   /// set) and returns the new chain's index. Chain nodes are never freed
   /// individually — only Reset() reclaims them.
-  uint32_t Extend(uint32_t parent, TagId tag);
+  PITEX_NOALLOC uint32_t Extend(uint32_t parent, TagId tag);
 
   /// Writes the tags of `chain` (ascending) into out[0..size). `out` must
   /// hold at least `size` entries.
-  void Materialize(uint32_t chain, uint32_t size, TagId* out) const;
+  PITEX_NOALLOC void Materialize(uint32_t chain, uint32_t size,
+                                 TagId* out) const;
 
   bool empty() const { return heap_.empty(); }
   size_t frontier_size() const { return heap_.size(); }
@@ -61,8 +63,8 @@ class SearchArena {
 
   /// Heap push/pop, behaviourally identical to
   /// std::priority_queue<HeapNode> ordered by bound (max-heap).
-  void Push(const HeapSlot& slot);
-  HeapSlot Pop();
+  PITEX_NOALLOC void Push(const HeapSlot& slot);
+  PITEX_NOALLOC HeapSlot Pop();
 
  private:
   struct ChainNode {

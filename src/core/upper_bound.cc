@@ -55,7 +55,8 @@ UpperBoundContext::UpperBoundContext(const TopicModel& topics)
   }
 }
 
-bool UpperBoundContext::Compatible(std::span<const TagId> partial,
+PITEX_NOALLOC bool UpperBoundContext::Compatible(
+    std::span<const TagId> partial,
                                    TopicId z) const {
   if (topics_->prior()[z] <= 0.0) return false;
   for (TagId w : partial) {
@@ -98,7 +99,8 @@ std::vector<double> UpperBoundContext::TopicMultipliers(
   return result;
 }
 
-void UpperBoundContext::TopicMultipliersInto(std::span<const TagId> partial,
+PITEX_NOALLOC void UpperBoundContext::TopicMultipliersInto(
+    std::span<const TagId> partial,
                                              size_t k,
                                              BoundScratch* scratch) const {
   PITEX_CHECK(partial.size() <= k);
@@ -156,17 +158,16 @@ UpperBoundProbs::UpperBoundProbs(const InfluenceGraph& influence,
   compatible_ = owned_compatible_;
 }
 
-UpperBoundProbs::UpperBoundProbs(const InfluenceGraph& influence,
-                                 const UpperBoundContext& context,
-                                 std::span<const TagId> partial, size_t k,
-                                 BoundScratch* scratch)
+PITEX_NOALLOC UpperBoundProbs::UpperBoundProbs(
+    const InfluenceGraph& influence, const UpperBoundContext& context,
+    std::span<const TagId> partial, size_t k, BoundScratch* scratch)
     : influence_(influence) {
   context.TopicMultipliersInto(partial, k, scratch);
   multipliers_ = scratch->multipliers;
   compatible_ = scratch->compatible;
 }
 
-double UpperBoundProbs::Prob(EdgeId e) const {
+PITEX_NOALLOC double UpperBoundProbs::Prob(EdgeId e) const {
   double eq5 = 0.0;  // max over compatible topics of p(e|z)
   double eq6 = 0.0;  // sum_z p(e|z) * B(z)
   for (const auto& [z, p] : influence_.EdgeTopics(e)) {

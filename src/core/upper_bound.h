@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "src/sampling/influence_estimator.h"
+#include "src/util/thread_annotations.h"
 
 namespace pitex {
 
@@ -81,12 +82,13 @@ class UpperBoundContext {
   /// parent-to-child delta of the log sums would reorder the additions
   /// and break the bit-reproducibility the equivalence tests pin —
   /// docs/perf.md discusses the tradeoff).
-  void TopicMultipliersInto(std::span<const TagId> partial, size_t k,
+  PITEX_NOALLOC void TopicMultipliersInto(std::span<const TagId> partial, size_t k,
                             BoundScratch* scratch) const;
 
   /// True if topic z is compatible with the partial set (every w in W has
   /// p(w|z) > 0 and the prior is positive).
-  bool Compatible(std::span<const TagId> partial, TopicId z) const;
+  PITEX_NOALLOC bool Compatible(std::span<const TagId> partial,
+                                TopicId z) const;
 
  private:
   const TopicModel* topics_;
@@ -115,17 +117,17 @@ class UpperBoundProbs final : public EdgeProbFn {
   /// Non-allocating constructor: fills *scratch via TopicMultipliersInto
   /// and points into it. `scratch` must outlive this object and must not
   /// be refilled while it is in use.
-  UpperBoundProbs(const InfluenceGraph& influence,
-                  const UpperBoundContext& context,
-                  std::span<const TagId> partial, size_t k,
-                  BoundScratch* scratch);
+  PITEX_NOALLOC UpperBoundProbs(const InfluenceGraph& influence,
+                                const UpperBoundContext& context,
+                                std::span<const TagId> partial, size_t k,
+                                BoundScratch* scratch);
 
   // Not copyable: the spans may alias this object's owned storage, so a
   // memberwise copy would dangle once the source is destroyed.
   UpperBoundProbs(const UpperBoundProbs&) = delete;
   UpperBoundProbs& operator=(const UpperBoundProbs&) = delete;
 
-  double Prob(EdgeId e) const override;
+  PITEX_NOALLOC double Prob(EdgeId e) const override;
 
  private:
   const InfluenceGraph& influence_;

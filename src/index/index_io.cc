@@ -157,8 +157,13 @@ class IndexIo {
                              uint64_t max_vertices, uint64_t max_edges,
                              std::vector<RRGraph>* staging,
                              std::string* error) {
-    staging->resize(num_graphs);
-    for (RRGraph& rr : *staging) {
+    // num_graphs is bounded only by the file's own theta, so grow the
+    // staging area as records actually parse instead of resizing up
+    // front -- a fabricated count then costs only the bytes present in
+    // the stream before the first corrupt record is rejected.
+    staging->clear();
+    for (uint64_t g = 0; g < num_graphs; ++g) {
+      RRGraph& rr = staging->emplace_back();
       uint32_t root = 0;
       if (!reader->ReadU32(&root) || root >= max_vertices) {
         SetError(error, "corrupt RR-Graph root");
@@ -240,13 +245,19 @@ class IndexIo {
       SetError(error, "corrupt pooled edge count");
       return false;
     }
-    pool->edges_.resize(num_edges);
-    for (RRLocalEdge& edge : pool->edges_) {
+    // The num_edges guard saturates (num_sketches * max_edges can hit
+    // UINT64_MAX), so never allocate it up front: append edges as they
+    // parse and let a truncated or fabricated stream fail on its first
+    // missing field.
+    pool->edges_.clear();
+    for (uint64_t j = 0; j < num_edges; ++j) {
+      RRLocalEdge edge;
       if (!reader->ReadU32(&edge.head_local) || !reader->ReadU32(&edge.edge) ||
           !reader->ReadF32(&edge.threshold) || edge.edge >= max_edges) {
         SetError(error, "corrupt pooled edge data");
         return false;
       }
+      pool->edges_.push_back(edge);
     }
 
     // Structural validation of the CSR-of-CSRs.

@@ -89,8 +89,10 @@ RRGraph GenerateRRGraph(const Graph& graph, const InfluenceGraph& influence,
   return out;
 }
 
-bool IsReachable(const RRView& rr, VertexId u, const EdgeProbFn& probs,
-                 uint64_t* edges_visited, EstimateScratch* scratch) {
+PITEX_NOALLOC bool IsReachable(const RRView& rr, VertexId u,
+                               const EdgeProbFn& probs,
+                               uint64_t* edges_visited,
+                               EstimateScratch* scratch) {
   const auto start = rr.LocalIndex(u);
   if (!start) return false;
   const auto target = rr.LocalIndex(rr.root);

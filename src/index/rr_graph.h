@@ -32,6 +32,7 @@
 
 #include "src/sampling/influence_estimator.h"
 #include "src/util/random.h"
+#include "src/util/thread_annotations.h"
 
 namespace pitex {
 
@@ -114,8 +115,10 @@ RRGraph GenerateRRGraph(const Graph& graph, const InfluenceGraph& influence,
 /// probs.Prob(e) >= c(e). Adds probed-edge counts to `edges_visited` when
 /// non-null. Uses `scratch` for the visited stamps and stack: zero
 /// allocations once the scratch has warmed up.
-bool IsReachable(const RRView& rr, VertexId u, const EdgeProbFn& probs,
-                 uint64_t* edges_visited, EstimateScratch* scratch);
+PITEX_NOALLOC bool IsReachable(const RRView& rr, VertexId u,
+                               const EdgeProbFn& probs,
+                               uint64_t* edges_visited,
+                               EstimateScratch* scratch);
 
 /// Convenience overload with call-local scratch (tests, one-off checks).
 bool IsReachable(const RRView& rr, VertexId u, const EdgeProbFn& probs,

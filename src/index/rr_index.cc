@@ -90,8 +90,8 @@ void RrIndex::Build(ThreadPool* pool) {
   build_seconds_ = timer.Seconds();
 }
 
-Estimate RrIndex::EstimateInfluence(VertexId u, const EdgeProbFn& probs,
-                                    EstimateScratch* scratch) const {
+PITEX_NOALLOC Estimate RrIndex::EstimateInfluence(
+    VertexId u, const EdgeProbFn& probs, EstimateScratch* scratch) const {
   PITEX_CHECK_MSG(built_, "index not built");
   Estimate result;
   uint64_t hits = 0;

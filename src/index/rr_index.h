@@ -24,6 +24,7 @@
 #include "src/index/rr_graph.h"
 #include "src/index/rr_sketch_pool.h"
 #include "src/sampling/influence_estimator.h"
+#include "src/util/thread_annotations.h"
 #include "src/util/thread_pool.h"
 
 namespace pitex {
@@ -74,8 +75,9 @@ class RrIndex final : public InfluenceOracle {
   Estimate EstimateInfluence(VertexId u, const EdgeProbFn& probs) override;
   /// Scratch-explicit variant: const, thread-safe for concurrent callers
   /// with distinct scratches, and allocation-free after scratch warmup.
-  Estimate EstimateInfluence(VertexId u, const EdgeProbFn& probs,
-                             EstimateScratch* scratch) const;
+  PITEX_NOALLOC Estimate EstimateInfluence(VertexId u,
+                                           const EdgeProbFn& probs,
+                                           EstimateScratch* scratch) const;
   const char* Name() const override { return "INDEXEST"; }
 
   uint64_t theta() const { return theta_; }

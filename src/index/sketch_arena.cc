@@ -36,7 +36,8 @@ uint32_t SketchArena::BeginTraversal(size_t num_vertices) {
 }
 
 template <typename EnvOf>
-void SketchArena::GenerateImpl(const Graph& graph, const EnvOf& env_of,
+PITEX_NOALLOC void SketchArena::GenerateImpl(const Graph& graph,
+                                             const EnvOf& env_of,
                                VertexId root, Rng* rng,
                                uint64_t sample_index) {
   const uint32_t epoch = BeginTraversal(graph.num_vertices());
@@ -98,7 +99,8 @@ void SketchArena::GenerateImpl(const Graph& graph, const EnvOf& env_of,
   meta_.push_back(meta);
 }
 
-void SketchArena::Generate(const Graph& graph, const EnvelopeTable& envelope,
+PITEX_NOALLOC void SketchArena::Generate(const Graph& graph,
+                                         const EnvelopeTable& envelope,
                            VertexId root, Rng* rng, uint64_t sample_index) {
   GenerateImpl(
       graph,
@@ -109,8 +111,8 @@ void SketchArena::Generate(const Graph& graph, const EnvelopeTable& envelope,
       root, rng, sample_index);
 }
 
-void SketchArena::Generate(const Graph& graph,
-                           const InfluenceGraph& influence, VertexId root,
+PITEX_NOALLOC void SketchArena::Generate(
+    const Graph& graph, const InfluenceGraph& influence, VertexId root,
                            Rng* rng, uint64_t sample_index) {
   GenerateImpl(
       graph,
@@ -144,7 +146,8 @@ void SketchArena::Export(size_t slot, RRGraph* out) const {
                     edges_.begin() + static_cast<ptrdiff_t>(EdgeEnd(slot)));
 }
 
-void SketchArena::RebuildRepairedSketch(VertexId root, size_t num_vertices,
+PITEX_NOALLOC void SketchArena::RebuildRepairedSketch(
+    VertexId root, size_t num_vertices,
                                         std::span<const GlobalEdgeSample> edges,
                                         RRGraph* out) {
   // 1. Candidate set = {root} + every edge endpoint, provisional local

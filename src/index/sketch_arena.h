@@ -38,6 +38,7 @@
 #include "src/index/rr_graph.h"
 #include "src/model/influence_graph.h"
 #include "src/util/random.h"
+#include "src/util/thread_annotations.h"
 
 namespace pitex {
 
@@ -53,7 +54,7 @@ inline constexpr float kGeometricSkipMax = 1.0f / 16.0f;
 /// identical across both regimes (see file comment); only the RNG draw
 /// sequence depends on the regime.
 template <typename Sink>
-inline void SampleLiveInEdges(std::span<const float> env, float vmax,
+PITEX_NOALLOC inline void SampleLiveInEdges(std::span<const float> env, float vmax,
                               Rng* rng, Sink&& sink) {
   const size_t d = env.size();
   if (d == 0 || vmax <= 0.0f) return;
@@ -113,13 +114,15 @@ class SketchArena {
 
   /// Samples one RR-Graph rooted at `root` (Definition 2) and appends it
   /// to the arena, reading envelopes from the dense table.
-  void Generate(const Graph& graph, const EnvelopeTable& envelope,
+  PITEX_NOALLOC void Generate(const Graph& graph,
+                              const EnvelopeTable& envelope,
                 VertexId root, Rng* rng, uint64_t sample_index);
   /// Table-free overload for one-off callers (tests, delayed repair
   /// expansion seeding): envelope floats are materialized per visited
   /// vertex into arena scratch, producing bit-identical draws to the
   /// table path at ~2x the in-edge memory traffic.
-  void Generate(const Graph& graph, const InfluenceGraph& influence,
+  PITEX_NOALLOC void Generate(const Graph& graph,
+                              const InfluenceGraph& influence,
                 VertexId root, Rng* rng, uint64_t sample_index);
 
   /// Copies sketch `slot` into an owning RRGraph, reusing out's vector
@@ -132,7 +135,8 @@ class SketchArena {
   /// its capacity. Byte-identical to ReachingRoot + AssembleRRGraph on
   /// the same inputs, with arena scratch instead of per-call hash maps.
   /// `num_vertices` is the global vertex universe.
-  void RebuildRepairedSketch(VertexId root, size_t num_vertices,
+  PITEX_NOALLOC void RebuildRepairedSketch(VertexId root,
+                                           size_t num_vertices,
                              std::span<const GlobalEdgeSample> edges,
                              RRGraph* out);
 
@@ -159,7 +163,7 @@ class SketchArena {
   uint32_t BeginTraversal(size_t num_vertices);
 
   template <typename EnvOf>
-  void GenerateImpl(const Graph& graph, const EnvOf& env_of, VertexId root,
+  PITEX_NOALLOC void GenerateImpl(const Graph& graph, const EnvOf& env_of, VertexId root,
                     Rng* rng, uint64_t sample_index);
 
   // Sketch storage: segments appended back to back, one Meta per sketch.

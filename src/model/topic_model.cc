@@ -37,7 +37,7 @@ TopicPosterior TopicModel::Posterior(std::span<const TagId> tags) const {
   return post;
 }
 
-void TopicModel::PosteriorInto(std::span<const TagId> tags,
+PITEX_NOALLOC void TopicModel::PosteriorInto(std::span<const TagId> tags,
                                TopicPosterior* out) const {
   out->assign(prior_.begin(), prior_.end());
   if (tags.empty()) return;

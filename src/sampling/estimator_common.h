@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "src/sampling/influence_estimator.h"
+#include "src/util/thread_annotations.h"
 
 namespace pitex {
 
@@ -138,7 +139,7 @@ struct ReachScratch {
 /// `prob` is any callable EdgeId -> double (a dense table lookup or a
 /// virtual Prob call).
 template <typename Lookup>
-void ComputeReachableInto(const Graph& graph, const Lookup& prob, VertexId u,
+PITEX_NOALLOC void ComputeReachableInto(const Graph& graph, const Lookup& prob, VertexId u,
                           ReachScratch* scratch) {
   if (scratch->visit_epoch.size() < graph.num_vertices()) {
     scratch->visit_epoch.assign(graph.num_vertices(), 0);
@@ -173,7 +174,7 @@ void ComputeReachableInto(const Graph& graph, const Lookup& prob, VertexId u,
 /// caller already holds a dense table (EdgeProbFn::DenseTable), which is
 /// used as-is. Returns the table the estimation loops should read; valid
 /// until the next sweep on the same scratch.
-inline const double* SweepAndMaterialize(const Graph& graph,
+PITEX_NOALLOC inline const double* SweepAndMaterialize(const Graph& graph,
                                          const EdgeProbFn& probs, VertexId u,
                                          ReachScratch* scratch) {
   if (const double* table = probs.DenseTable()) {

@@ -21,6 +21,7 @@ PitexService::PitexService(const SocialNetwork* network,
   // concurrently with a lazy Start() from another thread.
   deques_.resize(options_.num_threads);
   workers_ = std::vector<WorkerState>(options_.num_threads);
+  counters_ = std::vector<WorkerCounters>(options_.num_threads);
   // Deterministic mode forbids the cache: a hit skips the engine, so the
   // worker's sampler RNG would not advance and every subsequent answer
   // on that worker would diverge from BatchEngine.
@@ -34,10 +35,10 @@ PitexService::PitexService(const SocialNetwork* network,
 PitexService::~PitexService() {
   if (pool_ != nullptr) {
     {
-      std::lock_guard<std::mutex> lock(sched_mutex_);
+      MutexLock lock(sched_mutex_);
       stop_ = true;
     }
-    work_cv_.notify_all();
+    work_cv_.NotifyAll();
     // ThreadPool::~ThreadPool waits for the pumps, which drain every
     // still-pending query (promises must not be abandoned) and exit.
     pool_.reset();
@@ -46,7 +47,7 @@ PitexService::~PitexService() {
 
 void PitexService::Start() {
   if (started_.load(std::memory_order_acquire)) return;
-  std::lock_guard<std::mutex> start_lock(start_mutex_);
+  MutexLock start_lock(start_mutex_);
   if (started_.load(std::memory_order_relaxed)) return;
 
   const size_t num_threads = options_.num_threads;
@@ -69,6 +70,12 @@ void PitexService::Start() {
       // Shadow master: repairs mutate it privately; every published
       // epoch is an immutable packed replica. The initial state is
       // bit-identical to a freshly built RrIndex with these options.
+      // Writer-side state is update_mutex_ territory even during the
+      // one-time init: an ApplyUpdates racing a concurrent lazy Start()
+      // must observe either "no master" (and Start() itself below, via
+      // its own Start() call) or the fully built one — found by the
+      // -Wthread-safety annotation pass (docs/static_analysis.md).
+      MutexLock update_lock(update_mutex_);
       master_ = std::make_unique<DynamicRrIndex>(*network_, index_options);
       master_->Build();
       if (options_.publish_threads > 1) {
@@ -173,11 +180,11 @@ void PitexService::PumpLoop(size_t worker) {
     run.clear();
     bool stolen = false;
     {
-      std::unique_lock<std::mutex> lock(sched_mutex_);
-      work_cv_.wait(lock, [&] {
-        return stop_ || !deques_[worker].empty() ||
-               (stealing && AnyStealableLocked(worker));
-      });
+      MutexLock lock(sched_mutex_);
+      while (!stop_ && deques_[worker].empty() &&
+             !(stealing && AnyStealableLocked(worker))) {
+        work_cv_.Wait(lock);
+      }
       std::deque<PendingQuery>& own = deques_[worker];
       if (!own.empty()) {
         // Claim a run of the own backlog. Halving (instead of taking it
@@ -284,16 +291,17 @@ void PitexService::ServeRun(size_t worker, std::vector<PendingQuery>* run,
   // future holder) unblocks, Stats() must already account for every
   // query of this run. One flush per run, not per query.
   {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    state.served += count;
-    if (stolen) state.steals += count;
+    MutexLock lock(stats_mutex_);
+    WorkerCounters& counters = counters_[worker];
+    counters.served += count;
+    if (stolen) counters.steals += count;
     for (size_t i = 0; i < count; ++i) {
-      if (state.latency_ring.size() < options_.latency_window) {
-        state.latency_ring.push_back(latencies[i]);
+      if (counters.latency_ring.size() < options_.latency_window) {
+        counters.latency_ring.push_back(latencies[i]);
       } else {
-        state.latency_ring[state.latency_pos] = latencies[i];
-        state.latency_pos =
-            (state.latency_pos + 1) % state.latency_ring.size();
+        counters.latency_ring[counters.latency_pos] = latencies[i];
+        counters.latency_pos =
+            (counters.latency_pos + 1) % counters.latency_ring.size();
       }
     }
   }
@@ -309,8 +317,8 @@ void PitexService::ServeRun(size_t worker, std::vector<PendingQuery>* run,
         item.remaining->fetch_sub(1, std::memory_order_acq_rel) == 1) {
       // Lock/unlock pairs with the waiter's predicate check so the final
       // notify cannot slip between its check and its wait.
-      std::lock_guard<std::mutex> lock(batch_mutex_);
-      batch_cv_.notify_all();
+      MutexLock lock(batch_mutex_);
+      batch_cv_.NotifyAll();
     }
   }
 }
@@ -323,7 +331,7 @@ std::vector<ServedResult> PitexService::ServeAll(
   std::atomic<size_t> remaining{queries.size()};
   const auto now = Clock::now();
   {
-    std::lock_guard<std::mutex> lock(sched_mutex_);
+    MutexLock lock(sched_mutex_);
     for (size_t i = 0; i < queries.size(); ++i) {
       PendingQuery item;
       item.query = queries[i];
@@ -336,10 +344,11 @@ std::vector<ServedResult> PitexService::ServeAll(
       EnqueueLocked(std::move(item), i);
     }
   }
-  work_cv_.notify_all();
-  std::unique_lock<std::mutex> lock(batch_mutex_);
-  batch_cv_.wait(
-      lock, [&] { return remaining.load(std::memory_order_acquire) == 0; });
+  work_cv_.NotifyAll();
+  MutexLock lock(batch_mutex_);
+  while (remaining.load(std::memory_order_acquire) != 0) {
+    batch_cv_.Wait(lock);
+  }
   return results;
 }
 
@@ -351,24 +360,28 @@ std::future<ServedResult> PitexService::Submit(const PitexQuery& query) {
   item.promise = std::make_unique<std::promise<ServedResult>>();
   std::future<ServedResult> future = item.promise->get_future();
   {
-    std::lock_guard<std::mutex> lock(sched_mutex_);
+    MutexLock lock(sched_mutex_);
     EnqueueLocked(std::move(item), stream_seq_++);
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   return future;
 }
 
 uint64_t PitexService::ApplyUpdates(
     std::span<const EdgeInfluenceUpdate> updates) {
   Start();
+  // The master check belongs under the lock too: reading master_ before
+  // acquiring update_mutex_ was an unguarded access the annotation pass
+  // rejected (harmless today only because Start() is ordered first, but
+  // the contract is "writer state under update_mutex_", no exceptions).
+  MutexLock lock(update_mutex_);
   PITEX_CHECK_MSG(master_ != nullptr,
                   "ApplyUpdates requires options.enable_updates");
-  std::lock_guard<std::mutex> lock(update_mutex_);
   master_->ApplyUpdates(updates);
   const uint64_t epoch = registry_.current_epoch() + 1;
   registry_.Publish(
       IndexSnapshot::FromDynamic(*master_, epoch, publish_pool_.get()));
-  work_cv_.notify_all();  // idle pumps may rebind eagerly on next query
+  work_cv_.NotifyAll();  // idle pumps may rebind eagerly on next query
   return epoch;
 }
 
@@ -390,10 +403,10 @@ size_t PitexService::SharedIndexSizeBytes() const {
 }
 
 void PitexService::ClearLatencyWindow() {
-  std::lock_guard<std::mutex> lock(stats_mutex_);
-  for (WorkerState& state : workers_) {
-    state.latency_ring.clear();
-    state.latency_pos = 0;
+  MutexLock lock(stats_mutex_);
+  for (WorkerCounters& counters : counters_) {
+    counters.latency_ring.clear();
+    counters.latency_pos = 0;
   }
 }
 
@@ -401,14 +414,14 @@ ServiceStats PitexService::Stats() {
   ServiceStats stats;
   std::vector<double> latencies;
   {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    stats.per_worker_served.reserve(workers_.size());
-    for (const WorkerState& state : workers_) {
-      stats.per_worker_served.push_back(state.served);
-      stats.queries_served += state.served;
-      stats.steals += state.steals;
-      latencies.insert(latencies.end(), state.latency_ring.begin(),
-                       state.latency_ring.end());
+    MutexLock lock(stats_mutex_);
+    stats.per_worker_served.reserve(counters_.size());
+    for (const WorkerCounters& counters : counters_) {
+      stats.per_worker_served.push_back(counters.served);
+      stats.queries_served += counters.served;
+      stats.steals += counters.steals;
+      latencies.insert(latencies.end(), counters.latency_ring.begin(),
+                       counters.latency_ring.end());
     }
   }
   if (cache_ != nullptr) {

@@ -39,13 +39,11 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <vector>
 
@@ -54,6 +52,8 @@
 #include "src/serve/result_cache.h"
 #include "src/serve/service_stats.h"
 #include "src/serve/snapshot_registry.h"
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
 #include "src/util/thread_pool.h"
 
 namespace pitex {
@@ -121,33 +121,36 @@ class PitexService {
   /// Builds the epoch-1 snapshot (offline index for index methods) and
   /// parks the worker pumps. Idempotent; invoked lazily by the serving
   /// entry points.
-  void Start();
+  void Start() PITEX_EXCLUDES(start_mutex_, update_mutex_);
 
   /// Answers a batch: results[i] corresponds to queries[i]. Blocks until
   /// every query in the batch is served; other threads may ServeAll /
   /// Submit / ApplyUpdates concurrently.
-  std::vector<ServedResult> ServeAll(std::span<const PitexQuery> queries);
+  std::vector<ServedResult> ServeAll(std::span<const PitexQuery> queries)
+      PITEX_EXCLUDES(sched_mutex_, batch_mutex_);
 
   /// Streaming entry point: enqueues one query, returns immediately.
-  std::future<ServedResult> Submit(const PitexQuery& query);
+  std::future<ServedResult> Submit(const PitexQuery& query)
+      PITEX_EXCLUDES(sched_mutex_);
 
   /// Repairs the shadow master index and atomically publishes the result
   /// as a new snapshot epoch (returned). In-flight queries are
   /// unaffected; subsequent queries see the repaired index. Requires
   /// options.enable_updates.
-  uint64_t ApplyUpdates(std::span<const EdgeInfluenceUpdate> updates);
+  uint64_t ApplyUpdates(std::span<const EdgeInfluenceUpdate> updates)
+      PITEX_EXCLUDES(update_mutex_);
 
   /// The snapshot new queries are currently served from.
   std::shared_ptr<const IndexSnapshot> CurrentSnapshot() const;
   uint64_t current_epoch() const;
 
   /// Consistent counter snapshot (prunes expired snapshot observers).
-  ServiceStats Stats();
+  ServiceStats Stats() PITEX_EXCLUDES(stats_mutex_);
 
   /// Drops the latency sample window (e.g. after warmup, or when a
   /// metrics scraper wants per-interval percentiles). Cumulative
   /// counters are unaffected.
-  void ClearLatencyWindow();
+  void ClearLatencyWindow() PITEX_EXCLUDES(stats_mutex_);
 
   /// Footprint of the current snapshot's shared index (0 for online
   /// methods).
@@ -166,55 +169,73 @@ class PitexService {
     std::atomic<size_t>* remaining = nullptr;          // batch countdown
   };
 
-  /// Engine replica + pinned snapshot + counters of one worker. Only
-  /// pump w touches `engine`/`snapshot` (worker exclusivity via
-  /// SubmitIndexed); the counters are guarded by stats_mutex_.
+  /// Engine replica + pinned snapshot of one worker. Only pump w touches
+  /// workers_[w] (worker exclusivity via SubmitIndexed — two tasks with
+  /// the same index never run concurrently), so these fields carry no
+  /// lock annotation. Cross-thread-read counters live in WorkerCounters.
   struct WorkerState {
     std::unique_ptr<PitexEngine> engine;
     std::shared_ptr<const IndexSnapshot> snapshot;
     uint64_t engine_epoch = 0;
+  };
+
+  /// Per-worker serving counters, flushed once per run by the pump and
+  /// read by Stats()/ClearLatencyWindow() from arbitrary threads — the
+  /// stats_mutex_-guarded half of the former WorkerState.
+  struct WorkerCounters {
     uint64_t served = 0;
     uint64_t steals = 0;
     std::vector<double> latency_ring;
     size_t latency_pos = 0;
   };
 
-  void PumpLoop(size_t worker);
-  void ServeRun(size_t worker, std::vector<PendingQuery>* run, bool stolen);
+  void PumpLoop(size_t worker)
+      PITEX_EXCLUDES(sched_mutex_, stats_mutex_, batch_mutex_);
+  void ServeRun(size_t worker, std::vector<PendingQuery>* run, bool stolen)
+      PITEX_EXCLUDES(stats_mutex_, batch_mutex_);
   void BindWorker(WorkerState* state,
                   std::shared_ptr<const IndexSnapshot> snapshot,
                   size_t worker);
-  void EnqueueLocked(PendingQuery item, size_t sequence);
-  bool AnyStealableLocked(size_t thief) const;
-  bool TryStealLocked(size_t thief, std::vector<PendingQuery>* run);
+  void EnqueueLocked(PendingQuery item, size_t sequence)
+      PITEX_REQUIRES(sched_mutex_);
+  bool AnyStealableLocked(size_t thief) const PITEX_REQUIRES(sched_mutex_);
+  bool TryStealLocked(size_t thief, std::vector<PendingQuery>* run)
+      PITEX_REQUIRES(sched_mutex_);
 
   const SocialNetwork* network_;
   ServeOptions options_;
 
-  std::mutex start_mutex_;
+  Mutex start_mutex_;  // serializes lazy Start()
   std::atomic<bool> started_{false};
 
   IndexSnapshotRegistry registry_;
-  std::mutex update_mutex_;  // serializes ApplyUpdates publishers
-  std::unique_ptr<DynamicRrIndex> master_;  // shadow copy (enable_updates)
-  // Maintenance pool for publish-side packs (guarded by update_mutex_ /
-  // start_mutex_; never the pump pool — its workers are parked for good).
-  std::unique_ptr<ThreadPool> publish_pool_;
-  std::unique_ptr<ResultCache> cache_;
+  /// Serializes publishers (Start's initial build, ApplyUpdates) and
+  /// guards the writer-side state they touch.
+  Mutex update_mutex_;
+  // Shadow copy repairs mutate privately (enable_updates only).
+  std::unique_ptr<DynamicRrIndex> master_ PITEX_GUARDED_BY(update_mutex_);
+  // Maintenance pool for publish-side packs (never the pump pool — its
+  // workers are parked for good).
+  std::unique_ptr<ThreadPool> publish_pool_ PITEX_GUARDED_BY(update_mutex_);
+  std::unique_ptr<ResultCache> cache_;  // created by ctor, then immutable
 
-  // Scheduler state, guarded by sched_mutex_.
-  std::mutex sched_mutex_;
-  std::condition_variable work_cv_;
-  std::vector<std::deque<PendingQuery>> deques_;
-  bool stop_ = false;
-  uint64_t stream_seq_ = 0;  // round-robin placement for Submit
+  // Scheduler state.
+  Mutex sched_mutex_;
+  CondVar work_cv_;
+  std::vector<std::deque<PendingQuery>> deques_ PITEX_GUARDED_BY(sched_mutex_);
+  bool stop_ PITEX_GUARDED_BY(sched_mutex_) = false;
+  // Round-robin placement for Submit.
+  uint64_t stream_seq_ PITEX_GUARDED_BY(sched_mutex_) = 0;
 
-  // Batch completion: decrement-to-zero notifies under batch_mutex_.
-  std::mutex batch_mutex_;
-  std::condition_variable batch_cv_;
+  // Batch completion: decrement-to-zero notifies under batch_mutex_. The
+  // mutex guards no member — it exists so the final notify cannot slip
+  // between a waiter's predicate check and its wait.
+  Mutex batch_mutex_;
+  CondVar batch_cv_;
 
-  std::mutex stats_mutex_;
-  std::vector<WorkerState> workers_;
+  Mutex stats_mutex_;
+  std::vector<WorkerCounters> counters_ PITEX_GUARDED_BY(stats_mutex_);
+  std::vector<WorkerState> workers_;  // element w owned by pump w
 
   std::unique_ptr<ThreadPool> pool_;
 };

@@ -25,7 +25,7 @@ bool ResultCache::Lookup(const ResultCacheKey& key,
                          std::vector<RankedTagSet>* out) {
   if (!enabled()) return false;
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mutex);
+  MutexLock lock(shard.mutex);
   const auto it = shard.index.find(key);
   if (it == shard.index.end()) {
     ++shard.misses;
@@ -41,7 +41,7 @@ void ResultCache::Insert(const ResultCacheKey& key,
                          const std::vector<RankedTagSet>& ranking) {
   if (!enabled()) return;
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mutex);
+  MutexLock lock(shard.mutex);
   const auto it = shard.index.find(key);
   if (it != shard.index.end()) {
     it->second->second = ranking;
@@ -61,7 +61,7 @@ void ResultCache::Insert(const ResultCacheKey& key,
 ResultCache::Stats ResultCache::GetStats() const {
   Stats stats;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mutex);
+    MutexLock lock(shard->mutex);
     stats.hits += shard->hits;
     stats.misses += shard->misses;
     stats.insertions += shard->insertions;

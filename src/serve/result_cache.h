@@ -21,13 +21,14 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "src/core/best_effort_solver.h"
 #include "src/model/influence_graph.h"
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
 
 namespace pitex {
 
@@ -97,16 +98,19 @@ class ResultCache {
  private:
   using Entry = std::pair<ResultCacheKey, std::vector<RankedTagSet>>;
   struct Shard {
-    std::mutex mutex;
-    std::list<Entry> lru;  // front = most recently used
+    Mutex mutex;
+    std::list<Entry> lru PITEX_GUARDED_BY(mutex);  // front = MRU
     std::unordered_map<ResultCacheKey, std::list<Entry>::iterator,
                        ResultCacheKeyHash>
-        index;
+        index PITEX_GUARDED_BY(mutex);
+    // Written once by the ResultCache constructor before any concurrent
+    // access (the shard vector is published by the constructor's return),
+    // immutable afterwards — deliberately not guarded.
     size_t capacity = 0;
-    uint64_t hits = 0;
-    uint64_t misses = 0;
-    uint64_t insertions = 0;
-    uint64_t evictions = 0;
+    uint64_t hits PITEX_GUARDED_BY(mutex) = 0;
+    uint64_t misses PITEX_GUARDED_BY(mutex) = 0;
+    uint64_t insertions PITEX_GUARDED_BY(mutex) = 0;
+    uint64_t evictions PITEX_GUARDED_BY(mutex) = 0;
   };
 
   Shard& ShardFor(const ResultCacheKey& key);

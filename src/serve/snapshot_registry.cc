@@ -53,7 +53,7 @@ std::shared_ptr<const IndexSnapshot> IndexSnapshot::FromDynamic(
 void IndexSnapshotRegistry::Publish(
     std::shared_ptr<const IndexSnapshot> snapshot) {
   PITEX_CHECK(snapshot != nullptr);
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (current_ != nullptr) {
     PITEX_CHECK_MSG(snapshot->epoch() > current_->epoch(),
                     "published epoch must increase");
@@ -64,22 +64,22 @@ void IndexSnapshotRegistry::Publish(
 }
 
 std::shared_ptr<const IndexSnapshot> IndexSnapshotRegistry::Current() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return current_;
 }
 
 uint64_t IndexSnapshotRegistry::current_epoch() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return current_ == nullptr ? 0 : current_->epoch();
 }
 
 uint64_t IndexSnapshotRegistry::epochs_published() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return epochs_published_;
 }
 
 size_t IndexSnapshotRegistry::AliveSnapshots() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   retired_.erase(std::remove_if(retired_.begin(), retired_.end(),
                                 [](const std::weak_ptr<const IndexSnapshot>& w) {
                                   return w.expired();

@@ -29,13 +29,14 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "src/index/dynamic_index.h"
 #include "src/index/rr_index.h"
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
 
 namespace pitex {
 
@@ -94,25 +95,27 @@ class IndexSnapshotRegistry {
   /// from. Its epoch must exceed the current one. In-flight readers of
   /// older snapshots are unaffected; the displaced snapshot is retired
   /// and reclaimed when its last reader unpins it.
-  void Publish(std::shared_ptr<const IndexSnapshot> snapshot);
+  void Publish(std::shared_ptr<const IndexSnapshot> snapshot)
+      PITEX_EXCLUDES(mutex_);
 
   /// The snapshot new queries should pin, or null before first Publish.
-  std::shared_ptr<const IndexSnapshot> Current() const;
+  std::shared_ptr<const IndexSnapshot> Current() const PITEX_EXCLUDES(mutex_);
 
   /// Epoch of the current snapshot (0 before first Publish).
-  uint64_t current_epoch() const;
-  uint64_t epochs_published() const;
+  uint64_t current_epoch() const PITEX_EXCLUDES(mutex_);
+  uint64_t epochs_published() const PITEX_EXCLUDES(mutex_);
 
   /// Retired snapshots still pinned by in-flight readers. Expired
   /// observers are pruned as a side effect (epoch-based reclamation is
   /// the shared_ptr refcount; this is the observability hook).
-  size_t AliveSnapshots();
+  size_t AliveSnapshots() PITEX_EXCLUDES(mutex_);
 
  private:
-  mutable std::mutex mutex_;
-  std::shared_ptr<const IndexSnapshot> current_;
-  std::vector<std::weak_ptr<const IndexSnapshot>> retired_;
-  uint64_t epochs_published_ = 0;
+  mutable Mutex mutex_;
+  std::shared_ptr<const IndexSnapshot> current_ PITEX_GUARDED_BY(mutex_);
+  std::vector<std::weak_ptr<const IndexSnapshot>> retired_
+      PITEX_GUARDED_BY(mutex_);
+  uint64_t epochs_published_ PITEX_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace pitex

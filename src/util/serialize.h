@@ -139,8 +139,15 @@ bool BinaryReader::ReadVector(std::vector<T>* values, uint64_t max_elements) {
     failed_ = true;
     return false;
   }
-  values->resize(count);
-  for (T& v : *values) {
+  // Grow incrementally instead of resize(count): callers pass generous
+  // max_elements bounds, so a corrupt length prefix could otherwise
+  // drive one pathological upfront allocation before a single payload
+  // byte is validated. With push_back, memory stays proportional to
+  // bytes actually present -- a truncated stream fails at its first
+  // missing element (tests/fuzz/index_io_fuzz.cc exercises this).
+  values->clear();
+  for (uint64_t i = 0; i < count; ++i) {
+    T v;
     bool read_ok;
     if constexpr (sizeof(T) == 1) {
       uint8_t raw;
@@ -165,6 +172,7 @@ bool BinaryReader::ReadVector(std::vector<T>* values, uint64_t max_elements) {
       v = static_cast<T>(raw);
     }
     if (!read_ok) return false;
+    values->push_back(v);
   }
   return true;
 }

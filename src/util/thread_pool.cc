@@ -19,10 +19,10 @@ ThreadPool::ThreadPool(size_t num_threads) {
 ThreadPool::~ThreadPool() {
   Wait();
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     shutting_down_ = true;
   }
-  work_available_.notify_all();
+  work_available_.NotifyAll();
   for (std::thread& worker : workers_) worker.join();
 }
 
@@ -34,35 +34,34 @@ void ThreadPool::Submit(std::function<void()> task) {
 void ThreadPool::SubmitIndexed(std::function<void(size_t)> task) {
   PITEX_CHECK(task != nullptr);
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     PITEX_CHECK_MSG(!shutting_down_, "Submit after shutdown");
     queue_.push_back(std::move(task));
     ++in_flight_;
   }
-  work_available_.notify_one();
+  work_available_.NotifyOne();
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  all_idle_.wait(lock, [this] { return in_flight_ == 0; });
+  MutexLock lock(mutex_);
+  while (in_flight_ != 0) all_idle_.Wait(lock);
 }
 
 void ThreadPool::WorkerLoop(size_t worker_index) {
   for (;;) {
     std::function<void(size_t)> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      work_available_.wait(
-          lock, [this] { return shutting_down_ || !queue_.empty(); });
+      MutexLock lock(mutex_);
+      while (!shutting_down_ && queue_.empty()) work_available_.Wait(lock);
       if (queue_.empty()) return;  // shutting down and drained
       task = std::move(queue_.front());
       queue_.pop_front();
     }
     task(worker_index);
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       --in_flight_;
-      if (in_flight_ == 0) all_idle_.notify_all();
+      if (in_flight_ == 0) all_idle_.NotifyAll();
     }
   }
 }

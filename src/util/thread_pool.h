@@ -16,17 +16,24 @@
 //     time), so index-keyed state needs no locking.
 //
 // ParallelFor is the convenience wrapper for index-style static ranges.
+//
+// Lock discipline is machine-checked: the queue state is annotated
+// against mutex_ (src/util/thread_annotations.h) and clang builds carry
+// -Wthread-safety. Tasks must own their state by value — capturing a
+// caller's scratch object by reference across the Submit boundary is
+// rejected by tools/check (rule `scratch-capture`).
 
 #ifndef PITEX_SRC_UTIL_THREAD_POOL_H_
 #define PITEX_SRC_UTIL_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
 
 namespace pitex {
 
@@ -43,31 +50,31 @@ class ThreadPool {
 
   /// Enqueues a task. Tasks must not throw (the library does not use
   /// exceptions); a task may Submit further tasks.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) PITEX_EXCLUDES(mutex_);
 
   /// Like Submit, but the task receives the index (in [0, num_threads))
   /// of the pool worker executing it. The index identifies an exclusive
   /// slot: tasks seeing the same index are serialized, so per-worker
   /// state (engine replicas, scratch buffers) indexed by it is safe
   /// without synchronization.
-  void SubmitIndexed(std::function<void(size_t)> task);
+  void SubmitIndexed(std::function<void(size_t)> task) PITEX_EXCLUDES(mutex_);
 
   /// Blocks until every submitted task (including tasks submitted by
   /// running tasks) has finished.
-  void Wait();
+  void Wait() PITEX_EXCLUDES(mutex_);
 
   size_t num_threads() const { return workers_.size(); }
 
  private:
-  void WorkerLoop(size_t worker_index);
+  void WorkerLoop(size_t worker_index) PITEX_EXCLUDES(mutex_);
 
-  std::mutex mutex_;
-  std::condition_variable work_available_;
-  std::condition_variable all_idle_;
-  std::deque<std::function<void(size_t)>> queue_;
-  size_t in_flight_ = 0;  // queued + currently running tasks
-  bool shutting_down_ = false;
-  std::vector<std::thread> workers_;
+  Mutex mutex_;
+  CondVar work_available_;
+  CondVar all_idle_;
+  std::deque<std::function<void(size_t)>> queue_ PITEX_GUARDED_BY(mutex_);
+  size_t in_flight_ PITEX_GUARDED_BY(mutex_) = 0;  // queued + running tasks
+  bool shutting_down_ PITEX_GUARDED_BY(mutex_) = false;
+  std::vector<std::thread> workers_;  // written only by ctor/dtor
 };
 
 /// Runs fn(i) for i in [begin, end) across the pool, blocking until all

@@ -98,8 +98,8 @@ INSTANTIATE_TEST_SUITE_P(AllMethods, BatchEngineMethodTest,
                                            Method::kIndexEst,
                                            Method::kIndexEstPlus,
                                            Method::kDelayMat, Method::kLt),
-                         [](const auto& info) {
-                           std::string name = MethodName(info.param);
+                         [](const auto& param_info) {
+                           std::string name = MethodName(param_info.param);
                            for (char& c : name) {
                              if (c == '+') c = 'P';
                            }

@@ -29,8 +29,8 @@ INSTANTIATE_TEST_SUITE_P(
     testing::Values(Method::kMc, Method::kRr, Method::kLazy,
                     Method::kIndexEst, Method::kIndexEstPlus,
                     Method::kDelayMat),
-    [](const testing::TestParamInfo<Method>& info) {
-      std::string name = MethodName(info.param);
+    [](const testing::TestParamInfo<Method>& param_info) {
+      std::string name = MethodName(param_info.param);
       const size_t plus = name.find('+');
       if (plus != std::string::npos) name.replace(plus, 1, "PLUS");
       return name;

@@ -79,9 +79,9 @@ INSTANTIATE_TEST_SUITE_P(
                                          Family::kPreferential, Family::kStar,
                                          Family::kCelebrity),
                        ::testing::Values(1u, 2u, 3u)),
-    [](const auto& info) {
-      return std::string(FamilyName(std::get<0>(info.param))) + "_seed" +
-             std::to_string(std::get<1>(info.param));
+    [](const auto& param_info) {
+      return std::string(FamilyName(std::get<0>(param_info.param))) + "_seed" +
+             std::to_string(std::get<1>(param_info.param));
     });
 
 TEST_P(FamilySweepTest, TriggeringIcMatchesExact) {

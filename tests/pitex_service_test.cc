@@ -92,12 +92,12 @@ INSTANTIATE_TEST_SUITE_P(
                                          Method::kDelayMat),
                        ::testing::Values(size_t{1}, size_t{2}, size_t{3},
                                          size_t{4})),
-    [](const auto& info) {
-      std::string name = MethodName(std::get<0>(info.param));
+    [](const auto& param_info) {
+      std::string name = MethodName(std::get<0>(param_info.param));
       for (char& c : name) {
         if (c == '+') c = 'P';
       }
-      return name + "_" + std::to_string(std::get<1>(info.param)) + "thr";
+      return name + "_" + std::to_string(std::get<1>(param_info.param)) + "thr";
     });
 
 TEST(PitexServiceTest, WorkStealingAnswersEveryQuery) {

@@ -32,9 +32,9 @@ INSTANTIATE_TEST_SUITE_P(
                     std::pair<size_t, size_t>{8, 5},
                     std::pair<size_t, size_t>{10, 4},
                     std::pair<size_t, size_t>{12, 6}),
-    [](const auto& info) {
-      return "n" + std::to_string(info.param.first) + "k" +
-             std::to_string(info.param.second);
+    [](const auto& param_info) {
+      return "n" + std::to_string(param_info.param.first) + "k" +
+             std::to_string(param_info.param.second);
     });
 
 TEST_P(EnumeratorCountTest, EnumeratedCountMatchesBinomial) {

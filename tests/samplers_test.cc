@@ -58,8 +58,8 @@ class SamplerParamTest : public testing::TestWithParam<Kind> {};
 
 INSTANTIATE_TEST_SUITE_P(AllSamplers, SamplerParamTest,
                          testing::Values(Kind::kMc, Kind::kRr, Kind::kLazy),
-                         [](const testing::TestParamInfo<Kind>& info) {
-                           switch (info.param) {
+                         [](const testing::TestParamInfo<Kind>& param_info) {
+                           switch (param_info.param) {
                              case Kind::kMc: return "MC";
                              case Kind::kRr: return "RR";
                              case Kind::kLazy: return "Lazy";

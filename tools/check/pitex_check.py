@@ -1,0 +1,611 @@
+#!/usr/bin/env python3
+"""PITEX repo-specific static checks.
+
+Three rules encode invariants the compiler cannot see (and that no
+pre-packaged linter knows about):
+
+  noalloc          Functions annotated PITEX_NOALLOC (src/util/
+                   thread_annotations.h) must not allocate on the hot
+                   path. Inside an annotated *definition* the checker
+                   flags `new`, malloc-family and make_unique/make_shared
+                   calls, and container-growth calls (push_back, resize,
+                   ...) whose receiver is a function-local value.  Growth
+                   into pooled storage -- members (trailing '_'), scratch
+                   parameters, or references bound to either -- is the
+                   sanctioned capacity-retaining pattern and is allowed.
+
+  scratch-capture  The epoch-stamped scratch types (EstimateScratch,
+                   BestEffortScratch, BoundScratch, ReachScratch) are
+                   single-thread state.  Capturing one by reference in a
+                   lambda handed to ThreadPool::Submit / SubmitIndexed /
+                   ParallelFor / ParallelForSlots shares it across
+                   workers; the checker flags `[&]` defaults that use a
+                   scratch variable and explicit `&scratch` captures.
+
+  determinism      Reproducibility bans ambient entropy: rand/srand/
+                   drand48, std::random_device, raw std::mt19937,
+                   system_clock, gettimeofday and C time()/clock() are
+                   flagged everywhere except src/util/random.* (the one
+                   blessed entropy source).  Use util/random.h Rng.
+
+Suppression: append `// pitex-check: allow(<rule>): <reason>` to the
+finding line or the line directly above it.  Every suppression needs the
+reason -- it is the audit trail for intended warmup-growth points.
+
+Usage:
+  pitex_check.py [--selftest] [--testdata DIR] [PATH...]
+
+PATHs are files or directories (scanned for .h/.cc).  Exit status is 1
+when findings are reported, 2 on usage errors.  --selftest runs the
+rules over tools/check/testdata and verifies each `// expect(<rule>)`
+marker fires and nothing else does.
+"""
+
+import os
+import re
+import sys
+
+RULES = ("noalloc", "scratch-capture", "determinism")
+
+SCRATCH_TYPES = (
+    "EstimateScratch",
+    "BestEffortScratch",
+    "BoundScratch",
+    "ReachScratch",
+)
+
+# Container calls that may (re)allocate. pop_back/clear keep capacity and
+# are always fine.
+GROWTH_METHODS = {
+    "push_back", "emplace_back", "push_front", "emplace_front", "emplace",
+    "insert", "resize", "reserve", "assign", "append",
+}
+
+ALLOC_CALLS = {
+    "malloc", "calloc", "realloc", "aligned_alloc", "strdup",
+    "make_unique", "make_shared",
+}
+
+SUBMIT_ENTRY_POINTS = ("Submit", "SubmitIndexed", "ParallelFor",
+                       "ParallelForSlots")
+
+SUPPRESS_RE = re.compile(r"//\s*pitex-check:\s*allow\(([a-z-]+)\)")
+EXPECT_RE = re.compile(r"//\s*expect\(([a-z-]+)\)")
+
+CPP_KEYWORDS = {
+    "if", "else", "for", "while", "do", "switch", "case", "default",
+    "return", "break", "continue", "goto", "sizeof", "new", "delete",
+    "const", "constexpr", "static", "auto", "void", "bool", "char",
+    "int", "unsigned", "signed", "long", "short", "float", "double",
+    "struct", "class", "enum", "union", "template", "typename", "using",
+    "namespace", "public", "private", "protected", "virtual", "override",
+    "final", "noexcept", "nullptr", "true", "false", "this", "operator",
+    "static_cast", "dynamic_cast", "reinterpret_cast", "const_cast",
+    "co_await", "co_return", "co_yield", "throw", "try", "catch",
+    "thread_local", "mutable", "inline", "extern", "friend",
+}
+
+
+class Finding:
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_comments_and_strings(text):
+    """Blanks comments and string/char literals, preserving line structure.
+
+    Replaced characters become spaces (newlines are kept) so offsets and
+    line numbers in the stripped text match the original.
+    """
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            while i < n and text[i] != "\n":
+                out.append(" ")
+                i += 1
+        elif c == "/" and nxt == "*":
+            while i < n and not (text[i] == "*" and i + 1 < n
+                                 and text[i + 1] == "/"):
+                out.append("\n" if text[i] == "\n" else " ")
+                i += 1
+            if i < n:
+                out.append("  ")
+                i += 2
+        elif c == '"' or c == "'":
+            quote = c
+            out.append(" ")
+            i += 1
+            while i < n and text[i] != quote:
+                if text[i] == "\\" and i + 1 < n:
+                    out.append("  ")
+                    i += 2
+                else:
+                    out.append("\n" if text[i] == "\n" else " ")
+                    i += 1
+            if i < n:
+                out.append(" ")
+                i += 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def line_of(text, offset):
+    return text.count("\n", 0, offset) + 1
+
+
+def suppressed_lines(raw_text):
+    """rule -> set of line numbers covered by an allow() comment."""
+    cover = {rule: set() for rule in RULES}
+    for idx, line in enumerate(raw_text.splitlines(), start=1):
+        m = SUPPRESS_RE.search(line)
+        if m and m.group(1) in cover:
+            # The comment covers its own line and the next one, so it
+            # works both trailing and as a lead-in line.
+            cover[m.group(1)].update((idx, idx + 1))
+    return cover
+
+
+def match_brace(text, open_pos):
+    """Index one past the brace block opened at text[open_pos] == '{'."""
+    depth = 0
+    for i in range(open_pos, len(text)):
+        if text[i] == "{":
+            depth += 1
+        elif text[i] == "}":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return len(text)
+
+
+def match_paren(text, open_pos):
+    depth = 0
+    for i in range(open_pos, len(text)):
+        if text[i] == "(":
+            depth += 1
+        elif text[i] == ")":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return len(text)
+
+
+IDENT_RE = re.compile(r"[A-Za-z_]\w*")
+
+
+def parameter_names(signature):
+    """Parameter names from the first top-level paren group of a
+    function signature (annotation .. '{')."""
+    start = signature.find("(")
+    if start < 0:
+        return set()
+    end = match_paren(signature, start)
+    group = signature[start + 1:end - 1]
+    names = set()
+    # Split on top-level commas only (template args carry none deep
+    # enough to matter here, but guard parens/brackets anyway).
+    depth = 0
+    parts, cur = [], []
+    for c in group:
+        if c in "(<[":
+            depth += 1
+        elif c in ")>]":
+            depth -= 1
+        if c == "," and depth == 0:
+            parts.append("".join(cur))
+            cur = []
+        else:
+            cur.append(c)
+    parts.append("".join(cur))
+    for part in parts:
+        part = part.split("=")[0]  # drop default argument
+        idents = [t for t in IDENT_RE.findall(part)
+                  if t not in CPP_KEYWORDS]
+        if len(idents) >= 2:  # type name(s) + parameter name
+            names.add(idents[-1])
+    return names
+
+
+DECL_RE = re.compile(
+    r"""(?:^|[;{}]|\belse\b)\s*            # statement start
+        (?P<type>(?:const\s+|thread_local\s+|static\s+)*
+         [A-Za-z_][\w:]*(?:\s*<[^;{}()]*?>)?   # Type or Type<...>
+         (?:\s*::\s*\w+)*
+         (?:\s*[*&]+|\s)\s*&?\s*)
+        (?P<name>[A-Za-z_]\w*)\s*
+        (?P<init>=[^;]*|\([^;]*\))?;""",
+    re.VERBOSE | re.MULTILINE,
+)
+
+
+def local_declarations(body):
+    """name -> (is_reference, initializer_text) for heuristically
+    detected local declarations in a function body.
+
+    The tokenizer is scope-blind, so a name declared more than once
+    (e.g. a range-for reference in one loop and a value local later)
+    resolves to the *value* declaration: growth through it is flagged
+    and an audited allow() comment documents the safe cases.
+    """
+    entries = []
+    for m in DECL_RE.finditer(body):
+        type_part = m.group("type")
+        name = m.group("name")
+        head = type_part.split("<")[0]
+        first = IDENT_RE.search(head)
+        if first is None or first.group(0) in (CPP_KEYWORDS - {
+                "const", "auto", "unsigned", "signed", "thread_local",
+                "static", "bool", "char", "int", "long", "short",
+                "float", "double", "void"}):
+            continue
+        if name in CPP_KEYWORDS:
+            continue
+        is_ref = "&" in type_part and "&&" not in type_part
+        init = m.group("init") or ""
+        entries.append((name, is_ref, init))
+    # Range-for declarations: for (Type name : range)
+    for m in re.finditer(
+            r"for\s*\(\s*(?P<type>[^;:()]*?[\s*&])\s*"
+            r"(?P<name>[A-Za-z_]\w*)\s*:\s*(?P<range>[^)]*)\)", body):
+        name = m.group("name")
+        if name not in CPP_KEYWORDS:
+            entries.append((name, "&" in m.group("type"),
+                            m.group("range")))
+    locals_ = {}
+    for name, is_ref, init in entries:
+        if name in locals_ and not locals_[name][0]:
+            continue  # an existing value declaration stays sticky
+        if name in locals_ and locals_[name][0] and not is_ref:
+            locals_[name] = (is_ref, init)  # value decl wins over ref
+            continue
+        locals_[name] = (is_ref, init)
+    return locals_
+
+
+def receiver_root(body, method_pos):
+    """Walks backwards from `.method(` / `->method(` to the chain root.
+
+    Handles ident chains with ., ->, [..] subscripts and a (*name)
+    parenthesized-dereference head. Returns the root identifier or None.
+    """
+    i = method_pos  # index of '.' or '-' starting the final accessor
+    while True:
+        # Skip the accessor itself ('.' or '->'; GROWTH_RE matches start
+        # at '.' or '-', chain continuation lands on '>').
+        if body[i] == ".":
+            i -= 1
+        elif body[i] == "-":
+            i -= 1
+        elif body[i] == ">" and i > 0 and body[i - 1] == "-":
+            i -= 2
+        else:
+            return None
+        # Skip one postfix unit: ident, [..] groups, or (*ident).
+        while i >= 0 and body[i] == "]":
+            depth = 0
+            while i >= 0:
+                if body[i] == "]":
+                    depth += 1
+                elif body[i] == "[":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                i -= 1
+            i -= 1
+        if i >= 0 and body[i] == ")":
+            # Possible (*name) deref head.
+            j = i
+            depth = 0
+            while j >= 0:
+                if body[j] == ")":
+                    depth += 1
+                elif body[j] == "(":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                j -= 1
+            inner = body[j + 1:i].strip()
+            m = re.fullmatch(r"\*\s*([A-Za-z_]\w*)", inner)
+            if m:
+                return m.group(1)
+            return None  # call-result receiver: can't resolve, allow
+        # Identifier.
+        end = i + 1
+        while i >= 0 and (body[i].isalnum() or body[i] == "_"):
+            i -= 1
+        ident = body[i + 1:end]
+        if not ident:
+            return None
+        nxt = body[:i + 1].rstrip()
+        if nxt.endswith(".") or nxt.endswith("->"):
+            i = len(nxt) - 1
+            continue  # keep walking toward the root
+        if ident == "this":
+            return "this"
+        return ident
+
+
+def resolve_root(root, params, locals_, depth=0):
+    """'allowed' | 'local' classification of a growth-call receiver."""
+    if root is None or depth > 4:
+        return "allowed"
+    if root == "this" or root.endswith("_"):
+        return "allowed"  # member: pooled storage by convention
+    if root in params:
+        return "allowed"  # caller-owned scratch / out-param
+    if root in locals_:
+        is_ref, init = locals_[root]
+        if not is_ref:
+            return "local"
+        # Reference local: allowed iff it can bind to pooled storage.
+        for ident in IDENT_RE.findall(init):
+            if ident in CPP_KEYWORDS:
+                continue
+            if ident == root:
+                continue
+            if (ident.endswith("_") or ident in params
+                    or resolve_root(ident, params, locals_, depth + 1)
+                    == "allowed" and ident in locals_):
+                return "allowed"
+        return "local"
+    return "allowed"  # unknown (global/enclosing scope): benefit of doubt
+
+
+GROWTH_RE = re.compile(
+    r"(?:\.|->)\s*(" + "|".join(sorted(GROWTH_METHODS)) + r")\s*\(")
+NEW_RE = re.compile(r"\bnew\b(?!\s*\()")  # plain new; placement-new too
+ALLOC_RE = re.compile(
+    r"\b(" + "|".join(sorted(ALLOC_CALLS)) + r")\s*(?:<[^;()]*>)?\s*\(")
+
+
+def check_noalloc(path, raw, text):
+    findings = []
+    pos = 0
+    while True:
+        pos = text.find("PITEX_NOALLOC", pos)
+        if pos < 0:
+            break
+        anchor = pos
+        pos += len("PITEX_NOALLOC")
+        # Definition or declaration? Scan to the first ';' or '{' at
+        # paren depth 0 (the constructor init list keeps depth at 0 for
+        # its commas but its parens are balanced before the brace).
+        depth = 0
+        i = pos
+        while i < len(text):
+            c = text[i]
+            if c == "(":
+                depth += 1
+            elif c == ")":
+                depth -= 1
+            elif depth == 0 and c in ";{":
+                break
+            i += 1
+        if i >= len(text) or text[i] == ";":
+            continue  # declaration only; the definition is checked where
+            #           it carries its own annotation
+        signature = text[anchor:i]
+        body_end = match_brace(text, i)
+        body = text[i:body_end]
+        body_base = line_of(text, i)
+        params = parameter_names(signature)
+        locals_ = local_declarations(body)
+
+        for m in NEW_RE.finditer(body):
+            findings.append(Finding(
+                path, body_base + body.count("\n", 0, m.start()),
+                "noalloc", "operator new in PITEX_NOALLOC function"))
+        for m in ALLOC_RE.finditer(body):
+            findings.append(Finding(
+                path, body_base + body.count("\n", 0, m.start()),
+                "noalloc",
+                f"allocating call '{m.group(1)}' in PITEX_NOALLOC "
+                "function"))
+        for m in GROWTH_RE.finditer(body):
+            root = receiver_root(body, m.start())
+            if resolve_root(root, params, locals_) == "local":
+                findings.append(Finding(
+                    path, body_base + body.count("\n", 0, m.start()),
+                    "noalloc",
+                    f"'{root}.{m.group(1)}()' grows a function-local "
+                    "container; route growth through caller-owned "
+                    "scratch or a pooled member"))
+        pos = body_end
+    return findings
+
+
+def scratch_variables(text):
+    """name -> line of variables declared with an epoch-stamped scratch
+    type anywhere in the file (values, pointers or references)."""
+    names = {}
+    pattern = re.compile(
+        r"\b(" + "|".join(SCRATCH_TYPES) + r")\b[\s*&]+([A-Za-z_]\w*)")
+    for m in pattern.finditer(text):
+        line = line_of(text, m.start())
+        # Keep the earliest declaration: for a scope-blind [&] check, any
+        # declaration above the Submit call makes the capture suspect.
+        names[m.group(2)] = min(names.get(m.group(2), line), line)
+    return names
+
+
+def check_scratch_capture(path, raw, text):
+    findings = []
+    scratch_vars = scratch_variables(text)
+    if not scratch_vars:
+        return findings
+    for entry in SUBMIT_ENTRY_POINTS:
+        for m in re.finditer(r"\b" + entry + r"\s*\(", text):
+            call_line = line_of(text, m.start())
+            args_start = m.end()
+            args_end = match_paren(text, args_start - 1)
+            args = text[args_start:args_end - 1]
+            # Lambda argument(s): [...](...) { ... }
+            for lam in re.finditer(r"\[([^\]]*)\]", args):
+                captures = [c.strip() for c in lam.group(1).split(",")
+                            if c.strip()]
+                lam_body_open = args.find("{", lam.end())
+                lam_body = (args[lam_body_open:
+                                 match_brace(args, lam_body_open)]
+                            if lam_body_open >= 0 else "")
+                for cap in captures:
+                    if cap == "&":
+                        # Default by-ref: flag scratch vars used in the
+                        # body that were declared above the call.
+                        for name, decl_line in scratch_vars.items():
+                            if decl_line >= call_line:
+                                continue
+                            if re.search(r"\b" + name + r"\b", lam_body):
+                                findings.append(Finding(
+                                    path, call_line, "scratch-capture",
+                                    f"lambda passed to {entry}() captures "
+                                    f"scratch '{name}' by reference "
+                                    "([&]); scratch types are "
+                                    "single-thread state -- declare one "
+                                    "inside the task"))
+                    else:
+                        cm = re.fullmatch(r"&\s*([A-Za-z_]\w*)", cap)
+                        if cm and cm.group(1) in scratch_vars:
+                            findings.append(Finding(
+                                path, call_line, "scratch-capture",
+                                f"lambda passed to {entry}() captures "
+                                f"scratch '{cm.group(1)}' by reference; "
+                                "scratch types are single-thread state "
+                                "-- declare one inside the task"))
+    return findings
+
+
+DETERMINISM_BANNED = [
+    (re.compile(r"\brand\s*\("), "rand()"),
+    (re.compile(r"\bsrand\s*\("), "srand()"),
+    (re.compile(r"\bdrand48\s*\("), "drand48()"),
+    (re.compile(r"\brandom_device\b"), "std::random_device"),
+    (re.compile(r"\bmt19937(_64)?\b"), "raw std::mt19937"),
+    (re.compile(r"\bsystem_clock\b"), "system_clock (wall time)"),
+    (re.compile(r"\bgettimeofday\s*\("), "gettimeofday()"),
+    (re.compile(r"(?<![\w:.>])time\s*\(\s*(?:NULL|nullptr|0)?\s*\)"),
+     "time()"),
+    (re.compile(r"(?<![\w:.>])clock\s*\(\s*\)"), "clock()"),
+]
+
+
+def check_determinism(path, raw, text):
+    findings = []
+    norm = path.replace(os.sep, "/")
+    if "src/util/random." in norm:
+        return findings  # the one blessed entropy source
+    for pattern, label in DETERMINISM_BANNED:
+        for m in pattern.finditer(text):
+            findings.append(Finding(
+                path, line_of(text, m.start()), "determinism",
+                f"{label} breaks reproducibility; use util/random.h Rng "
+                "(seeded, counter-based)"))
+    return findings
+
+
+def check_file(path):
+    with open(path, encoding="utf-8", errors="replace") as f:
+        raw = f.read()
+    text = strip_comments_and_strings(raw)
+    cover = suppressed_lines(raw)
+    findings = []
+    findings += check_noalloc(path, raw, text)
+    findings += check_scratch_capture(path, raw, text)
+    findings += check_determinism(path, raw, text)
+    return [f for f in findings if f.line not in cover[f.rule]]
+
+
+def collect_files(paths):
+    files = []
+    for p in paths:
+        if os.path.isdir(p):
+            for root, _dirs, names in os.walk(p):
+                for name in sorted(names):
+                    if name.endswith((".h", ".cc")):
+                        files.append(os.path.join(root, name))
+        elif os.path.isfile(p):
+            files.append(p)
+        else:
+            print(f"pitex_check: no such path: {p}", file=sys.stderr)
+            sys.exit(2)
+    return files
+
+
+def selftest(testdata_dir):
+    """Each testdata file declares its expected findings with trailing
+    `// expect(<rule>)` markers; everything else must stay quiet."""
+    failures = []
+    files = collect_files([testdata_dir])
+    if not files:
+        print(f"selftest: no testdata under {testdata_dir}",
+              file=sys.stderr)
+        return 1
+    fired = {rule: 0 for rule in RULES}
+    for path in files:
+        with open(path, encoding="utf-8") as f:
+            raw = f.read()
+        expected = {}  # line -> set(rules)
+        for idx, line in enumerate(raw.splitlines(), start=1):
+            for m in EXPECT_RE.finditer(line):
+                expected.setdefault(idx, set()).add(m.group(1))
+        got = {}
+        for finding in check_file(path):
+            got.setdefault(finding.line, set()).add(finding.rule)
+            fired[finding.rule] += 1
+        for line, rules in sorted(expected.items()):
+            missing = rules - got.get(line, set())
+            for rule in sorted(missing):
+                failures.append(
+                    f"{path}:{line}: expected [{rule}] finding did not "
+                    "fire")
+        for line, rules in sorted(got.items()):
+            unexpected = rules - expected.get(line, set())
+            for rule in sorted(unexpected):
+                failures.append(
+                    f"{path}:{line}: unexpected [{rule}] finding")
+    for rule in RULES:
+        if fired[rule] == 0:
+            failures.append(
+                f"selftest never exercised rule [{rule}]; add a "
+                "testdata case")
+    for failure in failures:
+        print(failure, file=sys.stderr)
+    print(f"selftest: {len(files)} files, "
+          f"{sum(fired.values())} findings fired, "
+          f"{len(failures)} failures")
+    return 1 if failures else 0
+
+
+def main(argv):
+    args = argv[1:]
+    if "--selftest" in args:
+        args.remove("--selftest")
+        default_dir = os.path.join(os.path.dirname(
+            os.path.abspath(__file__)), "testdata")
+        testdata_dir = args[0] if args else default_dir
+        return selftest(testdata_dir)
+    if not args:
+        print(__doc__, file=sys.stderr)
+        return 2
+    findings = []
+    files = collect_files(args)
+    for path in files:
+        findings.extend(check_file(path))
+    for finding in findings:
+        print(finding)
+    print(f"pitex_check: {len(files)} files, {len(findings)} findings")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

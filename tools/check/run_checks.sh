@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# PITEX static-analysis gate. Runs everything that can run on this
+# machine and says what it skipped:
+#
+#   1. pitex_check.py --selftest   (the rules must still fire)
+#   2. pitex_check.py src tests    (the tree must be clean)
+#   3. clang-tidy over src/*.cc    (requires clang-tidy on PATH and a
+#      compile_commands.json; CMake exports one into the build dir)
+#
+# The clang -Wthread-safety gate is a compiler flag, not a step here:
+# any clang build of the tree enforces it (see CMakeLists.txt).
+#
+# Usage: tools/check/run_checks.sh [BUILD_DIR]   (default: build)
+set -euo pipefail
+cd "$(dirname "$0")/../.."
+BUILD_DIR="${1:-build}"
+
+echo "== pitex_check selftest =="
+python3 tools/check/pitex_check.py --selftest
+
+echo "== pitex_check tree scan =="
+python3 tools/check/pitex_check.py src tests
+
+if command -v clang-tidy >/dev/null 2>&1 \
+    && [ -f "${BUILD_DIR}/compile_commands.json" ]; then
+  echo "== clang-tidy (curated checks, see .clang-tidy) =="
+  find src -name '*.cc' -print0 \
+    | xargs -0 clang-tidy -p "${BUILD_DIR}" --quiet
+else
+  echo "== clang-tidy skipped (needs clang-tidy on PATH and" \
+       "${BUILD_DIR}/compile_commands.json; CI runs it) =="
+fi
+
+echo "static checks passed"

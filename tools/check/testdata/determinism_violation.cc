@@ -1,0 +1,35 @@
+// Seeded violations for the [determinism] rule: ambient entropy breaks
+// the repo's bit-reproducibility guarantees (every estimator answer is a
+// pure function of its seed). Never compiled -- selftest input only.
+
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+#include "src/util/random.h"
+
+namespace pitex {
+
+int AmbientEntropyEverywhere() {
+  std::srand(static_cast<unsigned>(time(nullptr)));  // expect(determinism)
+  int noise = rand();                                // expect(determinism)
+  std::random_device entropy;                        // expect(determinism)
+  std::mt19937 twister(entropy());                   // expect(determinism)
+  auto wall =                                        // fine: next line flags
+      std::chrono::system_clock::now();              // expect(determinism)
+  (void)wall;
+  return noise + static_cast<int>(twister());
+}
+
+double SeededIsFine() {
+  Rng rng(42);  // util/random.h: the blessed, seeded source
+  return rng.NextDouble();
+}
+
+double SuppressedWallClock() {
+  // pitex-check: allow(determinism): tooling-only stamp, off-estimator
+  auto stamp = std::chrono::system_clock::now();
+  return std::chrono::duration<double>(stamp.time_since_epoch()).count();
+}
+
+}  // namespace pitex

@@ -1,0 +1,51 @@
+// Seeded violations for the [noalloc] rule. Each marked line must fire;
+// unmarked lines must stay quiet. This file is never compiled -- it only
+// feeds pitex_check.py --selftest.
+
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "src/util/thread_annotations.h"
+
+namespace pitex {
+
+struct Scratch {
+  std::vector<int> pool;
+};
+
+PITEX_NOALLOC void HotPath(int n, Scratch* scratch) {
+  std::vector<int> local;
+  for (int i = 0; i < n; ++i) {
+    local.push_back(i);  // expect(noalloc)
+  }
+  scratch->pool.push_back(n);  // pooled growth through a parameter: fine
+  int* raw = new int[8];  // expect(noalloc)
+  void* c = malloc(16);   // expect(noalloc)
+  auto owned = std::make_unique<int>(4);  // expect(noalloc)
+  free(c);
+  delete[] raw;
+  (void)owned;
+}
+
+PITEX_NOALLOC void RefToLocalIsStillLocal(int n) {
+  std::vector<int> backing;
+  std::vector<int>& alias = backing;
+  alias.resize(static_cast<size_t>(n));  // expect(noalloc)
+}
+
+PITEX_NOALLOC void SuppressedGrowth(int n) {
+  std::vector<int> warm;
+  // pitex-check: allow(noalloc): deliberate warmup growth, audited here.
+  warm.reserve(static_cast<size_t>(n));
+}
+
+// A declaration alone is a contract statement, not a checkable body.
+PITEX_NOALLOC void DefinedElsewhere(int n, Scratch* scratch);
+
+void NotAnnotated(int n) {
+  std::vector<int> fine;
+  fine.push_back(n);  // unannotated function: no contract, no finding
+}
+
+}  // namespace pitex

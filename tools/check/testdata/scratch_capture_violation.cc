@@ -1,0 +1,36 @@
+// Seeded violations for the [scratch-capture] rule. The epoch-stamped
+// scratch types are single-thread state; handing one by reference into a
+// ThreadPool task shares its epoch counter and buffers across workers.
+// Never compiled -- selftest input only.
+
+#include "src/index/rr_graph.h"
+#include "src/util/thread_pool.h"
+
+namespace pitex {
+
+void ShareScratchAcrossWorkers(ThreadPool* pool) {
+  EstimateScratch scratch;
+  pool->Submit([&] { scratch.Reserve(128); });  // expect(scratch-capture)
+  pool->SubmitIndexed(  // expect(scratch-capture)
+      [&scratch](size_t) { scratch.Reserve(64); });
+  pool->Wait();
+}
+
+void PerTaskScratchIsFine(ThreadPool* pool) {
+  pool->Submit([] {
+    EstimateScratch scratch;  // owned by the task: no sharing
+    scratch.Reserve(128);
+  });
+  pool->Wait();
+}
+
+void ValueStateIsFine(ThreadPool* pool) {
+  size_t budget = 128;
+  pool->Submit([budget] {
+    EstimateScratch scratch;
+    scratch.Reserve(budget);
+  });
+  pool->Wait();
+}
+
+}  // namespace pitex
