@@ -213,6 +213,93 @@ int main(int argc, char** argv) {
   }
   std::printf("shape check: p99 >> p50 under bursts (queue wait dominates "
               "the tail); the gap\nshrinks as burst size approaches the "
-              "worker count.\n");
+              "worker count.\n\n");
+
+  // --- 4. overload: admission control + deadlines under a query storm ----
+  // A storm several times the service capacity arrives at once. Without
+  // admission every query queues (the tail explodes but everyone is
+  // eventually served); with a bounded queue the excess sheds instantly
+  // and the admitted tail stays flat; with per-query budgets on top,
+  // queue-aged queries degrade instead of blocking the ones behind them.
+  std::printf("=== Overload: admission + deadlines (docs/robustness.md) "
+              "===\n");
+  const size_t kStorm = SmokeMode() ? 48 : 256;
+  const size_t kStormThreads = 2;  // deliberately under-provisioned
+  struct StormOutcome {
+    size_t served = 0, shed = 0, degraded = 0, expired = 0;
+    double wall = 0.0;
+    LatencySummary latency;
+  };
+  const auto run_storm = [&](const SocialNetwork& network,
+                             const ServeOptions& serve_options,
+                             const std::vector<PitexQuery>& storm) {
+    PitexService service(&network, serve_options);
+    service.Start();
+    std::vector<PitexQuery> warm(storm.begin(),
+                                 storm.begin() + storm.size() / 4);
+    for (PitexQuery& q : warm) q.budget_seconds = 0.0;
+    (void)service.ServeAll(warm);
+    service.ClearLatencyWindow();
+    StormOutcome outcome;
+    Timer timer;
+    std::vector<std::future<ServedResult>> futures;
+    futures.reserve(storm.size());
+    for (const PitexQuery& query : storm) {
+      futures.push_back(service.Submit(query));
+    }
+    for (auto& future : futures) {
+      switch (future.get().status) {
+        case ServeStatus::kOk: ++outcome.served; break;
+        case ServeStatus::kShed: ++outcome.shed; break;
+        case ServeStatus::kDegraded: ++outcome.degraded; break;
+        case ServeStatus::kDeadlineExpired: ++outcome.expired; break;
+      }
+    }
+    outcome.wall = timer.Seconds();
+    outcome.latency = service.Stats().latency;
+    return outcome;
+  };
+
+  for (const auto& d : MakeBenchDatasets()) {
+    const auto users =
+        SampleUserGroup(d.network.graph, UserGroup::kMid, kStorm, 9);
+    std::vector<PitexQuery> storm;
+    for (size_t i = 0; i < kStorm; ++i) {
+      storm.push_back({.user = users[i % users.size()], .k = 3});
+    }
+
+    ServeOptions base;
+    base.engine = BenchOptions(Method::kIndexEstPlus);
+    base.num_threads = kStormThreads;
+    base.cache_capacity = 0;  // every admitted query costs real work
+
+    ServeOptions bounded = base;
+    bounded.admission.max_queue_depth = 4 * kStormThreads;
+
+    ServeOptions deadlined = bounded;
+    std::vector<PitexQuery> budgeted = storm;
+    for (PitexQuery& q : budgeted) q.budget_seconds = 0.002;
+
+    const StormOutcome open = run_storm(d.network, base, storm);
+    const StormOutcome shed = run_storm(d.network, bounded, storm);
+    const StormOutcome soft = run_storm(d.network, deadlined, budgeted);
+
+    std::printf("%-10s open-queue : served %3zu shed %3zu  p99 %8.2fms  "
+                "wall %6.1fms\n",
+                d.name.c_str(), open.served, open.shed,
+                open.latency.p99 * 1e3, open.wall * 1e3);
+    std::printf("%-10s bounded    : served %3zu shed %3zu  p99 %8.2fms  "
+                "wall %6.1fms\n",
+                d.name.c_str(), shed.served, shed.shed,
+                shed.latency.p99 * 1e3, shed.wall * 1e3);
+    std::printf("%-10s +deadlines : served %3zu shed %3zu degraded %3zu "
+                "expired %3zu  p99 %8.2fms\n",
+                d.name.c_str(), soft.served, soft.shed, soft.degraded,
+                soft.expired, soft.latency.p99 * 1e3);
+  }
+  std::printf("shape check: the bounded queue sheds most of the storm and "
+              "its served-p99 drops\nwell below the open queue's; with "
+              "budgets, queue-aged queries report degraded/expired\n"
+              "instead of inflating the tail.\n");
   return 0;
 }

@@ -11,6 +11,8 @@
 
 #include "bench/bench_common.h"
 #include "src/core/engine.h"
+#include "src/serve/admission.h"
+#include "src/util/failpoint.h"
 #include "src/index/dynamic_index.h"
 #include "src/index/index_io.h"
 #include "src/index/rr_graph.h"
@@ -410,6 +412,38 @@ void BM_ThreadPoolDispatch(benchmark::State& state) {
                           static_cast<int64_t>(state.iterations()));
 }
 BENCHMARK(BM_ThreadPoolDispatch)->Arg(64)->Arg(1024);
+
+void BM_AdmissionOverhead(benchmark::State& state) {
+  // Happy-path admission (TryAdmit + Release, nothing sheds): the cost a
+  // fully-admitted query pays on top of its engine time. A PITEX query
+  // runs for tens of microseconds at minimum, so this must stay well
+  // under 1% of that -- i.e. low hundreds of nanoseconds.
+  AdmissionOptions options;
+  options.max_queue_depth = 1 << 20;  // never full
+  options.user_rate_limit = 1e9;      // never limits
+  AdmissionController controller(options);
+  VertexId user = 0;
+  for (auto _ : state) {
+    const auto now = AdmissionController::Clock::now();
+    benchmark::DoNotOptimize(controller.TryAdmit(user, now));
+    controller.Release(1);
+    user = (user + 1) % 4096;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_AdmissionOverhead);
+
+void BM_FailpointDisarmed(benchmark::State& state) {
+  // The disarmed fast gate every instrumented call site pays in
+  // production: one relaxed atomic load. Nanoseconds, or the fail-point
+  // framework could not ship enabled in release builds.
+  FailpointRegistry::Instance().DisableAll();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PITEX_FAILPOINT("bench/disarmed"));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_FailpointDisarmed);
 
 void BM_TriggeringEstimate(benchmark::State& state) {
   const auto& n = Network();

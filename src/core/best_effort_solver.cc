@@ -29,6 +29,7 @@ void ResetCounters(PitexResult* r) {
   r->total_samples = 0;
   r->edges_visited = 0;
   r->seconds = 0.0;
+  r->degraded = false;
 }
 
 }  // namespace
@@ -66,7 +67,17 @@ PITEX_NOALLOC void SolveTopNByBestEffort(const SocialNetwork& network,
               0});
   const size_t num_tags = network.topics.num_tags();
 
+  const double budget = query.budget_seconds;
   while (!arena.empty()) {
+    // Cooperative deadline checkpoint, once per frontier pop (one pop
+    // costs at least one bounded estimation, so the clock read is noise
+    // against the work it gates). Without a budget the check is a single
+    // double compare -- no clock read, and the search is bit-identical
+    // to a budget-free build.
+    if (budget > 0.0 && timer.Seconds() >= budget) {
+      counters.degraded = true;
+      break;
+    }
     const SearchArena::HeapSlot node = arena.Pop();
     // Bounds only shrink down the tree: once the best inherited bound
     // cannot beat the incumbent, nothing remaining can.

@@ -164,10 +164,11 @@ PitexResult PitexEngine::Explore(const PitexQuery& query) {
 }
 
 std::vector<RankedTagSet> PitexEngine::ExploreTopN(const PitexQuery& query,
-                                                   size_t n) {
+                                                   size_t n,
+                                                   PitexResult* stats) {
   InfluenceOracle* oracle = OracleFor(query.k);
   SolveTopNByBestEffort(*network_, query, bound_context_, oracle, n,
-                        &best_effort_out_, nullptr, &best_effort_scratch_);
+                        &best_effort_out_, stats, &best_effort_scratch_);
   return best_effort_out_;
 }
 

@@ -110,8 +110,11 @@ class PitexEngine {
   /// Top-N variant: up to `n` size-k tag sets in descending estimated
   /// influence (n = 1 matches Explore). Useful for exploration UIs that
   /// show alternatives, not just the argmax. Always uses best-effort
-  /// search (pruning against the N-th incumbent).
-  std::vector<RankedTagSet> ExploreTopN(const PitexQuery& query, size_t n);
+  /// search (pruning against the N-th incumbent). `stats` (optional)
+  /// receives the execution counters -- including the `degraded` flag
+  /// when the query carried a budget that expired mid-search.
+  std::vector<RankedTagSet> ExploreTopN(const PitexQuery& query, size_t n,
+                                        PitexResult* stats = nullptr);
 
   /// Estimates E[I(u|W)] for an explicit tag set (no search).
   Estimate EstimateInfluence(VertexId user, std::span<const TagId> tags);

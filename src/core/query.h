@@ -15,6 +15,16 @@ namespace pitex {
 struct PitexQuery {
   VertexId user = 0;
   size_t k = 3;
+  /// Soft wall-clock budget in seconds; 0 (default) disables deadlines
+  /// entirely -- the search runs to completion and behaves bit-identically
+  /// to a budget-free build. With a positive budget the best-effort
+  /// search checks the clock at every frontier pop and, on expiry,
+  /// returns its current best top-N with `PitexResult::degraded` set
+  /// (graceful degradation, never an error). The budget covers the
+  /// best-effort search only; enumeration (best_effort=false) ignores
+  /// it. The serving layer (src/serve/) measures the budget from enqueue
+  /// time, so queue wait counts against it.
+  double budget_seconds = 0.0;
 };
 
 /// Query answer plus execution statistics (the quantities the paper's
@@ -37,6 +47,11 @@ struct PitexResult {
   uint64_t edges_visited = 0;
   /// End-to-end wall-clock seconds.
   double seconds = 0.0;
+  /// True when a query budget (PitexQuery::budget_seconds) expired
+  /// before the search space was exhausted: `tags`/`influence` hold the
+  /// best answer found so far (possibly empty when the budget expired
+  /// before the first full set was evaluated), not the proven optimum.
+  bool degraded = false;
 };
 
 }  // namespace pitex

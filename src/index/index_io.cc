@@ -1,10 +1,13 @@
 #include "src/index/index_io.h"
 
 #include <algorithm>
+#include <cmath>
 #include <fstream>
 #include <limits>
+#include <utility>
 #include <vector>
 
+#include "src/util/failpoint.h"
 #include "src/util/serialize.h"
 
 namespace pitex {
@@ -21,9 +24,16 @@ constexpr uint32_t kVersionCurrent = 2;
 constexpr uint8_t kKindRrGraphs = 1;
 constexpr uint8_t kKindDelayMat = 2;
 
-void SetError(std::string* error, const char* message) {
-  if (error != nullptr) *error = message;
+void SetError(IndexIoError* error, IndexIoCode code, const char* message) {
+  if (error != nullptr) {
+    error->code = code;
+    error->message = message;
+  }
 }
+
+// Plausibility bound for cap_k: the search never selects more tags than
+// this, and a header claiming more is corruption, not configuration.
+constexpr uint64_t kMaxPlausibleCapK = 1u << 20;
 
 // a * b, saturating at UINT64_MAX (bounds for ReadVector guards built
 // from untrusted counts).
@@ -50,31 +60,48 @@ void WriteHeader(BinaryWriter* writer, uint8_t kind, uint64_t fingerprint,
 // Returns false with `*error` set on any mismatch.
 bool ReadHeader(BinaryReader* reader, uint8_t expected_kind,
                 uint64_t expected_fingerprint, RrIndexOptions* options,
-                uint32_t* version, std::string* error) {
+                uint32_t* version, IndexIoError* error) {
   std::string magic;
   uint8_t kind = 0;
   uint64_t fingerprint = 0;
   if (!reader->ReadString(&magic) || magic != kMagic) {
-    SetError(error, "not a PITEX index file");
+    SetError(error, IndexIoCode::kBadMagic, "not a PITEX index file");
     return false;
   }
   if (!reader->ReadU32(version) ||
       (*version != kVersionV1 && *version != kVersionCurrent)) {
-    SetError(error, "unsupported index file version");
+    SetError(error, IndexIoCode::kBadVersion,
+             "unsupported index file version");
     return false;
   }
   if (!reader->ReadU8(&kind) || kind != expected_kind) {
-    SetError(error, "index file holds a different index kind");
+    SetError(error, IndexIoCode::kWrongKind,
+             "index file holds a different index kind");
     return false;
   }
   if (!reader->ReadU64(&fingerprint) || fingerprint != expected_fingerprint) {
-    SetError(error, "index was built from a different network");
+    SetError(error, IndexIoCode::kFingerprintMismatch,
+             "index was built from a different network");
     return false;
   }
   uint64_t cap_k = 0;
   if (!reader->ReadF64(&options->eps) || !reader->ReadF64(&options->delta) ||
       !reader->ReadU64(&cap_k) || !reader->ReadU64(&options->seed)) {
-    SetError(error, "truncated index header");
+    SetError(error, IndexIoCode::kTruncated, "truncated index header");
+    return false;
+  }
+  // The options steer sample-size formulas downstream; a NaN eps or an
+  // absurd cap_k used to flow through silently and only misbehave at
+  // query time. Reject implausible values as header corruption here.
+  if (!std::isfinite(options->eps) || options->eps <= 0.0 ||
+      !std::isfinite(options->delta) || options->delta <= 0.0) {
+    SetError(error, IndexIoCode::kBadOptions,
+             "implausible accuracy options: corrupt header");
+    return false;
+  }
+  if (cap_k == 0 || cap_k > kMaxPlausibleCapK) {
+    SetError(error, IndexIoCode::kBadOptions,
+             "implausible cap_k: corrupt header");
     return false;
   }
   options->cap_k = static_cast<int64_t>(cap_k);
@@ -117,9 +144,15 @@ uint64_t NetworkFingerprint(const SocialNetwork& network) {
 class IndexIo {
  public:
   static bool WriteRr(const RrIndex& index, std::ostream& out,
-                      std::string* error) {
+                      IndexIoError* error) {
+    if (PITEX_FAILPOINT("index_io/save")) {
+      SetError(error, IndexIoCode::kFaultInjected,
+               "fault injected: index_io/save");
+      return false;
+    }
     if (!index.built_) {
-      SetError(error, "index not built; call Build() before saving");
+      SetError(error, IndexIoCode::kNotBuilt,
+               "index not built; call Build() before saving");
       return false;
     }
     const RrSketchPool& pool = index.pool_;
@@ -145,7 +178,8 @@ class IndexIo {
     writer.WriteF64(index.build_seconds_);
     writer.WriteChecksum();
     if (!writer.ok()) {
-      SetError(error, "I/O failure while writing index");
+      SetError(error, IndexIoCode::kWriteFailed,
+               "I/O failure while writing index");
       return false;
     }
     return true;
@@ -156,7 +190,7 @@ class IndexIo {
   static bool ReadRrGraphsV1(BinaryReader* reader, uint64_t num_graphs,
                              uint64_t max_vertices, uint64_t max_edges,
                              std::vector<RRGraph>* staging,
-                             std::string* error) {
+                             IndexIoError* error) {
     // num_graphs is bounded only by the file's own theta, so grow the
     // staging area as records actually parse instead of resizing up
     // front -- a fabricated count then costs only the bytes present in
@@ -166,18 +200,18 @@ class IndexIo {
       RRGraph& rr = staging->emplace_back();
       uint32_t root = 0;
       if (!reader->ReadU32(&root) || root >= max_vertices) {
-        SetError(error, "corrupt RR-Graph root");
+        SetError(error, IndexIoCode::kCorruptPayload, "corrupt RR-Graph root");
         return false;
       }
       rr.root = root;
       if (!reader->ReadVector(&rr.vertices, max_vertices) ||
           !reader->ReadVector(&rr.offsets, max_vertices + 1)) {
-        SetError(error, "corrupt RR-Graph vertex data");
+        SetError(error, IndexIoCode::kCorruptPayload, "corrupt RR-Graph vertex data");
         return false;
       }
       uint64_t num_local_edges = 0;
       if (!reader->ReadU64(&num_local_edges) || num_local_edges > max_edges) {
-        SetError(error, "corrupt RR-Graph edge count");
+        SetError(error, IndexIoCode::kCorruptPayload, "corrupt RR-Graph edge count");
         return false;
       }
       rr.edges.resize(num_local_edges);
@@ -186,13 +220,13 @@ class IndexIo {
             !reader->ReadU32(&edge.edge) ||
             !reader->ReadF32(&edge.threshold) ||
             edge.head_local >= rr.vertices.size() || edge.edge >= max_edges) {
-          SetError(error, "corrupt RR-Graph edge data");
+          SetError(error, IndexIoCode::kCorruptPayload, "corrupt RR-Graph edge data");
           return false;
         }
       }
       if (rr.offsets.size() != rr.vertices.size() + 1 ||
           (rr.offsets.empty() ? 0 : rr.offsets.back()) != rr.edges.size()) {
-        SetError(error, "inconsistent RR-Graph CSR layout");
+        SetError(error, IndexIoCode::kCorruptPayload, "inconsistent RR-Graph CSR layout");
         return false;
       }
       // Same structural guarantees the v2 loader enforces — the pooled
@@ -201,18 +235,18 @@ class IndexIo {
       for (size_t j = 0; j < rr.vertices.size(); ++j) {
         if (rr.vertices[j] >= max_vertices ||
             (j > 0 && rr.vertices[j] <= rr.vertices[j - 1])) {
-          SetError(error, "corrupt RR-Graph vertex array");
+          SetError(error, IndexIoCode::kCorruptPayload, "corrupt RR-Graph vertex array");
           return false;
         }
       }
       if (!std::binary_search(rr.vertices.begin(), rr.vertices.end(),
                               rr.root)) {
-        SetError(error, "RR-Graph root not a member");
+        SetError(error, IndexIoCode::kCorruptPayload, "RR-Graph root not a member");
         return false;
       }
       for (size_t j = 0; j + 1 < rr.offsets.size(); ++j) {
         if (rr.offsets[j] > rr.offsets[j + 1]) {
-          SetError(error, "non-monotone RR-Graph CSR offsets");
+          SetError(error, IndexIoCode::kCorruptPayload, "non-monotone RR-Graph CSR offsets");
           return false;
         }
       }
@@ -224,7 +258,7 @@ class IndexIo {
   // consistency, sorted vertex arrays, in-range edge ids).
   static bool ReadRrPoolV2(BinaryReader* reader, uint64_t num_sketches,
                            uint64_t max_vertices, uint64_t max_edges,
-                           RrSketchPool* pool, std::string* error) {
+                           RrSketchPool* pool, IndexIoError* error) {
     const uint64_t max_total_vertices =
         SaturatingMul(num_sketches, max_vertices);
     if (!reader->ReadVector(&pool->roots_, num_sketches) ||
@@ -236,13 +270,13 @@ class IndexIo {
                             SaturatingMul(num_sketches, max_vertices + 1)) ||
         !reader->ReadVector(&pool->edge_starts_, num_sketches + 1) ||
         pool->edge_starts_.size() != num_sketches + 1) {
-      SetError(error, "corrupt pooled sketch arrays");
+      SetError(error, IndexIoCode::kCorruptPayload, "corrupt pooled sketch arrays");
       return false;
     }
     uint64_t num_edges = 0;
     if (!reader->ReadU64(&num_edges) ||
         num_edges > SaturatingMul(num_sketches, max_edges)) {
-      SetError(error, "corrupt pooled edge count");
+      SetError(error, IndexIoCode::kCorruptPayload, "corrupt pooled edge count");
       return false;
     }
     // The num_edges guard saturates (num_sketches * max_edges can hit
@@ -254,7 +288,7 @@ class IndexIo {
       RRLocalEdge edge;
       if (!reader->ReadU32(&edge.head_local) || !reader->ReadU32(&edge.edge) ||
           !reader->ReadF32(&edge.threshold) || edge.edge >= max_edges) {
-        SetError(error, "corrupt pooled edge data");
+        SetError(error, IndexIoCode::kCorruptPayload, "corrupt pooled edge data");
         return false;
       }
       pool->edges_.push_back(edge);
@@ -266,7 +300,7 @@ class IndexIo {
         pool->edge_starts_.front() != 0 ||
         pool->edge_starts_.back() != pool->edges_.size() ||
         pool->offsets_.size() != pool->vertices_.size() + num_sketches) {
-      SetError(error, "inconsistent pooled sketch layout");
+      SetError(error, IndexIoCode::kCorruptPayload, "inconsistent pooled sketch layout");
       return false;
     }
     for (uint64_t i = 0; i < num_sketches; ++i) {
@@ -276,13 +310,13 @@ class IndexIo {
       const uint64_t ee = pool->edge_starts_[i + 1];
       if (ve < vb || ve > pool->vertices_.size() || ee < eb ||
           ee > pool->edges_.size()) {
-        SetError(error, "inconsistent pooled sketch bounds");
+        SetError(error, IndexIoCode::kCorruptPayload, "inconsistent pooled sketch bounds");
         return false;
       }
       const uint64_t n = ve - vb;
       const uint64_t m = ee - eb;
       if (n == 0 || n > max_vertices) {
-        SetError(error, "corrupt sketch vertex count");
+        SetError(error, IndexIoCode::kCorruptPayload, "corrupt sketch vertex count");
         return false;
       }
       // Vertices sorted strictly ascending and in range (LocalIndex
@@ -290,32 +324,32 @@ class IndexIo {
       for (uint64_t j = vb; j < ve; ++j) {
         if (pool->vertices_[j] >= max_vertices ||
             (j > vb && pool->vertices_[j] <= pool->vertices_[j - 1])) {
-          SetError(error, "corrupt sketch vertex array");
+          SetError(error, IndexIoCode::kCorruptPayload, "corrupt sketch vertex array");
           return false;
         }
       }
       if (!std::binary_search(pool->vertices_.begin() + vb,
                               pool->vertices_.begin() + ve,
                               pool->roots_[i])) {
-        SetError(error, "sketch root not a sketch member");
+        SetError(error, IndexIoCode::kCorruptPayload, "sketch root not a sketch member");
         return false;
       }
       // Local CSR: starts at 0, non-decreasing, ends at the edge count;
       // edge heads stay inside the sketch.
       const uint64_t ob = vb + i;
       if (pool->offsets_[ob] != 0 || pool->offsets_[ob + n] != m) {
-        SetError(error, "inconsistent sketch CSR offsets");
+        SetError(error, IndexIoCode::kCorruptPayload, "inconsistent sketch CSR offsets");
         return false;
       }
       for (uint64_t j = 0; j < n; ++j) {
         if (pool->offsets_[ob + j] > pool->offsets_[ob + j + 1]) {
-          SetError(error, "non-monotone sketch CSR offsets");
+          SetError(error, IndexIoCode::kCorruptPayload, "non-monotone sketch CSR offsets");
           return false;
         }
       }
       for (uint64_t j = eb; j < ee; ++j) {
         if (pool->edges_[j].head_local >= n) {
-          SetError(error, "sketch edge head out of range");
+          SetError(error, IndexIoCode::kCorruptPayload, "sketch edge head out of range");
           return false;
         }
       }
@@ -325,7 +359,12 @@ class IndexIo {
 
   static std::unique_ptr<RrIndex> ReadRr(const SocialNetwork& network,
                                          std::istream& in,
-                                         std::string* error) {
+                                         IndexIoError* error) {
+    if (PITEX_FAILPOINT("index_io/load")) {
+      SetError(error, IndexIoCode::kFaultInjected,
+               "fault injected: index_io/load");
+      return nullptr;
+    }
     BinaryReader reader(&in);
     RrIndexOptions options;
     uint32_t version = 0;
@@ -336,7 +375,7 @@ class IndexIo {
     uint64_t theta = 0, num_graphs = 0;
     if (!reader.ReadU64(&theta) || !reader.ReadU64(&num_graphs) ||
         num_graphs > theta) {
-      SetError(error, "corrupt index payload header");
+      SetError(error, IndexIoCode::kCorruptPayload, "corrupt index payload header");
       return nullptr;
     }
     options.theta_override = theta;
@@ -357,11 +396,13 @@ class IndexIo {
       }
     }
     if (!reader.ReadF64(&index->build_seconds_)) {
-      SetError(error, "truncated index trailer");
+      SetError(error, IndexIoCode::kTruncated, "truncated index trailer");
       return nullptr;
     }
     if (!reader.VerifyChecksum()) {
-      SetError(error, "checksum mismatch: file truncated or corrupted");
+      SetError(error,
+               IndexIoCode::kChecksumMismatch,
+               "checksum mismatch: file truncated or corrupted");
       return nullptr;
     }
     if (version == kVersionV1) {
@@ -376,9 +417,15 @@ class IndexIo {
   }
 
   static bool WriteDelay(const DelayMatIndex& index, std::ostream& out,
-                         std::string* error) {
+                         IndexIoError* error) {
+    if (PITEX_FAILPOINT("index_io/save")) {
+      SetError(error, IndexIoCode::kFaultInjected,
+               "fault injected: index_io/save");
+      return false;
+    }
     if (!index.built_) {
-      SetError(error, "index not built; call Build() before saving");
+      SetError(error, IndexIoCode::kNotBuilt,
+               "index not built; call Build() before saving");
       return false;
     }
     BinaryWriter writer(&out);
@@ -389,14 +436,20 @@ class IndexIo {
     writer.WriteF64(index.build_seconds_);
     writer.WriteChecksum();
     if (!writer.ok()) {
-      SetError(error, "I/O failure while writing index");
+      SetError(error, IndexIoCode::kWriteFailed,
+               "I/O failure while writing index");
       return false;
     }
     return true;
   }
 
   static std::unique_ptr<DelayMatIndex> ReadDelay(
-      const SocialNetwork& network, std::istream& in, std::string* error) {
+      const SocialNetwork& network, std::istream& in, IndexIoError* error) {
+    if (PITEX_FAILPOINT("index_io/load")) {
+      SetError(error, IndexIoCode::kFaultInjected,
+               "fault injected: index_io/load");
+      return nullptr;
+    }
     BinaryReader reader(&in);
     RrIndexOptions options;
     uint32_t version = 0;  // DelayMat payload is identical in v1 and v2
@@ -406,7 +459,7 @@ class IndexIo {
     }
     uint64_t theta = 0;
     if (!reader.ReadU64(&theta)) {
-      SetError(error, "corrupt index payload header");
+      SetError(error, IndexIoCode::kCorruptPayload, "corrupt index payload header");
       return nullptr;
     }
     options.theta_override = theta;
@@ -414,21 +467,23 @@ class IndexIo {
         std::unique_ptr<DelayMatIndex>(new DelayMatIndex(network, options));
     if (!reader.ReadVector(&index->counts_, network.num_vertices()) ||
         index->counts_.size() != network.num_vertices()) {
-      SetError(error, "corrupt counter payload");
+      SetError(error, IndexIoCode::kCorruptPayload, "corrupt counter payload");
       return nullptr;
     }
     for (uint32_t count : index->counts_) {
       if (count > theta) {
-        SetError(error, "counter exceeds theta: corrupt payload");
+        SetError(error, IndexIoCode::kCorruptPayload, "counter exceeds theta: corrupt payload");
         return nullptr;
       }
     }
     if (!reader.ReadF64(&index->build_seconds_)) {
-      SetError(error, "truncated index trailer");
+      SetError(error, IndexIoCode::kTruncated, "truncated index trailer");
       return nullptr;
     }
     if (!reader.VerifyChecksum()) {
-      SetError(error, "checksum mismatch: file truncated or corrupted");
+      SetError(error,
+               IndexIoCode::kChecksumMismatch,
+               "checksum mismatch: file truncated or corrupted");
       return nullptr;
     }
     index->built_ = true;
@@ -436,46 +491,79 @@ class IndexIo {
   }
 };
 
-bool SaveRrIndex(const RrIndex& index, std::ostream& out, std::string* error) {
+const char* IndexIoCodeName(IndexIoCode code) {
+  switch (code) {
+    case IndexIoCode::kNone: return "ok";
+    case IndexIoCode::kOpenFailed: return "open-failed";
+    case IndexIoCode::kNotBuilt: return "not-built";
+    case IndexIoCode::kWriteFailed: return "write-failed";
+    case IndexIoCode::kBadMagic: return "bad-magic";
+    case IndexIoCode::kBadVersion: return "bad-version";
+    case IndexIoCode::kWrongKind: return "wrong-kind";
+    case IndexIoCode::kFingerprintMismatch: return "fingerprint-mismatch";
+    case IndexIoCode::kBadOptions: return "bad-options";
+    case IndexIoCode::kCorruptPayload: return "corrupt-payload";
+    case IndexIoCode::kTruncated: return "truncated";
+    case IndexIoCode::kChecksumMismatch: return "checksum-mismatch";
+    case IndexIoCode::kFaultInjected: return "fault-injected";
+  }
+  return "?";
+}
+
+namespace {
+
+// The std::string overloads keep their historical contract (message
+// only) by delegating to the typed implementations and copying the
+// message out.
+void CopyMessage(const IndexIoError& typed, std::string* error) {
+  if (error != nullptr) *error = typed.message;
+}
+
+}  // namespace
+
+// --- typed overloads (primary implementations) ---
+
+bool SaveRrIndex(const RrIndex& index, std::ostream& out,
+                 IndexIoError* error) {
   return IndexIo::WriteRr(index, out, error);
 }
 
 bool SaveRrIndex(const RrIndex& index, const std::string& path,
-                 std::string* error) {
+                 IndexIoError* error) {
   std::ofstream out(path, std::ios::binary);
   if (!out) {
-    SetError(error, "cannot open file for writing");
+    SetError(error, IndexIoCode::kOpenFailed, "cannot open file for writing");
     return false;
   }
   return IndexIo::WriteRr(index, out, error);
 }
 
 std::unique_ptr<RrIndex> LoadRrIndex(const SocialNetwork& network,
-                                     std::istream& in, std::string* error) {
+                                     std::istream& in, IndexIoError* error) {
   return IndexIo::ReadRr(network, in, error);
 }
 
 std::unique_ptr<RrIndex> LoadRrIndex(const SocialNetwork& network,
                                      const std::string& path,
-                                     std::string* error) {
+                                     IndexIoError* error) {
   std::ifstream in(path, std::ios::binary);
   if (!in) {
-    SetError(error, "cannot open file for reading");
+    SetError(error, IndexIoCode::kOpenFailed, "cannot open file for reading");
     return nullptr;
   }
   return IndexIo::ReadRr(network, in, error);
 }
 
 bool SaveDelayMatIndex(const DelayMatIndex& index, std::ostream& out,
-                       std::string* error) {
+                       IndexIoError* error) {
   return IndexIo::WriteDelay(index, out, error);
 }
 
 bool SaveDelayMatIndex(const DelayMatIndex& index, const std::string& path,
-                       std::string* error) {
+                       IndexIoError* error) {
   std::ofstream out(path, std::ios::binary);
   if (!out) {
-    SetError(error, "cannot open file for writing");
+    SetError(error, IndexIoCode::kOpenFailed, "cannot open file for writing");
     return false;
   }
   return IndexIo::WriteDelay(index, out, error);
@@ -483,19 +571,87 @@ bool SaveDelayMatIndex(const DelayMatIndex& index, const std::string& path,
 
 std::unique_ptr<DelayMatIndex> LoadDelayMatIndex(const SocialNetwork& network,
                                                  std::istream& in,
-                                                 std::string* error) {
+                                                 IndexIoError* error) {
   return IndexIo::ReadDelay(network, in, error);
 }
 
 std::unique_ptr<DelayMatIndex> LoadDelayMatIndex(const SocialNetwork& network,
                                                  const std::string& path,
-                                                 std::string* error) {
+                                                 IndexIoError* error) {
   std::ifstream in(path, std::ios::binary);
   if (!in) {
-    SetError(error, "cannot open file for reading");
+    SetError(error, IndexIoCode::kOpenFailed, "cannot open file for reading");
     return nullptr;
   }
   return IndexIo::ReadDelay(network, in, error);
+}
+
+// --- string-message compatibility overloads ---
+
+bool SaveRrIndex(const RrIndex& index, std::ostream& out, std::string* error) {
+  IndexIoError typed;
+  const bool ok = SaveRrIndex(index, out, &typed);
+  if (!ok) CopyMessage(typed, error);
+  return ok;
+}
+
+bool SaveRrIndex(const RrIndex& index, const std::string& path,
+                 std::string* error) {
+  IndexIoError typed;
+  const bool ok = SaveRrIndex(index, path, &typed);
+  if (!ok) CopyMessage(typed, error);
+  return ok;
+}
+
+std::unique_ptr<RrIndex> LoadRrIndex(const SocialNetwork& network,
+                                     std::istream& in, std::string* error) {
+  IndexIoError typed;
+  auto index = LoadRrIndex(network, in, &typed);
+  if (index == nullptr) CopyMessage(typed, error);
+  return index;
+}
+
+std::unique_ptr<RrIndex> LoadRrIndex(const SocialNetwork& network,
+                                     const std::string& path,
+                                     std::string* error) {
+  IndexIoError typed;
+  auto index = LoadRrIndex(network, path, &typed);
+  if (index == nullptr) CopyMessage(typed, error);
+  return index;
+}
+
+bool SaveDelayMatIndex(const DelayMatIndex& index, std::ostream& out,
+                       std::string* error) {
+  IndexIoError typed;
+  const bool ok = SaveDelayMatIndex(index, out, &typed);
+  if (!ok) CopyMessage(typed, error);
+  return ok;
+}
+
+bool SaveDelayMatIndex(const DelayMatIndex& index, const std::string& path,
+                       std::string* error) {
+  IndexIoError typed;
+  const bool ok = SaveDelayMatIndex(index, path, &typed);
+  if (!ok) CopyMessage(typed, error);
+  return ok;
+}
+
+std::unique_ptr<DelayMatIndex> LoadDelayMatIndex(const SocialNetwork& network,
+                                                 std::istream& in,
+                                                 std::string* error) {
+  IndexIoError typed;
+  auto index = LoadDelayMatIndex(network, in, &typed);
+  if (index == nullptr) CopyMessage(typed, error);
+  return index;
+}
+
+std::unique_ptr<DelayMatIndex> LoadDelayMatIndex(const SocialNetwork& network,
+                                                 const std::string& path,
+                                                 std::string* error) {
+  IndexIoError typed;
+  auto index = LoadDelayMatIndex(network, path, &typed);
+  if (index == nullptr) CopyMessage(typed, error);
+  return index;
 }
 
 }  // namespace pitex

@@ -47,12 +47,73 @@ namespace pitex {
 /// sampled RR-Graphs).
 uint64_t NetworkFingerprint(const SocialNetwork& network);
 
+/// Failure taxonomy for index persistence. A free-form string tells a
+/// human what went wrong; the code tells a *program* what to do about it
+/// — retry (transient), rebuild (corrupt file), or fix the call site
+/// (wrong network / unbuilt index). Every failure path sets exactly one
+/// code; kNone means success.
+enum class IndexIoCode : uint8_t {
+  kNone = 0,
+  /// The file could not be opened (missing path, permissions). Retryable
+  /// in the sense that the environment, not the bytes, is at fault.
+  kOpenFailed,
+  /// Save called on an index whose Build() never ran — caller bug.
+  kNotBuilt,
+  /// The output stream failed mid-write (disk full, closed pipe).
+  kWriteFailed,
+  /// The magic string is absent: not a PITEX index file at all.
+  kBadMagic,
+  /// A PITEX file, but a format version this build cannot read.
+  kBadVersion,
+  /// A PITEX file of the other index kind (RR-Graphs vs DelayMat).
+  kWrongKind,
+  /// Built from a different network than the one supplied to Load.
+  kFingerprintMismatch,
+  /// Header options are implausible (non-finite eps/delta, absurd
+  /// cap_k): the header itself is corrupt even if well-framed.
+  kBadOptions,
+  /// Structurally invalid payload (out-of-range ids, broken CSR).
+  kCorruptPayload,
+  /// The stream ended before the payload did.
+  kTruncated,
+  /// Framing parsed but the trailing FNV-1a digest does not match.
+  kChecksumMismatch,
+  /// A fail point ("index_io/load" / "index_io/save") fired — chaos
+  /// testing only; treat as transient and retryable.
+  kFaultInjected,
+};
+
+/// Stable identifier string for logs/metrics (e.g. "checksum-mismatch").
+const char* IndexIoCodeName(IndexIoCode code);
+
+/// Typed error report for the Save*/Load* overloads below.
+struct IndexIoError {
+  IndexIoCode code = IndexIoCode::kNone;
+  std::string message;
+
+  bool ok() const { return code == IndexIoCode::kNone; }
+  /// True for failures where retrying the same call can succeed
+  /// (environmental or injected); false when the bytes themselves are
+  /// wrong and every retry must fail identically.
+  bool retryable() const {
+    return code == IndexIoCode::kOpenFailed ||
+           code == IndexIoCode::kWriteFailed ||
+           code == IndexIoCode::kFaultInjected;
+  }
+};
+
 /// Writes a built RR-Graph index. Returns false (and sets `*error` when
-/// non-null) on I/O failure or when the index is not built.
+/// non-null) on I/O failure or when the index is not built. The
+/// std::string overloads report just the message; the IndexIoError
+/// overloads add the typed code.
 bool SaveRrIndex(const RrIndex& index, const std::string& path,
                  std::string* error = nullptr);
 bool SaveRrIndex(const RrIndex& index, std::ostream& out,
                  std::string* error = nullptr);
+bool SaveRrIndex(const RrIndex& index, const std::string& path,
+                 IndexIoError* error);
+bool SaveRrIndex(const RrIndex& index, std::ostream& out,
+                 IndexIoError* error);
 
 /// Loads an RR-Graph index previously written by SaveRrIndex. `network`
 /// must be the network the index was built from (checked via
@@ -63,12 +124,21 @@ std::unique_ptr<RrIndex> LoadRrIndex(const SocialNetwork& network,
 std::unique_ptr<RrIndex> LoadRrIndex(const SocialNetwork& network,
                                      std::istream& in,
                                      std::string* error = nullptr);
+std::unique_ptr<RrIndex> LoadRrIndex(const SocialNetwork& network,
+                                     const std::string& path,
+                                     IndexIoError* error);
+std::unique_ptr<RrIndex> LoadRrIndex(const SocialNetwork& network,
+                                     std::istream& in, IndexIoError* error);
 
 /// Writes a built DelayMat index (one counter per vertex).
 bool SaveDelayMatIndex(const DelayMatIndex& index, const std::string& path,
                        std::string* error = nullptr);
 bool SaveDelayMatIndex(const DelayMatIndex& index, std::ostream& out,
                        std::string* error = nullptr);
+bool SaveDelayMatIndex(const DelayMatIndex& index, const std::string& path,
+                       IndexIoError* error);
+bool SaveDelayMatIndex(const DelayMatIndex& index, std::ostream& out,
+                       IndexIoError* error);
 
 /// Loads a DelayMat index previously written by SaveDelayMatIndex.
 std::unique_ptr<DelayMatIndex> LoadDelayMatIndex(
@@ -77,6 +147,11 @@ std::unique_ptr<DelayMatIndex> LoadDelayMatIndex(
 std::unique_ptr<DelayMatIndex> LoadDelayMatIndex(
     const SocialNetwork& network, std::istream& in,
     std::string* error = nullptr);
+std::unique_ptr<DelayMatIndex> LoadDelayMatIndex(
+    const SocialNetwork& network, const std::string& path,
+    IndexIoError* error);
+std::unique_ptr<DelayMatIndex> LoadDelayMatIndex(
+    const SocialNetwork& network, std::istream& in, IndexIoError* error);
 
 }  // namespace pitex
 

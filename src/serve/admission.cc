@@ -1,0 +1,126 @@
+#include "src/serve/admission.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace pitex {
+
+namespace {
+
+// Fibonacci-style mixing so consecutive VertexIds land in unrelated
+// buckets (same multiplier as the serving layer's affinity hash).
+size_t BucketIndex(VertexId user, size_t buckets) {
+  const uint64_t mixed =
+      (static_cast<uint64_t>(user) + 1) * 0x9e3779b97f4a7c15ULL;
+  return static_cast<size_t>(mixed >> 32) % buckets;
+}
+
+}  // namespace
+
+AdmissionController::AdmissionController(const AdmissionOptions& options)
+    : options_(options) {
+  PITEX_CHECK_MSG(options_.publish_headroom > 0.0 &&
+                      options_.publish_headroom <= 1.0,
+                  "publish_headroom must be in (0, 1]");
+  PITEX_CHECK(options_.user_rate_limit >= 0.0);
+  PITEX_CHECK(options_.user_burst >= 1.0);
+  PITEX_CHECK(options_.user_buckets >= 1);
+  if (options_.user_rate_limit > 0.0) {
+    buckets_.resize(options_.user_buckets);
+  }
+  depth_ring_.reserve(std::max<size_t>(options_.depth_window, 1));
+}
+
+AdmissionVerdict AdmissionController::TryAdmit(VertexId user,
+                                               Clock::time_point now) {
+  MutexLock lock(mutex_);
+  // Record the depth the arrival observed (pre-decision), so the
+  // percentiles describe offered load, not just admitted load.
+  const size_t window = std::max<size_t>(options_.depth_window, 1);
+  const auto depth_sample = static_cast<double>(in_flight_);
+  if (depth_ring_.size() < window) {
+    depth_ring_.push_back(depth_sample);
+  } else {
+    depth_ring_[depth_pos_] = depth_sample;
+    depth_pos_ = (depth_pos_ + 1) % window;
+  }
+
+  if (options_.max_queue_depth > 0) {
+    // Publish priority: while a publish is in flight the bound contracts
+    // so query load sheds early and the freeze+pack keeps CPU headroom.
+    size_t bound = options_.max_queue_depth;
+    if (publish_active_ > 0) {
+      bound = std::max<size_t>(
+          1, static_cast<size_t>(std::floor(
+                 static_cast<double>(bound) * options_.publish_headroom)));
+    }
+    if (in_flight_ >= bound) {
+      ++shed_queue_full_;
+      return AdmissionVerdict::kShedQueueFull;
+    }
+  }
+
+  if (options_.user_rate_limit > 0.0) {
+    Bucket& bucket = buckets_[BucketIndex(user, buckets_.size())];
+    if (!bucket.touched) {
+      // First sighting: full burst allowance, clock anchored at `now`
+      // (anchoring at time_point::min() would refill to +inf tokens).
+      bucket.tokens = options_.user_burst;
+      bucket.refilled = now;
+      bucket.touched = true;
+    } else if (now > bucket.refilled) {
+      const double elapsed =
+          std::chrono::duration<double>(now - bucket.refilled).count();
+      bucket.tokens = std::min(options_.user_burst,
+                               bucket.tokens +
+                                   elapsed * options_.user_rate_limit);
+      bucket.refilled = now;
+    }
+    if (bucket.tokens < 1.0) {
+      ++shed_rate_limited_;
+      return AdmissionVerdict::kShedRateLimited;
+    }
+    bucket.tokens -= 1.0;
+  }
+
+  ++in_flight_;
+  ++admitted_;
+  return AdmissionVerdict::kAdmit;
+}
+
+void AdmissionController::Release(size_t count) {
+  if (count == 0) return;
+  MutexLock lock(mutex_);
+  PITEX_CHECK_MSG(in_flight_ >= count, "Release without matching TryAdmit");
+  in_flight_ -= count;
+}
+
+void AdmissionController::BeginPublish() {
+  MutexLock lock(mutex_);
+  ++publish_active_;
+}
+
+void AdmissionController::EndPublish() {
+  MutexLock lock(mutex_);
+  PITEX_CHECK_MSG(publish_active_ > 0, "EndPublish without BeginPublish");
+  --publish_active_;
+}
+
+AdmissionController::Stats AdmissionController::GetStats() const {
+  Stats stats;
+  std::vector<double> depths;
+  {
+    MutexLock lock(mutex_);
+    stats.admitted = admitted_;
+    stats.shed_queue_full = shed_queue_full_;
+    stats.shed_rate_limited = shed_rate_limited_;
+    stats.in_flight = in_flight_;
+    depths = depth_ring_;
+  }
+  stats.queue_depth = SummarizeLatencies(std::move(depths));
+  return stats;
+}
+
+}  // namespace pitex

@@ -1,11 +1,14 @@
 #include "src/serve/pitex_service.h"
 
 #include <algorithm>
+#include <chrono>
 #include <sstream>
+#include <thread>
 #include <utility>
 
 #include "src/index/index_io.h"
 #include "src/util/check.h"
+#include "src/util/failpoint.h"
 
 namespace pitex {
 
@@ -29,6 +32,14 @@ PitexService::PitexService(const SocialNetwork* network,
       options_.cache_capacity > 0) {
     cache_ = std::make_unique<ResultCache>(options_.cache_capacity,
                                            options_.cache_shards);
+  }
+  // Admission is load-shedding, and shedding is inherently
+  // load-dependent -- deterministic mode must answer every query, so the
+  // controller only exists in work-stealing mode with a limit set.
+  if (options_.mode == ScheduleMode::kWorkStealing &&
+      (options_.admission.max_queue_depth > 0 ||
+       options_.admission.user_rate_limit > 0.0)) {
+    admission_ = std::make_unique<AdmissionController>(options_.admission);
   }
 }
 
@@ -81,7 +92,12 @@ void PitexService::Start() {
       if (options_.publish_threads > 1) {
         publish_pool_ = std::make_unique<ThreadPool>(options_.publish_threads);
       }
-      snapshot = IndexSnapshot::FromDynamic(*master_, 1, publish_pool_.get());
+      // Same retry policy as ApplyUpdates, but there is no previous
+      // epoch to fall back to: if the freeze cannot succeed within the
+      // retry budget, starting the service is impossible.
+      snapshot = FreezeSnapshotLocked(1);
+      PITEX_CHECK_MSG(snapshot != nullptr,
+                      "initial snapshot freeze failed after retries");
     } else {
       index_options.num_build_threads = num_threads;
       auto index = std::make_unique<RrIndex>(*network_, index_options);
@@ -109,7 +125,9 @@ void PitexService::Start() {
   registry_.Publish(std::move(snapshot));
 
   for (size_t i = 0; i < num_threads; ++i) {
-    pool_->SubmitIndexed([this](size_t worker) { PumpLoop(worker); });
+    PITEX_CHECK_MSG(
+        pool_->SubmitIndexed([this](size_t worker) { PumpLoop(worker); }),
+        "serving pool shut down before the pumps parked");
   }
   started_.store(true, std::memory_order_release);
 }
@@ -220,10 +238,17 @@ void PitexService::BindWorker(WorkerState* state,
   } else if (!snapshot->delay_snapshot().empty()) {
     // DelayMat caches recovered graphs per query user and must not be
     // shared: hydrate a private replica from the serialized prototype.
-    std::stringstream snapshot_stream(snapshot->delay_snapshot());
+    // Hydration reads through index_io, whose fault-injectable error
+    // paths model transient I/O failures -- worth a bounded retry before
+    // declaring the worker unusable (the prototype bytes are in memory,
+    // so a retry rereads identical data).
+    std::unique_ptr<DelayMatIndex> replica;
     std::string error;
-    auto replica =
-        LoadDelayMatIndex(snapshot->network(), snapshot_stream, &error);
+    for (int attempt = 0; attempt < 3 && replica == nullptr; ++attempt) {
+      std::stringstream snapshot_stream(snapshot->delay_snapshot());
+      replica = LoadDelayMatIndex(snapshot->network(), snapshot_stream,
+                                  &error);
+    }
     PITEX_CHECK_MSG(replica != nullptr, error.c_str());
     engine->AdoptDelayMatIndex(std::move(replica));
   }
@@ -252,6 +277,8 @@ void PitexService::ServeRun(size_t worker, std::vector<PendingQuery>* run,
   double latencies[kMaxRunLength];
   ServedResult outs[kMaxRunLength];
   size_t count = 0;
+  uint64_t degraded_count = 0;
+  uint64_t deadline_count = 0;
 
   for (PendingQuery& item : *run) {
     ServedResult& out = outs[count];
@@ -259,8 +286,33 @@ void PitexService::ServeRun(size_t worker, std::vector<PendingQuery>* run,
     out.worker = static_cast<uint32_t>(worker);
     out.stolen = stolen;
     out.cache_hit = false;
+    out.status = ServeStatus::kOk;
     key.user = item.query.user;
     key.k = static_cast<uint32_t>(item.query.k);
+
+    // A query budget is measured from enqueue, so queue wait counts
+    // against it; the engine gets whatever remains.
+    double remaining_budget = 0.0;
+    if (item.query.budget_seconds > 0.0) {
+      const double waited =
+          std::chrono::duration<double>(Clock::now() - item.enqueued).count();
+      remaining_budget = item.query.budget_seconds - waited;
+      if (remaining_budget <= 0.0) {
+        // Expired in queue: answering with stale-best is impossible (no
+        // search ran) and starting one would only delay the queries
+        // behind it -- the overload-collapse mode deadlines exist to
+        // prevent. Report expiry and move on.
+        out.status = ServeStatus::kDeadlineExpired;
+        out.result = PitexResult{};
+        out.result.degraded = true;
+        out.ranking.clear();
+        ++deadline_count;
+        latencies[count++] = std::chrono::duration<double>(Clock::now() -
+                                                           item.enqueued)
+                                 .count();
+        continue;
+      }
+    }
 
     if (cache_ != nullptr && cache_->Lookup(key, &out.ranking)) {
       out.cache_hit = true;
@@ -268,24 +320,39 @@ void PitexService::ServeRun(size_t worker, std::vector<PendingQuery>* run,
       out.result.tags = out.ranking.front().tags;
       out.result.influence = out.ranking.front().influence;
     } else {
+      PitexQuery engine_query = item.query;
+      engine_query.budget_seconds = remaining_budget;
       if (options_.top_n == 1) {
-        out.result = state.engine->Explore(item.query);
-        out.ranking.assign(
-            1, RankedTagSet{out.result.tags, out.result.influence});
-      } else {
-        out.ranking = state.engine->ExploreTopN(item.query, options_.top_n);
-        out.result = PitexResult{};
-        if (!out.ranking.empty()) {
-          out.result.tags = out.ranking.front().tags;
-          out.result.influence = out.ranking.front().influence;
+        out.result = state.engine->Explore(engine_query);
+        if (out.result.degraded && out.result.tags.empty()) {
+          out.ranking.clear();  // budget died before the first full set
+        } else {
+          out.ranking.assign(
+              1, RankedTagSet{out.result.tags, out.result.influence});
         }
+      } else {
+        out.ranking =
+            state.engine->ExploreTopN(engine_query, options_.top_n,
+                                      &out.result);
       }
-      if (cache_ != nullptr) cache_->Insert(key, out.ranking);
+      if (out.result.degraded) {
+        out.status = ServeStatus::kDegraded;
+        ++degraded_count;
+        // Degraded answers are budget artifacts, not properties of
+        // (user, k, epoch) -- caching one would serve a truncated
+        // ranking to future unconstrained queries.
+      } else if (cache_ != nullptr) {
+        cache_->Insert(key, out.ranking);
+      }
     }
 
     latencies[count++] =
         std::chrono::duration<double>(Clock::now() - item.enqueued).count();
   }
+
+  // Admitted slots free up as soon as the answers are computed (before
+  // delivery: the waiter's reaction time is not queue occupancy).
+  if (admission_ != nullptr) admission_->Release(run->size());
 
   // Flush the counters BEFORE delivering: once the batch waiter (or a
   // future holder) unblocks, Stats() must already account for every
@@ -295,6 +362,8 @@ void PitexService::ServeRun(size_t worker, std::vector<PendingQuery>* run,
     WorkerCounters& counters = counters_[worker];
     counters.served += count;
     if (stolen) counters.steals += count;
+    counters.degraded += degraded_count;
+    counters.deadline_expired += deadline_count;
     for (size_t i = 0; i < count; ++i) {
       if (counters.latency_ring.size() < options_.latency_window) {
         counters.latency_ring.push_back(latencies[i]);
@@ -328,11 +397,22 @@ std::vector<ServedResult> PitexService::ServeAll(
   if (queries.empty()) return {};
   Start();
   std::vector<ServedResult> results(queries.size());
-  std::atomic<size_t> remaining{queries.size()};
+  // Admission decisions happen before enqueue: shed slots are answered
+  // in place (status kShed, nothing else touched) and never reach the
+  // scheduler, so `remaining` counts only admitted queries.
+  size_t admitted = 0;
+  std::atomic<size_t> remaining{0};
   const auto now = Clock::now();
   {
     MutexLock lock(sched_mutex_);
     for (size_t i = 0; i < queries.size(); ++i) {
+      if (admission_ != nullptr &&
+          admission_->TryAdmit(queries[i].user, now) !=
+              AdmissionVerdict::kAdmit) {
+        results[i].status = ServeStatus::kShed;
+        continue;
+      }
+      ++admitted;
       PendingQuery item;
       item.query = queries[i];
       item.enqueued = now;
@@ -343,7 +423,9 @@ std::vector<ServedResult> PitexService::ServeAll(
       // is only the initial placement.
       EnqueueLocked(std::move(item), i);
     }
+    remaining.store(admitted, std::memory_order_release);
   }
+  if (admitted == 0) return results;
   work_cv_.NotifyAll();
   MutexLock lock(batch_mutex_);
   while (remaining.load(std::memory_order_acquire) != 0) {
@@ -359,12 +441,55 @@ std::future<ServedResult> PitexService::Submit(const PitexQuery& query) {
   item.enqueued = Clock::now();
   item.promise = std::make_unique<std::promise<ServedResult>>();
   std::future<ServedResult> future = item.promise->get_future();
+  if (admission_ != nullptr &&
+      admission_->TryAdmit(query.user, item.enqueued) !=
+          AdmissionVerdict::kAdmit) {
+    // Shed: satisfy the future immediately -- callers always get an
+    // answer, overload just changes which kind.
+    ServedResult shed;
+    shed.status = ServeStatus::kShed;
+    item.promise->set_value(std::move(shed));
+    return future;
+  }
   {
     MutexLock lock(sched_mutex_);
     EnqueueLocked(std::move(item), stream_seq_++);
   }
   work_cv_.NotifyAll();
   return future;
+}
+
+std::shared_ptr<const IndexSnapshot> PitexService::FreezeSnapshotLocked(
+    uint64_t epoch) {
+  if (admission_ != nullptr) admission_->BeginPublish();
+  publish_started_ns_.store(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          Clock::now().time_since_epoch())
+          .count(),
+      std::memory_order_relaxed);
+  publish_in_flight_.store(true, std::memory_order_release);
+
+  std::shared_ptr<const IndexSnapshot> snapshot;
+  double backoff_ms = options_.publish_backoff_initial_ms;
+  const size_t attempts = std::max<size_t>(1, options_.publish_max_attempts);
+  for (size_t attempt = 0; attempt < attempts; ++attempt) {
+    snapshot = IndexSnapshot::FromDynamic(*master_, epoch,
+                                          publish_pool_.get());
+    if (snapshot != nullptr) break;
+    publish_retries_.fetch_add(1, std::memory_order_relaxed);
+    if (attempt + 1 == attempts) break;
+    // Capped exponential backoff with multiplicative jitter in
+    // [0.5, 1.0): decorrelates retry timing so publishers racing the
+    // same transient fault don't re-collide in lockstep.
+    const double jitter = 0.5 + 0.5 * backoff_rng_.NextDouble();
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(backoff_ms * jitter));
+    backoff_ms = std::min(backoff_ms * 2.0, options_.publish_backoff_max_ms);
+  }
+
+  publish_in_flight_.store(false, std::memory_order_release);
+  if (admission_ != nullptr) admission_->EndPublish();
+  return snapshot;
 }
 
 uint64_t PitexService::ApplyUpdates(
@@ -379,8 +504,15 @@ uint64_t PitexService::ApplyUpdates(
                   "ApplyUpdates requires options.enable_updates");
   master_->ApplyUpdates(updates);
   const uint64_t epoch = registry_.current_epoch() + 1;
-  registry_.Publish(
-      IndexSnapshot::FromDynamic(*master_, epoch, publish_pool_.get()));
+  std::shared_ptr<const IndexSnapshot> snapshot = FreezeSnapshotLocked(epoch);
+  if (snapshot == nullptr) {
+    // Every freeze attempt failed. The repairs are NOT lost: they are
+    // staged in the master, readers keep serving the previous epoch, and
+    // the next successful publish folds them in.
+    publish_failures_.fetch_add(1, std::memory_order_relaxed);
+    return 0;
+  }
+  registry_.Publish(std::move(snapshot));
   work_cv_.NotifyAll();  // idle pumps may rebind eagerly on next query
   return epoch;
 }
@@ -420,9 +552,33 @@ ServiceStats PitexService::Stats() {
       stats.per_worker_served.push_back(counters.served);
       stats.queries_served += counters.served;
       stats.steals += counters.steals;
+      stats.degraded += counters.degraded;
+      stats.deadline_expired += counters.deadline_expired;
       latencies.insert(latencies.end(), counters.latency_ring.begin(),
                        counters.latency_ring.end());
     }
+  }
+  if (admission_ != nullptr) {
+    const AdmissionController::Stats admission = admission_->GetStats();
+    stats.shed_queue_full = admission.shed_queue_full;
+    stats.shed_rate_limited = admission.shed_rate_limited;
+    stats.admission_in_flight = admission.in_flight;
+    stats.queue_depth = admission.queue_depth;
+  }
+  stats.publish_retries = publish_retries_.load(std::memory_order_relaxed);
+  stats.publish_failures = publish_failures_.load(std::memory_order_relaxed);
+  stats.publish_in_flight = publish_in_flight_.load(std::memory_order_acquire);
+  if (stats.publish_in_flight) {
+    // Watchdog: reading atomics (never update_mutex_, which the stuck
+    // publish itself holds) keeps Stats() responsive during the hang.
+    const int64_t started = publish_started_ns_.load(std::memory_order_relaxed);
+    const int64_t now_ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            Clock::now().time_since_epoch())
+            .count();
+    stats.publish_stuck =
+        static_cast<double>(now_ns - started) * 1e-9 >
+        options_.publish_stuck_after_seconds;
   }
   if (cache_ != nullptr) {
     const ResultCache::Stats cache_stats = cache_->GetStats();

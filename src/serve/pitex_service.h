@@ -49,10 +49,12 @@
 
 #include "src/core/engine.h"
 #include "src/index/dynamic_index.h"
+#include "src/serve/admission.h"
 #include "src/serve/result_cache.h"
 #include "src/serve/service_stats.h"
 #include "src/serve/snapshot_registry.h"
 #include "src/util/mutex.h"
+#include "src/util/random.h"
 #include "src/util/thread_annotations.h"
 #include "src/util/thread_pool.h"
 
@@ -92,6 +94,40 @@ struct ServeOptions {
   size_t publish_threads = 0;
   /// Per-worker ring size for latency samples (Stats()).
   size_t latency_window = 1 << 14;
+
+  // --- overload resilience (docs/robustness.md) ---
+
+  /// Admission control (bounded queue, publish priority, per-user rate
+  /// limits). Active only in work-stealing mode AND when at least one
+  /// limit is set (max_queue_depth or user_rate_limit non-zero);
+  /// deterministic mode never sheds -- admission would make the answer
+  /// stream load-dependent.
+  AdmissionOptions admission;
+  /// Snapshot-freeze attempts per publish before ApplyUpdates gives up
+  /// (the staged repairs stay in the master and fold into the next
+  /// publish). Failed attempts back off exponentially with jitter.
+  size_t publish_max_attempts = 5;
+  double publish_backoff_initial_ms = 1.0;
+  double publish_backoff_max_ms = 50.0;
+  /// Watchdog threshold: Stats() flags `publish_stuck` when a publish
+  /// has been in flight longer than this.
+  double publish_stuck_after_seconds = 5.0;
+};
+
+/// How a query left the service (ServedResult::status).
+enum class ServeStatus : uint8_t {
+  /// Served to completion (cache hit or exhaustive search).
+  kOk,
+  /// The query's budget expired mid-search: `ranking` holds the best
+  /// top-N found so far (possibly empty), not the proven optimum.
+  /// Degraded answers are never cached.
+  kDegraded,
+  /// The budget was already exhausted when a worker picked the query up
+  /// (it expired in queue). No search was run; `ranking` is empty.
+  kDeadlineExpired,
+  /// Refused at admission (queue full or rate-limited); never enqueued,
+  /// `ranking` is empty and `epoch`/`worker` are meaningless.
+  kShed,
 };
 
 /// One served answer plus serving metadata.
@@ -107,6 +143,8 @@ struct ServedResult {
   bool cache_hit = false;
   /// Served off another worker's deque (work-stealing mode).
   bool stolen = false;
+  /// Disposition under overload: kOk on the happy path; see ServeStatus.
+  ServeStatus status = ServeStatus::kOk;
 };
 
 class PitexService {
@@ -137,6 +175,16 @@ class PitexService {
   /// as a new snapshot epoch (returned). In-flight queries are
   /// unaffected; subsequent queries see the repaired index. Requires
   /// options.enable_updates.
+  ///
+  /// Robustness: the snapshot freeze is retried up to
+  /// options.publish_max_attempts times with jittered exponential
+  /// backoff (failures are fault-injectable via the
+  /// "serve/publish_freeze" fail point). If every attempt fails the call
+  /// returns 0 and the repairs stay staged in the master copy -- readers
+  /// keep serving the previous epoch, and the next successful publish
+  /// folds the staged repairs in. While a freeze is in flight, admission
+  /// (when enabled) tightens the query queue bound so the publish is
+  /// never starved by a query storm.
   uint64_t ApplyUpdates(std::span<const EdgeInfluenceUpdate> updates)
       PITEX_EXCLUDES(update_mutex_);
 
@@ -185,6 +233,8 @@ class PitexService {
   struct WorkerCounters {
     uint64_t served = 0;
     uint64_t steals = 0;
+    uint64_t degraded = 0;
+    uint64_t deadline_expired = 0;
     std::vector<double> latency_ring;
     size_t latency_pos = 0;
   };
@@ -196,6 +246,12 @@ class PitexService {
   void BindWorker(WorkerState* state,
                   std::shared_ptr<const IndexSnapshot> snapshot,
                   size_t worker);
+  /// Freezes a snapshot of the master at `epoch`, retrying with jittered
+  /// exponential backoff on (possibly fault-injected) failure. Returns
+  /// nullptr after options_.publish_max_attempts failures. Maintains the
+  /// publish watchdog atomics and the admission publish-priority window.
+  std::shared_ptr<const IndexSnapshot> FreezeSnapshotLocked(uint64_t epoch)
+      PITEX_REQUIRES(update_mutex_);
   void EnqueueLocked(PendingQuery item, size_t sequence)
       PITEX_REQUIRES(sched_mutex_);
   bool AnyStealableLocked(size_t thief) const PITEX_REQUIRES(sched_mutex_);
@@ -217,7 +273,22 @@ class PitexService {
   // Maintenance pool for publish-side packs (never the pump pool — its
   // workers are parked for good).
   std::unique_ptr<ThreadPool> publish_pool_ PITEX_GUARDED_BY(update_mutex_);
+  // Backoff jitter for publish retries. The fixed seed is deliberate:
+  // jitter decorrelates retry timing across *publishers*, which a shared
+  // deterministic stream still provides, and keeping it off the query
+  // seed preserves "same options => same query answers".
+  Rng backoff_rng_ PITEX_GUARDED_BY(update_mutex_){0xB0FFu};
+  // Publish watchdog (read by Stats() without update_mutex_ -- a stuck
+  // publish holds that mutex, which is exactly when Stats() must still
+  // make progress).
+  std::atomic<uint64_t> publish_retries_{0};
+  std::atomic<uint64_t> publish_failures_{0};
+  std::atomic<bool> publish_in_flight_{false};
+  std::atomic<int64_t> publish_started_ns_{0};
   std::unique_ptr<ResultCache> cache_;  // created by ctor, then immutable
+  // Admission control; null unless work-stealing mode with a limit set.
+  // Created by the ctor, then immutable (internally synchronized).
+  std::unique_ptr<AdmissionController> admission_;
 
   // Scheduler state.
   Mutex sched_mutex_;

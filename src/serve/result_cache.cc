@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/util/failpoint.h"
+
 namespace pitex {
 
 ResultCache::ResultCache(size_t capacity, size_t num_shards)
@@ -24,6 +26,11 @@ ResultCache::Shard& ResultCache::ShardFor(const ResultCacheKey& key) {
 bool ResultCache::Lookup(const ResultCacheKey& key,
                          std::vector<RankedTagSet>* out) {
   if (!enabled()) return false;
+  // Chaos hook, evaluated before the shard lock: a fired fault is a
+  // forced miss, exactly the semantics of a shard that could not be
+  // locked in time. The caller recomputes -- correctness is unaffected,
+  // which is the property the chaos suite pins.
+  if (PITEX_FAILPOINT("result_cache/shard_lock")) return false;
   Shard& shard = ShardFor(key);
   MutexLock lock(shard.mutex);
   const auto it = shard.index.find(key);
@@ -40,6 +47,10 @@ bool ResultCache::Lookup(const ResultCacheKey& key,
 void ResultCache::Insert(const ResultCacheKey& key,
                          const std::vector<RankedTagSet>& ranking) {
   if (!enabled()) return;
+  // Same fault as Lookup's: the insert is dropped, as if the shard lock
+  // was contended past a deadline. Caching is memoization, so a dropped
+  // insert only costs a future recompute.
+  if (PITEX_FAILPOINT("result_cache/shard_lock")) return;
   Shard& shard = ShardFor(key);
   MutexLock lock(shard.mutex);
   const auto it = shard.index.find(key);

@@ -73,6 +73,40 @@ struct ServiceStats {
   /// Sojourn latency (enqueue -> answered) of engine-served queries,
   /// over a bounded window of recent samples.
   LatencySummary latency;
+
+  // --- overload / robustness counters (docs/robustness.md) ---
+
+  /// Queries refused at admission because the bounded queue was full
+  /// (ServeStatus::kShed). Only ever non-zero with admission enabled.
+  uint64_t shed_queue_full = 0;
+  /// Queries refused at admission by the per-user token bucket.
+  uint64_t shed_rate_limited = 0;
+  /// Queries whose budget expired mid-search: answered with the
+  /// best-so-far ranking (ServeStatus::kDegraded).
+  uint64_t degraded = 0;
+  /// Queries whose budget was already gone when a worker picked them up
+  /// (expired in queue; ServeStatus::kDeadlineExpired, no search run).
+  uint64_t deadline_expired = 0;
+  /// Admitted queries currently in flight (queued + executing).
+  size_t admission_in_flight = 0;
+  /// Order statistics of the queue depth seen at admission decisions
+  /// (unit: queries, not seconds -- reuses LatencySummary's shape).
+  LatencySummary queue_depth;
+
+  /// Snapshot-publish attempts that failed (fault-injected or real) and
+  /// were retried with backoff.
+  uint64_t publish_retries = 0;
+  /// Publishes abandoned after exhausting every retry attempt (the
+  /// staged updates stay in the master copy and fold into the next
+  /// publish).
+  uint64_t publish_failures = 0;
+  /// True while ApplyUpdates is freezing/packing a snapshot.
+  bool publish_in_flight = false;
+  /// Watchdog verdict: publish_in_flight has been true for longer than
+  /// ServeOptions::publish_stuck_after_seconds. A stuck publish never
+  /// blocks serving (readers stay on the previous epoch) but indicates
+  /// the maintenance pool is wedged or faults keep firing.
+  bool publish_stuck = false;
 };
 
 }  // namespace pitex

@@ -4,6 +4,7 @@
 
 #include "src/index/rr_sketch_pool.h"
 #include "src/util/check.h"
+#include "src/util/failpoint.h"
 
 namespace pitex {
 
@@ -24,6 +25,11 @@ std::shared_ptr<const IndexSnapshot> IndexSnapshot::Wrap(
 
 std::shared_ptr<const IndexSnapshot> IndexSnapshot::FromDynamic(
     const DynamicRrIndex& master, uint64_t epoch, ThreadPool* pack_pool) {
+  // Chaos hook: a freeze that "fails" before any work models the
+  // transient failures (allocation pressure, wedged pack pool) a real
+  // publish path must survive. Callers treat nullptr as a retryable
+  // error (PitexService::FreezeSnapshotLocked backs off and retries).
+  if (PITEX_FAILPOINT("serve/publish_freeze")) return nullptr;
   auto snapshot = std::shared_ptr<IndexSnapshot>(new IndexSnapshot());
   // The frozen network copy must live in the snapshot (stable address)
   // before the RrIndex replica can reference it.
@@ -36,7 +42,9 @@ std::shared_ptr<const IndexSnapshot> IndexSnapshot::FromDynamic(
     // as one pool task while Pack fans its copy/containing passes over
     // the remaining workers; Pack's internal Wait covers the copy task
     // (ThreadPool::Wait is global quiescence).
-    pack_pool->Submit([&network, &master] { *network = master.network(); });
+    PITEX_CHECK_MSG(
+        pack_pool->Submit([&network, &master] { *network = master.network(); }),
+        "pack pool shut down mid-freeze");
     pool = RrSketchPool::Pack(master.graphs(), num_vertices, pack_pool);
     pack_pool->Wait();
   } else {

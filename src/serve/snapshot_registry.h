@@ -71,6 +71,12 @@ class IndexSnapshot {
   /// serve-during-update. When `pack_pool` is non-null the pool pack
   /// (sketch copy + containing index) runs across its workers — pass a
   /// maintenance pool, never the pool the caller is running on.
+  ///
+  /// Returns nullptr when the freeze fails — today only via the
+  /// "serve/publish_freeze" fail point (src/util/failpoint.h), standing
+  /// in for the transient failures a real publish path must survive.
+  /// Callers must treat nullptr as retryable (see
+  /// PitexService::ApplyUpdates for the retry/backoff policy).
   static std::shared_ptr<const IndexSnapshot> FromDynamic(
       const DynamicRrIndex& master, uint64_t epoch,
       ThreadPool* pack_pool = nullptr);

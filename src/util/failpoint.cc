@@ -1,0 +1,207 @@
+#include "src/util/failpoint.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+
+namespace pitex {
+
+namespace {
+
+void SetParseError(std::string* error, std::string_view spec,
+                   const char* message) {
+  if (error == nullptr) return;
+  *error = message;
+  *error += ": '";
+  error->append(spec);
+  *error += "'";
+}
+
+// Strict base-10 parse of a spec value (no sign, no suffix junk).
+bool ParseU64(std::string_view text, uint64_t* value) {
+  if (text.empty()) return false;
+  uint64_t v = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') return false;
+    if (v > UINT64_MAX / 10) return false;
+    v = v * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *value = v;
+  return true;
+}
+
+}  // namespace
+
+FailpointRegistry& FailpointRegistry::Instance() {
+  static FailpointRegistry* registry = new FailpointRegistry();
+  return *registry;
+}
+
+FailpointRegistry::FailpointRegistry() {
+  const char* spec = std::getenv("PITEX_FAILPOINTS");
+  if (spec != nullptr && spec[0] != '\0') {
+    // A malformed env spec is ignored point-by-point rather than
+    // aborting: fault drills must never take the binary down on a typo.
+    ParseSpec(spec);
+  }
+}
+
+FailpointRegistry::Point* FailpointRegistry::FindLocked(
+    std::string_view name) {
+  for (Point& point : points_) {
+    if (point.name == name) return &point;
+  }
+  return nullptr;
+}
+
+const FailpointRegistry::Point* FailpointRegistry::FindLocked(
+    std::string_view name) const {
+  for (const Point& point : points_) {
+    if (point.name == name) return &point;
+  }
+  return nullptr;
+}
+
+void FailpointRegistry::Enable(std::string_view name,
+                               const FailpointConfig& config) {
+  MutexLock lock(mutex_);
+  Point* point = FindLocked(name);
+  if (point == nullptr) {
+    points_.push_back(Point{std::string(name), config, 0, 0});
+    point = &points_.back();
+  } else {
+    const bool was_armed = point->config.mode != FailpointMode::kOff;
+    point->config = config;
+    point->hits = 0;
+    point->fired = 0;
+    if (was_armed) armed_count_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  if (config.mode != FailpointMode::kOff) {
+    armed_count_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void FailpointRegistry::Disable(std::string_view name) {
+  MutexLock lock(mutex_);
+  for (size_t i = 0; i < points_.size(); ++i) {
+    if (points_[i].name != name) continue;
+    if (points_[i].config.mode != FailpointMode::kOff) {
+      armed_count_.fetch_sub(1, std::memory_order_relaxed);
+    }
+    points_.erase(points_.begin() + static_cast<ptrdiff_t>(i));
+    return;
+  }
+}
+
+void FailpointRegistry::DisableAll() {
+  MutexLock lock(mutex_);
+  size_t armed = 0;
+  for (const Point& point : points_) {
+    if (point.config.mode != FailpointMode::kOff) ++armed;
+  }
+  points_.clear();
+  armed_count_.fetch_sub(armed, std::memory_order_relaxed);
+}
+
+uint64_t FailpointRegistry::HitCount(std::string_view name) const {
+  MutexLock lock(mutex_);
+  const Point* point = FindLocked(name);
+  return point == nullptr ? 0 : point->hits;
+}
+
+uint64_t FailpointRegistry::FireCount(std::string_view name) const {
+  MutexLock lock(mutex_);
+  const Point* point = FindLocked(name);
+  return point == nullptr ? 0 : point->fired;
+}
+
+bool FailpointRegistry::Evaluate(std::string_view name) {
+  uint32_t delay_ms = 0;
+  bool fire_error = false;
+  {
+    MutexLock lock(mutex_);
+    Point* point = FindLocked(name);
+    if (point == nullptr || point->config.mode == FailpointMode::kOff) {
+      return false;
+    }
+    ++point->hits;
+    if (point->hits <= point->config.skip) return false;
+    if (point->fired >= point->config.fires) return false;
+    ++point->fired;
+    if (point->config.mode == FailpointMode::kDelay) {
+      delay_ms = point->config.delay_ms;
+    } else {
+      fire_error = true;
+    }
+  }
+  // Sleep outside the lock: concurrent delayed threads must stack up on
+  // the injected latency, not on the registry mutex.
+  if (delay_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+  }
+  return fire_error;
+}
+
+bool FailpointRegistry::ParseSpec(std::string_view spec, std::string* error) {
+  size_t pos = 0;
+  while (pos <= spec.size()) {
+    size_t end = spec.find(',', pos);
+    if (end == std::string_view::npos) end = spec.size();
+    const std::string_view entry = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (entry.empty()) continue;
+
+    const size_t eq = entry.find('=');
+    if (eq == std::string_view::npos || eq == 0) {
+      SetParseError(error, entry, "failpoint spec entry needs name=mode");
+      return false;
+    }
+    const std::string_view name = entry.substr(0, eq);
+    std::string_view rest = entry.substr(eq + 1);
+
+    size_t colon = rest.find(':');
+    const std::string_view mode_text = rest.substr(0, colon);
+    FailpointConfig config;
+    if (mode_text == "error") {
+      config.mode = FailpointMode::kError;
+    } else if (mode_text == "delay") {
+      config.mode = FailpointMode::kDelay;
+    } else if (mode_text == "off") {
+      config.mode = FailpointMode::kOff;
+    } else {
+      SetParseError(error, mode_text, "unknown failpoint mode");
+      return false;
+    }
+    while (colon != std::string_view::npos) {
+      rest = rest.substr(colon + 1);
+      colon = rest.find(':');
+      const std::string_view kv = rest.substr(0, colon);
+      const size_t kv_eq = kv.find('=');
+      if (kv_eq == std::string_view::npos) {
+        SetParseError(error, kv, "failpoint option needs key=value");
+        return false;
+      }
+      const std::string_view key = kv.substr(0, kv_eq);
+      uint64_t value = 0;
+      if (!ParseU64(kv.substr(kv_eq + 1), &value)) {
+        SetParseError(error, kv, "failpoint option value not a number");
+        return false;
+      }
+      if (key == "skip") {
+        config.skip = value;
+      } else if (key == "fires") {
+        config.fires = value;
+      } else if (key == "ms") {
+        config.delay_ms = static_cast<uint32_t>(value);
+      } else {
+        SetParseError(error, key, "unknown failpoint option");
+        return false;
+      }
+    }
+    Enable(name, config);
+    if (end == spec.size()) break;
+  }
+  return true;
+}
+
+}  // namespace pitex

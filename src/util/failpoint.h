@@ -1,0 +1,144 @@
+// Named fail points for fault-injection testing (docs/robustness.md).
+//
+// A fail point is a compiled-in hook at a subsystem boundary where tests
+// (or an operator chasing a production incident) can inject a failure
+// without touching the code under test:
+//
+//   // Library code -- the wired-in site:
+//   if (PITEX_FAILPOINT("index_io/load")) {
+//     SetError(error, IndexIoCode::kFaultInjected, "injected I/O fault");
+//     return nullptr;
+//   }
+//
+//   // Test code -- arming it:
+//   FailpointRegistry::Instance().Enable(
+//       "index_io/load", {.mode = FailpointMode::kError, .fires = 2});
+//
+// Supported behaviors: return-error (the macro yields true and the call
+// site takes its real error path), inject-delay (the evaluating thread
+// sleeps, the macro yields false), and skip-N-then-fire (the first
+// `skip` evaluations pass through before the point starts firing, for
+// targeting e.g. "the third publish"). Points can also be armed from the
+// environment -- PITEX_FAILPOINTS="index_io/load=error:skip=2" -- so a
+// binary can be fault-drilled without recompiling.
+//
+// Cost model: when the tree is configured with -DPITEX_FAILPOINTS=OFF
+// the macro compiles to a constant `false` -- a branch-free no-op the
+// optimizer deletes. When compiled in (the default) but with no point
+// armed, an evaluation is one relaxed atomic load; the registry mutex is
+// only touched while at least one point is armed. Fail points therefore
+// belong at subsystem boundaries (I/O, publish, dispatch, lock
+// acquisition), never inside PITEX_NOALLOC hot loops -- tools/check
+// enforces that (rule `failpoint-hotpath`).
+
+#ifndef PITEX_SRC_UTIL_FAILPOINT_H_
+#define PITEX_SRC_UTIL_FAILPOINT_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
+
+// CMake sets this to 0 under -DPITEX_FAILPOINTS=OFF; standalone header
+// compiles (and the default build) get the framework.
+#ifndef PITEX_FAILPOINTS_ENABLED
+#define PITEX_FAILPOINTS_ENABLED 1
+#endif
+
+namespace pitex {
+
+enum class FailpointMode : uint8_t {
+  kOff,    // registered but inert
+  kError,  // Evaluate() returns true: the call site takes its error path
+  kDelay,  // Evaluate() sleeps delay_ms, then returns false
+};
+
+struct FailpointConfig {
+  FailpointMode mode = FailpointMode::kError;
+  /// Evaluations that pass through before the point starts firing
+  /// (skip-N-then-fire).
+  uint64_t skip = 0;
+  /// Times the point fires once past `skip`; afterwards it is inert.
+  uint64_t fires = UINT64_MAX;
+  /// Sleep per firing evaluation (kDelay only), applied outside the
+  /// registry lock so delayed threads do not serialize each other.
+  uint32_t delay_ms = 0;
+};
+
+/// Process-wide registry of named fail points. All methods are
+/// thread-safe; tests that arm points must disarm them (Disable /
+/// DisableAll) before finishing so suites stay independent.
+class FailpointRegistry {
+ public:
+  /// The process singleton. First use parses the PITEX_FAILPOINTS
+  /// environment variable (see ParseSpec) so deployments can arm points
+  /// without code changes.
+  static FailpointRegistry& Instance();
+
+  void Enable(std::string_view name, const FailpointConfig& config)
+      PITEX_EXCLUDES(mutex_);
+  void Disable(std::string_view name) PITEX_EXCLUDES(mutex_);
+  void DisableAll() PITEX_EXCLUDES(mutex_);
+
+  /// Evaluations that reached `name` while armed (skipped ones included).
+  uint64_t HitCount(std::string_view name) const PITEX_EXCLUDES(mutex_);
+  /// Evaluations on which `name` actually fired.
+  uint64_t FireCount(std::string_view name) const PITEX_EXCLUDES(mutex_);
+
+  /// True while any point is armed -- the macro's fast-path gate (one
+  /// relaxed load; the name lookup is skipped entirely when disarmed).
+  bool armed() const { return armed_count_.load(std::memory_order_relaxed) > 0; }
+
+  /// Evaluates the point: returns true when an armed kError point fires
+  /// (caller takes its error path); kDelay sleeps and returns false.
+  bool Evaluate(std::string_view name) PITEX_EXCLUDES(mutex_);
+
+  /// Arms points from a spec string:
+  ///   spec   := point (',' point)*
+  ///   point  := name '=' mode (':' key '=' value)*
+  ///   mode   := 'error' | 'delay' | 'off'
+  ///   key    := 'skip' | 'fires' | 'ms'
+  /// e.g. "index_io/load=error:skip=2:fires=1,thread_pool/dispatch=delay:ms=5".
+  /// Returns false (and sets `*error` when non-null) on a malformed
+  /// spec; well-formed points before the malformed one stay armed.
+  bool ParseSpec(std::string_view spec, std::string* error = nullptr)
+      PITEX_EXCLUDES(mutex_);
+
+ private:
+  struct Point {
+    std::string name;
+    FailpointConfig config;
+    uint64_t hits = 0;
+    uint64_t fired = 0;
+  };
+
+  FailpointRegistry();
+
+  Point* FindLocked(std::string_view name) PITEX_REQUIRES(mutex_);
+  const Point* FindLocked(std::string_view name) const PITEX_REQUIRES(mutex_);
+
+  mutable Mutex mutex_;
+  std::vector<Point> points_ PITEX_GUARDED_BY(mutex_);
+  // Armed-point count, mirrored outside the mutex for the fast gate.
+  std::atomic<size_t> armed_count_{0};
+};
+
+#if PITEX_FAILPOINTS_ENABLED
+/// Evaluates the named fail point; yields true when the call site must
+/// take its error path. Sites without an error path (pure delay hooks)
+/// cast the result to void.
+#define PITEX_FAILPOINT(name)                          \
+  (::pitex::FailpointRegistry::Instance().armed() &&   \
+   ::pitex::FailpointRegistry::Instance().Evaluate(name))
+#else
+#define PITEX_FAILPOINT(name) (false)
+#endif
+
+}  // namespace pitex
+
+#endif  // PITEX_SRC_UTIL_FAILPOINT_H_

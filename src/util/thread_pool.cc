@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "src/util/check.h"
+#include "src/util/failpoint.h"
 
 namespace pitex {
 
@@ -18,28 +19,34 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   Wait();
-  {
-    MutexLock lock(mutex_);
-    shutting_down_ = true;
-  }
-  work_available_.NotifyAll();
+  Shutdown();
   for (std::thread& worker : workers_) worker.join();
 }
 
-void ThreadPool::Submit(std::function<void()> task) {
-  PITEX_CHECK(task != nullptr);
-  SubmitIndexed([task = std::move(task)](size_t) { task(); });
+void ThreadPool::Shutdown() {
+  {
+    MutexLock lock(mutex_);
+    if (shutting_down_) return;
+    shutting_down_ = true;
+  }
+  work_available_.NotifyAll();
 }
 
-void ThreadPool::SubmitIndexed(std::function<void(size_t)> task) {
+bool ThreadPool::Submit(std::function<void()> task) {
+  PITEX_CHECK(task != nullptr);
+  return SubmitIndexed([task = std::move(task)](size_t) { task(); });
+}
+
+bool ThreadPool::SubmitIndexed(std::function<void(size_t)> task) {
   PITEX_CHECK(task != nullptr);
   {
     MutexLock lock(mutex_);
-    PITEX_CHECK_MSG(!shutting_down_, "Submit after shutdown");
+    if (shutting_down_) return false;  // rejected, defined behavior
     queue_.push_back(std::move(task));
     ++in_flight_;
   }
   work_available_.NotifyOne();
+  return true;
 }
 
 void ThreadPool::Wait() {
@@ -57,6 +64,12 @@ void ThreadPool::WorkerLoop(size_t worker_index) {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+    // Chaos hook between claim and execution: a delay here models a
+    // descheduled worker, widening the window for races the chaos suite
+    // hunts (TSan sees them; correctness must not depend on timing). The
+    // fired/not-fired bit is meaningless for a dispatch -- there is no
+    // error path to take -- so the result is discarded.
+    (void)PITEX_FAILPOINT("thread_pool/dispatch");
     task(worker_index);
     {
       MutexLock lock(mutex_);
@@ -73,7 +86,10 @@ void ParallelForSlots(ThreadPool* pool, size_t begin, size_t end,
   const size_t num_tasks = std::min(pool->num_threads(), total);
   auto cursor = std::make_shared<std::atomic<size_t>>(begin);
   for (size_t t = 0; t < num_tasks; ++t) {
-    pool->Submit([cursor, end, num_tasks, t, &fn] {
+    // A rejection here would deadlock the Wait below with iterations
+    // unclaimed -- running a parallel loop on a shut-down pool is a
+    // logic error, not a recoverable overload.
+    const bool submitted = pool->Submit([cursor, end, num_tasks, t, &fn] {
       for (;;) {
         // Guided claims: chunk = remaining/(4 * tasks), shrinking toward
         // 1 at the tail. The remaining estimate races with other claims,
@@ -90,6 +106,7 @@ void ParallelForSlots(ThreadPool* pool, size_t begin, size_t end,
         for (size_t i = start; i < stop; ++i) fn(t, i);
       }
     });
+    PITEX_CHECK_MSG(submitted, "ParallelFor on a shut-down pool");
   }
   pool->Wait();
 }

@@ -49,15 +49,27 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueues a task. Tasks must not throw (the library does not use
-  /// exceptions); a task may Submit further tasks.
-  void Submit(std::function<void()> task) PITEX_EXCLUDES(mutex_);
+  /// exceptions); a task may Submit further tasks. Returns false --
+  /// without enqueueing -- once Shutdown() has been called: submission
+  /// after shutdown is an ordinary race in teardown paths (a drain
+  /// thread racing the owner's destructor), so it is defined behavior,
+  /// not a crash. Callers for whom a rejection is a logic error should
+  /// PITEX_CHECK the result.
+  bool Submit(std::function<void()> task) PITEX_EXCLUDES(mutex_);
 
   /// Like Submit, but the task receives the index (in [0, num_threads))
   /// of the pool worker executing it. The index identifies an exclusive
   /// slot: tasks seeing the same index are serialized, so per-worker
   /// state (engine replicas, scratch buffers) indexed by it is safe
-  /// without synchronization.
-  void SubmitIndexed(std::function<void(size_t)> task) PITEX_EXCLUDES(mutex_);
+  /// without synchronization. Returns false after Shutdown().
+  bool SubmitIndexed(std::function<void(size_t)> task) PITEX_EXCLUDES(mutex_);
+
+  /// Stops accepting new tasks: every later Submit/SubmitIndexed returns
+  /// false. Tasks already queued still run to completion (use Wait() to
+  /// block for them); workers are joined by the destructor, not here.
+  /// Idempotent, safe from any thread, called implicitly by the
+  /// destructor.
+  void Shutdown() PITEX_EXCLUDES(mutex_);
 
   /// Blocks until every submitted task (including tasks submitted by
   /// running tasks) has finished.

@@ -1,0 +1,170 @@
+// Tests for the serving-tier admission controller
+// (src/serve/admission.h): queue bounds, release pairing, token-bucket
+// rate limiting against a synthetic clock, publish-priority headroom,
+// and the stats snapshot.
+
+#include "src/serve/admission.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+namespace pitex {
+namespace {
+
+using Clock = AdmissionController::Clock;
+
+Clock::time_point At(double seconds) {
+  return Clock::time_point(std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double>(seconds)));
+}
+
+TEST(AdmissionTest, UnlimitedByDefault) {
+  AdmissionController controller(AdmissionOptions{});
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(controller.TryAdmit(0, At(0.0)), AdmissionVerdict::kAdmit);
+  }
+  EXPECT_EQ(controller.GetStats().in_flight, 1000u);
+}
+
+TEST(AdmissionTest, QueueBoundSheds) {
+  AdmissionOptions options;
+  options.max_queue_depth = 4;
+  AdmissionController controller(options);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(controller.TryAdmit(i, At(0.0)), AdmissionVerdict::kAdmit);
+  }
+  EXPECT_EQ(controller.TryAdmit(99, At(0.0)),
+            AdmissionVerdict::kShedQueueFull);
+  const AdmissionController::Stats stats = controller.GetStats();
+  EXPECT_EQ(stats.admitted, 4u);
+  EXPECT_EQ(stats.shed_queue_full, 1u);
+  EXPECT_EQ(stats.in_flight, 4u);
+}
+
+TEST(AdmissionTest, ReleaseFreesSlots) {
+  AdmissionOptions options;
+  options.max_queue_depth = 2;
+  AdmissionController controller(options);
+  EXPECT_EQ(controller.TryAdmit(0, At(0.0)), AdmissionVerdict::kAdmit);
+  EXPECT_EQ(controller.TryAdmit(1, At(0.0)), AdmissionVerdict::kAdmit);
+  EXPECT_EQ(controller.TryAdmit(2, At(0.0)),
+            AdmissionVerdict::kShedQueueFull);
+  controller.Release(2);
+  EXPECT_EQ(controller.TryAdmit(3, At(0.0)), AdmissionVerdict::kAdmit);
+  EXPECT_EQ(controller.GetStats().in_flight, 1u);
+}
+
+TEST(AdmissionTest, PublishTightensTheBound) {
+  AdmissionOptions options;
+  options.max_queue_depth = 8;
+  options.publish_headroom = 0.5;
+  AdmissionController controller(options);
+  controller.BeginPublish();
+  // Effective bound is floor(8 * 0.5) = 4 while the publish runs.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(controller.TryAdmit(i, At(0.0)), AdmissionVerdict::kAdmit);
+  }
+  EXPECT_EQ(controller.TryAdmit(9, At(0.0)),
+            AdmissionVerdict::kShedQueueFull);
+  controller.EndPublish();
+  // Full bound is back.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(controller.TryAdmit(10 + i, At(0.0)),
+              AdmissionVerdict::kAdmit);
+  }
+  EXPECT_EQ(controller.TryAdmit(99, At(0.0)),
+            AdmissionVerdict::kShedQueueFull);
+}
+
+TEST(AdmissionTest, PublishHeadroomNeverReachesZeroSlots) {
+  AdmissionOptions options;
+  options.max_queue_depth = 3;
+  options.publish_headroom = 0.01;  // floor(3 * 0.01) = 0, clamped to 1
+  AdmissionController controller(options);
+  controller.BeginPublish();
+  EXPECT_EQ(controller.TryAdmit(0, At(0.0)), AdmissionVerdict::kAdmit);
+  EXPECT_EQ(controller.TryAdmit(1, At(0.0)),
+            AdmissionVerdict::kShedQueueFull);
+  controller.EndPublish();
+}
+
+TEST(AdmissionTest, TokenBucketLimitsBurst) {
+  AdmissionOptions options;
+  options.user_rate_limit = 10.0;  // 10 qps sustained
+  options.user_burst = 3.0;
+  AdmissionController controller(options);
+  // The burst allowance admits 3 back-to-back, then the bucket is dry.
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(controller.TryAdmit(7, At(0.0)), AdmissionVerdict::kAdmit)
+        << "i=" << i;
+  }
+  EXPECT_EQ(controller.TryAdmit(7, At(0.0)),
+            AdmissionVerdict::kShedRateLimited);
+  // 0.1 s later one token has refilled (10 qps).
+  EXPECT_EQ(controller.TryAdmit(7, At(0.1)), AdmissionVerdict::kAdmit);
+  EXPECT_EQ(controller.TryAdmit(7, At(0.1)),
+            AdmissionVerdict::kShedRateLimited);
+  // A long idle period refills at most the burst capacity.
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(controller.TryAdmit(7, At(100.0)), AdmissionVerdict::kAdmit);
+  }
+  EXPECT_EQ(controller.TryAdmit(7, At(100.0)),
+            AdmissionVerdict::kShedRateLimited);
+  EXPECT_EQ(controller.GetStats().shed_rate_limited, 3u);
+}
+
+TEST(AdmissionTest, RateLimitIsPerUser) {
+  AdmissionOptions options;
+  options.user_rate_limit = 1.0;
+  options.user_burst = 1.0;
+  // A large table so the two test users land in distinct buckets.
+  options.user_buckets = 4096;
+  AdmissionController controller(options);
+  EXPECT_EQ(controller.TryAdmit(1, At(0.0)), AdmissionVerdict::kAdmit);
+  EXPECT_EQ(controller.TryAdmit(1, At(0.0)),
+            AdmissionVerdict::kShedRateLimited);
+  // A different user has their own budget.
+  EXPECT_EQ(controller.TryAdmit(2, At(0.0)), AdmissionVerdict::kAdmit);
+}
+
+TEST(AdmissionTest, ClockGoingBackwardsIsHarmless) {
+  AdmissionOptions options;
+  options.user_rate_limit = 1.0;
+  options.user_burst = 2.0;
+  AdmissionController controller(options);
+  EXPECT_EQ(controller.TryAdmit(5, At(10.0)), AdmissionVerdict::kAdmit);
+  // An earlier timestamp must not mint tokens (or underflow).
+  EXPECT_EQ(controller.TryAdmit(5, At(1.0)), AdmissionVerdict::kAdmit);
+  EXPECT_EQ(controller.TryAdmit(5, At(1.0)),
+            AdmissionVerdict::kShedRateLimited);
+}
+
+TEST(AdmissionTest, DepthPercentilesTrackOfferedLoad) {
+  AdmissionOptions options;
+  options.max_queue_depth = 100;
+  options.depth_window = 16;
+  AdmissionController controller(options);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_EQ(controller.TryAdmit(i, At(0.0)), AdmissionVerdict::kAdmit);
+  }
+  const AdmissionController::Stats stats = controller.GetStats();
+  // Samples are the depths observed at each arrival: 0, 1, ..., 9.
+  EXPECT_EQ(stats.queue_depth.count, 10u);
+  EXPECT_DOUBLE_EQ(stats.queue_depth.max, 9.0);
+  EXPECT_DOUBLE_EQ(stats.queue_depth.mean, 4.5);
+}
+
+TEST(AdmissionTest, DepthWindowIsBounded) {
+  AdmissionOptions options;
+  options.depth_window = 8;
+  AdmissionController controller(options);
+  for (int i = 0; i < 100; ++i) {
+    controller.TryAdmit(0, At(0.0));
+    controller.Release(1);
+  }
+  EXPECT_EQ(controller.GetStats().queue_depth.count, 8u);
+}
+
+}  // namespace
+}  // namespace pitex

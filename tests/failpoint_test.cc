@@ -1,0 +1,183 @@
+// Tests for the fault-injection registry (src/util/failpoint.h):
+// arming/disarming, skip/fires windows, delay mode, env-style spec
+// parsing, and the disarmed fast path.
+
+#include "src/util/failpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace pitex {
+namespace {
+
+// The registry is a process-wide singleton; every test must leave it
+// clean or later tests (and later suites in the same binary) inherit
+// armed points.
+class FailpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+#if !PITEX_FAILPOINTS_ENABLED
+    GTEST_SKIP() << "fail points compiled out (-DPITEX_FAILPOINTS=OFF)";
+#endif
+    FailpointRegistry::Instance().DisableAll();
+  }
+  void TearDown() override { FailpointRegistry::Instance().DisableAll(); }
+};
+
+TEST_F(FailpointTest, DisarmedPointNeverFires) {
+  EXPECT_FALSE(FailpointRegistry::Instance().armed());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(PITEX_FAILPOINT("test/never_enabled"));
+  }
+  // The macro short-circuits on armed(): nothing was even evaluated.
+  EXPECT_EQ(FailpointRegistry::Instance().HitCount("test/never_enabled"), 0u);
+}
+
+TEST_F(FailpointTest, ErrorModeFiresEveryTime) {
+  FailpointConfig config;
+  config.mode = FailpointMode::kError;
+  FailpointRegistry::Instance().Enable("test/always", config);
+  EXPECT_TRUE(FailpointRegistry::Instance().armed());
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(PITEX_FAILPOINT("test/always"));
+  }
+  EXPECT_EQ(FailpointRegistry::Instance().HitCount("test/always"), 10u);
+  EXPECT_EQ(FailpointRegistry::Instance().FireCount("test/always"), 10u);
+}
+
+TEST_F(FailpointTest, SkipThenFire) {
+  FailpointConfig config;
+  config.mode = FailpointMode::kError;
+  config.skip = 3;
+  FailpointRegistry::Instance().Enable("test/skip", config);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_FALSE(PITEX_FAILPOINT("test/skip")) << "hit " << i;
+  }
+  EXPECT_TRUE(PITEX_FAILPOINT("test/skip"));
+  EXPECT_TRUE(PITEX_FAILPOINT("test/skip"));
+  EXPECT_EQ(FailpointRegistry::Instance().HitCount("test/skip"), 5u);
+  EXPECT_EQ(FailpointRegistry::Instance().FireCount("test/skip"), 2u);
+}
+
+TEST_F(FailpointTest, FiresBudgetExhausts) {
+  FailpointConfig config;
+  config.mode = FailpointMode::kError;
+  config.fires = 2;
+  FailpointRegistry::Instance().Enable("test/budget", config);
+  EXPECT_TRUE(PITEX_FAILPOINT("test/budget"));
+  EXPECT_TRUE(PITEX_FAILPOINT("test/budget"));
+  // Budget spent: the point stays registered but can no longer fire.
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_FALSE(PITEX_FAILPOINT("test/budget"));
+  }
+  EXPECT_EQ(FailpointRegistry::Instance().FireCount("test/budget"), 2u);
+}
+
+TEST_F(FailpointTest, SkipAndFiresCompose) {
+  FailpointConfig config;
+  config.mode = FailpointMode::kError;
+  config.skip = 2;
+  config.fires = 1;
+  FailpointRegistry::Instance().Enable("test/window", config);
+  EXPECT_FALSE(PITEX_FAILPOINT("test/window"));
+  EXPECT_FALSE(PITEX_FAILPOINT("test/window"));
+  EXPECT_TRUE(PITEX_FAILPOINT("test/window"));
+  EXPECT_FALSE(PITEX_FAILPOINT("test/window"));
+}
+
+TEST_F(FailpointTest, DelayModeSleepsButReportsNoError) {
+  FailpointConfig config;
+  config.mode = FailpointMode::kDelay;
+  config.delay_ms = 30;
+  FailpointRegistry::Instance().Enable("test/delay", config);
+  const auto start = std::chrono::steady_clock::now();
+  // Delay-mode evaluations return false: there is no error to take.
+  EXPECT_FALSE(PITEX_FAILPOINT("test/delay"));
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_GE(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            25);
+  EXPECT_EQ(FailpointRegistry::Instance().FireCount("test/delay"), 1u);
+}
+
+TEST_F(FailpointTest, DisableStopsFiring) {
+  FailpointConfig config;
+  FailpointRegistry::Instance().Enable("test/off", config);
+  EXPECT_TRUE(PITEX_FAILPOINT("test/off"));
+  FailpointRegistry::Instance().Disable("test/off");
+  EXPECT_FALSE(FailpointRegistry::Instance().armed());
+  EXPECT_FALSE(PITEX_FAILPOINT("test/off"));
+}
+
+TEST_F(FailpointTest, ReEnableResetsCounters) {
+  FailpointConfig config;
+  FailpointRegistry::Instance().Enable("test/reset", config);
+  (void)PITEX_FAILPOINT("test/reset");
+  (void)PITEX_FAILPOINT("test/reset");
+  EXPECT_EQ(FailpointRegistry::Instance().HitCount("test/reset"), 2u);
+  FailpointRegistry::Instance().Enable("test/reset", config);
+  EXPECT_EQ(FailpointRegistry::Instance().HitCount("test/reset"), 0u);
+  EXPECT_EQ(FailpointRegistry::Instance().FireCount("test/reset"), 0u);
+}
+
+TEST_F(FailpointTest, ParseSpecSingleEntry) {
+  std::string error;
+  ASSERT_TRUE(FailpointRegistry::Instance().ParseSpec(
+      "index_io/load=error:skip=2:fires=3", &error))
+      << error;
+  EXPECT_FALSE(PITEX_FAILPOINT("index_io/load"));
+  EXPECT_FALSE(PITEX_FAILPOINT("index_io/load"));
+  EXPECT_TRUE(PITEX_FAILPOINT("index_io/load"));
+}
+
+TEST_F(FailpointTest, ParseSpecMultipleEntries) {
+  std::string error;
+  ASSERT_TRUE(FailpointRegistry::Instance().ParseSpec(
+      "a/b=error,c/d=delay:ms=1,e/f=off", &error))
+      << error;
+  EXPECT_TRUE(PITEX_FAILPOINT("a/b"));
+  EXPECT_FALSE(PITEX_FAILPOINT("c/d"));  // delay fires but is not an error
+  EXPECT_EQ(FailpointRegistry::Instance().FireCount("c/d"), 1u);
+  EXPECT_FALSE(PITEX_FAILPOINT("e/f"));
+}
+
+TEST_F(FailpointTest, ParseSpecRejectsGarbage) {
+  std::string error;
+  EXPECT_FALSE(FailpointRegistry::Instance().ParseSpec("nomode", &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(FailpointRegistry::Instance().ParseSpec("x=banana", &error));
+  EXPECT_FALSE(
+      FailpointRegistry::Instance().ParseSpec("x=error:skip=abc", &error));
+  EXPECT_FALSE(
+      FailpointRegistry::Instance().ParseSpec("x=error:bogus=1", &error));
+  EXPECT_FALSE(FailpointRegistry::Instance().ParseSpec("=error", &error));
+}
+
+TEST_F(FailpointTest, ConcurrentEvaluationIsSafe) {
+  FailpointConfig config;
+  config.mode = FailpointMode::kError;
+  config.fires = 100;
+  FailpointRegistry::Instance().Enable("test/mt", config);
+  std::atomic<int> fired{0};
+  std::vector<std::thread> threads;
+  threads.reserve(8);
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&fired] {
+      for (int i = 0; i < 100; ++i) {
+        if (PITEX_FAILPOINT("test/mt")) fired.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  // Exactly the budget fires, no matter the interleaving.
+  EXPECT_EQ(fired.load(), 100);
+  EXPECT_EQ(FailpointRegistry::Instance().HitCount("test/mt"), 800u);
+}
+
+}  // namespace
+}  // namespace pitex

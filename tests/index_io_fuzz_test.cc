@@ -28,11 +28,22 @@ std::string ValidRrIndexBytes(const SocialNetwork& n) {
 }
 
 // If loading succeeds despite mutation, the result must be internally
-// consistent (every containment entry backed by actual membership).
+// consistent (every containment entry backed by actual membership). If
+// it fails, the typed error must be populated: exactly one non-kNone
+// code, a human-readable message, and never the "retryable" lie — a
+// mutated byte stream fails identically on every retry.
 void CheckConsistentIfLoaded(const SocialNetwork& n, const std::string& bytes) {
   std::stringstream file(bytes);
-  const auto loaded = LoadRrIndex(n, file);
-  if (loaded == nullptr) return;
+  IndexIoError error;
+  const auto loaded = LoadRrIndex(n, file, &error);
+  if (loaded == nullptr) {
+    ASSERT_FALSE(error.ok());
+    ASSERT_FALSE(error.message.empty());
+    ASSERT_FALSE(error.retryable())
+        << IndexIoCodeName(error.code) << ": " << error.message;
+    return;
+  }
+  ASSERT_TRUE(error.ok());
   for (VertexId v = 0; v < n.num_vertices(); ++v) {
     for (const uint32_t id : loaded->Containing(v)) {
       ASSERT_LT(id, loaded->num_graphs());

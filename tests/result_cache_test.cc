@@ -1,13 +1,18 @@
 // Tests for the serving-layer result cache (src/serve/result_cache.h):
-// hit/miss behavior, LRU eviction per shard, epoch keying, counters, and
-// concurrent access.
+// hit/miss behavior, LRU eviction per shard, epoch keying, counters,
+// concurrent access (including epoch churn), and the shard-lock fail
+// point.
 
 #include "src/serve/result_cache.h"
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <thread>
 #include <vector>
+
+#include "src/util/failpoint.h"
 
 namespace pitex {
 namespace {
@@ -116,6 +121,83 @@ TEST(ResultCacheTest, ConcurrentMixedWorkload) {
   EXPECT_EQ(stats.hits + stats.misses,
             static_cast<uint64_t>(kThreads) * kOpsPerThread);
   EXPECT_LE(stats.entries, 128u + 8u);  // per-shard ceil rounding slack
+}
+
+TEST(ResultCacheTest, EvictionUnderConcurrentEpochChurn) {
+  // Readers and writers chase an advancing epoch through a cache small
+  // enough to evict constantly. Old-epoch entries must age out (bounded
+  // residency), hits must only ever return the ranking inserted for
+  // exactly that (user, epoch), and counters must stay conserved.
+  ResultCache cache(32, 4);
+  std::atomic<uint64_t> epoch{1};
+  std::atomic<bool> done{false};
+
+  std::thread churner([&epoch, &done] {
+    for (int e = 2; e <= 40; ++e) {
+      epoch.store(static_cast<uint64_t>(e), std::memory_order_release);
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+    done.store(true, std::memory_order_release);
+  });
+
+  constexpr int kThreads = 4;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&cache, &epoch, &done, t] {
+      std::vector<RankedTagSet> out;
+      uint64_t i = 0;
+      while (!done.load(std::memory_order_acquire)) {
+        const uint64_t e = epoch.load(std::memory_order_acquire);
+        const auto user = static_cast<VertexId>((t * 17 + i) % 24);
+        if (cache.Lookup(MakeKey(user, e), &out)) {
+          // A hit must carry the payload inserted for this epoch: the
+          // tag encodes (user, epoch), so stale or crossed entries are
+          // detected immediately.
+          ASSERT_EQ(out.size(), 1u);
+          ASSERT_EQ(out[0].tags[0],
+                    static_cast<TagId>((user + e) % 97));
+        } else {
+          cache.Insert(MakeKey(user, e),
+                       MakeRanking(static_cast<TagId>((user + e) % 97),
+                                   static_cast<double>(e)));
+        }
+        ++i;
+      }
+    });
+  }
+  churner.join();
+  for (std::thread& worker : workers) worker.join();
+
+  const ResultCache::Stats stats = cache.GetStats();
+  // The capacity bound held despite 40 epochs x 24 users of key churn.
+  EXPECT_LE(stats.entries, 32u + 4u);  // per-shard ceil rounding slack
+  EXPECT_GT(stats.evictions, 0u);
+  // Conservation: every insertion either still resides or was evicted.
+  EXPECT_EQ(stats.insertions, stats.evictions + stats.entries);
+}
+
+TEST(ResultCacheTest, ShardLockFailpointForcesMissAndDropsInsert) {
+#if !PITEX_FAILPOINTS_ENABLED
+  GTEST_SKIP() << "fail points compiled out (-DPITEX_FAILPOINTS=OFF)";
+#endif
+  FailpointRegistry::Instance().DisableAll();
+  ResultCache cache(16, 2);
+  cache.Insert(MakeKey(1), MakeRanking(7, 3.5));
+
+  FailpointConfig config;
+  config.mode = FailpointMode::kError;
+  FailpointRegistry::Instance().Enable("result_cache/shard_lock", config);
+
+  // A "failed" shard lock degrades to a miss -- the caller recomputes --
+  // and a dropped insert -- the caller's answer is still delivered.
+  std::vector<RankedTagSet> out;
+  EXPECT_FALSE(cache.Lookup(MakeKey(1), &out));
+  cache.Insert(MakeKey(2), MakeRanking(9, 9.0));
+
+  FailpointRegistry::Instance().DisableAll();
+  // The pre-fault entry survived; the faulted insert never landed.
+  EXPECT_TRUE(cache.Lookup(MakeKey(1), &out));
+  EXPECT_FALSE(cache.Lookup(MakeKey(2), &out));
 }
 
 }  // namespace

@@ -1,0 +1,409 @@
+// Chaos suite for the serving subsystem: queries and updates racing
+// while fail points (src/util/failpoint.h) fire in the publish path,
+// the cache shard locks, the pool dispatch, and the index-load path.
+// Nothing may crash; epochs stay monotone; answers served to completion
+// stay exactly correct for their epoch; publish failures degrade to
+// "keep serving the previous epoch" and fold staged repairs into the
+// next successful publish. This test is a ThreadSanitizer target (CI
+// runs it with failpoints armed; see .github/workflows/ci.yml).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "running_example.h"
+#include "src/serve/pitex_service.h"
+#include "src/util/failpoint.h"
+
+namespace pitex {
+namespace {
+
+// Every test must leave the process-wide registry clean: armed points
+// outlive the test that armed them otherwise.
+class ServeUnderFaultsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+#if !PITEX_FAILPOINTS_ENABLED
+    GTEST_SKIP() << "fail points compiled out (-DPITEX_FAILPOINTS=OFF)";
+#endif
+    FailpointRegistry::Instance().DisableAll();
+  }
+  void TearDown() override { FailpointRegistry::Instance().DisableAll(); }
+
+  static ServeOptions BaseOptions() {
+    ServeOptions options;
+    options.engine.method = Method::kIndexEst;
+    options.engine.index_theta_per_vertex = 150.0;
+    options.engine.seed = 5;
+    options.num_threads = 2;
+    options.mode = ScheduleMode::kWorkStealing;
+    options.enable_updates = true;
+    options.publish_threads = 2;
+    // Keep injected-failure retries fast; the policy, not the wall
+    // clock, is under test.
+    options.publish_backoff_initial_ms = 0.1;
+    options.publish_backoff_max_ms = 1.0;
+    return options;
+  }
+
+  static EdgeInfluenceUpdate MakeUpdate(const SocialNetwork& n,
+                                        size_t round) {
+    EdgeInfluenceUpdate update;
+    update.edge = static_cast<EdgeId>(round % n.num_edges());
+    update.entries = {{static_cast<TopicId>(round % n.topics.num_topics()),
+                       0.2 + 0.1 * static_cast<double>(round % 5)}};
+    return update;
+  }
+};
+
+TEST_F(ServeUnderFaultsTest, PublishRetriesThroughInjectedFailures) {
+  const SocialNetwork n = MakeRunningExample();
+  PitexService service(&n, BaseOptions());
+  service.Start();  // epoch 1 publishes before any fault is armed
+
+  FailpointConfig config;
+  config.mode = FailpointMode::kError;
+  config.fires = 2;  // first two freeze attempts fail, the third works
+  FailpointRegistry::Instance().Enable("serve/publish_freeze", config);
+
+  std::vector<EdgeInfluenceUpdate> updates{MakeUpdate(n, 0)};
+  EXPECT_EQ(service.ApplyUpdates(updates), 2u);
+  EXPECT_EQ(
+      FailpointRegistry::Instance().FireCount("serve/publish_freeze"), 2u);
+
+  const ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.publish_retries, 2u);
+  EXPECT_EQ(stats.publish_failures, 0u);
+  EXPECT_EQ(stats.epochs_published, 2u);
+  EXPECT_FALSE(stats.publish_in_flight);
+  EXPECT_FALSE(stats.publish_stuck);
+
+  // The published epoch serves.
+  const ServedResult result = service.Submit({.user = 0, .k = 2}).get();
+  EXPECT_EQ(result.epoch, 2u);
+  EXPECT_EQ(result.status, ServeStatus::kOk);
+  EXPECT_EQ(result.result.tags.size(), 2u);
+}
+
+TEST_F(ServeUnderFaultsTest, ExhaustedRetriesFoldIntoNextPublish) {
+  const SocialNetwork n = MakeRunningExample();
+  ServeOptions options = BaseOptions();
+  options.publish_max_attempts = 2;
+  PitexService service(&n, options);
+  service.Start();
+
+  // Arm an unbounded freeze failure: this publish cannot succeed.
+  FailpointConfig config;
+  config.mode = FailpointMode::kError;
+  FailpointRegistry::Instance().Enable("serve/publish_freeze", config);
+
+  std::vector<EdgeInfluenceUpdate> first{MakeUpdate(n, 0)};
+  EXPECT_EQ(service.ApplyUpdates(first), 0u);  // gave up gracefully
+  EXPECT_EQ(service.current_epoch(), 1u);      // readers keep epoch 1
+  {
+    const ServiceStats stats = service.Stats();
+    EXPECT_EQ(stats.publish_failures, 1u);
+    EXPECT_EQ(stats.publish_retries, 2u);  // both attempts failed
+    EXPECT_EQ(stats.epochs_published, 1u);
+  }
+  // Serving is unaffected by the failed publish.
+  EXPECT_EQ(service.Submit({.user = 1, .k = 2}).get().epoch, 1u);
+
+  // Heal the fault: the next publish must fold the staged repair in
+  // along with its own update.
+  FailpointRegistry::Instance().DisableAll();
+  std::vector<EdgeInfluenceUpdate> second{MakeUpdate(n, 1)};
+  EXPECT_EQ(service.ApplyUpdates(second), 2u);
+
+  // Reference: the same two updates applied without faults, published
+  // one epoch each. Its final master saw the identical repair sequence,
+  // so the frozen snapshots must answer identically.
+  PitexService reference(&n, BaseOptions());
+  reference.Start();
+  EXPECT_EQ(reference.ApplyUpdates(first), 2u);
+  EXPECT_EQ(reference.ApplyUpdates(second), 3u);
+
+  for (VertexId user = 0; user < n.num_vertices(); ++user) {
+    const PitexQuery query = {.user = user, .k = 2};
+    const ServedResult healed = service.Submit(query).get();
+    const ServedResult expected = reference.Submit(query).get();
+    ASSERT_EQ(healed.status, ServeStatus::kOk);
+    EXPECT_EQ(healed.result.tags, expected.result.tags) << "user " << user;
+    EXPECT_DOUBLE_EQ(healed.result.influence, expected.result.influence)
+        << "user " << user;
+  }
+}
+
+TEST_F(ServeUnderFaultsTest, ServesExactlyThroughFaultStorm) {
+  const SocialNetwork n = MakeRunningExample();
+  ServeOptions options = BaseOptions();
+  options.num_threads = 4;
+  options.cache_capacity = 64;
+  PitexService service(&n, options);
+  service.Start();
+
+  // Storm: cache shards "fail" on every touch (forced miss, dropped
+  // insert) and every pool dispatch eats a small injected delay.
+  FailpointConfig cache_fault;
+  cache_fault.mode = FailpointMode::kError;
+  FailpointRegistry::Instance().Enable("result_cache/shard_lock",
+                                       cache_fault);
+  FailpointConfig delay_fault;
+  delay_fault.mode = FailpointMode::kDelay;
+  delay_fault.delay_ms = 1;
+  FailpointRegistry::Instance().Enable("thread_pool/dispatch", delay_fault);
+
+  constexpr size_t kUpdateRounds = 4;
+  constexpr size_t kProducers = 2;
+  std::atomic<bool> updates_done{false};
+
+  std::vector<std::thread> producers;
+  std::vector<std::vector<ServedResult>> observed(kProducers);
+  for (size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([p, &n, &service, &updates_done, &observed] {
+      size_t i = 0;
+      while (!updates_done.load(std::memory_order_acquire) || i < 8) {
+        const PitexQuery query = {
+            .user = static_cast<VertexId>((p * 3 + i) % n.num_vertices()),
+            .k = 2};
+        observed[p].push_back(service.Submit(query).get());
+        ++i;
+      }
+    });
+  }
+
+  uint64_t last_epoch = 1;
+  for (size_t round = 0; round < kUpdateRounds; ++round) {
+    std::vector<EdgeInfluenceUpdate> updates{MakeUpdate(n, round)};
+    const uint64_t epoch = service.ApplyUpdates(updates);
+    ASSERT_GT(epoch, last_epoch);  // no faults armed on the publish path
+    last_epoch = epoch;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  updates_done.store(true, std::memory_order_release);
+  for (std::thread& producer : producers) producer.join();
+
+  // Every answer completed despite the storm; per-producer epochs are
+  // monotone (publication order respected across steals and delays).
+  for (const auto& per_producer : observed) {
+    uint64_t last = 0;
+    for (const ServedResult& result : per_producer) {
+      ASSERT_EQ(result.status, ServeStatus::kOk);
+      ASSERT_EQ(result.result.tags.size(), 2u);
+      ASSERT_GE(result.epoch, last);
+      ASSERT_LE(result.epoch, last_epoch);
+      last = result.epoch;
+    }
+  }
+
+  // The broken cache never served (or retained) anything.
+  const ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.cache_hits, 0u);
+  EXPECT_EQ(stats.cache_entries, 0u);
+
+  // Heal everything: a fresh query sees the final epoch and the cache
+  // works again.
+  FailpointRegistry::Instance().DisableAll();
+  const PitexQuery probe = {.user = 0, .k = 2};
+  const ServedResult first = service.Submit(probe).get();
+  EXPECT_EQ(first.epoch, last_epoch);
+  const ServedResult second = service.Submit(probe).get();
+  EXPECT_TRUE(second.cache_hit);
+  EXPECT_EQ(second.result.tags, first.result.tags);
+}
+
+TEST_F(ServeUnderFaultsTest, DeadlineStormDegradesInsteadOfCollapsing) {
+  const SocialNetwork n = MakeRunningExample();
+  ServeOptions options = BaseOptions();
+  options.cache_capacity = 64;
+  PitexService service(&n, options);
+  service.Start();
+
+  constexpr size_t kQueries = 60;
+  std::vector<std::future<ServedResult>> futures;
+  std::vector<PitexQuery> queries;
+  futures.reserve(kQueries);
+  for (size_t i = 0; i < kQueries; ++i) {
+    PitexQuery query = {.user = static_cast<VertexId>(i % n.num_vertices()),
+                        .k = 2};
+    switch (i % 3) {
+      case 0: query.budget_seconds = 1e-9; break;    // dead on arrival
+      case 1: query.budget_seconds = 200e-6; break;  // tight but livable
+      default: break;                                // unconstrained
+    }
+    queries.push_back(query);
+    futures.push_back(service.Submit(query));
+  }
+
+  size_t expired = 0, degraded = 0, ok = 0;
+  for (size_t i = 0; i < kQueries; ++i) {
+    const ServedResult result = futures[i].get();
+    switch (result.status) {
+      case ServeStatus::kDeadlineExpired:
+        EXPECT_TRUE(result.ranking.empty());
+        EXPECT_TRUE(result.result.degraded);
+        ++expired;
+        break;
+      case ServeStatus::kDegraded:
+        EXPECT_TRUE(result.result.degraded);
+        EXPECT_FALSE(result.cache_hit);  // degraded is never cached...
+        ++degraded;
+        break;
+      case ServeStatus::kOk:
+        EXPECT_FALSE(result.result.degraded);
+        EXPECT_EQ(result.result.tags.size(), 2u);
+        ++ok;
+        break;
+      case ServeStatus::kShed:
+        FAIL() << "no admission limits were configured";
+    }
+    if (queries[i].budget_seconds == 0.0) {
+      EXPECT_EQ(result.status, ServeStatus::kOk) << "query " << i;
+    }
+  }
+  EXPECT_EQ(expired + degraded + ok, kQueries);
+  EXPECT_GT(expired, 0u);       // the 1 ns budgets cannot survive a queue
+  EXPECT_GE(ok, kQueries / 3);  // every unconstrained query completed
+
+  const ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.queries_served, kQueries);
+  EXPECT_EQ(stats.degraded, degraded);
+  EXPECT_EQ(stats.deadline_expired, expired);
+
+  // ...so an unconstrained re-ask of a budgeted user gets the exact
+  // answer, not a truncated cached ranking.
+  for (VertexId user = 0; user < n.num_vertices(); ++user) {
+    const ServedResult full =
+        service.Submit({.user = user, .k = 2}).get();
+    ASSERT_EQ(full.status, ServeStatus::kOk);
+    ASSERT_EQ(full.result.tags.size(), 2u);
+  }
+}
+
+TEST_F(ServeUnderFaultsTest, AdmissionShedsButPublishesProceed) {
+  const SocialNetwork n = MakeRunningExample();
+  ServeOptions options = BaseOptions();
+  options.admission.max_queue_depth = 4;
+  options.cache_capacity = 0;  // every admitted query costs real work
+  PitexService service(&n, options);
+  service.Start();
+
+  // Slow the pumps so the bounded queue actually backs up.
+  FailpointConfig delay_fault;
+  delay_fault.mode = FailpointMode::kDelay;
+  delay_fault.delay_ms = 1;
+  FailpointRegistry::Instance().Enable("thread_pool/dispatch", delay_fault);
+
+  std::atomic<bool> storm_done{false};
+  std::atomic<uint64_t> published{0};
+  std::thread updater([&service, &n, &storm_done, &published] {
+    for (size_t round = 0; round < 3; ++round) {
+      std::vector<EdgeInfluenceUpdate> updates{MakeUpdate(n, round)};
+      const uint64_t epoch = service.ApplyUpdates(updates);
+      if (epoch != 0) published.fetch_add(1);
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    storm_done.store(true, std::memory_order_release);
+  });
+
+  std::vector<PitexQuery> burst;
+  for (size_t i = 0; i < 64; ++i) {
+    burst.push_back({.user = static_cast<VertexId>(i % n.num_vertices()),
+                     .k = 2});
+  }
+  size_t served = 0, shed = 0;
+  size_t batches = 0;
+  while (!storm_done.load(std::memory_order_acquire) || batches < 2) {
+    const std::vector<ServedResult> results = service.ServeAll(burst);
+    ++batches;
+    for (const ServedResult& result : results) {
+      if (result.status == ServeStatus::kShed) {
+        EXPECT_TRUE(result.ranking.empty());
+        ++shed;
+      } else {
+        ASSERT_EQ(result.status, ServeStatus::kOk);
+        ASSERT_EQ(result.result.tags.size(), 2u);
+        ++served;
+      }
+    }
+  }
+  updater.join();
+
+  // Conservation: every burst slot was either served or shed, the
+  // bounded queue shed under pressure, and no publish starved.
+  EXPECT_EQ(served + shed, batches * burst.size());
+  EXPECT_GT(shed, 0u);
+  EXPECT_GT(served, 0u);
+  EXPECT_EQ(published.load(), 3u);
+
+  const ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.queries_served, served);
+  EXPECT_EQ(stats.shed_queue_full, shed);
+  EXPECT_EQ(stats.admission_in_flight, 0u);  // everything drained
+  EXPECT_GT(stats.queue_depth.count, 0u);
+}
+
+TEST_F(ServeUnderFaultsTest, RateLimitShedsPerUserFloods) {
+  const SocialNetwork n = MakeRunningExample();
+  ServeOptions options = BaseOptions();
+  options.enable_updates = false;
+  options.admission.user_rate_limit = 50.0;
+  options.admission.user_burst = 2.0;
+  PitexService service(&n, options);
+  service.Start();
+
+  // One user floods far faster than 50 qps: the burst allowance admits
+  // a couple, the rest shed.
+  std::vector<std::future<ServedResult>> futures;
+  for (size_t i = 0; i < 40; ++i) {
+    futures.push_back(service.Submit({.user = 0, .k = 2}));
+  }
+  size_t shed = 0;
+  for (auto& future : futures) {
+    const ServedResult result = future.get();
+    if (result.status == ServeStatus::kShed) ++shed;
+  }
+  EXPECT_GT(shed, 0u);
+  EXPECT_LT(shed, 40u);  // the burst allowance admitted at least two
+  EXPECT_EQ(service.Stats().shed_rate_limited, shed);
+}
+
+TEST_F(ServeUnderFaultsTest, WorkerBindRetriesFaultedIndexLoads) {
+  const SocialNetwork n = MakeRunningExample();
+  ServeOptions options;
+  options.engine.method = Method::kDelayMat;
+  options.engine.seed = 5;
+  options.num_threads = 2;
+  options.mode = ScheduleMode::kWorkStealing;
+  PitexService service(&n, options);
+  service.Start();
+
+  // Worker replicas deserialize the DelayMat snapshot on first bind;
+  // fail the first two loads. The 3-attempt retry in BindWorker must
+  // absorb both and still serve.
+  FailpointConfig config;
+  config.mode = FailpointMode::kError;
+  config.fires = 2;
+  FailpointRegistry::Instance().Enable("index_io/load", config);
+
+  std::vector<PitexQuery> queries;
+  for (size_t i = 0; i < 8; ++i) {
+    queries.push_back({.user = static_cast<VertexId>(i % n.num_vertices()),
+                       .k = 2});
+  }
+  const std::vector<ServedResult> results = service.ServeAll(queries);
+  for (const ServedResult& result : results) {
+    ASSERT_EQ(result.status, ServeStatus::kOk);
+    ASSERT_EQ(result.result.tags.size(), 2u);
+    ASSERT_EQ(result.epoch, 1u);
+  }
+  EXPECT_EQ(FailpointRegistry::Instance().FireCount("index_io/load"), 2u);
+}
+
+}  // namespace
+}  // namespace pitex

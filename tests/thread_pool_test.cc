@@ -139,6 +139,69 @@ TEST(ThreadPoolTest, LongLivedIndexedTasksCoverDistinctWorkers) {
   }
 }
 
+TEST(ThreadPoolTest, ShutdownRejectsNewSubmissions) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  EXPECT_TRUE(pool.Submit([&counter] { counter.fetch_add(1); }));
+  pool.Wait();
+  pool.Shutdown();
+  // Defined rejection, not UB: both entry points return false and the
+  // rejected callables never run.
+  EXPECT_FALSE(pool.Submit([&counter] { counter.fetch_add(100); }));
+  EXPECT_FALSE(
+      pool.SubmitIndexed([&counter](size_t) { counter.fetch_add(100); }));
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPoolTest, ShutdownDrainsAlreadyQueuedTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  std::atomic<bool> release{false};
+  // Park the workers so the follow-up tasks are still queued when
+  // Shutdown lands.
+  for (int i = 0; i < 2; ++i) {
+    pool.Submit([&release] {
+      while (!release.load(std::memory_order_acquire)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    });
+  }
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(pool.Submit([&counter] { counter.fetch_add(1); }));
+  }
+  pool.Shutdown();
+  release.store(true, std::memory_order_release);
+  pool.Wait();
+  // Shutdown stops *acceptance*; work accepted before it still runs.
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPoolTest, ShutdownIsIdempotent) {
+  ThreadPool pool(2);
+  pool.Shutdown();
+  pool.Shutdown();
+  EXPECT_FALSE(pool.Submit([] {}));
+}
+
+TEST(ThreadPoolTest, SubmitFromTaskAfterShutdownIsSafe) {
+  // A running task that tries to re-submit after Shutdown gets the same
+  // defined rejection as an external caller.
+  ThreadPool pool(2);
+  std::atomic<int> rejected{0};
+  std::atomic<bool> shut{false};
+  pool.Submit([&pool, &rejected, &shut] {
+    while (!shut.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    if (!pool.Submit([] {})) rejected.fetch_add(1);
+  });
+  pool.Shutdown();
+  shut.store(true, std::memory_order_release);
+  pool.Wait();
+  EXPECT_EQ(rejected.load(), 1);
+}
+
 TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
   ThreadPool pool(4);
   std::vector<std::atomic<int>> hits(5000);

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """PITEX repo-specific static checks.
 
-Three rules encode invariants the compiler cannot see (and that no
+Four rules encode invariants the compiler cannot see (and that no
 pre-packaged linter knows about):
 
   noalloc          Functions annotated PITEX_NOALLOC (src/util/
@@ -28,6 +28,15 @@ pre-packaged linter knows about):
                    flagged everywhere except src/util/random.* (the one
                    blessed entropy source).  Use util/random.h Rng.
 
+  failpoint-hotpath
+                   PITEX_FAILPOINT evaluations (src/util/failpoint.h)
+                   must stay out of PITEX_NOALLOC function bodies: even
+                   the disarmed fast path is a relaxed atomic load, and
+                   an armed point takes a registry mutex -- neither
+                   belongs in the allocation-free per-sample/per-pop hot
+                   loops.  Inject faults at the call boundary (I/O,
+                   dispatch, lock acquisition) instead.
+
 Suppression: append `// pitex-check: allow(<rule>): <reason>` to the
 finding line or the line directly above it.  Every suppression needs the
 reason -- it is the audit trail for intended warmup-growth points.
@@ -45,7 +54,8 @@ import os
 import re
 import sys
 
-RULES = ("noalloc", "scratch-capture", "determinism")
+RULES = ("noalloc", "scratch-capture", "determinism",
+         "failpoint-hotpath")
 
 SCRATCH_TYPES = (
     "EstimateScratch",
@@ -425,6 +435,51 @@ def check_noalloc(path, raw, text):
     return findings
 
 
+def noalloc_bodies(text):
+    """Yields (body_start_offset, body_text) for every PITEX_NOALLOC
+    function *definition* (declarations are skipped), using the same
+    annotation-to-brace scan as check_noalloc."""
+    pos = 0
+    while True:
+        pos = text.find("PITEX_NOALLOC", pos)
+        if pos < 0:
+            return
+        pos += len("PITEX_NOALLOC")
+        depth = 0
+        i = pos
+        while i < len(text):
+            c = text[i]
+            if c == "(":
+                depth += 1
+            elif c == ")":
+                depth -= 1
+            elif depth == 0 and c in ";{":
+                break
+            i += 1
+        if i >= len(text) or text[i] == ";":
+            continue  # declaration only
+        body_end = match_brace(text, i)
+        yield i, text[i:body_end]
+        pos = body_end
+
+
+FAILPOINT_RE = re.compile(r"\bPITEX_FAILPOINT\s*\(")
+
+
+def check_failpoint_hotpath(path, raw, text):
+    findings = []
+    for body_start, body in noalloc_bodies(text):
+        body_base = line_of(text, body_start)
+        for m in FAILPOINT_RE.finditer(body):
+            findings.append(Finding(
+                path, body_base + body.count("\n", 0, m.start()),
+                "failpoint-hotpath",
+                "PITEX_FAILPOINT inside a PITEX_NOALLOC function: even "
+                "disarmed it costs an atomic load per evaluation; inject "
+                "faults at the call boundary instead"))
+    return findings
+
+
 def scratch_variables(text):
     """name -> line of variables declared with an epoch-stamped scratch
     type anywhere in the file (values, pointers or references)."""
@@ -522,6 +577,7 @@ def check_file(path):
     findings += check_noalloc(path, raw, text)
     findings += check_scratch_capture(path, raw, text)
     findings += check_determinism(path, raw, text)
+    findings += check_failpoint_hotpath(path, raw, text)
     return [f for f in findings if f.line not in cover[f.rule]]
 
 

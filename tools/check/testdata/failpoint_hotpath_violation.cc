@@ -1,0 +1,44 @@
+// Seeded violations for the [failpoint-hotpath] rule: PITEX_FAILPOINT
+// evaluations cost a relaxed atomic load even when disarmed (and a
+// registry mutex when armed), so they are banned from PITEX_NOALLOC
+// bodies -- fault injection belongs at call boundaries (I/O, dispatch,
+// lock acquisition), not in per-sample hot loops. Never compiled --
+// selftest input only.
+
+#include "src/util/failpoint.h"
+#include "src/util/thread_annotations.h"
+
+namespace pitex {
+
+PITEX_NOALLOC double HotEstimate(int samples) {
+  double acc = 0.0;
+  for (int i = 0; i < samples; ++i) {
+    if (PITEX_FAILPOINT("estimator/sample")) {  // expect(failpoint-hotpath)
+      return -1.0;
+    }
+    acc += static_cast<double>(i);
+  }
+  return acc;
+}
+
+// A cold-path function may evaluate fail points freely: the rule keys on
+// the PITEX_NOALLOC annotation, not on the macro itself.
+bool ColdLoad() {
+  if (PITEX_FAILPOINT("index_io/load")) return false;
+  return true;
+}
+
+// Declarations carrying the annotation are not definitions; nothing to
+// scan here.
+PITEX_NOALLOC double HotDeclaredElsewhere(int samples);
+
+// Audited escape hatch: the suppression comment must silence the rule.
+PITEX_NOALLOC double HotButAudited(int samples) {
+  // pitex-check: allow(failpoint-hotpath): one-shot guard outside the loop
+  if (PITEX_FAILPOINT("estimator/entry")) return -1.0;
+  double acc = 0.0;
+  for (int i = 0; i < samples; ++i) acc += static_cast<double>(i);
+  return acc;
+}
+
+}  // namespace pitex
