@@ -23,7 +23,10 @@
 #include "src/sampling/sketch_oracle.h"
 #include "src/sampling/triggering_sampler.h"
 #include "src/serve/snapshot_registry.h"
+#include "src/serve/wal.h"
 #include "src/util/thread_pool.h"
+
+#include <filesystem>
 
 namespace {
 
@@ -155,6 +158,40 @@ void BM_SnapshotPublish(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
 }
 BENCHMARK(BM_SnapshotPublish)->Arg(0)->Arg(2)->Unit(benchmark::kMillisecond);
+
+void BM_WalAppend(benchmark::State& state) {
+  // Durable update logging: append edge-update batches and group-commit
+  // every Arg batches with one fsync. Arg=1 is the PitexService
+  // behavior (commit per acknowledged batch); larger groups show how
+  // much of the cost is the fsync barrier vs the framing + write(2).
+  const auto group = static_cast<uint64_t>(state.range(0));
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "pitex_bm_wal").string();
+  std::filesystem::remove_all(dir);
+  std::string error;
+  auto wal = WriteAheadLog::Open(dir, /*next_lsn=*/1, WalOptions(), &error);
+  if (wal == nullptr) {
+    state.SkipWithError(error.c_str());
+    return;
+  }
+  std::vector<EdgeInfluenceUpdate> batch(1);
+  batch[0].edge = 7;
+  batch[0].entries = {{0, 0.3}, {1, 0.25}, {2, 0.1}};
+  uint64_t pending = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(wal->Append(batch));
+    if (++pending == group) {
+      if (!wal->Sync()) state.SkipWithError("wal fsync failed");
+      pending = 0;
+    }
+  }
+  if (pending != 0) (void)wal->Sync();
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  wal.reset();
+  std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_WalAppend)->Arg(1)->Arg(8)->Arg(64)
+    ->Unit(benchmark::kMicrosecond);
 
 void BM_IndexEstimate(benchmark::State& state) {
   const auto& n = Network();

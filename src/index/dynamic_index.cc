@@ -117,6 +117,45 @@ void DynamicRrIndex::UpdateEdgeTopics(EdgeId edge,
   ApplyUpdates(std::span(&update, 1));
 }
 
+void DynamicRrIndex::RestoreModel(
+    std::span<const EdgeInfluenceUpdate> replacements, uint64_t version) {
+  PITEX_CHECK_MSG(!built_, "RestoreModel() must precede Build()/Adopt");
+  if (!replacements.empty()) {
+    std::vector<EdgeTopicsReplacement> folded;
+    folded.reserve(replacements.size());
+    for (const EdgeInfluenceUpdate& r : replacements) {
+      PITEX_CHECK(r.edge < network_.num_edges());
+      folded.push_back(EdgeTopicsReplacement{r.edge, r.entries});
+    }
+    network_.influence = ReplaceEdgeTopics(network_.influence, folded);
+  }
+  version_ = version;
+}
+
+void DynamicRrIndex::AdoptSketches(const RrIndex& checkpoint) {
+  PITEX_CHECK_MSG(!built_, "AdoptSketches() on an already built index");
+  built_ = true;
+  theta_ = checkpoint.theta();
+  const RrSketchPool& pool = checkpoint.pool();
+  const size_t n = pool.num_sketches();
+  graphs_.resize(n);
+  roots_.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    const RRView view = pool.View(i);
+    RRGraph& rr = graphs_[i];
+    rr.root = view.root;
+    rr.vertices.assign(view.vertices.begin(), view.vertices.end());
+    rr.offsets.assign(view.offsets.begin(), view.offsets.end());
+    rr.edges.assign(view.edges.begin(), view.edges.end());
+    roots_[i] = view.root;
+  }
+  containing_.assign(network_.num_vertices(), {});
+  for (uint32_t id = 0; id < graphs_.size(); ++id) {
+    for (VertexId v : graphs_[id].vertices) containing_[v].push_back(id);
+  }
+  envelope_ = EnvelopeTable(network_.graph, network_.influence);
+}
+
 void DynamicRrIndex::RepairGraph(uint32_t id, EdgeId e, double p_old,
                                  double p_new, Rng* rng) {
   RRGraph& rr = graphs_[id];

@@ -77,6 +77,31 @@ class DynamicRrIndex final : public InfluenceOracle {
   /// Convenience single-edge form.
   void UpdateEdgeTopics(EdgeId edge, std::span<const EdgeTopicEntry> entries);
 
+  /// Recovery hook (src/serve/recovery.h), called instead of -- and
+  /// before any stand-in for -- Build() on a freshly constructed index:
+  /// folds `replacements` (the current topic vector of every edge that
+  /// has diverged from the base network) into the owned influence CSR
+  /// and restores the repair-RNG version counter, reproducing the model
+  /// state a checkpoint was taken at. The fold is the same
+  /// ReplaceEdgeTopics splice ApplyUpdates ends a batch with, so only
+  /// each edge's *final* entries matter -- not the update history.
+  void RestoreModel(std::span<const EdgeInfluenceUpdate> replacements,
+                    uint64_t version);
+
+  /// Recovery hook, the stand-in for Build(): adopts the sketches of a
+  /// loaded checkpoint index as this index's mutable state -- unpacks
+  /// the pool into owning per-sketch graphs, rebuilds containment
+  /// (ascending sketch id, exactly as Build() leaves it), and mirrors
+  /// the envelope of the restored influence model. The checkpoint must
+  /// have been saved against a model equal to the restored one;
+  /// LoadRrIndex's fingerprint check proves exactly that.
+  void AdoptSketches(const RrIndex& checkpoint);
+
+  /// Edge updates applied over this index's lifetime; salts the repair
+  /// RNG (StreamFor), so checkpoints persist it and recovery restores it
+  /// before replay -- replayed repairs then re-draw the same coins.
+  uint64_t version() const { return version_; }
+
   Estimate EstimateInfluence(VertexId u, const EdgeProbFn& probs) override;
   const char* Name() const override { return "DYN-INDEXEST"; }
 

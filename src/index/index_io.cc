@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <fstream>
 #include <limits>
 #include <utility>
 #include <vector>
 
 #include "src/util/failpoint.h"
+#include "src/util/file_sync.h"
 #include "src/util/serialize.h"
 
 namespace pitex {
@@ -357,6 +359,23 @@ class IndexIo {
     return true;
   }
 
+  // A read failure at EOF means the file is a valid prefix cut short --
+  // a torn write left by an interrupted writer, not bit rot. Upgrade
+  // the code so callers can react (fall back to an older checkpoint)
+  // without parsing the message. Validation failures with bytes still
+  // present (reader.ok() or no EOF) keep their specific code.
+  static void UpgradeTornWrite(const BinaryReader& reader,
+                               IndexIoError* error) {
+    if (error == nullptr || reader.ok() || !reader.at_end_of_stream()) return;
+    if (error->code == IndexIoCode::kTruncated ||
+        error->code == IndexIoCode::kChecksumMismatch ||
+        error->code == IndexIoCode::kCorruptPayload) {
+      error->code = IndexIoCode::kTornWrite;
+      error->message =
+          "file ends mid-payload: torn write (interrupted writer)";
+    }
+  }
+
   static std::unique_ptr<RrIndex> ReadRr(const SocialNetwork& network,
                                          std::istream& in,
                                          IndexIoError* error) {
@@ -366,6 +385,15 @@ class IndexIo {
       return nullptr;
     }
     BinaryReader reader(&in);
+    auto index = ReadRrBody(network, &reader, error);
+    if (index == nullptr) UpgradeTornWrite(reader, error);
+    return index;
+  }
+
+  static std::unique_ptr<RrIndex> ReadRrBody(const SocialNetwork& network,
+                                             BinaryReader* reader_ptr,
+                                             IndexIoError* error) {
+    BinaryReader& reader = *reader_ptr;
     RrIndexOptions options;
     uint32_t version = 0;
     if (!ReadHeader(&reader, kKindRrGraphs, NetworkFingerprint(network),
@@ -451,6 +479,15 @@ class IndexIo {
       return nullptr;
     }
     BinaryReader reader(&in);
+    auto index = ReadDelayBody(network, &reader, error);
+    if (index == nullptr) UpgradeTornWrite(reader, error);
+    return index;
+  }
+
+  static std::unique_ptr<DelayMatIndex> ReadDelayBody(
+      const SocialNetwork& network, BinaryReader* reader_ptr,
+      IndexIoError* error) {
+    BinaryReader& reader = *reader_ptr;
     RrIndexOptions options;
     uint32_t version = 0;  // DelayMat payload is identical in v1 and v2
     if (!ReadHeader(&reader, kKindDelayMat, NetworkFingerprint(network),
@@ -505,6 +542,7 @@ const char* IndexIoCodeName(IndexIoCode code) {
     case IndexIoCode::kCorruptPayload: return "corrupt-payload";
     case IndexIoCode::kTruncated: return "truncated";
     case IndexIoCode::kChecksumMismatch: return "checksum-mismatch";
+    case IndexIoCode::kTornWrite: return "torn-write";
     case IndexIoCode::kFaultInjected: return "fault-injected";
   }
   return "?";
@@ -519,6 +557,43 @@ void CopyMessage(const IndexIoError& typed, std::string* error) {
   if (error != nullptr) *error = typed.message;
 }
 
+// Crash-atomic path save: stream the payload into `path + ".tmp"`,
+// fsync, rename over `path`, fsync the directory (src/util/file_sync.h).
+// A crash at any point leaves the previous file intact; a failure
+// removes the temp file so no orphan survives. `write` streams the
+// payload and sets `*error` itself when it fails.
+template <typename WriteFn>
+bool SaveAtomically(const std::string& path, IndexIoError* error,
+                    WriteFn&& write) {
+  const std::string tmp = TempPathFor(path);
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      SetError(error, IndexIoCode::kOpenFailed,
+               "cannot open temp file for writing");
+      return false;
+    }
+    if (!write(out)) {
+      out.close();
+      std::remove(tmp.c_str());
+      return false;
+    }
+    out.close();
+    if (!out) {
+      std::remove(tmp.c_str());
+      SetError(error, IndexIoCode::kWriteFailed,
+               "I/O failure while flushing index");
+      return false;
+    }
+  }
+  if (!AtomicReplaceFile(tmp, path)) {
+    SetError(error, IndexIoCode::kWriteFailed,
+             "failed to fsync+rename index into place");
+    return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 // --- typed overloads (primary implementations) ---
@@ -530,12 +605,9 @@ bool SaveRrIndex(const RrIndex& index, std::ostream& out,
 
 bool SaveRrIndex(const RrIndex& index, const std::string& path,
                  IndexIoError* error) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) {
-    SetError(error, IndexIoCode::kOpenFailed, "cannot open file for writing");
-    return false;
-  }
-  return IndexIo::WriteRr(index, out, error);
+  return SaveAtomically(path, error, [&](std::ostream& out) {
+    return IndexIo::WriteRr(index, out, error);
+  });
 }
 
 std::unique_ptr<RrIndex> LoadRrIndex(const SocialNetwork& network,
@@ -561,12 +633,9 @@ bool SaveDelayMatIndex(const DelayMatIndex& index, std::ostream& out,
 
 bool SaveDelayMatIndex(const DelayMatIndex& index, const std::string& path,
                        IndexIoError* error) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) {
-    SetError(error, IndexIoCode::kOpenFailed, "cannot open file for writing");
-    return false;
-  }
-  return IndexIo::WriteDelay(index, out, error);
+  return SaveAtomically(path, error, [&](std::ostream& out) {
+    return IndexIo::WriteDelay(index, out, error);
+  });
 }
 
 std::unique_ptr<DelayMatIndex> LoadDelayMatIndex(const SocialNetwork& network,

@@ -78,6 +78,13 @@ enum class IndexIoCode : uint8_t {
   kTruncated,
   /// Framing parsed but the trailing FNV-1a digest does not match.
   kChecksumMismatch,
+  /// The file is a valid prefix cut short at EOF: an interrupted writer
+  /// (crash mid-save) left a torn file. Distinct from kTruncated /
+  /// kChecksumMismatch so operators know to fall back to an older file
+  /// rather than suspect bit rot. Save paths in this module are
+  /// crash-atomic (temp file + fsync + rename), so a torn file at a
+  /// final path means some *other* writer skipped the protocol.
+  kTornWrite,
   /// A fail point ("index_io/load" / "index_io/save") fired — chaos
   /// testing only; treat as transient and retryable.
   kFaultInjected,
@@ -105,7 +112,10 @@ struct IndexIoError {
 /// Writes a built RR-Graph index. Returns false (and sets `*error` when
 /// non-null) on I/O failure or when the index is not built. The
 /// std::string overloads report just the message; the IndexIoError
-/// overloads add the typed code.
+/// overloads add the typed code. The path overloads are crash-atomic:
+/// the payload goes to `path + ".tmp"`, is fsynced, and is renamed over
+/// `path` (src/util/file_sync.h) -- a crash mid-save leaves the old
+/// file intact and never a torn file at the final path.
 bool SaveRrIndex(const RrIndex& index, const std::string& path,
                  std::string* error = nullptr);
 bool SaveRrIndex(const RrIndex& index, std::ostream& out,

@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <sstream>
 #include <thread>
 #include <utility>
 
 #include "src/index/index_io.h"
+#include "src/serve/recovery.h"
 #include "src/util/check.h"
 #include "src/util/failpoint.h"
 
@@ -19,6 +21,8 @@ PitexService::PitexService(const SocialNetwork* network,
   options_.num_threads = std::max<size_t>(1, options_.num_threads);
   options_.top_n = std::max<size_t>(1, options_.top_n);
   options_.latency_window = std::max<size_t>(1, options_.latency_window);
+  PITEX_CHECK_MSG(options_.durability_dir.empty() || options_.enable_updates,
+                  "durability_dir requires enable_updates");
   // Containers that Stats()/ClearLatencyWindow() traverse are sized here
   // and never reassigned again, so those methods stay safe to call
   // concurrently with a lazy Start() from another thread.
@@ -87,15 +91,40 @@ void PitexService::Start() {
       // its own Start() call) or the fully built one — found by the
       // -Wthread-safety annotation pass (docs/static_analysis.md).
       MutexLock update_lock(update_mutex_);
-      master_ = std::make_unique<DynamicRrIndex>(*network_, index_options);
-      master_->Build();
+      uint64_t initial_epoch = 1;
+      if (!options_.durability_dir.empty()) {
+        // Recover: newest checkpoint + WAL-tail replay. Every batch in
+        // the result was acknowledged before the last shutdown/crash,
+        // and the replayed master is bit-identical to a never-crashed
+        // reference (src/serve/recovery.h), so serving resumes exactly
+        // where the acknowledged history left off.
+        RecoveredState recovered;
+        std::string error;
+        PITEX_CHECK_MSG(
+            RecoverServingState(*network_, index_options,
+                                options_.durability_dir, &recovered, &error),
+            error.c_str());
+        master_ = std::move(recovered.master);
+        touched_edges_ = std::move(recovered.touched_edges);
+        last_durable_lsn_ = recovered.last_lsn;
+        recovery_replayed_.store(recovered.replayed_records,
+                                 std::memory_order_relaxed);
+        initial_epoch = recovered.publish_epoch;
+        wal_ = WriteAheadLog::Open(options_.durability_dir,
+                                   recovered.last_lsn + 1, options_.wal,
+                                   &error);
+        PITEX_CHECK_MSG(wal_ != nullptr, error.c_str());
+      } else {
+        master_ = std::make_unique<DynamicRrIndex>(*network_, index_options);
+        master_->Build();
+      }
       if (options_.publish_threads > 1) {
         publish_pool_ = std::make_unique<ThreadPool>(options_.publish_threads);
       }
       // Same retry policy as ApplyUpdates, but there is no previous
       // epoch to fall back to: if the freeze cannot succeed within the
       // retry budget, starting the service is impossible.
-      snapshot = FreezeSnapshotLocked(1);
+      snapshot = FreezeSnapshotLocked(initial_epoch);
       PITEX_CHECK_MSG(snapshot != nullptr,
                       "initial snapshot freeze failed after retries");
     } else {
@@ -502,19 +531,82 @@ uint64_t PitexService::ApplyUpdates(
   MutexLock lock(update_mutex_);
   PITEX_CHECK_MSG(master_ != nullptr,
                   "ApplyUpdates requires options.enable_updates");
+  if (wal_ != nullptr) {
+    // Durable-before-apply: the batch reaches disk (and the fsync
+    // commit point, per policy) before the master mutates or the caller
+    // hears anything. A failed append/commit is truncated back out of
+    // the log and the master is untouched -- the log's content is
+    // always exactly the acknowledged-batch prefix, which is what makes
+    // replay-to-bit-identical recovery possible.
+    const uint64_t lsn = wal_->Append(updates);
+    const bool committed = lsn != 0 && wal_->Sync();
+    wal_appends_.store(wal_->appends(), std::memory_order_relaxed);
+    wal_fsyncs_.store(wal_->fsyncs(), std::memory_order_relaxed);
+    if (!committed) {
+      wal_append_failures_.fetch_add(1, std::memory_order_relaxed);
+      return 0;  // rejected: not durable, not applied, not acknowledged
+    }
+    last_durable_lsn_ = lsn;
+    for (const EdgeInfluenceUpdate& update : updates) {
+      const auto it = std::lower_bound(touched_edges_.begin(),
+                                       touched_edges_.end(), update.edge);
+      if (it == touched_edges_.end() || *it != update.edge) {
+        touched_edges_.insert(it, update.edge);
+      }
+    }
+  }
   master_->ApplyUpdates(updates);
   const uint64_t epoch = registry_.current_epoch() + 1;
   std::shared_ptr<const IndexSnapshot> snapshot = FreezeSnapshotLocked(epoch);
   if (snapshot == nullptr) {
     // Every freeze attempt failed. The repairs are NOT lost: they are
     // staged in the master, readers keep serving the previous epoch, and
-    // the next successful publish folds them in.
+    // the next successful publish folds them in. With durability on the
+    // batch IS already committed to the WAL -- recovery replays it even
+    // though no epoch carried it yet.
     publish_failures_.fetch_add(1, std::memory_order_relaxed);
     return 0;
   }
-  registry_.Publish(std::move(snapshot));
+  registry_.Publish(snapshot);
   work_cv_.NotifyAll();  // idle pumps may rebind eagerly on next query
+  if (wal_ != nullptr) MaybeCheckpointLocked(*snapshot);
   return epoch;
+}
+
+void PitexService::MaybeCheckpointLocked(const IndexSnapshot& snapshot) {
+  if (options_.checkpoint_every == 0) return;
+  if (++publishes_since_checkpoint_ < options_.checkpoint_every) return;
+  CheckpointManifest manifest;
+  manifest.lsn = last_durable_lsn_;
+  manifest.epoch = snapshot.epoch();
+  manifest.index_version = master_->version();
+  char name[64];
+  std::snprintf(name, sizeof(name), "checkpoint-%016llx.rridx",
+                static_cast<unsigned long long>(manifest.lsn));
+  manifest.snapshot_file = name;
+  // Model delta: the CURRENT topic vector of every diverged edge.
+  // ReplaceEdgeTopics folds are last-writer-wins per edge, so final
+  // state is exact without history -- which the truncation below is
+  // about to destroy.
+  manifest.model_delta.reserve(touched_edges_.size());
+  for (const EdgeId e : touched_edges_) {
+    EdgeInfluenceUpdate update;
+    update.edge = e;
+    const auto entries = master_->network().influence.EdgeTopics(e);
+    update.entries.assign(entries.begin(), entries.end());
+    manifest.model_delta.push_back(std::move(update));
+  }
+  if (!WriteCheckpoint(options_.durability_dir, *snapshot.rr_index(),
+                       manifest)) {
+    // Non-fatal: the previous checkpoint (or the full log) still
+    // recovers everything. The counter stays >= the cadence, so the
+    // next publish retries.
+    checkpoint_failures_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  publishes_since_checkpoint_ = 0;
+  checkpoints_.fetch_add(1, std::memory_order_relaxed);
+  wal_->TruncateThrough(manifest.lsn);
 }
 
 std::shared_ptr<const IndexSnapshot> PitexService::CurrentSnapshot() const {
@@ -567,6 +659,15 @@ ServiceStats PitexService::Stats() {
   }
   stats.publish_retries = publish_retries_.load(std::memory_order_relaxed);
   stats.publish_failures = publish_failures_.load(std::memory_order_relaxed);
+  stats.wal_appends = wal_appends_.load(std::memory_order_relaxed);
+  stats.wal_fsyncs = wal_fsyncs_.load(std::memory_order_relaxed);
+  stats.wal_append_failures =
+      wal_append_failures_.load(std::memory_order_relaxed);
+  stats.checkpoints = checkpoints_.load(std::memory_order_relaxed);
+  stats.checkpoint_failures =
+      checkpoint_failures_.load(std::memory_order_relaxed);
+  stats.recovery_replayed_lsns =
+      recovery_replayed_.load(std::memory_order_relaxed);
   stats.publish_in_flight = publish_in_flight_.load(std::memory_order_acquire);
   if (stats.publish_in_flight) {
     // Watchdog: reading atomics (never update_mutex_, which the stuck

@@ -53,6 +53,7 @@
 #include "src/serve/result_cache.h"
 #include "src/serve/service_stats.h"
 #include "src/serve/snapshot_registry.h"
+#include "src/serve/wal.h"
 #include "src/util/mutex.h"
 #include "src/util/random.h"
 #include "src/util/thread_annotations.h"
@@ -112,6 +113,21 @@ struct ServeOptions {
   /// Watchdog threshold: Stats() flags `publish_stuck` when a publish
   /// has been in flight longer than this.
   double publish_stuck_after_seconds = 5.0;
+
+  // --- durability (docs/robustness.md, "Durability") ---
+
+  /// Directory holding the WAL and checkpoints; empty (the default)
+  /// disables durability. Requires enable_updates. Start() recovers
+  /// from this directory (newest checkpoint + WAL-tail replay) before
+  /// serving, and ApplyUpdates makes every batch durable before
+  /// applying or acknowledging it.
+  std::string durability_dir;
+  /// WAL tuning: segment rotation size and the fsync policy knob.
+  WalOptions wal;
+  /// Take a checkpoint (and truncate the WAL behind it) every N
+  /// successful publishes. 0 = never checkpoint: recovery replays the
+  /// whole log and the log grows without bound.
+  uint64_t checkpoint_every = 8;
 };
 
 /// How a query left the service (ServedResult::status).
@@ -185,6 +201,15 @@ class PitexService {
   /// folds the staged repairs in. While a freeze is in flight, admission
   /// (when enabled) tightens the query queue bound so the publish is
   /// never starved by a query storm.
+  ///
+  /// Durability: with options.durability_dir set, the batch is appended
+  /// to the WAL and committed (fsync per policy) BEFORE the master is
+  /// repaired -- a return value != 0 means the batch survives any
+  /// subsequent crash. If the WAL append or commit fails, the batch is
+  /// rolled back out of the log, the master is left untouched, and the
+  /// call returns 0: unlike a publish failure, nothing was applied and
+  /// the caller must retry the batch (distinguish via
+  /// Stats().wal_append_failures).
   uint64_t ApplyUpdates(std::span<const EdgeInfluenceUpdate> updates)
       PITEX_EXCLUDES(update_mutex_);
 
@@ -252,6 +277,12 @@ class PitexService {
   /// publish watchdog atomics and the admission publish-priority window.
   std::shared_ptr<const IndexSnapshot> FreezeSnapshotLocked(uint64_t epoch)
       PITEX_REQUIRES(update_mutex_);
+  /// After a successful publish: when the checkpoint cadence is due,
+  /// persists `snapshot` + a manifest through src/serve/recovery.h and
+  /// truncates the WAL behind it. Failure is non-fatal (counted in
+  /// checkpoint_failures; the next publish retries).
+  void MaybeCheckpointLocked(const IndexSnapshot& snapshot)
+      PITEX_REQUIRES(update_mutex_);
   void EnqueueLocked(PendingQuery item, size_t sequence)
       PITEX_REQUIRES(sched_mutex_);
   bool AnyStealableLocked(size_t thief) const PITEX_REQUIRES(sched_mutex_);
@@ -285,6 +316,22 @@ class PitexService {
   std::atomic<uint64_t> publish_failures_{0};
   std::atomic<bool> publish_in_flight_{false};
   std::atomic<int64_t> publish_started_ns_{0};
+  // Durability (all null/zero when options_.durability_dir is empty).
+  // Writer-side state lives under update_mutex_ with the master it
+  // journals; counters are mirrored into atomics after each commit so
+  // Stats() never touches the publisher lock.
+  std::unique_ptr<WriteAheadLog> wal_ PITEX_GUARDED_BY(update_mutex_);
+  uint64_t last_durable_lsn_ PITEX_GUARDED_BY(update_mutex_) = 0;
+  uint64_t publishes_since_checkpoint_ PITEX_GUARDED_BY(update_mutex_) = 0;
+  // Edges diverged from the base network (sorted, unique): the next
+  // checkpoint's model delta. Seeded by recovery, grown per batch.
+  std::vector<EdgeId> touched_edges_ PITEX_GUARDED_BY(update_mutex_);
+  std::atomic<uint64_t> wal_appends_{0};
+  std::atomic<uint64_t> wal_fsyncs_{0};
+  std::atomic<uint64_t> wal_append_failures_{0};
+  std::atomic<uint64_t> checkpoints_{0};
+  std::atomic<uint64_t> checkpoint_failures_{0};
+  std::atomic<uint64_t> recovery_replayed_{0};
   std::unique_ptr<ResultCache> cache_;  // created by ctor, then immutable
   // Admission control; null unless work-stealing mode with a limit set.
   // Created by the ctor, then immutable (internally synchronized).

@@ -1,0 +1,243 @@
+#include "src/serve/recovery.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <utility>
+
+#include "src/index/index_io.h"
+#include "src/serve/wal.h"
+#include "src/util/failpoint.h"
+#include "src/util/file_sync.h"
+#include "src/util/serialize.h"
+
+namespace pitex {
+
+namespace {
+
+constexpr char kManifestMagic[] = "PITEXMAN";
+constexpr uint32_t kManifestVersion = 1;
+constexpr char kManifestFile[] = "CHECKPOINT";
+
+bool Fail(std::string* error, std::string message) {
+  if (error != nullptr) *error = std::move(message);
+  return false;
+}
+
+}  // namespace
+
+bool WriteCheckpointManifest(const std::string& dir,
+                             const CheckpointManifest& manifest,
+                             std::string* error) {
+  const std::string path = dir + "/" + kManifestFile;
+  const std::string tmp = TempPathFor(path);
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return Fail(error, "cannot open manifest temp file: " + tmp);
+    }
+    BinaryWriter writer(&out);
+    writer.WriteString(kManifestMagic);
+    writer.WriteU32(kManifestVersion);
+    writer.WriteU64(manifest.lsn);
+    writer.WriteU64(manifest.epoch);
+    writer.WriteU64(manifest.index_version);
+    writer.WriteString(manifest.snapshot_file);
+    writer.WriteU64(manifest.model_delta.size());
+    for (const EdgeInfluenceUpdate& update : manifest.model_delta) {
+      writer.WriteU32(update.edge);
+      writer.WriteU64(update.entries.size());
+      for (const EdgeTopicEntry& entry : update.entries) {
+        writer.WriteU32(entry.topic);
+        writer.WriteF64(entry.prob);
+      }
+    }
+    writer.WriteChecksum();
+    out.close();
+    if (!writer.ok() || !out) {
+      std::remove(tmp.c_str());
+      return Fail(error, "I/O failure while staging checkpoint manifest");
+    }
+  }
+  if (PITEX_FAILPOINT("checkpoint/rename")) {
+    std::remove(tmp.c_str());
+    return Fail(error, "fault injected: checkpoint/rename");
+  }
+  if (!AtomicReplaceFile(tmp, path)) {
+    return Fail(error, "cannot publish checkpoint manifest: " + path);
+  }
+  return true;
+}
+
+bool ReadCheckpointManifest(const std::string& dir,
+                            CheckpointManifest* manifest, bool* present,
+                            std::string* error) {
+  if (present != nullptr) *present = false;
+  const std::string path = dir + "/" + kManifestFile;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::error_code ec;
+    if (std::filesystem::exists(path, ec)) {
+      return Fail(error, "cannot open checkpoint manifest: " + path);
+    }
+    return true;  // no checkpoint yet: recover from scratch
+  }
+  BinaryReader reader(&in);
+  std::string magic;
+  uint32_t version = 0;
+  if (!reader.ReadString(&magic) || magic != kManifestMagic ||
+      !reader.ReadU32(&version) || version != kManifestVersion) {
+    return Fail(error, "bad checkpoint manifest header");
+  }
+  uint64_t delta_count = 0;
+  if (!reader.ReadU64(&manifest->lsn) || !reader.ReadU64(&manifest->epoch) ||
+      !reader.ReadU64(&manifest->index_version) ||
+      !reader.ReadString(&manifest->snapshot_file) ||
+      manifest->snapshot_file.empty() ||
+      manifest->snapshot_file.find('/') != std::string::npos ||
+      !reader.ReadU64(&delta_count)) {
+    return Fail(error, "truncated checkpoint manifest");
+  }
+  manifest->model_delta.clear();
+  for (uint64_t i = 0; i < delta_count; ++i) {
+    EdgeInfluenceUpdate& update = manifest->model_delta.emplace_back();
+    uint32_t edge = 0;
+    uint64_t entries = 0;
+    if (!reader.ReadU32(&edge) || !reader.ReadU64(&entries)) {
+      return Fail(error, "truncated checkpoint delta");
+    }
+    update.edge = edge;
+    for (uint64_t j = 0; j < entries; ++j) {
+      EdgeTopicEntry entry;
+      if (!reader.ReadU32(&entry.topic) || !reader.ReadF64(&entry.prob)) {
+        return Fail(error, "truncated checkpoint delta entry");
+      }
+      update.entries.push_back(entry);
+    }
+  }
+  if (!reader.VerifyChecksum()) {
+    return Fail(error, "checkpoint manifest checksum mismatch");
+  }
+  if (present != nullptr) *present = true;
+  return true;
+}
+
+bool WriteCheckpoint(const std::string& dir, const RrIndex& snapshot_index,
+                     const CheckpointManifest& manifest, std::string* error) {
+  IndexIoError io_error;
+  const std::string snapshot_path = dir + "/" + manifest.snapshot_file;
+  if (!SaveRrIndex(snapshot_index, snapshot_path, &io_error)) {
+    return Fail(error, "cannot save checkpoint snapshot (" +
+                           std::string(IndexIoCodeName(io_error.code)) +
+                           "): " + io_error.message);
+  }
+  if (!WriteCheckpointManifest(dir, manifest, error)) {
+    // The new snapshot file is an orphan until the next successful
+    // checkpoint's cleanup; the previous manifest stays authoritative.
+    return false;
+  }
+  // Superseded snapshots are garbage now that the manifest moved on.
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("checkpoint-", 0) == 0 && name != manifest.snapshot_file) {
+      std::error_code remove_ec;
+      std::filesystem::remove(entry.path(), remove_ec);
+    }
+  }
+  return true;
+}
+
+bool RecoverServingState(const SocialNetwork& base,
+                         const RrIndexOptions& options,
+                         const std::string& dir, RecoveredState* state,
+                         std::string* error) {
+  CheckpointManifest manifest;
+  bool have_checkpoint = false;
+  std::string manifest_error;
+  if (!ReadCheckpointManifest(dir, &manifest, &have_checkpoint,
+                              &manifest_error)) {
+    // The manifest is atomically replaced, so a corrupt one is real
+    // damage, not a crash artifact — and the WAL below it is already
+    // truncated, so silently rebuilding would lose acknowledged
+    // updates. Refuse.
+    return Fail(error, "unrecoverable checkpoint manifest: " + manifest_error);
+  }
+
+  auto master = std::make_unique<DynamicRrIndex>(base, options);
+  uint64_t after_lsn = 0;
+  uint64_t base_epoch = 1;  // the epoch Start()'s initial publish uses
+  std::vector<EdgeId> touched;
+  if (have_checkpoint) {
+    for (const EdgeInfluenceUpdate& update : manifest.model_delta) {
+      if (update.edge >= base.num_edges()) {
+        return Fail(error, "checkpoint delta references an unknown edge");
+      }
+      for (const EdgeTopicEntry& entry : update.entries) {
+        if (!std::isfinite(entry.prob) || entry.prob < 0.0 ||
+            entry.prob > 1.0) {
+          return Fail(error, "checkpoint delta probability out of [0, 1]");
+        }
+      }
+      touched.push_back(update.edge);
+    }
+    master->RestoreModel(manifest.model_delta, manifest.index_version);
+    // The snapshot file embeds the fingerprint of the evolved model it
+    // was saved against; loading it against the restored model proves
+    // the delta fold reproduced that model bit-identically.
+    IndexIoError io_error;
+    auto snapshot = LoadRrIndex(master->network(),
+                                dir + "/" + manifest.snapshot_file, &io_error);
+    if (snapshot == nullptr) {
+      return Fail(error, "checkpoint snapshot unreadable (" +
+                             std::string(IndexIoCodeName(io_error.code)) +
+                             "): " + io_error.message);
+    }
+    master->AdoptSketches(*snapshot);
+    after_lsn = manifest.lsn;
+    base_epoch = manifest.epoch;
+  } else {
+    master->Build();
+  }
+
+  std::vector<WalRecord> records;
+  const WalReadResult read = ReadWalAfter(dir, after_lsn, &records);
+  if (!read.ok()) {
+    return Fail(error, "unrecoverable WAL: " + read.message);
+  }
+  uint64_t last_lsn = after_lsn;
+  for (const WalRecord& record : records) {
+    if (PITEX_FAILPOINT("recovery/replay")) {
+      return Fail(error, "fault injected: recovery/replay");
+    }
+    for (const EdgeInfluenceUpdate& update : record.updates) {
+      if (update.edge >= base.num_edges()) {
+        return Fail(error, "WAL record references an unknown edge");
+      }
+      for (const EdgeTopicEntry& entry : update.entries) {
+        if (!std::isfinite(entry.prob) || entry.prob < 0.0 ||
+            entry.prob > 1.0) {
+          return Fail(error, "WAL record probability out of [0, 1]");
+        }
+      }
+      touched.push_back(update.edge);
+    }
+    master->ApplyUpdates(record.updates);
+    last_lsn = record.lsn;
+  }
+  std::sort(touched.begin(), touched.end());
+  touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+
+  state->master = std::move(master);
+  state->last_lsn = last_lsn;
+  state->replayed_records = records.size();
+  state->publish_epoch = base_epoch + records.size();
+  state->torn_tail = read.status == WalReadStatus::kTornTail;
+  state->had_checkpoint = have_checkpoint;
+  state->touched_edges = std::move(touched);
+  return true;
+}
+
+}  // namespace pitex

@@ -107,6 +107,27 @@ struct ServiceStats {
   /// blocks serving (readers stay on the previous epoch) but indicates
   /// the maintenance pool is wedged or faults keep firing.
   bool publish_stuck = false;
+
+  // --- durability counters (docs/robustness.md, "Durability"); all
+  // zero unless ServeOptions::durability_dir is set ---
+
+  /// Update batches appended to the WAL (== acknowledged batches since
+  /// the log was opened).
+  uint64_t wal_appends = 0;
+  /// fsync(2) calls the WAL issued (0 under WalFsyncPolicy::kNever).
+  uint64_t wal_fsyncs = 0;
+  /// Batches rejected because the WAL append or commit failed
+  /// (fault-injected or real). Rejected batches were never applied or
+  /// acknowledged -- the caller must retry.
+  uint64_t wal_append_failures = 0;
+  /// Checkpoints taken (each one truncates the log behind it).
+  uint64_t checkpoints = 0;
+  /// Checkpoint attempts that failed; the previous checkpoint stays
+  /// authoritative and the next publish retries.
+  uint64_t checkpoint_failures = 0;
+  /// WAL records replayed over the checkpoint by the last Start()
+  /// recovery (0 for a clean start).
+  uint64_t recovery_replayed_lsns = 0;
 };
 
 }  // namespace pitex

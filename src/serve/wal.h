@@ -1,0 +1,178 @@
+// Write-ahead log of edge-update batches (docs/robustness.md,
+// "Durability").
+//
+// PitexService::ApplyUpdates appends each batch here and makes it
+// durable *before* repairing the master index or acknowledging the
+// caller — so a SIGKILL at any instant loses no acknowledged update:
+// restart replays the log tail over the newest checkpoint through the
+// same deterministic repair path (src/serve/recovery.h) and republishes
+// bit-identical state. The log doubles as the globally ordered update
+// sequence the ROADMAP's sharded tier needs: every record carries a
+// log sequence number (LSN, dense from 1), and replaying a prefix is
+// replaying history.
+//
+// On-disk layout — a directory of segments:
+//
+//   wal-<start_lsn, 16 hex digits>.log
+//     header : magic "PITEXWAL" | version u32 LE | start_lsn u64 LE
+//     record*: frame-magic u32 LE | blob-length u32 LE | blob
+//
+// where each blob is a self-checksummed BinaryWriter stream:
+//
+//   lsn u64 | batch-size u64 | { edge u32 | n u64 | {topic u32,
+//   prob f64} * n } * batch-size | fnv64 checksum
+//
+// Torn-tail rule: a record whose bytes run out exactly at end-of-log
+// (incomplete frame or short blob in the *newest* segment) is the
+// expected artifact of a crash mid-append — the reader consumes it as
+// the end of history. The same damage anywhere else (bytes follow the
+// broken record, or a complete-but-checksum-failing blob) is
+// corruption and recovery refuses the log rather than guess.
+//
+// Group commit: Append buffers through the OS; Sync() is the commit
+// point — everything appended since the last Sync becomes durable (one
+// fsync) or is rolled back together (the file is truncated back to the
+// last committed offset, so the log never holds records the caller was
+// told failed). The fsync policy knob trades the zero-acknowledged-
+// loss guarantee for throughput: kNever acknowledges after write(2)
+// and leaves durability to the page cache.
+//
+// Not thread-safe: the service owns exactly one writer and serializes
+// it under its publisher mutex.
+
+#ifndef PITEX_SRC_SERVE_WAL_H_
+#define PITEX_SRC_SERVE_WAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/index/dynamic_index.h"
+
+namespace pitex {
+
+enum class WalFsyncPolicy : uint8_t {
+  /// fsync on every Sync(): acknowledged implies durable (the default;
+  /// required for the zero-acknowledged-update-loss guarantee).
+  kAlways,
+  /// Never fsync: Sync() only marks the commit point. Durability is
+  /// whatever the OS page cache provides — survives process crashes
+  /// (the kill-9 drills) but not power loss.
+  kNever,
+};
+
+struct WalOptions {
+  /// Rotate to a fresh segment once the current one reaches this size
+  /// (checked before an append, so segments overshoot by at most one
+  /// record).
+  uint64_t segment_bytes = 8ull << 20;
+  WalFsyncPolicy fsync = WalFsyncPolicy::kAlways;
+};
+
+/// One decoded log record: batch `updates` was acknowledged as `lsn`.
+struct WalRecord {
+  uint64_t lsn = 0;
+  std::vector<EdgeInfluenceUpdate> updates;
+};
+
+class WriteAheadLog {
+ public:
+  /// Opens `dir` (created if absent) for appending; the first record
+  /// gets `next_lsn`. Always starts a fresh segment named after
+  /// next_lsn — after recovery that overwrites at most a torn
+  /// (never-acknowledged) tail, never committed records. Returns null
+  /// with `*error` set on failure. Fail points: "wal/append",
+  /// "wal/fsync".
+  static std::unique_ptr<WriteAheadLog> Open(const std::string& dir,
+                                             uint64_t next_lsn,
+                                             const WalOptions& options,
+                                             std::string* error = nullptr);
+
+  ~WriteAheadLog();
+  WriteAheadLog(const WriteAheadLog&) = delete;
+  WriteAheadLog& operator=(const WriteAheadLog&) = delete;
+
+  /// Appends one batch (buffered; durable only after Sync). Returns the
+  /// assigned LSN, or 0 on failure — a failed append is truncated back
+  /// out of the file and the LSN is not consumed.
+  uint64_t Append(std::span<const EdgeInfluenceUpdate> updates);
+
+  /// Commit point for everything appended since the last Sync: fsyncs
+  /// per policy and returns true, or rolls the uncommitted suffix back
+  /// (truncate + LSN rewind) and returns false.
+  bool Sync();
+
+  /// Deletes segments every record of which has LSN <= `lsn` (called
+  /// after a checkpoint at `lsn`). The active segment is never deleted.
+  void TruncateThrough(uint64_t lsn);
+
+  /// LSN the next Append will assign.
+  uint64_t next_lsn() const { return next_lsn_; }
+  /// Successful Append calls over this writer's lifetime.
+  uint64_t appends() const { return appends_; }
+  /// fsync(2) calls actually issued (0 under WalFsyncPolicy::kNever).
+  uint64_t fsyncs() const { return fsyncs_; }
+
+ private:
+  WriteAheadLog(std::string dir, uint64_t next_lsn,
+                const WalOptions& options)
+      : dir_(std::move(dir)), options_(options), next_lsn_(next_lsn),
+        committed_lsn_(next_lsn) {}
+
+  bool OpenSegment(uint64_t start_lsn, std::string* error);
+  bool RotateIfNeeded();
+  /// Truncates the active segment back to `offset` and rewinds the
+  /// write cursor (failed-append / failed-commit rollback).
+  void RollBackTo(uint64_t offset);
+  bool FsyncSegment();
+
+  std::string dir_;
+  WalOptions options_;
+  int fd_ = -1;
+  std::string segment_path_;
+  uint64_t segment_start_lsn_ = 0;
+  uint64_t offset_ = 0;            // current end of the active segment
+  uint64_t committed_offset_ = 0;  // end as of the last successful Sync
+  uint64_t next_lsn_ = 1;
+  uint64_t committed_lsn_ = 1;     // next_lsn as of the last Sync
+  uint64_t appends_ = 0;
+  uint64_t fsyncs_ = 0;
+};
+
+enum class WalReadStatus : uint8_t {
+  /// Read every record to a clean end of log.
+  kOk,
+  /// Read every committed record; a torn tail (crash mid-append) was
+  /// detected and consumed as the end of history. Still a success.
+  kTornTail,
+  /// A broken record with further data behind it, a checksum failure on
+  /// a complete record, or an LSN discontinuity: real corruption, the
+  /// log must not be trusted.
+  kCorrupt,
+  /// The directory or a segment could not be read.
+  kIoError,
+};
+
+struct WalReadResult {
+  WalReadStatus status = WalReadStatus::kOk;
+  std::string message;
+
+  bool ok() const {
+    return status == WalReadStatus::kOk || status == WalReadStatus::kTornTail;
+  }
+};
+
+/// Decodes every record with LSN > `after_lsn`, in LSN order, across
+/// all segments in `dir` (an absent or empty directory reads as an
+/// empty log). Appends to `*records`.
+WalReadResult ReadWalAfter(const std::string& dir, uint64_t after_lsn,
+                           std::vector<WalRecord>* records);
+
+/// Segment filename for a given starting LSN ("wal-<16 hex>.log").
+std::string WalSegmentName(uint64_t start_lsn);
+
+}  // namespace pitex
+
+#endif  // PITEX_SRC_SERVE_WAL_H_

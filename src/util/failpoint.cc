@@ -1,8 +1,13 @@
 #include "src/util/failpoint.h"
 
+#include <csignal>
 #include <chrono>
 #include <cstdlib>
 #include <thread>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
 
 namespace pitex {
 
@@ -118,6 +123,7 @@ uint64_t FailpointRegistry::FireCount(std::string_view name) const {
 bool FailpointRegistry::Evaluate(std::string_view name) {
   uint32_t delay_ms = 0;
   bool fire_error = false;
+  bool fire_crash = false;
   {
     MutexLock lock(mutex_);
     Point* point = FindLocked(name);
@@ -130,9 +136,20 @@ bool FailpointRegistry::Evaluate(std::string_view name) {
     ++point->fired;
     if (point->config.mode == FailpointMode::kDelay) {
       delay_ms = point->config.delay_ms;
+    } else if (point->config.mode == FailpointMode::kCrash) {
+      fire_crash = true;
     } else {
       fire_error = true;
     }
+  }
+  if (fire_crash) {
+    // SIGKILL, not abort(): no atexit handlers, no buffered-I/O flush,
+    // no sanitizer teardown -- the closest in-process stand-in for a
+    // power cut, which is what the crash-recovery drills must survive.
+#if defined(__unix__) || defined(__APPLE__)
+    kill(getpid(), SIGKILL);
+#endif
+    std::raise(SIGKILL);  // unreachable on POSIX; portability fallback
   }
   // Sleep outside the lock: concurrent delayed threads must stack up on
   // the injected latency, not on the registry mutex.
@@ -166,6 +183,8 @@ bool FailpointRegistry::ParseSpec(std::string_view spec, std::string* error) {
       config.mode = FailpointMode::kError;
     } else if (mode_text == "delay") {
       config.mode = FailpointMode::kDelay;
+    } else if (mode_text == "crash") {
+      config.mode = FailpointMode::kCrash;
     } else if (mode_text == "off") {
       config.mode = FailpointMode::kOff;
     } else {

@@ -16,8 +16,10 @@
 //
 // Supported behaviors: return-error (the macro yields true and the call
 // site takes its real error path), inject-delay (the evaluating thread
-// sleeps, the macro yields false), and skip-N-then-fire (the first
-// `skip` evaluations pass through before the point starts firing, for
+// sleeps, the macro yields false), crash (the process raises SIGKILL at
+// the point -- the primitive behind the durability crash drills in
+// tests/crash_recovery_test.cc), and skip-N-then-fire (the first `skip`
+// evaluations pass through before the point starts firing, for
 // targeting e.g. "the third publish"). Points can also be armed from the
 // environment -- PITEX_FAILPOINTS="index_io/load=error:skip=2" -- so a
 // binary can be fault-drilled without recompiling.
@@ -56,6 +58,7 @@ enum class FailpointMode : uint8_t {
   kOff,    // registered but inert
   kError,  // Evaluate() returns true: the call site takes its error path
   kDelay,  // Evaluate() sleeps delay_ms, then returns false
+  kCrash,  // Evaluate() raises SIGKILL: the process dies mid-operation
 };
 
 struct FailpointConfig {
@@ -101,7 +104,7 @@ class FailpointRegistry {
   /// Arms points from a spec string:
   ///   spec   := point (',' point)*
   ///   point  := name '=' mode (':' key '=' value)*
-  ///   mode   := 'error' | 'delay' | 'off'
+  ///   mode   := 'error' | 'delay' | 'crash' | 'off'
   ///   key    := 'skip' | 'fires' | 'ms'
   /// e.g. "index_io/load=error:skip=2:fires=1,thread_pool/dispatch=delay:ms=5".
   /// Returns false (and sets `*error` when non-null) on a malformed

@@ -1,0 +1,74 @@
+#include "src/util/file_sync.h"
+
+#include <cstdio>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#define PITEX_HAVE_POSIX_FSYNC 1
+#else
+#define PITEX_HAVE_POSIX_FSYNC 0
+#endif
+
+namespace pitex {
+
+namespace {
+
+#if PITEX_HAVE_POSIX_FSYNC
+bool FsyncPath(const char* path, int open_flags) {
+  const int fd = ::open(path, open_flags);
+  if (fd < 0) return false;
+  bool ok = true;
+  if (::fsync(fd) != 0) ok = false;
+  if (::close(fd) != 0) ok = false;
+  return ok;
+}
+#endif
+
+}  // namespace
+
+std::string TempPathFor(std::string_view path) {
+  std::string tmp(path);
+  tmp += ".tmp";
+  return tmp;
+}
+
+bool SyncFile(const std::string& path) {
+#if PITEX_HAVE_POSIX_FSYNC
+  return FsyncPath(path.c_str(), O_RDONLY);
+#else
+  (void)path;
+  return true;  // no fsync on this platform; best effort
+#endif
+}
+
+bool SyncParentDir(const std::string& path) {
+#if PITEX_HAVE_POSIX_FSYNC
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : (slash == 0 ? std::string("/")
+                                            : path.substr(0, slash));
+  return FsyncPath(dir.c_str(), O_RDONLY | O_DIRECTORY);
+#else
+  (void)path;
+  return true;
+#endif
+}
+
+bool AtomicReplaceFile(const std::string& tmp_path, const std::string& path) {
+  if (!SyncFile(tmp_path)) {
+    std::remove(tmp_path.c_str());
+    return false;
+  }
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    std::remove(tmp_path.c_str());
+    return false;
+  }
+  // The rename is visible; now make it durable. A failure here is still
+  // reported -- the caller's durability promise depends on it.
+  return SyncParentDir(path);
+}
+
+}  // namespace pitex

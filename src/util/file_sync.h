@@ -1,0 +1,46 @@
+// Crash-atomic file plumbing shared by index_io saves, the WAL, and the
+// checkpoint manifest (docs/robustness.md, "Durability").
+//
+// The contract every writer in this tree follows:
+//
+//   1. write the full payload to `path + ".tmp"`,
+//   2. fsync the temp file (data must be on the platter before the
+//      rename makes it reachable),
+//   3. rename(tmp, path)  -- atomic on POSIX,
+//   4. fsync the parent directory (the rename itself must be durable).
+//
+// AtomicReplaceFile does steps 2-4; callers do step 1 however they like
+// (ofstream, fd, BinaryWriter). A crash at any point leaves either the
+// old file intact or a `*.tmp` orphan that readers never look at.
+
+#ifndef PITEX_SRC_UTIL_FILE_SYNC_H_
+#define PITEX_SRC_UTIL_FILE_SYNC_H_
+
+#include <string>
+#include <string_view>
+
+namespace pitex {
+
+/// The temp-file twin of `path` used by the atomic-replace protocol
+/// (`path + ".tmp"`). Readers skip files with this suffix.
+std::string TempPathFor(std::string_view path);
+
+/// fsyncs the file at `path` (open, fsync, close). Returns false with
+/// errno intact on any failure.
+bool SyncFile(const std::string& path);
+
+/// fsyncs the directory containing `path` so a completed rename/create
+/// of `path` survives power loss. Returns false on failure; on
+/// filesystems where directories cannot be opened (rare), the failure
+/// is reported and callers decide whether it is fatal.
+bool SyncParentDir(const std::string& path);
+
+/// Steps 2-4 of the protocol above: fsync `tmp_path`, rename it over
+/// `path`, fsync the parent directory. On failure the temp file is
+/// unlinked (best effort) so no orphan survives; `path` is either the
+/// old content or the new, never a mix.
+bool AtomicReplaceFile(const std::string& tmp_path, const std::string& path);
+
+}  // namespace pitex
+
+#endif  // PITEX_SRC_UTIL_FILE_SYNC_H_

@@ -88,6 +88,8 @@ bool BinaryReader::ReadBytes(void* data, size_t size) {
   return true;
 }
 
+bool BinaryReader::at_end_of_stream() const { return in_->eof(); }
+
 bool BinaryReader::ReadU8(uint8_t* value) { return ReadBytes(value, 1); }
 
 bool BinaryReader::ReadU32(uint32_t* value) {

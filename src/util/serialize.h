@@ -99,6 +99,11 @@ class BinaryReader {
   bool VerifyChecksum();
 
   bool ok() const { return !failed_; }
+  /// After a failed read: true when the failure was the stream ending
+  /// (EOF) rather than a device error -- the signature of a torn write
+  /// (an interrupted writer left a valid prefix). Meaningless while
+  /// ok() is still true.
+  bool at_end_of_stream() const;
   uint64_t digest() const { return hash_.digest(); }
 
  private:

@@ -1,0 +1,343 @@
+// Kill-9 crash drills for the durability subsystem (docs/robustness.md,
+// "Durability"). Each drill forks a child that serves a durable
+// PitexService and arms a kCrash fail point -- the process dies by
+// SIGKILL mid-append, mid-fsync, mid-checkpoint-rename, or mid-replay,
+// with no destructors, no stream flushes, no sanitizer teardown: the
+// closest in-process stand-in for a power cut. The child reports every
+// acknowledged batch through a pipe before it dies; the parent then
+// recovers from the surviving directory and asserts the two durability
+// invariants end to end:
+//
+//   1. zero acknowledged-update loss -- every batch acknowledged before
+//      the kill is present in the recovered state;
+//   2. bit-identical recovery -- the recovered service answers every
+//      query exactly like a never-crashed reference that applied the
+//      same batches (same tags, same influence doubles, same epoch).
+//
+// Fork discipline: the parent never spawns threads before forking, and
+// the child never returns into gtest (it dies at the fail point, or
+// _exit(42)s to flag a drill that failed to crash).
+
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "running_example.h"
+#include "src/serve/pitex_service.h"
+#include "src/serve/recovery.h"
+#include "src/serve/wal.h"
+#include "src/util/failpoint.h"
+
+namespace pitex {
+namespace {
+
+namespace fs = std::filesystem;
+
+class CrashRecoveryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    FailpointRegistry::Instance().DisableAll();
+    dir_ = (fs::temp_directory_path() /
+            ("pitex_crash_recovery_" +
+             std::string(::testing::UnitTest::GetInstance()
+                             ->current_test_info()
+                             ->name())))
+               .string();
+    fs::remove_all(dir_);
+  }
+  void TearDown() override {
+    FailpointRegistry::Instance().DisableAll();
+    fs::remove_all(dir_);
+  }
+
+  static ServeOptions DurableOptions(const std::string& dir,
+                                     uint64_t checkpoint_every = 2) {
+    ServeOptions options;
+    options.engine.method = Method::kIndexEst;
+    options.engine.index_theta_per_vertex = 150.0;
+    options.engine.seed = 5;
+    options.num_threads = 2;
+    options.mode = ScheduleMode::kWorkStealing;
+    options.enable_updates = true;
+    options.publish_backoff_initial_ms = 0.1;
+    options.publish_backoff_max_ms = 1.0;
+    options.durability_dir = dir;
+    options.checkpoint_every = checkpoint_every;
+    return options;
+  }
+
+  static EdgeInfluenceUpdate MakeUpdate(const SocialNetwork& n,
+                                        uint64_t round) {
+    EdgeInfluenceUpdate update;
+    update.edge = static_cast<EdgeId>(round % n.num_edges());
+    update.entries = {{static_cast<TopicId>(round % n.topics.num_topics()),
+                       0.2 + 0.1 * static_cast<double>(round % 5)}};
+    return update;
+  }
+
+  /// Child body: arm `point` to SIGKILL after `skip` evaluations, then
+  /// serve updates until the kill lands. Never returns into gtest.
+  [[noreturn]] static void ChildCrashRun(const SocialNetwork& n,
+                                         const std::string& dir,
+                                         const char* point, uint64_t skip,
+                                         uint64_t checkpoint_every,
+                                         int ack_fd) {
+    FailpointConfig config;
+    config.mode = FailpointMode::kCrash;
+    config.skip = skip;
+    FailpointRegistry::Instance().Enable(point, config);
+    PitexService service(&n, DurableOptions(dir, checkpoint_every));
+    service.Start();
+    for (uint32_t round = 0; round < 64; ++round) {
+      std::vector<EdgeInfluenceUpdate> batch{MakeUpdate(n, round)};
+      if (service.ApplyUpdates(batch) != 0) {
+        // Acknowledge to the parent ONLY after ApplyUpdates returned:
+        // this is the exact acknowledgement the durability guarantee
+        // covers.
+        (void)!::write(ack_fd, &round, sizeof(round));
+      }
+    }
+    ::_exit(42);  // the armed point never fired: the parent fails the test
+  }
+
+  /// Forks the crash child, collects its acknowledgement stream, and
+  /// asserts it died by SIGKILL at the fail point. Returns the rounds
+  /// the child acknowledged before dying.
+  std::vector<uint32_t> RunCrashChild(const SocialNetwork& n,
+                                      const char* point, uint64_t skip,
+                                      uint64_t checkpoint_every = 2) {
+    int pipe_fds[2];
+    EXPECT_EQ(::pipe(pipe_fds), 0);
+    const pid_t pid = ::fork();
+    EXPECT_GE(pid, 0);
+    if (pid == 0) {
+      ::close(pipe_fds[0]);
+      ChildCrashRun(n, dir_, point, skip, checkpoint_every, pipe_fds[1]);
+    }
+    ::close(pipe_fds[1]);
+    std::vector<uint32_t> acked;
+    uint32_t round = 0;
+    while (::read(pipe_fds[0], &round, sizeof(round)) ==
+           static_cast<ssize_t>(sizeof(round))) {
+      acked.push_back(round);
+    }
+    ::close(pipe_fds[0]);
+    int status = 0;
+    EXPECT_EQ(::waitpid(pid, &status, 0), pid);
+    EXPECT_TRUE(WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL)
+        << "child did not die at fail point " << point << " (status "
+        << status << ")";
+    return acked;
+  }
+
+  /// Recovers from dir_ and proves both durability invariants against a
+  /// never-crashed reference.
+  void VerifyRecoveredBitIdentical(const SocialNetwork& n, size_t acked,
+                                   uint64_t checkpoint_every = 2) {
+    PitexService recovered(&n, DurableOptions(dir_, checkpoint_every));
+    recovered.Start();
+    const uint64_t epoch = recovered.current_epoch();
+    ASSERT_GE(epoch, 1u);
+    // Epochs count the initial publish plus one per applied batch, so
+    // the recovered epoch tells us exactly how much history survived.
+    const uint64_t applied = epoch - 1;
+    // Invariant 1: nothing acknowledged is lost. The one-past bound is
+    // the batch that reached the log but died before its ack -- replay
+    // may legally include it (durable, just never reported).
+    ASSERT_GE(applied, acked) << "acknowledged updates lost";
+    ASSERT_LE(applied, acked + 1);
+
+    PitexService reference(&n, DurableOptions("", checkpoint_every));
+    reference.Start();
+    for (uint64_t i = 0; i < applied; ++i) {
+      std::vector<EdgeInfluenceUpdate> batch{MakeUpdate(n, i)};
+      ASSERT_NE(reference.ApplyUpdates(batch), 0u);
+    }
+    ASSERT_EQ(recovered.current_epoch(), reference.current_epoch());
+
+    // Invariant 2: bit-identical answers. Sequential submits place each
+    // user on the same (deterministically seeded) worker in both
+    // services, so tags AND the influence doubles must match exactly.
+    for (VertexId user = 0; user < n.num_vertices(); ++user) {
+      const PitexQuery query = {.user = user, .k = 2};
+      const ServedResult got = recovered.Submit(query).get();
+      const ServedResult want = reference.Submit(query).get();
+      ASSERT_EQ(got.status, ServeStatus::kOk);
+      ASSERT_EQ(got.result.tags, want.result.tags) << "user " << user;
+      ASSERT_EQ(got.result.influence, want.result.influence)
+          << "user " << user;
+    }
+  }
+
+  std::string dir_;
+};
+
+TEST_F(CrashRecoveryTest, CleanRestartRecoversExactly) {
+  // No faults at all: a clean shutdown + restart must resume with the
+  // identical state and epoch (the baseline the crash drills refine).
+  const SocialNetwork n = MakeRunningExample();
+  constexpr size_t kRounds = 5;
+  {
+    PitexService service(&n, DurableOptions(dir_));
+    service.Start();
+    for (uint64_t i = 0; i < kRounds; ++i) {
+      std::vector<EdgeInfluenceUpdate> batch{MakeUpdate(n, i)};
+      ASSERT_EQ(service.ApplyUpdates(batch), static_cast<uint64_t>(i + 2));
+    }
+    const ServiceStats stats = service.Stats();
+    EXPECT_EQ(stats.wal_appends, kRounds);
+    EXPECT_GT(stats.wal_fsyncs, 0u);
+    EXPECT_EQ(stats.wal_append_failures, 0u);
+    EXPECT_EQ(stats.checkpoints, kRounds / 2);  // checkpoint_every = 2
+    EXPECT_EQ(stats.checkpoint_failures, 0u);
+  }
+  ASSERT_TRUE(fs::exists(dir_ + "/CHECKPOINT"));
+  VerifyRecoveredBitIdentical(n, kRounds);
+
+  // The replay counter reflects only the WAL tail past the checkpoint.
+  PitexService again(&n, DurableOptions(dir_));
+  again.Start();
+  EXPECT_LE(again.Stats().recovery_replayed_lsns, kRounds - kRounds / 2 * 2 + 1);
+}
+
+TEST_F(CrashRecoveryTest, SigkillAtWalAppend) {
+#if !PITEX_FAILPOINTS_ENABLED
+  GTEST_SKIP() << "fail points compiled out (-DPITEX_FAILPOINTS=OFF)";
+#endif
+  const SocialNetwork n = MakeRunningExample();
+  // skip=3: the fourth append dies before its record reaches the file.
+  const std::vector<uint32_t> acked = RunCrashChild(n, "wal/append", 3);
+  EXPECT_EQ(acked.size(), 3u);
+  VerifyRecoveredBitIdentical(n, acked.size());
+}
+
+TEST_F(CrashRecoveryTest, SigkillAtWalFsync) {
+#if !PITEX_FAILPOINTS_ENABLED
+  GTEST_SKIP() << "fail points compiled out (-DPITEX_FAILPOINTS=OFF)";
+#endif
+  const SocialNetwork n = MakeRunningExample();
+  // The fifth commit point dies AFTER the record's write(2): the batch
+  // may survive in the log without ever having been acknowledged --
+  // exactly the one-past case the verifier tolerates.
+  const std::vector<uint32_t> acked = RunCrashChild(n, "wal/fsync", 4);
+  EXPECT_EQ(acked.size(), 4u);
+  VerifyRecoveredBitIdentical(n, acked.size());
+}
+
+TEST_F(CrashRecoveryTest, SigkillAtFirstWalSyncEver) {
+#if !PITEX_FAILPOINTS_ENABLED
+  GTEST_SKIP() << "fail points compiled out (-DPITEX_FAILPOINTS=OFF)";
+#endif
+  const SocialNetwork n = MakeRunningExample();
+  // Degenerate drill: death before ANY batch commits. Recovery must
+  // come up empty-handed but serving, identical to a fresh build.
+  const std::vector<uint32_t> acked = RunCrashChild(n, "wal/fsync", 0);
+  EXPECT_TRUE(acked.empty());
+  VerifyRecoveredBitIdentical(n, 0);
+}
+
+TEST_F(CrashRecoveryTest, SigkillAtCheckpointRename) {
+#if !PITEX_FAILPOINTS_ENABLED
+  GTEST_SKIP() << "fail points compiled out (-DPITEX_FAILPOINTS=OFF)";
+#endif
+  const SocialNetwork n = MakeRunningExample();
+  // checkpoint_every=2: the second checkpoint (after batch 4) dies
+  // between manifest staging and its atomic rename. The first
+  // checkpoint plus the WAL tail above it must carry recovery; the
+  // half-written second checkpoint may leave only a *.tmp behind,
+  // never a corrupt CHECKPOINT.
+  const std::vector<uint32_t> acked =
+      RunCrashChild(n, "checkpoint/rename", 1);
+  EXPECT_EQ(acked.size(), 3u);  // batch 4's ack dies with the checkpoint
+  VerifyRecoveredBitIdentical(n, acked.size());
+}
+
+TEST_F(CrashRecoveryTest, SigkillDuringRecoveryReplayThenRecoverAgain) {
+#if !PITEX_FAILPOINTS_ENABLED
+  GTEST_SKIP() << "fail points compiled out (-DPITEX_FAILPOINTS=OFF)";
+#endif
+  const SocialNetwork n = MakeRunningExample();
+  // First crash leaves a WAL with several records to replay
+  // (checkpoint_every=0 keeps everything in the log).
+  const std::vector<uint32_t> acked =
+      RunCrashChild(n, "wal/fsync", 5, /*checkpoint_every=*/0);
+  EXPECT_EQ(acked.size(), 5u);
+  // Second child dies BY SIGKILL mid-replay, inside Start()'s recovery.
+  // Replay only reads; the log must survive the second death unscathed.
+  const std::vector<uint32_t> none =
+      RunCrashChild(n, "recovery/replay", 2, /*checkpoint_every=*/0);
+  EXPECT_TRUE(none.empty());
+  // Third recovery completes and is still bit-identical.
+  VerifyRecoveredBitIdentical(n, acked.size(), /*checkpoint_every=*/0);
+}
+
+TEST_F(CrashRecoveryTest, InjectedReplayErrorFailsRecoveryLoudly) {
+#if !PITEX_FAILPOINTS_ENABLED
+  GTEST_SKIP() << "fail points compiled out (-DPITEX_FAILPOINTS=OFF)";
+#endif
+  const SocialNetwork n = MakeRunningExample();
+  {
+    PitexService service(&n, DurableOptions(dir_, /*checkpoint_every=*/0));
+    service.Start();
+    for (uint64_t i = 0; i < 3; ++i) {
+      std::vector<EdgeInfluenceUpdate> batch{MakeUpdate(n, i)};
+      ASSERT_NE(service.ApplyUpdates(batch), 0u);
+    }
+  }
+  FailpointConfig config;
+  config.mode = FailpointMode::kError;
+  config.fires = 1;
+  FailpointRegistry::Instance().Enable("recovery/replay", config);
+  RrIndexOptions index_options;
+  index_options.theta_per_vertex = 150.0;
+  index_options.seed = 5;
+  RecoveredState state;
+  std::string error;
+  EXPECT_FALSE(RecoverServingState(n, index_options, dir_, &state, &error));
+  EXPECT_NE(error.find("recovery/replay"), std::string::npos) << error;
+  FailpointRegistry::Instance().DisableAll();
+  // The fault was transient; the log itself is fine.
+  EXPECT_TRUE(RecoverServingState(n, index_options, dir_, &state, &error))
+      << error;
+  EXPECT_EQ(state.replayed_records, 3u);
+}
+
+TEST_F(CrashRecoveryTest, WalCommitFailureRejectsBatchWithoutApplying) {
+#if !PITEX_FAILPOINTS_ENABLED
+  GTEST_SKIP() << "fail points compiled out (-DPITEX_FAILPOINTS=OFF)";
+#endif
+  // Error-mode (non-crash) flavor of the same boundary: when the WAL
+  // cannot commit, the batch must be fully rejected -- no master
+  // mutation, no epoch, and the log rolled back -- so a later retry is
+  // the FIRST application, not a double one.
+  const SocialNetwork n = MakeRunningExample();
+  PitexService service(&n, DurableOptions(dir_));
+  service.Start();
+
+  FailpointConfig config;
+  config.mode = FailpointMode::kError;
+  config.fires = 1;
+  FailpointRegistry::Instance().Enable("wal/fsync", config);
+  std::vector<EdgeInfluenceUpdate> batch{MakeUpdate(n, 0)};
+  EXPECT_EQ(service.ApplyUpdates(batch), 0u);
+  FailpointRegistry::Instance().DisableAll();
+  {
+    const ServiceStats stats = service.Stats();
+    EXPECT_EQ(stats.wal_append_failures, 1u);
+    EXPECT_EQ(stats.current_epoch, 1u);  // nothing applied or published
+  }
+  // Retry commits cleanly at the first LSN. (The appends counter saw
+  // both the rolled-back attempt and the retry.)
+  EXPECT_EQ(service.ApplyUpdates(batch), 2u);
+  EXPECT_EQ(service.Stats().wal_appends, 2u);
+}
+
+}  // namespace
+}  // namespace pitex

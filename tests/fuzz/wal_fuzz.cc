@@ -1,0 +1,131 @@
+// libFuzzer harness for the write-ahead-log reader (PITEX_FUZZ=ON,
+// Clang only). Complements tests/wal_test.cc: the gtest suite proves
+// the torn-tail contract at every byte offset of a well-formed log,
+// while this harness lets coverage feedback drive arbitrary byte soup
+// through the segment header, frame, and record parsers.
+//
+// Contract under test: whatever bytes land in a segment file,
+// ReadWalAfter either returns kOk/kTornTail with a structurally valid
+// record prefix (dense LSNs ascending from after_lsn+1, in-range blob
+// sizes) or refuses with kCorrupt/kIoError. Any crash, sanitizer
+// report, or invariant violation (enforced with abort() below) is a
+// finding.
+//
+// Seed corpus: set PITEX_FUZZ_SEED_DIR=<dir> and the harness writes a
+// real three-record segment there during LLVMFuzzerInitialize:
+//
+//   mkdir -p corpus
+//   PITEX_FUZZ_SEED_DIR=corpus ./wal_fuzz -max_total_time=30 corpus
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/serve/wal.h"
+
+namespace pitex {
+namespace {
+
+namespace fs = std::filesystem;
+
+void Require(bool condition, const char* what) {
+  if (!condition) {
+    std::fprintf(stderr, "wal_fuzz invariant violated: %s\n", what);
+    std::abort();
+  }
+}
+
+/// One scratch directory per process; each input rewrites the single
+/// segment file in place.
+const std::string& ScratchDir() {
+  static const std::string dir = [] {
+    const std::string d =
+        (fs::temp_directory_path() / "pitex_wal_fuzz_scratch").string();
+    fs::remove_all(d);
+    fs::create_directories(d);
+    return d;
+  }();
+  return dir;
+}
+
+std::string ValidSegmentBytes() {
+  const std::string dir =
+      (fs::temp_directory_path() / "pitex_wal_fuzz_seed").string();
+  fs::remove_all(dir);
+  std::string error;
+  auto wal = WriteAheadLog::Open(dir, /*next_lsn=*/1, WalOptions(), &error);
+  Require(wal != nullptr, "seed WAL must open");
+  for (uint32_t i = 0; i < 3; ++i) {
+    std::vector<EdgeInfluenceUpdate> batch(1);
+    batch[0].edge = i;
+    batch[0].entries = {{i, 0.25 + 0.1 * i}, {i + 1, 0.5}};
+    Require(wal->Append(batch) != 0, "seed append must succeed");
+  }
+  Require(wal->Sync(), "seed sync must succeed");
+  wal.reset();
+  std::ifstream in(dir + "/" + WalSegmentName(1), std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  Require(!bytes.empty(), "seed segment must exist");
+  fs::remove_all(dir);
+  return bytes;
+}
+
+}  // namespace
+}  // namespace pitex
+
+extern "C" int LLVMFuzzerInitialize(int* /*argc*/, char*** /*argv*/) {
+  using namespace pitex;
+  // Self-check: the pristine seed must read back cleanly before any
+  // fuzzing starts.
+  const std::string seed = ValidSegmentBytes();
+  {
+    std::ofstream out(ScratchDir() + "/" + WalSegmentName(1),
+                      std::ios::binary);
+    out.write(seed.data(), static_cast<std::streamsize>(seed.size()));
+  }
+  std::vector<WalRecord> records;
+  const WalReadResult result = ReadWalAfter(ScratchDir(), 0, &records);
+  Require(result.status == WalReadStatus::kOk, "seed segment must read");
+  Require(records.size() == 3, "seed segment must hold three records");
+  if (const char* dir = std::getenv("PITEX_FUZZ_SEED_DIR")) {
+    std::ofstream out(std::string(dir) + "/seed_segment.log",
+                      std::ios::binary);
+    out.write(seed.data(), static_cast<std::streamsize>(seed.size()));
+  }
+  return 0;
+}
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  using namespace pitex;
+  {
+    std::ofstream out(ScratchDir() + "/" + WalSegmentName(1),
+                      std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(data),
+              static_cast<std::streamsize>(size));
+  }
+  std::vector<WalRecord> records;
+  const WalReadResult result = ReadWalAfter(ScratchDir(), 0, &records);
+  if (result.status == WalReadStatus::kOk ||
+      result.status == WalReadStatus::kTornTail) {
+    // Survivors must be a dense, ascending LSN prefix with sane bodies.
+    uint64_t expected = 1;
+    for (const WalRecord& record : records) {
+      Require(record.lsn == expected, "LSNs dense from after_lsn+1");
+      ++expected;
+      for (const EdgeInfluenceUpdate& update : record.updates) {
+        Require(update.entries.size() <= (64u << 20),
+                "entry count bounded by the record size cap");
+      }
+    }
+  } else {
+    Require(records.empty() || result.status == WalReadStatus::kCorrupt,
+            "failed reads surface no phantom suffix");
+  }
+  return 0;
+}

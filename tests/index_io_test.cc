@@ -8,6 +8,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdio>
+#include <filesystem>
 #include <limits>
 #include <sstream>
 #include <string>
@@ -420,9 +422,12 @@ TEST(IndexIoTypedErrorTest, HeaderFailuresClassified) {
                                        uint64_t{1} << 30)),
             IndexIoCode::kBadOptions);
 
-  // A header cut mid-options is truncation, not corruption.
+  // A header cut mid-options at end-of-stream reads as a torn write
+  // (the file simply ends early -- the signature of a crashed
+  // non-atomic save); kTruncated is reserved for streams with bytes
+  // still behind the short read.
   const std::string header = EncodeHeader(2, kRr, fp, 0.1, 0.01, 8);
-  EXPECT_EQ(LoadRrCode(n, header.substr(0, 40)), IndexIoCode::kTruncated);
+  EXPECT_EQ(LoadRrCode(n, header.substr(0, 40)), IndexIoCode::kTornWrite);
 }
 
 TEST(IndexIoTypedErrorTest, ChecksumMismatchClassified) {
@@ -489,6 +494,64 @@ TEST(IndexIoTypedErrorTest, InjectedFaultsClassifiedRetryable) {
   EXPECT_NE(LoadRrIndex(n, retry, &error), nullptr);
 }
 
+TEST(IndexIoTypedErrorTest, TornWriteClassified) {
+  // A valid prefix cut short at EOF is an interrupted writer, not bit
+  // rot: the code must say "torn-write" so operators fall back to an
+  // older file instead of suspecting the disk.
+  const SocialNetwork n = MakeRunningExample();
+  RrIndex index(n, SmallOptions());
+  index.Build();
+  std::stringstream file;
+  ASSERT_TRUE(SaveRrIndex(index, file));
+  const std::string bytes = file.str();
+
+  std::stringstream torn(bytes.substr(0, bytes.size() - 5));
+  IndexIoError error;
+  EXPECT_EQ(LoadRrIndex(n, torn, &error), nullptr);
+  EXPECT_EQ(error.code, IndexIoCode::kTornWrite);
+  EXPECT_FALSE(error.retryable());  // the bytes are gone for good
+
+  // Damage with bytes still behind it keeps its specific code: only a
+  // clean cut AT end-of-file reads as a torn write.
+  std::string flipped = bytes;
+  flipped[bytes.size() / 2] ^= 0x01;
+  std::stringstream corrupt(flipped);
+  EXPECT_EQ(LoadRrIndex(n, corrupt, &error), nullptr);
+  EXPECT_NE(error.code, IndexIoCode::kTornWrite);
+}
+
+TEST(IndexIoTypedErrorTest, PathSaveIsCrashAtomic) {
+  // The path overload stages to *.tmp and renames: a failed save must
+  // leave the previous file byte-identical and no temp orphan behind.
+  const SocialNetwork n = MakeRunningExample();
+  RrIndex index(n, SmallOptions());
+  index.Build();
+  const std::string path = ::testing::TempDir() + "/atomic.rridx";
+  const std::string tmp = path + ".tmp";
+  std::remove(path.c_str());
+  std::remove(tmp.c_str());
+
+  IndexIoError error;
+  ASSERT_TRUE(SaveRrIndex(index, path, &error)) << error.message;
+  EXPECT_FALSE(std::filesystem::exists(tmp)) << "temp file left behind";
+  const auto before = std::filesystem::file_size(path);
+  EXPECT_GT(before, 0u);
+
+#if PITEX_FAILPOINTS_ENABLED
+  FailpointRegistry::Instance().DisableAll();
+  FailpointConfig config;
+  config.mode = FailpointMode::kError;
+  FailpointRegistry::Instance().Enable("index_io/save", config);
+  EXPECT_FALSE(SaveRrIndex(index, path, &error));
+  FailpointRegistry::Instance().DisableAll();
+  EXPECT_FALSE(std::filesystem::exists(tmp)) << "orphan after failed save";
+  EXPECT_EQ(std::filesystem::file_size(path), before)
+      << "failed save disturbed the published file";
+  EXPECT_NE(LoadRrIndex(n, path, &error), nullptr) << error.message;
+#endif
+  std::remove(path.c_str());
+}
+
 TEST(IndexIoTypedErrorTest, StringAndTypedOverloadsAgree) {
   const SocialNetwork n = MakeRunningExample();
   RrIndex index(n, SmallOptions());
@@ -514,6 +577,7 @@ TEST(IndexIoTypedErrorTest, CodeNamesAreStable) {
   EXPECT_STREQ(IndexIoCodeName(IndexIoCode::kFaultInjected),
                "fault-injected");
   EXPECT_STREQ(IndexIoCodeName(IndexIoCode::kBadOptions), "bad-options");
+  EXPECT_STREQ(IndexIoCodeName(IndexIoCode::kTornWrite), "torn-write");
 }
 
 }  // namespace

@@ -243,6 +243,22 @@ TEST(PitexServiceTest, ApplyUpdatesPublishesNewEpochAndReclaimsOld) {
   const ServiceStats stats = service.Stats();
   EXPECT_EQ(stats.snapshots_alive, 0u);
   EXPECT_EQ(stats.epochs_published, 2u);
+  // Without a durability_dir the whole durability section stays zero.
+  EXPECT_EQ(stats.wal_appends, 0u);
+  EXPECT_EQ(stats.wal_fsyncs, 0u);
+  EXPECT_EQ(stats.wal_append_failures, 0u);
+  EXPECT_EQ(stats.checkpoints, 0u);
+  EXPECT_EQ(stats.checkpoint_failures, 0u);
+  EXPECT_EQ(stats.recovery_replayed_lsns, 0u);
+}
+
+TEST(PitexServiceTest, DurabilityRequiresUpdates) {
+  const SocialNetwork n = MakeRunningExample();
+  ServeOptions options;
+  options.engine.method = Method::kIndexEst;
+  options.num_threads = 1;
+  options.durability_dir = "/tmp/pitex_service_test_wal";
+  EXPECT_DEATH(PitexService(&n, options), "enable_updates");
 }
 
 TEST(PitexServiceTest, UpdatesRequireOptIn) {

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """PITEX repo-specific static checks.
 
-Four rules encode invariants the compiler cannot see (and that no
+Five rules encode invariants the compiler cannot see (and that no
 pre-packaged linter knows about):
 
   noalloc          Functions annotated PITEX_NOALLOC (src/util/
@@ -37,6 +37,17 @@ pre-packaged linter knows about):
                    loops.  Inject faults at the call boundary (I/O,
                    dispatch, lock acquisition) instead.
 
+  io-checked       The durability layer (WAL, checkpoints, atomic
+                   index saves) is only as honest as its error checks:
+                   a dropped write(2)/fsync(2) result can acknowledge
+                   an update that never reached disk.  Under src/ the
+                   checker flags statement-position calls to the raw
+                   I/O primitives (write, fwrite, fsync, fdatasync,
+                   ftruncate, close) whose return value is discarded.
+                   Member calls (stream.write(...)) are exempt -- stream
+                   state carries the error -- and `(void)` casts count
+                   as an explicit, audited discard.
+
 Suppression: append `// pitex-check: allow(<rule>): <reason>` to the
 finding line or the line directly above it.  Every suppression needs the
 reason -- it is the audit trail for intended warmup-growth points.
@@ -55,7 +66,7 @@ import re
 import sys
 
 RULES = ("noalloc", "scratch-capture", "determinism",
-         "failpoint-hotpath")
+         "failpoint-hotpath", "io-checked")
 
 SCRATCH_TYPES = (
     "EstimateScratch",
@@ -568,6 +579,75 @@ def check_determinism(path, raw, text):
     return findings
 
 
+# Raw I/O primitives whose int return carries the only failure signal.
+IO_CALLS = ("close", "fdatasync", "fsync", "ftruncate", "fwrite", "write")
+IO_CALL_RE = re.compile(r"\b(" + "|".join(IO_CALLS) + r")\s*\(")
+
+
+def check_io_checked(path, raw, text):
+    """Flags statement-position raw I/O calls whose result is dropped.
+
+    Scoped to src/ (the durability-bearing tree); tests and tools may
+    discard results freely (pipes to dying children, best-effort
+    cleanup). The testdata directory stays in scope so the selftest can
+    exercise the rule.
+    """
+    findings = []
+    norm = path.replace(os.sep, "/")
+    if not (norm.startswith("src/") or "/src/" in norm
+            or "tools/check/testdata" in norm):
+        return findings
+
+    def prev_nonspace(j):
+        while j >= 0 and text[j] in " \t\n":
+            j -= 1
+        return j
+
+    for m in IO_CALL_RE.finditer(text):
+        name = m.group(1)
+        j = prev_nonspace(m.start() - 1)
+        if j >= 1 and text[j] == ":" and text[j - 1] == ":":
+            # Qualified call: global `::write` stays in scope; `std::`
+            # resolves to the same primitive; any other qualifier is a
+            # different function that happens to share the name.
+            j = prev_nonspace(j - 2)
+            end = j
+            while j >= 0 and (text[j].isalnum() or text[j] == "_"):
+                j -= 1
+            qualifier = text[j + 1:end + 1]
+            if qualifier and qualifier != "std":
+                continue
+            j = prev_nonspace(j)
+        if j >= 0 and text[j] in ".>":
+            continue  # member call: the object carries the error state
+        if j >= 0 and text[j] == ":":
+            continue  # label / ternary arm: value is consumed
+        if j >= 0 and text[j] == ")":
+            # Walk back over the closing paren group: `(void)` casts are
+            # an explicit audited discard; anything else reaching here
+            # (e.g. a braceless `if (...) fsync(fd);`) still drops the
+            # result.
+            k, depth = j, 0
+            while k >= 0:
+                if text[k] == ")":
+                    depth += 1
+                elif text[k] == "(":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                k -= 1
+            if text[k + 1:j].strip() == "void":
+                continue
+        elif j >= 0 and text[j] not in ";{}":
+            continue  # value consumed (assignment, condition, argument)
+        findings.append(Finding(
+            path, line_of(text, m.start()), "io-checked",
+            f"unchecked '{name}()' return: a dropped I/O result can "
+            "acknowledge data that never reached disk; test the result "
+            "or cast to (void) with an allow() reason"))
+    return findings
+
+
 def check_file(path):
     with open(path, encoding="utf-8", errors="replace") as f:
         raw = f.read()
@@ -578,6 +658,7 @@ def check_file(path):
     findings += check_scratch_capture(path, raw, text)
     findings += check_determinism(path, raw, text)
     findings += check_failpoint_hotpath(path, raw, text)
+    findings += check_io_checked(path, raw, text)
     return [f for f in findings if f.line not in cover[f.rule]]
 
 

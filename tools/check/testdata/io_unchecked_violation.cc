@@ -1,0 +1,46 @@
+// Seeded violations for the [io-checked] rule: the durability layer is
+// only as honest as its error checks -- a dropped write(2)/fsync(2)
+// result can acknowledge an update that never reached disk. Never
+// compiled -- selftest input only.
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace pitex {
+
+void DroppedResultsEverywhere(int fd, std::FILE* file, const char* buf) {
+  write(fd, buf, 8);             // expect(io-checked)
+  ::write(fd, buf, 8);           // expect(io-checked)
+  fwrite(buf, 1, 8, file);       // expect(io-checked)
+  std::fwrite(buf, 1, 8, file);  // expect(io-checked)
+  fsync(fd);                     // expect(io-checked)
+  ::fdatasync(fd);               // expect(io-checked)
+  ::ftruncate(fd, 0);            // expect(io-checked)
+  close(fd);                     // expect(io-checked)
+  if (fd > 0) ::fsync(fd);       // expect(io-checked)
+}
+
+bool CheckedResultsAreFine(int fd, std::FILE* file, const char* buf) {
+  if (::write(fd, buf, 8) != 8) return false;    // condition consumes it
+  const size_t n = fwrite(buf, 1, 8, file);      // assignment consumes it
+  bool ok = n == 8 && ::fsync(fd) == 0;          // expression consumes it
+  ok = ok && ::close(fd) == 0;
+  return ok ? ::fdatasync(fd) == 0 : false;      // ternary arm consumes it
+}
+
+void MemberCallsAndVoidCastsAreFine(std::ofstream& out, int fd,
+                                   const char* buf) {
+  out.write(buf, 8);   // stream state carries the error; checked later
+  out.close();
+  (void)::close(fd);   // explicit, audited discard
+  (void)write(fd, buf, 8);
+}
+
+void SuppressedTeardown(int fd) {
+  // pitex-check: allow(io-checked): best-effort close on teardown
+  ::close(fd);
+}
+
+}  // namespace pitex
