@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <sstream>
 #include <thread>
@@ -522,8 +523,11 @@ std::shared_ptr<const IndexSnapshot> PitexService::FreezeSnapshotLocked(
 }
 
 uint64_t PitexService::ApplyUpdates(
-    std::span<const EdgeInfluenceUpdate> updates) {
+    std::span<const EdgeInfluenceUpdate> updates,
+    ApplyUpdatesOutcome* outcome) {
   Start();
+  ApplyUpdatesOutcome local_outcome;
+  if (outcome == nullptr) outcome = &local_outcome;
   // The master check belongs under the lock too: reading master_ before
   // acquiring update_mutex_ was an unguarded access the annotation pass
   // rejected (harmless today only because Start() is ordered first, but
@@ -531,6 +535,24 @@ uint64_t PitexService::ApplyUpdates(
   MutexLock lock(update_mutex_);
   PITEX_CHECK_MSG(master_ != nullptr,
                   "ApplyUpdates requires options.enable_updates");
+  // Validate BEFORE the WAL append, with exactly the checks recovery
+  // applies on replay: once an invalid batch is committed it is a
+  // durable poison record -- the in-process abort it used to cause
+  // would recur as a recovery failure on every restart, and nothing
+  // acknowledged since the last checkpoint would be reachable again.
+  // Rejecting here keeps the log's invariant: every record it holds is
+  // a record replay will accept.
+  for (const EdgeInfluenceUpdate& update : updates) {
+    bool valid = update.edge < network_->num_edges();
+    for (const EdgeTopicEntry& entry : update.entries) {
+      valid = valid && std::isfinite(entry.prob) && entry.prob >= 0.0 &&
+              entry.prob <= 1.0;
+    }
+    if (!valid) {
+      *outcome = ApplyUpdatesOutcome::kInvalidBatch;
+      return 0;  // nothing logged, nothing applied
+    }
+  }
   if (wal_ != nullptr) {
     // Durable-before-apply: the batch reaches disk (and the fsync
     // commit point, per policy) before the master mutates or the caller
@@ -544,6 +566,7 @@ uint64_t PitexService::ApplyUpdates(
     wal_fsyncs_.store(wal_->fsyncs(), std::memory_order_relaxed);
     if (!committed) {
       wal_append_failures_.fetch_add(1, std::memory_order_relaxed);
+      *outcome = ApplyUpdatesOutcome::kWalFailed;
       return 0;  // rejected: not durable, not applied, not acknowledged
     }
     last_durable_lsn_ = lsn;
@@ -565,11 +588,13 @@ uint64_t PitexService::ApplyUpdates(
     // batch IS already committed to the WAL -- recovery replays it even
     // though no epoch carried it yet.
     publish_failures_.fetch_add(1, std::memory_order_relaxed);
+    *outcome = ApplyUpdatesOutcome::kPublishFailed;
     return 0;
   }
   registry_.Publish(snapshot);
   work_cv_.NotifyAll();  // idle pumps may rebind eagerly on next query
   if (wal_ != nullptr) MaybeCheckpointLocked(*snapshot);
+  *outcome = ApplyUpdatesOutcome::kPublished;
   return epoch;
 }
 

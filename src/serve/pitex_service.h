@@ -146,6 +146,27 @@ enum class ServeStatus : uint8_t {
   kShed,
 };
 
+/// Disposition of one ApplyUpdates call (optional out-parameter). The
+/// epoch return value alone cannot tell a caller what to do with a
+/// rejected batch: a WAL failure means "retry the same batch", while a
+/// publish failure means the batch IS applied (and durable, when
+/// enabled) and a retry would apply it twice.
+enum class ApplyUpdatesOutcome : uint8_t {
+  /// Applied and published; the return value is the new epoch.
+  kPublished,
+  /// The batch failed validation (edge out of range, non-finite or
+  /// out-of-[0,1] probability). Nothing was logged or applied; the same
+  /// batch fails the same way on retry — fix it, don't resend it.
+  kInvalidBatch,
+  /// The WAL append/commit failed: the batch is neither durable nor
+  /// applied (the uncommitted bytes were rolled back). Retry the batch.
+  kWalFailed,
+  /// Every snapshot-freeze attempt failed: the batch is applied to the
+  /// master (and durable, when enabled) but readers keep the previous
+  /// epoch until the next successful publish folds it in. Do NOT retry.
+  kPublishFailed,
+};
+
 /// One served answer plus serving metadata.
 struct ServedResult {
   PitexResult result;
@@ -205,12 +226,20 @@ class PitexService {
   /// Durability: with options.durability_dir set, the batch is appended
   /// to the WAL and committed (fsync per policy) BEFORE the master is
   /// repaired -- a return value != 0 means the batch survives any
-  /// subsequent crash. If the WAL append or commit fails, the batch is
-  /// rolled back out of the log, the master is left untouched, and the
-  /// call returns 0: unlike a publish failure, nothing was applied and
-  /// the caller must retry the batch (distinguish via
-  /// Stats().wal_append_failures).
-  uint64_t ApplyUpdates(std::span<const EdgeInfluenceUpdate> updates)
+  /// subsequent crash. Batches are validated (edge bounds, probability
+  /// range/finiteness -- the same checks recovery applies on replay)
+  /// BEFORE the append: an invalid batch is rejected up front and never
+  /// reaches the log, because a durable poison record would turn one
+  /// bad call into a permanent recovery failure on every restart. If
+  /// the WAL append or commit fails, the batch is rolled back out of
+  /// the log and the master is left untouched.
+  ///
+  /// All three failure modes return 0; `outcome` (when non-null) tells
+  /// the caller which one happened -- and therefore whether retrying is
+  /// safe (kWalFailed), futile (kInvalidBatch), or double-applies the
+  /// batch (kPublishFailed).
+  uint64_t ApplyUpdates(std::span<const EdgeInfluenceUpdate> updates,
+                        ApplyUpdatesOutcome* outcome = nullptr)
       PITEX_EXCLUDES(update_mutex_);
 
   /// The snapshot new queries are currently served from.

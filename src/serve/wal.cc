@@ -66,11 +66,19 @@ struct SegmentFile {
 };
 
 // Segments in `dir`, sorted by the start LSN encoded in the filename
-// (the header restates it; ReadWalAfter cross-checks the two).
-std::vector<SegmentFile> ListSegments(const std::string& dir) {
+// (the header restates it; ReadWalAfter cross-checks the two). A
+// failing listing must not read as an empty log — an I/O error during
+// recovery would silently discard acknowledged history — so iteration
+// errors are surfaced through `io_error` (callers that only delete,
+// like TruncateThrough, may pass nullptr and skip the pass instead).
+std::vector<SegmentFile> ListSegments(const std::string& dir,
+                                      std::error_code* io_error) {
   std::vector<SegmentFile> segments;
   std::error_code ec;
-  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+  std::filesystem::directory_iterator it(dir, ec);
+  for (; !ec && it != std::filesystem::directory_iterator();
+       it.increment(ec)) {
+    const auto& entry = *it;
     const std::string name = entry.path().filename().string();
     if (name.size() != 4 + 16 + 4 || name.rfind("wal-", 0) != 0 ||
         name.compare(name.size() - 4, 4, ".log") != 0) {
@@ -89,6 +97,7 @@ std::vector<SegmentFile> ListSegments(const std::string& dir) {
     if (!valid) continue;
     segments.push_back(SegmentFile{lsn, entry.path().string()});
   }
+  if (ec && io_error != nullptr) *io_error = ec;
   std::sort(segments.begin(), segments.end(),
             [](const SegmentFile& a, const SegmentFile& b) {
               return a.start_lsn < b.start_lsn;
@@ -187,13 +196,21 @@ bool WriteAheadLog::OpenSegment(uint64_t start_lsn, std::string* error) {
 }
 
 void WriteAheadLog::RollBackTo(uint64_t offset) {
-  // Best effort: if the truncate itself fails, the file may retain an
-  // uncommitted suffix — recovery replaying a never-acknowledged batch
-  // is benign (the acknowledged prefix is unaffected), so this is not
-  // promoted to a hard error.
-  if (::ftruncate(fd_, static_cast<off_t>(offset)) == 0) {
-    // pitex-check: allow(io-checked): offset restored best-effort with truncate
-    ::lseek(fd_, static_cast<off_t>(offset), SEEK_SET);
+  // If the truncate (or the seek back to the new end) fails, the file
+  // still holds the rolled-back bytes while the writer's accounting
+  // says they are gone: the next append would land after the stale
+  // frames, and the reader would see either never-acknowledged records
+  // replayed or a duplicate-LSN sequence it rightly refuses as corrupt.
+  // Poison the writer instead — every later Append/Sync fails, the
+  // committed prefix on disk stays exactly as acknowledged, and the
+  // service degrades to rejecting updates rather than corrupting its
+  // own log.
+  if (::ftruncate(fd_, static_cast<off_t>(offset)) != 0 ||
+      ::lseek(fd_, static_cast<off_t>(offset), SEEK_SET) < 0) {
+    // pitex-check: allow(io-checked): poisoning; the fd is abandoned
+    ::close(fd_);
+    fd_ = -1;
+    return;  // offset_ is stale but unreachable: fd_ < 0 gates all writes
   }
   offset_ = offset;
 }
@@ -276,7 +293,9 @@ bool WriteAheadLog::Sync() {
 }
 
 void WriteAheadLog::TruncateThrough(uint64_t lsn) {
-  const std::vector<SegmentFile> segments = ListSegments(dir_);
+  // Deletion is best effort (a skipped pass only delays reclamation),
+  // so a listing error is ignored rather than surfaced.
+  const std::vector<SegmentFile> segments = ListSegments(dir_, nullptr);
   for (size_t i = 0; i + 1 < segments.size(); ++i) {
     // Segment i's records all precede segment i+1's start; the active
     // segment (always last) is never deleted.
@@ -293,7 +312,16 @@ WalReadResult ReadWalAfter(const std::string& dir, uint64_t after_lsn,
   if (!std::filesystem::exists(dir, ec)) {
     return MakeResult(WalReadStatus::kOk, "");  // absent dir == empty log
   }
-  const std::vector<SegmentFile> segments = ListSegments(dir);
+  std::error_code list_error;
+  const std::vector<SegmentFile> segments = ListSegments(dir, &list_error);
+  if (list_error) {
+    // A failed listing is indistinguishable from "some segments
+    // invisible" — reporting kOk with whatever subset survived would
+    // present an I/O error as a shorter history.
+    return MakeResult(WalReadStatus::kIoError,
+                      "cannot list WAL directory " + dir + ": " +
+                          list_error.message());
+  }
   uint64_t expected = 0;  // next LSN demanded by continuity; 0 = unanchored
   for (size_t s = 0; s < segments.size(); ++s) {
     const bool last_segment = s + 1 == segments.size();
@@ -383,8 +411,15 @@ WalReadResult ReadWalAfter(const std::string& dir, uint64_t after_lsn,
       BinaryReader reader(&blob_stream);
       WalRecord record;
       uint64_t count = 0;
+      // Declared counts are untrusted until the checksum verifies, and
+      // the reserve below runs before that: bound them by what the blob
+      // could physically encode — an update costs at least 12 bytes
+      // (edge u32 + entry-count u64), an entry exactly 12 (topic u32 +
+      // prob f64) — so a corrupt count field caps the up-front
+      // allocation at the record's own size instead of multi-GB.
+      constexpr uint64_t kMinUpdateBytes = 12;
       bool parsed = reader.ReadU64(&record.lsn) && reader.ReadU64(&count) &&
-                    count <= blob_len;  // every update costs >= 1 byte
+                    count <= blob_len / kMinUpdateBytes;
       if (parsed) {
         record.updates.reserve(count);
         for (uint64_t i = 0; parsed && i < count; ++i) {
@@ -392,7 +427,7 @@ WalReadResult ReadWalAfter(const std::string& dir, uint64_t after_lsn,
           uint32_t edge = 0;
           uint64_t entries = 0;
           parsed = reader.ReadU32(&edge) && reader.ReadU64(&entries) &&
-                   entries <= blob_len;
+                   entries <= blob_len / kMinUpdateBytes;
           update.edge = edge;
           for (uint64_t j = 0; parsed && j < entries; ++j) {
             EdgeTopicEntry entry;

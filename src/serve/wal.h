@@ -124,7 +124,11 @@ class WriteAheadLog {
   bool OpenSegment(uint64_t start_lsn, std::string* error);
   bool RotateIfNeeded();
   /// Truncates the active segment back to `offset` and rewinds the
-  /// write cursor (failed-append / failed-commit rollback).
+  /// write cursor (failed-append / failed-commit rollback). If the
+  /// truncate/seek itself fails the writer is poisoned (fd_ = -1):
+  /// appending after a failed rollback would interleave live records
+  /// with stale uncommitted bytes, so every later Append/Sync fails
+  /// instead and the on-disk committed prefix stays intact.
   void RollBackTo(uint64_t offset);
   bool FsyncSegment();
 

@@ -26,6 +26,7 @@
 #include <csignal>
 #include <cstdint>
 #include <filesystem>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -326,7 +327,11 @@ TEST_F(CrashRecoveryTest, WalCommitFailureRejectsBatchWithoutApplying) {
   config.fires = 1;
   FailpointRegistry::Instance().Enable("wal/fsync", config);
   std::vector<EdgeInfluenceUpdate> batch{MakeUpdate(n, 0)};
-  EXPECT_EQ(service.ApplyUpdates(batch), 0u);
+  ApplyUpdatesOutcome outcome;
+  EXPECT_EQ(service.ApplyUpdates(batch, &outcome), 0u);
+  // kWalFailed is the retryable rejection: the caller is told the batch
+  // was neither durable nor applied.
+  EXPECT_EQ(outcome, ApplyUpdatesOutcome::kWalFailed);
   FailpointRegistry::Instance().DisableAll();
   {
     const ServiceStats stats = service.Stats();
@@ -335,8 +340,69 @@ TEST_F(CrashRecoveryTest, WalCommitFailureRejectsBatchWithoutApplying) {
   }
   // Retry commits cleanly at the first LSN. (The appends counter saw
   // both the rolled-back attempt and the retry.)
-  EXPECT_EQ(service.ApplyUpdates(batch), 2u);
+  EXPECT_EQ(service.ApplyUpdates(batch, &outcome), 2u);
+  EXPECT_EQ(outcome, ApplyUpdatesOutcome::kPublished);
   EXPECT_EQ(service.Stats().wal_appends, 2u);
+}
+
+TEST_F(CrashRecoveryTest, MalformedBatchRejectedBeforeItPoisonsTheLog) {
+  // An invalid batch must be rejected BEFORE the WAL append: were it
+  // committed first, the abort it used to cause in the master would
+  // recur as a recovery failure on every restart -- one bad call turned
+  // into a permanent crash loop, with everything acknowledged since the
+  // last checkpoint unreachable behind the poison record.
+  const SocialNetwork n = MakeRunningExample();
+  {
+    PitexService service(&n, DurableOptions(dir_));
+    service.Start();
+    std::vector<EdgeInfluenceUpdate> good{MakeUpdate(n, 0)};
+    ASSERT_EQ(service.ApplyUpdates(good), 2u);
+
+    ApplyUpdatesOutcome outcome;
+    std::vector<EdgeInfluenceUpdate> bad_edge{MakeUpdate(n, 0)};
+    bad_edge[0].edge = static_cast<EdgeId>(n.num_edges());  // out of range
+    EXPECT_EQ(service.ApplyUpdates(bad_edge, &outcome), 0u);
+    EXPECT_EQ(outcome, ApplyUpdatesOutcome::kInvalidBatch);
+
+    std::vector<EdgeInfluenceUpdate> bad_prob{MakeUpdate(n, 1)};
+    bad_prob[0].entries[0].prob = 1.5;
+    EXPECT_EQ(service.ApplyUpdates(bad_prob, &outcome), 0u);
+    EXPECT_EQ(outcome, ApplyUpdatesOutcome::kInvalidBatch);
+
+    std::vector<EdgeInfluenceUpdate> bad_nan{MakeUpdate(n, 2)};
+    bad_nan[0].entries[0].prob = std::numeric_limits<double>::quiet_NaN();
+    EXPECT_EQ(service.ApplyUpdates(bad_nan, &outcome), 0u);
+    EXPECT_EQ(outcome, ApplyUpdatesOutcome::kInvalidBatch);
+
+    // Nothing reached the log or the master: epoch and append counters
+    // only reflect the one good batch.
+    const ServiceStats stats = service.Stats();
+    EXPECT_EQ(stats.current_epoch, 2u);
+    EXPECT_EQ(stats.wal_appends, 1u);
+    EXPECT_EQ(stats.wal_append_failures, 0u);
+
+    // The service keeps accepting valid batches after the rejections.
+    EXPECT_EQ(service.ApplyUpdates(good), 3u);
+  }
+  // The log holds only the two valid records, so restart recovers
+  // cleanly and bit-identically -- the poison never became durable.
+  PitexService recovered(&n, DurableOptions(dir_));
+  recovered.Start();
+  ASSERT_EQ(recovered.current_epoch(), 3u);
+  PitexService reference(&n, DurableOptions(""));
+  reference.Start();
+  std::vector<EdgeInfluenceUpdate> good{MakeUpdate(n, 0)};
+  ASSERT_EQ(reference.ApplyUpdates(good), 2u);
+  ASSERT_EQ(reference.ApplyUpdates(good), 3u);
+  for (VertexId user = 0; user < n.num_vertices(); ++user) {
+    const PitexQuery query = {.user = user, .k = 2};
+    const ServedResult got = recovered.Submit(query).get();
+    const ServedResult want = reference.Submit(query).get();
+    ASSERT_EQ(got.status, ServeStatus::kOk);
+    ASSERT_EQ(got.result.tags, want.result.tags) << "user " << user;
+    ASSERT_EQ(got.result.influence, want.result.influence)
+        << "user " << user;
+  }
 }
 
 }  // namespace

@@ -103,7 +103,11 @@ TEST_F(ServeUnderFaultsTest, ExhaustedRetriesFoldIntoNextPublish) {
   FailpointRegistry::Instance().Enable("serve/publish_freeze", config);
 
   std::vector<EdgeInfluenceUpdate> first{MakeUpdate(n, 0)};
-  EXPECT_EQ(service.ApplyUpdates(first), 0u);  // gave up gracefully
+  ApplyUpdatesOutcome outcome;
+  EXPECT_EQ(service.ApplyUpdates(first, &outcome), 0u);  // gave up gracefully
+  // The outcome distinguishes this from a WAL rejection: the batch IS
+  // applied to the master, so the caller must NOT retry it.
+  EXPECT_EQ(outcome, ApplyUpdatesOutcome::kPublishFailed);
   EXPECT_EQ(service.current_epoch(), 1u);      // readers keep epoch 1
   {
     const ServiceStats stats = service.Stats();
