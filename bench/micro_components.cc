@@ -11,6 +11,9 @@
 
 #include "bench/bench_common.h"
 #include "src/core/engine.h"
+#include "src/obs/journal.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/serve/admission.h"
 #include "src/util/failpoint.h"
 #include "src/index/dynamic_index.h"
@@ -481,6 +484,61 @@ void BM_FailpointDisarmed(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
 }
 BENCHMARK(BM_FailpointDisarmed);
+
+void BM_MetricsIncrement(benchmark::State& state) {
+  // The registered-handle fast path every serving counter pays: one
+  // relaxed fetch_add into the calling thread's cacheline-padded shard.
+  // Must match BM_FailpointDisarmed's order of magnitude or counters
+  // could not ride the per-query path.
+  static obs::Counter* counter = new obs::Counter();
+  for (auto _ : state) {
+    counter->Inc();
+  }
+  benchmark::DoNotOptimize(counter->Value());
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MetricsIncrement);
+
+void BM_HotCounterIncrement(benchmark::State& state) {
+  // The PITEX_COUNT macro form sanctioned inside PITEX_NOALLOC bodies:
+  // a constant array index plus the same relaxed fetch_add.
+  for (auto _ : state) {
+    PITEX_COUNT(kSolveFrontierPops, 1);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_HotCounterIncrement);
+
+void BM_SpanStartStop(benchmark::State& state) {
+  // PITEX_SPAN cost, both regimes (docs/perf.md). Arg(0) = disarmed
+  // (sampling off: a thread-local load and a branch, no clock read);
+  // Arg(1) = armed (every trace sampled: two steady_clock reads plus a
+  // ring append under the thread-local buffer's uncontended mutex).
+  const bool armed = state.range(0) != 0;
+  obs::Tracer::Instance().SetSampleEvery(armed ? 1 : 0);
+  obs::Tracer::Instance().Clear();
+  const uint64_t trace_id = obs::Tracer::Instance().StartTrace();
+  for (auto _ : state) {
+    PITEX_TRACE_SCOPE(trace_id);
+    PITEX_SPAN(kSolve);
+  }
+  obs::Tracer::Instance().SetSampleEvery(0);
+  obs::Tracer::Instance().Clear();
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SpanStartStop)->Arg(0)->Arg(1);
+
+void BM_JournalRecord(benchmark::State& state) {
+  // Wait-free flight-recorder append: fetch_add claim + five relaxed
+  // stores behind a seqlock stamp. Rare-event paths only, but cheap
+  // enough that recording never needs gating.
+  static obs::EventJournal* journal = new obs::EventJournal(1024);
+  for (auto _ : state) {
+    journal->Record(obs::EventKind::kShed, 1, 2);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_JournalRecord);
 
 void BM_TriggeringEstimate(benchmark::State& state) {
   const auto& n = Network();

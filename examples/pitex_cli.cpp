@@ -8,8 +8,11 @@
 //       mc, rr, lazy, lt, tim, indexest, indexest+, delaymat
 //       (default: lazy). Index methods load `index.rridx` when given
 //       instead of rebuilding.
-//   pitex_cli stats <net.pitex>
-//       Print network statistics.
+//   pitex_cli stats <net.pitex> [--format=json|prom] [--out=<file>]
+//       Print network statistics, then run a short deterministic
+//       serving burst and dump the metrics registry snapshot, the
+//       hot-counter table, and the event journal (docs/observability.md)
+//       in the chosen format (default json) to stdout or --out.
 //   pitex_cli index <net.pitex> <out.rridx> [theta_per_vertex]
 //       Build the RR-Graph index offline and persist it.
 //   pitex_cli plan <net.pitex> <expected_queries> <k>
@@ -22,11 +25,16 @@
 //       Answer a batch of queries across a worker pool and report
 //       throughput.
 //   pitex_cli serve <net.pitex> <queries> <updates> <threads> [wal_dir]
+//             [--stats-out=<file>] [--stats-format=json|prom]
 //       Run the serving tier end to end: answer queries, fold in edge
 //       updates, and report the full ServiceStats dump. With a wal_dir
 //       the service is durable (write-ahead log + checkpoints) and
-//       recovers whatever state the directory already holds.
+//       recovers whatever state the directory already holds. With
+//       --stats-out the final metrics snapshot + event journal are
+//       written to the file (json by default) after serving, leaving
+//       the human-readable stdout report unchanged.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -40,6 +48,8 @@
 #include "src/datasets/synthetic.h"
 #include "src/index/index_io.h"
 #include "src/model/network_io.h"
+#include "src/obs/journal.h"
+#include "src/obs/metrics.h"
 #include "src/sampling/sketch_oracle.h"
 #include "src/serve/pitex_service.h"
 #include "src/util/timer.h"
@@ -53,14 +63,15 @@ int Usage() {
                "usage:\n"
                "  pitex_cli gen <lastfm|diggs|dblp|twitter> <scale> <out>\n"
                "  pitex_cli query <net> <user> <k> [method] [index.rridx]\n"
-               "  pitex_cli stats <net>\n"
+               "  pitex_cli stats <net> [--format=json|prom] [--out=<file>]\n"
                "  pitex_cli index <net> <out.rridx> [theta_per_vertex]\n"
                "  pitex_cli plan <net> <expected_queries> <k>\n"
                "  pitex_cli screen <net> <count>\n"
                "  pitex_cli seeds <net> <k_seeds> <tag> [tag...]\n"
                "  pitex_cli batch <net> <queries> <k> <threads> [method]\n"
                "  pitex_cli serve <net> <queries> <updates> <threads> "
-               "[wal_dir]\n");
+               "[wal_dir]\n"
+               "             [--stats-out=<file>] [--stats-format=json|prom]\n");
   return 2;
 }
 
@@ -164,11 +175,50 @@ int CmdQuery(int argc, char** argv) {
   return 0;
 }
 
+// --name=value flag matcher: fills *value and returns true on a match.
+bool FlagValue(const char* arg, const char* name, std::string* value) {
+  const size_t n = std::strlen(name);
+  if (std::strncmp(arg, name, n) != 0 || arg[n] != '=') return false;
+  *value = arg + n + 1;
+  return true;
+}
+
+// Renders the service's registry snapshot, the process-wide hot-counter
+// table, and the event journal (oldest-first) to `out`. The journal
+// section follows the metrics in both formats -- the dump is a
+// diagnostic artifact, not a scrape endpoint (docs/observability.md).
+void DumpObservability(PitexService& service, const std::string& format,
+                       std::FILE* out) {
+  const obs::MetricsSnapshot snapshot = service.SnapshotMetrics();
+  const obs::MetricsSnapshot hot = obs::HotCountersSnapshot();
+  if (format == "prom") {
+    std::fputs(snapshot.ToPrometheus().c_str(), out);
+    std::fputs(hot.ToPrometheus().c_str(), out);
+  } else {
+    std::fputs(snapshot.ToJson().c_str(), out);
+    std::fputc('\n', out);
+    std::fputs(hot.ToJson().c_str(), out);
+    std::fputc('\n', out);
+  }
+  service.journal().DumpTo(out);
+}
+
 int CmdStats(int argc, char** argv) {
-  if (argc != 3) return Usage();
-  auto network = LoadNetwork(argv[2]);
+  std::string format = "json";
+  std::string out_path;
+  std::vector<char*> positional;
+  for (int i = 2; i < argc; ++i) {
+    if (FlagValue(argv[i], "--format", &format) ||
+        FlagValue(argv[i], "--out", &out_path)) {
+      continue;
+    }
+    positional.push_back(argv[i]);
+  }
+  if (positional.size() != 1) return Usage();
+  if (format != "json" && format != "prom") return Usage();
+  auto network = LoadNetwork(positional[0]);
   if (!network) {
-    std::fprintf(stderr, "error: cannot load %s\n", argv[2]);
+    std::fprintf(stderr, "error: cannot load %s\n", positional[0]);
     return 1;
   }
   std::printf("|V| = %zu\n|E| = %zu\n|E|/|V| = %.2f\n|Z| = %zu\n|W| = %zu\n",
@@ -176,6 +226,42 @@ int CmdStats(int argc, char** argv) {
               network->graph.AverageDegree(), network->topics.num_topics(),
               network->topics.num_tags());
   std::printf("tag-topic density = %.3f\n", network->topics.Density());
+
+  // A short deterministic serving burst so the registry, hot-counter
+  // table, and journal have something to say: two passes over the same
+  // users (the second hits the epoch-keyed cache) plus one published
+  // update batch (WAL-free here; `serve` covers the durable paths).
+  ServeOptions options;
+  options.engine.method = Method::kIndexEst;
+  options.num_threads = 2;
+  options.enable_updates = true;
+  PitexService service(network.operator->(), options);
+  service.Start();
+  const auto users = SampleUserGroup(network->graph, UserGroup::kMid,
+                                     /*count=*/8, /*seed=*/9);
+  const size_t k = std::min<size_t>(3, network->topics.num_tags());
+  std::vector<PitexQuery> queries;
+  for (VertexId user : users) queries.push_back({.user = user, .k = k});
+  service.ServeAll(queries);
+  service.ServeAll(queries);
+  std::vector<EdgeInfluenceUpdate> batch(1);
+  batch[0].edge = 0;
+  batch[0].entries = {{static_cast<TopicId>(0), 0.3}};
+  service.ApplyUpdates(batch);
+
+  std::FILE* out = stdout;
+  if (!out_path.empty()) {
+    out = std::fopen(out_path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+  }
+  std::printf("\nobservability dump (%s, %zu queries + 1 update)%s%s:\n",
+              format.c_str(), queries.size() * 2,
+              out_path.empty() ? "" : " -> ", out_path.c_str());
+  DumpObservability(service, format, out);
+  if (out != stdout) std::fclose(out);
   return 0;
 }
 
@@ -315,21 +401,32 @@ int CmdBatch(int argc, char** argv) {
 }
 
 int CmdServe(int argc, char** argv) {
-  if (argc < 6 || argc > 7) return Usage();
-  auto network = LoadNetwork(argv[2]);
+  std::string stats_out;
+  std::string stats_format = "json";
+  std::vector<char*> positional;
+  for (int i = 2; i < argc; ++i) {
+    if (FlagValue(argv[i], "--stats-out", &stats_out) ||
+        FlagValue(argv[i], "--stats-format", &stats_format)) {
+      continue;
+    }
+    positional.push_back(argv[i]);
+  }
+  if (positional.size() < 4 || positional.size() > 5) return Usage();
+  if (stats_format != "json" && stats_format != "prom") return Usage();
+  auto network = LoadNetwork(positional[0]);
   if (!network) {
-    std::fprintf(stderr, "error: cannot load %s\n", argv[2]);
+    std::fprintf(stderr, "error: cannot load %s\n", positional[0]);
     return 1;
   }
-  const auto num_queries = static_cast<size_t>(std::atoi(argv[3]));
-  const auto num_updates = static_cast<size_t>(std::atoi(argv[4]));
+  const auto num_queries = static_cast<size_t>(std::atoi(positional[1]));
+  const auto num_updates = static_cast<size_t>(std::atoi(positional[2]));
 
   ServeOptions options;
   options.engine.method = Method::kIndexEst;
-  options.num_threads = static_cast<size_t>(std::atoi(argv[5]));
+  options.num_threads = static_cast<size_t>(std::atoi(positional[3]));
   options.enable_updates = true;
-  if (argc == 7) {
-    options.durability_dir = argv[6];
+  if (positional.size() == 5) {
+    options.durability_dir = positional[4];
     options.checkpoint_every = 4;
   }
   PitexService service(network.operator->(), options);
@@ -389,6 +486,17 @@ int CmdServe(int argc, char** argv) {
               static_cast<unsigned long long>(stats.wal_fsyncs),
               static_cast<unsigned long long>(stats.checkpoints),
               static_cast<unsigned long long>(stats.checkpoint_failures));
+  if (!stats_out.empty()) {
+    std::FILE* out = std::fopen(stats_out.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "error: cannot write %s\n", stats_out.c_str());
+      return 1;
+    }
+    DumpObservability(service, stats_format, out);
+    std::fclose(out);
+    std::printf("stats:      %s snapshot + journal -> %s\n",
+                stats_format.c_str(), stats_out.c_str());
+  }
   return 0;
 }
 

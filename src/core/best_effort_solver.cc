@@ -4,6 +4,7 @@
 #include <limits>
 #include <utility>
 
+#include "src/obs/metrics.h"
 #include "src/util/check.h"
 #include "src/util/timer.h"
 
@@ -69,14 +70,22 @@ PITEX_NOALLOC void SolveTopNByBestEffort(const SocialNetwork& network,
 
   const double budget = query.budget_seconds;
   while (!arena.empty()) {
+    // Hot counters use the preallocated PITEX_COUNT form -- the only
+    // metrics primitive allowed in a PITEX_NOALLOC body (tools/check
+    // rule `obs-hotpath`); one relaxed sharded fetch_add is noise
+    // against the estimation a pop performs.
+    PITEX_COUNT(kSolveFrontierPops, 1);
     // Cooperative deadline checkpoint, once per frontier pop (one pop
     // costs at least one bounded estimation, so the clock read is noise
     // against the work it gates). Without a budget the check is a single
     // double compare -- no clock read, and the search is bit-identical
     // to a budget-free build.
-    if (budget > 0.0 && timer.Seconds() >= budget) {
-      counters.degraded = true;
-      break;
+    if (budget > 0.0) {
+      PITEX_COUNT(kSolveDeadlineChecks, 1);
+      if (timer.Seconds() >= budget) {
+        counters.degraded = true;
+        break;
+      }
     }
     const SearchArena::HeapSlot node = arena.Pop();
     // Bounds only shrink down the tree: once the best inherited bound

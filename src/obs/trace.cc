@@ -1,0 +1,175 @@
+#include "src/obs/trace.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace pitex {
+namespace obs {
+
+// The thread's buffer plus a destructor hook: when the thread exits,
+// its buffer goes back to the tracer's free list (the tracer keeps
+// ownership, so Collect can still read spans a dead thread recorded).
+// Namespace scope (not anonymous) so the Tracer friend declaration in
+// trace.h names this exact type.
+struct TracerThreadHandle {
+  Tracer::SpanBuffer* buffer = nullptr;
+  Tracer* owner = nullptr;
+  ~TracerThreadHandle() {
+    if (buffer != nullptr && owner != nullptr) owner->ReleaseBuffer(buffer);
+  }
+};
+
+namespace {
+thread_local TracerThreadHandle t_buffer_handle;
+}  // namespace
+
+const char* SpanKindName(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kAdmission:
+      return "admission";
+    case SpanKind::kQueueWait:
+      return "queue_wait";
+    case SpanKind::kCacheProbe:
+      return "cache_probe";
+    case SpanKind::kSolve:
+      return "solve";
+    case SpanKind::kResult:
+      return "result";
+    case SpanKind::kPublish:
+      return "publish";
+    case SpanKind::kWalAppend:
+      return "wal_append";
+    case SpanKind::kWalFsync:
+      return "wal_fsync";
+    case SpanKind::kFreeze:
+      return "freeze";
+    case SpanKind::kPack:
+      return "pack";
+    case SpanKind::kSwap:
+      return "swap";
+    case SpanKind::kCheckpoint:
+      return "checkpoint";
+    case SpanKind::kSpanKindCount:
+      break;
+  }
+  return "unknown";
+}
+
+Tracer::Tracer() {
+  if (const char* env = std::getenv("PITEX_TRACE_SAMPLE")) {
+    const long value = std::atol(env);
+    if (value > 0) SetSampleEvery(static_cast<uint64_t>(value));
+  }
+}
+
+Tracer& Tracer::Instance() {
+  // Leaked singleton, same lifetime policy as FailpointRegistry: worker
+  // threads may record during static destruction of other objects, and
+  // a destructed tracer would turn those records into use-after-free.
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+uint64_t Tracer::StartTrace() {
+#if PITEX_TRACING_ENABLED
+  const uint64_t every = sample_every_.load(std::memory_order_relaxed);
+  if (every == 0) return 0;
+  const uint64_t seq = next_id_.fetch_add(1, std::memory_order_relaxed);
+  if (every > 1 && seq % every != 0) return 0;
+  return seq;
+#else
+  return 0;
+#endif
+}
+
+namespace {
+thread_local uint64_t t_current_trace = 0;
+}  // namespace
+
+uint64_t Tracer::CurrentTrace() { return t_current_trace; }
+
+ScopedTrace::ScopedTrace(uint64_t trace_id) : saved_(t_current_trace) {
+  t_current_trace = trace_id;
+}
+
+ScopedTrace::~ScopedTrace() { t_current_trace = saved_; }
+
+Tracer::SpanBuffer* Tracer::AcquireBuffer() {
+  MutexLock lock(mutex_);
+  for (std::unique_ptr<SpanBuffer>& buffer : buffers_) {
+    if (buffer->free) {
+      buffer->free = false;
+      return buffer.get();
+    }
+  }
+  buffers_.push_back(std::make_unique<SpanBuffer>());
+  return buffers_.back().get();
+}
+
+void Tracer::ReleaseBuffer(SpanBuffer* buffer) {
+  MutexLock lock(mutex_);
+  buffer->free = true;
+}
+
+Tracer::SpanBuffer* Tracer::ThisThreadBuffer() {
+  if (t_buffer_handle.buffer == nullptr) {
+    t_buffer_handle.buffer = AcquireBuffer();
+    t_buffer_handle.owner = this;
+  }
+  return t_buffer_handle.buffer;
+}
+
+void Tracer::Record(uint64_t trace_id, SpanKind kind, int64_t start_ns,
+                    int64_t end_ns) {
+  if (trace_id == 0) return;
+  SpanBuffer* buffer = ThisThreadBuffer();
+  SpanRecord record;
+  record.trace_id = trace_id;
+  record.kind = kind;
+  record.start_ns = start_ns;
+  record.end_ns = end_ns;
+  MutexLock lock(buffer->mutex);
+  if (buffer->size < buffer->ring.size()) {
+    buffer->ring[buffer->size++] = record;
+  } else {
+    // Overwrite the oldest; the drop is counted so a collector knows
+    // the trace may be incomplete.
+    buffer->ring[buffer->pos] = record;
+    buffer->pos = (buffer->pos + 1) % buffer->ring.size();
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+std::vector<SpanRecord> Tracer::Collect(uint64_t trace_id) {
+  std::vector<SpanRecord> out;
+  MutexLock lock(mutex_);
+  for (std::unique_ptr<SpanBuffer>& buffer : buffers_) {
+    MutexLock buffer_lock(buffer->mutex);
+    for (size_t i = 0; i < buffer->size; ++i) {
+      if (trace_id == 0 || buffer->ring[i].trace_id == trace_id) {
+        out.push_back(buffer->ring[i]);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SpanRecord& a, const SpanRecord& b) {
+              if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+              return static_cast<int>(a.kind) < static_cast<int>(b.kind);
+            });
+  return out;
+}
+
+std::vector<SpanRecord> Tracer::CollectAll() { return Collect(0); }
+
+void Tracer::Clear() {
+  MutexLock lock(mutex_);
+  for (std::unique_ptr<SpanBuffer>& buffer : buffers_) {
+    MutexLock buffer_lock(buffer->mutex);
+    buffer->size = 0;
+    buffer->pos = 0;
+  }
+  dropped_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace obs
+}  // namespace pitex

@@ -46,6 +46,123 @@ PitexService::PitexService(const SocialNetwork* network,
        options_.admission.user_rate_limit > 0.0)) {
     admission_ = std::make_unique<AdmissionController>(options_.admission);
   }
+  RegisterMetrics();
+}
+
+void PitexService::RegisterMetrics() {
+  m_.submitted = metrics_.RegisterCounter(
+      "pitex_queries_submitted_total",
+      "Queries offered to the service (admitted + shed)");
+  m_.admitted = metrics_.RegisterCounter(
+      "pitex_queries_admitted_total", "Queries accepted past admission");
+  m_.shed_queue_full = metrics_.RegisterCounter(
+      "pitex_queries_shed_queue_full_total",
+      "Queries refused because the bounded queue was full");
+  m_.shed_rate_limited = metrics_.RegisterCounter(
+      "pitex_queries_shed_rate_limited_total",
+      "Queries refused by the per-user token bucket");
+  m_.ok = metrics_.RegisterCounter(
+      "pitex_queries_ok_total",
+      "Queries served to completion (cache hits included)");
+  m_.degraded = metrics_.RegisterCounter(
+      "pitex_queries_degraded_total",
+      "Queries whose budget expired mid-search (best-so-far answer)");
+  m_.deadline_expired = metrics_.RegisterCounter(
+      "pitex_queries_deadline_expired_total",
+      "Queries whose budget was already gone at worker pickup");
+  m_.cache_hits = metrics_.RegisterCounter(
+      "pitex_cache_hits_total", "Result-cache hits observed by workers");
+  m_.steals = metrics_.RegisterCounter(
+      "pitex_steals_total", "Queries served off another worker's deque");
+  m_.publish_retries = metrics_.RegisterCounter(
+      "pitex_publish_retries_total",
+      "Snapshot-freeze attempts that failed and were retried");
+  m_.publish_failures = metrics_.RegisterCounter(
+      "pitex_publish_failures_total",
+      "Publishes abandoned after exhausting every retry");
+  m_.wal_appends = metrics_.RegisterCounter(
+      "pitex_wal_appends_total", "Update batches appended to the WAL");
+  m_.wal_fsyncs = metrics_.RegisterCounter(
+      "pitex_wal_fsyncs_total", "fsync(2) calls issued by the WAL");
+  m_.wal_append_failures = metrics_.RegisterCounter(
+      "pitex_wal_append_failures_total",
+      "Batches rejected because the WAL append/commit failed");
+  m_.checkpoints = metrics_.RegisterCounter(
+      "pitex_checkpoints_total", "Checkpoints written (WAL truncated)");
+  m_.checkpoint_failures = metrics_.RegisterCounter(
+      "pitex_checkpoint_failures_total",
+      "Checkpoint attempts that failed (previous one stays valid)");
+  m_.recovery_replayed = metrics_.RegisterCounter(
+      "pitex_recovery_replayed_lsns_total",
+      "WAL records replayed over the checkpoint by Start() recovery");
+  m_.sojourn = metrics_.RegisterHistogram(
+      "pitex_query_sojourn_seconds",
+      "Enqueue-to-answer latency of engine-served queries",
+      {0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+       0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0});
+  m_.cache_entries = metrics_.RegisterGauge(
+      "pitex_cache_entries", "Result-cache entries currently resident");
+  m_.cache_insertions = metrics_.RegisterGauge(
+      "pitex_cache_insertions", "Result-cache insertions so far");
+  m_.cache_evictions = metrics_.RegisterGauge(
+      "pitex_cache_evictions", "Result-cache evictions so far");
+  m_.current_epoch = metrics_.RegisterGauge(
+      "pitex_current_epoch", "Epoch new queries are served from");
+  m_.epochs_published = metrics_.RegisterGauge(
+      "pitex_epochs_published", "Index snapshots published so far");
+  m_.snapshots_alive = metrics_.RegisterGauge(
+      "pitex_snapshots_alive",
+      "Retired snapshots still pinned by in-flight readers");
+  m_.admission_in_flight = metrics_.RegisterGauge(
+      "pitex_admission_in_flight",
+      "Admitted queries currently queued or executing");
+  m_.publish_in_flight = metrics_.RegisterGauge(
+      "pitex_publish_in_flight", "1 while a snapshot freeze is running");
+  m_.durable_lsn = metrics_.RegisterGauge(
+      "pitex_durable_lsn", "Last WAL LSN acknowledged as durable");
+  m_.published_lsn = metrics_.RegisterGauge(
+      "pitex_published_lsn", "Durable LSN covered by the served epoch");
+  m_.staleness_batches = metrics_.RegisterGauge(
+      "pitex_staleness_batches",
+      "Applied update batches the served epoch does not cover yet");
+  m_.staleness_lsns = metrics_.RegisterGauge(
+      "pitex_staleness_lsns",
+      "Durable LSNs the served epoch does not cover yet");
+  metrics_.AddCollector([this] { CollectDerivedMetrics(); });
+}
+
+void PitexService::CollectDerivedMetrics() {
+  if (cache_ != nullptr) {
+    // One GetStats call per collection: each shard's (insertions,
+    // evictions, entries) triple is read under that shard's lock, so
+    // the cache conservation identity insertions == evictions + entries
+    // survives into the exported gauges.
+    const ResultCache::Stats cache_stats = cache_->GetStats();
+    m_.cache_entries->Set(static_cast<int64_t>(cache_stats.entries));
+    m_.cache_insertions->Set(static_cast<int64_t>(cache_stats.insertions));
+    m_.cache_evictions->Set(static_cast<int64_t>(cache_stats.evictions));
+  }
+  if (admission_ != nullptr) {
+    m_.admission_in_flight->Set(
+        static_cast<int64_t>(admission_->GetStats().in_flight));
+  }
+  m_.current_epoch->Set(static_cast<int64_t>(registry_.current_epoch()));
+  m_.epochs_published->Set(static_cast<int64_t>(registry_.epochs_published()));
+  m_.snapshots_alive->Set(static_cast<int64_t>(registry_.AliveSnapshots()));
+  m_.publish_in_flight->Set(
+      publish_in_flight_.load(std::memory_order_acquire) ? 1 : 0);
+  const uint64_t applied = applied_batches_.load(std::memory_order_relaxed);
+  const uint64_t published =
+      published_batches_.load(std::memory_order_relaxed);
+  const uint64_t durable = durable_lsn_mirror_.load(std::memory_order_relaxed);
+  const uint64_t covered =
+      published_lsn_mirror_.load(std::memory_order_relaxed);
+  m_.durable_lsn->Set(static_cast<int64_t>(durable));
+  m_.published_lsn->Set(static_cast<int64_t>(covered));
+  m_.staleness_batches->Set(
+      applied >= published ? static_cast<int64_t>(applied - published) : 0);
+  m_.staleness_lsns->Set(
+      durable >= covered ? static_cast<int64_t>(durable - covered) : 0);
 }
 
 PitexService::~PitexService() {
@@ -101,20 +218,32 @@ void PitexService::Start() {
         // where the acknowledged history left off.
         RecoveredState recovered;
         std::string error;
-        PITEX_CHECK_MSG(
-            RecoverServingState(*network_, index_options,
-                                options_.durability_dir, &recovered, &error),
-            error.c_str());
+        if (!RecoverServingState(*network_, index_options,
+                                 options_.durability_dir, &recovered,
+                                 &error)) {
+          // Crash-adjacent: dump the flight recorder before aborting so
+          // the events leading here are on the console with the reason.
+          journal_.DumpTo(stderr);
+          PITEX_CHECK_MSG(false, error.c_str());
+        }
         master_ = std::move(recovered.master);
         touched_edges_ = std::move(recovered.touched_edges);
         last_durable_lsn_ = recovered.last_lsn;
-        recovery_replayed_.store(recovered.replayed_records,
-                                 std::memory_order_relaxed);
+        m_.recovery_replayed->Inc(recovered.replayed_records);
+        journal_.Record(obs::EventKind::kRecoveryReplay,
+                        recovered.replayed_records, recovered.last_lsn);
+        durable_lsn_mirror_.store(recovered.last_lsn,
+                                  std::memory_order_relaxed);
         initial_epoch = recovered.publish_epoch;
         wal_ = WriteAheadLog::Open(options_.durability_dir,
                                    recovered.last_lsn + 1, options_.wal,
                                    &error);
-        PITEX_CHECK_MSG(wal_ != nullptr, error.c_str());
+        if (wal_ == nullptr) {
+          journal_.DumpTo(stderr);
+          PITEX_CHECK_MSG(false, error.c_str());
+        }
+        wal_appends_seen_ = wal_->appends();
+        wal_fsyncs_seen_ = wal_->fsyncs();
       } else {
         master_ = std::make_unique<DynamicRrIndex>(*network_, index_options);
         master_->Build();
@@ -126,8 +255,16 @@ void PitexService::Start() {
       // epoch to fall back to: if the freeze cannot succeed within the
       // retry budget, starting the service is impossible.
       snapshot = FreezeSnapshotLocked(initial_epoch);
-      PITEX_CHECK_MSG(snapshot != nullptr,
-                      "initial snapshot freeze failed after retries");
+      if (snapshot == nullptr) {
+        // The per-attempt kPublishRetry events are already in the ring.
+        journal_.DumpTo(stderr);
+        PITEX_CHECK_MSG(false,
+                        "initial snapshot freeze failed after retries");
+      }
+      // The initial snapshot covers everything recovery acknowledged.
+      published_lsn_mirror_.store(
+          durable_lsn_mirror_.load(std::memory_order_relaxed),
+          std::memory_order_relaxed);
     } else {
       index_options.num_build_threads = num_threads;
       auto index = std::make_unique<RrIndex>(*network_, index_options);
@@ -152,7 +289,10 @@ void PitexService::Start() {
       snapshot = IndexSnapshot::Wrap(network_, nullptr, "", 1);
     }
   }
+  const uint64_t first_epoch = snapshot->epoch();
   registry_.Publish(std::move(snapshot));
+  journal_.Record(obs::EventKind::kEpochSwap, first_epoch,
+                  durable_lsn_mirror_.load(std::memory_order_relaxed));
 
   for (size_t i = 0; i < num_threads; ++i) {
     PITEX_CHECK_MSG(
@@ -297,6 +437,8 @@ void PitexService::ServeRun(size_t worker, std::vector<PendingQuery>* run,
   WorkerState& state = workers_[worker];
   if (state.engine == nullptr || state.engine_epoch != snapshot->epoch()) {
     BindWorker(&state, std::move(snapshot), worker);
+    journal_.Record(obs::EventKind::kWorkerRebind, worker,
+                    state.engine_epoch);
   }
 
   ResultCacheKey key;
@@ -307,16 +449,28 @@ void PitexService::ServeRun(size_t worker, std::vector<PendingQuery>* run,
   double latencies[kMaxRunLength];
   ServedResult outs[kMaxRunLength];
   size_t count = 0;
+  uint64_t hit_count = 0;
   uint64_t degraded_count = 0;
   uint64_t deadline_count = 0;
 
   for (PendingQuery& item : *run) {
+    // Queue-wait span: the start was observed on the submitting thread
+    // (enqueue time), so it crosses threads and is recorded explicitly.
+    // Arming the trace for the rest of the iteration lets the cache
+    // probe / solve spans (and the solver's own sites) attribute to it
+    // without plumbing the id through every call.
+    if (item.trace.sampled()) {
+      item.trace.Record(obs::SpanKind::kQueueWait, obs::ToNs(item.enqueued),
+                        obs::NowNs());
+    }
+    PITEX_TRACE_SCOPE(item.trace.id());
     ServedResult& out = outs[count];
     out.epoch = state.engine_epoch;
     out.worker = static_cast<uint32_t>(worker);
     out.stolen = stolen;
     out.cache_hit = false;
     out.status = ServeStatus::kOk;
+    out.trace_id = item.trace.id();
     key.user = item.query.user;
     key.k = static_cast<uint32_t>(item.query.k);
 
@@ -337,6 +491,8 @@ void PitexService::ServeRun(size_t worker, std::vector<PendingQuery>* run,
         out.result.degraded = true;
         out.ranking.clear();
         ++deadline_count;
+        journal_.Record(obs::EventKind::kDeadlineExpired, item.query.user,
+                        worker);
         latencies[count++] = std::chrono::duration<double>(Clock::now() -
                                                            item.enqueued)
                                  .count();
@@ -344,30 +500,40 @@ void PitexService::ServeRun(size_t worker, std::vector<PendingQuery>* run,
       }
     }
 
-    if (cache_ != nullptr && cache_->Lookup(key, &out.ranking)) {
+    bool cache_hit = false;
+    if (cache_ != nullptr) {
+      PITEX_SPAN(kCacheProbe);
+      cache_hit = cache_->Lookup(key, &out.ranking);
+    }
+    if (cache_hit) {
       out.cache_hit = true;
+      ++hit_count;
       out.result = PitexResult{};
       out.result.tags = out.ranking.front().tags;
       out.result.influence = out.ranking.front().influence;
     } else {
       PitexQuery engine_query = item.query;
       engine_query.budget_seconds = remaining_budget;
-      if (options_.top_n == 1) {
-        out.result = state.engine->Explore(engine_query);
-        if (out.result.degraded && out.result.tags.empty()) {
-          out.ranking.clear();  // budget died before the first full set
+      {
+        PITEX_SPAN(kSolve);
+        if (options_.top_n == 1) {
+          out.result = state.engine->Explore(engine_query);
+          if (out.result.degraded && out.result.tags.empty()) {
+            out.ranking.clear();  // budget died before the first full set
+          } else {
+            out.ranking.assign(
+                1, RankedTagSet{out.result.tags, out.result.influence});
+          }
         } else {
-          out.ranking.assign(
-              1, RankedTagSet{out.result.tags, out.result.influence});
+          out.ranking =
+              state.engine->ExploreTopN(engine_query, options_.top_n,
+                                        &out.result);
         }
-      } else {
-        out.ranking =
-            state.engine->ExploreTopN(engine_query, options_.top_n,
-                                      &out.result);
       }
       if (out.result.degraded) {
         out.status = ServeStatus::kDegraded;
         ++degraded_count;
+        journal_.Record(obs::EventKind::kDegraded, item.query.user, worker);
         // Degraded answers are budget artifacts, not properties of
         // (user, k, epoch) -- caching one would serve a truncated
         // ranking to future unconstrained queries.
@@ -385,15 +551,20 @@ void PitexService::ServeRun(size_t worker, std::vector<PendingQuery>* run,
   if (admission_ != nullptr) admission_->Release(run->size());
 
   // Flush the counters BEFORE delivering: once the batch waiter (or a
-  // future holder) unblocks, Stats() must already account for every
-  // query of this run. One flush per run, not per query.
+  // future holder) unblocks, Stats() and SnapshotMetrics() must already
+  // account for every query of this run. One flush per run, not per
+  // query. The registry counters are lock-free; only the per-worker
+  // load split and the latency ring need stats_mutex_.
+  m_.ok->Inc(count - degraded_count - deadline_count);
+  m_.degraded->Inc(degraded_count);
+  m_.deadline_expired->Inc(deadline_count);
+  m_.cache_hits->Inc(hit_count);
+  if (stolen) m_.steals->Inc(count);
+  for (size_t i = 0; i < count; ++i) m_.sojourn->Observe(latencies[i]);
   {
     MutexLock lock(stats_mutex_);
     WorkerCounters& counters = counters_[worker];
     counters.served += count;
-    if (stolen) counters.steals += count;
-    counters.degraded += degraded_count;
-    counters.deadline_expired += deadline_count;
     for (size_t i = 0; i < count; ++i) {
       if (counters.latency_ring.size() < options_.latency_window) {
         counters.latency_ring.push_back(latencies[i]);
@@ -407,10 +578,21 @@ void PitexService::ServeRun(size_t worker, std::vector<PendingQuery>* run,
 
   for (size_t i = 0; i < count; ++i) {
     PendingQuery& item = (*run)[i];
+    // Delivery span recorded between the answer handoff and the batch
+    // countdown: by the time the final countdown wakes a batch waiter,
+    // every span of every query in the batch is already collectible.
+    // (A streaming future can win the race against its own kResult
+    // record; batch waiters cannot.)
+    const bool traced = item.trace.sampled();
+    const int64_t delivery_start = traced ? obs::NowNs() : 0;
     if (item.promise != nullptr) {
       item.promise->set_value(std::move(outs[i]));
     } else if (item.slot != nullptr) {
       *item.slot = std::move(outs[i]);
+    }
+    if (traced) {
+      item.trace.Record(obs::SpanKind::kResult, delivery_start,
+                        obs::NowNs());
     }
     if (item.remaining != nullptr &&
         item.remaining->fetch_sub(1, std::memory_order_acq_rel) == 1) {
@@ -433,25 +615,50 @@ std::vector<ServedResult> PitexService::ServeAll(
   size_t admitted = 0;
   std::atomic<size_t> remaining{0};
   const auto now = Clock::now();
+  m_.submitted->Inc(queries.size());
   {
     MutexLock lock(sched_mutex_);
     for (size_t i = 0; i < queries.size(); ++i) {
-      if (admission_ != nullptr &&
-          admission_->TryAdmit(queries[i].user, now) !=
-              AdmissionVerdict::kAdmit) {
-        results[i].status = ServeStatus::kShed;
-        continue;
+      const obs::TraceContext trace = obs::TraceContext::Start();
+      // The admission span starts at the batch arrival instant (`now`,
+      // which is also the enqueue timestamp): admission covers
+      // arrival -> enqueued, queue wait covers enqueued -> pickup, and
+      // the shared start keeps the exported chain ordered (Collect
+      // breaks start-time ties by kind).
+      const int64_t admission_start = trace.sampled() ? obs::ToNs(now) : 0;
+      if (admission_ != nullptr) {
+        const AdmissionVerdict verdict =
+            admission_->TryAdmit(queries[i].user, now);
+        if (verdict != AdmissionVerdict::kAdmit) {
+          const bool queue_full = verdict == AdmissionVerdict::kShedQueueFull;
+          (queue_full ? m_.shed_queue_full : m_.shed_rate_limited)->Inc();
+          journal_.Record(obs::EventKind::kShed, queries[i].user,
+                          queue_full ? 1 : 2);
+          results[i].status = ServeStatus::kShed;
+          results[i].trace_id = trace.id();
+          if (trace.sampled()) {
+            trace.Record(obs::SpanKind::kAdmission, admission_start,
+                         obs::NowNs());
+          }
+          continue;
+        }
       }
+      m_.admitted->Inc();
       ++admitted;
       PendingQuery item;
       item.query = queries[i];
       item.enqueued = now;
       item.slot = &results[i];
       item.remaining = &remaining;
+      item.trace = trace;
       // Batch-local i % N placement: in deterministic mode this IS the
       // assignment (BatchEngine's round-robin); in work-stealing mode it
       // is only the initial placement.
       EnqueueLocked(std::move(item), i);
+      if (trace.sampled()) {
+        trace.Record(obs::SpanKind::kAdmission, admission_start,
+                     obs::NowNs());
+      }
     }
     remaining.store(admitted, std::memory_order_release);
   }
@@ -466,24 +673,42 @@ std::vector<ServedResult> PitexService::ServeAll(
 
 std::future<ServedResult> PitexService::Submit(const PitexQuery& query) {
   Start();
+  m_.submitted->Inc();
   PendingQuery item;
   item.query = query;
   item.enqueued = Clock::now();
+  item.trace = obs::TraceContext::Start();
+  const int64_t admission_start = item.trace.sampled() ? obs::NowNs() : 0;
   item.promise = std::make_unique<std::promise<ServedResult>>();
   std::future<ServedResult> future = item.promise->get_future();
-  if (admission_ != nullptr &&
-      admission_->TryAdmit(query.user, item.enqueued) !=
-          AdmissionVerdict::kAdmit) {
-    // Shed: satisfy the future immediately -- callers always get an
-    // answer, overload just changes which kind.
-    ServedResult shed;
-    shed.status = ServeStatus::kShed;
-    item.promise->set_value(std::move(shed));
-    return future;
+  if (admission_ != nullptr) {
+    const AdmissionVerdict verdict =
+        admission_->TryAdmit(query.user, item.enqueued);
+    if (verdict != AdmissionVerdict::kAdmit) {
+      const bool queue_full = verdict == AdmissionVerdict::kShedQueueFull;
+      (queue_full ? m_.shed_queue_full : m_.shed_rate_limited)->Inc();
+      journal_.Record(obs::EventKind::kShed, query.user, queue_full ? 1 : 2);
+      // Shed: satisfy the future immediately -- callers always get an
+      // answer, overload just changes which kind.
+      ServedResult shed;
+      shed.status = ServeStatus::kShed;
+      shed.trace_id = item.trace.id();
+      if (item.trace.sampled()) {
+        item.trace.Record(obs::SpanKind::kAdmission, admission_start,
+                          obs::NowNs());
+      }
+      item.promise->set_value(std::move(shed));
+      return future;
+    }
   }
+  m_.admitted->Inc();
+  const obs::TraceContext trace = item.trace;
   {
     MutexLock lock(sched_mutex_);
     EnqueueLocked(std::move(item), stream_seq_++);
+  }
+  if (trace.sampled()) {
+    trace.Record(obs::SpanKind::kAdmission, admission_start, obs::NowNs());
   }
   work_cv_.NotifyAll();
   return future;
@@ -491,6 +716,10 @@ std::future<ServedResult> PitexService::Submit(const PitexQuery& query) {
 
 std::shared_ptr<const IndexSnapshot> PitexService::FreezeSnapshotLocked(
     uint64_t epoch) {
+  // Covers the whole retry loop (backoff sleeps included); the kPack
+  // span inside IndexSnapshot::FromDynamic nests under it via the
+  // thread's current trace. Inert when no trace is armed (Start()).
+  PITEX_SPAN(kFreeze);
   if (admission_ != nullptr) admission_->BeginPublish();
   publish_started_ns_.store(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -506,7 +735,8 @@ std::shared_ptr<const IndexSnapshot> PitexService::FreezeSnapshotLocked(
     snapshot = IndexSnapshot::FromDynamic(*master_, epoch,
                                           publish_pool_.get());
     if (snapshot != nullptr) break;
-    publish_retries_.fetch_add(1, std::memory_order_relaxed);
+    m_.publish_retries->Inc();
+    journal_.Record(obs::EventKind::kPublishRetry, epoch, attempt + 1);
     if (attempt + 1 == attempts) break;
     // Capped exponential backoff with multiplicative jitter in
     // [0.5, 1.0): decorrelates retry timing so publishers racing the
@@ -528,6 +758,12 @@ uint64_t PitexService::ApplyUpdates(
   Start();
   ApplyUpdatesOutcome local_outcome;
   if (outcome == nullptr) outcome = &local_outcome;
+  // One trace per publish: the WAL append/fsync, freeze (with its
+  // nested pack), swap and checkpoint spans below all attribute to it
+  // through the thread's current trace.
+  const obs::TraceContext trace = obs::TraceContext::Start();
+  PITEX_TRACE_SCOPE(trace.id());
+  PITEX_SPAN(kPublish);
   // The master check belongs under the lock too: reading master_ before
   // acquiring update_mutex_ was an unguarded access the annotation pass
   // rejected (harmless today only because Start() is ordered first, but
@@ -560,16 +796,28 @@ uint64_t PitexService::ApplyUpdates(
     // the log and the master is untouched -- the log's content is
     // always exactly the acknowledged-batch prefix, which is what makes
     // replay-to-bit-identical recovery possible.
-    const uint64_t lsn = wal_->Append(updates);
-    const bool committed = lsn != 0 && wal_->Sync();
-    wal_appends_.store(wal_->appends(), std::memory_order_relaxed);
-    wal_fsyncs_.store(wal_->fsyncs(), std::memory_order_relaxed);
+    uint64_t lsn;
+    {
+      PITEX_SPAN(kWalAppend);
+      lsn = wal_->Append(updates);
+    }
+    bool committed = lsn != 0;
+    if (committed) {
+      PITEX_SPAN(kWalFsync);
+      committed = wal_->Sync();
+    }
+    m_.wal_appends->Inc(wal_->appends() - wal_appends_seen_);
+    wal_appends_seen_ = wal_->appends();
+    m_.wal_fsyncs->Inc(wal_->fsyncs() - wal_fsyncs_seen_);
+    wal_fsyncs_seen_ = wal_->fsyncs();
     if (!committed) {
-      wal_append_failures_.fetch_add(1, std::memory_order_relaxed);
+      m_.wal_append_failures->Inc();
+      journal_.Record(obs::EventKind::kWalFailure, updates.size());
       *outcome = ApplyUpdatesOutcome::kWalFailed;
       return 0;  // rejected: not durable, not applied, not acknowledged
     }
     last_durable_lsn_ = lsn;
+    durable_lsn_mirror_.store(lsn, std::memory_order_relaxed);
     for (const EdgeInfluenceUpdate& update : updates) {
       const auto it = std::lower_bound(touched_edges_.begin(),
                                        touched_edges_.end(), update.edge);
@@ -579,6 +827,7 @@ uint64_t PitexService::ApplyUpdates(
     }
   }
   master_->ApplyUpdates(updates);
+  applied_batches_.fetch_add(1, std::memory_order_relaxed);
   const uint64_t epoch = registry_.current_epoch() + 1;
   std::shared_ptr<const IndexSnapshot> snapshot = FreezeSnapshotLocked(epoch);
   if (snapshot == nullptr) {
@@ -586,12 +835,21 @@ uint64_t PitexService::ApplyUpdates(
     // staged in the master, readers keep serving the previous epoch, and
     // the next successful publish folds them in. With durability on the
     // batch IS already committed to the WAL -- recovery replays it even
-    // though no epoch carried it yet.
-    publish_failures_.fetch_add(1, std::memory_order_relaxed);
+    // though no epoch carried it yet. The staleness gauges go nonzero
+    // here: applied/durable advanced, published did not.
+    m_.publish_failures->Inc();
+    journal_.Record(obs::EventKind::kPublishFailure, epoch);
     *outcome = ApplyUpdatesOutcome::kPublishFailed;
     return 0;
   }
-  registry_.Publish(snapshot);
+  {
+    PITEX_SPAN(kSwap);
+    registry_.Publish(snapshot);
+  }
+  published_batches_.store(applied_batches_.load(std::memory_order_relaxed),
+                           std::memory_order_relaxed);
+  published_lsn_mirror_.store(last_durable_lsn_, std::memory_order_relaxed);
+  journal_.Record(obs::EventKind::kEpochSwap, epoch, last_durable_lsn_);
   work_cv_.NotifyAll();  // idle pumps may rebind eagerly on next query
   if (wal_ != nullptr) MaybeCheckpointLocked(*snapshot);
   *outcome = ApplyUpdatesOutcome::kPublished;
@@ -601,6 +859,9 @@ uint64_t PitexService::ApplyUpdates(
 void PitexService::MaybeCheckpointLocked(const IndexSnapshot& snapshot) {
   if (options_.checkpoint_every == 0) return;
   if (++publishes_since_checkpoint_ < options_.checkpoint_every) return;
+  // Placed after the cadence early-returns: publishes that skip the
+  // checkpoint get no (trivial) span.
+  PITEX_SPAN(kCheckpoint);
   CheckpointManifest manifest;
   manifest.lsn = last_durable_lsn_;
   manifest.epoch = snapshot.epoch();
@@ -626,11 +887,13 @@ void PitexService::MaybeCheckpointLocked(const IndexSnapshot& snapshot) {
     // Non-fatal: the previous checkpoint (or the full log) still
     // recovers everything. The counter stays >= the cadence, so the
     // next publish retries.
-    checkpoint_failures_.fetch_add(1, std::memory_order_relaxed);
+    m_.checkpoint_failures->Inc();
+    journal_.Record(obs::EventKind::kCheckpointFailure, manifest.lsn);
     return;
   }
   publishes_since_checkpoint_ = 0;
-  checkpoints_.fetch_add(1, std::memory_order_relaxed);
+  m_.checkpoints->Inc();
+  journal_.Record(obs::EventKind::kCheckpoint, manifest.lsn, manifest.epoch);
   wal_->TruncateThrough(manifest.lsn);
 }
 
@@ -659,6 +922,10 @@ void PitexService::ClearLatencyWindow() {
   }
 }
 
+obs::MetricsSnapshot PitexService::SnapshotMetrics() {
+  return metrics_.Snapshot();
+}
+
 ServiceStats PitexService::Stats() {
   ServiceStats stats;
   std::vector<double> latencies;
@@ -668,31 +935,30 @@ ServiceStats PitexService::Stats() {
     for (const WorkerCounters& counters : counters_) {
       stats.per_worker_served.push_back(counters.served);
       stats.queries_served += counters.served;
-      stats.steals += counters.steals;
-      stats.degraded += counters.degraded;
-      stats.deadline_expired += counters.deadline_expired;
       latencies.insert(latencies.end(), counters.latency_ring.begin(),
                        counters.latency_ring.end());
     }
   }
+  // Scalar counters are a view over the registry handles -- the same
+  // values SnapshotMetrics() exports, read here without a snapshot.
+  stats.steals = m_.steals->Value();
+  stats.degraded = m_.degraded->Value();
+  stats.deadline_expired = m_.deadline_expired->Value();
+  stats.shed_queue_full = m_.shed_queue_full->Value();
+  stats.shed_rate_limited = m_.shed_rate_limited->Value();
   if (admission_ != nullptr) {
     const AdmissionController::Stats admission = admission_->GetStats();
-    stats.shed_queue_full = admission.shed_queue_full;
-    stats.shed_rate_limited = admission.shed_rate_limited;
     stats.admission_in_flight = admission.in_flight;
     stats.queue_depth = admission.queue_depth;
   }
-  stats.publish_retries = publish_retries_.load(std::memory_order_relaxed);
-  stats.publish_failures = publish_failures_.load(std::memory_order_relaxed);
-  stats.wal_appends = wal_appends_.load(std::memory_order_relaxed);
-  stats.wal_fsyncs = wal_fsyncs_.load(std::memory_order_relaxed);
-  stats.wal_append_failures =
-      wal_append_failures_.load(std::memory_order_relaxed);
-  stats.checkpoints = checkpoints_.load(std::memory_order_relaxed);
-  stats.checkpoint_failures =
-      checkpoint_failures_.load(std::memory_order_relaxed);
-  stats.recovery_replayed_lsns =
-      recovery_replayed_.load(std::memory_order_relaxed);
+  stats.publish_retries = m_.publish_retries->Value();
+  stats.publish_failures = m_.publish_failures->Value();
+  stats.wal_appends = m_.wal_appends->Value();
+  stats.wal_fsyncs = m_.wal_fsyncs->Value();
+  stats.wal_append_failures = m_.wal_append_failures->Value();
+  stats.checkpoints = m_.checkpoints->Value();
+  stats.checkpoint_failures = m_.checkpoint_failures->Value();
+  stats.recovery_replayed_lsns = m_.recovery_replayed->Value();
   stats.publish_in_flight = publish_in_flight_.load(std::memory_order_acquire);
   if (stats.publish_in_flight) {
     // Watchdog: reading atomics (never update_mutex_, which the stuck

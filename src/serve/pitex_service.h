@@ -49,6 +49,9 @@
 
 #include "src/core/engine.h"
 #include "src/index/dynamic_index.h"
+#include "src/obs/journal.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/serve/admission.h"
 #include "src/serve/result_cache.h"
 #include "src/serve/service_stats.h"
@@ -182,6 +185,10 @@ struct ServedResult {
   bool stolen = false;
   /// Disposition under overload: kOk on the happy path; see ServeStatus.
   ServeStatus status = ServeStatus::kOk;
+  /// Nonzero when the query was trace-sampled: the id to pass to
+  /// obs::Tracer::Collect for the admission -> queue -> solve -> result
+  /// span chain (docs/observability.md).
+  uint64_t trace_id = 0;
 };
 
 class PitexService {
@@ -247,7 +254,22 @@ class PitexService {
   uint64_t current_epoch() const;
 
   /// Consistent counter snapshot (prunes expired snapshot observers).
+  /// Since the metrics registry landed this is a view over the same
+  /// counters SnapshotMetrics() exports, kept for existing callers.
   ServiceStats Stats() PITEX_EXCLUDES(stats_mutex_);
+
+  /// Point-in-time export of every registered metric. Collector
+  /// callbacks run first, mirroring internally-locked sources (cache
+  /// shards, the snapshot registry, admission) and the staleness
+  /// atomics into gauges, so one snapshot is internally consistent
+  /// enough for the conservation invariants the chaos suite asserts
+  /// (docs/observability.md, "Metric catalog").
+  obs::MetricsSnapshot SnapshotMetrics() PITEX_EXCLUDES(stats_mutex_);
+
+  /// The service's flight recorder: a lock-free ring of rare structured
+  /// events (shed, degraded, WAL failure, publish retry, epoch swap...).
+  /// Dumped to stderr automatically on crash-adjacent Start() failures.
+  const obs::EventJournal& journal() const { return journal_; }
 
   /// Drops the latency sample window (e.g. after warmup, or when a
   /// metrics scraper wants per-interval percentiles). Cumulative
@@ -269,6 +291,9 @@ class PitexService {
     ServedResult* slot = nullptr;                      // batch delivery
     std::unique_ptr<std::promise<ServedResult>> promise;  // streaming
     std::atomic<size_t>* remaining = nullptr;          // batch countdown
+    /// Identity only (8 bytes): span storage lives in the tracer's
+    /// thread-local rings, not in the query (src/obs/trace.h).
+    obs::TraceContext trace;
   };
 
   /// Engine replica + pinned snapshot of one worker. Only pump w touches
@@ -283,14 +308,56 @@ class PitexService {
 
   /// Per-worker serving counters, flushed once per run by the pump and
   /// read by Stats()/ClearLatencyWindow() from arbitrary threads — the
-  /// stats_mutex_-guarded half of the former WorkerState.
+  /// stats_mutex_-guarded half of the former WorkerState. Scalar
+  /// disposition counts (degraded, steals, ...) moved to the registry
+  /// (MetricHandles); only the per-worker load split and the latency
+  /// sample window still need this mutex.
   struct WorkerCounters {
     uint64_t served = 0;
-    uint64_t steals = 0;
-    uint64_t degraded = 0;
-    uint64_t deadline_expired = 0;
     std::vector<double> latency_ring;
     size_t latency_pos = 0;
+  };
+
+  /// Registered-once handles into metrics_ (stable for the service's
+  /// lifetime; see RegisterMetrics for the name catalog). The hot paths
+  /// increment through these pointers -- never a registry lookup.
+  struct MetricHandles {
+    // Conservation chain: submitted == admitted + shed_queue_full +
+    // shed_rate_limited, and admitted == ok + degraded +
+    // deadline_expired once the queue drains (asserted by the chaos
+    // suite). Incremented at the verdict sites so the identities hold
+    // with or without an AdmissionController.
+    obs::Counter* submitted = nullptr;
+    obs::Counter* admitted = nullptr;
+    obs::Counter* shed_queue_full = nullptr;
+    obs::Counter* shed_rate_limited = nullptr;
+    obs::Counter* ok = nullptr;
+    obs::Counter* degraded = nullptr;
+    obs::Counter* deadline_expired = nullptr;
+    obs::Counter* cache_hits = nullptr;
+    obs::Counter* steals = nullptr;
+    obs::Counter* publish_retries = nullptr;
+    obs::Counter* publish_failures = nullptr;
+    obs::Counter* wal_appends = nullptr;
+    obs::Counter* wal_fsyncs = nullptr;
+    obs::Counter* wal_append_failures = nullptr;
+    obs::Counter* checkpoints = nullptr;
+    obs::Counter* checkpoint_failures = nullptr;
+    obs::Counter* recovery_replayed = nullptr;
+    obs::Histogram* sojourn = nullptr;
+    // Derived gauges, written only by CollectDerivedMetrics().
+    obs::Gauge* cache_entries = nullptr;
+    obs::Gauge* cache_insertions = nullptr;
+    obs::Gauge* cache_evictions = nullptr;
+    obs::Gauge* current_epoch = nullptr;
+    obs::Gauge* epochs_published = nullptr;
+    obs::Gauge* snapshots_alive = nullptr;
+    obs::Gauge* admission_in_flight = nullptr;
+    obs::Gauge* publish_in_flight = nullptr;
+    obs::Gauge* durable_lsn = nullptr;
+    obs::Gauge* published_lsn = nullptr;
+    obs::Gauge* staleness_batches = nullptr;
+    obs::Gauge* staleness_lsns = nullptr;
   };
 
   void PumpLoop(size_t worker)
@@ -312,6 +379,13 @@ class PitexService {
   /// checkpoint_failures; the next publish retries).
   void MaybeCheckpointLocked(const IndexSnapshot& snapshot)
       PITEX_REQUIRES(update_mutex_);
+  /// Registers every per-service metric into metrics_ and installs the
+  /// derived-gauge collector. Ctor only (handles are then immutable).
+  void RegisterMetrics();
+  /// Collector body, run under the registry lock at every Snapshot():
+  /// mirrors internally-locked sources and the staleness atomics into
+  /// the gauges of MetricHandles.
+  void CollectDerivedMetrics();
   void EnqueueLocked(PendingQuery item, size_t sequence)
       PITEX_REQUIRES(sched_mutex_);
   bool AnyStealableLocked(size_t thief) const PITEX_REQUIRES(sched_mutex_);
@@ -320,6 +394,15 @@ class PitexService {
 
   const SocialNetwork* network_;
   ServeOptions options_;
+
+  // Observability spine (docs/observability.md). Per-service instances:
+  // two services in one process never share counts, which the
+  // conservation-invariant tests rely on. Registered handles in m_ are
+  // written lock-free from the serving paths; journal_.Record is
+  // wait-free and only ever called on rare-event paths.
+  obs::MetricsRegistry metrics_;
+  obs::EventJournal journal_;
+  MetricHandles m_;
 
   Mutex start_mutex_;  // serializes lazy Start()
   std::atomic<bool> started_{false};
@@ -340,27 +423,35 @@ class PitexService {
   Rng backoff_rng_ PITEX_GUARDED_BY(update_mutex_){0xB0FFu};
   // Publish watchdog (read by Stats() without update_mutex_ -- a stuck
   // publish holds that mutex, which is exactly when Stats() must still
-  // make progress).
-  std::atomic<uint64_t> publish_retries_{0};
-  std::atomic<uint64_t> publish_failures_{0};
+  // make progress). Retry/failure COUNTS live in m_ (registry counters
+  // are equally lock-free); only the in-flight flag and its start time
+  // remain raw atomics.
   std::atomic<bool> publish_in_flight_{false};
   std::atomic<int64_t> publish_started_ns_{0};
   // Durability (all null/zero when options_.durability_dir is empty).
   // Writer-side state lives under update_mutex_ with the master it
-  // journals; counters are mirrored into atomics after each commit so
-  // Stats() never touches the publisher lock.
+  // journals; the wal_*_seen_ trackers convert the WAL's absolute
+  // appends()/fsyncs() readings into registry-counter deltas (counters
+  // only go up) without Stats() ever touching the publisher lock.
   std::unique_ptr<WriteAheadLog> wal_ PITEX_GUARDED_BY(update_mutex_);
   uint64_t last_durable_lsn_ PITEX_GUARDED_BY(update_mutex_) = 0;
   uint64_t publishes_since_checkpoint_ PITEX_GUARDED_BY(update_mutex_) = 0;
+  uint64_t wal_appends_seen_ PITEX_GUARDED_BY(update_mutex_) = 0;
+  uint64_t wal_fsyncs_seen_ PITEX_GUARDED_BY(update_mutex_) = 0;
   // Edges diverged from the base network (sorted, unique): the next
   // checkpoint's model delta. Seeded by recovery, grown per batch.
   std::vector<EdgeId> touched_edges_ PITEX_GUARDED_BY(update_mutex_);
-  std::atomic<uint64_t> wal_appends_{0};
-  std::atomic<uint64_t> wal_fsyncs_{0};
-  std::atomic<uint64_t> wal_append_failures_{0};
-  std::atomic<uint64_t> checkpoints_{0};
-  std::atomic<uint64_t> checkpoint_failures_{0};
-  std::atomic<uint64_t> recovery_replayed_{0};
+  // Staleness feed (docs/observability.md, "Staleness"): how far the
+  // served snapshot trails the acknowledged (durable) history. Written
+  // under update_mutex_ serialization, read lock-free by the collector:
+  //   staleness_batches = applied - published   (epoch lag)
+  //   staleness_lsns    = durable - published   (ack lag)
+  // Both are zero in steady state; nonzero means readers serve an epoch
+  // that predates batches already applied/acked (publish failing).
+  std::atomic<uint64_t> applied_batches_{0};
+  std::atomic<uint64_t> published_batches_{0};
+  std::atomic<uint64_t> durable_lsn_mirror_{0};
+  std::atomic<uint64_t> published_lsn_mirror_{0};
   std::unique_ptr<ResultCache> cache_;  // created by ctor, then immutable
   // Admission control; null unless work-stealing mode with a limit set.
   // Created by the ctor, then immutable (internally synchronized).

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/obs/metrics.h"
 #include "src/util/failpoint.h"
 
 namespace pitex {
@@ -26,6 +27,7 @@ ResultCache::Shard& ResultCache::ShardFor(const ResultCacheKey& key) {
 bool ResultCache::Lookup(const ResultCacheKey& key,
                          std::vector<RankedTagSet>* out) {
   if (!enabled()) return false;
+  PITEX_COUNT(kCacheProbes, 1);
   // Chaos hook, evaluated before the shard lock: a fired fault is a
   // forced miss, exactly the semantics of a shard that could not be
   // locked in time. The caller recomputes -- correctness is unaffected,
@@ -47,6 +49,7 @@ bool ResultCache::Lookup(const ResultCacheKey& key,
 void ResultCache::Insert(const ResultCacheKey& key,
                          const std::vector<RankedTagSet>& ranking) {
   if (!enabled()) return;
+  PITEX_COUNT(kCacheInserts, 1);
   // Same fault as Lookup's: the insert is dropped, as if the shard lock
   // was contended past a deadline. Caching is memoization, so a dropped
   // insert only costs a future recompute.

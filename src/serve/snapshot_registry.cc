@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/index/rr_sketch_pool.h"
+#include "src/obs/trace.h"
 #include "src/util/check.h"
 #include "src/util/failpoint.h"
 
@@ -30,6 +31,10 @@ std::shared_ptr<const IndexSnapshot> IndexSnapshot::FromDynamic(
   // publish path must survive. Callers treat nullptr as a retryable
   // error (PitexService::FreezeSnapshotLocked backs off and retries).
   if (PITEX_FAILPOINT("serve/publish_freeze")) return nullptr;
+  // The pack span attributes to whichever trace is current on this
+  // thread (the publish trace during ApplyUpdates); with no current
+  // trace the span is inert.
+  PITEX_SPAN(kPack);
   auto snapshot = std::shared_ptr<IndexSnapshot>(new IndexSnapshot());
   // The frozen network copy must live in the snapshot (stable address)
   // before the RrIndex replica can reference it.

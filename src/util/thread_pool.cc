@@ -4,6 +4,7 @@
 #include <atomic>
 #include <memory>
 
+#include "src/obs/metrics.h"
 #include "src/util/check.h"
 #include "src/util/failpoint.h"
 
@@ -70,6 +71,7 @@ void ThreadPool::WorkerLoop(size_t worker_index) {
     // fired/not-fired bit is meaningless for a dispatch -- there is no
     // error path to take -- so the result is discarded.
     (void)PITEX_FAILPOINT("thread_pool/dispatch");
+    PITEX_COUNT(kPoolTasks, 1);
     task(worker_index);
     {
       MutexLock lock(mutex_);

@@ -59,6 +59,29 @@ class ServeUnderFaultsTest : public ::testing::Test {
                        0.2 + 0.1 * static_cast<double>(round % 5)}};
     return update;
   }
+
+  /// The metric conservation invariants (docs/observability.md) that
+  /// must hold in any drained state, no matter which faults fired:
+  /// every submitted query was admitted or shed, every admitted query
+  /// resolved exactly one way, and every cache insertion is either
+  /// still resident or was evicted.
+  static void ExpectConservation(PitexService& service) {
+    const obs::MetricsSnapshot snap = service.SnapshotMetrics();
+    EXPECT_EQ(snap.CounterValue("pitex_queries_submitted_total"),
+              snap.CounterValue("pitex_queries_admitted_total") +
+                  snap.CounterValue("pitex_queries_shed_queue_full_total") +
+                  snap.CounterValue("pitex_queries_shed_rate_limited_total"));
+    EXPECT_EQ(snap.CounterValue("pitex_queries_admitted_total"),
+              snap.CounterValue("pitex_queries_ok_total") +
+                  snap.CounterValue("pitex_queries_degraded_total") +
+                  snap.CounterValue("pitex_queries_deadline_expired_total"));
+    // Cache gauges come from one collector pass over the shards, so the
+    // identity holds even though faults dropped arbitrary inserts.
+    EXPECT_EQ(snap.GaugeValue("pitex_cache_insertions"),
+              snap.GaugeValue("pitex_cache_entries") +
+                  snap.GaugeValue("pitex_cache_evictions"));
+    EXPECT_EQ(snap.GaugeValue("pitex_admission_in_flight"), 0);
+  }
 };
 
 TEST_F(ServeUnderFaultsTest, PublishRetriesThroughInjectedFailures) {
@@ -219,6 +242,8 @@ TEST_F(ServeUnderFaultsTest, ServesExactlyThroughFaultStorm) {
   const ServedResult second = service.Submit(probe).get();
   EXPECT_TRUE(second.cache_hit);
   EXPECT_EQ(second.result.tags, first.result.tags);
+
+  ExpectConservation(service);
 }
 
 TEST_F(ServeUnderFaultsTest, DeadlineStormDegradesInsteadOfCollapsing) {
@@ -287,6 +312,8 @@ TEST_F(ServeUnderFaultsTest, DeadlineStormDegradesInsteadOfCollapsing) {
     ASSERT_EQ(full.status, ServeStatus::kOk);
     ASSERT_EQ(full.result.tags.size(), 2u);
   }
+
+  ExpectConservation(service);
 }
 
 TEST_F(ServeUnderFaultsTest, AdmissionShedsButPublishesProceed) {
@@ -350,6 +377,8 @@ TEST_F(ServeUnderFaultsTest, AdmissionShedsButPublishesProceed) {
   EXPECT_EQ(stats.shed_queue_full, shed);
   EXPECT_EQ(stats.admission_in_flight, 0u);  // everything drained
   EXPECT_GT(stats.queue_depth.count, 0u);
+
+  ExpectConservation(service);
 }
 
 TEST_F(ServeUnderFaultsTest, RateLimitShedsPerUserFloods) {

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """PITEX repo-specific static checks.
 
-Five rules encode invariants the compiler cannot see (and that no
+Six rules encode invariants the compiler cannot see (and that no
 pre-packaged linter knows about):
 
   noalloc          Functions annotated PITEX_NOALLOC (src/util/
@@ -37,6 +37,18 @@ pre-packaged linter knows about):
                    loops.  Inject faults at the call boundary (I/O,
                    dispatch, lock acquisition) instead.
 
+  obs-hotpath      Observability inside PITEX_NOALLOC bodies is limited
+                   to the two allocation-free macro forms, PITEX_COUNT
+                   (static hot-counter table) and PITEX_SPAN (inert
+                   thread-local load when unsampled).  Everything richer
+                   -- metric registration (RegisterCounter/Gauge/
+                   Histogram, AddCollector), MetricsRegistry or
+                   EventJournal access, Tracer::Instance /
+                   TraceContext::Start, Histogram Observe, snapshot
+                   export (ToJson/ToPrometheus), and string formatting
+                   (std::to_string, sprintf/snprintf) -- locks, walks a
+                   registry, or allocates, and is flagged.
+
   io-checked       The durability layer (WAL, checkpoints, atomic
                    index saves) is only as honest as its error checks:
                    a dropped write(2)/fsync(2) result can acknowledge
@@ -66,7 +78,7 @@ import re
 import sys
 
 RULES = ("noalloc", "scratch-capture", "determinism",
-         "failpoint-hotpath", "io-checked")
+         "failpoint-hotpath", "obs-hotpath", "io-checked")
 
 SCRATCH_TYPES = (
     "EstimateScratch",
@@ -491,6 +503,49 @@ def check_failpoint_hotpath(path, raw, text):
     return findings
 
 
+# Observability constructs too heavy for PITEX_NOALLOC bodies: each
+# pattern pairs with the reason shown in the finding. PITEX_COUNT and
+# PITEX_SPAN are deliberately absent -- they are the sanctioned forms.
+OBS_HOTPATH_BANNED = [
+    (re.compile(r"\bRegister(?:Counter|Gauge|Histogram)\s*\("),
+     "metric registration takes the registry mutex"),
+    (re.compile(r"\bAddCollector\s*\("),
+     "collector registration takes the registry mutex"),
+    (re.compile(r"\bMetricsRegistry\b"),
+     "registry access locks and allocates"),
+    (re.compile(r"\bEventJournal\b"),
+     "journal construction allocates its ring"),
+    (re.compile(r"\bHotCountersSnapshot\s*\("),
+     "snapshot assembly allocates"),
+    (re.compile(r"\bTracer\s*::\s*Instance\b"),
+     "direct tracer access bypasses the sampling-gated macro"),
+    (re.compile(r"\bTraceContext\s*::\s*Start\b"),
+     "trace starts belong at the serving boundary, not the hot loop"),
+    (re.compile(r"(?:\.|->)\s*Observe\s*\("),
+     "Histogram::Observe scans buckets and CAS-loops the sum"),
+    (re.compile(r"\b(?:ToJson|ToPrometheus)\s*\("),
+     "export rendering allocates strings"),
+    (re.compile(r"\bto_string\s*\("),
+     "std::to_string allocates"),
+    (re.compile(r"\bsn?printf\s*\("),
+     "printf-family formatting does not belong on the hot path"),
+]
+
+
+def check_obs_hotpath(path, raw, text):
+    findings = []
+    for body_start, body in noalloc_bodies(text):
+        body_base = line_of(text, body_start)
+        for pattern, reason in OBS_HOTPATH_BANNED:
+            for m in pattern.finditer(body):
+                findings.append(Finding(
+                    path, body_base + body.count("\n", 0, m.start()),
+                    "obs-hotpath",
+                    f"{reason}; inside PITEX_NOALLOC bodies report only "
+                    "through PITEX_COUNT / PITEX_SPAN"))
+    return findings
+
+
 def scratch_variables(text):
     """name -> line of variables declared with an epoch-stamped scratch
     type anywhere in the file (values, pointers or references)."""
@@ -658,6 +713,7 @@ def check_file(path):
     findings += check_scratch_capture(path, raw, text)
     findings += check_determinism(path, raw, text)
     findings += check_failpoint_hotpath(path, raw, text)
+    findings += check_obs_hotpath(path, raw, text)
     findings += check_io_checked(path, raw, text)
     return [f for f in findings if f.line not in cover[f.rule]]
 

@@ -1,0 +1,56 @@
+// Seeded violations for the [obs-hotpath] rule: inside PITEX_NOALLOC
+// bodies the only sanctioned observability forms are PITEX_COUNT (one
+// relaxed fetch_add into the static hot-counter table) and PITEX_SPAN
+// (a thread-local load when unsampled). Registration, registry/journal
+// access, direct tracer calls, histogram observes, export rendering and
+// string formatting all lock or allocate and are banned. Never
+// compiled -- selftest input only.
+
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/util/thread_annotations.h"
+
+namespace pitex {
+
+PITEX_NOALLOC double HotLoop(int samples, obs::MetricsRegistry* registry,
+                             obs::Histogram* latency) {
+  obs::Counter* c = registry->RegisterCounter("x", "y");  // expect(obs-hotpath)
+  double acc = 0.0;
+  for (int i = 0; i < samples; ++i) {
+    PITEX_COUNT(kSolveFrontierPops, 1);  // sanctioned: must stay quiet
+    PITEX_SPAN(kSolve);                  // sanctioned: must stay quiet
+    latency->Observe(static_cast<double>(i));  // expect(obs-hotpath)
+    acc += static_cast<double>(i);
+  }
+  c->Inc();
+  return acc;
+}
+
+PITEX_NOALLOC void HotTraceStart() {
+  const obs::TraceContext t = obs::TraceContext::Start();  // expect(obs-hotpath)
+  obs::Tracer::Instance().SetSampleEvery(1);  // expect(obs-hotpath)
+  (void)t;
+}
+
+PITEX_NOALLOC void HotExport(const obs::MetricsSnapshot& snap, char* buf,
+                             unsigned long n) {
+  const auto text = snap.ToJson();              // expect(obs-hotpath)
+  snprintf(buf, n, "%zu", text.size());         // expect(obs-hotpath)
+}
+
+// Cold paths register, observe and export freely: the rule keys on the
+// PITEX_NOALLOC annotation.
+void ColdSetup(obs::MetricsRegistry* registry) {
+  registry->RegisterGauge("cold", "fine");
+  registry->AddCollector([] {});
+  obs::EventJournal journal(64);
+  journal.Record(obs::EventKind::kShed);
+}
+
+// Audited escape hatch: the suppression comment silences the rule.
+PITEX_NOALLOC void HotButAudited(obs::Histogram* h) {
+  // pitex-check: allow(obs-hotpath): warmup-only observation before the loop
+  h->Observe(0.0);
+}
+
+}  // namespace pitex
