@@ -25,6 +25,7 @@
 #include "src/sampling/rr_sampler.h"
 #include "src/sampling/sketch_oracle.h"
 #include "src/sampling/triggering_sampler.h"
+#include "src/serve/replication.h"
 #include "src/serve/snapshot_registry.h"
 #include "src/serve/wal.h"
 #include "src/util/thread_pool.h"
@@ -194,6 +195,49 @@ void BM_WalAppend(benchmark::State& state) {
   std::filesystem::remove_all(dir);
 }
 BENCHMARK(BM_WalAppend)->Arg(1)->Arg(8)->Arg(64)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_WalShip(benchmark::State& state) {
+  // Replication shipping path minus the disk: encode one committed WAL
+  // batch as a record frame, push it through the in-process transport,
+  // and decode it on the follower side. Arg is the updates-per-batch
+  // fan-in; the items rate is records/s (docs/perf.md).
+  const auto batch_size = static_cast<size_t>(state.range(0));
+  auto [primary_end, follower_end] = MakeInProcessTransportPair();
+  ReplRecordMsg msg;
+  msg.term = 1;
+  msg.updates.resize(batch_size);
+  for (size_t i = 0; i < batch_size; ++i) {
+    msg.updates[i].edge = static_cast<EdgeId>(i);
+    msg.updates[i].entries = {{0, 0.3}, {1, 0.25}, {2, 0.1}};
+  }
+  uint64_t lsn = 0;
+  ReplFrame frame;
+  for (auto _ : state) {
+    msg.lsn = ++lsn;
+    if (!primary_end->Send(EncodeRecordMsg(msg))) {
+      state.SkipWithError("transport send failed");
+      return;
+    }
+    if (follower_end->Recv(&frame, std::chrono::milliseconds(1000)) !=
+        ReplicationTransport::RecvStatus::kFrame) {
+      state.SkipWithError("transport recv failed");
+      return;
+    }
+    ReplRecordMsg decoded;
+    if (!DecodeRecordMsg(frame, &decoded) || decoded.lsn != lsn) {
+      state.SkipWithError("record decode failed");
+      return;
+    }
+    benchmark::DoNotOptimize(decoded);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  state.counters["updates/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) *
+          static_cast<double>(batch_size),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_WalShip)->Arg(1)->Arg(8)->Arg(64)
     ->Unit(benchmark::kMicrosecond);
 
 void BM_IndexEstimate(benchmark::State& state) {

@@ -33,12 +33,25 @@
 //       --stats-out the final metrics snapshot + event journal are
 //       written to the file (json by default) after serving, leaving
 //       the human-readable stdout report unchanged.
+//   pitex_cli replicate <net.pitex> <updates> <dir>
+//             [--primary-stats-out=<file>] [--follower-stats-out=<file>]
+//             [--stats-format=json|prom]
+//       Run the replicated serving tier end to end in one process: a
+//       durable primary ships its WAL to a follower over an in-process
+//       transport, the follower replays and serves, then the primary
+//       goes quiet and the follower is promoted -- and the deposed
+//       primary's next write is fenced (docs/robustness.md). Fail
+//       points armed via PITEX_FAILPOINTS (e.g. repl/ship_drop) inject
+//       transport faults along the way; the CI chaos job drives this.
+//       The stats flags dump each side's metrics + journal.
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/core/batch_engine.h"
@@ -52,6 +65,8 @@
 #include "src/obs/metrics.h"
 #include "src/sampling/sketch_oracle.h"
 #include "src/serve/pitex_service.h"
+#include "src/serve/replication.h"
+#include "src/serve/term_authority.h"
 #include "src/util/timer.h"
 
 namespace {
@@ -71,7 +86,11 @@ int Usage() {
                "  pitex_cli batch <net> <queries> <k> <threads> [method]\n"
                "  pitex_cli serve <net> <queries> <updates> <threads> "
                "[wal_dir]\n"
-               "             [--stats-out=<file>] [--stats-format=json|prom]\n");
+               "             [--stats-out=<file>] [--stats-format=json|prom]\n"
+               "  pitex_cli replicate <net> <updates> <dir>\n"
+               "             [--primary-stats-out=<file>] "
+               "[--follower-stats-out=<file>]\n"
+               "             [--stats-format=json|prom]\n");
   return 2;
 }
 
@@ -500,6 +519,154 @@ int CmdServe(int argc, char** argv) {
   return 0;
 }
 
+// Polls `pred` every 2 ms until it holds or `timeout_ms` expires.
+template <typename Pred>
+bool WaitFor(Pred pred, int timeout_ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return pred();
+}
+
+int CmdReplicate(int argc, char** argv) {
+  std::string primary_out;
+  std::string follower_out;
+  std::string stats_format = "json";
+  std::vector<char*> positional;
+  for (int i = 2; i < argc; ++i) {
+    if (FlagValue(argv[i], "--primary-stats-out", &primary_out) ||
+        FlagValue(argv[i], "--follower-stats-out", &follower_out) ||
+        FlagValue(argv[i], "--stats-format", &stats_format)) {
+      continue;
+    }
+    positional.push_back(argv[i]);
+  }
+  if (positional.size() != 3) return Usage();
+  if (stats_format != "json" && stats_format != "prom") return Usage();
+  auto network = LoadNetwork(positional[0]);
+  if (!network) {
+    std::fprintf(stderr, "error: cannot load %s\n", positional[0]);
+    return 1;
+  }
+  const auto num_updates = static_cast<size_t>(std::atoi(positional[1]));
+  const std::string dir = positional[2];
+
+  // Primary and follower share one term authority (the in-process
+  // stand-in for a coordination service) and one in-process transport.
+  InProcessTermAuthority authority(1);
+  ServeOptions primary_options;
+  primary_options.engine.method = Method::kIndexEst;
+  primary_options.num_threads = 2;
+  primary_options.enable_updates = true;
+  primary_options.durability_dir = dir + "/primary";
+  primary_options.checkpoint_every = 4;
+  primary_options.term_authority = &authority;
+  primary_options.term = 1;
+  PitexService primary(network.operator->(), primary_options);
+
+  auto [primary_end, follower_end] = MakeInProcessTransportPair();
+  WalShipperOptions ship;
+  ship.wal_dir = primary_options.durability_dir;
+  ship.term = 1;
+  WalShipper shipper(&primary, primary_end.get(), ship);
+
+  FollowerOptions follower_options;
+  follower_options.serve = primary_options;
+  follower_options.serve.durability_dir = dir + "/follower";
+  follower_options.heartbeat_timeout_ms = 250.0;
+  follower_options.authority = &authority;
+  FollowerService follower(network.operator->(), follower_end.get(),
+                           follower_options);
+
+  Timer start_timer;
+  shipper.Start();  // starts the primary and ships the bootstrap checkpoint
+  std::string error;
+  if (!follower.Start(&error)) {
+    std::fprintf(stderr, "error: follower bootstrap failed: %s\n",
+                 error.c_str());
+    return 1;
+  }
+  std::printf("replica pair up in %.2f s (term %llu)\n", start_timer.Seconds(),
+              static_cast<unsigned long long>(primary.term()));
+
+  // Replicated steady state: every primary batch must land on the
+  // follower (fail points may drop/tear/reorder frames along the way --
+  // the resync protocol has to converge regardless).
+  size_t rejected = 0;
+  for (size_t i = 0; i < num_updates; ++i) {
+    std::vector<EdgeInfluenceUpdate> batch(1);
+    batch[0].edge = static_cast<EdgeId>((i * 97) % network->num_edges());
+    batch[0].entries = {
+        {static_cast<TopicId>(i % network->topics.num_topics()),
+         0.2 + 0.1 * static_cast<double>(i % 5)}};
+    if (primary.ApplyUpdates(batch) == 0) ++rejected;
+  }
+  const uint64_t durable = primary.durable_lsn();
+  if (!WaitFor([&] { return shipper.acked_lsn() >= durable; }, 30000)) {
+    std::fprintf(stderr, "error: follower never caught up (acked %llu of "
+                 "%llu)\n",
+                 static_cast<unsigned long long>(shipper.acked_lsn()),
+                 static_cast<unsigned long long>(durable));
+    return 1;
+  }
+  const auto users = SampleUserGroup(network->graph, UserGroup::kMid,
+                                     /*count=*/8, /*seed=*/9);
+  std::vector<PitexQuery> queries;
+  for (VertexId user : users) queries.push_back({.user = user, .k = 3});
+  primary.ServeAll(queries);
+  follower.service().ServeAll(queries);  // the follower serves while replaying
+  std::printf("replicated %zu updates (%zu rejected): shipped lsn %llu, "
+              "follower applied %llu, lag 0\n",
+              num_updates, rejected,
+              static_cast<unsigned long long>(shipper.shipped_lsn()),
+              static_cast<unsigned long long>(follower.applied_lsn()));
+
+  // Failover: the primary goes quiet (shipper stopped), the follower's
+  // heartbeat timeout expires, and it promotes itself through the term
+  // authority. The deposed primary's next write dies on the fence.
+  shipper.Stop();
+  if (!WaitFor([&] { return follower.promoted(); }, 15000)) {
+    std::fprintf(stderr, "error: follower never promoted\n");
+    return 1;
+  }
+  std::vector<EdgeInfluenceUpdate> post(1);
+  post[0].edge = 0;
+  post[0].entries = {{static_cast<TopicId>(0), 0.4}};
+  ApplyUpdatesOutcome outcome;
+  const uint64_t deposed = primary.ApplyUpdates(post, &outcome);
+  const bool fenced =
+      deposed == 0 && outcome == ApplyUpdatesOutcome::kFencedStaleTerm;
+  const uint64_t accepted = follower.service().ApplyUpdates(post);
+  follower.service().ServeAll(queries);
+  std::printf("failover: follower promoted to term %llu; deposed primary "
+              "%s; new primary %s\n",
+              static_cast<unsigned long long>(follower.term()),
+              fenced ? "fenced (stale term)" : "NOT FENCED -- bug",
+              accepted != 0 ? "accepting writes" : "rejecting writes -- bug");
+
+  auto dump = [&](PitexService& service, const std::string& path,
+                  const char* who) {
+    if (path.empty()) return true;
+    std::FILE* out = std::fopen(path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+      return false;
+    }
+    DumpObservability(service, stats_format, out);
+    std::fclose(out);
+    std::printf("stats: %s %s snapshot + journal -> %s\n", who,
+                stats_format.c_str(), path.c_str());
+    return true;
+  };
+  if (!dump(primary, primary_out, "primary")) return 1;
+  if (!dump(follower.service(), follower_out, "follower")) return 1;
+  follower.Stop();
+  return fenced && accepted != 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -519,5 +686,6 @@ int main(int argc, char** argv) {
   if (std::strcmp(argv[1], "seeds") == 0) return CmdSeeds(argc, argv);
   if (std::strcmp(argv[1], "batch") == 0) return CmdBatch(argc, argv);
   if (std::strcmp(argv[1], "serve") == 0) return CmdServe(argc, argv);
+  if (std::strcmp(argv[1], "replicate") == 0) return CmdReplicate(argc, argv);
   return Usage();
 }

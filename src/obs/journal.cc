@@ -32,6 +32,14 @@ const char* EventKindName(EventKind kind) {
       return "recovery_replay";
     case EventKind::kWorkerRebind:
       return "worker_rebind";
+    case EventKind::kReplShipCheckpoint:
+      return "repl_ship_checkpoint";
+    case EventKind::kReplResync:
+      return "repl_resync";
+    case EventKind::kReplPromote:
+      return "repl_promote";
+    case EventKind::kFencedWrite:
+      return "fenced_write";
     case EventKind::kEventKindCount:
       break;
   }

@@ -62,6 +62,19 @@ enum class EventKind : uint8_t {
   kRecoveryReplay,
   /// A worker rebuilt its engine for a new epoch. a = worker, b = epoch.
   kWorkerRebind,
+  /// The WAL shipper sent its bootstrap checkpoint to a follower.
+  /// a = checkpoint LSN (0 = none existed), b = shipper term.
+  kReplShipCheckpoint,
+  /// A follower requested (or the shipper served) a resync: the shipping
+  /// cursor rewinds and records are resent. a = resync-from LSN.
+  kReplResync,
+  /// A follower promoted itself to primary after heartbeat loss.
+  /// a = new term, b = last applied LSN at promotion.
+  kReplPromote,
+  /// A write was rejected because this writer's term is stale (a newer
+  /// primary was elected). a = authority's current term, b = this
+  /// writer's (deposed) term.
+  kFencedWrite,
   kEventKindCount,
 };
 

@@ -24,6 +24,7 @@ PitexService::PitexService(const SocialNetwork* network,
   options_.latency_window = std::max<size_t>(1, options_.latency_window);
   PITEX_CHECK_MSG(options_.durability_dir.empty() || options_.enable_updates,
                   "durability_dir requires enable_updates");
+  term_.store(options_.term, std::memory_order_relaxed);
   // Containers that Stats()/ClearLatencyWindow() traverse are sized here
   // and never reassigned again, so those methods stay safe to call
   // concurrently with a lazy Start() from another thread.
@@ -95,6 +96,9 @@ void PitexService::RegisterMetrics() {
   m_.recovery_replayed = metrics_.RegisterCounter(
       "pitex_recovery_replayed_lsns_total",
       "WAL records replayed over the checkpoint by Start() recovery");
+  m_.fenced_writes = metrics_.RegisterCounter(
+      "pitex_fenced_writes_total",
+      "Update batches rejected because this writer's term is stale");
   m_.sojourn = metrics_.RegisterHistogram(
       "pitex_query_sojourn_seconds",
       "Enqueue-to-answer latency of engine-served queries",
@@ -128,6 +132,9 @@ void PitexService::RegisterMetrics() {
   m_.staleness_lsns = metrics_.RegisterGauge(
       "pitex_staleness_lsns",
       "Durable LSNs the served epoch does not cover yet");
+  m_.term = metrics_.RegisterGauge(
+      "pitex_term", "Replication term this writer operates under");
+  m_.term->Set(static_cast<int64_t>(options_.term));
   metrics_.AddCollector([this] { CollectDerivedMetrics(); });
 }
 
@@ -771,6 +778,25 @@ uint64_t PitexService::ApplyUpdates(
   MutexLock lock(update_mutex_);
   PITEX_CHECK_MSG(master_ != nullptr,
                   "ApplyUpdates requires options.enable_updates");
+  // Fence BEFORE anything reaches the log: a deposed primary (the term
+  // authority moved past our adopted term while we were partitioned or
+  // stopped) must not append, apply, or acknowledge — a fenced write
+  // that reached the WAL would fork history against the promoted
+  // follower's log, the exact split-brain fencing exists to prevent.
+  // The check-then-append window is benign: promotion happens only
+  // after the heartbeat timeout, orders of magnitude longer than one
+  // ApplyUpdates call, and the authority advanced before the follower
+  // acknowledged anything under its new term.
+  if (options_.term_authority != nullptr) {
+    const uint64_t current = options_.term_authority->Current();
+    const uint64_t mine = term_.load(std::memory_order_acquire);
+    if (current != mine) {
+      m_.fenced_writes->Inc();
+      journal_.Record(obs::EventKind::kFencedWrite, current, mine);
+      *outcome = ApplyUpdatesOutcome::kFencedStaleTerm;
+      return 0;
+    }
+  }
   // Validate BEFORE the WAL append, with exactly the checks recovery
   // applies on replay: once an invalid batch is committed it is a
   // durable poison record -- the in-process abort it used to cause
@@ -895,6 +921,16 @@ void PitexService::MaybeCheckpointLocked(const IndexSnapshot& snapshot) {
   m_.checkpoints->Inc();
   journal_.Record(obs::EventKind::kCheckpoint, manifest.lsn, manifest.epoch);
   wal_->TruncateThrough(manifest.lsn);
+}
+
+void PitexService::AdoptTerm(uint64_t term) {
+  term_.store(term, std::memory_order_release);
+  m_.term->Set(static_cast<int64_t>(term));
+}
+
+WalRetentionHolds* PitexService::WalRetention() {
+  MutexLock lock(update_mutex_);
+  return wal_ == nullptr ? nullptr : &wal_->retention();
 }
 
 std::shared_ptr<const IndexSnapshot> PitexService::CurrentSnapshot() const {

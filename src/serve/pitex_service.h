@@ -56,6 +56,7 @@
 #include "src/serve/result_cache.h"
 #include "src/serve/service_stats.h"
 #include "src/serve/snapshot_registry.h"
+#include "src/serve/term_authority.h"
 #include "src/serve/wal.h"
 #include "src/util/mutex.h"
 #include "src/util/random.h"
@@ -131,6 +132,20 @@ struct ServeOptions {
   /// successful publishes. 0 = never checkpoint: recovery replays the
   /// whole log and the log grows without bound.
   uint64_t checkpoint_every = 8;
+
+  // --- replication (docs/robustness.md, "Replication & failover") ---
+
+  /// Fencing oracle shared across the replica set (not owned; must
+  /// outlive the service). When set, ApplyUpdates acknowledges a batch
+  /// only while the authority's current term equals this writer's
+  /// adopted term (see AdoptTerm) — a deposed primary's late write
+  /// returns kFencedStaleTerm before anything reaches the log, so a
+  /// promotion it slept through cannot fork history. Null disables
+  /// fencing (single-writer deployments).
+  TermAuthority* term_authority = nullptr;
+  /// The term this writer starts under. Promotion adopts a higher one
+  /// through AdoptTerm.
+  uint64_t term = 1;
 };
 
 /// How a query left the service (ServedResult::status).
@@ -168,6 +183,12 @@ enum class ApplyUpdatesOutcome : uint8_t {
   /// master (and durable, when enabled) but readers keep the previous
   /// epoch until the next successful publish folds it in. Do NOT retry.
   kPublishFailed,
+  /// This writer's term is stale: a newer primary was elected since it
+  /// last checked the term authority. Nothing was logged or applied.
+  /// Do NOT retry here — re-route the write to the current primary.
+  /// Folding this into kWalFailed would tell the caller to retry, the
+  /// exact wrong advice for a deposed writer.
+  kFencedStaleTerm,
 };
 
 /// One served answer plus serving metadata.
@@ -280,6 +301,33 @@ class PitexService {
   /// methods).
   size_t SharedIndexSizeBytes() const;
 
+  // --- replication surface (src/serve/replication.h) ---
+
+  /// Adopts a new term (follower promotion). ApplyUpdates fences
+  /// against the authority's current term, so adoption is exactly what
+  /// turns a promoted follower into an acknowledging primary.
+  void AdoptTerm(uint64_t term);
+  /// The term this writer currently operates under.
+  uint64_t term() const { return term_.load(std::memory_order_acquire); }
+  /// Last WAL LSN acknowledged as durable (0 without durability). A
+  /// lock-free mirror, safe from any thread: the WAL shipper tails the
+  /// log up to exactly this watermark, never past it — records beyond
+  /// it may still be rolled back by a failed commit.
+  uint64_t durable_lsn() const {
+    return durable_lsn_mirror_.load(std::memory_order_acquire);
+  }
+  /// The service's metrics registry. Replication components register
+  /// their series here so one --stats-out dump carries the serving and
+  /// replication ledgers together (docs/observability.md).
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  /// Journal handle for components recording on this service's
+  /// timeline (ship / resync / promote events).
+  obs::EventJournal& mutable_journal() { return journal_; }
+  /// The WAL's retention-hold registry (internally synchronized;
+  /// stable until destruction), or nullptr without durability. Only
+  /// meaningful after Start().
+  WalRetentionHolds* WalRetention() PITEX_EXCLUDES(update_mutex_);
+
   const ServeOptions& options() const { return options_; }
 
  private:
@@ -344,6 +392,7 @@ class PitexService {
     obs::Counter* checkpoints = nullptr;
     obs::Counter* checkpoint_failures = nullptr;
     obs::Counter* recovery_replayed = nullptr;
+    obs::Counter* fenced_writes = nullptr;
     obs::Histogram* sojourn = nullptr;
     // Derived gauges, written only by CollectDerivedMetrics().
     obs::Gauge* cache_entries = nullptr;
@@ -358,6 +407,7 @@ class PitexService {
     obs::Gauge* published_lsn = nullptr;
     obs::Gauge* staleness_batches = nullptr;
     obs::Gauge* staleness_lsns = nullptr;
+    obs::Gauge* term = nullptr;
   };
 
   void PumpLoop(size_t worker)
@@ -452,6 +502,10 @@ class PitexService {
   std::atomic<uint64_t> published_batches_{0};
   std::atomic<uint64_t> durable_lsn_mirror_{0};
   std::atomic<uint64_t> published_lsn_mirror_{0};
+  // This writer's replication term (see AdoptTerm). Atomic, not
+  // update_mutex_-guarded: a promoted follower adopts from its
+  // replication thread while readers poll term() freely.
+  std::atomic<uint64_t> term_{1};
   std::unique_ptr<ResultCache> cache_;  // created by ctor, then immutable
   // Admission control; null unless work-stealing mode with a limit set.
   // Created by the ctor, then immutable (internally synchronized).

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 #include <utility>
 
 #include "src/index/index_io.h"
@@ -148,6 +149,100 @@ bool WriteCheckpoint(const std::string& dir, const RrIndex& snapshot_index,
     }
   }
   return true;
+}
+
+namespace {
+
+bool ReadFileBytes(const std::string& path, std::string* bytes) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (!in.good() && !in.eof()) return false;
+  *bytes = buffer.str();
+  return true;
+}
+
+bool WriteFileBytesAtomic(const std::string& path, const std::string& bytes,
+                          std::string* error) {
+  const std::string tmp = TempPathFor(path);
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return Fail(error, "cannot open temp file: " + tmp);
+    }
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    out.close();
+    if (!out) {
+      std::remove(tmp.c_str());
+      return Fail(error, "I/O failure while staging: " + tmp);
+    }
+  }
+  if (!AtomicReplaceFile(tmp, path)) {
+    return Fail(error, "cannot publish file: " + path);
+  }
+  return true;
+}
+
+}  // namespace
+
+bool ReadCheckpointForShipping(const std::string& dir, ShippedCheckpoint* out,
+                               std::string* error) {
+  // The snapshot file named by the manifest can be deleted between the
+  // manifest read and the file read when a concurrent checkpoint
+  // supersedes it (WriteCheckpoint's cleanup pass). Retrying re-reads
+  // the fresh manifest, which names a file that again exists; two
+  // checkpoints racing one bootstrap read is already pathological, so a
+  // small retry budget is plenty.
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    *out = ShippedCheckpoint{};
+    CheckpointManifest manifest;
+    bool present = false;
+    if (!ReadCheckpointManifest(dir, &manifest, &present, error)) {
+      return false;
+    }
+    if (!present) return true;  // out->present stays false
+    const std::string manifest_path = std::string(dir) + "/" + kManifestFile;
+    if (!ReadFileBytes(manifest_path, &out->manifest_bytes)) {
+      continue;  // replaced mid-read; retry
+    }
+    if (!ReadFileBytes(dir + "/" + manifest.snapshot_file,
+                       &out->snapshot_bytes)) {
+      continue;  // superseded and deleted; retry against the new manifest
+    }
+    out->present = true;
+    out->lsn = manifest.lsn;
+    out->snapshot_name = manifest.snapshot_file;
+    return true;
+  }
+  return Fail(error,
+              "checkpoint files kept changing under the shipping read: " +
+                  dir);
+}
+
+bool InstallShippedCheckpoint(const std::string& dir,
+                              const ShippedCheckpoint& cp, std::string* error) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Fail(error, "cannot create follower directory: " + dir);
+  }
+  if (!cp.present) return true;
+  // The snapshot name came off the wire: re-apply the manifest reader's
+  // own constraint (a bare filename) before using it in a path.
+  if (cp.snapshot_name.empty() ||
+      cp.snapshot_name.find('/') != std::string::npos) {
+    return Fail(error, "shipped checkpoint has a bad snapshot name");
+  }
+  // Snapshot first, manifest last: the manifest is the durable pointer,
+  // so it must never (even transiently) name a file that is not fully
+  // on disk.
+  if (!WriteFileBytesAtomic(dir + "/" + cp.snapshot_name, cp.snapshot_bytes,
+                            error)) {
+    return false;
+  }
+  return WriteFileBytesAtomic(std::string(dir) + "/" + kManifestFile,
+                              cp.manifest_bytes, error);
 }
 
 bool RecoverServingState(const SocialNetwork& base,

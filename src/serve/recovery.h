@@ -107,6 +107,43 @@ struct RecoveredState {
   std::vector<EdgeId> touched_edges;
 };
 
+/// A checkpoint read back as raw bytes for shipping to a follower
+/// (src/serve/replication.h). The follower installs the two files
+/// verbatim into its own durability directory and then recovers through
+/// the ordinary RecoverServingState path — the manifest checksum and
+/// the snapshot's NetworkFingerprint re-validate everything on the
+/// receiving side, so shipping adds no trust the recovery path did not
+/// already demand.
+struct ShippedCheckpoint {
+  /// False when the primary has not checkpointed yet: the follower
+  /// starts from a fresh Build and replays the log from LSN 1.
+  bool present = false;
+  /// manifest.lsn — the follower needs records strictly after this.
+  uint64_t lsn = 0;
+  /// Raw bytes of the CHECKPOINT manifest file.
+  std::string manifest_bytes;
+  /// The manifest's snapshot filename and that file's raw bytes.
+  std::string snapshot_name;
+  std::string snapshot_bytes;
+};
+
+/// Reads the newest checkpoint's files from `dir` as raw bytes. Safe to
+/// call while the owning service keeps checkpointing: a checkpoint that
+/// supersedes the manifest mid-read (deleting the snapshot file under
+/// us) is retried against the fresh manifest. An absent checkpoint is
+/// success with `out->present` false.
+bool ReadCheckpointForShipping(const std::string& dir, ShippedCheckpoint* out,
+                               std::string* error = nullptr);
+
+/// Installs a shipped checkpoint into `dir` (created if absent),
+/// snapshot file first, manifest last, each via temp + atomic rename —
+/// a crash mid-install leaves either no checkpoint or a complete one,
+/// never a manifest naming a missing snapshot. With `cp.present` false
+/// only the directory is created.
+bool InstallShippedCheckpoint(const std::string& dir,
+                              const ShippedCheckpoint& cp,
+                              std::string* error = nullptr);
+
 /// Recovers serving state from `dir`: loads the newest valid checkpoint
 /// (or falls back to a fresh Build when none exists), replays the WAL
 /// tail, and returns the reconstructed master. Returns false with

@@ -1,0 +1,35 @@
+#include "src/serve/term_authority.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include "src/util/file_sync.h"
+
+namespace pitex {
+
+uint64_t FileTermAuthority::Current() const {
+  std::ifstream in(path_);
+  if (!in) return initial_;
+  unsigned long long term = 0;
+  in >> term;
+  if (in.fail()) return initial_;
+  return static_cast<uint64_t>(term);
+}
+
+bool FileTermAuthority::Advance(uint64_t to) {
+  if (Current() >= to) return false;
+  const std::string tmp = TempPathFor(path_);
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) return false;
+    out << static_cast<unsigned long long>(to) << "\n";
+    out.close();
+    if (!out) {
+      std::remove(tmp.c_str());
+      return false;
+    }
+  }
+  return AtomicReplaceFile(tmp, path_);
+}
+
+}  // namespace pitex

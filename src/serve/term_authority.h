@@ -1,0 +1,87 @@
+// Term authority: the fencing oracle for replicated serving
+// (docs/robustness.md, "Replication & failover").
+//
+// A replica set has at most one acknowledging writer at a time. The
+// authority is the single source of truth for *which* one: a monotonic
+// term counter every writer compares against its own adopted term on
+// each write. Promotion (src/serve/replication.h, FollowerService)
+// advances the term; a deposed primary that wakes up after a partition
+// still holds its old term, so its writes fail with
+// ApplyUpdatesOutcome::kFencedStaleTerm instead of forking history —
+// the no-split-brain invariant reduces to "Advance is monotonic and
+// writers check Current before acknowledging".
+//
+// Two implementations: an atomic in-process counter (tests and
+// single-process drills) and a file-backed one (cross-process drills —
+// a SIGCONT'd deposed primary re-reads the file and observes the
+// election it slept through). Both model the third-party coordination
+// service a production deployment would consult; the single-writer
+// guarantee is exactly as strong as Advance's atomicity, and the file
+// variant's read-check-replace is atomic only against readers — the
+// drills run one promotion candidate per election, and docs state the
+// restriction.
+
+#ifndef PITEX_SRC_SERVE_TERM_AUTHORITY_H_
+#define PITEX_SRC_SERVE_TERM_AUTHORITY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <utility>
+
+namespace pitex {
+
+class TermAuthority {
+ public:
+  virtual ~TermAuthority() = default;
+  /// The current term. Writers compare against their own adopted term
+  /// on every write; a mismatch means a newer primary was elected.
+  virtual uint64_t Current() const = 0;
+  /// Advances the term to exactly `to`; fails (returns false) when the
+  /// current term is already >= `to` — someone else won the election.
+  virtual bool Advance(uint64_t to) = 0;
+};
+
+/// Atomic in-process authority (unit tests, single-process drills).
+class InProcessTermAuthority final : public TermAuthority {
+ public:
+  explicit InProcessTermAuthority(uint64_t initial = 1) : term_(initial) {}
+  uint64_t Current() const override {
+    return term_.load(std::memory_order_acquire);
+  }
+  bool Advance(uint64_t to) override {
+    uint64_t current = term_.load(std::memory_order_acquire);
+    while (current < to) {
+      if (term_.compare_exchange_weak(current, to,
+                                      std::memory_order_acq_rel)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+ private:
+  std::atomic<uint64_t> term_;
+};
+
+/// File-backed authority for cross-process drills: the term lives in a
+/// decimal text file replaced atomically (temp + rename + parent
+/// fsync), so Current() re-reading it every call always sees a complete
+/// value. Advance is read-check-replace — one candidate per election.
+class FileTermAuthority final : public TermAuthority {
+ public:
+  /// `path` is the term file; an absent (or unreadable) file reads as
+  /// `initial`.
+  explicit FileTermAuthority(std::string path, uint64_t initial = 1)
+      : path_(std::move(path)), initial_(initial) {}
+  uint64_t Current() const override;
+  bool Advance(uint64_t to) override;
+
+ private:
+  std::string path_;
+  uint64_t initial_;
+};
+
+}  // namespace pitex
+
+#endif  // PITEX_SRC_SERVE_TERM_AUTHORITY_H_

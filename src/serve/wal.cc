@@ -292,7 +292,53 @@ bool WriteAheadLog::Sync() {
   return true;
 }
 
+uint64_t WalRetentionHolds::Register(uint64_t first_needed_lsn) {
+  MutexLock lock(mutex_);
+  const uint64_t id = next_id_++;
+  holds_.emplace_back(id, first_needed_lsn);
+  return id;
+}
+
+void WalRetentionHolds::Update(uint64_t id, uint64_t first_needed_lsn) {
+  MutexLock lock(mutex_);
+  for (auto& hold : holds_) {
+    if (hold.first == id) {
+      hold.second = first_needed_lsn;
+      return;
+    }
+  }
+}
+
+void WalRetentionHolds::Release(uint64_t id) {
+  MutexLock lock(mutex_);
+  for (size_t i = 0; i < holds_.size(); ++i) {
+    if (holds_[i].first == id) {
+      holds_[i] = holds_.back();
+      holds_.pop_back();
+      return;
+    }
+  }
+}
+
+uint64_t WalRetentionHolds::Floor() const {
+  MutexLock lock(mutex_);
+  uint64_t floor = UINT64_MAX;
+  for (const auto& hold : holds_) {
+    floor = std::min(floor, hold.second);
+  }
+  return floor;
+}
+
 void WriteAheadLog::TruncateThrough(uint64_t lsn) {
+  // A registered hold names the first LSN its consumer still needs;
+  // nothing at or above the minimum across holds may be deleted, even
+  // when the checkpoint has advanced past it (the shipping/truncation
+  // race of docs/robustness.md, "Replication & failover").
+  const uint64_t floor = retention_.Floor();
+  if (floor != UINT64_MAX) {
+    if (floor == 0) return;  // a hold at 0 retains the whole log
+    lsn = std::min(lsn, floor - 1);
+  }
   // Deletion is best effort (a skipped pass only delays reclamation),
   // so a listing error is ignored rather than surfaced.
   const std::vector<SegmentFile> segments = ListSegments(dir_, nullptr);

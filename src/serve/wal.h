@@ -38,7 +38,11 @@
 // and leaves durability to the page cache.
 //
 // Not thread-safe: the service owns exactly one writer and serializes
-// it under its publisher mutex.
+// it under its publisher mutex. The one exception is the retention-hold
+// registry (retention()): it is internally synchronized so log
+// consumers on other threads — the WAL shipper of
+// src/serve/replication.h — can pin un-shipped LSNs against truncation
+// without ever touching the publisher mutex.
 
 #ifndef PITEX_SRC_SERVE_WAL_H_
 #define PITEX_SRC_SERVE_WAL_H_
@@ -47,9 +51,12 @@
 #include <memory>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/index/dynamic_index.h"
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
 
 namespace pitex {
 
@@ -75,6 +82,38 @@ struct WalOptions {
 struct WalRecord {
   uint64_t lsn = 0;
   std::vector<EdgeInfluenceUpdate> updates;
+};
+
+/// Registered minimum-retained-LSN holds: the fix for the truncation /
+/// shipping race. TruncateThrough was written when the checkpointer was
+/// the log's only consumer; a WAL shipper tailing the log for a
+/// follower is a second one, and deleting a segment the follower has
+/// not caught up past would strand it permanently (ReadWalAfter
+/// rightly refuses a log that starts past its cursor). Each consumer
+/// registers a hold naming the first LSN it still needs; truncation
+/// never deletes a record at or above the minimum across live holds.
+///
+/// Thread-safe (unlike its owning WriteAheadLog): holds are registered
+/// and advanced from consumer threads while the publisher appends.
+class WalRetentionHolds {
+ public:
+  /// Registers a hold: records with LSN >= `first_needed_lsn` survive
+  /// truncation until the hold advances or is released. Returns the
+  /// hold's id (never 0).
+  uint64_t Register(uint64_t first_needed_lsn) PITEX_EXCLUDES(mutex_);
+  /// Advances (or rewinds — a resyncing follower may need history back)
+  /// an existing hold. Unknown ids are ignored.
+  void Update(uint64_t id, uint64_t first_needed_lsn) PITEX_EXCLUDES(mutex_);
+  /// Drops the hold; the consumer no longer constrains truncation.
+  void Release(uint64_t id) PITEX_EXCLUDES(mutex_);
+  /// Minimum first-needed LSN across live holds, or UINT64_MAX when no
+  /// hold is registered (truncation unconstrained).
+  uint64_t Floor() const PITEX_EXCLUDES(mutex_);
+
+ private:
+  mutable Mutex mutex_;
+  std::vector<std::pair<uint64_t, uint64_t>> holds_ PITEX_GUARDED_BY(mutex_);
+  uint64_t next_id_ PITEX_GUARDED_BY(mutex_) = 1;
 };
 
 class WriteAheadLog {
@@ -105,8 +144,16 @@ class WriteAheadLog {
   bool Sync();
 
   /// Deletes segments every record of which has LSN <= `lsn` (called
-  /// after a checkpoint at `lsn`). The active segment is never deleted.
+  /// after a checkpoint at `lsn`). The active segment is never deleted,
+  /// and registered retention holds (retention()) cap the truncation
+  /// point: a record some consumer still needs is never deleted even
+  /// when the checkpoint has moved past it.
   void TruncateThrough(uint64_t lsn);
+
+  /// Retention-hold registry for secondary log consumers (shipping).
+  /// Internally synchronized; safe to use from any thread while the
+  /// owner appends. The reference stays valid for the log's lifetime.
+  WalRetentionHolds& retention() { return retention_; }
 
   /// LSN the next Append will assign.
   uint64_t next_lsn() const { return next_lsn_; }
@@ -143,6 +190,7 @@ class WriteAheadLog {
   uint64_t committed_lsn_ = 1;     // next_lsn as of the last Sync
   uint64_t appends_ = 0;
   uint64_t fsyncs_ = 0;
+  WalRetentionHolds retention_;
 };
 
 enum class WalReadStatus : uint8_t {

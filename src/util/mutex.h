@@ -24,6 +24,7 @@
 #ifndef PITEX_SRC_UTIL_MUTEX_H_
 #define PITEX_SRC_UTIL_MUTEX_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 
@@ -83,6 +84,17 @@ class CondVar {
   /// `lock` must hold the mutex guarding the waited-on state. Spurious
   /// wakeups are possible: always wait in a while-loop.
   void Wait(MutexLock& lock) { cv_.wait(lock.lock_); }
+
+  /// Timed wait: returns false when `timeout` elapsed without a notify,
+  /// true on a notify (or spurious wakeup — re-check the predicate
+  /// either way, exactly as with Wait). Used by the replication
+  /// transport's bounded Recv (src/serve/replication.h), where a caller
+  /// polling for frames must regain control to notice heartbeat loss.
+  template <class Rep, class Period>
+  bool WaitFor(MutexLock& lock,
+               const std::chrono::duration<Rep, Period>& timeout) {
+    return cv_.wait_for(lock.lock_, timeout) == std::cv_status::no_timeout;
+  }
 
   void NotifyOne() { cv_.notify_one(); }
   void NotifyAll() { cv_.notify_all(); }

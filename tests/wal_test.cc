@@ -440,5 +440,76 @@ TEST_F(WalTest, ManifestRoundTripAndAtomicReplace) {
   EXPECT_FALSE(error.empty());
 }
 
+TEST_F(WalTest, RetentionHoldsTrackTheMinimumAcrossConsumers) {
+  WalRetentionHolds holds;
+  EXPECT_EQ(holds.Floor(), UINT64_MAX);  // unconstrained
+  const uint64_t a = holds.Register(10);
+  const uint64_t b = holds.Register(4);
+  EXPECT_NE(a, 0u);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(holds.Floor(), 4u);
+  holds.Update(b, 25);  // advancing past the other hold exposes it
+  EXPECT_EQ(holds.Floor(), 10u);
+  holds.Update(a, 2);  // rewinding (a resyncing follower) is legal
+  EXPECT_EQ(holds.Floor(), 2u);
+  holds.Release(a);
+  EXPECT_EQ(holds.Floor(), 25u);
+  holds.Update(a, 1);  // stale id after release: ignored
+  EXPECT_EQ(holds.Floor(), 25u);
+  holds.Release(b);
+  EXPECT_EQ(holds.Floor(), UINT64_MAX);
+}
+
+TEST_F(WalTest, RetentionHoldCapsTruncateThrough) {
+  // The truncation/shipping race fix: a checkpoint may move past a
+  // lagging follower, but TruncateThrough must never delete a record a
+  // registered hold still needs — otherwise the follower is stranded
+  // (ReadWalAfter refuses a log that starts past its cursor).
+  WalOptions options;
+  options.segment_bytes = 1;  // rotate at every commit boundary
+  std::string error;
+  auto wal = WriteAheadLog::Open(dir_, 1, options, &error);
+  ASSERT_NE(wal, nullptr) << error;
+  for (uint32_t i = 0; i < 6; ++i) {
+    ASSERT_EQ(wal->Append(MakeBatch(i)), static_cast<uint64_t>(i + 1));
+    ASSERT_TRUE(wal->Sync());
+  }
+
+  // A consumer still needs LSN 3: truncation through 5 may only drop
+  // records 1..2 no matter what the checkpoint says.
+  const uint64_t hold = wal->retention().Register(3);
+  wal->TruncateThrough(5);
+  std::vector<WalRecord> records;
+  ASSERT_TRUE(ReadWalAfter(dir_, 2, &records).ok());
+  ASSERT_GE(records.size(), 4u);
+  EXPECT_EQ(records.front().lsn, 3u);
+  EXPECT_EQ(records.back().lsn, 6u);
+
+  // A hold at 1 (nothing shipped yet) retains the whole log.
+  const uint64_t everything = wal->retention().Register(1);
+  wal->TruncateThrough(6);
+  records.clear();
+  ASSERT_TRUE(ReadWalAfter(dir_, 2, &records).ok());
+  EXPECT_EQ(records.front().lsn, 3u);  // still there
+
+  // Holds advanced past the checkpoint stop constraining it.
+  wal->retention().Update(hold, 6);
+  wal->retention().Update(everything, 7);
+  wal->TruncateThrough(5);
+  records.clear();
+  ASSERT_TRUE(ReadWalAfter(dir_, 5, &records).ok());
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records.front().lsn, 6u);
+
+  // Released holds lift the cap entirely.
+  wal->retention().Release(hold);
+  wal->retention().Release(everything);
+  wal->TruncateThrough(5);
+  records.clear();
+  ASSERT_TRUE(ReadWalAfter(dir_, 5, &records).ok());
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records.front().lsn, 6u);
+}
+
 }  // namespace
 }  // namespace pitex
